@@ -1,0 +1,198 @@
+//! Criterion micro-benchmarks of the core data structures (host-time
+//! performance of the implementation itself, complementing the
+//! virtual-time figure binaries).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use aquila_kvstore::{SstReader, SstWriter};
+use aquila_mmu::{Access, Gva, PageTable, PteFlags, Vpn};
+use aquila_pcache::{ClockLru, Freelist, FreelistConfig, LockFreeMap, NumaTopology, PageKey};
+use aquila_sim::FreeCtx;
+use aquila_vmx::Gpa;
+
+fn bench_lockfree_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lockfree_map");
+    let m = LockFreeMap::new(1 << 16);
+    for i in 0..(1u64 << 15) {
+        m.insert(PageKey::new(1, i), i);
+    }
+    let mut i = 0u64;
+    g.bench_function("get_hit", |b| {
+        b.iter(|| {
+            i = (i + 12_345) & ((1 << 15) - 1);
+            std::hint::black_box(m.get(PageKey::new(1, i)))
+        })
+    });
+    g.bench_function("insert_remove", |b| {
+        let mut k = 1u64 << 20;
+        b.iter(|| {
+            k += 1;
+            let key = PageKey::new(2, k & 0xFFFF);
+            m.insert(key, k);
+            m.remove(key)
+        })
+    });
+    g.finish();
+}
+
+fn bench_freelist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("freelist");
+    let fl = Freelist::new(
+        NumaTopology::paper_testbed(),
+        FreelistConfig::default(),
+        (0..1u32 << 16).map(aquila_mmu::FrameId),
+    );
+    g.bench_function("alloc_free", |b| {
+        b.iter(|| {
+            let f = fl.alloc(3).expect("non-empty");
+            fl.free(3, f);
+        })
+    });
+    g.finish();
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_table");
+    let mut pt = PageTable::new();
+    for i in 0..(1u64 << 14) {
+        pt.map(Gva(i * 4096), Gpa(i * 4096), PteFlags::RW);
+    }
+    let mut i = 0u64;
+    g.bench_function("translate_hit", |b| {
+        b.iter(|| {
+            i = (i + 7919) & ((1 << 14) - 1);
+            pt.translate(Gva(i * 4096), Access::Read).expect("mapped")
+        })
+    });
+    g.bench_function("map_unmap", |b| {
+        let gva = Gva(0xDEAD_0000_0000);
+        b.iter(|| {
+            pt.map(gva, Gpa(0x1000), PteFlags::RW);
+            pt.unmap(gva)
+        })
+    });
+    g.finish();
+}
+
+fn bench_clock_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clock_lru");
+    let clock = ClockLru::new(1 << 16);
+    for i in 0..(1u32 << 16) {
+        clock.mark_resident(aquila_mmu::FrameId(i));
+    }
+    g.bench_function("collect_512", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let victims = clock.collect_victims(512);
+                for v in &victims {
+                    clock.mark_resident(*v);
+                }
+                victims.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sst");
+    g.sample_size(20);
+    // Build an SST in a DRAM-cheap direct env.
+    let mut ctx = FreeCtx::new(1);
+    let dev = Arc::new(aquila_devices::PmemDevice::dram_backed(1 << 16));
+    let access: Arc<dyn aquila_devices::StorageAccess> =
+        Arc::new(aquila_devices::DaxAccess::new(dev, true));
+    let env = aquila_kvstore::DirectIoEnv::new(access, 1 << 14);
+    let mut w = SstWriter::new();
+    for i in 0..20_000u64 {
+        w.add(format!("key{i:012}").as_bytes(), b"value-payload-64-bytes");
+    }
+    let file = aquila_kvstore::Env::create(&env, &mut ctx, "bench.sst", w.data_pages() + 16);
+    let meta = w.finish(&mut ctx, &file, 10);
+    let reader = SstReader::from_meta(meta, file);
+    let mut i = 0u64;
+    g.bench_function("point_get", |b| {
+        b.iter(|| {
+            i = (i + 104_729) % 20_000;
+            reader
+                .get(&mut ctx, format!("key{i:012}").as_bytes())
+                .expect("present")
+        })
+    });
+    g.bench_function("bloom_reject", |b| {
+        b.iter(|| reader.get(&mut ctx, b"missing-key-entirely"))
+    });
+    g.finish();
+}
+
+fn bench_fault_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mmio_fault_path");
+    g.sample_size(20);
+    // Host-time cost of a full simulated minor fault (the engine's own
+    // overhead, not virtual cycles).
+    let mut ctx = FreeCtx::new(1);
+    let debts = Arc::new(aquila_sim::CoreDebts::new(1));
+    let rt = aquila::AquilaRuntime::build(
+        &mut ctx,
+        aquila::DeviceKind::PmemDax,
+        1 << 15,
+        1 << 13,
+        1,
+        debts,
+    );
+    let f = rt.open("/bench", 4096).expect("open");
+    let addr = rt
+        .aquila
+        .mmap(&mut ctx, f, 0, 4096, aquila::Prot::RW)
+        .expect("map");
+    // Warm everything.
+    let mut buf = [0u8; 8];
+    for p in 0..4096u64 {
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut buf)
+            .expect("read");
+    }
+    let mut p = 0u64;
+    g.bench_function("tlb_hit_read", |b| {
+        b.iter(|| {
+            p = (p + 613) & 4095;
+            rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut buf)
+        })
+    });
+    g.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    let fabric = aquila_mmu::TlbFabric::new(32);
+    let debts = aquila_sim::CoreDebts::new(32);
+    let mut ctx = FreeCtx::new(1).with_core(0, 32);
+    let pages: Vec<Vpn> = (0..512).map(Vpn).collect();
+    g.bench_function("shootdown_batch_512_32cores", |b| {
+        b.iter(|| {
+            fabric.shootdown_batch(
+                &mut ctx,
+                &debts,
+                aquila_vmx::IpiSendPath::VmexitMediated,
+                &pages,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lockfree_map,
+    bench_freelist,
+    bench_page_table,
+    bench_clock_lru,
+    bench_sst,
+    bench_fault_path,
+    bench_tlb
+);
+criterion_main!(benches);

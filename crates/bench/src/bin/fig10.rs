@@ -1,0 +1,146 @@
+//! Figure 10: scalability of Aquila vs Linux mmap — random reads over a
+//! shared file and over a private file per thread, with the dataset
+//! fitting in memory (a) and not fitting (b).
+//!
+//! Paper results: shared file, in-memory — Aquila 1.81x (1 thread) to
+//! 8.37x (32 threads) higher throughput; out-of-memory — 2.17x to 12.92x.
+//! Private files: 1.82x-1.99x (in-memory), 2.21x-2.84x (out-of-memory).
+//! Tail latency collapses for Linux on the shared file (p99 up to 177x).
+
+use std::sync::Arc;
+
+use aquila::DeviceKind;
+use aquila_bench::micro::{micro_aquila, micro_linux, prepare_micro, run_micro, Micro};
+use aquila_bench::report::{banner, print_rows, Row};
+use aquila_bench::Dev;
+use aquila_sim::CoreDebts;
+
+struct Scale {
+    pages_per_file: u64,
+    ops_per_thread: u64,
+    threads: Vec<usize>,
+}
+
+fn scales(full: bool) -> Scale {
+    if full {
+        Scale {
+            pages_per_file: 16384, // 64 MiB per file.
+            ops_per_thread: 3000,
+            threads: vec![1, 2, 4, 8, 16, 32],
+        }
+    } else {
+        Scale {
+            pages_per_file: 4096, // 16 MiB per file.
+            ops_per_thread: 1000,
+            threads: vec![1, 4, 8, 16, 32],
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    // `--fit` selects (a), `--nofit` selects (b); neither or both runs
+    // both cases.
+    let has_fit = args.iter().any(|a| a == "--fit");
+    let has_nofit = args.iter().any(|a| a == "--nofit");
+    let fit = has_fit || !has_nofit;
+    let nofit = has_nofit || !has_fit;
+    let sc = scales(full);
+    if fit {
+        run_case(&sc, true);
+    }
+    if nofit {
+        run_case(&sc, false);
+    }
+}
+
+fn build(aquila: bool, fit: bool, threads: usize, sc: &Scale, shared: bool) -> Arc<Micro> {
+    let debts = Arc::new(CoreDebts::new(threads));
+    // Private-file mode sizes the dataset with the thread count, as the
+    // paper's per-thread files do.
+    let nfiles = if shared { 1 } else { threads };
+    let total_pages = sc.pages_per_file * nfiles as u64;
+    // In-memory: cache holds the whole dataset. Out-of-memory: 1/12.5 of
+    // it (the paper's 8 GB cache / 100 GB dataset ratio).
+    let cache = if fit {
+        (total_pages + total_pages / 8) as usize
+    } else {
+        (total_pages / 12) as usize
+    };
+    Arc::new(if aquila {
+        micro_aquila(
+            DeviceKind::PmemDax,
+            threads,
+            cache,
+            nfiles,
+            sc.pages_per_file,
+            debts,
+        )
+    } else {
+        micro_linux(
+            false,
+            Dev::Pmem,
+            threads,
+            cache,
+            nfiles,
+            sc.pages_per_file,
+            debts,
+        )
+    })
+}
+
+fn run_case(sc: &Scale, fit: bool) {
+    let case = if fit {
+        "(a) dataset fits in memory"
+    } else {
+        "(b) dataset does not fit (cache = dataset/12)"
+    };
+    let paper = if fit {
+        "shared: aquila 1.81x (1T) -> 8.37x (32T); private: 1.82x -> 1.99x"
+    } else {
+        "shared: aquila 2.17x (1T) -> 12.92x (32T); private: 2.21x -> 2.84x"
+    };
+    banner(&format!("Figure 10{case}"), paper);
+
+    for shared in [true, false] {
+        println!(
+            "--- {} file ---",
+            if shared {
+                "single shared"
+            } else {
+                "private per-thread"
+            }
+        );
+        let mut rows = Vec::new();
+        let mut ratios = Vec::new();
+        for &t in &sc.threads {
+            let mut pair = Vec::new();
+            for aquila in [false, true] {
+                let micro = build(aquila, fit, t, sc, shared);
+                prepare_micro(&micro, fit);
+                let r = run_micro(
+                    Arc::clone(&micro),
+                    t,
+                    sc.ops_per_thread,
+                    shared,
+                    0x10 + t as u64,
+                );
+                let label = format!(
+                    "{} {} threads={t}",
+                    micro.label,
+                    if shared { "shared" } else { "private" }
+                );
+                let row = Row::from_hist(label, r.ops, r.elapsed, &r.latency);
+                pair.push(row.kops);
+                rows.push(row);
+            }
+            ratios.push((t, pair[1] / pair[0]));
+        }
+        print_rows(&rows);
+        for (t, ratio) in ratios {
+            println!("  -> aquila/mmap at {t:>2} threads: {ratio:.2}x");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,19 @@
+//! Table 1: the standard YCSB workloads.
+
+use aquila_ycsb::Workload;
+
+fn main() {
+    println!("Table 1. Standard YCSB Workloads.");
+    println!();
+    println!("  {:<4} {}", "", "Workload");
+    for w in Workload::ALL {
+        println!("  {:<4} {}", w.label(), w.description());
+    }
+    println!();
+    println!(
+        "Key size {} B, value size {} B, scan length {} (paper section 5/6.1).",
+        aquila_ycsb::workload::KEY_SIZE,
+        aquila_ycsb::workload::VALUE_SIZE,
+        aquila_ycsb::workload::SCAN_LEN
+    );
+}

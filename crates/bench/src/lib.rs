@@ -1,0 +1,25 @@
+//! Benchmark harness for the Aquila reproduction: scenario builders,
+//! result reporting, and the paper's microbenchmark.
+//!
+//! Each figure/table of the paper has a binary under `src/bin/`:
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table 1 (YCSB workload definitions) |
+//! | `fig5`   | RocksDB YCSB-C throughput/latency across backends |
+//! | `fig6`   | Ligra BFS with the heap over storage |
+//! | `fig7`   | RocksDB per-get cycle breakdown |
+//! | `fig8`   | Page-fault overhead breakdowns (a/b/c) |
+//! | `fig9`   | Kreon kmmap vs Aquila, YCSB A-F |
+//! | `fig10`  | Microbenchmark scalability, shared vs private files |
+//!
+//! Sizes are scaled from the paper's testbed (see DESIGN.md); pass
+//! `--full` to the binaries for larger runs.
+
+pub mod kvscen;
+pub mod micro;
+pub mod report;
+
+pub use kvscen::{build_stone, load_stone, warm_stone, Backend, Dev, StoneScenario};
+pub use micro::{micro_aquila, micro_linux, run_micro, Micro, MicroResult};
+pub use report::{banner, fig7_bars, print_breakdown_per_op, print_rows, print_speedup, Row};

@@ -1,0 +1,145 @@
+//! Table printing and result records for the figure binaries.
+
+use aquila_sim::{Breakdown, CostCat, Cycles, LatencyHist};
+
+/// Prints a figure banner.
+pub fn banner(title: &str, paper: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!("    paper result: {paper}");
+    println!();
+}
+
+/// One throughput/latency result row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (configuration).
+    pub label: String,
+    /// Throughput in kops/s.
+    pub kops: f64,
+    /// Mean latency.
+    pub avg: Cycles,
+    /// 99th percentile latency.
+    pub p99: Cycles,
+    /// 99.9th percentile latency.
+    pub p999: Cycles,
+}
+
+impl Row {
+    /// Builds a row from a latency histogram and elapsed virtual time.
+    pub fn from_hist(label: impl Into<String>, ops: u64, elapsed: Cycles, h: &LatencyHist) -> Row {
+        let kops = if elapsed == Cycles::ZERO {
+            0.0
+        } else {
+            ops as f64 / elapsed.as_secs_f64() / 1e3
+        };
+        Row {
+            label: label.into(),
+            kops,
+            avg: h.mean(),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+        }
+    }
+}
+
+/// Prints rows as an aligned table.
+pub fn print_rows(rows: &[Row]) {
+    println!(
+        "{:<44} {:>12} {:>12} {:>12} {:>12}",
+        "configuration", "kops/s", "avg", "p99", "p99.9"
+    );
+    for r in rows {
+        println!(
+            "{:<44} {:>12.1} {:>12} {:>12} {:>12}",
+            r.label,
+            r.kops,
+            format!("{}", r.avg),
+            format!("{}", r.p99),
+            format!("{}", r.p999),
+        );
+    }
+}
+
+/// Prints the ratio of two rows' throughput (who wins, by what factor).
+pub fn print_speedup(what: &str, a: &Row, b: &Row) {
+    if b.kops > 0.0 {
+        println!("  -> {what}: {:.2}x", a.kops / b.kops);
+    }
+}
+
+/// Prints a cycle breakdown normalized per operation.
+pub fn print_breakdown_per_op(label: &str, b: &Breakdown, ops: u64) {
+    let ops = ops.max(1);
+    println!("{label} (cycles per operation):");
+    let mut rows: Vec<(CostCat, u64)> = CostCat::ALL
+        .iter()
+        .map(|&c| (c, b.get(c).get() / ops))
+        .filter(|&(_, v)| v > 0)
+        .collect();
+    rows.sort_by_key(|&(_, v)| core::cmp::Reverse(v));
+    let total: u64 = rows.iter().map(|&(_, v)| v).sum();
+    for (cat, v) in &rows {
+        println!(
+            "  {:<14} {:>10} cyc/op  {:>5.1}%",
+            cat.name(),
+            v,
+            100.0 * *v as f64 / total.max(1) as f64
+        );
+    }
+    println!("  {:<14} {:>10} cyc/op", "TOTAL", total);
+}
+
+/// Aggregates a breakdown into the paper's Figure 7 three bars:
+/// (device I/O, cache management, get logic), per op.
+pub fn fig7_bars(b: &Breakdown, ops: u64) -> (u64, u64, u64) {
+    let ops = ops.max(1);
+    let dev =
+        (b.get(CostCat::DeviceIo) + b.get(CostCat::Memcpy) + b.get(CostCat::Idle)).get() / ops;
+    let cache = (b.get(CostCat::CacheMgmt)
+        + b.get(CostCat::Syscall)
+        + b.get(CostCat::LockWait)
+        + b.get(CostCat::Trap)
+        + b.get(CostCat::FaultHandler)
+        + b.get(CostCat::Eviction)
+        + b.get(CostCat::Tlb)
+        + b.get(CostCat::Vmexit))
+    .get()
+        / ops;
+    let get = b.get(CostCat::App).get() / ops;
+    (dev, cache, get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_from_hist_computes_kops() {
+        let mut h = LatencyHist::new();
+        h.record(Cycles(2400));
+        let r = Row::from_hist("x", 1000, Cycles(aquila_sim::CPU_HZ), &h);
+        assert!((r.kops - 1.0).abs() < 1e-9);
+        assert_eq!(r.avg, Cycles(2400));
+    }
+
+    #[test]
+    fn fig7_bars_partition_breakdown() {
+        let mut b = Breakdown::new();
+        b.add(CostCat::DeviceIo, Cycles(1000));
+        b.add(CostCat::CacheMgmt, Cycles(2000));
+        b.add(CostCat::App, Cycles(3000));
+        b.add(CostCat::Trap, Cycles(500));
+        let (dev, cache, get) = fig7_bars(&b, 1);
+        assert_eq!(dev, 1000);
+        assert_eq!(cache, 2500);
+        assert_eq!(get, 3000);
+    }
+
+    #[test]
+    fn zero_elapsed_is_zero_kops() {
+        let h = LatencyHist::new();
+        let r = Row::from_hist("x", 0, Cycles::ZERO, &h);
+        assert_eq!(r.kops, 0.0);
+    }
+}

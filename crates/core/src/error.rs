@@ -1,0 +1,59 @@
+//! Error types of the Aquila public API.
+
+use aquila_mmu::Gva;
+
+/// Errors surfaced by Aquila's mmap-compatible interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AquilaError {
+    /// Access to an address with no valid mapping (SIGSEGV equivalent).
+    Segfault(Gva),
+    /// Write to a read-only mapping (SIGSEGV/EACCES equivalent).
+    ProtectionViolation(Gva),
+    /// Unknown file handle.
+    BadFile,
+    /// I/O beyond the end of the backing file.
+    BeyondEof {
+        /// Offending file page.
+        page: u64,
+        /// File length in pages.
+        len: u64,
+    },
+    /// The blobstore or device ran out of space.
+    NoSpace,
+    /// The requested fixed mapping overlaps an existing one.
+    MappingOverlap,
+    /// The address range is not mapped (munmap/msync on a hole).
+    NotMapped,
+}
+
+impl core::fmt::Display for AquilaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AquilaError::Segfault(gva) => write!(f, "segmentation fault at {gva}"),
+            AquilaError::ProtectionViolation(gva) => {
+                write!(f, "write to read-only mapping at {gva}")
+            }
+            AquilaError::BadFile => write!(f, "bad file handle"),
+            AquilaError::BeyondEof { page, len } => {
+                write!(f, "access to page {page} beyond file length {len}")
+            }
+            AquilaError::NoSpace => write!(f, "out of storage space"),
+            AquilaError::MappingOverlap => write!(f, "mapping overlaps existing range"),
+            AquilaError::NotMapped => write!(f, "address range not mapped"),
+        }
+    }
+}
+
+impl std::error::Error for AquilaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(format!("{}", AquilaError::Segfault(Gva(0x1000))).contains("0x1000"));
+        assert!(format!("{}", AquilaError::BeyondEof { page: 9, len: 4 }).contains('9'));
+        assert!(!format!("{}", AquilaError::BadFile).is_empty());
+    }
+}

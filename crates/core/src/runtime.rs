@@ -1,0 +1,119 @@
+//! One-call assembly of a complete Aquila stack: device, access path,
+//! blobstore, engine.
+//!
+//! Experiments and applications use [`AquilaRuntime`] so they do not
+//! repeat the wiring: pick a device kind, a cache size, and go.
+
+use std::sync::Arc;
+
+use aquila_devices::{
+    AccessKind, Blobstore, CallDomain, DaxAccess, HostNvmeAccess, HostPmemAccess, NvmeDevice,
+    PmemDevice, SpdkAccess, StorageAccess,
+};
+use aquila_pcache::NumaTopology;
+use aquila_sim::{CoreDebts, SimCtx};
+
+use crate::engine::{Aquila, AquilaConfig};
+
+/// Which device + access path to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Optane-class NVMe accessed through the SPDK polled driver
+    /// (Aquila's default for block devices).
+    NvmeSpdk,
+    /// NVMe through host-kernel direct I/O (the HOST-NVMe ablation).
+    NvmeHost,
+    /// DRAM-backed pmem with DAX + AVX2 copies (Aquila's default for
+    /// byte-addressable devices).
+    PmemDax,
+    /// pmem through host-kernel direct I/O (the HOST-pmem ablation).
+    PmemHost,
+}
+
+impl DeviceKind {
+    /// The access-path kind this device configuration produces.
+    pub fn access_kind(self) -> AccessKind {
+        match self {
+            DeviceKind::NvmeSpdk => AccessKind::SpdkNvme,
+            DeviceKind::NvmeHost => AccessKind::HostNvme,
+            DeviceKind::PmemDax => AccessKind::DaxPmem,
+            DeviceKind::PmemHost => AccessKind::HostPmem,
+        }
+    }
+}
+
+/// A ready-to-use Aquila stack.
+pub struct AquilaRuntime {
+    /// The engine.
+    pub aquila: Arc<Aquila>,
+    /// The blobstore over the device.
+    pub store: Arc<Blobstore>,
+    /// The storage access path.
+    pub access: Arc<dyn StorageAccess>,
+    /// The device kind built.
+    pub kind: DeviceKind,
+}
+
+impl AquilaRuntime {
+    /// Builds the full stack.
+    ///
+    /// `device_pages` sizes the backing device; `cache_frames` the DRAM
+    /// cache; `cores` the simulated machine width.
+    pub fn build(
+        ctx: &mut dyn SimCtx,
+        kind: DeviceKind,
+        device_pages: u64,
+        cache_frames: usize,
+        cores: usize,
+        debts: Arc<CoreDebts>,
+    ) -> AquilaRuntime {
+        let access: Arc<dyn StorageAccess> = match kind {
+            DeviceKind::NvmeSpdk => {
+                Arc::new(SpdkAccess::new(Arc::new(NvmeDevice::optane(device_pages))))
+            }
+            DeviceKind::NvmeHost => Arc::new(HostNvmeAccess::new(
+                Arc::new(NvmeDevice::optane(device_pages)),
+                CallDomain::Guest,
+            )),
+            DeviceKind::PmemDax => Arc::new(DaxAccess::new(
+                Arc::new(PmemDevice::dram_backed(device_pages)),
+                true,
+            )),
+            DeviceKind::PmemHost => Arc::new(HostPmemAccess::new(
+                Arc::new(PmemDevice::dram_backed(device_pages)),
+                CallDomain::Guest,
+            )),
+        };
+        let store = Arc::new(Blobstore::format(ctx, Arc::clone(&access)));
+        let mut cfg = AquilaConfig::new(cores, cache_frames);
+        cfg.topology = if cores > 16 {
+            NumaTopology {
+                nodes: 2,
+                cores_per_node: cores.div_ceil(2),
+            }
+        } else {
+            NumaTopology::flat(cores)
+        };
+        let aquila = Arc::new(Aquila::new(cfg, debts));
+        AquilaRuntime {
+            aquila,
+            store,
+            access,
+            kind,
+        }
+    }
+
+    /// Opens (or creates) a named file of at least `pages` pages through
+    /// the intercepted-`open` path.
+    pub fn open(&self, name: &str, pages: u64) -> Result<crate::file::FileId, crate::AquilaError> {
+        self.aquila
+            .files()
+            .open_blob(&self.store, &self.access, name, pages)
+    }
+}
+
+impl core::fmt::Debug for AquilaRuntime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "AquilaRuntime {{ kind: {:?} }}", self.kind)
+    }
+}

@@ -1,0 +1,120 @@
+//! System-call interception (paper section 4.4).
+//!
+//! Aquila installs its own handler in `MSR_LSTAR` and intercepts all
+//! virtual-memory system calls — `mmap`, `munmap`, `mremap`, `madvise`,
+//! `mprotect`, `msync` — handling them in non-root ring 0 at the cost of
+//! a regular function call. Everything else is forwarded to the host OS
+//! with a `vmcall`, which costs more; the paper's position is that
+//! mmio-centric applications keep those off the common path.
+
+use aquila_mmu::Gva;
+use aquila_sim::SimCtx;
+use aquila_vma::{Advice, Prot};
+
+use crate::engine::Aquila;
+use crate::error::AquilaError;
+use crate::file::FileId;
+
+/// A system call as seen by the interception layer.
+#[derive(Debug, Clone, Copy)]
+pub enum Syscall {
+    /// Map `pages` pages of `file` at file page `offset`.
+    Mmap {
+        /// Backing file.
+        file: FileId,
+        /// Offset in file pages.
+        offset: u64,
+        /// Length in pages.
+        pages: u64,
+        /// Protection.
+        prot: Prot,
+    },
+    /// Unmap a range.
+    Munmap {
+        /// Base address.
+        addr: Gva,
+        /// Length in pages.
+        pages: u64,
+    },
+    /// Move/resize a mapping.
+    Mremap {
+        /// Old base address.
+        addr: Gva,
+        /// Old length in pages.
+        old_pages: u64,
+        /// New length in pages.
+        new_pages: u64,
+    },
+    /// Advise the kernel about access patterns.
+    Madvise {
+        /// Base address.
+        addr: Gva,
+        /// Length in pages.
+        pages: u64,
+        /// The advice.
+        advice: Advice,
+    },
+    /// Change protection.
+    Mprotect {
+        /// Base address.
+        addr: Gva,
+        /// Length in pages.
+        pages: u64,
+        /// New protection.
+        prot: Prot,
+    },
+    /// Flush dirty pages of a range.
+    Msync {
+        /// Base address.
+        addr: Gva,
+        /// Length in pages.
+        pages: u64,
+    },
+    /// Any non-VM call: forwarded to the host via vmcall.
+    Other {
+        /// Host syscall number.
+        nr: u64,
+    },
+}
+
+/// Result value of a dispatched syscall (an address for `mmap`/`mremap`,
+/// zero otherwise).
+pub type SyscallRet = Result<u64, AquilaError>;
+
+impl Aquila {
+    /// Dispatches a system call through the interception table.
+    ///
+    /// VM-related calls are handled locally (function-call cost); others
+    /// take the vmcall slow path to the host.
+    pub fn syscall(&self, ctx: &mut dyn SimCtx, call: Syscall) -> SyscallRet {
+        match call {
+            Syscall::Mmap {
+                file,
+                offset,
+                pages,
+                prot,
+            } => self.mmap(ctx, file, offset, pages, prot).map(|g| g.get()),
+            Syscall::Munmap { addr, pages } => self.munmap(ctx, addr, pages).map(|_| 0),
+            Syscall::Mremap {
+                addr,
+                old_pages,
+                new_pages,
+            } => self
+                .mremap(ctx, addr, old_pages, new_pages)
+                .map(|g| g.get()),
+            Syscall::Madvise {
+                addr,
+                pages,
+                advice,
+            } => self.madvise(ctx, addr, pages, advice).map(|_| 0),
+            Syscall::Mprotect { addr, pages, prot } => {
+                self.mprotect(ctx, addr, pages, prot).map(|_| 0)
+            }
+            Syscall::Msync { addr, pages } => self.msync(ctx, addr, pages).map(|_| 0),
+            Syscall::Other { nr } => {
+                self.forward_to_host(ctx, nr);
+                Ok(0)
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Engine-level unit tests: the full fault path, dirty tracking, eviction,
+//! msync, resizing, and syscall interception.
+
+use std::sync::Arc;
+
+use aquila_mmu::Gva;
+use aquila_sim::{CoreDebts, CostCat, Cycles, FreeCtx, SimCtx};
+use aquila_vma::{Advice, Prot};
+
+use crate::engine::AquilaConfig;
+use crate::error::AquilaError;
+use crate::runtime::{AquilaRuntime, DeviceKind};
+use crate::syscall::Syscall;
+
+fn runtime(kind: DeviceKind, cache_frames: usize) -> (FreeCtx, AquilaRuntime) {
+    let mut ctx = FreeCtx::new(42);
+    let debts = Arc::new(CoreDebts::new(1));
+    let rt = AquilaRuntime::build(&mut ctx, kind, 65536, cache_frames, 1, debts);
+    rt.aquila.thread_enter(&mut ctx);
+    (ctx, rt)
+}
+
+#[test]
+fn mmap_read_write_roundtrip() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 64);
+    let f = rt.open("/data/a", 256).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 256, Prot::RW).unwrap();
+    let payload = b"hello through the mmio path";
+    rt.aquila.write(&mut ctx, addr.add(100), payload).unwrap();
+    let mut back = vec![0u8; payload.len()];
+    rt.aquila.read(&mut ctx, addr.add(100), &mut back).unwrap();
+    assert_eq!(&back, payload);
+    assert!(ctx.stats.page_faults >= 1);
+}
+
+#[test]
+fn cross_page_access_works() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 64);
+    let f = rt.open("/data/b", 64).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 64, Prot::RW).unwrap();
+    let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+    rt.aquila.write(&mut ctx, addr.add(4000), &data).unwrap();
+    let mut back = vec![0u8; data.len()];
+    rt.aquila.read(&mut ctx, addr.add(4000), &mut back).unwrap();
+    assert_eq!(back, data);
+}
+
+#[test]
+fn data_persists_across_msync_and_remap() {
+    let (mut ctx, rt) = runtime(DeviceKind::NvmeSpdk, 32);
+    let f = rt.open("/data/persist", 64).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 64, Prot::RW).unwrap();
+    rt.aquila.write(&mut ctx, addr, b"durable").unwrap();
+    rt.aquila.msync(&mut ctx, addr, 64).unwrap();
+    rt.aquila.munmap(&mut ctx, addr, 64).unwrap();
+    // Fresh mapping reads the written-back data from the device path.
+    let addr2 = rt.aquila.mmap(&mut ctx, f, 0, 64, Prot::RW).unwrap();
+    let mut back = [0u8; 7];
+    rt.aquila.read(&mut ctx, addr2, &mut back).unwrap();
+    assert_eq!(&back, b"durable");
+    assert!(ctx.stats.writebacks >= 1);
+}
+
+#[test]
+fn read_fault_maps_readonly_write_marks_dirty() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 64);
+    let f = rt.open("/data/dirty", 16).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 16, Prot::RW).unwrap();
+    let mut b = [0u8; 1];
+    rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    assert_eq!(rt.aquila.cache().dirty_count(), 0, "read leaves page clean");
+    let faults_before = ctx.stats.page_faults;
+    rt.aquila.write(&mut ctx, addr, &[1]).unwrap();
+    assert!(
+        ctx.stats.page_faults > faults_before,
+        "first write takes a dirty-tracking fault"
+    );
+    assert_eq!(rt.aquila.cache().dirty_count(), 1);
+    // A second write is fault-free (mapping upgraded).
+    let faults_mid = ctx.stats.page_faults;
+    rt.aquila.write(&mut ctx, addr.add(1), &[2]).unwrap();
+    assert_eq!(ctx.stats.page_faults, faults_mid);
+}
+
+#[test]
+fn minor_fault_after_munmap_keeps_cache() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 64);
+    let f = rt.open("/data/cachekeep", 8).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 8, Prot::RW).unwrap();
+    let mut b = [0u8; 1];
+    rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    let major_before = ctx.stats.major_faults;
+    rt.aquila.munmap(&mut ctx, addr, 8).unwrap();
+    let addr2 = rt.aquila.mmap(&mut ctx, f, 0, 8, Prot::RW).unwrap();
+    rt.aquila.read(&mut ctx, addr2, &mut b).unwrap();
+    assert_eq!(
+        ctx.stats.major_faults, major_before,
+        "remap hit the shared cache; no device I/O"
+    );
+    assert!(ctx.stats.minor_faults > 0);
+}
+
+#[test]
+fn eviction_under_pressure_preserves_data() {
+    // Cache of 16 frames, working set of 64 pages: heavy eviction.
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 16);
+    let f = rt.open("/data/pressure", 64).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 64, Prot::RW).unwrap();
+    // Write a distinct byte to each page.
+    for p in 0..64u64 {
+        rt.aquila
+            .write(&mut ctx, addr.add(p * 4096), &[p as u8])
+            .unwrap();
+    }
+    assert!(ctx.stats.evictions > 0, "pressure must evict");
+    // Read everything back: evicted dirty pages were written back.
+    for p in 0..64u64 {
+        let mut b = [0u8; 1];
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut b)
+            .unwrap();
+        assert_eq!(b[0], p as u8, "page {p} corrupted by eviction");
+    }
+    assert!(
+        ctx.stats.tlb_shootdowns > 0,
+        "eviction uses batched shootdowns"
+    );
+}
+
+#[test]
+fn unmapped_access_is_segfault() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 16);
+    let mut b = [0u8; 1];
+    let err = rt
+        .aquila
+        .read(&mut ctx, Gva(0xdead_beef_000), &mut b)
+        .unwrap_err();
+    assert!(matches!(err, AquilaError::Segfault(_)));
+}
+
+#[test]
+fn write_to_readonly_mapping_rejected() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 16);
+    let f = rt.open("/data/ro", 8).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 8, Prot::READ).unwrap();
+    let mut b = [0u8; 1];
+    rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    let err = rt.aquila.write(&mut ctx, addr, &[1]).unwrap_err();
+    assert!(matches!(err, AquilaError::ProtectionViolation(_)));
+}
+
+#[test]
+fn mprotect_downgrade_and_restore() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 16);
+    let f = rt.open("/data/prot", 8).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 8, Prot::RW).unwrap();
+    rt.aquila.write(&mut ctx, addr, &[7]).unwrap();
+    rt.aquila.mprotect(&mut ctx, addr, 8, Prot::READ).unwrap();
+    assert!(matches!(
+        rt.aquila.write(&mut ctx, addr, &[8]).unwrap_err(),
+        AquilaError::ProtectionViolation(_)
+    ));
+    rt.aquila.mprotect(&mut ctx, addr, 8, Prot::RW).unwrap();
+    rt.aquila.write(&mut ctx, addr, &[9]).unwrap();
+    let mut b = [0u8; 1];
+    rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    assert_eq!(b[0], 9);
+}
+
+#[test]
+fn msync_downgrades_so_writes_retrack() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 16);
+    let f = rt.open("/data/sync", 8).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 8, Prot::RW).unwrap();
+    rt.aquila.write(&mut ctx, addr, &[1]).unwrap();
+    assert_eq!(rt.aquila.cache().dirty_count(), 1);
+    rt.aquila.msync(&mut ctx, addr, 8).unwrap();
+    assert_eq!(rt.aquila.cache().dirty_count(), 0);
+    // New write re-dirties via a fresh protection fault.
+    rt.aquila.write(&mut ctx, addr, &[2]).unwrap();
+    assert_eq!(rt.aquila.cache().dirty_count(), 1);
+}
+
+#[test]
+fn madvise_sequential_prefetches() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 128);
+    let f = rt.open("/data/seq", 256).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 256, Prot::RW).unwrap();
+    rt.aquila
+        .madvise(&mut ctx, addr, 256, Advice::Sequential)
+        .unwrap();
+    let mut b = [0u8; 1];
+    rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    assert!(
+        ctx.stats.readahead_pages >= 16,
+        "sequential advice widens readahead: {}",
+        ctx.stats.readahead_pages
+    );
+    // The next pages are minor faults (already cached).
+    let major_before = ctx.stats.major_faults;
+    rt.aquila.read(&mut ctx, addr.add(4096), &mut b).unwrap();
+    assert_eq!(ctx.stats.major_faults, major_before);
+}
+
+#[test]
+fn madvise_random_disables_readahead() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 128);
+    let f = rt.open("/data/rand", 64).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 64, Prot::RW).unwrap();
+    rt.aquila
+        .madvise(&mut ctx, addr, 64, Advice::Random)
+        .unwrap();
+    let mut b = [0u8; 1];
+    rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    assert_eq!(ctx.stats.readahead_pages, 0);
+}
+
+#[test]
+fn mremap_preserves_file_window() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 32);
+    let f = rt.open("/data/remap", 32).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 8, Prot::RW).unwrap();
+    rt.aquila.write(&mut ctx, addr, b"movable").unwrap();
+    let new_addr = rt.aquila.mremap(&mut ctx, addr, 8, 16).unwrap();
+    let mut back = [0u8; 7];
+    rt.aquila.read(&mut ctx, new_addr, &mut back).unwrap();
+    assert_eq!(&back, b"movable");
+    // Old range is gone.
+    let mut b = [0u8; 1];
+    assert!(rt.aquila.read(&mut ctx, addr, &mut b).is_err());
+}
+
+#[test]
+fn cache_hit_fault_cost_matches_paper() {
+    // Figure 8(c): a fault that hits the DRAM cache costs ~2179 cycles.
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 64);
+    let f = rt.open("/data/hitcost", 8).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 8, Prot::RW).unwrap();
+    let mut b = [0u8; 1];
+    // Prime the cache.
+    rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    rt.aquila.munmap(&mut ctx, addr, 8).unwrap();
+    let addr2 = rt.aquila.mmap(&mut ctx, f, 0, 8, Prot::RW).unwrap();
+    let before = ctx.now();
+    rt.aquila.read(&mut ctx, addr2, &mut b).unwrap();
+    let cost = (ctx.now() - before).get();
+    assert!(
+        (1500..3500).contains(&cost),
+        "cache-hit fault cost {cost} outside the paper's ballpark (2179)"
+    );
+}
+
+#[test]
+fn grow_and_shrink_cache_via_hypervisor() {
+    let mut ctx = FreeCtx::new(7);
+    let debts = Arc::new(CoreDebts::new(1));
+    let mut cfg = AquilaConfig::new(1, 32);
+    cfg.max_cache_frames = 1024;
+    let aquila = crate::engine::Aquila::new(cfg, debts);
+    let vmexits_before = ctx.stats.vmexits;
+    let added = aquila.grow_cache(&mut ctx, 512);
+    assert_eq!(added, 512);
+    assert!(
+        ctx.stats.vmexits > vmexits_before,
+        "resize goes through the host"
+    );
+    assert_eq!(aquila.cache().active_frames(), 544);
+    let reclaimed = aquila.shrink_cache(&mut ctx, 100);
+    assert_eq!(reclaimed, 100);
+    assert_eq!(aquila.cache().active_frames(), 444);
+    assert!(aquila.stats().uncommon_vmcalls >= 2);
+}
+
+#[test]
+fn syscall_interception_dispatch() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 32);
+    let f = rt.open("/data/syscalls", 16).unwrap();
+    let vmexits_before = ctx.stats.vmexits;
+    let addr = rt
+        .aquila
+        .syscall(
+            &mut ctx,
+            Syscall::Mmap {
+                file: f,
+                offset: 0,
+                pages: 16,
+                prot: Prot::RW,
+            },
+        )
+        .unwrap();
+    rt.aquila
+        .syscall(
+            &mut ctx,
+            Syscall::Msync {
+                addr: Gva(addr),
+                pages: 16,
+            },
+        )
+        .unwrap();
+    rt.aquila
+        .syscall(
+            &mut ctx,
+            Syscall::Munmap {
+                addr: Gva(addr),
+                pages: 16,
+            },
+        )
+        .unwrap();
+    // Intercepted VM calls never exit to the host...
+    assert_eq!(
+        ctx.stats.vmexits, vmexits_before,
+        "no vmexit for VM syscalls"
+    );
+    // ...while a forwarded call does.
+    rt.aquila
+        .syscall(&mut ctx, Syscall::Other { nr: 39 })
+        .unwrap();
+    assert_eq!(ctx.stats.vmexits, vmexits_before + 1);
+}
+
+#[test]
+fn tlb_hits_make_repeat_access_free() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 32);
+    let f = rt.open("/data/tlb", 4).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 4, Prot::RW).unwrap();
+    let mut b = [0u8; 1];
+    rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    // Subsequent reads of the same page cost nothing (pure TLB hits).
+    let t0 = ctx.now();
+    for _ in 0..100 {
+        rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    }
+    assert_eq!(ctx.now(), t0, "mmio cache hits are free");
+    let (hits, _) = rt.aquila.tlb_stats();
+    assert!(hits >= 100);
+}
+
+#[test]
+fn trap_cost_is_nonroot_ring0() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 32);
+    let f = rt.open("/data/trapcost", 4).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 4, Prot::RW).unwrap();
+    let mut b = [0u8; 1];
+    rt.aquila.read(&mut ctx, addr, &mut b).unwrap();
+    // One fault so far; trap cycles must equal the 552-cycle non-root
+    // exception cost, not Linux's 1287.
+    let trap = ctx.breakdown.get(CostCat::Trap);
+    assert_eq!(trap, Cycles(552 * ctx.stats.page_faults));
+}
+
+#[test]
+fn beyond_eof_mmap_rejected() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 32);
+    let f = rt.open("/data/eof", 8).unwrap();
+    let len = rt.aquila.files().len_pages(f).unwrap();
+    assert!(matches!(
+        rt.aquila.mmap(&mut ctx, f, 0, len + 1, Prot::RW),
+        Err(AquilaError::BeyondEof { .. })
+    ));
+}
+
+#[test]
+fn host_access_paths_also_work_end_to_end() {
+    for kind in [DeviceKind::NvmeHost, DeviceKind::PmemHost] {
+        let (mut ctx, rt) = runtime(kind, 32);
+        let f = rt.open("/data/host", 16).unwrap();
+        let addr = rt.aquila.mmap(&mut ctx, f, 0, 16, Prot::RW).unwrap();
+        rt.aquila.write(&mut ctx, addr, b"via-host").unwrap();
+        rt.aquila.msync(&mut ctx, addr, 16).unwrap();
+        let mut back = [0u8; 8];
+        rt.aquila.read(&mut ctx, addr, &mut back).unwrap();
+        assert_eq!(&back, b"via-host", "{kind:?}");
+        assert!(ctx.stats.vmexits > 0, "{kind:?} pays vmcalls for host I/O");
+    }
+}
+
+#[test]
+fn sync_all_flushes_everything() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 64);
+    let f = rt.open("/data/all", 32).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 32, Prot::RW).unwrap();
+    for p in 0..8u64 {
+        rt.aquila
+            .write(&mut ctx, addr.add(p * 4096), &[p as u8])
+            .unwrap();
+    }
+    assert_eq!(rt.aquila.cache().dirty_count(), 8);
+    rt.aquila.sync_all(&mut ctx).unwrap();
+    assert_eq!(rt.aquila.cache().dirty_count(), 0);
+    assert!(ctx.stats.writebacks >= 8);
+}

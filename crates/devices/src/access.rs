@@ -1,0 +1,399 @@
+//! Storage access paths: *how* a page moves between the DRAM cache and a
+//! device.
+//!
+//! The paper's Figure 8(c) compares four ways Aquila can reach storage:
+//!
+//! | Path        | Mechanism                              | Cost structure |
+//! |-------------|----------------------------------------|----------------|
+//! | `SPDK-NVMe` | polled user-space driver, no kernel    | submit CPU + device time (spinning) |
+//! | `HOST-NVMe` | direct-I/O syscall into the host OS    | vmcall/syscall + kernel path + device time (idle) |
+//! | `DAX-pmem`  | AVX2 streaming memcpy to mapped NVM    | SIMD copy + bandwidth |
+//! | `HOST-pmem` | direct-I/O syscall, kernel scalar copy | vmcall/syscall + kernel path + scalar copy |
+//!
+//! All four implement [`StorageAccess`], so the page cache and the mmio
+//! engines are parameterized over the access method — which is exactly the
+//! customization the paper argues for.
+
+use std::sync::Arc;
+
+use aquila_sim::{CostCat, SimCtx};
+
+use crate::nvme::{BufRef, NvmeDevice, NvmeOp};
+use crate::pmem::PmemDevice;
+use crate::store::STORE_PAGE;
+
+/// Which protection domain the caller sits in, which determines the price
+/// of asking the host kernel for I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallDomain {
+    /// A conventional ring-3 process: host I/O costs a syscall.
+    User,
+    /// Aquila in VMX non-root ring 0: host I/O costs a vmcall.
+    Guest,
+    /// Already in the host kernel (the Linux mmap fault handler): host I/O
+    /// costs neither.
+    Kernel,
+}
+
+impl CallDomain {
+    fn charge_entry(self, ctx: &mut dyn SimCtx) {
+        match self {
+            CallDomain::User => {
+                let c = ctx.cost().syscall_entry_exit;
+                ctx.charge(CostCat::Syscall, c);
+                ctx.counters().syscalls += 1;
+            }
+            CallDomain::Guest => {
+                let c = ctx.cost().vmcall;
+                ctx.charge(CostCat::Vmexit, c);
+                ctx.counters().vmexits += 1;
+            }
+            CallDomain::Kernel => {}
+        }
+    }
+}
+
+/// A named access-path kind, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Polled user-space NVMe driver (SPDK).
+    SpdkNvme,
+    /// Host-kernel direct I/O to NVMe.
+    HostNvme,
+    /// DAX memcpy to byte-addressable NVM.
+    DaxPmem,
+    /// Host-kernel direct I/O to the pmem block device.
+    HostPmem,
+}
+
+impl AccessKind {
+    /// Stable display name (matches the paper's Figure 8(c) labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessKind::SpdkNvme => "SPDK-NVMe",
+            AccessKind::HostNvme => "HOST-NVMe",
+            AccessKind::DaxPmem => "DAX-pmem",
+            AccessKind::HostPmem => "HOST-pmem",
+        }
+    }
+}
+
+/// A blocking page-granular storage path.
+///
+/// `read_pages`/`write_pages` return once the data is usable, having
+/// charged all CPU, transition, and device costs to the context.
+pub trait StorageAccess: Send + Sync {
+    /// The path's kind.
+    fn kind(&self) -> AccessKind;
+    /// Device capacity in 4 KiB pages.
+    fn capacity_pages(&self) -> u64;
+    /// Reads `buf.len() / 4096` pages starting at `page`.
+    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]);
+    /// Writes `buf.len() / 4096` pages starting at `page`.
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]);
+    /// Resets the underlying device's timing model (between experiment
+    /// phases; contents untouched).
+    fn reset_timing(&self);
+}
+
+/// SPDK-style polled user-space NVMe access (no kernel on the I/O path).
+pub struct SpdkAccess {
+    dev: Arc<NvmeDevice>,
+}
+
+impl SpdkAccess {
+    /// Wraps a device. Direct access requires the device be dedicated to
+    /// this process (the paper's protection argument), which the type
+    /// system encodes by taking ownership of the only handle used for I/O.
+    pub fn new(dev: Arc<NvmeDevice>) -> SpdkAccess {
+        SpdkAccess { dev }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<NvmeDevice> {
+        &self.dev
+    }
+}
+
+impl StorageAccess for SpdkAccess {
+    fn kind(&self) -> AccessKind {
+        AccessKind::SpdkNvme
+    }
+
+    fn reset_timing(&self) {
+        self.dev.reset_timing();
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.dev.capacity_pages()
+    }
+
+    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]) {
+        let pages = buf.len() / STORE_PAGE;
+        let submit = ctx.cost().nvme_submit_poll;
+        ctx.charge(CostCat::DeviceIo, submit);
+        let qp = self.dev.create_qpair();
+        qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf));
+        // Polled completion: the CPU spins, so the wait is DeviceIo (busy),
+        // not Idle.
+        qp.drain(ctx, CostCat::DeviceIo);
+        ctx.counters().device_reads += 1;
+        ctx.counters().bytes_read += (pages * STORE_PAGE) as u64;
+    }
+
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) {
+        let pages = buf.len() / STORE_PAGE;
+        let submit = ctx.cost().nvme_submit_poll;
+        ctx.charge(CostCat::DeviceIo, submit);
+        let qp = self.dev.create_qpair();
+        qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf));
+        qp.drain(ctx, CostCat::DeviceIo);
+        ctx.counters().device_writes += 1;
+        ctx.counters().bytes_written += (pages * STORE_PAGE) as u64;
+    }
+}
+
+/// Host-kernel direct I/O to an NVMe device.
+pub struct HostNvmeAccess {
+    dev: Arc<NvmeDevice>,
+    domain: CallDomain,
+}
+
+impl HostNvmeAccess {
+    /// Creates the path; `domain` selects syscall vs vmcall entry cost.
+    pub fn new(dev: Arc<NvmeDevice>, domain: CallDomain) -> HostNvmeAccess {
+        HostNvmeAccess { dev, domain }
+    }
+}
+
+impl StorageAccess for HostNvmeAccess {
+    fn kind(&self) -> AccessKind {
+        AccessKind::HostNvme
+    }
+
+    fn reset_timing(&self) {
+        self.dev.reset_timing();
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.dev.capacity_pages()
+    }
+
+    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]) {
+        let pages = buf.len() / STORE_PAGE;
+        self.domain.charge_entry(ctx);
+        let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
+        ctx.charge(CostCat::Syscall, sw);
+        let qp = self.dev.create_qpair();
+        qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf));
+        // Interrupt-driven completion: the CPU sleeps.
+        qp.drain(ctx, CostCat::Idle);
+        ctx.counters().device_reads += 1;
+        ctx.counters().bytes_read += (pages * STORE_PAGE) as u64;
+    }
+
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) {
+        let pages = buf.len() / STORE_PAGE;
+        self.domain.charge_entry(ctx);
+        let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
+        ctx.charge(CostCat::Syscall, sw);
+        let qp = self.dev.create_qpair();
+        qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf));
+        qp.drain(ctx, CostCat::Idle);
+        ctx.counters().device_writes += 1;
+        ctx.counters().bytes_written += (pages * STORE_PAGE) as u64;
+    }
+}
+
+/// DAX access to byte-addressable NVM with Aquila's AVX2 streaming copy.
+pub struct DaxAccess {
+    dev: Arc<PmemDevice>,
+    simd: bool,
+}
+
+impl DaxAccess {
+    /// Creates the path; `simd` enables the AVX2 streaming copy (Aquila's
+    /// optimization, on by default in the paper).
+    pub fn new(dev: Arc<PmemDevice>, simd: bool) -> DaxAccess {
+        DaxAccess { dev, simd }
+    }
+}
+
+impl StorageAccess for DaxAccess {
+    fn kind(&self) -> AccessKind {
+        AccessKind::DaxPmem
+    }
+
+    fn reset_timing(&self) {
+        self.dev.reset_timing();
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.dev.capacity_pages()
+    }
+
+    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]) {
+        self.dev
+            .dax_read(ctx, page * STORE_PAGE as u64, buf, self.simd);
+    }
+
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) {
+        self.dev
+            .dax_write(ctx, page * STORE_PAGE as u64, buf, self.simd);
+    }
+}
+
+/// Host-kernel direct I/O to the pmem block device (the kernel uses a
+/// scalar copy — it cannot afford SIMD in kernel context, section 3.3).
+pub struct HostPmemAccess {
+    dev: Arc<PmemDevice>,
+    domain: CallDomain,
+}
+
+impl HostPmemAccess {
+    /// Creates the path; `domain` selects syscall vs vmcall entry cost.
+    pub fn new(dev: Arc<PmemDevice>, domain: CallDomain) -> HostPmemAccess {
+        HostPmemAccess { dev, domain }
+    }
+}
+
+impl StorageAccess for HostPmemAccess {
+    fn kind(&self) -> AccessKind {
+        AccessKind::HostPmem
+    }
+
+    fn reset_timing(&self) {
+        self.dev.reset_timing();
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.dev.capacity_pages()
+    }
+
+    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]) {
+        self.domain.charge_entry(ctx);
+        let sw = ctx.cost().host_directio_sw;
+        ctx.charge(CostCat::Syscall, sw);
+        self.dev.dax_read(ctx, page * STORE_PAGE as u64, buf, false);
+    }
+
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) {
+        self.domain.charge_entry(ctx);
+        let sw = ctx.cost().host_directio_sw;
+        ctx.charge(CostCat::Syscall, sw);
+        self.dev
+            .dax_write(ctx, page * STORE_PAGE as u64, buf, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aquila_sim::{Cycles, FreeCtx};
+
+    fn page_of(b: u8) -> Vec<u8> {
+        vec![b; STORE_PAGE]
+    }
+
+    #[test]
+    fn all_paths_move_real_data() {
+        let nvme = Arc::new(NvmeDevice::optane(64));
+        let pmem = Arc::new(PmemDevice::dram_backed(64));
+        let paths: Vec<Box<dyn StorageAccess>> = vec![
+            Box::new(SpdkAccess::new(Arc::clone(&nvme))),
+            Box::new(HostNvmeAccess::new(Arc::clone(&nvme), CallDomain::Guest)),
+            Box::new(DaxAccess::new(Arc::clone(&pmem), true)),
+            Box::new(HostPmemAccess::new(Arc::clone(&pmem), CallDomain::User)),
+        ];
+        for (i, p) in paths.iter().enumerate() {
+            let mut ctx = FreeCtx::new(i as u64);
+            let data = page_of(0x10 + i as u8);
+            p.write_pages(&mut ctx, i as u64, &data);
+            let mut back = page_of(0);
+            p.read_pages(&mut ctx, i as u64, &mut back);
+            assert_eq!(back, data, "path {} corrupted data", p.kind().name());
+        }
+    }
+
+    #[test]
+    fn spdk_is_cheaper_than_host_nvme() {
+        // Figure 8(c): bypassing the host OS reduces overhead by ~1.5x.
+        let nvme = Arc::new(NvmeDevice::optane(64));
+        let spdk = SpdkAccess::new(Arc::clone(&nvme));
+        let host = HostNvmeAccess::new(Arc::clone(&nvme), CallDomain::Guest);
+        let mut a = FreeCtx::new(1);
+        let mut b = FreeCtx::new(1);
+        let mut buf = page_of(0);
+        spdk.read_pages(&mut a, 0, &mut buf);
+        host.read_pages(&mut b, 1, &mut buf);
+        let ratio = b.now().get() as f64 / a.now().get() as f64;
+        assert!(
+            (1.3..2.2).contains(&ratio),
+            "HOST/SPDK ratio {ratio:.2} out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn dax_is_much_cheaper_than_host_pmem() {
+        // Figure 8(c): removing the host OS from the pmem path is ~7.8x.
+        let pmem = Arc::new(PmemDevice::dram_backed(64));
+        let dax = DaxAccess::new(Arc::clone(&pmem), true);
+        let host = HostPmemAccess::new(Arc::clone(&pmem), CallDomain::Guest);
+        let mut a = FreeCtx::new(1);
+        let mut b = FreeCtx::new(1);
+        let mut buf = page_of(0);
+        dax.read_pages(&mut a, 0, &mut buf);
+        host.read_pages(&mut b, 1, &mut buf);
+        let ratio = b.now().get() as f64 / a.now().get() as f64;
+        assert!(ratio > 5.0, "HOST-pmem/DAX-pmem ratio {ratio:.2} too small");
+    }
+
+    #[test]
+    fn guest_entry_counts_vmexit_user_counts_syscall() {
+        let pmem = Arc::new(PmemDevice::dram_backed(8));
+        let mut buf = page_of(0);
+
+        let guest = HostPmemAccess::new(Arc::clone(&pmem), CallDomain::Guest);
+        let mut gctx = FreeCtx::new(1);
+        guest.read_pages(&mut gctx, 0, &mut buf);
+        assert_eq!(gctx.stats.vmexits, 1);
+        assert_eq!(gctx.stats.syscalls, 0);
+
+        let user = HostPmemAccess::new(Arc::clone(&pmem), CallDomain::User);
+        let mut uctx = FreeCtx::new(1);
+        user.read_pages(&mut uctx, 0, &mut buf);
+        assert_eq!(uctx.stats.syscalls, 1);
+        assert_eq!(uctx.stats.vmexits, 0);
+    }
+
+    #[test]
+    fn host_nvme_wait_is_idle_spdk_wait_is_busy() {
+        let nvme = Arc::new(NvmeDevice::optane(64));
+        let mut buf = page_of(0);
+
+        let spdk = SpdkAccess::new(Arc::clone(&nvme));
+        let mut sctx = FreeCtx::new(1);
+        spdk.read_pages(&mut sctx, 0, &mut buf);
+        assert_eq!(sctx.breakdown.get(CostCat::Idle), Cycles::ZERO);
+        assert!(sctx.breakdown.get(CostCat::DeviceIo) >= Cycles::from_micros(10));
+
+        let host = HostNvmeAccess::new(Arc::clone(&nvme), CallDomain::User);
+        let mut hctx = FreeCtx::new(1);
+        host.read_pages(&mut hctx, 1, &mut buf);
+        assert!(hctx.breakdown.get(CostCat::Idle) >= Cycles::from_micros(9));
+    }
+
+    #[test]
+    fn multi_page_reads_work_through_paths() {
+        let nvme = Arc::new(NvmeDevice::optane(64));
+        let spdk = SpdkAccess::new(Arc::clone(&nvme));
+        let mut ctx = FreeCtx::new(1);
+        let data: Vec<u8> = (0..32 * STORE_PAGE)
+            .map(|i| (i / STORE_PAGE) as u8)
+            .collect();
+        spdk.write_pages(&mut ctx, 8, &data);
+        let mut back = vec![0u8; 32 * STORE_PAGE];
+        spdk.read_pages(&mut ctx, 8, &mut back);
+        assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,100 @@
+//! R-MAT graph generation (Chakrabarti et al., SDM '04).
+//!
+//! The paper's Figure 6 workload: an R-MAT graph of 100 M vertices with
+//! 10x directed edges (scaled down here; the generator takes any size).
+//! Standard parameters (a, b, c, d) = (0.57, 0.19, 0.19, 0.05).
+
+use aquila_sim::Rng64;
+
+/// R-MAT quadrant probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+}
+
+/// Generates `m` directed edges over `2^scale` vertices.
+///
+/// Self-loops are retargeted and duplicate edges are allowed, as in the
+/// standard Graph500/Ligra usage.
+pub fn rmat_edges(scale: u32, m: u64, params: RmatParams, seed: u64) -> Vec<(u32, u32)> {
+    assert!(scale <= 31, "vertex ids are u32");
+    let mut rng = Rng64::new(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    let ab = params.a + params.b;
+    let abc = ab + params.c;
+    for _ in 0..m {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for bit in (0..scale).rev() {
+            let r = rng.f64();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < ab {
+                (0, 1)
+            } else if r < abc {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << bit;
+            v |= dv << bit;
+        }
+        if u == v {
+            v = (v.wrapping_add(1)) % (1u32 << scale);
+        }
+        edges.push((u, v));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_in_range() {
+        let edges = rmat_edges(10, 5000, RmatParams::default(), 42);
+        assert_eq!(edges.len(), 5000);
+        for &(u, v) in &edges {
+            assert!(u < 1024 && v < 1024);
+            assert_ne!(u, v, "no self loops");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat_edges(8, 100, RmatParams::default(), 7);
+        let b = rmat_edges(8, 100, RmatParams::default(), 7);
+        let c = rmat_edges(8, 100, RmatParams::default(), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ids() {
+        // R-MAT's power law: low-id vertices get disproportionate degree.
+        let edges = rmat_edges(12, 40_000, RmatParams::default(), 3);
+        let low = edges.iter().filter(|&&(u, _)| u < 1024).count();
+        // 1024/4096 = 25% of the id space should hold far more than 25%
+        // of edge sources.
+        assert!(
+            low as f64 / edges.len() as f64 > 0.4,
+            "low-id share {low} too small"
+        );
+    }
+}

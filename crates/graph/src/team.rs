@@ -1,0 +1,162 @@
+//! OpenMP-style thread teams in virtual time.
+//!
+//! Ligra parallelizes with OpenMP: each parallel region splits work over
+//! threads and joins at a barrier. In the simulation a [`Team`] holds one
+//! virtual clock per thread; `round` runs a closure per thread, then the
+//! barrier advances every thread to the round's makespan, charging the
+//! gap as *idle* — which is precisely the idle time the paper's Figure
+//! 6(c) breakdown reports.
+
+use aquila_sim::{Breakdown, CostCat, CostModel, Counters, Cycles, FreeCtx, SimCtx};
+
+/// A team of virtual threads with barrier semantics.
+pub struct Team {
+    ctxs: Vec<FreeCtx>,
+}
+
+impl Team {
+    /// Creates a team of `threads` threads with per-thread RNG streams.
+    pub fn new(threads: usize, seed: u64) -> Team {
+        Team {
+            ctxs: (0..threads)
+                .map(|i| {
+                    FreeCtx::new(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                        .with_core(i, threads)
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Mutable access to one thread's context (for setup work attributed
+    /// to a specific thread).
+    pub fn ctx(&mut self, tid: usize) -> &mut FreeCtx {
+        &mut self.ctxs[tid]
+    }
+
+    /// Runs one parallel region: `f(tid, ctx)` per thread, then a barrier.
+    pub fn round(&mut self, mut f: impl FnMut(usize, &mut FreeCtx)) {
+        for (tid, ctx) in self.ctxs.iter_mut().enumerate() {
+            f(tid, ctx);
+        }
+        self.barrier();
+    }
+
+    /// Advances every thread to the latest clock, charging the gap as
+    /// idle (the OpenMP join).
+    pub fn barrier(&mut self) {
+        let max = self
+            .ctxs
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(Cycles::ZERO);
+        for ctx in self.ctxs.iter_mut() {
+            ctx.wait_until(max, CostCat::Idle);
+        }
+    }
+
+    /// Current (barrier-aligned) virtual time.
+    pub fn now(&self) -> Cycles {
+        self.ctxs
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Merged per-category breakdown across threads.
+    pub fn breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::new();
+        for c in &self.ctxs {
+            b.merge(&c.breakdown);
+        }
+        b
+    }
+
+    /// Merged counters across threads.
+    pub fn counters(&self) -> Counters {
+        let mut s = Counters::new();
+        for c in &self.ctxs {
+            s.merge(&c.stats);
+        }
+        s
+    }
+
+    /// The cost model (shared by all threads).
+    pub fn cost(&self) -> &CostModel {
+        self.ctxs[0].cost()
+    }
+
+    /// Splits `0..n` into per-thread chunks.
+    pub fn chunks(&self, n: usize) -> Vec<(usize, usize)> {
+        let t = self.ctxs.len();
+        let per = n.div_ceil(t);
+        (0..t)
+            .map(|i| (per * i, (per * (i + 1)).min(n)))
+            .filter(|(a, b)| a < b)
+            .chain(std::iter::repeat((0, 0)))
+            .take(t)
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for Team {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Team {{ threads: {}, now: {} }}",
+            self.threads(),
+            self.now()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_aligns_clocks_and_charges_idle() {
+        let mut team = Team::new(4, 1);
+        team.round(|tid, ctx| {
+            ctx.charge(CostCat::App, Cycles(100 * (tid as u64 + 1)));
+        });
+        // All threads aligned at the slowest (400).
+        assert_eq!(team.now(), Cycles(400));
+        let b = team.breakdown();
+        assert_eq!(b.get(CostCat::App), Cycles(100 + 200 + 300 + 400));
+        // Idle = sum of gaps: 300 + 200 + 100 + 0.
+        assert_eq!(b.get(CostCat::Idle), Cycles(600));
+    }
+
+    #[test]
+    fn chunks_cover_everything() {
+        let team = Team::new(3, 1);
+        let chunks = team.chunks(10);
+        assert_eq!(chunks.len(), 3);
+        let total: usize = chunks.iter().map(|(a, b)| b - a).sum();
+        assert_eq!(total, 10);
+        // Chunks with fewer items than threads leave empties.
+        let small = team.chunks(2);
+        assert_eq!(small.len(), 3);
+        assert_eq!(small.iter().filter(|(a, b)| a < b).count(), 2);
+        let tiny: usize = small.iter().map(|(a, b)| b - a).sum();
+        assert_eq!(tiny, 2);
+    }
+
+    #[test]
+    fn deterministic_rng_per_thread() {
+        let mut t1 = Team::new(2, 9);
+        let mut t2 = Team::new(2, 9);
+        let a = t1.ctx(0).rng().next_u64();
+        let b = t2.ctx(0).rng().next_u64();
+        assert_eq!(a, b);
+        let c = t1.ctx(1).rng().next_u64();
+        assert_ne!(a, c, "distinct streams per thread");
+    }
+}

@@ -1,0 +1,136 @@
+//! Bloom filters for SST files (RocksDB uses ~10 bits/key by default).
+
+/// A standard Bloom filter with double hashing.
+#[derive(Debug, Clone)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    nbits: u64,
+    k: u32,
+}
+
+impl Bloom {
+    /// Builds a filter sized for `n` keys at `bits_per_key` bits each.
+    pub fn new(n: usize, bits_per_key: usize) -> Bloom {
+        let nbits = ((n.max(1) * bits_per_key) as u64).max(64);
+        // Optimal k = ln2 * bits/key, clamped to a sane range.
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        Bloom {
+            bits: vec![0; nbits.div_ceil(64) as usize],
+            nbits,
+            k,
+        }
+    }
+
+    fn hash2(key: &[u8]) -> (u64, u64) {
+        let mut h1 = 0xCBF29CE484222325u64;
+        for &b in key {
+            h1 ^= b as u64;
+            h1 = h1.wrapping_mul(0x100000001B3);
+        }
+        let h2 = h1.rotate_left(31).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (h1, h2)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = Self::hash2(key);
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Whether the key may be present (false positives possible, false
+    /// negatives not).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = Self::hash2(key);
+        for i in 0..self.k as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serializes to bytes (for the SST filter block).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.bits.len() * 8);
+        out.extend_from_slice(&self.nbits.to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from [`Bloom::to_bytes`] output.
+    pub fn from_bytes(buf: &[u8]) -> Option<Bloom> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let nbits = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+        let k = u32::from_le_bytes(buf[8..12].try_into().ok()?);
+        let words = nbits.div_ceil(64) as usize;
+        if buf.len() < 12 + words * 8 || k == 0 || nbits == 0 {
+            return None;
+        }
+        let bits = buf[12..12 + words * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Some(Bloom { bits, nbits, k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = Bloom::new(1000, 10);
+        for i in 0..1000u64 {
+            b.insert(&i.to_le_bytes());
+        }
+        for i in 0..1000u64 {
+            assert!(b.may_contain(&i.to_le_bytes()), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn low_false_positive_rate() {
+        let mut b = Bloom::new(1000, 10);
+        for i in 0..1000u64 {
+            b.insert(&i.to_le_bytes());
+        }
+        let fps = (10_000u64..20_000)
+            .filter(|i| b.may_contain(&i.to_le_bytes()))
+            .count();
+        // 10 bits/key targets ~1%; allow generous slack.
+        assert!(fps < 300, "false positive rate too high: {fps}/10000");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut b = Bloom::new(100, 10);
+        for i in 0..100u64 {
+            b.insert(&i.to_le_bytes());
+        }
+        let bytes = b.to_bytes();
+        let b2 = Bloom::from_bytes(&bytes).unwrap();
+        for i in 0..100u64 {
+            assert!(b2.may_contain(&i.to_le_bytes()));
+        }
+        assert!(Bloom::from_bytes(&bytes[..4]).is_none());
+    }
+
+    #[test]
+    fn empty_filter_rejects() {
+        let b = Bloom::new(10, 10);
+        let hits = (0..1000u64)
+            .filter(|i| b.may_contain(&i.to_le_bytes()))
+            .count();
+        assert_eq!(hits, 0);
+    }
+}

@@ -1,0 +1,521 @@
+//! Krill: the Kreon-style mmio-native key-value store.
+//!
+//! Kreon (SoCC '18) is an LSM variant built *for* memory-mapped I/O: all
+//! keys and values go to an append-only log, and each level keeps only a
+//! B-tree index from key to log offset. This trades sequential device
+//! access for far less I/O amplification and fewer CPU cycles — random
+//! reads are exactly what fast NVMe/pmem handles well, which is the
+//! premise of the paper's Figure 9.
+//!
+//! Krill runs over any [`MemRegion`]: Kreon's `kmmap` kernel path or
+//! Aquila mmio — the two sides of Figure 9 — or plain DRAM for testing.
+//! Its single region plays the role of Kreon's single file/device with a
+//! custom allocator: `[superblock | value log | index area]`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use aquila_sim::{CostCat, Cycles, MemRegion, SimCtx};
+
+/// In-memory L0 probe cost.
+const L0_PROBE: Cycles = Cycles(400);
+/// Per-run fence search cost.
+const FENCE_SEARCH: Cycles = Cycles(400);
+/// Index-page binary search cost.
+const PAGE_SEARCH: Cycles = Cycles(800);
+/// Per-get fixed cost (Kreon's get path is much leaner than RocksDB's).
+const GET_BASE: Cycles = Cycles(1500);
+/// Log-append bookkeeping cost.
+const APPEND_COST: Cycles = Cycles(600);
+
+const PAGE: u64 = 4096;
+/// First log page (after the superblock area).
+const LOG_START: u64 = 16 * PAGE;
+
+/// Krill tuning.
+#[derive(Debug, Clone)]
+pub struct KrillConfig {
+    /// L0 (in-memory index) entry count that triggers a spill.
+    pub l0_entries: usize,
+    /// Runs per device level before they merge into the next level.
+    pub max_runs: usize,
+    /// Fraction of the region used for the value log (the rest holds
+    /// index runs).
+    pub log_frac: f64,
+}
+
+impl Default for KrillConfig {
+    fn default() -> Self {
+        KrillConfig {
+            l0_entries: 4096,
+            max_runs: 4,
+            log_frac: 0.7,
+        }
+    }
+}
+
+/// One sorted index run on the device.
+struct Run {
+    base: u64,
+    pages: u64,
+    #[allow(dead_code)] // Diagnostics; read by future iterators.
+    entries: u64,
+    /// First key of each page (kept in memory, like Kreon's cached upper
+    /// B-tree levels).
+    fences: Vec<Vec<u8>>,
+    smallest: Vec<u8>,
+    largest: Vec<u8>,
+}
+
+struct State {
+    l0: BTreeMap<Vec<u8>, (u64, u32)>, // key -> (log offset, value len)
+    levels: Vec<Vec<Arc<Run>>>,        // newest run first within a level
+    log_head: u64,
+    index_head: u64,
+}
+
+/// The Krill store.
+pub struct Krill {
+    region: Arc<dyn MemRegion>,
+    cfg: KrillConfig,
+    state: Mutex<State>,
+    log_end: u64,
+}
+
+/// Errors from Krill operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KrillError {
+    /// The value log is full.
+    LogFull,
+    /// The index area is full.
+    IndexFull,
+    /// Key or value too large for the record encoding.
+    TooLarge,
+}
+
+impl Krill {
+    /// Creates a store over `region`.
+    pub fn new(region: Arc<dyn MemRegion>, cfg: KrillConfig) -> Krill {
+        let log_end = LOG_START + ((region.len() as f64 * cfg.log_frac) as u64 / PAGE) * PAGE;
+        assert!(
+            log_end > LOG_START && log_end < region.len(),
+            "region too small"
+        );
+        Krill {
+            state: Mutex::new(State {
+                l0: BTreeMap::new(),
+                levels: Vec::new(),
+                log_head: LOG_START,
+                index_head: log_end,
+            }),
+            region,
+            cfg,
+            log_end,
+        }
+    }
+
+    /// Bytes of log space used.
+    pub fn log_bytes(&self) -> u64 {
+        self.state.lock().log_head - LOG_START
+    }
+
+    /// Run counts per device level.
+    pub fn level_runs(&self) -> Vec<usize> {
+        self.state.lock().levels.iter().map(|l| l.len()).collect()
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&self, ctx: &mut dyn SimCtx, key: &[u8], value: &[u8]) -> Result<(), KrillError> {
+        if key.len() > u16::MAX as usize || value.len() > u16::MAX as usize {
+            return Err(KrillError::TooLarge);
+        }
+        ctx.charge(CostCat::App, APPEND_COST);
+        // Append the record to the value log through mmio.
+        let rec_len = 4 + key.len() + value.len();
+        let off = {
+            let mut st = self.state.lock();
+            if st.log_head + rec_len as u64 > self.log_end {
+                return Err(KrillError::LogFull);
+            }
+            let off = st.log_head;
+            st.log_head += rec_len as u64;
+            off
+        };
+        let mut rec = Vec::with_capacity(rec_len);
+        rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        rec.extend_from_slice(&(value.len() as u16).to_le_bytes());
+        rec.extend_from_slice(key);
+        rec.extend_from_slice(value);
+        self.region.write(ctx, off, &rec);
+        // Index it in L0.
+        let spill = {
+            let mut st = self.state.lock();
+            st.l0.insert(key.to_vec(), (off, value.len() as u32));
+            st.l0.len() >= self.cfg.l0_entries
+        };
+        if spill {
+            self.spill(ctx)?;
+            self.maybe_merge(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, ctx: &mut dyn SimCtx, key: &[u8]) -> Option<Vec<u8>> {
+        ctx.charge(CostCat::App, GET_BASE + L0_PROBE);
+        let loc = {
+            let st = self.state.lock();
+            st.l0.get(key).copied()
+        };
+        if let Some((off, vlen)) = loc {
+            return Some(self.read_value(ctx, off, vlen));
+        }
+        let runs: Vec<Arc<Run>> = {
+            let st = self.state.lock();
+            st.levels.iter().flatten().cloned().collect()
+        };
+        for run in runs {
+            if key < run.smallest.as_slice() || key > run.largest.as_slice() {
+                continue;
+            }
+            ctx.charge(CostCat::App, FENCE_SEARCH);
+            if let Some((off, vlen)) = self.search_run(ctx, &run, key) {
+                return Some(self.read_value(ctx, off, vlen));
+            }
+        }
+        None
+    }
+
+    fn read_value(&self, ctx: &mut dyn SimCtx, off: u64, vlen: u32) -> Vec<u8> {
+        let mut hdr = [0u8; 4];
+        self.region.read(ctx, off, &mut hdr);
+        let klen = u16::from_le_bytes([hdr[0], hdr[1]]) as u64;
+        let mut v = vec![0u8; vlen as usize];
+        self.region.read(ctx, off + 4 + klen, &mut v);
+        v
+    }
+
+    /// Binary search within a run: fences pick the page, one mmio page
+    /// read, then in-page binary search.
+    fn search_run(&self, ctx: &mut dyn SimCtx, run: &Run, key: &[u8]) -> Option<(u64, u32)> {
+        let idx = run.fences.partition_point(|f| f.as_slice() <= key);
+        if idx == 0 {
+            return None;
+        }
+        let page_no = (idx - 1) as u64;
+        let mut page = vec![0u8; PAGE as usize];
+        self.region.read(ctx, run.base + page_no * PAGE, &mut page);
+        ctx.charge(CostCat::App, PAGE_SEARCH);
+        // Page format: u16 count, then (u16 klen, key, u64 off, u32 vlen)*.
+        let count = u16::from_le_bytes([page[0], page[1]]) as usize;
+        let mut pos = 2usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let klen = u16::from_le_bytes([page[pos], page[pos + 1]]) as usize;
+            pos += 2;
+            let k = &page[pos..pos + klen];
+            pos += klen;
+            let off = u64::from_le_bytes(page[pos..pos + 8].try_into().ok()?);
+            pos += 8;
+            let vlen = u32::from_le_bytes(page[pos..pos + 4].try_into().ok()?);
+            pos += 4;
+            entries.push((k, off, vlen));
+        }
+        entries
+            .binary_search_by(|(k, _, _)| (*k).cmp(key))
+            .ok()
+            .map(|i| (entries[i].1, entries[i].2))
+    }
+
+    /// Spills L0 into a new run of the first device level and syncs it
+    /// (Kreon's COW-timestamp msync: one pass over the spilled range).
+    fn spill(&self, ctx: &mut dyn SimCtx) -> Result<(), KrillError> {
+        let entries: Vec<(Vec<u8>, (u64, u32))> = {
+            let mut st = self.state.lock();
+            std::mem::take(&mut st.l0).into_iter().collect()
+        };
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let run = self.write_run(ctx, &entries)?;
+        let mut st = self.state.lock();
+        if st.levels.is_empty() {
+            st.levels.push(Vec::new());
+        }
+        st.levels[0].insert(0, Arc::new(run));
+        Ok(())
+    }
+
+    fn write_run(
+        &self,
+        ctx: &mut dyn SimCtx,
+        entries: &[(Vec<u8>, (u64, u32))],
+    ) -> Result<Run, KrillError> {
+        let mut pages: Vec<Vec<u8>> = Vec::new();
+        let mut fences: Vec<Vec<u8>> = Vec::new();
+        let mut cur = vec![0u8; 2];
+        let mut count = 0u16;
+        let flush = |cur: &mut Vec<u8>, count: &mut u16, pages: &mut Vec<Vec<u8>>| {
+            if *count == 0 {
+                return;
+            }
+            cur[0..2].copy_from_slice(&count.to_le_bytes());
+            cur.resize(PAGE as usize, 0);
+            pages.push(std::mem::replace(cur, vec![0u8; 2]));
+            *count = 0;
+        };
+        for (k, (off, vlen)) in entries {
+            let need = 2 + k.len() + 8 + 4;
+            if cur.len() + need > PAGE as usize {
+                flush(&mut cur, &mut count, &mut pages);
+            }
+            if count == 0 {
+                fences.push(k.clone());
+            }
+            cur.extend_from_slice(&(k.len() as u16).to_le_bytes());
+            cur.extend_from_slice(k);
+            cur.extend_from_slice(&off.to_le_bytes());
+            cur.extend_from_slice(&vlen.to_le_bytes());
+            count += 1;
+        }
+        flush(&mut cur, &mut count, &mut pages);
+
+        let bytes = pages.len() as u64 * PAGE;
+        let base = {
+            let mut st = self.state.lock();
+            if st.index_head + bytes > self.region.len() {
+                return Err(KrillError::IndexFull);
+            }
+            let b = st.index_head;
+            st.index_head += bytes;
+            b
+        };
+        for (i, p) in pages.iter().enumerate() {
+            self.region.write(ctx, base + i as u64 * PAGE, p);
+        }
+        // Custom msync over exactly the spilled range plus the log tail.
+        self.region.sync(ctx, base, bytes);
+        Ok(Run {
+            base,
+            pages: pages.len() as u64,
+            entries: entries.len() as u64,
+            fences,
+            smallest: entries.first().map(|(k, _)| k.clone()).unwrap_or_default(),
+            largest: entries.last().map(|(k, _)| k.clone()).unwrap_or_default(),
+        })
+    }
+
+    /// Merges levels whose run count exceeds the budget.
+    fn maybe_merge(&self, ctx: &mut dyn SimCtx) -> Result<(), KrillError> {
+        loop {
+            let level = {
+                let st = self.state.lock();
+                st.levels.iter().position(|l| l.len() > self.cfg.max_runs)
+            };
+            let Some(level) = level else { return Ok(()) };
+            let runs: Vec<Arc<Run>> = {
+                let mut st = self.state.lock();
+                std::mem::take(&mut st.levels[level])
+            };
+            // Merge runs oldest-first so newer versions win.
+            let mut merged: BTreeMap<Vec<u8>, (u64, u32)> = BTreeMap::new();
+            for run in runs.iter().rev() {
+                self.scan_run(ctx, run, |k, off, vlen| {
+                    merged.insert(k, (off, vlen));
+                });
+            }
+            let entries: Vec<(Vec<u8>, (u64, u32))> = merged.into_iter().collect();
+            let new_run = self.write_run(ctx, &entries)?;
+            let mut st = self.state.lock();
+            while st.levels.len() <= level + 1 {
+                st.levels.push(Vec::new());
+            }
+            st.levels[level + 1].insert(0, Arc::new(new_run));
+        }
+    }
+
+    fn scan_run(&self, ctx: &mut dyn SimCtx, run: &Run, mut f: impl FnMut(Vec<u8>, u64, u32)) {
+        let mut page = vec![0u8; PAGE as usize];
+        for p in 0..run.pages {
+            self.region.read(ctx, run.base + p * PAGE, &mut page);
+            let count = u16::from_le_bytes([page[0], page[1]]) as usize;
+            let mut pos = 2usize;
+            for _ in 0..count {
+                let klen = u16::from_le_bytes([page[pos], page[pos + 1]]) as usize;
+                pos += 2;
+                let k = page[pos..pos + klen].to_vec();
+                pos += klen;
+                let off = u64::from_le_bytes(page[pos..pos + 8].try_into().expect("8"));
+                pos += 8;
+                let vlen = u32::from_le_bytes(page[pos..pos + 4].try_into().expect("4"));
+                pos += 4;
+                f(k, off, vlen);
+            }
+        }
+    }
+
+    /// Range scan: visits up to `n` keys `>= start`; returns the count.
+    pub fn scan(&self, ctx: &mut dyn SimCtx, start: &[u8], n: usize) -> usize {
+        let mut merged: BTreeMap<Vec<u8>, (u64, u32)> = BTreeMap::new();
+        let runs: Vec<Arc<Run>> = {
+            let st = self.state.lock();
+            st.levels.iter().flatten().cloned().collect()
+        };
+        for run in runs.iter().rev() {
+            if run.largest.as_slice() < start {
+                continue;
+            }
+            self.scan_run(ctx, run, |k, off, vlen| {
+                if k.as_slice() >= start {
+                    merged.insert(k, (off, vlen));
+                }
+            });
+        }
+        {
+            let st = self.state.lock();
+            for (k, loc) in st.l0.range(start.to_vec()..).take(n) {
+                merged.insert(k.clone(), *loc);
+            }
+        }
+        // Fetch the first n values through the log (random reads — the
+        // Kreon trade-off).
+        let mut visited = 0;
+        for (_, (off, vlen)) in merged.into_iter().take(n) {
+            let _ = self.read_value(ctx, off, vlen);
+            visited += 1;
+        }
+        visited
+    }
+}
+
+impl core::fmt::Debug for Krill {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Krill {{ log: {} B, levels: {:?} }}",
+            self.log_bytes(),
+            self.level_runs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aquila_sim::{DramRegion, FreeCtx};
+
+    fn store(l0: usize) -> Krill {
+        let region: Arc<dyn MemRegion> = Arc::new(DramRegion::new(64 << 20));
+        Krill::new(
+            region,
+            KrillConfig {
+                l0_entries: l0,
+                max_runs: 2,
+                log_frac: 0.6,
+            },
+        )
+    }
+
+    fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
+        (
+            format!("key{i:08}").into_bytes(),
+            format!("val-{i}-{}", "y".repeat(64)).into_bytes(),
+        )
+    }
+
+    #[test]
+    fn put_get_in_l0() {
+        let db = store(1000);
+        let mut ctx = FreeCtx::new(1);
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            db.put(&mut ctx, &k, &v).unwrap();
+        }
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            assert_eq!(db.get(&mut ctx, &k), Some(v));
+        }
+        assert_eq!(db.get(&mut ctx, b"absent"), None);
+        assert!(db.log_bytes() > 0);
+    }
+
+    #[test]
+    fn spill_and_merge_preserve_data() {
+        let db = store(64);
+        let mut ctx = FreeCtx::new(1);
+        for i in 0..1000u64 {
+            let (k, v) = kv(i);
+            db.put(&mut ctx, &k, &v).unwrap();
+        }
+        let runs = db.level_runs();
+        assert!(!runs.is_empty(), "spills happened: {runs:?}");
+        assert!(runs[0] <= 2, "level 0 merged: {runs:?}");
+        for i in 0..1000u64 {
+            let (k, v) = kv(i);
+            assert_eq!(db.get(&mut ctx, &k), Some(v), "key {i}");
+        }
+    }
+
+    #[test]
+    fn overwrites_newest_wins_across_spills() {
+        let db = store(64);
+        let mut ctx = FreeCtx::new(1);
+        let (k, _) = kv(7);
+        db.put(&mut ctx, &k, b"v1").unwrap();
+        for i in 100..300u64 {
+            let (k2, v2) = kv(i);
+            db.put(&mut ctx, &k2, &v2).unwrap();
+        }
+        db.put(&mut ctx, &k, b"v2").unwrap();
+        for i in 300..500u64 {
+            let (k2, v2) = kv(i);
+            db.put(&mut ctx, &k2, &v2).unwrap();
+        }
+        assert_eq!(db.get(&mut ctx, &k), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn scan_counts_window() {
+        let db = store(64);
+        let mut ctx = FreeCtx::new(1);
+        for i in 0..500u64 {
+            let (k, v) = kv(i);
+            db.put(&mut ctx, &k, &v).unwrap();
+        }
+        assert_eq!(db.scan(&mut ctx, b"key00000100", 50), 50);
+        assert_eq!(db.scan(&mut ctx, b"key00000490", 50), 10);
+    }
+
+    #[test]
+    fn log_full_is_reported() {
+        let region: Arc<dyn MemRegion> = Arc::new(DramRegion::new(LOG_START + 64 * 4096));
+        let db = Krill::new(
+            region,
+            KrillConfig {
+                l0_entries: 1_000_000,
+                max_runs: 2,
+                log_frac: 0.3,
+            },
+        );
+        let mut ctx = FreeCtx::new(1);
+        let big = vec![0u8; 4000];
+        let mut err = None;
+        for i in 0..200u64 {
+            if let Err(e) = db.put(&mut ctx, format!("k{i}").as_bytes(), &big) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(KrillError::LogFull));
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let db = store(64);
+        let mut ctx = FreeCtx::new(1);
+        let huge = vec![0u8; 70_000];
+        assert_eq!(db.put(&mut ctx, b"k", &huge), Err(KrillError::TooLarge));
+    }
+}

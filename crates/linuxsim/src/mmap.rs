@@ -1,0 +1,778 @@
+//! The Linux `mmap` baseline (and Kreon's `kmmap` variant).
+//!
+//! Reproduces the documented behaviours the paper measures against:
+//!
+//! - page faults trap from ring 3 to ring 0 (1287 cycles);
+//! - `mmap_sem` is taken for reading on every fault;
+//! - the page-cache radix tree has a single lock, also needed to mark
+//!   pages dirty (see [`crate::pagecache`]);
+//! - file faults read ahead 128 KiB (32 pages) even for 1 KiB requests —
+//!   the pathology behind Figure 5(b);
+//! - shared file mappings track dirtying via write-protect faults
+//!   (`page_mkwrite`);
+//! - eviction is page-at-a-time with a per-page TLB shootdown that waits
+//!   for acknowledgements.
+//!
+//! With [`LinuxConfig::kmmap`] the engine becomes Kreon's custom kernel
+//! path: no forced readahead, lazy coalesced writeback, and a batched
+//! custom `msync` — but still kernel traps and the shared cache locks
+//! (kmmap "does not address scalability issues with the number of user
+//! threads", section 7.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use aquila_sim::{CoreDebts, CostCat, Cycles, SimCtx, SimRwLock};
+
+use crate::device::KernelDevice;
+use crate::pagecache::{KVictim, KernelPageCache, Key};
+
+/// Native TLB shootdown: IPI broadcast plus waiting for acknowledgements.
+const SHOOTDOWN_BASE: Cycles = Cycles(2000);
+/// Additional sender-side wait per remote core.
+const SHOOTDOWN_PER_CORE: Cycles = Cycles(300);
+/// Remote handler work deposited per shootdown.
+const SHOOTDOWN_REMOTE: Cycles = Cycles(600);
+/// `mmap_sem` read-side hold time on the fault path.
+const RWSEM_HOLD: Cycles = Cycles(80);
+
+/// Errors from the Linux baseline engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinuxError {
+    /// Access to an unmapped address.
+    Segfault(u64),
+    /// Write to a read-only mapping.
+    Protection(u64),
+    /// Unknown file.
+    BadFile,
+    /// Device exhausted.
+    NoSpace,
+}
+
+/// A file on the simulated device (linear allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinuxFileId(pub u32);
+
+/// Baseline configuration.
+#[derive(Debug, Clone)]
+pub struct LinuxConfig {
+    /// Simulated cores.
+    pub cores: usize,
+    /// Kernel page-cache frames.
+    pub cache_frames: usize,
+    /// Fault readahead window in pages (Linux default: 32 = 128 KiB).
+    pub readahead_pages: usize,
+    /// Kreon `kmmap` mode: no forced readahead, lazy coalesced writeback,
+    /// custom batched `msync`.
+    pub kmmap: bool,
+    /// kmmap: dirty fraction that triggers a synchronous lazy-writeback
+    /// flush on the faulting thread.
+    pub kmmap_flush_ratio: f64,
+}
+
+impl LinuxConfig {
+    /// Vanilla Linux mmap.
+    pub fn linux(cores: usize, cache_frames: usize) -> LinuxConfig {
+        LinuxConfig {
+            cores,
+            cache_frames,
+            readahead_pages: 32,
+            kmmap: false,
+            kmmap_flush_ratio: 0.5,
+        }
+    }
+
+    /// Kreon's kmmap. The flush ratio follows the kernel's dirty
+    /// thresholds (10-20% of memory): when that much of the cache is
+    /// dirty, a synchronous flush lands on the faulting thread — the
+    /// writeback burstiness the paper measures as kmmap's tail latency.
+    pub fn kmmap(cores: usize, cache_frames: usize) -> LinuxConfig {
+        LinuxConfig {
+            cores,
+            cache_frames,
+            readahead_pages: 0,
+            kmmap: true,
+            kmmap_flush_ratio: 0.10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pte {
+    frame: u32,
+    writable: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Vma {
+    start: u64,
+    pages: u64,
+    file: u32,
+    file_page: u64,
+    writable: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FileDesc {
+    base_page: u64,
+    pages: u64,
+}
+
+/// The Linux mmio baseline engine.
+pub struct LinuxMmap {
+    cfg: LinuxConfig,
+    cache: KernelPageCache,
+    dev: KernelDevice,
+    mmap_sem: SimRwLock,
+    vmas: Mutex<Vec<Vma>>,
+    pt: Mutex<HashMap<u64, Pte>>,
+    /// Reverse map: cached page -> virtual pages mapping it.
+    rmap: Mutex<HashMap<Key, Vec<u64>>>,
+    files: Mutex<Vec<FileDesc>>,
+    next_vpn: Mutex<u64>,
+    next_dev_page: Mutex<u64>,
+    debts: Arc<CoreDebts>,
+}
+
+impl LinuxMmap {
+    /// Creates the baseline over a kernel device.
+    pub fn new(cfg: LinuxConfig, dev: KernelDevice, debts: Arc<CoreDebts>) -> LinuxMmap {
+        LinuxMmap {
+            cache: KernelPageCache::new(cfg.cache_frames),
+            mmap_sem: SimRwLock::new(),
+            vmas: Mutex::new(Vec::new()),
+            pt: Mutex::new(HashMap::new()),
+            rmap: Mutex::new(HashMap::new()),
+            files: Mutex::new(Vec::new()),
+            next_vpn: Mutex::new(0x10_0000),
+            next_dev_page: Mutex::new(0),
+            cfg,
+            dev,
+            debts,
+        }
+    }
+
+    /// The kernel page cache (diagnostics).
+    pub fn cache(&self) -> &KernelPageCache {
+        &self.cache
+    }
+
+    /// Resets lock timing models (between experiment phases).
+    pub fn reset_timing(&self) {
+        self.mmap_sem.reset();
+        self.cache.reset_timing();
+    }
+
+    /// Allocates a file of `pages` pages on the device.
+    pub fn open_file(&self, pages: u64) -> Result<LinuxFileId, LinuxError> {
+        let mut next = self.next_dev_page.lock();
+        if *next + pages > self.dev.capacity_pages() {
+            return Err(LinuxError::NoSpace);
+        }
+        let mut files = self.files.lock();
+        let id = LinuxFileId(files.len() as u32);
+        files.push(FileDesc {
+            base_page: *next,
+            pages,
+        });
+        *next += pages;
+        Ok(id)
+    }
+
+    /// Maps `pages` pages of `file` starting at `offset_page`; returns the
+    /// base virtual page number. Takes `mmap_sem` for writing.
+    pub fn mmap(
+        &self,
+        ctx: &mut dyn SimCtx,
+        file: LinuxFileId,
+        offset_page: u64,
+        pages: u64,
+        writable: bool,
+    ) -> Result<u64, LinuxError> {
+        let flen = self
+            .files
+            .lock()
+            .get(file.0 as usize)
+            .ok_or(LinuxError::BadFile)?
+            .pages;
+        if offset_page + pages > flen {
+            return Err(LinuxError::BadFile);
+        }
+        let c = ctx.cost().syscall_entry_exit;
+        ctx.charge(CostCat::Syscall, c);
+        ctx.counters().syscalls += 1;
+        let r = self.mmap_sem.acquire_write(ctx.now(), Cycles(1200));
+        ctx.wait_until(r.start, CostCat::LockWait);
+        ctx.wait_until(r.end, CostCat::Syscall);
+        let start = {
+            let mut nv = self.next_vpn.lock();
+            let s = *nv;
+            *nv += pages + 16;
+            s
+        };
+        self.vmas.lock().push(Vma {
+            start,
+            pages,
+            file: file.0,
+            file_page: offset_page,
+            writable,
+        });
+        Ok(start)
+    }
+
+    /// Unmaps a range, writing nothing back (cached pages persist).
+    pub fn munmap(&self, ctx: &mut dyn SimCtx, start_vpn: u64, pages: u64) {
+        let c = ctx.cost().syscall_entry_exit;
+        ctx.charge(CostCat::Syscall, c);
+        ctx.counters().syscalls += 1;
+        let r = self.mmap_sem.acquire_write(ctx.now(), Cycles(1500));
+        ctx.wait_until(r.start, CostCat::LockWait);
+        ctx.wait_until(r.end, CostCat::Syscall);
+        self.vmas
+            .lock()
+            .retain(|v| !(v.start == start_vpn && v.pages == pages));
+        let mut flushed = 0;
+        {
+            let mut pt = self.pt.lock();
+            let mut rmap = self.rmap.lock();
+            for i in 0..pages {
+                let vpn = start_vpn + i;
+                if pt.remove(&vpn).is_some() {
+                    for list in rmap.values_mut() {
+                        list.retain(|&p| p != vpn);
+                    }
+                    flushed += 1;
+                }
+            }
+        }
+        if flushed > 0 {
+            // One flush for the whole unmap (Linux batches range unmaps).
+            self.shootdown(ctx, 1);
+        }
+    }
+
+    fn shootdown(&self, ctx: &mut dyn SimCtx, rounds: u64) {
+        let others = self.cfg.cores.saturating_sub(1) as u64;
+        let c = (SHOOTDOWN_BASE + SHOOTDOWN_PER_CORE * others) * rounds;
+        ctx.charge(CostCat::Tlb, c);
+        ctx.counters().tlb_shootdowns += rounds;
+        self.debts
+            .broadcast_except(ctx.core(), SHOOTDOWN_REMOTE * rounds);
+    }
+
+    /// Reads through the mapping, faulting as needed.
+    pub fn read(&self, ctx: &mut dyn SimCtx, addr: u64, buf: &mut [u8]) -> Result<(), LinuxError> {
+        self.access(
+            ctx,
+            addr,
+            buf.len(),
+            false,
+            |cache, frame, off, chunk, done, b: &mut [u8]| {
+                cache.read_frame(frame, off, &mut b[done..done + chunk]);
+            },
+            buf,
+        )
+    }
+
+    /// Writes through the mapping, faulting (and dirty-tracking) as
+    /// needed.
+    pub fn write(&self, ctx: &mut dyn SimCtx, addr: u64, buf: &[u8]) -> Result<(), LinuxError> {
+        let mut scratch = buf.to_vec();
+        self.access(
+            ctx,
+            addr,
+            buf.len(),
+            true,
+            |cache, frame, off, chunk, done, b: &mut [u8]| {
+                cache.write_frame(frame, off, &b[done..done + chunk]);
+            },
+            &mut scratch,
+        )
+    }
+
+    fn access<F>(
+        &self,
+        ctx: &mut dyn SimCtx,
+        addr: u64,
+        len: usize,
+        write: bool,
+        mut op: F,
+        buf: &mut [u8],
+    ) -> Result<(), LinuxError>
+    where
+        F: FnMut(&KernelPageCache, u32, usize, usize, usize, &mut [u8]),
+    {
+        let mut done = 0usize;
+        while done < len {
+            let a = addr + done as u64;
+            let vpn = a >> 12;
+            let off = (a & 0xFFF) as usize;
+            let chunk = (4096 - off).min(len - done);
+            let frame = self.translate(ctx, vpn, write)?;
+            op(&self.cache, frame, off, chunk, done, buf);
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    fn translate(&self, ctx: &mut dyn SimCtx, vpn: u64, write: bool) -> Result<u32, LinuxError> {
+        for _ in 0..4 {
+            {
+                let pt = self.pt.lock();
+                if let Some(pte) = pt.get(&vpn) {
+                    if !write || pte.writable {
+                        return Ok(pte.frame);
+                    }
+                }
+            }
+            self.fault(ctx, vpn, write)?;
+        }
+        Err(LinuxError::Segfault(vpn << 12))
+    }
+
+    fn fault(&self, ctx: &mut dyn SimCtx, vpn: u64, write: bool) -> Result<(), LinuxError> {
+        ctx.counters().page_faults += 1;
+        // Ring-3 -> ring-0 protection domain switch.
+        let trap = ctx.cost().trap_ring3;
+        ctx.charge(CostCat::Trap, trap);
+        // mmap_sem read side.
+        let r = self.mmap_sem.acquire_read(ctx.now(), RWSEM_HOLD);
+        ctx.wait_until(r.start, CostCat::LockWait);
+        ctx.wait_until(r.end, CostCat::FaultHandler);
+        // VMA lookup on the rb-tree.
+        ctx.charge(CostCat::FaultHandler, Cycles(150));
+        let vma = {
+            let vmas = self.vmas.lock();
+            vmas.iter()
+                .find(|v| (v.start..v.start + v.pages).contains(&vpn))
+                .copied()
+                .ok_or(LinuxError::Segfault(vpn << 12))?
+        };
+        if write && !vma.writable {
+            return Err(LinuxError::Protection(vpn << 12));
+        }
+        let body = ctx.cost().linux_fault_body;
+        ctx.charge(CostCat::FaultHandler, body);
+
+        let file_page = vma.file_page + (vpn - vma.start);
+        let key: Key = (vma.file, file_page);
+
+        // Write-protect fault on an already-present page: `page_mkwrite`.
+        {
+            let mut pt = self.pt.lock();
+            if let Some(pte) = pt.get_mut(&vpn) {
+                if write && !pte.writable {
+                    let frame = pte.frame;
+                    pte.writable = true;
+                    drop(pt);
+                    self.cache.mark_dirty(ctx, key);
+                    let _ = frame;
+                }
+                ctx.counters().minor_faults += 1;
+                return Ok(());
+            }
+        }
+
+        // Page-cache lookup (tree lock).
+        if let Some(frame) = self.cache.lookup(ctx, key) {
+            ctx.counters().minor_faults += 1;
+            self.install(ctx, vpn, key, frame, write);
+            return Ok(());
+        }
+
+        ctx.counters().major_faults += 1;
+        // Fault fill with Linux's forced readahead window.
+        let ra = self.cfg.readahead_pages.max(1) as u64;
+        let end = (vma.file_page + vma.pages).min(file_page + ra);
+        let count = (end - file_page).max(1) as usize;
+        // Memory pressure: batched kswapd-style reclaim (32 pages, one
+        // shootdown round) before filling.
+        if self.cache.free_count() < count {
+            let victims = self.cache.reclaim(ctx, count.max(32));
+            self.finish_victims(ctx, &victims)?;
+        }
+        let base_dev = self.file_dev_page(vma.file, file_page)?;
+        let mut data = vec![0u8; count * 4096];
+        self.dev.read_pages(ctx, base_dev, &mut data);
+        if count > 1 {
+            ctx.counters().readahead_pages += (count - 1) as u64;
+        }
+        let mut my_frame = None;
+        for (i, chunk) in data.chunks(4096).enumerate() {
+            let k: Key = (vma.file, file_page + i as u64);
+            let (frame, victim, was_present) = self.cache.insert(ctx, k);
+            if let Some(v) = victim {
+                self.evict_victim(ctx, v)?;
+            }
+            // Never clobber an already-cached page: it may hold dirty data
+            // newer than the device copy.
+            if !was_present {
+                self.cache.write_frame(frame, 0, chunk);
+            }
+            if i == 0 {
+                my_frame = Some(frame);
+            }
+        }
+        let frame = my_frame.expect("count >= 1");
+        self.install(ctx, vpn, key, frame, write);
+        // kmmap's lazy writeback: flush a chunk when dirty pages pile up.
+        if self.cfg.kmmap {
+            self.kmmap_lazy_flush(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn install(&self, ctx: &mut dyn SimCtx, vpn: u64, key: Key, frame: u32, write: bool) {
+        self.pt.lock().insert(
+            vpn,
+            Pte {
+                frame,
+                writable: write,
+            },
+        );
+        self.rmap.lock().entry(key).or_default().push(vpn);
+        if write {
+            self.cache.mark_dirty(ctx, key);
+        }
+    }
+
+    fn evict_victim(&self, ctx: &mut dyn SimCtx, v: KVictim) -> Result<(), LinuxError> {
+        self.finish_victims(ctx, std::slice::from_ref(&v))
+    }
+
+    /// Unmaps reclaimed pages (one shootdown round per batch, as the
+    /// kernel's TLB-flush batching does) and writes dirty ones back
+    /// page-at-a-time.
+    fn finish_victims(&self, ctx: &mut dyn SimCtx, victims: &[KVictim]) -> Result<(), LinuxError> {
+        let mut any_unmapped = false;
+        {
+            let mut pt = self.pt.lock();
+            let mut rmap = self.rmap.lock();
+            for v in victims {
+                for vpn in rmap.remove(&v.key).unwrap_or_default() {
+                    pt.remove(&vpn);
+                    any_unmapped = true;
+                }
+            }
+        }
+        if any_unmapped {
+            self.shootdown(ctx, 1);
+        }
+        for v in victims {
+            if v.dirty {
+                let mut data = vec![0u8; 4096];
+                self.cache.read_frame(v.frame, 0, &mut data);
+                let dev_page = self.file_dev_page(v.key.0, v.key.1)?;
+                self.dev.write_pages(ctx, dev_page, &data);
+                ctx.counters().writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn kmmap_lazy_flush(&self, ctx: &mut dyn SimCtx) -> Result<(), LinuxError> {
+        let threshold = (self.cfg.cache_frames as f64 * self.cfg.kmmap_flush_ratio) as usize;
+        if self.cache.dirty_count() <= threshold {
+            return Ok(());
+        }
+        // Flush all dirty pages; this lands on the unlucky faulting
+        // thread (the writeback burstiness the paper reports). Scattered
+        // dirty pages coalesce poorly, so runs are whatever the dirty set
+        // offers.
+        let files: usize = self.files.lock().len();
+        for f in 0..files as u32 {
+            self.msync_file(ctx, f, 0, u64::MAX, true)?;
+        }
+        Ok(())
+    }
+
+    /// `msync` over a virtual range.
+    pub fn msync(
+        &self,
+        ctx: &mut dyn SimCtx,
+        start_vpn: u64,
+        pages: u64,
+    ) -> Result<(), LinuxError> {
+        let c = ctx.cost().syscall_entry_exit;
+        ctx.charge(CostCat::Syscall, c);
+        ctx.counters().syscalls += 1;
+        let vma = {
+            let vmas = self.vmas.lock();
+            vmas.iter()
+                .find(|v| (v.start..v.start + v.pages).contains(&start_vpn))
+                .copied()
+                .ok_or(LinuxError::Segfault(start_vpn << 12))?
+        };
+        let fp0 = vma.file_page + (start_vpn - vma.start);
+        self.msync_file(ctx, vma.file, fp0, fp0 + pages, self.cfg.kmmap)?;
+        // Downgrade written-back mappings so future writes re-fault.
+        let mut pt = self.pt.lock();
+        for i in 0..pages {
+            if let Some(pte) = pt.get_mut(&(start_vpn + i)) {
+                pte.writable = false;
+            }
+        }
+        drop(pt);
+        self.shootdown(ctx, 1);
+        Ok(())
+    }
+
+    fn msync_file(
+        &self,
+        ctx: &mut dyn SimCtx,
+        file: u32,
+        start: u64,
+        end: u64,
+        coalesce: bool,
+    ) -> Result<(), LinuxError> {
+        let dirty = self.cache.dirty_range(ctx, file, start, end);
+        if coalesce {
+            // kmmap: merge contiguous pages into large I/Os.
+            let mut i = 0usize;
+            while i < dirty.len() {
+                let mut run = 1usize;
+                while i + run < dirty.len() && dirty[i + run].0 .1 == dirty[i].0 .1 + run as u64 {
+                    run += 1;
+                }
+                let mut data = vec![0u8; run * 4096];
+                for (j, &(_, frame)) in dirty[i..i + run].iter().enumerate() {
+                    self.cache
+                        .read_frame(frame, 0, &mut data[j * 4096..(j + 1) * 4096]);
+                }
+                let dev_page = self.file_dev_page(file, dirty[i].0 .1)?;
+                self.dev.write_pages(ctx, dev_page, &data);
+                for &(k, _) in &dirty[i..i + run] {
+                    self.cache.clear_dirty(ctx, k);
+                    ctx.counters().writebacks += 1;
+                }
+                i += run;
+            }
+        } else {
+            // Vanilla: page-at-a-time writeback.
+            for &(k, frame) in &dirty {
+                let mut data = vec![0u8; 4096];
+                self.cache.read_frame(frame, 0, &mut data);
+                let dev_page = self.file_dev_page(file, k.1)?;
+                self.dev.write_pages(ctx, dev_page, &data);
+                self.cache.clear_dirty(ctx, k);
+                ctx.counters().writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Direct-I/O positional write (`pwrite` with O_DIRECT): one syscall
+    /// for the whole buffer, bypassing the page cache. Used by LSM stores
+    /// for SST creation.
+    pub fn pwrite_direct(
+        &self,
+        ctx: &mut dyn SimCtx,
+        file: LinuxFileId,
+        page: u64,
+        buf: &[u8],
+    ) -> Result<(), LinuxError> {
+        let c = ctx.cost().syscall_entry_exit + ctx.cost().host_directio_sw;
+        ctx.charge(CostCat::Syscall, c);
+        ctx.counters().syscalls += 1;
+        let dev_page = self.file_dev_page(file.0, page)?;
+        self.dev.write_pages(ctx, dev_page, buf);
+        Ok(())
+    }
+
+    /// Direct-I/O positional read (`pread` with O_DIRECT).
+    pub fn pread_direct(
+        &self,
+        ctx: &mut dyn SimCtx,
+        file: LinuxFileId,
+        page: u64,
+        buf: &mut [u8],
+    ) -> Result<(), LinuxError> {
+        let c = ctx.cost().syscall_entry_exit + ctx.cost().host_directio_sw;
+        ctx.charge(CostCat::Syscall, c);
+        ctx.counters().syscalls += 1;
+        let dev_page = self.file_dev_page(file.0, page)?;
+        self.dev.read_pages(ctx, dev_page, buf);
+        Ok(())
+    }
+
+    fn file_dev_page(&self, file: u32, page: u64) -> Result<u64, LinuxError> {
+        let files = self.files.lock();
+        let fd = files.get(file as usize).ok_or(LinuxError::BadFile)?;
+        if page >= fd.pages {
+            return Err(LinuxError::BadFile);
+        }
+        Ok(fd.base_page + page)
+    }
+}
+
+impl core::fmt::Debug for LinuxMmap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "LinuxMmap {{ kmmap: {}, cache: {:?} }}",
+            self.cfg.kmmap, self.cache
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aquila_devices::PmemDevice;
+    use aquila_sim::FreeCtx;
+
+    fn engine(frames: usize) -> (FreeCtx, LinuxMmap) {
+        let ctx = FreeCtx::new(3);
+        let dev = KernelDevice::Pmem(Arc::new(PmemDevice::dram_backed(4096)));
+        let debts = Arc::new(CoreDebts::new(2));
+        let lm = LinuxMmap::new(LinuxConfig::linux(2, frames), dev, debts);
+        (ctx, lm)
+    }
+
+    #[test]
+    fn mmap_read_write_roundtrip() {
+        let (mut ctx, lm) = engine(256);
+        let f = lm.open_file(128).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 128, true).unwrap();
+        lm.write(&mut ctx, vpn << 12, b"linux data").unwrap();
+        let mut back = [0u8; 10];
+        lm.read(&mut ctx, vpn << 12, &mut back).unwrap();
+        assert_eq!(&back, b"linux data");
+    }
+
+    #[test]
+    fn fault_pays_ring3_trap() {
+        let (mut ctx, lm) = engine(64);
+        let f = lm.open_file(64).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 64, true).unwrap();
+        let mut b = [0u8; 1];
+        lm.read(&mut ctx, vpn << 12, &mut b).unwrap();
+        assert_eq!(
+            ctx.breakdown.get(CostCat::Trap),
+            Cycles(1287 * ctx.stats.page_faults)
+        );
+    }
+
+    #[test]
+    fn forced_readahead_fetches_32_pages() {
+        let (mut ctx, lm) = engine(256);
+        let f = lm.open_file(128).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 128, false).unwrap();
+        let mut b = [0u8; 1];
+        lm.read(&mut ctx, vpn << 12, &mut b).unwrap();
+        assert_eq!(ctx.stats.readahead_pages, 31, "128 KiB window");
+        assert!(ctx.stats.bytes_read >= 32 * 4096);
+        // The next 31 pages fault minor (already cached).
+        let major = ctx.stats.major_faults;
+        lm.read(&mut ctx, (vpn + 5) << 12, &mut b).unwrap();
+        assert_eq!(ctx.stats.major_faults, major);
+    }
+
+    #[test]
+    fn kmmap_disables_readahead() {
+        let mut ctx = FreeCtx::new(3);
+        let dev = KernelDevice::Pmem(Arc::new(PmemDevice::dram_backed(4096)));
+        let debts = Arc::new(CoreDebts::new(2));
+        let lm = LinuxMmap::new(LinuxConfig::kmmap(2, 64), dev, debts);
+        let f = lm.open_file(64).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 64, false).unwrap();
+        let mut b = [0u8; 1];
+        lm.read(&mut ctx, vpn << 12, &mut b).unwrap();
+        assert_eq!(ctx.stats.readahead_pages, 0);
+    }
+
+    #[test]
+    fn write_tracking_via_page_mkwrite() {
+        let (mut ctx, lm) = engine(64);
+        let f = lm.open_file(8).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 8, true).unwrap();
+        let mut b = [0u8; 1];
+        lm.read(&mut ctx, vpn << 12, &mut b).unwrap();
+        assert_eq!(lm.cache().dirty_count(), 0);
+        let faults = ctx.stats.page_faults;
+        lm.write(&mut ctx, vpn << 12, &[9]).unwrap();
+        assert!(ctx.stats.page_faults > faults, "page_mkwrite fault");
+        assert_eq!(lm.cache().dirty_count(), 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_and_preserves_data() {
+        let (mut ctx, lm) = engine(40); // Smaller than the working set.
+        let f = lm.open_file(128).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 128, true).unwrap();
+        for p in 0..128u64 {
+            lm.write(&mut ctx, (vpn + p) << 12, &[p as u8]).unwrap();
+        }
+        assert!(ctx.stats.evictions > 0);
+        for p in 0..128u64 {
+            let mut b = [0u8; 1];
+            lm.read(&mut ctx, (vpn + p) << 12, &mut b).unwrap();
+            assert_eq!(b[0], p as u8, "page {p}");
+        }
+    }
+
+    #[test]
+    fn msync_flushes_and_retracks() {
+        let (mut ctx, lm) = engine(64);
+        let f = lm.open_file(16).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 16, true).unwrap();
+        lm.write(&mut ctx, vpn << 12, &[1]).unwrap();
+        assert!(lm.cache().dirty_count() >= 1);
+        lm.msync(&mut ctx, vpn, 16).unwrap();
+        assert_eq!(lm.cache().dirty_count(), 0);
+        assert!(ctx.stats.writebacks >= 1);
+        // Next write re-faults.
+        let faults = ctx.stats.page_faults;
+        lm.write(&mut ctx, vpn << 12, &[2]).unwrap();
+        assert!(ctx.stats.page_faults > faults);
+    }
+
+    #[test]
+    fn segfault_and_protection_errors() {
+        let (mut ctx, lm) = engine(64);
+        let mut b = [0u8; 1];
+        assert!(matches!(
+            lm.read(&mut ctx, 0xdead000, &mut b),
+            Err(LinuxError::Segfault(_))
+        ));
+        let f = lm.open_file(8).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 8, false).unwrap();
+        assert!(matches!(
+            lm.write(&mut ctx, vpn << 12, &[1]),
+            Err(LinuxError::Protection(_))
+        ));
+    }
+
+    #[test]
+    fn munmap_keeps_cache_hot() {
+        let (mut ctx, lm) = engine(64);
+        let f = lm.open_file(8).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 8, false).unwrap();
+        let mut b = [0u8; 1];
+        lm.read(&mut ctx, vpn << 12, &mut b).unwrap();
+        let major = ctx.stats.major_faults;
+        lm.munmap(&mut ctx, vpn, 8);
+        let vpn2 = lm.mmap(&mut ctx, f, 0, 8, false).unwrap();
+        lm.read(&mut ctx, vpn2 << 12, &mut b).unwrap();
+        assert_eq!(ctx.stats.major_faults, major, "page cache survived munmap");
+    }
+
+    #[test]
+    fn kmmap_lazy_flush_triggers_under_dirty_pressure() {
+        let mut ctx = FreeCtx::new(3);
+        let dev = KernelDevice::Pmem(Arc::new(PmemDevice::dram_backed(4096)));
+        let debts = Arc::new(CoreDebts::new(1));
+        let mut cfg = LinuxConfig::kmmap(1, 64);
+        cfg.kmmap_flush_ratio = 0.25;
+        let lm = LinuxMmap::new(cfg, dev, debts);
+        let f = lm.open_file(64).unwrap();
+        let vpn = lm.mmap(&mut ctx, f, 0, 64, true).unwrap();
+        for p in 0..40u64 {
+            lm.write(&mut ctx, (vpn + p) << 12, &[p as u8]).unwrap();
+        }
+        assert!(ctx.stats.writebacks > 0, "lazy flush fired");
+        assert!(lm.cache().dirty_count() < 40);
+    }
+}

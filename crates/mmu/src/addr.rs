@@ -1,0 +1,109 @@
+//! Guest-virtual addresses and paging constants.
+
+use core::fmt;
+
+/// Page size (4 KiB) — the only GVA->GPA granularity Aquila uses, to keep
+/// application-visible mappings fine-grained (section 3.5).
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Entries per page-table level (x86-64: 512 = 9 bits per level).
+pub const ENTRIES_PER_TABLE: usize = 512;
+/// Number of radix levels in an x86-64 page table.
+pub const PT_LEVELS: usize = 4;
+
+/// A guest-virtual address (GVA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gva(pub u64);
+
+impl Gva {
+    /// Returns the raw address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page number containing this address.
+    #[inline]
+    pub const fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Rounds down to the page boundary.
+    #[inline]
+    pub const fn page_base(self) -> Gva {
+        Gva(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Adds a byte offset.
+    #[inline]
+    pub const fn add(self, off: u64) -> Gva {
+        Gva(self.0 + off)
+    }
+
+    /// Index into page-table level `level` (0 = leaf/PT, 3 = root/PML4).
+    #[inline]
+    pub const fn pt_index(self, level: usize) -> usize {
+        ((self.0 >> (PAGE_SHIFT + 9 * level as u32)) & 0x1FF) as usize
+    }
+}
+
+impl fmt::Display for Gva {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gva({:#x})", self.0)
+    }
+}
+
+/// A virtual page number (GVA >> 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// The base address of this page.
+    #[inline]
+    pub const fn base(self) -> Gva {
+        Gva(self.0 << PAGE_SHIFT)
+    }
+
+    /// Next page.
+    #[inline]
+    pub const fn next(self) -> Vpn {
+        Vpn(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offset() {
+        let a = Gva(0x1234_5678);
+        assert_eq!(a.vpn(), Vpn(0x12345));
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.page_base(), Gva(0x1234_5000));
+        assert_eq!(a.vpn().base(), Gva(0x1234_5000));
+        assert_eq!(a.vpn().next(), Vpn(0x12346));
+    }
+
+    #[test]
+    fn pt_indices_decompose_address() {
+        // 0x0000_7f12_3456_7000:
+        let a = Gva(0x0000_7F12_3456_7000);
+        let reassembled = ((a.pt_index(3) as u64) << 39)
+            | ((a.pt_index(2) as u64) << 30)
+            | ((a.pt_index(1) as u64) << 21)
+            | ((a.pt_index(0) as u64) << 12)
+            | a.page_offset();
+        assert_eq!(reassembled, a.get());
+        for lvl in 0..PT_LEVELS {
+            assert!(a.pt_index(lvl) < ENTRIES_PER_TABLE);
+        }
+    }
+}

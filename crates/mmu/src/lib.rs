@@ -1,0 +1,24 @@
+//! x86-64 memory-management substrate: guest page tables, TLBs, and
+//! physical frame memory.
+//!
+//! Together with `aquila-vmx` this crate provides the two-level address
+//! translation the paper relies on: the guest page table here maps GVA ->
+//! GPA (regular 4 KiB pages, owned by Aquila in non-root ring 0), while
+//! the EPT in `aquila-vmx` maps GPA -> HPA under hypervisor control.
+//!
+//! - [`pagetable::PageTable`] — a real four-level radix page table with
+//!   accessed/dirty semantics (read faults map read-only; the later write
+//!   fault is how Aquila tracks dirty pages);
+//! - [`tlb`] — per-core set-associative TLBs and the *batched* TLB
+//!   shootdown (one IPI round per 512-page batch, section 4.1);
+//! - [`physmem::PhysMem`] — real 4 KiB frames backing the DRAM cache.
+
+pub mod addr;
+pub mod pagetable;
+pub mod physmem;
+pub mod tlb;
+
+pub use addr::{Gva, Vpn, ENTRIES_PER_TABLE, PAGE_SHIFT, PAGE_SIZE, PT_LEVELS};
+pub use pagetable::{Access, PageFaultKind, PageTable, Pte, PteFlags};
+pub use physmem::{FrameId, PhysMem};
+pub use tlb::{Tlb, TlbFabric};

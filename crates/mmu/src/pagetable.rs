@@ -1,0 +1,339 @@
+//! The guest page table: a real four-level radix tree mapping GVA -> GPA.
+//!
+//! Aquila keeps a *single page table shared by all threads of a process*
+//! (section 3.4), unlike RadixVM's per-core tables; this reduces total
+//! page faults at the cost of requiring TLB shootdowns, which Aquila
+//! batches. Dirty tracking works exactly as in the paper (section 3.2):
+//! read faults install read-only mappings, and the subsequent write fault
+//! marks the page dirty.
+
+use aquila_vmx::Gpa;
+
+use crate::addr::{Gva, Vpn, ENTRIES_PER_TABLE, PT_LEVELS};
+
+/// Permissions and state bits of a leaf page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PteFlags {
+    /// Mapping is valid.
+    pub present: bool,
+    /// Writes allowed.
+    pub writable: bool,
+    /// Hardware-set on write (the simulation sets it on write access).
+    pub dirty: bool,
+    /// Hardware-set on any access.
+    pub accessed: bool,
+}
+
+impl PteFlags {
+    /// A present read-only mapping (initial state after a read fault).
+    pub const RO: PteFlags = PteFlags {
+        present: true,
+        writable: false,
+        dirty: false,
+        accessed: false,
+    };
+
+    /// A present writable mapping.
+    pub const RW: PteFlags = PteFlags {
+        present: true,
+        writable: true,
+        dirty: false,
+        accessed: false,
+    };
+}
+
+/// A leaf entry: target guest-physical page plus flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Guest-physical page base this VPN maps to.
+    pub gpa: Gpa,
+    /// Entry flags.
+    pub flags: PteFlags,
+}
+
+/// The kind of access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// A page-fault condition raised by translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFaultKind {
+    /// No present mapping for the address.
+    NotPresent,
+    /// Present but the access violates the permissions (write to
+    /// read-only — this is how dirty tracking faults arise).
+    Protection,
+}
+
+enum Node {
+    Table(Box<Table>),
+    Empty,
+}
+
+struct Table {
+    entries: Vec<Node>,
+    leaves: Vec<Option<Pte>>,
+    level: usize,
+}
+
+impl Table {
+    fn new(level: usize) -> Table {
+        if level == 0 {
+            Table {
+                entries: Vec::new(),
+                leaves: (0..ENTRIES_PER_TABLE).map(|_| None).collect(),
+                level,
+            }
+        } else {
+            Table {
+                entries: (0..ENTRIES_PER_TABLE).map(|_| Node::Empty).collect(),
+                leaves: Vec::new(),
+                level,
+            }
+        }
+    }
+}
+
+/// A four-level page table (one per process, shared by all threads).
+pub struct PageTable {
+    root: Table,
+    mapped: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> PageTable {
+        PageTable {
+            root: Table::new(PT_LEVELS - 1),
+            mapped: 0,
+        }
+    }
+
+    /// Number of present leaf mappings.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Installs (or replaces) the mapping for the page containing `gva`.
+    ///
+    /// Returns the previous entry, if any.
+    pub fn map(&mut self, gva: Gva, gpa: Gpa, flags: PteFlags) -> Option<Pte> {
+        let mut table = &mut self.root;
+        for level in (1..PT_LEVELS).rev() {
+            let idx = gva.pt_index(level);
+            let slot = &mut table.entries[idx];
+            if matches!(slot, Node::Empty) {
+                *slot = Node::Table(Box::new(Table::new(level - 1)));
+            }
+            table = match slot {
+                Node::Table(t) => t,
+                Node::Empty => unreachable!("just populated"),
+            };
+        }
+        debug_assert_eq!(table.level, 0);
+        let idx = gva.pt_index(0);
+        let prev = table.leaves[idx].replace(Pte { gpa, flags });
+        if prev.is_none() {
+            self.mapped += 1;
+        }
+        prev
+    }
+
+    /// Removes the mapping for the page containing `gva`.
+    pub fn unmap(&mut self, gva: Gva) -> Option<Pte> {
+        let leaf = self.leaf_mut(gva)?;
+        let prev = leaf.take();
+        if prev.is_some() {
+            self.mapped -= 1;
+        }
+        prev
+    }
+
+    /// Reads the entry for the page containing `gva` without access checks.
+    pub fn lookup(&self, gva: Gva) -> Option<Pte> {
+        let mut table = &self.root;
+        for level in (1..PT_LEVELS).rev() {
+            match &table.entries[gva.pt_index(level)] {
+                Node::Table(t) => table = t,
+                Node::Empty => return None,
+            }
+        }
+        table.leaves[gva.pt_index(0)]
+    }
+
+    /// Translates an access, updating accessed/dirty bits like hardware
+    /// would.
+    pub fn translate(&mut self, gva: Gva, access: Access) -> Result<Gpa, PageFaultKind> {
+        let leaf = match self.leaf_mut(gva) {
+            Some(l) => l,
+            None => return Err(PageFaultKind::NotPresent),
+        };
+        let pte = match leaf {
+            Some(p) if p.flags.present => p,
+            _ => return Err(PageFaultKind::NotPresent),
+        };
+        if access == Access::Write && !pte.flags.writable {
+            return Err(PageFaultKind::Protection);
+        }
+        pte.flags.accessed = true;
+        if access == Access::Write {
+            pte.flags.dirty = true;
+        }
+        Ok(Gpa(pte.gpa.get() + gva.page_offset()))
+    }
+
+    /// Updates the flags of an existing mapping (the `mprotect` /
+    /// write-enable path). Returns the old flags.
+    pub fn protect(&mut self, gva: Gva, flags: PteFlags) -> Option<PteFlags> {
+        let leaf = self.leaf_mut(gva)?;
+        match leaf {
+            Some(pte) => {
+                let old = pte.flags;
+                pte.flags = flags;
+                Some(old)
+            }
+            None => None,
+        }
+    }
+
+    /// Visits all present mappings in the VPN range `[start, end)`.
+    pub fn for_range(&self, start: Vpn, end: Vpn, mut f: impl FnMut(Vpn, Pte)) {
+        // The radix is sparse; ranges in this workspace are modest, so a
+        // straightforward per-page probe is clear and fast enough.
+        let mut vpn = start;
+        while vpn < end {
+            if let Some(pte) = self.lookup(vpn.base()) {
+                f(vpn, pte);
+            }
+            vpn = vpn.next();
+        }
+    }
+
+    fn leaf_mut(&mut self, gva: Gva) -> Option<&mut Option<Pte>> {
+        let mut table = &mut self.root;
+        for level in (1..PT_LEVELS).rev() {
+            match &mut table.entries[gva.pt_index(level)] {
+                Node::Table(t) => table = t,
+                Node::Empty => return None,
+            }
+        }
+        Some(&mut table.leaves[gva.pt_index(0)])
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        PageTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut pt = PageTable::new();
+        let gva = Gva(0x7000_0000_1000);
+        assert_eq!(
+            pt.translate(gva, Access::Read),
+            Err(PageFaultKind::NotPresent)
+        );
+        pt.map(gva, Gpa(0x4000), PteFlags::RW);
+        assert_eq!(pt.translate(gva.add(0x123), Access::Read), Ok(Gpa(0x4123)));
+        assert_eq!(pt.mapped_pages(), 1);
+        let prev = pt.unmap(gva).unwrap();
+        assert_eq!(prev.gpa, Gpa(0x4000));
+        assert_eq!(
+            pt.translate(gva, Access::Read),
+            Err(PageFaultKind::NotPresent)
+        );
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn write_to_readonly_is_protection_fault() {
+        let mut pt = PageTable::new();
+        let gva = Gva(0x1000);
+        pt.map(gva, Gpa(0x2000), PteFlags::RO);
+        assert_eq!(pt.translate(gva, Access::Read), Ok(Gpa(0x2000)));
+        assert_eq!(
+            pt.translate(gva, Access::Write),
+            Err(PageFaultKind::Protection)
+        );
+    }
+
+    #[test]
+    fn dirty_and_accessed_bits_are_set() {
+        let mut pt = PageTable::new();
+        let gva = Gva(0x2000);
+        pt.map(gva, Gpa(0x3000), PteFlags::RW);
+        assert!(!pt.lookup(gva).unwrap().flags.accessed);
+        pt.translate(gva, Access::Read).unwrap();
+        let e = pt.lookup(gva).unwrap();
+        assert!(e.flags.accessed);
+        assert!(!e.flags.dirty);
+        pt.translate(gva, Access::Write).unwrap();
+        assert!(pt.lookup(gva).unwrap().flags.dirty);
+    }
+
+    #[test]
+    fn protect_enables_writes() {
+        let mut pt = PageTable::new();
+        let gva = Gva(0x5000);
+        pt.map(gva, Gpa(0x6000), PteFlags::RO);
+        assert_eq!(
+            pt.translate(gva, Access::Write),
+            Err(PageFaultKind::Protection)
+        );
+        let old = pt.protect(gva, PteFlags::RW).unwrap();
+        assert!(!old.writable);
+        assert_eq!(pt.translate(gva, Access::Write), Ok(Gpa(0x6000)));
+        assert!(pt.protect(Gva(0xdead_0000), PteFlags::RW).is_none());
+    }
+
+    #[test]
+    fn remap_replaces_and_counts_once() {
+        let mut pt = PageTable::new();
+        let gva = Gva(0x9000);
+        assert!(pt.map(gva, Gpa(0x1000), PteFlags::RW).is_none());
+        let prev = pt.map(gva, Gpa(0x2000), PteFlags::RO).unwrap();
+        assert_eq!(prev.gpa, Gpa(0x1000));
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn distant_addresses_do_not_collide() {
+        let mut pt = PageTable::new();
+        // Same low indices, different PML4 slots.
+        let a = Gva(0x0000_0000_0000_1000);
+        let b = Gva(0x0000_7F00_0000_1000);
+        pt.map(a, Gpa(0xA000), PteFlags::RW);
+        pt.map(b, Gpa(0xB000), PteFlags::RW);
+        assert_eq!(pt.translate(a, Access::Read), Ok(Gpa(0xA000)));
+        assert_eq!(pt.translate(b, Access::Read), Ok(Gpa(0xB000)));
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn for_range_visits_present_pages() {
+        let mut pt = PageTable::new();
+        for i in [1u64, 3, 4] {
+            pt.map(Gva(i * 4096), Gpa(i * 0x1_0000), PteFlags::RW);
+        }
+        let mut seen = Vec::new();
+        pt.for_range(Vpn(0), Vpn(6), |vpn, pte| seen.push((vpn.0, pte.gpa.get())));
+        assert_eq!(seen, vec![(1, 0x1_0000), (3, 0x3_0000), (4, 0x4_0000)]);
+    }
+
+    #[test]
+    fn unmap_missing_returns_none() {
+        let mut pt = PageTable::new();
+        assert!(pt.unmap(Gva(0x123000)).is_none());
+    }
+}

@@ -1,0 +1,352 @@
+//! Per-core TLBs and batched TLB shootdown.
+//!
+//! x86-64 cores can only invalidate their *local* TLB; removing or
+//! downgrading a shared mapping therefore requires a TLB shootdown — an
+//! IPI broadcast asking every other core to invalidate. Shootdowns are a
+//! known scalability limit (Amit et al., FastMap), so Aquila batches them:
+//! mappings for many pages (512 in the paper's evaluation) are removed
+//! first and a *single* IPI round invalidates all of them (section 4.1).
+
+use parking_lot::Mutex;
+
+use aquila_sim::{CostCat, SimCtx};
+use aquila_vmx::{ApicFabric, Gpa, IpiSendPath};
+
+use crate::addr::Vpn;
+use crate::pagetable::PteFlags;
+
+/// Number of sets in the simulated TLB (64-entry sets x 4 ways = 1536
+/// data-TLB entries, Haswell-class).
+const TLB_SETS: usize = 384;
+/// Associativity.
+const TLB_WAYS: usize = 4;
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpn: Vpn,
+    gpa: Gpa,
+    flags: PteFlags,
+    valid: bool,
+    lru: u64,
+}
+
+const INVALID: TlbEntry = TlbEntry {
+    vpn: Vpn(0),
+    gpa: Gpa(0),
+    flags: PteFlags {
+        present: false,
+        writable: false,
+        dirty: false,
+        accessed: false,
+    },
+    valid: false,
+    lru: 0,
+};
+
+/// A single core's TLB: set-associative with LRU replacement.
+#[derive(Debug)]
+pub struct Tlb {
+    sets: Vec<[TlbEntry; TLB_WAYS]>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    flushes: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new() -> Tlb {
+        Tlb {
+            sets: vec![[INVALID; TLB_WAYS]; TLB_SETS],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            flushes: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(vpn: Vpn) -> usize {
+        (vpn.0 as usize) % TLB_SETS
+    }
+
+    /// Looks up a translation; updates hit/miss statistics and LRU.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<(Gpa, PteFlags)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[Self::set_of(vpn)];
+        for e in set.iter_mut() {
+            if e.valid && e.vpn == vpn {
+                e.lru = tick;
+                self.hits += 1;
+                return Some((e.gpa, e.flags));
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts a translation, evicting the LRU way in its set.
+    pub fn insert(&mut self, vpn: Vpn, gpa: Gpa, flags: PteFlags) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[Self::set_of(vpn)];
+        // Prefer an invalid way; otherwise evict LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru + 1 } else { 0 })
+            .expect("sets are non-empty");
+        *victim = TlbEntry {
+            vpn,
+            gpa,
+            flags,
+            valid: true,
+            lru: tick,
+        };
+    }
+
+    /// Invalidates the entry for one page (local `invlpg`).
+    pub fn invalidate(&mut self, vpn: Vpn) {
+        let set = &mut self.sets[Self::set_of(vpn)];
+        for e in set.iter_mut() {
+            if e.valid && e.vpn == vpn {
+                e.valid = false;
+                self.invalidations += 1;
+            }
+        }
+    }
+
+    /// Flushes the whole TLB (CR3 reload).
+    pub fn flush(&mut self) {
+        for set in self.sets.iter_mut() {
+            for e in set.iter_mut() {
+                e.valid = false;
+            }
+        }
+        self.flushes += 1;
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Entries invalidated individually.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Full flushes performed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Tlb::new()
+    }
+}
+
+/// All cores' TLBs plus the APIC fabric for shootdowns.
+pub struct TlbFabric {
+    tlbs: Vec<Mutex<Tlb>>,
+    apic: Mutex<ApicFabric>,
+    shootdowns: Mutex<u64>,
+}
+
+impl TlbFabric {
+    /// Creates TLBs for `cores` cores.
+    pub fn new(cores: usize) -> TlbFabric {
+        TlbFabric {
+            tlbs: (0..cores).map(|_| Mutex::new(Tlb::new())).collect(),
+            apic: Mutex::new(ApicFabric::new()),
+            shootdowns: Mutex::new(0),
+        }
+    }
+
+    /// Runs `f` with the calling core's TLB.
+    pub fn with_local<R>(&self, core: usize, f: impl FnOnce(&mut Tlb) -> R) -> R {
+        f(&mut self.tlbs[core].lock())
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.tlbs.len()
+    }
+
+    /// Total shootdown rounds performed.
+    pub fn shootdowns(&self) -> u64 {
+        *self.shootdowns.lock()
+    }
+
+    /// Performs a batched shootdown of `pages` on every core.
+    ///
+    /// The caller has already removed/downgraded the page-table entries.
+    /// Costs follow the paper: local `invlpg` per page, one IPI broadcast
+    /// on `path` (Aquila: vmexit-mediated for DoS protection), remote
+    /// handler cost proportional to the batch deposited as core debt.
+    pub fn shootdown_batch(
+        &self,
+        ctx: &mut dyn SimCtx,
+        debts: &aquila_sim::CoreDebts,
+        path: IpiSendPath,
+        pages: &[Vpn],
+    ) {
+        if pages.is_empty() {
+            return;
+        }
+        // Functional invalidation on every core's TLB.
+        for tlb in &self.tlbs {
+            let mut tlb = tlb.lock();
+            for &vpn in pages {
+                tlb.invalidate(vpn);
+            }
+        }
+        // Local invalidation cost: invlpg per page up to the point where a
+        // full flush is cheaper.
+        let cost = ctx.cost();
+        let per_page = cost.tlb_invlpg * pages.len() as u64;
+        let local = per_page.min(cost.tlb_flush_local * 4);
+        let remote_handler = local; // Remote cores do the same work.
+        ctx.charge(CostCat::Tlb, local);
+        ctx.counters().tlb_invalidations += pages.len() as u64;
+        ctx.counters().tlb_shootdowns += 1;
+        *self.shootdowns.lock() += 1;
+        // One IPI round for the whole batch.
+        self.apic.lock().broadcast(ctx, debts, path, remote_handler);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aquila_sim::{CoreDebts, Cycles, FreeCtx};
+
+    fn flags() -> PteFlags {
+        PteFlags::RW
+    }
+
+    #[test]
+    fn lookup_after_insert_hits() {
+        let mut tlb = Tlb::new();
+        assert!(tlb.lookup(Vpn(42)).is_none());
+        tlb.insert(Vpn(42), Gpa(0x1000), flags());
+        let (gpa, fl) = tlb.lookup(Vpn(42)).unwrap();
+        assert_eq!(gpa, Gpa(0x1000));
+        assert!(fl.writable);
+        assert_eq!(tlb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut tlb = Tlb::new();
+        tlb.insert(Vpn(7), Gpa(0x7000), flags());
+        tlb.invalidate(Vpn(7));
+        assert!(tlb.lookup(Vpn(7)).is_none());
+        assert_eq!(tlb.invalidations(), 1);
+    }
+
+    #[test]
+    fn set_conflicts_evict_lru() {
+        let mut tlb = Tlb::new();
+        // Five VPNs mapping to the same set (stride TLB_SETS).
+        let vpns: Vec<Vpn> = (0..5).map(|i| Vpn(i * TLB_SETS as u64)).collect();
+        for &v in &vpns {
+            tlb.insert(v, Gpa(v.0 * 4096), flags());
+        }
+        // The first-inserted (LRU) entry is gone; the rest survive.
+        assert!(tlb.lookup(vpns[0]).is_none());
+        for &v in &vpns[1..] {
+            assert!(tlb.lookup(v).is_some(), "vpn {v:?} evicted unexpectedly");
+        }
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut tlb = Tlb::new();
+        for i in 0..100 {
+            tlb.insert(Vpn(i), Gpa(i * 4096), flags());
+        }
+        tlb.flush();
+        for i in 0..100 {
+            assert!(tlb.lookup(Vpn(i)).is_none());
+        }
+        assert_eq!(tlb.flushes(), 1);
+    }
+
+    #[test]
+    fn shootdown_invalidates_all_cores_and_charges_sender() {
+        let fabric = TlbFabric::new(4);
+        let debts = CoreDebts::new(4);
+        // Fill core 2's TLB.
+        fabric.with_local(2, |t| t.insert(Vpn(9), Gpa(0x9000), flags()));
+        let mut ctx = FreeCtx::new(1).with_core(0, 4);
+        fabric.shootdown_batch(
+            &mut ctx,
+            &debts,
+            IpiSendPath::VmexitMediated,
+            &[Vpn(9), Vpn(10)],
+        );
+        assert!(fabric.with_local(2, |t| t.lookup(Vpn(9)).is_none()));
+        assert_eq!(ctx.stats.tlb_shootdowns, 1);
+        assert_eq!(ctx.stats.tlb_invalidations, 2);
+        // Sender paid at least the mediated IPI cost.
+        assert!(ctx.breakdown.get(CostCat::Tlb).get() >= 2081);
+        // Remote cores owe handler work.
+        assert!(debts.drain(1) > Cycles::ZERO);
+        assert_eq!(fabric.shootdowns(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let fabric = TlbFabric::new(2);
+        let debts = CoreDebts::new(2);
+        let mut ctx = FreeCtx::new(1).with_core(0, 2);
+        fabric.shootdown_batch(&mut ctx, &debts, IpiSendPath::Posted, &[]);
+        assert_eq!(ctx.now(), Cycles::ZERO);
+        assert_eq!(fabric.shootdowns(), 0);
+    }
+
+    #[test]
+    fn large_batch_cost_capped_by_flush() {
+        let fabric = TlbFabric::new(2);
+        let debts = CoreDebts::new(2);
+        let mut ctx = FreeCtx::new(1).with_core(0, 2);
+        let pages: Vec<Vpn> = (0..512).map(Vpn).collect();
+        fabric.shootdown_batch(&mut ctx, &debts, IpiSendPath::Posted, &pages);
+        // 512 invlpg at 120 cycles would be 61k; the flush cap (4 * 500)
+        // bounds the local cost.
+        let tlb_cost = ctx.breakdown.get(CostCat::Tlb).get();
+        assert!(
+            tlb_cost < 10_000,
+            "batched cost should be capped: {tlb_cost}"
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_ipi_cost() {
+        // One batch of 512 pages vs 512 single-page shootdowns.
+        let debts = CoreDebts::new(2);
+        let pages: Vec<Vpn> = (0..512).map(Vpn).collect();
+
+        let fabric1 = TlbFabric::new(2);
+        let mut batched = FreeCtx::new(1).with_core(0, 2);
+        fabric1.shootdown_batch(&mut batched, &debts, IpiSendPath::VmexitMediated, &pages);
+        let _ = debts.drain(1);
+
+        let fabric2 = TlbFabric::new(2);
+        let mut single = FreeCtx::new(1).with_core(0, 2);
+        for &p in &pages {
+            fabric2.shootdown_batch(&mut single, &debts, IpiSendPath::VmexitMediated, &[p]);
+        }
+        let b = batched.breakdown.get(CostCat::Tlb).get();
+        let s = single.breakdown.get(CostCat::Tlb).get();
+        assert!(
+            s > 50 * b,
+            "batching should amortize IPIs: batched={b} single={s}"
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! The Aquila DRAM I/O cache: frames, index, replacement, dirty tracking.
+//!
+//! This ties the pieces of section 3.2 together:
+//!
+//! - a concurrent hash table indexes cached pages (no global tree lock);
+//! - a two-level freelist hands out frames with per-core locality;
+//! - CLOCK approximates LRU, updated on page faults;
+//! - per-core dirty trees keep writeback ordered by device offset;
+//! - eviction is batched (512 pages) so unmapping, TLB shootdown, and
+//!   writeback amortize.
+//!
+//! The cache is policy-mechanism split: it *selects* victims and manages
+//! frames, while the mmio engine (the `aquila` crate) owns the page table
+//! and performs unmapping, shootdowns, and device writeback — mirroring
+//! the paper's layering where applications can customize either side.
+
+use aquila_mmu::{FrameId, PhysMem};
+use aquila_sim::{CostCat, SimCtx};
+use aquila_vmx::Gpa;
+use parking_lot::Mutex;
+
+use crate::dirty::{DirtyPage, DirtyTrees};
+use crate::freelist::{Freelist, FreelistConfig, NumaTopology};
+use crate::hashtable::{InsertOutcome, LockFreeMap};
+use crate::key::PageKey;
+use crate::lru::ClockLru;
+
+/// Cache construction parameters.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum frames the cache may ever hold (sizes the frame pool).
+    pub max_frames: usize,
+    /// Frames initially available (dynamic resizing can grow to
+    /// `max_frames`).
+    pub initial_frames: usize,
+    /// Pages evicted per synchronous eviction round (paper: 512).
+    pub evict_batch: usize,
+    /// NUMA shape for the freelist.
+    pub topology: NumaTopology,
+    /// Freelist batching parameters.
+    pub freelist: FreelistConfig,
+    /// Guest-physical base address of the frame pool.
+    pub gpa_base: u64,
+}
+
+impl CacheConfig {
+    /// A cache of `frames` frames on a flat `cores`-core machine.
+    ///
+    /// The freelist spill threshold scales with the per-core share of the
+    /// cache so eviction-freed frames flow back to the shared NUMA queue
+    /// promptly (the paper's absolute numbers assume multi-GB caches).
+    pub fn flat(frames: usize, cores: usize) -> CacheConfig {
+        let spill = (frames / cores.max(1) / 2).clamp(32, 8192);
+        CacheConfig {
+            max_frames: frames,
+            initial_frames: frames,
+            evict_batch: 512,
+            topology: NumaTopology::flat(cores),
+            freelist: FreelistConfig {
+                core_spill_threshold: spill,
+                level_batch: (spill / 2).max(16),
+            },
+            gpa_base: 0x1_0000_0000,
+        }
+    }
+}
+
+/// An evicted page the mmio engine must now unmap and possibly write back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The page that was cached.
+    pub key: PageKey,
+    /// Its frame (still holding the data until released).
+    pub frame: FrameId,
+    /// Whether the frame holds unwritten modifications.
+    pub dirty: bool,
+}
+
+/// The DRAM I/O cache.
+pub struct DramCache {
+    mem: PhysMem,
+    map: LockFreeMap,
+    freelist: Freelist,
+    clock: ClockLru,
+    dirty: DirtyTrees,
+    /// Reverse mapping frame -> key for eviction (slot locked per frame).
+    owners: Vec<Mutex<Option<PageKey>>>,
+    cfg: CacheConfig,
+    active_frames: Mutex<usize>,
+}
+
+impl DramCache {
+    /// Creates a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_frames > max_frames` or the pool is empty.
+    pub fn new(cfg: CacheConfig) -> DramCache {
+        assert!(cfg.max_frames > 0, "cache needs at least one frame");
+        assert!(
+            cfg.initial_frames <= cfg.max_frames,
+            "initial frames exceed pool"
+        );
+        let mem = PhysMem::new(Gpa(cfg.gpa_base), cfg.max_frames);
+        let freelist = Freelist::new(
+            cfg.topology,
+            cfg.freelist,
+            (0..cfg.initial_frames as u32).map(FrameId),
+        );
+        DramCache {
+            map: LockFreeMap::new(cfg.max_frames),
+            clock: ClockLru::new(cfg.max_frames),
+            dirty: DirtyTrees::new(cfg.topology.cores()),
+            owners: (0..cfg.max_frames).map(|_| Mutex::new(None)).collect(),
+            freelist,
+            mem,
+            active_frames: Mutex::new(cfg.initial_frames),
+            cfg,
+        }
+    }
+
+    /// The frame pool (for reading/filling page data).
+    pub fn mem(&self) -> &PhysMem {
+        &self.mem
+    }
+
+    /// Configured eviction batch size.
+    pub fn evict_batch(&self) -> usize {
+        self.cfg.evict_batch
+    }
+
+    /// Cached (resident) page count.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Dirty page count.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Frames currently usable by the cache (dynamic resizing changes
+    /// this).
+    pub fn active_frames(&self) -> usize {
+        *self.active_frames.lock()
+    }
+
+    /// Looks up a cached page, updating the LRU approximation.
+    pub fn lookup(&self, ctx: &mut dyn SimCtx, key: PageKey) -> Option<FrameId> {
+        let c = ctx.cost().hash_lookup;
+        ctx.charge(CostCat::CacheMgmt, c);
+        let frame = self.map.get(key).map(|v| FrameId(v as u32));
+        if let Some(f) = frame {
+            self.clock.touch(f);
+        }
+        frame
+    }
+
+    /// Allocates a free frame without evicting; `None` means the caller
+    /// must run an eviction round.
+    pub fn try_alloc(&self, ctx: &mut dyn SimCtx) -> Option<FrameId> {
+        let c = ctx.cost().freelist_op;
+        ctx.charge(CostCat::CacheMgmt, c);
+        self.freelist.alloc(ctx.core())
+    }
+
+    /// Selects and detaches an eviction batch.
+    ///
+    /// Victims are removed from the index and the dirty trees atomically
+    /// with respect to lookups (a concurrent fault on a victim page simply
+    /// misses and refetches). The caller must unmap the pages, perform one
+    /// batched TLB shootdown, write back the dirty victims (see
+    /// [`crate::dirty::coalesce_runs`]), and then return the frames with
+    /// [`DramCache::release_frame`].
+    pub fn evict_candidates(&self, ctx: &mut dyn SimCtx) -> Vec<Victim> {
+        let frames = self.clock.collect_victims(self.cfg.evict_batch);
+        let mut victims = Vec::with_capacity(frames.len());
+        let mut charge = aquila_sim::Cycles::ZERO;
+        for frame in frames {
+            let key = {
+                let mut owner = self.owners[frame.0 as usize].lock();
+                match owner.take() {
+                    Some(k) => k,
+                    None => continue, // Raced with a concurrent release.
+                }
+            };
+            charge += ctx.cost().hash_update + ctx.cost().lru_update;
+            if self.map.remove(key).is_none() {
+                continue;
+            }
+            let dirty = self.dirty.remove_anywhere(key).is_some();
+            if dirty {
+                charge += ctx.cost().rbtree_op;
+            }
+            self.clock.mark_free(frame);
+            victims.push(Victim { key, frame, dirty });
+            ctx.counters().evictions += 1;
+        }
+        ctx.charge(CostCat::Eviction, charge);
+        victims
+    }
+
+    /// Publishes `key -> frame` in the index.
+    ///
+    /// On a fault race the insert loses and the existing frame is
+    /// returned; the caller should map that frame instead and release its
+    /// own with [`DramCache::release_frame`].
+    pub fn commit_insert(
+        &self,
+        ctx: &mut dyn SimCtx,
+        key: PageKey,
+        frame: FrameId,
+    ) -> Result<(), FrameId> {
+        let c = ctx.cost().hash_update + ctx.cost().lru_update;
+        ctx.charge(CostCat::CacheMgmt, c);
+        match self.map.insert(key, frame.0 as u64) {
+            InsertOutcome::Inserted => {
+                *self.owners[frame.0 as usize].lock() = Some(key);
+                self.clock.mark_resident(frame);
+                Ok(())
+            }
+            InsertOutcome::AlreadyPresent(v) => Err(FrameId(v as u32)),
+        }
+    }
+
+    /// Returns a frame to the freelist (after eviction writeback, or when
+    /// an insert lost a race).
+    pub fn release_frame(&self, ctx: &mut dyn SimCtx, frame: FrameId) {
+        let c = ctx.cost().freelist_op;
+        ctx.charge(CostCat::CacheMgmt, c);
+        self.clock.mark_free(frame);
+        *self.owners[frame.0 as usize].lock() = None;
+        self.freelist.free(ctx.core(), frame);
+    }
+
+    /// Marks a cached page dirty (write-fault path). Returns true if the
+    /// page transitioned clean -> dirty.
+    pub fn mark_dirty(&self, ctx: &mut dyn SimCtx, key: PageKey, frame: FrameId) -> bool {
+        let c = ctx.cost().rbtree_op;
+        ctx.charge(CostCat::CacheMgmt, c);
+        self.dirty.insert(ctx.core(), key, frame)
+    }
+
+    /// Drains the dirty pages of `file` in `[start, end)` page range for
+    /// writeback (`msync` / background cleaning), sorted by device offset.
+    pub fn drain_dirty_range(
+        &self,
+        ctx: &mut dyn SimCtx,
+        file: u32,
+        start: u64,
+        end: u64,
+    ) -> Vec<DirtyPage> {
+        let pages = self.dirty.drain_file_range(file, start, end);
+        let c = ctx.cost().rbtree_op * pages.len().max(1) as u64;
+        ctx.charge(CostCat::CacheMgmt, c);
+        pages
+    }
+
+    /// Drains every dirty page (shutdown or full sync).
+    pub fn drain_dirty_all(&self, ctx: &mut dyn SimCtx) -> Vec<DirtyPage> {
+        let pages = self.dirty.drain_all();
+        let c = ctx.cost().rbtree_op * pages.len().max(1) as u64;
+        ctx.charge(CostCat::CacheMgmt, c);
+        pages
+    }
+
+    /// Grows the active frame pool by `extra` frames (dynamic cache
+    /// resizing, backed by new EPT mappings in the engine). Returns the
+    /// number actually added (bounded by `max_frames`).
+    pub fn grow(&self, extra: usize) -> usize {
+        let mut active = self.active_frames.lock();
+        let room = self.cfg.max_frames - *active;
+        let add = extra.min(room);
+        let start = *active as u32;
+        self.freelist
+            .grow(0, (start..start + add as u32).map(FrameId));
+        *active += add;
+        add
+    }
+
+    /// Shrinks the active pool by reclaiming up to `n` *free* frames;
+    /// returns how many were reclaimed. (Resident frames must be evicted
+    /// first by the engine.)
+    pub fn shrink(&self, n: usize) -> usize {
+        let mut active = self.active_frames.lock();
+        let mut got = 0;
+        for _ in 0..n {
+            // Reclaim from any core's perspective; core 0 is fine because
+            // the freelist falls through to the node queues.
+            match self.freelist.alloc(0) {
+                Some(_) => got += 1,
+                None => break,
+            }
+        }
+        *active -= got;
+        got
+    }
+
+    /// Free-frame count (diagnostics).
+    pub fn free_frames(&self) -> usize {
+        self.freelist.free_count()
+    }
+}
+
+impl core::fmt::Debug for DramCache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "DramCache {{ resident: {}, free: {}, dirty: {}, active: {} }}",
+            self.resident(),
+            self.free_frames(),
+            self.dirty_count(),
+            self.active_frames()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aquila_sim::FreeCtx;
+
+    fn small_cache(frames: usize) -> DramCache {
+        let mut cfg = CacheConfig::flat(frames, 2);
+        cfg.evict_batch = 4;
+        DramCache::new(cfg)
+    }
+
+    #[test]
+    fn fill_lookup_roundtrip() {
+        let cache = small_cache(8);
+        let mut ctx = FreeCtx::new(1);
+        let key = PageKey::new(1, 42);
+        assert!(cache.lookup(&mut ctx, key).is_none());
+        let frame = cache.try_alloc(&mut ctx).unwrap();
+        cache.mem().write(frame, 0, b"cached!");
+        cache.commit_insert(&mut ctx, key, frame).unwrap();
+        let hit = cache.lookup(&mut ctx, key).unwrap();
+        assert_eq!(hit, frame);
+        let mut buf = [0u8; 7];
+        cache.mem().read(hit, 0, &mut buf);
+        assert_eq!(&buf, b"cached!");
+        assert_eq!(cache.resident(), 1);
+    }
+
+    #[test]
+    fn insert_race_returns_existing_frame() {
+        let cache = small_cache(8);
+        let mut ctx = FreeCtx::new(1);
+        let key = PageKey::new(1, 5);
+        let f1 = cache.try_alloc(&mut ctx).unwrap();
+        let f2 = cache.try_alloc(&mut ctx).unwrap();
+        cache.commit_insert(&mut ctx, key, f1).unwrap();
+        let existing = cache.commit_insert(&mut ctx, key, f2).unwrap_err();
+        assert_eq!(existing, f1);
+        cache.release_frame(&mut ctx, f2);
+        assert_eq!(cache.resident(), 1);
+    }
+
+    #[test]
+    fn eviction_detaches_batch() {
+        let cache = small_cache(8);
+        let mut ctx = FreeCtx::new(1);
+        // Fill all 8 frames.
+        for p in 0..8u64 {
+            let f = cache.try_alloc(&mut ctx).unwrap();
+            cache
+                .commit_insert(&mut ctx, PageKey::new(0, p), f)
+                .unwrap();
+        }
+        assert!(cache.try_alloc(&mut ctx).is_none(), "cache is full");
+        let victims = cache.evict_candidates(&mut ctx);
+        assert_eq!(victims.len(), 4, "configured batch size");
+        for v in &victims {
+            assert!(!v.dirty);
+            assert!(cache.lookup(&mut ctx, v.key).is_none(), "victim unindexed");
+            cache.release_frame(&mut ctx, v.frame);
+        }
+        assert!(cache.try_alloc(&mut ctx).is_some());
+        assert_eq!(ctx.stats.evictions, 4);
+    }
+
+    #[test]
+    fn dirty_victims_flagged_and_drained() {
+        let cache = small_cache(4);
+        let mut ctx = FreeCtx::new(1);
+        for p in 0..4u64 {
+            let f = cache.try_alloc(&mut ctx).unwrap();
+            cache
+                .commit_insert(&mut ctx, PageKey::new(2, p), f)
+                .unwrap();
+            if p % 2 == 0 {
+                assert!(cache.mark_dirty(&mut ctx, PageKey::new(2, p), f));
+            }
+        }
+        assert_eq!(cache.dirty_count(), 2);
+        let victims = cache.evict_candidates(&mut ctx);
+        let dirty_victims = victims.iter().filter(|v| v.dirty).count();
+        assert_eq!(dirty_victims, 2);
+        assert_eq!(cache.dirty_count(), 0, "eviction drained dirty state");
+    }
+
+    #[test]
+    fn msync_drain_is_sorted_and_scoped() {
+        let cache = small_cache(8);
+        let mut ctx = FreeCtx::new(1);
+        for p in [7u64, 1, 5, 3] {
+            let f = cache.try_alloc(&mut ctx).unwrap();
+            cache
+                .commit_insert(&mut ctx, PageKey::new(1, p), f)
+                .unwrap();
+            cache.mark_dirty(&mut ctx, PageKey::new(1, p), f);
+        }
+        let drained = cache.drain_dirty_range(&mut ctx, 1, 0, 6);
+        let pages: Vec<u64> = drained.iter().map(|d| d.key.page).collect();
+        assert_eq!(pages, vec![1, 3, 5]);
+        assert_eq!(cache.dirty_count(), 1, "page 7 remains dirty");
+    }
+
+    #[test]
+    fn grow_and_shrink_change_capacity() {
+        let mut cfg = CacheConfig::flat(16, 2);
+        cfg.initial_frames = 4;
+        let cache = DramCache::new(cfg);
+        assert_eq!(cache.active_frames(), 4);
+        assert_eq!(cache.free_frames(), 4);
+        assert_eq!(cache.grow(8), 8);
+        assert_eq!(cache.active_frames(), 12);
+        assert_eq!(cache.grow(100), 4, "bounded by max_frames");
+        let reclaimed = cache.shrink(6);
+        assert_eq!(reclaimed, 6);
+        assert_eq!(cache.active_frames(), 10);
+    }
+
+    #[test]
+    fn charges_land_in_cache_mgmt() {
+        let cache = small_cache(4);
+        let mut ctx = FreeCtx::new(1);
+        let key = PageKey::new(0, 0);
+        cache.lookup(&mut ctx, key);
+        let f = cache.try_alloc(&mut ctx).unwrap();
+        cache.commit_insert(&mut ctx, key, f).unwrap();
+        assert!(ctx.breakdown.get(CostCat::CacheMgmt).get() > 0);
+    }
+}

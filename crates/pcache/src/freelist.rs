@@ -1,0 +1,321 @@
+//! The hierarchical two-level freelist for DRAM cache frames.
+//!
+//! Paper section 3.2: the first level is a queue per NUMA node, the second
+//! a queue per core. Allocation checks, in order, the local core queue,
+//! the local NUMA queue, then remote NUMA queues. Freed (evicted) pages go
+//! to the local core queue and spill to the NUMA queue in batches when a
+//! threshold is exceeded; all movement between levels is batched (4096
+//! pages in the paper's evaluation). Lock-free queues plus batching keep
+//! allocator contention negligible.
+
+use crossbeam::queue::SegQueue;
+
+use aquila_mmu::FrameId;
+
+/// Machine NUMA shape.
+#[derive(Debug, Clone, Copy)]
+pub struct NumaTopology {
+    /// Number of NUMA nodes.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+}
+
+impl NumaTopology {
+    /// The paper's testbed: 2 sockets x 16 hyperthreads.
+    pub fn paper_testbed() -> NumaTopology {
+        NumaTopology {
+            nodes: 2,
+            cores_per_node: 16,
+        }
+    }
+
+    /// A single-node machine with `cores` cores.
+    pub fn flat(cores: usize) -> NumaTopology {
+        NumaTopology {
+            nodes: 1,
+            cores_per_node: cores.max(1),
+        }
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// NUMA node of a core.
+    pub fn node_of(&self, core: usize) -> usize {
+        (core / self.cores_per_node) % self.nodes
+    }
+}
+
+/// Tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FreelistConfig {
+    /// Core-queue occupancy above which frames spill to the NUMA queue.
+    pub core_spill_threshold: usize,
+    /// Batch size for movement between levels (paper: 4096).
+    pub level_batch: usize,
+}
+
+impl Default for FreelistConfig {
+    fn default() -> Self {
+        FreelistConfig {
+            core_spill_threshold: 8192,
+            level_batch: 4096,
+        }
+    }
+}
+
+/// The two-level frame freelist.
+pub struct Freelist {
+    topo: NumaTopology,
+    cfg: FreelistConfig,
+    core_queues: Vec<SegQueue<FrameId>>,
+    node_queues: Vec<SegQueue<FrameId>>,
+}
+
+impl Freelist {
+    /// Creates a freelist for the given topology, initially populated with
+    /// `frames` distributed round-robin across NUMA node queues.
+    pub fn new(
+        topo: NumaTopology,
+        cfg: FreelistConfig,
+        frames: impl Iterator<Item = FrameId>,
+    ) -> Freelist {
+        let fl = Freelist {
+            core_queues: (0..topo.cores()).map(|_| SegQueue::new()).collect(),
+            node_queues: (0..topo.nodes).map(|_| SegQueue::new()).collect(),
+            topo,
+            cfg,
+        };
+        for (i, frame) in frames.enumerate() {
+            fl.node_queues[i % fl.topo.nodes].push(frame);
+        }
+        fl
+    }
+
+    /// The topology this freelist was built for.
+    pub fn topology(&self) -> NumaTopology {
+        self.topo
+    }
+
+    /// Allocates a frame for `core`: local core queue, then local NUMA
+    /// queue (refilling the core queue with a batch), then remote nodes,
+    /// then — as a last resort — stealing from sibling core queues, so
+    /// frames freed by another core's eviction round are never stranded
+    /// below the spill threshold. Returns `None` when the cache is fully
+    /// occupied — the caller must evict.
+    pub fn alloc(&self, core: usize) -> Option<FrameId> {
+        let core = core % self.core_queues.len();
+        if let Some(f) = self.core_queues[core].pop() {
+            return Some(f);
+        }
+        let local = self.topo.node_of(core);
+        if let Some(f) = self.refill_from_node(core, local) {
+            return Some(f);
+        }
+        for n in 0..self.topo.nodes {
+            if n == local {
+                continue;
+            }
+            if let Some(f) = self.refill_from_node(core, n) {
+                return Some(f);
+            }
+        }
+        for other in 0..self.core_queues.len() {
+            if other != core {
+                if let Some(f) = self.core_queues[other].pop() {
+                    return Some(f);
+                }
+            }
+        }
+        None
+    }
+
+    /// Pulls up to a level batch from a node queue into the core queue,
+    /// returning the first frame directly.
+    fn refill_from_node(&self, core: usize, node: usize) -> Option<FrameId> {
+        let nq = &self.node_queues[node];
+        let first = nq.pop()?;
+        let cq = &self.core_queues[core];
+        for _ in 1..self.cfg.level_batch.min(64) {
+            match nq.pop() {
+                Some(f) => cq.push(f),
+                None => break,
+            }
+        }
+        Some(first)
+    }
+
+    /// Frees a frame from `core` (eviction places recycled pages here);
+    /// spills a batch to the NUMA queue if the core queue grew beyond its
+    /// threshold.
+    pub fn free(&self, core: usize, frame: FrameId) {
+        let core = core % self.core_queues.len();
+        let cq = &self.core_queues[core];
+        cq.push(frame);
+        if cq.len() > self.cfg.core_spill_threshold {
+            let node = &self.node_queues[self.topo.node_of(core)];
+            for _ in 0..self.cfg.level_batch {
+                match cq.pop() {
+                    Some(f) => node.push(f),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Total free frames across all queues (approximate under concurrency).
+    pub fn free_count(&self) -> usize {
+        self.core_queues.iter().map(|q| q.len()).sum::<usize>()
+            + self.node_queues.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    /// Adds new frames (dynamic cache growth) to a node queue.
+    pub fn grow(&self, node: usize, frames: impl Iterator<Item = FrameId>) {
+        let node = node % self.topo.nodes;
+        for f in frames {
+            self.node_queues[node].push(f);
+        }
+    }
+}
+
+impl core::fmt::Debug for Freelist {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Freelist {{ free: {}, nodes: {}, cores: {} }}",
+            self.free_count(),
+            self.topo.nodes,
+            self.topo.cores()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(n: u32) -> impl Iterator<Item = FrameId> {
+        (0..n).map(FrameId)
+    }
+
+    #[test]
+    fn alloc_until_empty_then_none() {
+        let fl = Freelist::new(NumaTopology::flat(2), FreelistConfig::default(), frames(10));
+        let mut got = Vec::new();
+        while let Some(f) = fl.alloc(0) {
+            got.push(f.0);
+        }
+        got.sort();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(fl.alloc(0).is_none());
+        assert_eq!(fl.free_count(), 0);
+    }
+
+    #[test]
+    fn free_then_alloc_recycles() {
+        let fl = Freelist::new(NumaTopology::flat(1), FreelistConfig::default(), frames(1));
+        let f = fl.alloc(0).unwrap();
+        assert!(fl.alloc(0).is_none());
+        fl.free(0, f);
+        assert_eq!(fl.alloc(0), Some(f));
+    }
+
+    #[test]
+    fn core_queue_hit_after_refill() {
+        let fl = Freelist::new(
+            NumaTopology::flat(4),
+            FreelistConfig::default(),
+            frames(100),
+        );
+        // First alloc pulls a batch into core 1's queue.
+        fl.alloc(1).unwrap();
+        // Subsequent allocs on core 1 hit the core queue (node queues
+        // untouched beyond the first refill batch).
+        let before: usize = fl.free_count();
+        fl.alloc(1).unwrap();
+        assert_eq!(fl.free_count(), before - 1);
+    }
+
+    #[test]
+    fn remote_node_steal_when_local_empty() {
+        // Node 0 exhausted; core 0 (node 0) must steal from node 1.
+        let topo = NumaTopology {
+            nodes: 2,
+            cores_per_node: 1,
+        };
+        let fl = Freelist::new(topo, FreelistConfig::default(), frames(2));
+        // Frames round-robin: frame 0 -> node 0, frame 1 -> node 1.
+        let a = fl.alloc(0).unwrap();
+        let b = fl.alloc(0).unwrap();
+        let mut got = [a.0, b.0];
+        got.sort();
+        assert_eq!(got, [0, 1]);
+    }
+
+    #[test]
+    fn spill_moves_batch_to_node_queue() {
+        let cfg = FreelistConfig {
+            core_spill_threshold: 10,
+            level_batch: 8,
+        };
+        let fl = Freelist::new(NumaTopology::flat(2), cfg, frames(0));
+        for i in 0..12 {
+            fl.free(0, FrameId(i));
+        }
+        // After crossing the threshold a batch moved to the node queue;
+        // core 1 (same node) can now allocate.
+        assert!(fl.alloc(1).is_some());
+        assert_eq!(fl.free_count(), 11);
+    }
+
+    #[test]
+    fn grow_adds_frames() {
+        let fl = Freelist::new(
+            NumaTopology::paper_testbed(),
+            FreelistConfig::default(),
+            frames(0),
+        );
+        assert!(fl.alloc(0).is_none());
+        fl.grow(0, (100..110).map(FrameId));
+        assert_eq!(fl.free_count(), 10);
+        assert!(fl.alloc(5).is_some());
+    }
+
+    #[test]
+    fn topology_node_mapping() {
+        let t = NumaTopology::paper_testbed();
+        assert_eq!(t.cores(), 32);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(15), 0);
+        assert_eq!(t.node_of(16), 1);
+        assert_eq!(t.node_of(31), 1);
+    }
+
+    #[test]
+    fn concurrent_alloc_free_conserves_frames() {
+        use std::sync::Arc;
+        let fl = Arc::new(Freelist::new(
+            NumaTopology::flat(4),
+            FreelistConfig::default(),
+            frames(256),
+        ));
+        let mut handles = Vec::new();
+        for core in 0..4 {
+            let fl = Arc::clone(&fl);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    if let Some(f) = fl.alloc(core) {
+                        fl.free(core, f);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fl.free_count(), 256, "frames must be conserved");
+    }
+}

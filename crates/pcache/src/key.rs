@@ -1,0 +1,87 @@
+//! Cache keys: which file page a cached frame holds.
+
+/// Identifies one 4 KiB page of one memory-mapped file (or device
+/// partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageKey {
+    /// File (blob) identifier.
+    pub file: u32,
+    /// Page index within the file.
+    pub page: u64,
+}
+
+impl PageKey {
+    /// Creates a key.
+    pub const fn new(file: u32, page: u64) -> PageKey {
+        PageKey { file, page }
+    }
+
+    /// Packs the key into a non-zero `u64` for the lock-free hash table.
+    ///
+    /// Layout: bit 63 set, bit 62 clear, `file` in bits 41..62, `page` in
+    /// bits 0..41. Bit 63 keeps packed keys distinct from the table's
+    /// EMPTY (0) sentinel; the always-clear bit 62 keeps them distinct
+    /// from TOMBSTONE (`u64::MAX`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the file id exceeds 21 bits or the page index 41
+    /// bits — ample for this workspace (2 M files, 8 PiB files).
+    #[inline]
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.file < (1 << 21), "file id too large to pack");
+        debug_assert!(self.page < (1 << 41), "page index too large to pack");
+        (1u64 << 63) | ((self.file as u64) << 41) | self.page
+    }
+
+    /// Reverses [`PageKey::pack`].
+    #[inline]
+    pub fn unpack(raw: u64) -> PageKey {
+        PageKey {
+            file: ((raw >> 41) & ((1 << 21) - 1)) as u32,
+            page: raw & ((1 << 41) - 1),
+        }
+    }
+
+    /// 64-bit mix hash of the packed key (splitmix-style finalizer).
+    #[inline]
+    pub fn hash(self) -> u64 {
+        let mut z = self.pack();
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for key in [
+            PageKey::new(0, 0),
+            PageKey::new(1, 12345),
+            PageKey::new((1 << 21) - 1, (1 << 41) - 1),
+            PageKey::new(42, 1 << 40),
+        ] {
+            assert_eq!(PageKey::unpack(key.pack()), key);
+            assert_ne!(key.pack(), 0, "packed key must not equal EMPTY");
+            assert_ne!(key.pack(), u64::MAX, "packed key must not equal TOMBSTONE");
+        }
+    }
+
+    #[test]
+    fn hash_spreads_sequential_pages() {
+        // Sequential pages of one file should not collide in low bits.
+        let mut low_bits = std::collections::HashSet::new();
+        for page in 0..1024u64 {
+            low_bits.insert(PageKey::new(1, page).hash() & 0x3FF);
+        }
+        assert!(
+            low_bits.len() > 600,
+            "got {} distinct buckets",
+            low_bits.len()
+        );
+    }
+}

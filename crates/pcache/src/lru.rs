@@ -1,0 +1,181 @@
+//! CLOCK-based LRU approximation for eviction victim selection.
+//!
+//! The paper evicts "via an approximation of LRU", updated on page faults
+//! (section 3.2). CLOCK is the canonical such approximation: each frame
+//! carries a reference bit set when the frame is (re)faulted; the clock
+//! hand sweeps frames, clearing reference bits and collecting unreferenced
+//! resident frames as victims. Selection is batched (512 frames per
+//! eviction round in the paper) so the TLB shootdown and writeback costs
+//! amortize.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use aquila_mmu::FrameId;
+
+/// CLOCK state over a fixed frame pool.
+pub struct ClockLru {
+    referenced: Vec<AtomicBool>,
+    resident: Vec<AtomicBool>,
+    hand: AtomicUsize,
+}
+
+impl ClockLru {
+    /// Creates CLOCK state for `frames` frames, all non-resident.
+    pub fn new(frames: usize) -> ClockLru {
+        ClockLru {
+            referenced: (0..frames).map(|_| AtomicBool::new(false)).collect(),
+            resident: (0..frames).map(|_| AtomicBool::new(false)).collect(),
+            hand: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of tracked frames.
+    pub fn frames(&self) -> usize {
+        self.referenced.len()
+    }
+
+    /// Marks a frame recently used (called from the fault path).
+    #[inline]
+    pub fn touch(&self, frame: FrameId) {
+        self.referenced[frame.0 as usize].store(true, Ordering::Relaxed);
+    }
+
+    /// Marks a frame resident (it now holds a cached page).
+    pub fn mark_resident(&self, frame: FrameId) {
+        self.resident[frame.0 as usize].store(true, Ordering::Relaxed);
+        self.referenced[frame.0 as usize].store(true, Ordering::Relaxed);
+    }
+
+    /// Marks a frame free (evicted or never filled).
+    pub fn mark_free(&self, frame: FrameId) {
+        self.resident[frame.0 as usize].store(false, Ordering::Relaxed);
+        self.referenced[frame.0 as usize].store(false, Ordering::Relaxed);
+    }
+
+    /// Resident frame count (linear scan; diagnostics only).
+    pub fn resident_count(&self) -> usize {
+        self.resident
+            .iter()
+            .filter(|r| r.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Sweeps the clock hand and collects up to `batch` victims.
+    ///
+    /// Referenced frames get a second chance (bit cleared, skipped).
+    /// Returns fewer than `batch` victims — possibly none — if the pool
+    /// has too few unreferenced resident frames after two full sweeps.
+    pub fn collect_victims(&self, batch: usize) -> Vec<FrameId> {
+        let n = self.referenced.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut victims = Vec::with_capacity(batch);
+        let mut steps = 0usize;
+        // Two full sweeps guarantee every resident frame either gets its
+        // reference bit cleared (sweep 1) or becomes a victim (sweep 2).
+        while victims.len() < batch && steps < 2 * n {
+            let i = self.hand.fetch_add(1, Ordering::Relaxed) % n;
+            steps += 1;
+            if !self.resident[i].load(Ordering::Relaxed) {
+                continue;
+            }
+            if self.referenced[i].swap(false, Ordering::Relaxed) {
+                continue; // Second chance.
+            }
+            victims.push(FrameId(i as u32));
+        }
+        victims
+    }
+}
+
+impl core::fmt::Debug for ClockLru {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ClockLru {{ frames: {}, resident: {} }}",
+            self.frames(),
+            self.resident_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victims_come_from_resident_unreferenced() {
+        let c = ClockLru::new(8);
+        for i in 0..4 {
+            c.mark_resident(FrameId(i));
+        }
+        // All recently touched: first sweep clears bits, second collects.
+        let v = c.collect_victims(2);
+        assert_eq!(v.len(), 2);
+        for f in &v {
+            assert!(f.0 < 4, "victim must be resident");
+        }
+    }
+
+    #[test]
+    fn touched_frames_survive_one_round() {
+        let c = ClockLru::new(4);
+        c.mark_resident(FrameId(0));
+        c.mark_resident(FrameId(1));
+        // Clear both reference bits via a collection round.
+        let _ = c.collect_victims(2);
+        c.mark_resident(FrameId(2));
+        c.mark_resident(FrameId(3));
+        c.touch(FrameId(0));
+        // Frame 0 is referenced; frame 1 is not: 1 must be evicted first.
+        let v = c.collect_victims(1);
+        assert_eq!(v, vec![FrameId(1)]);
+    }
+
+    #[test]
+    fn empty_pool_yields_nothing() {
+        let c = ClockLru::new(0);
+        assert!(c.collect_victims(10).is_empty());
+        let c = ClockLru::new(4);
+        assert!(c.collect_victims(10).is_empty(), "nothing resident");
+    }
+
+    #[test]
+    fn mark_free_removes_from_consideration() {
+        let c = ClockLru::new(4);
+        c.mark_resident(FrameId(0));
+        c.mark_free(FrameId(0));
+        assert!(c.collect_victims(4).is_empty());
+        assert_eq!(c.resident_count(), 0);
+    }
+
+    #[test]
+    fn batch_bounded_by_request() {
+        let c = ClockLru::new(64);
+        for i in 0..64 {
+            c.mark_resident(FrameId(i));
+        }
+        let v = c.collect_victims(10);
+        assert_eq!(v.len(), 10);
+        // Victims are distinct.
+        let mut ids: Vec<u32> = v.iter().map(|f| f.0).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn fault_order_approximates_lru() {
+        // Frames faulted long ago (and never touched again) are evicted
+        // before recently touched ones.
+        let c = ClockLru::new(16);
+        for i in 0..16 {
+            c.mark_resident(FrameId(i));
+        }
+        let _ = c.collect_victims(0); // No-op, hand at 0, bits set.
+                                      // Clear all bits with one sweep.
+        let cleared = c.collect_victims(16);
+        assert_eq!(cleared.len(), 16, "second sweep collects everything");
+    }
+}

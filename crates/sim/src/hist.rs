@@ -1,0 +1,251 @@
+//! Log-bucketed latency histograms.
+//!
+//! The paper reports average, p99, and p99.9 latencies; this module
+//! provides an HdrHistogram-style structure: power-of-two magnitude groups
+//! with a fixed number of linear sub-buckets each, giving a bounded
+//! relative error (~1.5% with 64 sub-buckets) over the full `u64` range in
+//! a few KB of memory.
+
+use crate::time::Cycles;
+
+/// Number of linear sub-buckets per power-of-two magnitude group.
+const SUB_BUCKETS: usize = 64;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 6;
+/// Number of magnitude groups needed to cover `u64`.
+const GROUPS: usize = 64 - SUB_BITS as usize + 1;
+
+/// A latency histogram over cycle counts.
+#[derive(Clone)]
+pub struct LatencyHist {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHist {
+        LatencyHist {
+            counts: vec![0; GROUPS * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        // Group 0 covers [0, SUB_BUCKETS) with exact resolution. For larger
+        // values in [2^m, 2^(m+1)) with m >= SUB_BITS, group m-SUB_BITS+1
+        // splits the range into SUB_BUCKETS linear sub-buckets:
+        // (value >> (m - SUB_BITS)) lands in [SUB_BUCKETS, 2*SUB_BUCKETS).
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let m = 63 - value.leading_zeros();
+        let group = (m - SUB_BITS + 1) as usize;
+        let sub = ((value >> (m - SUB_BITS)) - SUB_BUCKETS as u64) as usize;
+        debug_assert!(sub < SUB_BUCKETS);
+        group * SUB_BUCKETS + sub
+    }
+
+    #[inline]
+    fn bucket_value(index: usize) -> u64 {
+        // Lower bound of the bucket; relative error is at most 1/SUB_BUCKETS.
+        let group = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if group == 0 {
+            return sub;
+        }
+        (SUB_BUCKETS as u64 + sub) << (group - 1)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: Cycles) {
+        let value = v.get();
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of the samples, or zero when empty.
+    pub fn mean(&self) -> Cycles {
+        if self.total == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles((self.sum / self.total as u128) as u64)
+    }
+
+    /// Smallest recorded sample, or zero when empty.
+    pub fn min(&self) -> Cycles {
+        if self.total == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles(self.min)
+        }
+    }
+
+    /// Largest recorded sample, or zero when empty.
+    pub fn max(&self) -> Cycles {
+        Cycles(self.max)
+    }
+
+    /// Returns the value at quantile `q` in `[0, 1]` (e.g. 0.999 for
+    /// p99.9), or zero when empty.
+    pub fn quantile(&self, q: f64) -> Cycles {
+        if self.total == 0 {
+            return Cycles::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Cycles(Self::bucket_value(i).min(self.max).max(self.min));
+            }
+        }
+        Cycles(self.max)
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Summary line for reports: mean / p50 / p99 / p99.9 / max.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p99={} p99.9={} max={}",
+            self.total,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+            self.max()
+        )
+    }
+}
+
+impl core::fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "LatencyHist {{ {} }}", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Cycles::ZERO);
+        assert_eq!(h.quantile(0.99), Cycles::ZERO);
+        assert_eq!(h.min(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(Cycles(v));
+        }
+        assert_eq!(h.min(), Cycles(0));
+        assert_eq!(h.max(), Cycles(SUB_BUCKETS as u64 - 1));
+        assert_eq!(h.quantile(0.0), Cycles(0));
+    }
+
+    #[test]
+    fn mean_is_correct() {
+        let mut h = LatencyHist::new();
+        h.record(Cycles(100));
+        h.record(Cycles(300));
+        assert_eq!(h.mean(), Cycles(200));
+    }
+
+    #[test]
+    fn quantiles_bounded_relative_error() {
+        let mut h = LatencyHist::new();
+        // A known distribution: values 1..=10_000.
+        for v in 1..=10_000u64 {
+            h.record(Cycles(v));
+        }
+        for (q, expect) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900), (0.999, 9_990)] {
+            let got = h.quantile(q).get() as f64;
+            let err = (got - expect as f64).abs() / expect as f64;
+            assert!(err < 0.05, "q={q} got={got} expect={expect} err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        a.record(Cycles(10));
+        b.record(Cycles(1_000_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Cycles(10));
+        assert_eq!(a.max(), Cycles(1_000_000));
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = LatencyHist::new();
+        h.record(Cycles(u64::MAX));
+        h.record(Cycles(u64::MAX / 2));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0).get() > 0);
+    }
+
+    #[test]
+    fn quantile_monotonic() {
+        let mut h = LatencyHist::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(Cycles(x % 1_000_000));
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0).get();
+            assert!(q >= prev, "quantiles must be monotonic");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn summary_mentions_percentiles() {
+        let mut h = LatencyHist::new();
+        h.record(Cycles(42));
+        let s = h.summary();
+        assert!(s.contains("p99.9"));
+        assert!(s.contains("n=1"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Deterministic discrete-event simulation kernel for the Aquila
+//! reproduction.
+//!
+//! This crate provides the substrate every other crate in the workspace
+//! builds on:
+//!
+//! - [`time::Cycles`] — virtual time at the paper testbed's 2.4 GHz clock;
+//! - [`cost::CostModel`] — the calibrated per-event cycle costs, sourced
+//!   from the paper (traps, vmexits, SIMD copies, ...);
+//! - [`resource`] — reservation-based contention models for locks and
+//!   storage devices;
+//! - [`engine`] — the discrete-event scheduler that steps virtual threads
+//!   in global time order and the [`engine::SimCtx`] trait through which
+//!   library code charges costs;
+//! - [`hist::LatencyHist`] and [`stats::Breakdown`] — the measurement
+//!   machinery behind every figure.
+//!
+//! Everything is deterministic: a run is a pure function of the seed, the
+//! cost model, and the workload parameters.
+
+pub mod cost;
+pub mod engine;
+pub mod hist;
+pub mod region;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use cost::{CostCat, CostModel};
+pub use engine::{CoreDebts, Engine, FreeCtx, RunReport, SimCtx, Step, ThreadCtx};
+pub use hist::LatencyHist;
+pub use region::{DramRegion, MemRegion};
+pub use resource::{Reservation, ServiceCenter, SimMutex, SimRwLock};
+pub use rng::{Rng64, ScrambledZipfian, Zipfian};
+pub use stats::{Breakdown, Counters};
+pub use time::{Cycles, CPU_HZ};
+
+/// Page size used throughout the simulation (4 KiB, matching the paper's
+/// GVA->GPA granularity).
+pub const PAGE_SIZE: usize = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_constants_agree() {
+        assert_eq!(1usize << PAGE_SHIFT, PAGE_SIZE);
+    }
+}

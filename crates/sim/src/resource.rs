@@ -1,0 +1,368 @@
+//! Reservation-based contention models for shared resources.
+//!
+//! The discrete-event engine steps virtual threads in global time order, so
+//! a shared resource can be modelled as a *reservation*: acquiring it at
+//! virtual time `now` for `hold` cycles reserves the first interval of
+//! length `hold` that starts no earlier than `now` and no earlier than the
+//! resource's previous reservations. Queueing delay then emerges naturally
+//! from overlapping requests — which is exactly how the paper's contended
+//! kernel locks behave (Figure 10's collapse of Linux `mmap` under a single
+//! page-cache tree lock).
+//!
+//! The models use `parking_lot` internally so the structures stay `Sync`
+//! and usable from real threads in library code, even though the engine
+//! itself is single-threaded.
+
+use parking_lot::Mutex;
+
+use crate::time::Cycles;
+
+/// Outcome of a resource reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Queueing delay experienced before the resource was granted.
+    pub wait: Cycles,
+    /// Virtual time at which the holder acquired the resource.
+    pub start: Cycles,
+    /// Virtual time at which the resource is released / the operation
+    /// completes.
+    pub end: Cycles,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    available: Cycles,
+    acquisitions: u64,
+    contended: u64,
+    busy: Cycles,
+}
+
+/// A mutual-exclusion resource with FIFO-by-arrival reservation semantics.
+///
+/// Models, e.g., the Linux page-cache tree lock or a shard lock in a
+/// user-space cache.
+#[derive(Debug, Default)]
+pub struct SimMutex {
+    state: Mutex<MutexState>,
+}
+
+impl SimMutex {
+    /// Creates an idle mutex.
+    pub fn new() -> SimMutex {
+        SimMutex::default()
+    }
+
+    /// Reserves the mutex at `now` for `hold` cycles.
+    pub fn acquire(&self, now: Cycles, hold: Cycles) -> Reservation {
+        let mut st = self.state.lock();
+        let start = now.max(st.available);
+        let end = start + hold;
+        st.available = end;
+        st.acquisitions += 1;
+        if start > now {
+            st.contended += 1;
+        }
+        st.busy += hold;
+        Reservation {
+            wait: start - now,
+            start,
+            end,
+        }
+    }
+
+    /// Number of acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.state.lock().acquisitions
+    }
+
+    /// Number of acquisitions that had to wait.
+    pub fn contended(&self) -> u64 {
+        self.state.lock().contended
+    }
+
+    /// Total busy (held) time.
+    pub fn busy(&self) -> Cycles {
+        self.state.lock().busy
+    }
+
+    /// Resets reservation state (between experiment phases).
+    pub fn reset(&self) {
+        *self.state.lock() = MutexState::default();
+    }
+}
+
+#[derive(Debug, Default)]
+struct RwState {
+    /// Earliest time a new writer may start (after all prior writers).
+    writer_available: Cycles,
+    /// Latest end among granted readers; a writer must also wait for this.
+    readers_until: Cycles,
+    read_acquisitions: u64,
+    write_acquisitions: u64,
+    contended: u64,
+}
+
+/// A readers-writer resource: readers overlap freely; writers exclude
+/// everyone.
+///
+/// Models Linux's `mmap_sem`-style locks where page faults take the lock
+/// for reading and `mmap`/`munmap` take it for writing.
+#[derive(Debug, Default)]
+pub struct SimRwLock {
+    state: Mutex<RwState>,
+}
+
+impl SimRwLock {
+    /// Creates an idle lock.
+    pub fn new() -> SimRwLock {
+        SimRwLock::default()
+    }
+
+    /// Reserves a shared (read) slot at `now` for `hold` cycles.
+    pub fn acquire_read(&self, now: Cycles, hold: Cycles) -> Reservation {
+        let mut st = self.state.lock();
+        let start = now.max(st.writer_available);
+        let end = start + hold;
+        st.readers_until = st.readers_until.max(end);
+        st.read_acquisitions += 1;
+        if start > now {
+            st.contended += 1;
+        }
+        Reservation {
+            wait: start - now,
+            start,
+            end,
+        }
+    }
+
+    /// Reserves an exclusive (write) slot at `now` for `hold` cycles.
+    pub fn acquire_write(&self, now: Cycles, hold: Cycles) -> Reservation {
+        let mut st = self.state.lock();
+        let start = now.max(st.writer_available).max(st.readers_until);
+        let end = start + hold;
+        st.writer_available = end;
+        st.write_acquisitions += 1;
+        if start > now {
+            st.contended += 1;
+        }
+        Reservation {
+            wait: start - now,
+            start,
+            end,
+        }
+    }
+
+    /// Number of contended acquisitions (read or write).
+    pub fn contended(&self) -> u64 {
+        self.state.lock().contended
+    }
+
+    /// Resets reservation state (between experiment phases).
+    pub fn reset(&self) {
+        *self.state.lock() = RwState::default();
+    }
+}
+
+#[derive(Debug)]
+struct ServiceState {
+    channels: Vec<Cycles>,
+    gate: Cycles,
+    ops: u64,
+    bytes: u64,
+}
+
+/// A service center with `k` parallel channels and a global admission gate,
+/// modelling a storage device.
+///
+/// Each operation occupies one channel for its service time (latency plus
+/// transfer). The admission gate enforces device-wide IOPS and bandwidth
+/// caps: successive operations may not be admitted faster than
+/// `gap_per_op + bytes * gap_per_byte` apart. An Optane-class NVMe device
+/// is then `k = 128` channels, ~10 us service, 500 K IOPS gate.
+#[derive(Debug)]
+pub struct ServiceCenter {
+    state: Mutex<ServiceState>,
+    /// Minimum spacing between admissions (1 / max IOPS).
+    gap_per_op: Cycles,
+    /// Additional admission spacing per byte transferred (1 / bandwidth).
+    gap_per_byte_femto: u64,
+}
+
+impl ServiceCenter {
+    /// Creates a service center.
+    ///
+    /// `channels` is the internal parallelism; `max_iops` and
+    /// `max_bytes_per_sec` bound aggregate admission (zero means
+    /// unlimited).
+    pub fn new(channels: usize, max_iops: u64, max_bytes_per_sec: u64) -> ServiceCenter {
+        assert!(channels > 0, "a device needs at least one channel");
+        let gap_per_op = if max_iops == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles(crate::time::CPU_HZ / max_iops)
+        };
+        // Store per-byte gap in femtocycles to keep integer precision:
+        // gap_per_byte = CPU_HZ / bytes_per_sec cycles, usually < 1.
+        let gap_per_byte_femto = if max_bytes_per_sec == 0 {
+            0
+        } else {
+            crate::time::CPU_HZ.saturating_mul(1_000_000_000) / max_bytes_per_sec
+        };
+        ServiceCenter {
+            state: Mutex::new(ServiceState {
+                channels: vec![Cycles::ZERO; channels],
+                gate: Cycles::ZERO,
+                ops: 0,
+                bytes: 0,
+            }),
+            gap_per_op,
+            gap_per_byte_femto,
+        }
+    }
+
+    /// Submits an operation of `bytes` bytes with channel service time
+    /// `service` at virtual time `now`.
+    pub fn submit(&self, now: Cycles, service: Cycles, bytes: u64) -> Reservation {
+        let mut st = self.state.lock();
+        // Admission gate: IOPS and bandwidth pacing.
+        let admit = now.max(st.gate);
+        let advance =
+            self.gap_per_op + Cycles(self.gap_per_byte_femto.saturating_mul(bytes) / 1_000_000_000);
+        st.gate = admit + advance;
+        // Channel selection: earliest-available channel.
+        let (idx, _) = st
+            .channels
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, c)| *c)
+            .expect("at least one channel");
+        let start = admit.max(st.channels[idx]);
+        let end = start + service;
+        st.channels[idx] = end;
+        st.ops += 1;
+        st.bytes += bytes;
+        Reservation {
+            wait: start - now,
+            start,
+            end,
+        }
+    }
+
+    /// Operations admitted so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// Bytes transferred so far.
+    pub fn bytes(&self) -> u64 {
+        self.state.lock().bytes
+    }
+
+    /// Resets reservation state.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        for c in st.channels.iter_mut() {
+            *c = Cycles::ZERO;
+        }
+        st.gate = Cycles::ZERO;
+        st.ops = 0;
+        st.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_serializes_overlapping_holders() {
+        let m = SimMutex::new();
+        let a = m.acquire(Cycles(0), Cycles(100));
+        assert_eq!(a.wait, Cycles::ZERO);
+        assert_eq!(a.end, Cycles(100));
+        // Second arrival at t=10 must wait until t=100.
+        let b = m.acquire(Cycles(10), Cycles(100));
+        assert_eq!(b.start, Cycles(100));
+        assert_eq!(b.wait, Cycles(90));
+        assert_eq!(b.end, Cycles(200));
+        assert_eq!(m.acquisitions(), 2);
+        assert_eq!(m.contended(), 1);
+        assert_eq!(m.busy(), Cycles(200));
+    }
+
+    #[test]
+    fn mutex_idle_gap_resets_waiting() {
+        let m = SimMutex::new();
+        m.acquire(Cycles(0), Cycles(10));
+        let late = m.acquire(Cycles(1000), Cycles(10));
+        assert_eq!(late.wait, Cycles::ZERO);
+        assert_eq!(late.start, Cycles(1000));
+    }
+
+    #[test]
+    fn rwlock_readers_overlap_writers_exclude() {
+        let l = SimRwLock::new();
+        let r1 = l.acquire_read(Cycles(0), Cycles(100));
+        let r2 = l.acquire_read(Cycles(10), Cycles(100));
+        // Readers overlap: r2 does not wait for r1.
+        assert_eq!(r2.wait, Cycles::ZERO);
+        // A writer waits for all readers.
+        let w = l.acquire_write(Cycles(20), Cycles(50));
+        assert_eq!(w.start, Cycles(110));
+        assert_eq!(w.end, Cycles(160));
+        // A subsequent reader waits for the writer.
+        let r3 = l.acquire_read(Cycles(30), Cycles(10));
+        assert_eq!(r3.start, Cycles(160));
+        let _ = (r1, r2);
+        assert!(l.contended() >= 2);
+    }
+
+    #[test]
+    fn service_center_parallel_channels() {
+        let d = ServiceCenter::new(2, 0, 0);
+        let a = d.submit(Cycles(0), Cycles(100), 4096);
+        let b = d.submit(Cycles(0), Cycles(100), 4096);
+        let c = d.submit(Cycles(0), Cycles(100), 4096);
+        // Two ops run in parallel; the third queues behind one of them.
+        assert_eq!(a.end, Cycles(100));
+        assert_eq!(b.end, Cycles(100));
+        assert_eq!(c.start, Cycles(100));
+        assert_eq!(d.ops(), 3);
+        assert_eq!(d.bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn service_center_iops_gate() {
+        // 1M IOPS cap => 2400 cycles between admissions at 2.4 GHz.
+        let d = ServiceCenter::new(64, 1_000_000, 0);
+        let a = d.submit(Cycles(0), Cycles(10), 0);
+        let b = d.submit(Cycles(0), Cycles(10), 0);
+        assert_eq!(a.start, Cycles(0));
+        assert_eq!(b.start, Cycles(2400));
+    }
+
+    #[test]
+    fn service_center_bandwidth_gate() {
+        // 2.4 GB/s => 1 cycle per byte at 2.4 GHz.
+        let d = ServiceCenter::new(64, 0, 2_400_000_000);
+        d.submit(Cycles(0), Cycles(10), 4096);
+        let b = d.submit(Cycles(0), Cycles(10), 4096);
+        assert_eq!(b.start, Cycles(4096));
+    }
+
+    #[test]
+    fn service_center_reset() {
+        let d = ServiceCenter::new(1, 0, 0);
+        d.submit(Cycles(0), Cycles(1_000_000), 1);
+        d.reset();
+        let a = d.submit(Cycles(0), Cycles(10), 1);
+        assert_eq!(a.wait, Cycles::ZERO);
+        assert_eq!(d.ops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channel_device_panics() {
+        let _ = ServiceCenter::new(0, 0, 0);
+    }
+}

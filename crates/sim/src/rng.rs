@@ -1,0 +1,325 @@
+//! Deterministic pseudo-random number generation for experiments.
+//!
+//! Every experiment takes an explicit seed so runs are exactly
+//! reproducible. The generator is xoshiro256**, seeded through SplitMix64,
+//! which is the standard, statistically solid non-cryptographic choice.
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed via SplitMix64 expansion.
+    pub fn new(seed: u64) -> Rng64 {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Rng64 { s }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a non-zero bound");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: retry only when `low` falls in the biased
+            // remainder band.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform value in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Derives an independent child generator (for per-thread streams).
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::new(self.next_u64())
+    }
+}
+
+/// A Zipfian distribution over `[0, n)` with parameter `theta`, using the
+/// Gray et al. rejection-free method popularized by YCSB.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew parameter.
+    pub const YCSB_THETA: f64 = 0.99;
+
+    /// Creates a Zipfian distribution over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "Zipfian needs a non-empty domain");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation; domains in this workspace are at most a few
+        // hundred million, and the constructor runs once per experiment.
+        // For large n, sample-based approximation keeps setup fast.
+        if n <= 10_000_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            // Integral approximation with exact head.
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let a = 10_000f64;
+            let b = n as f64;
+            let tail = (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Draws the next sample in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+/// A scrambled Zipfian: Zipfian ranks hashed over the key space so hot keys
+/// are spread uniformly (the YCSB default request distribution).
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+    n: u64,
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled Zipfian over `[0, n)`.
+    pub fn new(n: u64) -> ScrambledZipfian {
+        ScrambledZipfian {
+            inner: Zipfian::new(n, Zipfian::YCSB_THETA),
+            n,
+        }
+    }
+
+    /// Draws the next sample in `[0, n)`.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let rank = self.inner.sample(rng);
+        fnv1a_64(rank) % self.n
+    }
+}
+
+/// FNV-1a hash of a u64, used to scramble Zipfian ranks.
+#[inline]
+pub fn fnv1a_64(x: u64) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = Rng64::new(9);
+        for _ in 0..1000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = Rng64::new(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = Rng64::new(123);
+        let mut head = 0usize;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top 1% of items draws a large share of
+        // requests -- far above the 1% a uniform distribution would give.
+        assert!(head as f64 / total as f64 > 0.15, "head share {head}");
+    }
+
+    #[test]
+    fn zipfian_samples_in_domain() {
+        let z = Zipfian::new(50, 0.5);
+        let mut rng = Rng64::new(5);
+        for _ in 0..5000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let z = ScrambledZipfian::new(1000);
+        let mut rng = Rng64::new(11);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // The hottest key should no longer be key 0 specifically, but some
+        // key should still be disproportionately hot.
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 1000, "max count {max}");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = Rng64::new(77);
+        let mut child = parent.fork();
+        let a: Vec<u64> = (0..16).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| child.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn large_domain_zipfian_constructs() {
+        // Exercises the integral-approximation path of zeta().
+        let z = Zipfian::new(50_000_000, 0.99);
+        let mut rng = Rng64::new(1);
+        for _ in 0..100 {
+            assert!(z.sample(&mut rng) < 50_000_000);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-category cycle accounting and event counters.
+
+use crate::cost::CostCat;
+use crate::time::Cycles;
+
+/// Accumulates charged cycles per [`CostCat`].
+///
+/// This is what the figure binaries read to produce the paper's breakdown
+/// plots (Figures 7, 8) and the user/system/idle split of Figure 6(c).
+#[derive(Debug, Clone, Default)]
+pub struct Breakdown {
+    cells: [u64; CostCat::ALL.len()],
+}
+
+impl Breakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Breakdown {
+        Breakdown::default()
+    }
+
+    /// Adds `c` cycles to category `cat`.
+    #[inline]
+    pub fn add(&mut self, cat: CostCat, c: Cycles) {
+        self.cells[cat.index()] += c.get();
+    }
+
+    /// Cycles accumulated in `cat`.
+    pub fn get(&self, cat: CostCat) -> Cycles {
+        Cycles(self.cells[cat.index()])
+    }
+
+    /// Total cycles across all categories.
+    pub fn total(&self) -> Cycles {
+        Cycles(self.cells.iter().sum())
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Difference `self - other`, saturating at zero per category.
+    pub fn since(&self, other: &Breakdown) -> Breakdown {
+        let mut out = Breakdown::new();
+        for (i, (a, b)) in self.cells.iter().zip(other.cells.iter()).enumerate() {
+            out.cells[i] = a.saturating_sub(*b);
+        }
+        out
+    }
+
+    /// Fraction of the total that `cat` accounts for (0 when empty).
+    pub fn share(&self, cat: CostCat) -> f64 {
+        let total = self.total().get();
+        if total == 0 {
+            return 0.0;
+        }
+        self.get(cat).get() as f64 / total as f64
+    }
+
+    /// Iterates over non-empty `(category, cycles)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CostCat, Cycles)> + '_ {
+        CostCat::ALL
+            .iter()
+            .copied()
+            .filter(|c| self.cells[c.index()] > 0)
+            .map(|c| (c, Cycles(self.cells[c.index()])))
+    }
+
+    /// Multi-line human-readable table, sorted by descending share.
+    pub fn table(&self) -> String {
+        let total = self.total().get().max(1);
+        let mut rows: Vec<(CostCat, u64)> = CostCat::ALL
+            .iter()
+            .map(|&c| (c, self.cells[c.index()]))
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        rows.sort_by_key(|&(_, v)| core::cmp::Reverse(v));
+        let mut out = String::new();
+        for (cat, v) in rows {
+            out.push_str(&format!(
+                "  {:<14} {:>14} cyc  {:>5.1}%\n",
+                cat.name(),
+                v,
+                100.0 * v as f64 / total as f64
+            ));
+        }
+        out
+    }
+}
+
+/// Simulation-wide event counters.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    /// Page faults taken (both minor and major).
+    pub page_faults: u64,
+    /// Faults satisfied from the DRAM cache (minor).
+    pub minor_faults: u64,
+    /// Faults that required device I/O (major).
+    pub major_faults: u64,
+    /// Pages evicted from the DRAM cache.
+    pub evictions: u64,
+    /// Dirty pages written back to the device.
+    pub writebacks: u64,
+    /// Read I/O operations issued to a device.
+    pub device_reads: u64,
+    /// Write I/O operations issued to a device.
+    pub device_writes: u64,
+    /// Bytes read from devices.
+    pub bytes_read: u64,
+    /// Bytes written to devices.
+    pub bytes_written: u64,
+    /// TLB shootdown rounds (one IPI broadcast, possibly many pages).
+    pub tlb_shootdowns: u64,
+    /// Individual page invalidations requested.
+    pub tlb_invalidations: u64,
+    /// System calls executed through a kernel (host or guest-intercepted).
+    pub syscalls: u64,
+    /// vmcalls / forced vmexits taken.
+    pub vmexits: u64,
+    /// EPT violations handled by the hypervisor.
+    pub ept_faults: u64,
+    /// Readahead pages fetched speculatively.
+    pub readahead_pages: u64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, o: &Counters) {
+        self.page_faults += o.page_faults;
+        self.minor_faults += o.minor_faults;
+        self.major_faults += o.major_faults;
+        self.evictions += o.evictions;
+        self.writebacks += o.writebacks;
+        self.device_reads += o.device_reads;
+        self.device_writes += o.device_writes;
+        self.bytes_read += o.bytes_read;
+        self.bytes_written += o.bytes_written;
+        self.tlb_shootdowns += o.tlb_shootdowns;
+        self.tlb_invalidations += o.tlb_invalidations;
+        self.syscalls += o.syscalls;
+        self.vmexits += o.vmexits;
+        self.ept_faults += o.ept_faults;
+        self.readahead_pages += o.readahead_pages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_totals() {
+        let mut b = Breakdown::new();
+        b.add(CostCat::Trap, Cycles(100));
+        b.add(CostCat::Trap, Cycles(50));
+        b.add(CostCat::DeviceIo, Cycles(850));
+        assert_eq!(b.get(CostCat::Trap), Cycles(150));
+        assert_eq!(b.total(), Cycles(1000));
+        assert!((b.share(CostCat::DeviceIo) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_merge_and_since() {
+        let mut a = Breakdown::new();
+        a.add(CostCat::App, Cycles(10));
+        let snapshot = a.clone();
+        a.add(CostCat::App, Cycles(5));
+        a.add(CostCat::Tlb, Cycles(7));
+        let delta = a.since(&snapshot);
+        assert_eq!(delta.get(CostCat::App), Cycles(5));
+        assert_eq!(delta.get(CostCat::Tlb), Cycles(7));
+
+        let mut m = Breakdown::new();
+        m.merge(&a);
+        m.merge(&delta);
+        assert_eq!(m.get(CostCat::App), Cycles(20));
+    }
+
+    #[test]
+    fn iter_skips_empty_categories() {
+        let mut b = Breakdown::new();
+        b.add(CostCat::Memcpy, Cycles(1));
+        let items: Vec<_> = b.iter().collect();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].0, CostCat::Memcpy);
+    }
+
+    #[test]
+    fn table_sorted_by_share() {
+        let mut b = Breakdown::new();
+        b.add(CostCat::App, Cycles(1));
+        b.add(CostCat::DeviceIo, Cycles(99));
+        let t = b.table();
+        let dev = t.find("device-io").unwrap();
+        let app = t.find("app").unwrap();
+        assert!(dev < app, "largest category first:\n{t}");
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = Counters::new();
+        a.page_faults = 3;
+        a.bytes_read = 4096;
+        let mut b = Counters::new();
+        b.page_faults = 2;
+        b.tlb_shootdowns = 1;
+        a.merge(&b);
+        assert_eq!(a.page_faults, 5);
+        assert_eq!(a.tlb_shootdowns, 1);
+        assert_eq!(a.bytes_read, 4096);
+    }
+
+    #[test]
+    fn empty_share_is_zero() {
+        let b = Breakdown::new();
+        assert_eq!(b.share(CostCat::App), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Virtual time in CPU cycles.
+//!
+//! All simulated time in this workspace is expressed in cycles of the
+//! paper's testbed CPU (Intel Xeon E5-2630 v3 at 2.4 GHz). A dedicated
+//! newtype keeps cycle arithmetic from being confused with byte counts,
+//! page numbers, and other `u64` quantities that appear throughout the
+//! simulator.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Clock frequency of the modelled CPU, in Hz (2.4 GHz).
+pub const CPU_HZ: u64 = 2_400_000_000;
+
+/// A duration or instant measured in CPU cycles at [`CPU_HZ`].
+///
+/// `Cycles` is used both for durations (costs charged by the cost model)
+/// and for instants (per-thread virtual clocks); the discrete-event engine
+/// treats an instant as the duration since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The zero duration / simulation start.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// A far-future instant used as an "infinity" sentinel.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a duration from nanoseconds at the modelled clock rate.
+    ///
+    /// 1 ns = 2.4 cycles at 2.4 GHz; the result is rounded to the nearest
+    /// cycle.
+    #[inline]
+    pub fn from_nanos(ns: u64) -> Cycles {
+        Cycles((ns * CPU_HZ + 500_000_000) / 1_000_000_000)
+    }
+
+    /// Builds a duration from microseconds at the modelled clock rate.
+    #[inline]
+    pub fn from_micros(us: u64) -> Cycles {
+        Cycles::from_nanos(us * 1_000)
+    }
+
+    /// Builds a duration from milliseconds at the modelled clock rate.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Cycles {
+        Cycles::from_nanos(ms * 1_000_000)
+    }
+
+    /// Converts to nanoseconds (floating point, for reporting).
+    #[inline]
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64 * 1e9 / CPU_HZ as f64
+    }
+
+    /// Converts to microseconds (floating point, for reporting).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 * 1e6 / CPU_HZ as f64
+    }
+
+    /// Converts to seconds (floating point, for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / CPU_HZ as f64
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn max(self, rhs: Cycles) -> Cycles {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the earlier of two instants.
+    #[inline]
+    pub fn min(self, rhs: Cycles) -> Cycles {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 10_000 {
+            write!(f, "{} cyc", self.0)
+        } else if self.as_micros_f64() < 10_000.0 {
+            write!(f, "{:.2} us", self.as_micros_f64())
+        } else {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_round_trip() {
+        // 1000 ns at 2.4 GHz is exactly 2400 cycles.
+        assert_eq!(Cycles::from_nanos(1000), Cycles(2400));
+        let c = Cycles::from_nanos(250);
+        assert_eq!(c, Cycles(600));
+        assert!((c.as_nanos_f64() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micros_and_millis() {
+        assert_eq!(Cycles::from_micros(10), Cycles(24_000));
+        assert_eq!(Cycles::from_millis(1), Cycles(2_400_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles(100);
+        let b = Cycles(40);
+        assert_eq!(a + b, Cycles(140));
+        assert_eq!(a - b, Cycles(60));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a * 3, Cycles(300));
+        assert_eq!(a / 4, Cycles(25));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn rounding_is_nearest() {
+        // 1 ns = 2.4 cycles, rounds to 2.
+        assert_eq!(Cycles::from_nanos(1), Cycles(2));
+        // 3 ns = 7.2 cycles, rounds to 7.
+        assert_eq!(Cycles::from_nanos(3), Cycles(7));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Cycles(500)), "500 cyc");
+        assert!(format!("{}", Cycles(240_000)).ends_with("us"));
+        assert!(format!("{}", Cycles(CPU_HZ * 60)).ends_with('s'));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+    }
+}

@@ -1,0 +1,9 @@
+//! Virtual-memory-area management for Aquila (paper section 3.4).
+//!
+//! A RadixVM-style radix tree replaces Linux's red-black tree + rwsem:
+//! page-fault lookups take no global lock, and updates lock only the
+//! entries they touch. See [`tree::VmaTree`].
+
+pub mod tree;
+
+pub use tree::{Advice, Prot, VmaDesc, VmaError, VmaTree};

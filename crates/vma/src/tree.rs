@@ -1,0 +1,642 @@
+//! The radix tree of virtual memory areas, with per-entry locking.
+//!
+//! Linux keeps VMAs in a red-black tree behind one read-write semaphore;
+//! even read acquisitions of that lock limit fault scalability on many
+//! cores. Aquila (section 3.4) instead uses a radix tree, following
+//! RadixVM: lookups walk the tree without any global lock, and *updates*
+//! lock only the entries they touch. On a page fault the tree answers two
+//! questions: (1) is the faulting address part of a valid mapping, and
+//! (2) can this fault take ownership of the page entry so concurrent
+//! faults on the same page serialize.
+//!
+//! Differences from RadixVM, as in the paper: a single page table shared
+//! by all cores (so no per-core tables and no refcache); radix node
+//! metadata uses plain shared reference counts (`Arc`), which are off the
+//! common path.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use aquila_mmu::Vpn;
+use aquila_sim::{CostCat, SimCtx};
+
+/// Page protection of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prot {
+    /// Loads allowed.
+    pub read: bool,
+    /// Stores allowed.
+    pub write: bool,
+}
+
+impl Prot {
+    /// Read-only mapping.
+    pub const READ: Prot = Prot {
+        read: true,
+        write: false,
+    };
+    /// Read-write mapping.
+    pub const RW: Prot = Prot {
+        read: true,
+        write: true,
+    };
+}
+
+/// `madvise`-style access hints, used by the mmio engine's readahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Default readahead.
+    Normal,
+    /// Random access: disable readahead.
+    Random,
+    /// Sequential access: aggressive readahead.
+    Sequential,
+    /// The range will be needed soon.
+    WillNeed,
+    /// The range is no longer needed.
+    DontNeed,
+}
+
+impl Advice {
+    fn to_u8(self) -> u8 {
+        match self {
+            Advice::Normal => 0,
+            Advice::Random => 1,
+            Advice::Sequential => 2,
+            Advice::WillNeed => 3,
+            Advice::DontNeed => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Advice {
+        match v {
+            1 => Advice::Random,
+            2 => Advice::Sequential,
+            3 => Advice::WillNeed,
+            4 => Advice::DontNeed,
+            _ => Advice::Normal,
+        }
+    }
+}
+
+/// A mapping descriptor (one per `mmap` call).
+#[derive(Debug)]
+pub struct VmaDesc {
+    /// Backing file id.
+    pub file: u32,
+    /// File page corresponding to `start`.
+    pub file_page: u64,
+    /// First mapped virtual page.
+    pub start: Vpn,
+    /// Length in pages at creation.
+    pub pages: u64,
+    /// Protection (per-desc; `mprotect` of a sub-range splits via
+    /// per-page override in the tree entry's protection bits).
+    pub prot: Prot,
+    advice: std::sync::atomic::AtomicU8,
+}
+
+impl VmaDesc {
+    /// The file page backing virtual page `vpn` of this mapping.
+    pub fn file_page_of(&self, vpn: Vpn) -> u64 {
+        self.file_page + (vpn.0 - self.start.0)
+    }
+
+    /// Current access advice.
+    pub fn advice(&self) -> Advice {
+        Advice::from_u8(self.advice.load(Ordering::Relaxed))
+    }
+
+    /// Updates access advice (the `madvise` path).
+    pub fn set_advice(&self, a: Advice) {
+        self.advice.store(a.to_u8(), Ordering::Relaxed);
+    }
+}
+
+/// Errors from range operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmaError {
+    /// The range overlaps an existing mapping (for fixed-address maps).
+    Overlap,
+    /// Part of the range is not mapped.
+    NotMapped,
+    /// The address space region is exhausted.
+    NoVirtualSpace,
+}
+
+/// Entry state: low 32 bits hold VmaId+1 (0 = unmapped); bit 63 is the
+/// per-entry fault lock; bit 62 forces the page read-only regardless of
+/// the VMA protection (per-page `mprotect`).
+const ENTRY_LOCK: u64 = 1 << 63;
+const ENTRY_FORCE_RO: u64 = 1 << 62;
+const ENTRY_ID_MASK: u64 = 0xFFFF_FFFF;
+
+const FANOUT: usize = 512;
+const LEVELS: usize = 4;
+
+struct Interior {
+    children: Vec<AtomicUsize>, // Arena indices; 0 = null.
+}
+
+struct Leaf {
+    entries: Vec<AtomicU64>,
+}
+
+enum Node {
+    Interior(Interior),
+    Leaf(Leaf),
+}
+
+/// The VMA radix tree.
+pub struct VmaTree {
+    /// Arena of nodes; index 0 is the root (interior). Nodes are never
+    /// freed before the tree drops (radix metadata is tiny; the paper
+    /// likewise keeps a simple shared refcount off the common path).
+    arena: RwLock<Vec<Arc<Node>>>,
+    descs: RwLock<Vec<Arc<VmaDesc>>>,
+    /// Bump pointer for `find_free` (page-granular, grows upward).
+    next_free: Mutex<u64>,
+    mapped_pages: AtomicU64,
+}
+
+impl VmaTree {
+    /// Creates an empty tree. `base_vpn` is where automatic placement
+    /// starts (like `mmap_base`).
+    pub fn new(base_vpn: u64) -> VmaTree {
+        VmaTree {
+            arena: RwLock::new(vec![Arc::new(Node::Interior(Interior {
+                children: (0..FANOUT).map(|_| AtomicUsize::new(0)).collect(),
+            }))]),
+            descs: RwLock::new(Vec::new()),
+            next_free: Mutex::new(base_vpn),
+            mapped_pages: AtomicU64::new(0),
+        }
+    }
+
+    /// Total pages currently mapped.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages.load(Ordering::Relaxed)
+    }
+
+    /// Number of VMA descriptors ever created.
+    pub fn desc_count(&self) -> usize {
+        self.descs.read().len()
+    }
+
+    #[inline]
+    fn index_at(vpn: Vpn, level: usize) -> usize {
+        // level 0 is the leaf; 9 bits per level, 36 bits of VPN.
+        ((vpn.0 >> (9 * level as u32)) & 0x1FF) as usize
+    }
+
+    /// Walks to the leaf holding `vpn`, creating nodes when `create`.
+    fn leaf_for(&self, vpn: Vpn, create: bool) -> Option<Arc<Node>> {
+        let mut idx = 0usize;
+        for level in (1..LEVELS).rev() {
+            let slot = Self::index_at(vpn, level);
+            let child = {
+                let arena = self.arena.read();
+                match &*arena[idx] {
+                    Node::Interior(int) => int.children[slot].load(Ordering::Acquire),
+                    Node::Leaf(_) => unreachable!("leaf at interior level"),
+                }
+            };
+            idx = if child != 0 {
+                child
+            } else if !create {
+                return None;
+            } else {
+                let mut arena = self.arena.write();
+                // Re-check under the write lock (another thread may have
+                // installed the child).
+                let cur = match &*arena[idx] {
+                    Node::Interior(int) => int.children[slot].load(Ordering::Acquire),
+                    Node::Leaf(_) => unreachable!(),
+                };
+                if cur != 0 {
+                    cur
+                } else {
+                    let new_idx = arena.len();
+                    let node = if level == 1 {
+                        Node::Leaf(Leaf {
+                            entries: (0..FANOUT).map(|_| AtomicU64::new(0)).collect(),
+                        })
+                    } else {
+                        Node::Interior(Interior {
+                            children: (0..FANOUT).map(|_| AtomicUsize::new(0)).collect(),
+                        })
+                    };
+                    arena.push(Arc::new(node));
+                    match &*arena[idx] {
+                        Node::Interior(int) => int.children[slot].store(new_idx, Ordering::Release),
+                        Node::Leaf(_) => unreachable!(),
+                    }
+                    new_idx
+                }
+            };
+        }
+        let arena = self.arena.read();
+        Some(Arc::clone(&arena[idx]))
+    }
+
+    fn entry(&self, vpn: Vpn, create: bool) -> Option<(Arc<Node>, usize)> {
+        let leaf = self.leaf_for(vpn, create)?;
+        let slot = Self::index_at(vpn, 0);
+        Some((leaf, slot))
+    }
+
+    /// Charges the cost of one radix walk.
+    fn charge_walk(ctx: &mut dyn SimCtx) {
+        let c = ctx.cost().radix_level * LEVELS as u64;
+        ctx.charge(CostCat::FaultHandler, c);
+    }
+
+    /// Finds a free virtual range of `pages` pages (bump allocation, as
+    /// the engine's automatic placement policy).
+    pub fn find_free(&self, pages: u64) -> Vpn {
+        let mut nf = self.next_free.lock();
+        let start = *nf;
+        *nf += pages + 16; // Guard gap between mappings.
+        Vpn(start)
+    }
+
+    /// Maps `pages` pages starting at `start` (or an automatically chosen
+    /// range when `None`) backed by `file` at `file_page`.
+    pub fn map(
+        &self,
+        ctx: &mut dyn SimCtx,
+        start: Option<Vpn>,
+        pages: u64,
+        file: u32,
+        file_page: u64,
+        prot: Prot,
+    ) -> Result<Arc<VmaDesc>, VmaError> {
+        assert!(pages > 0, "cannot map zero pages");
+        let start = match start {
+            Some(s) => s,
+            None => self.find_free(pages),
+        };
+        // First pass: verify the range is free.
+        for i in 0..pages {
+            let vpn = Vpn(start.0 + i);
+            if let Some((leaf, slot)) = self.entry(vpn, false) {
+                let e = match &*leaf {
+                    Node::Leaf(l) => l.entries[slot].load(Ordering::Acquire),
+                    Node::Interior(_) => unreachable!(),
+                };
+                if e & ENTRY_ID_MASK != 0 {
+                    return Err(VmaError::Overlap);
+                }
+            }
+        }
+        let desc = Arc::new(VmaDesc {
+            file,
+            file_page,
+            start,
+            pages,
+            prot,
+            advice: std::sync::atomic::AtomicU8::new(0),
+        });
+        let id = {
+            let mut descs = self.descs.write();
+            descs.push(Arc::clone(&desc));
+            descs.len() as u64 // id+1 encoding; descs[id-1].
+        };
+        for i in 0..pages {
+            let vpn = Vpn(start.0 + i);
+            let (leaf, slot) = self.entry(vpn, true).expect("create mode");
+            match &*leaf {
+                Node::Leaf(l) => l.entries[slot].store(id, Ordering::Release),
+                Node::Interior(_) => unreachable!(),
+            }
+        }
+        Self::charge_walk(ctx);
+        self.mapped_pages.fetch_add(pages, Ordering::Relaxed);
+        Ok(desc)
+    }
+
+    /// Unmaps `pages` pages starting at `start`. Unmapping holes or
+    /// partial ranges of a larger VMA is allowed (Linux semantics).
+    /// Returns the descriptors of pages actually unmapped.
+    pub fn unmap(&self, ctx: &mut dyn SimCtx, start: Vpn, pages: u64) -> Vec<(Vpn, Arc<VmaDesc>)> {
+        let mut removed = Vec::new();
+        for i in 0..pages {
+            let vpn = Vpn(start.0 + i);
+            if let Some((leaf, slot)) = self.entry(vpn, false) {
+                let entries = match &*leaf {
+                    Node::Leaf(l) => &l.entries,
+                    Node::Interior(_) => unreachable!(),
+                };
+                // Wait out any in-flight fault holding the entry lock,
+                // then claim the entry atomically; a plain swap could
+                // otherwise let the fault's later unlock clear the lock
+                // bit of a mapping installed here afterwards.
+                let old = loop {
+                    let cur = entries[slot].load(Ordering::Acquire);
+                    if cur & ENTRY_ID_MASK == 0 {
+                        break 0;
+                    }
+                    if cur & ENTRY_LOCK != 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    if entries[slot]
+                        .compare_exchange(cur, 0, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break cur;
+                    }
+                };
+                let id = old & ENTRY_ID_MASK;
+                if id != 0 {
+                    let desc = Arc::clone(&self.descs.read()[(id - 1) as usize]);
+                    removed.push((vpn, desc));
+                }
+            }
+        }
+        Self::charge_walk(ctx);
+        self.mapped_pages
+            .fetch_sub(removed.len() as u64, Ordering::Relaxed);
+        removed
+    }
+
+    /// Looks up the mapping covering `vpn`, plus whether the page is
+    /// individually forced read-only.
+    pub fn lookup(&self, ctx: &mut dyn SimCtx, vpn: Vpn) -> Option<(Arc<VmaDesc>, Prot)> {
+        Self::charge_walk(ctx);
+        let (leaf, slot) = self.entry(vpn, false)?;
+        let e = match &*leaf {
+            Node::Leaf(l) => l.entries[slot].load(Ordering::Acquire),
+            Node::Interior(_) => unreachable!(),
+        };
+        let id = e & ENTRY_ID_MASK;
+        if id == 0 {
+            return None;
+        }
+        let desc = Arc::clone(&self.descs.read()[(id - 1) as usize]);
+        let mut prot = desc.prot;
+        if e & ENTRY_FORCE_RO != 0 {
+            prot.write = false;
+        }
+        Some((desc, prot))
+    }
+
+    /// Tries to lock the entry for `vpn` so a fault can install the page
+    /// without racing concurrent faults. Returns false if the entry is
+    /// unmapped or already locked.
+    pub fn try_lock_entry(&self, vpn: Vpn) -> bool {
+        if let Some((leaf, slot)) = self.entry(vpn, false) {
+            let entries = match &*leaf {
+                Node::Leaf(l) => &l.entries,
+                Node::Interior(_) => unreachable!(),
+            };
+            let cur = entries[slot].load(Ordering::Acquire);
+            if cur & ENTRY_ID_MASK == 0 || cur & ENTRY_LOCK != 0 {
+                return false;
+            }
+            return entries[slot]
+                .compare_exchange(cur, cur | ENTRY_LOCK, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+        }
+        false
+    }
+
+    /// Unlocks an entry locked by [`VmaTree::try_lock_entry`].
+    pub fn unlock_entry(&self, vpn: Vpn) {
+        if let Some((leaf, slot)) = self.entry(vpn, false) {
+            let entries = match &*leaf {
+                Node::Leaf(l) => &l.entries,
+                Node::Interior(_) => unreachable!(),
+            };
+            entries[slot].fetch_and(!ENTRY_LOCK, Ordering::AcqRel);
+        }
+    }
+
+    /// Applies `mprotect` to a range: write-enables or write-disables the
+    /// per-page override bits. Returns the number of pages affected.
+    pub fn protect(&self, ctx: &mut dyn SimCtx, start: Vpn, pages: u64, prot: Prot) -> u64 {
+        let mut n = 0;
+        for i in 0..pages {
+            let vpn = Vpn(start.0 + i);
+            if let Some((leaf, slot)) = self.entry(vpn, false) {
+                let entries = match &*leaf {
+                    Node::Leaf(l) => &l.entries,
+                    Node::Interior(_) => unreachable!(),
+                };
+                let cur = entries[slot].load(Ordering::Acquire);
+                if cur & ENTRY_ID_MASK == 0 {
+                    continue;
+                }
+                if prot.write {
+                    entries[slot].fetch_and(!ENTRY_FORCE_RO, Ordering::AcqRel);
+                } else {
+                    entries[slot].fetch_or(ENTRY_FORCE_RO, Ordering::AcqRel);
+                }
+                n += 1;
+            }
+        }
+        Self::charge_walk(ctx);
+        n
+    }
+
+    /// Remaps `old_start..+old_pages` to a new automatically placed range
+    /// of `new_pages` (the `mremap` move path). The new range maps the
+    /// same backing file pages; growth beyond the old length extends the
+    /// file window.
+    pub fn remap(
+        &self,
+        ctx: &mut dyn SimCtx,
+        old_start: Vpn,
+        old_pages: u64,
+        new_pages: u64,
+    ) -> Result<Arc<VmaDesc>, VmaError> {
+        let (desc, _) = self.lookup(ctx, old_start).ok_or(VmaError::NotMapped)?;
+        let file = desc.file;
+        let file_page = desc.file_page_of(old_start);
+        let prot = desc.prot;
+        self.unmap(ctx, old_start, old_pages);
+        self.map(ctx, None, new_pages, file, file_page, prot)
+    }
+}
+
+impl core::fmt::Debug for VmaTree {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "VmaTree {{ mapped_pages: {}, descs: {} }}",
+            self.mapped_pages(),
+            self.desc_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aquila_sim::FreeCtx;
+
+    fn tree() -> VmaTree {
+        VmaTree::new(0x1000)
+    }
+
+    #[test]
+    fn map_lookup_unmap() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        let desc = t.map(&mut ctx, None, 8, 3, 100, Prot::RW).unwrap();
+        let start = desc.start;
+        let (d, prot) = t.lookup(&mut ctx, Vpn(start.0 + 5)).unwrap();
+        assert_eq!(d.file, 3);
+        assert_eq!(d.file_page_of(Vpn(start.0 + 5)), 105);
+        assert!(prot.write);
+        assert_eq!(t.mapped_pages(), 8);
+        let removed = t.unmap(&mut ctx, start, 8);
+        assert_eq!(removed.len(), 8);
+        assert!(t.lookup(&mut ctx, start).is_none());
+        assert_eq!(t.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn fixed_map_overlap_rejected() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        t.map(&mut ctx, Some(Vpn(100)), 10, 0, 0, Prot::RW).unwrap();
+        assert!(matches!(
+            t.map(&mut ctx, Some(Vpn(105)), 10, 1, 0, Prot::RW),
+            Err(VmaError::Overlap)
+        ));
+        // Adjacent is fine.
+        assert!(t.map(&mut ctx, Some(Vpn(110)), 10, 1, 0, Prot::RW).is_ok());
+    }
+
+    #[test]
+    fn partial_unmap_punches_hole() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        let d = t.map(&mut ctx, Some(Vpn(200)), 10, 0, 0, Prot::RW).unwrap();
+        let removed = t.unmap(&mut ctx, Vpn(203), 4);
+        assert_eq!(removed.len(), 4);
+        assert!(t.lookup(&mut ctx, Vpn(202)).is_some());
+        assert!(t.lookup(&mut ctx, Vpn(204)).is_none());
+        assert!(t.lookup(&mut ctx, Vpn(207)).is_some());
+        assert_eq!(t.mapped_pages(), 6);
+        let _ = d;
+    }
+
+    #[test]
+    fn automatic_placement_does_not_overlap() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        let a = t.map(&mut ctx, None, 100, 0, 0, Prot::RW).unwrap();
+        let b = t.map(&mut ctx, None, 100, 1, 0, Prot::RW).unwrap();
+        let (a0, a1) = (a.start.0, a.start.0 + 100);
+        let (b0, b1) = (b.start.0, b.start.0 + 100);
+        assert!(
+            a1 <= b0 || b1 <= a0,
+            "ranges overlap: {a0}..{a1} vs {b0}..{b1}"
+        );
+    }
+
+    #[test]
+    fn entry_lock_serializes_faults() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        let d = t.map(&mut ctx, Some(Vpn(50)), 2, 0, 0, Prot::RW).unwrap();
+        assert!(t.try_lock_entry(Vpn(50)));
+        assert!(!t.try_lock_entry(Vpn(50)), "second lock must fail");
+        assert!(t.try_lock_entry(Vpn(51)), "other pages unaffected");
+        t.unlock_entry(Vpn(50));
+        assert!(t.try_lock_entry(Vpn(50)));
+        // Lookup still works while locked.
+        assert!(t.lookup(&mut ctx, Vpn(50)).is_some());
+        let _ = d;
+    }
+
+    #[test]
+    fn lock_unmapped_entry_fails() {
+        let t = tree();
+        assert!(!t.try_lock_entry(Vpn(0xdead)));
+    }
+
+    #[test]
+    fn mprotect_forces_readonly_per_page() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        t.map(&mut ctx, Some(Vpn(300)), 4, 0, 0, Prot::RW).unwrap();
+        let n = t.protect(&mut ctx, Vpn(301), 2, Prot::READ);
+        assert_eq!(n, 2);
+        let (_, p300) = t.lookup(&mut ctx, Vpn(300)).unwrap();
+        let (_, p301) = t.lookup(&mut ctx, Vpn(301)).unwrap();
+        assert!(p300.write);
+        assert!(!p301.write);
+        // Restore write.
+        t.protect(&mut ctx, Vpn(301), 1, Prot::RW);
+        let (_, p301b) = t.lookup(&mut ctx, Vpn(301)).unwrap();
+        assert!(p301b.write);
+    }
+
+    #[test]
+    fn remap_moves_and_grows() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        let d = t.map(&mut ctx, Some(Vpn(400)), 4, 9, 50, Prot::RW).unwrap();
+        let nd = t.remap(&mut ctx, Vpn(400), 4, 8).unwrap();
+        assert!(t.lookup(&mut ctx, Vpn(400)).is_none(), "old range gone");
+        assert_eq!(nd.file, 9);
+        assert_eq!(nd.file_page_of(nd.start), 50, "file window preserved");
+        assert_eq!(nd.pages, 8);
+        assert_eq!(t.mapped_pages(), 8);
+        let _ = d;
+    }
+
+    #[test]
+    fn advice_roundtrip() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        let d = t.map(&mut ctx, None, 2, 0, 0, Prot::RW).unwrap();
+        assert_eq!(d.advice(), Advice::Normal);
+        d.set_advice(Advice::Sequential);
+        assert_eq!(d.advice(), Advice::Sequential);
+    }
+
+    #[test]
+    fn sparse_distant_mappings() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        // Far apart in the 36-bit VPN space: exercises deep radix paths.
+        t.map(&mut ctx, Some(Vpn(0x0000_0001)), 1, 0, 0, Prot::RW)
+            .unwrap();
+        t.map(&mut ctx, Some(Vpn(0x0FFF_FFFF0)), 1, 1, 0, Prot::RW)
+            .unwrap();
+        assert_eq!(t.lookup(&mut ctx, Vpn(0x0000_0001)).unwrap().0.file, 0);
+        assert_eq!(t.lookup(&mut ctx, Vpn(0x0FFF_FFFF0)).unwrap().0.file, 1);
+        assert!(t.lookup(&mut ctx, Vpn(0x0000_1000)).is_none());
+    }
+
+    #[test]
+    fn concurrent_lookups_and_locks() {
+        use std::sync::Arc as StdArc;
+        let t = StdArc::new(tree());
+        let mut ctx = FreeCtx::new(1);
+        t.map(&mut ctx, Some(Vpn(1000)), 64, 0, 0, Prot::RW)
+            .unwrap();
+        let mut handles = Vec::new();
+        for i in 0..4usize {
+            let t = StdArc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut locked = 0;
+                for p in 0..64u64 {
+                    if p % 4 == i as u64 && t.try_lock_entry(Vpn(1000 + p)) {
+                        locked += 1;
+                        t.unlock_entry(Vpn(1000 + p));
+                    }
+                }
+                locked
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 64, "each thread locks its disjoint quarter");
+    }
+}

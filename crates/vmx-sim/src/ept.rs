@@ -1,0 +1,338 @@
+//! The Extended Page Table (EPT): guest-physical to host-physical
+//! translation, owned by the hypervisor.
+//!
+//! Aquila (section 3.5) uses one EPT per *process* (a deliberate change
+//! from Dune's per-thread EPTs) and maps the DRAM cache with 1 GiB pages so
+//! that dynamic cache resizing causes very few EPT faults. This module
+//! implements a four-level EPT radix tree supporting 4 KiB, 2 MiB, and
+//! 1 GiB mappings, with leaf-level permissions.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{Gpa, Hpa, PAGE_1G, PAGE_2M, PAGE_4K};
+
+/// EPT mapping permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EptPerms {
+    /// Guest may read through the mapping.
+    pub read: bool,
+    /// Guest may write through the mapping.
+    pub write: bool,
+    /// Guest may execute through the mapping.
+    pub exec: bool,
+}
+
+impl EptPerms {
+    /// Read-write-execute (the common data mapping in Aquila).
+    pub const RWX: EptPerms = EptPerms {
+        read: true,
+        write: true,
+        exec: true,
+    };
+
+    /// Read-write, no execute.
+    pub const RW: EptPerms = EptPerms {
+        read: true,
+        write: true,
+        exec: false,
+    };
+
+    /// Read-only.
+    pub const R: EptPerms = EptPerms {
+        read: true,
+        write: false,
+        exec: false,
+    };
+}
+
+/// Leaf page size of an EPT mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EptPageSize {
+    /// 4 KiB leaf.
+    Size4K,
+    /// 2 MiB leaf.
+    Size2M,
+    /// 1 GiB leaf.
+    Size1G,
+}
+
+impl EptPageSize {
+    /// Size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            EptPageSize::Size4K => PAGE_4K,
+            EptPageSize::Size2M => PAGE_2M,
+            EptPageSize::Size1G => PAGE_1G,
+        }
+    }
+}
+
+/// The access kind that caused an EPT violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EptAccess {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Exec,
+}
+
+/// An EPT violation: the hypervisor must handle it (on real hardware this
+/// is a vmexit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EptViolation {
+    /// The faulting guest-physical address.
+    pub gpa: Gpa,
+    /// The access that faulted.
+    pub access: EptAccess,
+    /// Whether a mapping existed but with insufficient permissions.
+    pub permission_fault: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EptEntry {
+    hpa: Hpa,
+    size: EptPageSize,
+    perms: EptPerms,
+}
+
+/// A per-process extended page table.
+///
+/// Internally a sorted map keyed by the leaf's base GPA; lookups find the
+/// greatest mapped base at or below the query address and check
+/// containment. This models the four-level radix walk functionally while
+/// keeping the structure compact; the *cost* of walks and violations is
+/// charged by the vcpu layer, not here.
+#[derive(Debug, Default)]
+pub struct Ept {
+    entries: BTreeMap<u64, EptEntry>,
+    mapped_bytes: u64,
+}
+
+/// Errors from EPT manipulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EptError {
+    /// The GPA or HPA is not aligned to the requested page size.
+    Misaligned,
+    /// The new mapping overlaps an existing one.
+    Overlap,
+    /// No mapping exists at the given GPA.
+    NotMapped,
+}
+
+impl Ept {
+    /// Creates an empty EPT.
+    pub fn new() -> Ept {
+        Ept::default()
+    }
+
+    /// Maps `gpa -> hpa` with the given leaf size and permissions.
+    pub fn map(
+        &mut self,
+        gpa: Gpa,
+        hpa: Hpa,
+        size: EptPageSize,
+        perms: EptPerms,
+    ) -> Result<(), EptError> {
+        let bytes = size.bytes();
+        if !gpa.is_aligned(bytes) || !hpa.is_aligned(bytes) {
+            return Err(EptError::Misaligned);
+        }
+        if self.overlaps(gpa.get(), bytes) {
+            return Err(EptError::Overlap);
+        }
+        self.entries
+            .insert(gpa.get(), EptEntry { hpa, size, perms });
+        self.mapped_bytes += bytes;
+        Ok(())
+    }
+
+    /// Removes the mapping whose leaf contains `gpa`.
+    ///
+    /// Returns the base GPA and size of the removed leaf.
+    pub fn unmap(&mut self, gpa: Gpa) -> Result<(Gpa, EptPageSize), EptError> {
+        let (base, entry) = self.leaf_containing(gpa).ok_or(EptError::NotMapped)?;
+        let size = entry.size;
+        self.entries.remove(&base);
+        self.mapped_bytes -= size.bytes();
+        Ok((Gpa(base), size))
+    }
+
+    /// Translates a GPA for the given access, or reports a violation.
+    pub fn translate(&self, gpa: Gpa, access: EptAccess) -> Result<Hpa, EptViolation> {
+        match self.leaf_containing(gpa) {
+            None => Err(EptViolation {
+                gpa,
+                access,
+                permission_fault: false,
+            }),
+            Some((base, entry)) => {
+                let allowed = match access {
+                    EptAccess::Read => entry.perms.read,
+                    EptAccess::Write => entry.perms.write,
+                    EptAccess::Exec => entry.perms.exec,
+                };
+                if !allowed {
+                    return Err(EptViolation {
+                        gpa,
+                        access,
+                        permission_fault: true,
+                    });
+                }
+                Ok(entry.hpa.add(gpa.get() - base))
+            }
+        }
+    }
+
+    /// Whether any leaf covers `gpa`.
+    pub fn is_mapped(&self, gpa: Gpa) -> bool {
+        self.leaf_containing(gpa).is_some()
+    }
+
+    /// Total bytes currently mapped.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_bytes
+    }
+
+    /// Number of leaf mappings.
+    pub fn leaf_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn leaf_containing(&self, gpa: Gpa) -> Option<(u64, EptEntry)> {
+        let (base, entry) = self.entries.range(..=gpa.get()).next_back()?;
+        if gpa.get() < base + entry.size.bytes() {
+            Some((*base, *entry))
+        } else {
+            None
+        }
+    }
+
+    fn overlaps(&self, base: u64, bytes: u64) -> bool {
+        // A mapping overlapping [base, base+bytes) either contains `base`
+        // or starts inside the range.
+        if self.leaf_containing(Gpa(base)).is_some() {
+            return true;
+        }
+        self.entries.range(base..base + bytes).next().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let mut ept = Ept::new();
+        ept.map(Gpa(0x1000), Hpa(0x8000), EptPageSize::Size4K, EptPerms::RWX)
+            .unwrap();
+        let hpa = ept.translate(Gpa(0x1abc), EptAccess::Read).unwrap();
+        assert_eq!(hpa, Hpa(0x8abc));
+    }
+
+    #[test]
+    fn unmapped_access_is_violation() {
+        let ept = Ept::new();
+        let v = ept.translate(Gpa(0x5000), EptAccess::Write).unwrap_err();
+        assert_eq!(v.gpa, Gpa(0x5000));
+        assert!(!v.permission_fault);
+        assert_eq!(v.access, EptAccess::Write);
+    }
+
+    #[test]
+    fn permission_fault_on_write_to_readonly() {
+        let mut ept = Ept::new();
+        ept.map(Gpa(0), Hpa(0), EptPageSize::Size4K, EptPerms::R)
+            .unwrap();
+        assert!(ept.translate(Gpa(0x10), EptAccess::Read).is_ok());
+        let v = ept.translate(Gpa(0x10), EptAccess::Write).unwrap_err();
+        assert!(v.permission_fault);
+        let v = ept.translate(Gpa(0x10), EptAccess::Exec).unwrap_err();
+        assert!(v.permission_fault);
+    }
+
+    #[test]
+    fn huge_pages_cover_their_range() {
+        let mut ept = Ept::new();
+        ept.map(
+            Gpa(PAGE_1G),
+            Hpa(4 * PAGE_1G),
+            EptPageSize::Size1G,
+            EptPerms::RW,
+        )
+        .unwrap();
+        // Last byte of the 1 GiB leaf translates.
+        let hpa = ept
+            .translate(Gpa(2 * PAGE_1G - 1), EptAccess::Read)
+            .unwrap();
+        assert_eq!(hpa, Hpa(5 * PAGE_1G - 1));
+        // One byte past does not.
+        assert!(ept.translate(Gpa(2 * PAGE_1G), EptAccess::Read).is_err());
+        assert_eq!(ept.mapped_bytes(), PAGE_1G);
+    }
+
+    #[test]
+    fn misaligned_map_rejected() {
+        let mut ept = Ept::new();
+        assert_eq!(
+            ept.map(Gpa(0x800), Hpa(0), EptPageSize::Size4K, EptPerms::RWX),
+            Err(EptError::Misaligned)
+        );
+        assert_eq!(
+            ept.map(Gpa(0), Hpa(0x1000), EptPageSize::Size2M, EptPerms::RWX),
+            Err(EptError::Misaligned)
+        );
+    }
+
+    #[test]
+    fn overlap_rejected_both_directions() {
+        let mut ept = Ept::new();
+        ept.map(Gpa(PAGE_2M), Hpa(0), EptPageSize::Size2M, EptPerms::RWX)
+            .unwrap();
+        // A 4K page inside the 2M leaf.
+        assert_eq!(
+            ept.map(
+                Gpa(PAGE_2M + PAGE_4K),
+                Hpa(PAGE_1G),
+                EptPageSize::Size4K,
+                EptPerms::RWX
+            ),
+            Err(EptError::Overlap)
+        );
+        // A 1G page containing the 2M leaf.
+        assert_eq!(
+            ept.map(Gpa(0), Hpa(PAGE_1G), EptPageSize::Size1G, EptPerms::RWX),
+            Err(EptError::Overlap)
+        );
+    }
+
+    #[test]
+    fn unmap_removes_leaf() {
+        let mut ept = Ept::new();
+        ept.map(Gpa(0x3000), Hpa(0x9000), EptPageSize::Size4K, EptPerms::RWX)
+            .unwrap();
+        let (base, size) = ept.unmap(Gpa(0x3abc)).unwrap();
+        assert_eq!(base, Gpa(0x3000));
+        assert_eq!(size, EptPageSize::Size4K);
+        assert!(!ept.is_mapped(Gpa(0x3000)));
+        assert_eq!(ept.unmap(Gpa(0x3000)), Err(EptError::NotMapped));
+        assert_eq!(ept.mapped_bytes(), 0);
+    }
+
+    #[test]
+    fn adjacent_mappings_do_not_overlap() {
+        let mut ept = Ept::new();
+        ept.map(Gpa(0), Hpa(0), EptPageSize::Size4K, EptPerms::RWX)
+            .unwrap();
+        ept.map(
+            Gpa(PAGE_4K),
+            Hpa(PAGE_4K),
+            EptPageSize::Size4K,
+            EptPerms::RWX,
+        )
+        .unwrap();
+        assert_eq!(ept.leaf_count(), 2);
+    }
+}

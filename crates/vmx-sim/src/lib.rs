@@ -1,0 +1,27 @@
+//! Intel VT-x hardware model for the Aquila reproduction.
+//!
+//! Models the virtualization features Aquila builds on (via Dune):
+//!
+//! - [`vcpu::Vcpu`] — VMX root/non-root modes, protection rings,
+//!   vmentry/vmexit/vmcall with the paper's measured transition costs, MSR
+//!   interception, and alternative exception stacks;
+//! - [`ept::Ept`] — per-process extended page tables with 4 KiB / 2 MiB /
+//!   1 GiB leaves and EPT violations (the mechanism behind Aquila's
+//!   dynamic cache resizing);
+//! - [`apic::ApicFabric`] — posted-interrupt IPIs with the vmexit-mediated,
+//!   rate-limited send path used for batched TLB shootdowns.
+//!
+//! The *functional* state (modes, mappings, counters) is real; the *cost*
+//! of each hardware event is charged through `aquila_sim`'s calibrated
+//! cost model, which is what lets a container with no `/dev/kvm` reproduce
+//! the paper's transition-cost arguments.
+
+pub mod addr;
+pub mod apic;
+pub mod ept;
+pub mod vcpu;
+
+pub use addr::{Gpa, Hpa, PAGE_1G, PAGE_2M, PAGE_4K};
+pub use apic::{ApicFabric, IpiRateLimiter, IpiSendPath};
+pub use ept::{Ept, EptAccess, EptError, EptPageSize, EptPerms, EptViolation};
+pub use vcpu::{msr, CpuMode, ExitReason, IstStacks, Ring, Vcpu, Vmcs, MAX_IST_STACKS};

@@ -1,0 +1,137 @@
+//! The YCSB runner: drives an executor closure and records per-operation
+//! latency.
+
+use aquila_sim::{Cycles, LatencyHist, Rng64, SimCtx};
+
+use crate::workload::{Distribution, KeyGen, Op, Workload};
+
+/// Results of a YCSB run.
+pub struct YcsbReport {
+    /// Operations completed.
+    pub ops: u64,
+    /// Per-operation latency histogram.
+    pub latency: LatencyHist,
+    /// Virtual time consumed by this runner.
+    pub elapsed: Cycles,
+}
+
+impl YcsbReport {
+    /// Throughput in operations per (virtual) second.
+    pub fn kops_per_sec(&self) -> f64 {
+        if self.elapsed == Cycles::ZERO {
+            return 0.0;
+        }
+        self.ops as f64 / self.elapsed.as_secs_f64() / 1e3
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.1} kops/s, avg {}, p99 {}, p99.9 {}",
+            self.kops_per_sec(),
+            self.latency.mean(),
+            self.latency.quantile(0.99),
+            self.latency.quantile(0.999)
+        )
+    }
+}
+
+/// Runs `ops` operations of `workload` against `exec`, measuring latency
+/// in virtual time.
+///
+/// `exec` receives the context and the operation; it must charge all its
+/// costs through the context (which every store in this workspace does).
+pub fn run_ops(
+    ctx: &mut dyn SimCtx,
+    workload: Workload,
+    dist: Distribution,
+    record_count: u64,
+    ops: u64,
+    seed: u64,
+    mut exec: impl FnMut(&mut dyn SimCtx, &Op),
+) -> YcsbReport {
+    let mut gen = KeyGen::new(workload, record_count, dist);
+    let mut rng = Rng64::new(seed);
+    let mut latency = LatencyHist::new();
+    let start = ctx.now();
+    for _ in 0..ops {
+        let op = gen.next_op(&mut rng);
+        let t0 = ctx.now();
+        exec(ctx, &op);
+        latency.record(ctx.now() - t0);
+    }
+    YcsbReport {
+        ops,
+        latency,
+        elapsed: ctx.now() - start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aquila_sim::{CostCat, FreeCtx};
+
+    #[test]
+    fn runner_counts_and_measures() {
+        let mut ctx = FreeCtx::new(9);
+        let report = run_ops(
+            &mut ctx,
+            Workload::C,
+            Distribution::Uniform,
+            100,
+            50,
+            1,
+            |ctx, _op| {
+                ctx.charge(CostCat::App, Cycles(1000));
+            },
+        );
+        assert_eq!(report.ops, 50);
+        assert_eq!(report.elapsed, Cycles(50_000));
+        assert_eq!(report.latency.mean(), Cycles(1000));
+        // 1000 cycles/op at 2.4 GHz = 2.4 M ops/s.
+        assert!((report.kops_per_sec() - 2400.0).abs() < 1.0);
+        assert!(report.summary().contains("kops/s"));
+    }
+
+    #[test]
+    fn latency_distribution_captured() {
+        let mut ctx = FreeCtx::new(9);
+        let mut i = 0u64;
+        let report = run_ops(
+            &mut ctx,
+            Workload::A,
+            Distribution::Zipfian,
+            100,
+            1000,
+            2,
+            |ctx, _op| {
+                // Every 100th op is slow (tail).
+                let c = if i % 100 == 0 { 100_000 } else { 500 };
+                i += 1;
+                ctx.charge(CostCat::App, Cycles(c));
+            },
+        );
+        assert!(report.latency.quantile(0.999) > report.latency.quantile(0.5) * 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut ctx = FreeCtx::new(1);
+            let mut keys = Vec::new();
+            run_ops(
+                &mut ctx,
+                Workload::B,
+                Distribution::Zipfian,
+                1000,
+                100,
+                seed,
+                |_, op| keys.push(op.key.clone()),
+            );
+            keys
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

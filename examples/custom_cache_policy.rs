@@ -1,0 +1,120 @@
+//! Customizing the mmio path — the paper's core flexibility claim.
+//!
+//! Linux `mmap` gives every application the same kernel page cache, the
+//! same readahead, and the same eviction. Aquila puts all of that in the
+//! application's hands. This example tunes three knobs for one workload
+//! (sequential scan over a large file) and shows the effect of each:
+//!
+//! 1. readahead window (`madvise` advice),
+//! 2. eviction batch size,
+//! 3. the device access path (DAX vs host syscalls).
+//!
+//! ```sh
+//! cargo run --release --example custom_cache_policy
+//! ```
+
+use std::sync::Arc;
+
+use aquila::{Advice, Aquila, AquilaConfig, AquilaRuntime, DeviceKind, Prot};
+use aquila_pcache::NumaTopology;
+use aquila_sim::{CoreDebts, FreeCtx, SimCtx};
+
+const FILE_PAGES: u64 = 4096;
+const CACHE_FRAMES: usize = 512;
+
+fn scan_with(advice: Advice, evict_batch: usize, kind: DeviceKind) -> (f64, u64, u64) {
+    let mut ctx = FreeCtx::new(1);
+    let debts = Arc::new(CoreDebts::new(1));
+
+    // Build the stack by hand so the eviction batch is configurable —
+    // exactly the customization surface the paper argues for.
+    let rt = AquilaRuntime::build(
+        &mut ctx,
+        kind,
+        FILE_PAGES + 4096,
+        CACHE_FRAMES,
+        1,
+        debts.clone(),
+    );
+    let mut cfg = AquilaConfig::new(1, CACHE_FRAMES);
+    cfg.evict_batch = evict_batch;
+    cfg.topology = NumaTopology::flat(1);
+    let aquila = Aquila::new(cfg, debts);
+    // Reuse the runtime's blobstore/access for the custom engine.
+    let file = aquila
+        .files()
+        .open_blob(&rt.store, &rt.access, "/scan-me", FILE_PAGES)
+        .expect("open");
+    let addr = aquila
+        .mmap(&mut ctx, file, 0, FILE_PAGES, Prot::RW)
+        .expect("mmap");
+    aquila
+        .madvise(&mut ctx, addr, FILE_PAGES, advice)
+        .expect("madvise");
+
+    // Sequential scan: read 64 bytes of every page.
+    let t0 = ctx.now();
+    let mut buf = [0u8; 64];
+    for p in 0..FILE_PAGES {
+        aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut buf)
+            .expect("read");
+    }
+    (
+        (ctx.now() - t0).as_secs_f64() * 1e3,
+        ctx.stats.major_faults,
+        ctx.stats.readahead_pages,
+    )
+}
+
+fn main() {
+    println!(
+        "sequential scan of a {}-page file, {} cache frames\n",
+        FILE_PAGES, CACHE_FRAMES
+    );
+    println!(
+        "{:<46} {:>9} {:>12} {:>10}",
+        "policy", "time(ms)", "major-faults", "readahead"
+    );
+    for (label, advice, batch, kind) in [
+        (
+            "default   (Normal advice, batch 64, DAX)",
+            Advice::Normal,
+            64,
+            DeviceKind::PmemDax,
+        ),
+        (
+            "tuned     (Sequential advice, batch 64, DAX)",
+            Advice::Sequential,
+            64,
+            DeviceKind::PmemDax,
+        ),
+        (
+            "anti-tuned(Random advice, batch 64, DAX)",
+            Advice::Random,
+            64,
+            DeviceKind::PmemDax,
+        ),
+        (
+            "tiny evictions (Sequential, batch 16, DAX)",
+            Advice::Sequential,
+            16,
+            DeviceKind::PmemDax,
+        ),
+        (
+            "host I/O  (Sequential, batch 64, HOST-pmem)",
+            Advice::Sequential,
+            64,
+            DeviceKind::PmemHost,
+        ),
+    ] {
+        let (ms, majors, ra) = scan_with(advice, batch, kind);
+        println!("{label:<46} {ms:>9.3} {majors:>12} {ra:>10}");
+    }
+    println!();
+    println!("Sequential advice widens readahead and cuts major faults; the");
+    println!("Random hint disables it (right for point lookups, wrong here);");
+    println!("and keeping the device path in non-root ring 0 (DAX) beats");
+    println!("forwarding every miss to the host kernel. None of these knobs");
+    println!("exist for a process using plain Linux mmap.");
+}

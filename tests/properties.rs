@@ -1,0 +1,223 @@
+//! Property-based tests over the core data structures: each structure is
+//! driven with random operation sequences and checked against a simple
+//! reference model or invariant.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use aquila_mmu::{Access, Gva, PageTable, PteFlags};
+use aquila_pcache::{coalesce_runs, DirtyPage, InsertOutcome, LockFreeMap, PageKey};
+use aquila_sim::{Cycles, FreeCtx, LatencyHist};
+use aquila_vma::{Prot, VmaTree};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The page table agrees with a HashMap model under arbitrary
+    /// map/unmap/protect sequences.
+    #[test]
+    fn page_table_matches_model(ops in prop::collection::vec((0u8..4, 0u64..128, any::<bool>()), 1..200)) {
+        let mut pt = PageTable::new();
+        let mut model: HashMap<u64, (u64, bool)> = HashMap::new();
+        for (op, slot, writable) in ops {
+            let gva = Gva(slot * 4096);
+            let gpa = aquila_vmx::Gpa(0x10_0000 + slot * 4096);
+            match op {
+                0 => {
+                    let flags = if writable { PteFlags::RW } else { PteFlags::RO };
+                    pt.map(gva, gpa, flags);
+                    model.insert(slot, (gpa.get(), writable));
+                }
+                1 => {
+                    let got = pt.unmap(gva).map(|p| p.gpa.get());
+                    let want = model.remove(&slot).map(|(g, _)| g);
+                    prop_assert_eq!(got, want);
+                }
+                2 => {
+                    let flags = if writable { PteFlags::RW } else { PteFlags::RO };
+                    let got = pt.protect(gva, flags).is_some();
+                    if let Some(e) = model.get_mut(&slot) {
+                        e.1 = writable;
+                        prop_assert!(got);
+                    } else {
+                        prop_assert!(!got);
+                    }
+                }
+                _ => {
+                    let access = if writable { Access::Write } else { Access::Read };
+                    let got = pt.translate(gva, access);
+                    match model.get(&slot) {
+                        None => prop_assert!(got.is_err()),
+                        Some(&(g, w)) => {
+                            if writable && !w {
+                                prop_assert!(got.is_err());
+                            } else {
+                                prop_assert_eq!(got.ok().map(|x| x.get()), Some(g));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(pt.mapped_pages() as usize, model.len());
+    }
+
+    /// The concurrent page map agrees with a HashMap model.
+    #[test]
+    fn lockfree_map_matches_model(ops in prop::collection::vec((0u8..3, 0u64..64, 0u64..1000), 1..300)) {
+        let m = LockFreeMap::new(128);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (op, page, val) in ops {
+            let key = PageKey::new(1, page);
+            match op {
+                0 => match m.insert(key, val) {
+                    InsertOutcome::Inserted => {
+                        prop_assert!(!model.contains_key(&page));
+                        model.insert(page, val);
+                    }
+                    InsertOutcome::AlreadyPresent(v) => {
+                        prop_assert_eq!(model.get(&page), Some(&v));
+                    }
+                },
+                1 => {
+                    prop_assert_eq!(m.remove(key), model.remove(&page));
+                }
+                _ => {
+                    prop_assert_eq!(m.get(key), model.get(&page).copied());
+                }
+            }
+        }
+        prop_assert_eq!(m.len(), model.len());
+    }
+
+    /// VMA lookups agree with a per-page model under map/unmap/protect.
+    #[test]
+    fn vma_tree_matches_model(ops in prop::collection::vec((0u8..3, 0u64..96, 1u64..16, any::<bool>()), 1..100)) {
+        let tree = VmaTree::new(0);
+        let mut ctx = FreeCtx::new(1);
+        let mut model: HashMap<u64, bool> = HashMap::new(); // vpn -> writable
+        for (op, start, len, writable) in ops {
+            match op {
+                0 => {
+                    let prot = if writable { Prot::RW } else { Prot::READ };
+                    let free = (start..start + len).all(|v| !model.contains_key(&v));
+                    let res = tree.map(&mut ctx, Some(aquila_mmu::Vpn(start)), len, 0, start, prot);
+                    prop_assert_eq!(res.is_ok(), free);
+                    if free {
+                        for v in start..start + len {
+                            model.insert(v, writable);
+                        }
+                    }
+                }
+                1 => {
+                    let removed = tree.unmap(&mut ctx, aquila_mmu::Vpn(start), len);
+                    let expected = (start..start + len).filter(|v| model.remove(v).is_some()).count();
+                    prop_assert_eq!(removed.len(), expected);
+                }
+                _ => {
+                    for v in start..start + len {
+                        let got = tree.lookup(&mut ctx, aquila_mmu::Vpn(v));
+                        prop_assert_eq!(got.is_some(), model.contains_key(&v));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(tree.mapped_pages() as usize, model.len());
+    }
+
+    /// Coalesced writeback runs preserve exactly the input pages, in
+    /// order, and every run is contiguous within one file.
+    #[test]
+    fn coalesce_runs_partition_invariants(pages in prop::collection::btree_set((0u32..4, 0u64..200), 0..80)) {
+        let input: Vec<DirtyPage> = pages
+            .iter()
+            .map(|&(f, p)| DirtyPage {
+                key: PageKey::new(f, p),
+                frame: aquila_mmu::FrameId(0),
+            })
+            .collect();
+        let runs = coalesce_runs(&input);
+        let flat: Vec<(u32, u64)> = runs
+            .iter()
+            .flatten()
+            .map(|d| (d.key.file, d.key.page))
+            .collect();
+        let expect: Vec<(u32, u64)> = pages.iter().copied().collect();
+        prop_assert_eq!(flat, expect);
+        for run in &runs {
+            for w in run.windows(2) {
+                prop_assert_eq!(w[0].key.file, w[1].key.file);
+                prop_assert_eq!(w[0].key.page + 1, w[1].key.page);
+            }
+        }
+    }
+
+    /// Histogram quantiles are monotone and bounded by min/max, and the
+    /// mean is exact.
+    #[test]
+    fn histogram_invariants(values in prop::collection::vec(1u64..1_000_000_000, 1..500)) {
+        let mut h = LatencyHist::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record(Cycles(v));
+            sum += v as u128;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.mean().get(), (sum / values.len() as u128) as u64);
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = h.quantile(i as f64 / 20.0).get();
+            prop_assert!(q >= prev);
+            prop_assert!(q >= lo && q <= hi);
+            prev = q;
+        }
+        // Bounded relative error at the median for single-value input.
+        if values.iter().all(|&v| v == values[0]) {
+            let err = (h.quantile(0.5).get() as f64 - values[0] as f64).abs() / values[0] as f64;
+            prop_assert!(err < 0.02, "relative error {err}");
+        }
+    }
+
+    /// Blobstore allocation never double-assigns clusters across blobs.
+    #[test]
+    fn blobstore_clusters_disjoint(sizes in prop::collection::vec(1u64..5, 1..10)) {
+        let mut ctx = FreeCtx::new(1);
+        let dev = Arc::new(aquila_devices::NvmeDevice::optane(16384));
+        let access: Arc<dyn aquila_devices::StorageAccess> =
+            Arc::new(aquila_devices::SpdkAccess::new(dev));
+        let bs = aquila_devices::Blobstore::format(&mut ctx, access);
+        let mut blobs = Vec::new();
+        for &s in &sizes {
+            let b = bs.create();
+            if bs.resize(b, s).is_ok() {
+                blobs.push((b, s));
+            }
+        }
+        // Every (blob, page) maps to a unique device page.
+        let mut seen = std::collections::HashSet::new();
+        for &(b, s) in &blobs {
+            for page in 0..s * aquila_devices::PAGES_PER_CLUSTER {
+                let lba = bs.lba_page(b, page).unwrap();
+                prop_assert!(seen.insert(lba), "device page {lba} double-mapped");
+            }
+        }
+    }
+
+    /// Zipfian sampling stays in range and is reproducible.
+    #[test]
+    fn zipfian_range_and_determinism(n in 1u64..10_000, seed in any::<u64>()) {
+        let z = aquila_sim::Zipfian::new(n, 0.99);
+        let mut a = aquila_sim::Rng64::new(seed);
+        let mut b = aquila_sim::Rng64::new(seed);
+        for _ in 0..50 {
+            let x = z.sample(&mut a);
+            let y = z.sample(&mut b);
+            prop_assert!(x < n);
+            prop_assert_eq!(x, y);
+        }
+    }
+}
