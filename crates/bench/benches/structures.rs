@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks of the core data structures (host-time
-//! performance of the implementation itself, complementing the
-//! virtual-time figure binaries).
+//! Micro-benchmarks of the core data structures (host-time performance
+//! of the implementation itself, complementing the virtual-time figure
+//! binaries).
+//!
+//! Plain `std::time::Instant` timing loops — the build is fully offline,
+//! so there is no Criterion. Run with `cargo bench -p aquila-bench`.
 
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 
 use aquila_kvstore::{SstReader, SstWriter};
 use aquila_mmu::{Access, Gva, PageTable, PteFlags, Vpn};
@@ -12,95 +14,86 @@ use aquila_pcache::{ClockLru, Freelist, FreelistConfig, LockFreeMap, NumaTopolog
 use aquila_sim::FreeCtx;
 use aquila_vmx::Gpa;
 
-fn bench_lockfree_map(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lockfree_map");
+/// Times `iters` calls of `f` (after a 10% warmup) and prints ns/op.
+fn bench<R>(group: &str, name: &str, iters: u64, mut f: impl FnMut() -> R) {
+    for _ in 0..iters / 10 {
+        std::hint::black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = t0.elapsed();
+    println!(
+        "{group}/{name:<24} {:>10.1} ns/op   ({iters} iters, {:.3} s)",
+        elapsed.as_nanos() as f64 / iters as f64,
+        elapsed.as_secs_f64()
+    );
+}
+
+fn bench_lockfree_map() {
     let m = LockFreeMap::new(1 << 16);
     for i in 0..(1u64 << 15) {
         m.insert(PageKey::new(1, i), i);
     }
     let mut i = 0u64;
-    g.bench_function("get_hit", |b| {
-        b.iter(|| {
-            i = (i + 12_345) & ((1 << 15) - 1);
-            std::hint::black_box(m.get(PageKey::new(1, i)))
-        })
+    bench("lockfree_map", "get_hit", 2_000_000, || {
+        i = (i + 12_345) & ((1 << 15) - 1);
+        m.get(PageKey::new(1, i))
     });
-    g.bench_function("insert_remove", |b| {
-        let mut k = 1u64 << 20;
-        b.iter(|| {
-            k += 1;
-            let key = PageKey::new(2, k & 0xFFFF);
-            m.insert(key, k);
-            m.remove(key)
-        })
+    let mut k = 1u64 << 20;
+    bench("lockfree_map", "insert_remove", 1_000_000, || {
+        k += 1;
+        let key = PageKey::new(2, k & 0xFFFF);
+        m.insert(key, k);
+        m.remove(key)
     });
-    g.finish();
 }
 
-fn bench_freelist(c: &mut Criterion) {
-    let mut g = c.benchmark_group("freelist");
+fn bench_freelist() {
     let fl = Freelist::new(
         NumaTopology::paper_testbed(),
         FreelistConfig::default(),
         (0..1u32 << 16).map(aquila_mmu::FrameId),
     );
-    g.bench_function("alloc_free", |b| {
-        b.iter(|| {
-            let f = fl.alloc(3).expect("non-empty");
-            fl.free(3, f);
-        })
+    bench("freelist", "alloc_free", 2_000_000, || {
+        let f = fl.alloc(3).expect("non-empty");
+        fl.free(3, f);
     });
-    g.finish();
 }
 
-fn bench_page_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("page_table");
+fn bench_page_table() {
     let mut pt = PageTable::new();
     for i in 0..(1u64 << 14) {
         pt.map(Gva(i * 4096), Gpa(i * 4096), PteFlags::RW);
     }
     let mut i = 0u64;
-    g.bench_function("translate_hit", |b| {
-        b.iter(|| {
-            i = (i + 7919) & ((1 << 14) - 1);
-            pt.translate(Gva(i * 4096), Access::Read).expect("mapped")
-        })
+    bench("page_table", "translate_hit", 2_000_000, || {
+        i = (i + 7919) & ((1 << 14) - 1);
+        pt.translate(Gva(i * 4096), Access::Read).expect("mapped")
     });
-    g.bench_function("map_unmap", |b| {
-        let gva = Gva(0xDEAD_0000_0000);
-        b.iter(|| {
-            pt.map(gva, Gpa(0x1000), PteFlags::RW);
-            pt.unmap(gva)
-        })
+    let gva = Gva(0xDEAD_0000_0000);
+    bench("page_table", "map_unmap", 1_000_000, || {
+        pt.map(gva, Gpa(0x1000), PteFlags::RW);
+        pt.unmap(gva)
     });
-    g.finish();
 }
 
-fn bench_clock_lru(c: &mut Criterion) {
-    let mut g = c.benchmark_group("clock_lru");
+fn bench_clock_lru() {
     let clock = ClockLru::new(1 << 16);
     for i in 0..(1u32 << 16) {
         clock.mark_resident(aquila_mmu::FrameId(i));
     }
-    g.bench_function("collect_512", |b| {
-        b.iter_batched(
-            || (),
-            |_| {
-                let victims = clock.collect_victims(512);
-                for v in &victims {
-                    clock.mark_resident(*v);
-                }
-                victims.len()
-            },
-            BatchSize::SmallInput,
-        )
+    bench("clock_lru", "collect_512", 5_000, || {
+        let victims = clock.collect_victims(512);
+        for v in &victims {
+            clock.mark_resident(*v);
+        }
+        victims.len()
     });
-    g.finish();
 }
 
-fn bench_sst(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sst");
-    g.sample_size(20);
+fn bench_sst() {
     // Build an SST in a DRAM-cheap direct env.
     let mut ctx = FreeCtx::new(1);
     let dev = Arc::new(aquila_devices::PmemDevice::dram_backed(1 << 16));
@@ -115,23 +108,18 @@ fn bench_sst(c: &mut Criterion) {
     let meta = w.finish(&mut ctx, &file, 10);
     let reader = SstReader::from_meta(meta, file);
     let mut i = 0u64;
-    g.bench_function("point_get", |b| {
-        b.iter(|| {
-            i = (i + 104_729) % 20_000;
-            reader
-                .get(&mut ctx, format!("key{i:012}").as_bytes())
-                .expect("present")
-        })
+    bench("sst", "point_get", 200_000, || {
+        i = (i + 104_729) % 20_000;
+        reader
+            .get(&mut ctx, format!("key{i:012}").as_bytes())
+            .expect("present")
     });
-    g.bench_function("bloom_reject", |b| {
-        b.iter(|| reader.get(&mut ctx, b"missing-key-entirely"))
+    bench("sst", "bloom_reject", 500_000, || {
+        reader.get(&mut ctx, b"missing-key-entirely")
     });
-    g.finish();
 }
 
-fn bench_fault_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mmio_fault_path");
-    g.sample_size(20);
+fn bench_fault_path() {
     // Host-time cost of a full simulated minor fault (the engine's own
     // overhead, not virtual cycles).
     let mut ctx = FreeCtx::new(1);
@@ -157,42 +145,33 @@ fn bench_fault_path(c: &mut Criterion) {
             .expect("read");
     }
     let mut p = 0u64;
-    g.bench_function("tlb_hit_read", |b| {
-        b.iter(|| {
-            p = (p + 613) & 4095;
-            rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut buf)
-        })
+    bench("mmio_fault_path", "tlb_hit_read", 500_000, || {
+        p = (p + 613) & 4095;
+        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut buf)
     });
-    g.finish();
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tlb");
+fn bench_tlb() {
     let fabric = aquila_mmu::TlbFabric::new(32);
     let debts = aquila_sim::CoreDebts::new(32);
     let mut ctx = FreeCtx::new(1).with_core(0, 32);
     let pages: Vec<Vpn> = (0..512).map(Vpn).collect();
-    g.bench_function("shootdown_batch_512_32cores", |b| {
-        b.iter(|| {
-            fabric.shootdown_batch(
-                &mut ctx,
-                &debts,
-                aquila_vmx::IpiSendPath::VmexitMediated,
-                &pages,
-            )
-        })
+    bench("tlb", "shootdown_batch_512_32cores", 20_000, || {
+        fabric.shootdown_batch(
+            &mut ctx,
+            &debts,
+            aquila_vmx::IpiSendPath::VmexitMediated,
+            &pages,
+        )
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_lockfree_map,
-    bench_freelist,
-    bench_page_table,
-    bench_clock_lru,
-    bench_sst,
-    bench_fault_path,
-    bench_tlb
-);
-criterion_main!(benches);
+fn main() {
+    bench_lockfree_map();
+    bench_freelist();
+    bench_page_table();
+    bench_clock_lru();
+    bench_sst();
+    bench_fault_path();
+    bench_tlb();
+}

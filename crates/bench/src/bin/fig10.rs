@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 use aquila::DeviceKind;
 use aquila_bench::micro::{micro_aquila, micro_linux, prepare_micro, run_micro, Micro};
-use aquila_bench::report::{banner, print_rows, Row};
-use aquila_bench::Dev;
+use aquila_bench::report::{banner, print_rows, JsonReport, Row};
+use aquila_bench::{BenchArgs, Dev};
 use aquila_sim::CoreDebts;
 
 struct Scale {
@@ -38,21 +38,23 @@ fn scales(full: bool) -> Scale {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
+    let args = BenchArgs::parse();
+    let full = args.has_flag("--full");
     // `--fit` selects (a), `--nofit` selects (b); neither or both runs
     // both cases.
-    let has_fit = args.iter().any(|a| a == "--fit");
-    let has_nofit = args.iter().any(|a| a == "--nofit");
+    let has_fit = args.has_flag("--fit");
+    let has_nofit = args.has_flag("--nofit");
     let fit = has_fit || !has_nofit;
     let nofit = has_nofit || !has_fit;
     let sc = scales(full);
+    let mut json = JsonReport::new("fig10", "Microbenchmark scalability, shared vs private files");
     if fit {
-        run_case(&sc, true);
+        run_case(&sc, true, &mut json);
     }
     if nofit {
-        run_case(&sc, false);
+        run_case(&sc, false, &mut json);
     }
+    args.finish(&json);
 }
 
 fn build(aquila: bool, fit: bool, threads: usize, sc: &Scale, shared: bool) -> Arc<Micro> {
@@ -90,7 +92,7 @@ fn build(aquila: bool, fit: bool, threads: usize, sc: &Scale, shared: bool) -> A
     })
 }
 
-fn run_case(sc: &Scale, fit: bool) {
+fn run_case(sc: &Scale, fit: bool, json: &mut JsonReport) {
     let case = if fit {
         "(a) dataset fits in memory"
     } else {
@@ -132,14 +134,31 @@ fn run_case(sc: &Scale, fit: bool) {
                     if shared { "shared" } else { "private" }
                 );
                 let row = Row::from_hist(label, r.ops, r.elapsed, &r.latency);
+                json.add_hist(
+                    format!(
+                        "10{}/{}",
+                        if fit { "a" } else { "b" },
+                        row.label.clone()
+                    ),
+                    &r.latency,
+                );
                 pair.push(row.kops);
                 rows.push(row);
             }
             ratios.push((t, pair[1] / pair[0]));
         }
         print_rows(&rows);
+        json.add_rows(&rows);
         for (t, ratio) in ratios {
             println!("  -> aquila/mmap at {t:>2} threads: {ratio:.2}x");
+            json.add_scalar(
+                format!(
+                    "10{}/{}/threads={t}/aquila_over_mmap",
+                    if fit { "a" } else { "b" },
+                    if shared { "shared" } else { "private" }
+                ),
+                ratio,
+            );
         }
         println!();
     }

@@ -12,7 +12,8 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use aquila_bench::kvscen::{build_stone, load_stone, warm_stone, Backend, Dev};
-use aquila_bench::report::{banner, print_rows, print_speedup, Row};
+use aquila_bench::report::{banner, print_rows, print_speedup, JsonReport, Row};
+use aquila_bench::BenchArgs;
 use aquila_kvstore::StoneDb;
 use aquila_sim::{CoreDebts, Engine, FreeCtx, LatencyHist, SimCtx, Step};
 use aquila_ycsb::workload::{Distribution, KeyGen, Workload};
@@ -54,24 +55,26 @@ fn scale(full: bool) -> Scale {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
+    let args = BenchArgs::parse();
+    let full = args.has_flag("--full");
     // `--fit` selects (a), `--nofit` selects (b); neither or both runs
     // both cases.
-    let has_fit = args.iter().any(|a| a == "--fit");
-    let has_nofit = args.iter().any(|a| a == "--nofit");
+    let has_fit = args.has_flag("--fit");
+    let has_nofit = args.has_flag("--nofit");
     let want_fit = has_fit || !has_nofit;
     let want_nofit = has_nofit || !has_fit;
     let sc = scale(full);
+    let mut report = JsonReport::new("fig5", "YCSB-C on StoneDB across backends");
     if want_fit {
-        run_case(&sc, true);
+        run_case(&sc, true, &mut report);
     }
     if want_nofit {
-        run_case(&sc, false);
+        run_case(&sc, false, &mut report);
     }
+    args.finish(&report);
 }
 
-fn run_case(sc: &Scale, fit: bool) {
+fn run_case(sc: &Scale, fit: bool, report: &mut JsonReport) {
     let records = if fit {
         sc.records_fit
     } else {
@@ -114,12 +117,24 @@ fn run_case(sc: &Scale, fit: bool) {
                 }
                 scen.reset_timing();
                 let r = run_threads(&scen.db, records, threads, sc.ops_per_thread);
-                rows.push(Row::from_hist(
+                let case = format!(
+                    "5{}/{}/{} threads={threads}",
+                    if fit { "a" } else { "b" },
+                    dev.name(),
+                    scen.label
+                );
+                report.add_hist(&case, &r.1);
+                let row = Row::from_hist(
                     format!("{} threads={threads}", scen.label),
                     threads as u64 * sc.ops_per_thread,
                     r.0,
                     &r.1,
-                ));
+                );
+                report.add_row(&Row {
+                    label: case,
+                    ..row.clone()
+                });
+                rows.push(row);
             }
             print_rows(&rows);
             print_speedup("aquila vs read/write", &rows[2], &rows[0]);

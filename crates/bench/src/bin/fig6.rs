@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use aquila::{AquilaRegion, AquilaRuntime, DeviceKind};
-use aquila_bench::report::banner;
-use aquila_bench::Dev;
+use aquila_bench::report::{banner, JsonReport};
+use aquila_bench::{BenchArgs, Dev};
 use aquila_devices::{NvmeDevice, PmemDevice};
 use aquila_graph::{bfs, rmat_edges, CsrGraph, RmatParams, Team};
 use aquila_linuxsim::{KernelDevice, LinuxConfig, LinuxMmap, LinuxRegion};
@@ -94,9 +94,10 @@ fn build_region(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let big_cache = args.iter().any(|a| a.contains("large"));
+    let args = BenchArgs::parse();
+    let mut json = JsonReport::new("fig6", "Ligra BFS with the heap over storage");
+    let full = args.has_flag("--full");
+    let big_cache = args.rest.iter().any(|a| a.contains("large"));
     let (scale_exp, edge_factor) = if full { (19, 10) } else { (18, 10) };
     let n = 1u64 << scale_exp;
     let m = n * edge_factor;
@@ -141,6 +142,7 @@ fn main() {
             let result = bfs(&mut team, &g, 0);
             let secs = (team.now() - t0).as_secs_f64();
             times.push((heap.label(), threads, secs));
+            json.add_scalar(format!("{}/threads={threads}/bfs_secs", heap.label()), secs);
             println!(
                 "{:<16} threads={threads:<3} BFS time {secs:>8.3}s  visited {} rounds {}",
                 heap.label(),
@@ -150,6 +152,7 @@ fn main() {
             // Part (c): breakdown at the highest thread count.
             if threads == *threads_list.last().expect("threads") {
                 let bd = team.breakdown().since(&bd0);
+                json.add_breakdown(format!("6c/{}/threads={threads}", heap.label()), &bd, 1);
                 let total = bd.total().get().max(1) as f64;
                 let user = bd.get(CostCat::App).get() as f64;
                 let idle = bd.get(CostCat::Idle).get() as f64;
@@ -177,6 +180,15 @@ fn main() {
             get("mmap/nvme") / get("aquila/nvme"),
             get("aquila/pmem") / get("dram-only"),
         );
+        json.add_scalar(
+            format!("threads={threads}/aquila_vs_mmap_pmem"),
+            get("mmap/pmem") / get("aquila/pmem"),
+        );
+        json.add_scalar(
+            format!("threads={threads}/aquila_vs_mmap_nvme"),
+            get("mmap/nvme") / get("aquila/nvme"),
+        );
         println!();
     }
+    args.finish(&json);
 }

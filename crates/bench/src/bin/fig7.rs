@@ -11,12 +11,15 @@
 use std::sync::Arc;
 
 use aquila_bench::kvscen::{build_stone, load_stone, warm_stone, Backend, Dev};
-use aquila_bench::report::{banner, fig7_bars};
+use aquila_bench::report::{banner, fig7_bars, JsonReport};
+use aquila_bench::BenchArgs;
 use aquila_sim::{Breakdown, CoreDebts, FreeCtx};
 use aquila_ycsb::{run_ops, Distribution, Workload};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args = BenchArgs::parse();
+    let mut json = JsonReport::new("fig7", "RocksDB per-get cycle breakdown");
+    let full = args.has_flag("--full");
     let records: u64 = if full { 65_536 } else { 16_384 };
     // Cache = 1/4 of the dataset (the paper's 8 GB cache / 32 GB dataset).
     let dataset_pages = records / 2; // ~2 records per 4 KiB of SST data.
@@ -51,6 +54,9 @@ fn main() {
             },
         );
         let delta = ctx.breakdown.since(&before);
+        json.add_breakdown(&scen.label, &delta, ops);
+        json.add_counters(&scen.label, &ctx.stats);
+        json.add_hist(&scen.label, &report.latency);
         let (dev, cache, get) = fig7_bars(&delta, ops);
         let total = dev + cache + get;
         println!(
@@ -75,4 +81,7 @@ fn main() {
         "  -> end-to-end throughput:   {:.0}% higher with Aquila (paper: ~40%)",
         (aq_kops / ucache_kops - 1.0) * 100.0
     );
+    json.add_scalar("cache_mgmt_ratio", ucache_cm / aq_cm);
+    json.add_scalar("throughput_gain_pct", (aq_kops / ucache_kops - 1.0) * 100.0);
+    args.finish(&json);
 }

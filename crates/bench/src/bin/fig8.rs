@@ -7,33 +7,38 @@
 //!     dataset; paper: Aquila 2.06x lower, no Aquila component >10%).
 //! (c) Device access paths in Aquila: Cache-Hit 2179 cycles; DAX-pmem vs
 //!     HOST-pmem = 7.77x; SPDK-NVMe vs HOST-NVMe = 1.53x.
+//!
+//! `--json <path>` writes the breakdowns as a machine-readable record;
+//! `--trace <path>` writes a Chrome trace of the run (Perfetto).
 
 use std::sync::Arc;
 
 use aquila::DeviceKind;
 use aquila_bench::micro::{micro_aquila, micro_linux, prepare_micro, run_micro};
-use aquila_bench::report::{banner, print_breakdown_per_op};
-use aquila_bench::Dev;
+use aquila_bench::report::{banner, print_breakdown_per_op, JsonReport};
+use aquila_bench::{BenchArgs, Dev};
 use aquila_sim::CoreDebts;
 
 fn usage() -> ! {
-    eprintln!("usage: fig8 [a|b|c|all]");
+    eprintln!("usage: fig8 [a|b|c|all] [--json <path>] [--trace <path>]");
     std::process::exit(2);
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match which.as_str() {
-        "a" => part_a(),
-        "b" => part_b(),
-        "c" => part_c(),
+    let args = BenchArgs::parse();
+    let mut report = JsonReport::new("fig8", "Page-fault overhead breakdowns");
+    match args.selector("all").as_str() {
+        "a" => part_a(&mut report),
+        "b" => part_b(&mut report),
+        "c" => part_c(&mut report),
         "all" => {
-            part_a();
-            part_b();
-            part_c();
+            part_a(&mut report);
+            part_b(&mut report);
+            part_c(&mut report);
         }
         _ => usage(),
     }
+    args.finish(&report);
 }
 
 /// Single-threaded fault-cost probe: every access faults (cache warm,
@@ -57,7 +62,7 @@ fn fault_cost(
     (r.elapsed.get() as f64 / faults as f64, r.breakdown, faults)
 }
 
-fn part_a() {
+fn part_a(report: &mut JsonReport) {
     banner(
         "Figure 8(a): page-fault overhead, dataset fits in memory (pmem)",
         "Linux 5380 cycles total (49% device I/O, 24% trap); Aquila trap 552 vs 1287 (2.33x)",
@@ -71,14 +76,19 @@ fn part_a() {
     println!("Aquila mmio  (device fill): {aq:.0} cycles/fault");
     print_breakdown_per_op("  components", &aqb, aqf);
     println!("  -> Aquila/Linux fault cost: {:.2}x lower", lx / aq);
+    report.add_breakdown("8a/linux-device-fill", &lxb, lxf);
+    report.add_breakdown("8a/aquila-device-fill", &aqb, aqf);
+    report.add_scalar("8a/linux_over_aquila", lx / aq);
     // And the pure protection-switch comparison (page already cached).
     let (lxh, _, _) = fault_cost(false, true, 16384, 8192);
     let (aqh, _, _) = fault_cost(true, true, 16384, 8192);
     println!("Linux  mmap  (cache hit)  : {lxh:.0} cycles/fault");
     println!("Aquila mmio  (cache hit)  : {aqh:.0} cycles/fault (paper: 2179)");
+    report.add_scalar("8a/linux_cache_hit_cycles", lxh);
+    report.add_scalar("8a/aquila_cache_hit_cycles", aqh);
 }
 
-fn part_b() {
+fn part_b(report: &mut JsonReport) {
     banner(
         "Figure 8(b): page-fault overhead with evictions (cache 1/8 of dataset)",
         "Aquila 2.06x lower than Linux mmap; no Aquila component above ~10%",
@@ -92,9 +102,12 @@ fn part_b() {
     println!("Aquila mmio : {aq:.0} cycles/fault");
     print_breakdown_per_op("  components", &aqb, aqf);
     println!("  -> Aquila/Linux fault cost: {:.2}x lower", lx / aq);
+    report.add_breakdown("8b/linux-evicting", &lxb, lxf);
+    report.add_breakdown("8b/aquila-evicting", &aqb, aqf);
+    report.add_scalar("8b/linux_over_aquila", lx / aq);
 }
 
-fn part_c() {
+fn part_c(report: &mut JsonReport) {
     banner(
         "Figure 8(c): Aquila device access paths (cycles per fault)",
         "Cache-Hit 2179; HOST-pmem/DAX-pmem = 7.77x; HOST-NVMe/SPDK-NVMe = 1.53x",
@@ -116,12 +129,16 @@ fn part_c() {
         let micro = Arc::new(micro_aquila(kind, 1, 16384, 1, 8192, debts));
         prepare_micro(&micro, false);
         let r = run_micro(micro, 1, 3000, true, 0xF8);
-        let per = r.elapsed.get() as f64 / r.counters.page_faults.max(1) as f64;
+        let faults = r.counters.page_faults.max(1);
+        let per = r.elapsed.get() as f64 / faults as f64;
         results.push((label, per));
+        report.add_breakdown(format!("8c/{label}"), &r.breakdown, faults);
+        report.add_counters(format!("8c/{label}"), &r.counters);
     }
 
     for (label, cyc) in &results {
         println!("  {label:<12} {cyc:>10.0} cycles/fault");
+        report.add_scalar(format!("8c/{label}_cycles_per_fault"), *cyc);
     }
     let get = |l: &str| {
         results
@@ -130,12 +147,10 @@ fn part_c() {
             .map(|(_, c)| *c)
             .unwrap_or(1.0)
     };
-    println!(
-        "  -> HOST-pmem / DAX-pmem : {:.2}x   (paper: 7.77x)",
-        get("HOST-pmem") / get("DAX-pmem")
-    );
-    println!(
-        "  -> HOST-NVMe / SPDK-NVMe: {:.2}x   (paper: 1.53x)",
-        get("HOST-NVMe") / get("SPDK-NVMe")
-    );
+    let pmem_ratio = get("HOST-pmem") / get("DAX-pmem");
+    let nvme_ratio = get("HOST-NVMe") / get("SPDK-NVMe");
+    println!("  -> HOST-pmem / DAX-pmem : {pmem_ratio:.2}x   (paper: 7.77x)");
+    println!("  -> HOST-NVMe / SPDK-NVMe: {nvme_ratio:.2}x   (paper: 1.53x)");
+    report.add_scalar("8c/host_pmem_over_dax", pmem_ratio);
+    report.add_scalar("8c/host_nvme_over_spdk", nvme_ratio);
 }

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use aquila::{AquilaRegion, AquilaRuntime, DeviceKind};
-use aquila_bench::report::{banner, print_rows, Row};
-use aquila_bench::Dev;
+use aquila_bench::report::{banner, print_rows, JsonReport, Row};
+use aquila_bench::{BenchArgs, Dev};
 use aquila_devices::{NvmeDevice, PmemDevice};
 use aquila_kvstore::{Krill, KrillConfig};
 use aquila_linuxsim::{KernelDevice, LinuxConfig, LinuxMmap, LinuxRegion};
@@ -82,7 +82,9 @@ fn build(aquila: bool, dev: Dev, region_pages: u64, cache_frames: usize) -> Setu
 }
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args = BenchArgs::parse();
+    let mut json = JsonReport::new("fig9", "Krill on kmmap vs Aquila, YCSB A-F");
+    let full = args.has_flag("--full");
     let records: u64 = if full { 16_384 } else { 6_144 };
     let ops: u64 = if full { 8_000 } else { 3_000 };
     // Dataset ~ records * 1KiB of log plus index; region sized with room,
@@ -146,6 +148,7 @@ fn main() {
                     report.elapsed,
                     &report.latency,
                 );
+                json.add_hist(&row.label, &report.latency);
                 pair.push(row.clone());
                 rows.push(row);
             }
@@ -157,6 +160,7 @@ fn main() {
             ));
         }
         print_rows(&rows);
+        json.add_rows(&rows);
         let mut t_sum = 0.0;
         let mut a_sum = 0.0;
         let mut p_sum = 0.0;
@@ -165,6 +169,7 @@ fn main() {
                 "  -> {}: aquila/kmmap throughput {t:.2}x, avg latency {a:.2}x lower, p99.9 {p:.2}x lower",
                 w.label()
             );
+            json.add_scalar(format!("{}/{}/throughput_ratio", dev.name(), w.label()), *t);
             t_sum += t;
             a_sum += a;
             p_sum += p;
@@ -176,6 +181,10 @@ fn main() {
             a_sum / n,
             p_sum / n
         );
+        json.add_scalar(format!("{}/avg_throughput_ratio", dev.name()), t_sum / n);
+        json.add_scalar(format!("{}/avg_latency_ratio", dev.name()), a_sum / n);
+        json.add_scalar(format!("{}/avg_p999_ratio", dev.name()), p_sum / n);
         println!();
     }
+    args.finish(&json);
 }

@@ -1,11 +1,14 @@
 //! Table 1: the standard YCSB workloads.
 
+use aquila_bench::{BenchArgs, JsonReport};
 use aquila_ycsb::Workload;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let mut json = JsonReport::new("table1", "Standard YCSB workloads");
     println!("Table 1. Standard YCSB Workloads.");
     println!();
-    println!("  {:<4} {}", "", "Workload");
+    println!("  {:<4} Workload", "");
     for w in Workload::ALL {
         println!("  {:<4} {}", w.label(), w.description());
     }
@@ -16,4 +19,8 @@ fn main() {
         aquila_ycsb::workload::VALUE_SIZE,
         aquila_ycsb::workload::SCAN_LEN
     );
+    json.add_scalar("key_size_bytes", aquila_ycsb::workload::KEY_SIZE as f64);
+    json.add_scalar("value_size_bytes", aquila_ycsb::workload::VALUE_SIZE as f64);
+    json.add_scalar("scan_len", aquila_ycsb::workload::SCAN_LEN as f64);
+    args.finish(&json);
 }

@@ -1,0 +1,218 @@
+//! A minimal JSON value and serializer for machine-readable reports.
+//!
+//! The workspace builds without external crates, so this is a small
+//! hand-rolled emitter: enough JSON to write schema-versioned experiment
+//! records and nothing more. Keys keep insertion order (reports are
+//! diffable run to run), numbers are emitted losslessly for `u64` and
+//! with enough precision for `f64`, and strings are escaped per RFC 8259.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (cycle counts, op counts).
+    U64(u64),
+    /// A float (throughput, shares). Non-finite values serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a key to an object (panics on non-objects: a programming bug).
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value)),
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Builder-style [`Json::set`].
+    pub fn with(mut self, key: &str, value: Json) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // Shortest representation that round-trips.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let j = Json::obj()
+            .with("schema_version", Json::U64(1))
+            .with("name", Json::from("fig8"))
+            .with(
+                "rows",
+                Json::Arr(vec![Json::obj()
+                    .with("kops", Json::F64(12.5))
+                    .with("ok", Json::Bool(true))]),
+            )
+            .with("empty", Json::Arr(vec![]))
+            .with("none", Json::Null);
+        let s = j.render();
+        assert!(s.contains("\"schema_version\": 1"));
+        assert!(s.contains("\"kops\": 12.5"));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.contains("\"none\": null"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut out = String::new();
+        Json::Str("a\"b\\c\nd\u{1}".into()).write(&mut out, 0);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn u64_is_lossless() {
+        let mut out = String::new();
+        Json::U64(u64::MAX).write(&mut out, 0);
+        assert_eq!(out, format!("{}", u64::MAX));
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let mut out = String::new();
+        Json::F64(f64::NAN).write(&mut out, 0);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn get_finds_keys() {
+        let j = Json::obj().with("a", Json::U64(1));
+        assert_eq!(j.get("a"), Some(&Json::U64(1)));
+        assert_eq!(j.get("b"), None);
+    }
+}

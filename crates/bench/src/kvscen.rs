@@ -148,8 +148,10 @@ pub fn build_stone(
             ))
         }
     };
-    let mut cfg = StoneConfig::default();
-    cfg.mmio_tlb_pressure = !fit;
+    let cfg = StoneConfig {
+        mmio_tlb_pressure: !fit,
+        ..Default::default()
+    };
     let db = Arc::new(StoneDb::new(env, cfg));
     StoneScenario {
         db,

@@ -16,10 +16,17 @@
 //! Sizes are scaled from the paper's testbed (see DESIGN.md); pass
 //! `--full` to the binaries for larger runs.
 
+pub mod cli;
+pub mod json;
 pub mod kvscen;
 pub mod micro;
 pub mod report;
 
+pub use cli::BenchArgs;
+pub use json::Json;
 pub use kvscen::{build_stone, load_stone, warm_stone, Backend, Dev, StoneScenario};
 pub use micro::{micro_aquila, micro_linux, run_micro, Micro, MicroResult};
-pub use report::{banner, fig7_bars, print_breakdown_per_op, print_rows, print_speedup, Row};
+pub use report::{
+    banner, fig7_bars, print_breakdown_per_op, print_rows, print_speedup, JsonReport, Row,
+    SCHEMA_VERSION,
+};

@@ -20,7 +20,7 @@ use aquila_linuxsim::{KernelDevice, LinuxConfig, LinuxFileId, LinuxMmap};
 use aquila_sim::{
     Breakdown, CoreDebts, Counters, Cycles, Engine, FreeCtx, LatencyHist, SimCtx, Step,
 };
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use crate::kvscen::Dev;
 

@@ -1,6 +1,8 @@
 //! Table printing and result records for the figure binaries.
 
-use aquila_sim::{Breakdown, CostCat, Cycles, LatencyHist};
+use aquila_sim::{Breakdown, CostCat, Counters, Cycles, LatencyHist, MetricKind};
+
+use crate::json::Json;
 
 /// Prints a figure banner.
 pub fn banner(title: &str, paper: &str) {
@@ -69,25 +71,198 @@ pub fn print_speedup(what: &str, a: &Row, b: &Row) {
 }
 
 /// Prints a cycle breakdown normalized per operation.
+///
+/// Shares and the TOTAL row are computed from the *raw* cycle totals:
+/// dividing each category by `ops` first and then summing truncates up
+/// to `ops - 1` cycles per category, which both understates the total
+/// and skews the percentages (categories near the rounding boundary
+/// could sum to more or less than 100%).
 pub fn print_breakdown_per_op(label: &str, b: &Breakdown, ops: u64) {
     let ops = ops.max(1);
     println!("{label} (cycles per operation):");
-    let mut rows: Vec<(CostCat, u64)> = CostCat::ALL
-        .iter()
-        .map(|&c| (c, b.get(c).get() / ops))
-        .filter(|&(_, v)| v > 0)
-        .collect();
+    let total_raw = b.total().get();
+    let mut rows: Vec<(CostCat, u64)> = b.iter().map(|(c, v)| (c, v.get())).collect();
     rows.sort_by_key(|&(_, v)| core::cmp::Reverse(v));
-    let total: u64 = rows.iter().map(|&(_, v)| v).sum();
-    for (cat, v) in &rows {
+    for (cat, raw) in &rows {
         println!(
             "  {:<14} {:>10} cyc/op  {:>5.1}%",
             cat.name(),
-            v,
-            100.0 * *v as f64 / total.max(1) as f64
+            raw / ops,
+            100.0 * *raw as f64 / total_raw.max(1) as f64
         );
     }
-    println!("  {:<14} {:>10} cyc/op", "TOTAL", total);
+    println!("  {:<14} {:>10} cyc/op", "TOTAL", total_raw / ops);
+}
+
+/// Version of the machine-readable record layout. Bump when a field is
+/// renamed, removed, or changes meaning; adding fields is compatible.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Quantiles recorded for every histogram in a JSON report.
+const REPORT_QUANTILES: [f64; 5] = [0.5, 0.9, 0.99, 0.999, 1.0];
+
+/// A machine-readable record of one figure run, written next to the
+/// stdout tables by the `--json <path>` flag.
+///
+/// Every number is derived from the same values the stdout printers use
+/// (raw cycle totals, not per-op-rounded ones), so the JSON and the
+/// tables always agree.
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    figure: String,
+    title: String,
+    rows: Vec<Row>,
+    breakdowns: Vec<(String, u64, Breakdown)>,
+    counters: Vec<(String, Counters)>,
+    hists: Vec<Json>,
+    scalars: Vec<(String, f64)>,
+}
+
+impl JsonReport {
+    /// Creates an empty report for `figure` (e.g. `"fig8"`).
+    pub fn new(figure: impl Into<String>, title: impl Into<String>) -> JsonReport {
+        JsonReport {
+            figure: figure.into(),
+            title: title.into(),
+            ..JsonReport::default()
+        }
+    }
+
+    /// Records a throughput/latency row (same data as [`print_rows`]).
+    pub fn add_row(&mut self, row: &Row) {
+        self.rows.push(row.clone());
+    }
+
+    /// Records every row of a table.
+    pub fn add_rows(&mut self, rows: &[Row]) {
+        for r in rows {
+            self.add_row(r);
+        }
+    }
+
+    /// Records a per-op cycle breakdown (same data as
+    /// [`print_breakdown_per_op`]).
+    pub fn add_breakdown(&mut self, label: impl Into<String>, b: &Breakdown, ops: u64) {
+        self.breakdowns.push((label.into(), ops.max(1), b.clone()));
+    }
+
+    /// Records a set of simulation counters.
+    pub fn add_counters(&mut self, label: impl Into<String>, c: &Counters) {
+        self.counters.push((label.into(), c.clone()));
+    }
+
+    /// Records a latency histogram's count, mean, and quantiles.
+    pub fn add_hist(&mut self, label: impl Into<String>, h: &LatencyHist) {
+        let mut quantiles = Json::obj();
+        for q in REPORT_QUANTILES {
+            quantiles.set(&format!("p{}", q * 100.0), Json::U64(h.quantile(q).get()));
+        }
+        self.hists.push(
+            Json::obj()
+                .with("label", Json::Str(label.into()))
+                .with("count", Json::U64(h.count()))
+                .with("mean_cycles", Json::U64(h.mean().get()))
+                .with("quantiles_cycles", quantiles),
+        );
+    }
+
+    /// Records a named scalar (speedup ratios, derived figures).
+    pub fn add_scalar(&mut self, name: impl Into<String>, value: f64) {
+        self.scalars.push((name.into(), value));
+    }
+
+    /// Builds the full record, including a snapshot of the global metrics
+    /// registry (empty when `--trace`/`--json` did not install one).
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("label", Json::Str(r.label.clone()))
+                    .with("kops", Json::F64(r.kops))
+                    .with("avg_cycles", Json::U64(r.avg.get()))
+                    .with("p99_cycles", Json::U64(r.p99.get()))
+                    .with("p999_cycles", Json::U64(r.p999.get()))
+            })
+            .collect();
+        let breakdowns = self
+            .breakdowns
+            .iter()
+            .map(|(label, ops, b)| {
+                let total_raw = b.total().get();
+                let cats = b
+                    .iter()
+                    .map(|(cat, cyc)| {
+                        Json::obj()
+                            .with("name", Json::from(cat.name()))
+                            .with("cycles", Json::U64(cyc.get()))
+                            .with("cycles_per_op", Json::U64(cyc.get() / ops))
+                            .with("share", Json::F64(b.share(cat)))
+                    })
+                    .collect();
+                Json::obj()
+                    .with("label", Json::Str(label.clone()))
+                    .with("ops", Json::U64(*ops))
+                    .with("total_cycles", Json::U64(total_raw))
+                    .with("total_cycles_per_op", Json::U64(total_raw / ops))
+                    .with("categories", Json::Arr(cats))
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(label, c)| {
+                let mut values = Json::obj();
+                for (name, v) in c.iter() {
+                    values.set(name, Json::U64(v));
+                }
+                Json::obj()
+                    .with("label", Json::Str(label.clone()))
+                    .with("values", values)
+            })
+            .collect();
+        let mut scalars = Json::obj();
+        for (name, v) in &self.scalars {
+            scalars.set(name, Json::F64(*v));
+        }
+        let metrics = match aquila_sim::metrics::global() {
+            Some(m) => m
+                .snapshot()
+                .entries()
+                .iter()
+                .map(|(name, kind, value)| {
+                    Json::obj()
+                        .with("name", Json::Str(name.clone()))
+                        .with(
+                            "kind",
+                            Json::from(match kind {
+                                MetricKind::Counter => "counter",
+                                MetricKind::Gauge => "gauge",
+                            }),
+                        )
+                        .with("value", Json::U64(*value))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        Json::obj()
+            .with("schema_version", Json::U64(SCHEMA_VERSION))
+            .with("figure", Json::Str(self.figure.clone()))
+            .with("title", Json::Str(self.title.clone()))
+            .with("cpu_hz", Json::U64(aquila_sim::CPU_HZ))
+            .with("rows", Json::Arr(rows))
+            .with("breakdowns", Json::Arr(breakdowns))
+            .with("histograms", Json::Arr(self.hists.clone()))
+            .with("counters", Json::Arr(counters))
+            .with("scalars", scalars)
+            .with("metrics", Json::Arr(metrics))
+    }
+
+    /// Writes the record to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render())
+    }
 }
 
 /// Aggregates a breakdown into the paper's Figure 7 three bars:

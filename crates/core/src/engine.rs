@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use aquila_devices::STORE_PAGE;
 use aquila_mmu::{Access, FrameId, Gva, PageTable, PteFlags, TlbFabric, Vpn, PAGE_SIZE};
@@ -467,8 +467,10 @@ impl Aquila {
         gva: Gva,
         access: Access,
     ) -> Result<(), AquilaError> {
+        let t_fault = ctx.now();
         let vpn = gva.vpn();
         ctx.counters().page_faults += 1;
+        aquila_sim::metrics::add(ctx, "aquila.fault", 1);
         // Exception delivery in non-root ring 0 (552 cycles, no protection
         // domain switch).
         self.vcpus[ctx.core() % self.vcpus.len()]
@@ -499,6 +501,7 @@ impl Aquila {
         }
         let result = self.fault_locked(ctx, gva, access, &desc);
         self.vmas.unlock_entry(vpn);
+        aquila_sim::trace::span(ctx, "aquila.fault", CostCat::FaultHandler, t_fault);
         result
     }
 
@@ -550,9 +553,12 @@ impl Aquila {
         // Miss: allocate a frame (possibly evicting a batch) and fetch
         // from the device.
         ctx.counters().major_faults += 1;
+        aquila_sim::metrics::add(ctx, "aquila.fault.major", 1);
         let frame = self.alloc_frame(ctx)?;
+        let t_read = ctx.now();
         let mut buf = vec![0u8; STORE_PAGE];
         self.files.read_pages(ctx, file, file_page, &mut buf)?;
+        aquila_sim::trace::span(ctx, "aquila.fault.read", CostCat::DeviceIo, t_read);
         self.cache.mem().write(frame, 0, &buf);
         match self.cache.commit_insert(ctx, key, frame) {
             Ok(()) => {
@@ -617,10 +623,13 @@ impl Aquila {
         }
         // Eviction round: detach a batch, unmap, one shootdown, write back
         // dirty victims in device order, then recycle frames.
+        let t_evict = ctx.now();
         let victims = self.cache.evict_candidates(ctx);
         if victims.is_empty() {
             return Err(AquilaError::NoSpace);
         }
+        aquila_sim::metrics::add(ctx, "aquila.evict.rounds", 1);
+        aquila_sim::metrics::add(ctx, "aquila.evict.pages", victims.len() as u64);
         let mut flushed = Vec::new();
         {
             let mut pt = self.page_table.lock();
@@ -651,13 +660,20 @@ impl Aquila {
         }
         // The kept frame needs its owner slot cleared too.
         self.cache.release_frame(ctx, kept);
+        aquila_sim::trace::span(ctx, "aquila.evict", CostCat::Eviction, t_evict);
         self.cache.try_alloc(ctx).ok_or(AquilaError::NoSpace)
     }
 
     /// Writes dirty pages back to their files, coalescing contiguous runs
     /// into large I/Os.
     fn writeback(&self, ctx: &mut dyn SimCtx, dirty: &[DirtyPage]) -> Result<(), AquilaError> {
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let t_wb = ctx.now();
+        let mut runs = 0u64;
         for run in coalesce_runs(dirty) {
+            runs += 1;
             let file = FileId(run[0].key.file);
             let first_page = run[0].key.page;
             let mut buf = vec![0u8; run.len() * STORE_PAGE];
@@ -669,6 +685,9 @@ impl Aquila {
             self.files.write_pages(ctx, file, first_page, &buf)?;
             ctx.counters().writebacks += run.len() as u64;
         }
+        aquila_sim::metrics::add(ctx, "aquila.writeback.pages", dirty.len() as u64);
+        aquila_sim::metrics::add(ctx, "aquila.writeback.runs", runs);
+        aquila_sim::trace::span(ctx, "aquila.writeback", CostCat::DeviceIo, t_wb);
         Ok(())
     }
 
@@ -707,6 +726,7 @@ impl Aquila {
         if to_fetch.is_empty() {
             return;
         }
+        let t_ra = ctx.now();
         // One multi-page read for the contiguous prefix.
         let mut run = 1usize;
         while run < to_fetch.len() && to_fetch[run] == to_fetch[0] + run as u64 {
@@ -733,8 +753,10 @@ impl Aquila {
                 self.cache.release_frame(ctx, frame);
             } else {
                 ctx.counters().readahead_pages += 1;
+                aquila_sim::metrics::add(ctx, "aquila.readahead.pages", 1);
             }
         }
+        aquila_sim::trace::span(ctx, "aquila.readahead", CostCat::DeviceIo, t_ra);
     }
 
     // ---------------------------------------------------------------

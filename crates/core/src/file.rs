@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use aquila_sync::RwLock;
 
 use aquila_devices::{BlobId, Blobstore, StorageAccess, STORE_PAGE};
 use aquila_sim::SimCtx;

@@ -133,7 +133,7 @@ fn unmapped_access_is_segfault() {
     let mut b = [0u8; 1];
     let err = rt
         .aquila
-        .read(&mut ctx, Gva(0xdead_beef_000), &mut b)
+        .read(&mut ctx, Gva(0xdeadbeef000), &mut b)
         .unwrap_err();
     assert!(matches!(err, AquilaError::Segfault(_)));
 }

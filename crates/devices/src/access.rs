@@ -96,6 +96,18 @@ pub trait StorageAccess: Send + Sync {
     fn reset_timing(&self);
 }
 
+/// Records the device's queue occupancy right after a submission: a trace
+/// counter track ("nvme.inflight") plus a high-water-mark gauge. No-ops
+/// without an installed tracer/registry, and never charges cycles.
+fn record_nvme_occupancy(ctx: &dyn SimCtx, dev: &NvmeDevice) {
+    if !aquila_sim::trace::enabled() && aquila_sim::metrics::global().is_none() {
+        return;
+    }
+    let depth = dev.inflight_at(ctx.now()) as u64;
+    aquila_sim::trace::counter(ctx, "nvme.inflight", depth);
+    aquila_sim::metrics::gauge(ctx, "nvme.inflight.max", depth);
+}
+
 /// SPDK-style polled user-space NVMe access (no kernel on the I/O path).
 pub struct SpdkAccess {
     dev: Arc<NvmeDevice>,
@@ -134,6 +146,7 @@ impl StorageAccess for SpdkAccess {
         ctx.charge(CostCat::DeviceIo, submit);
         let qp = self.dev.create_qpair();
         qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf));
+        record_nvme_occupancy(ctx, &self.dev);
         // Polled completion: the CPU spins, so the wait is DeviceIo (busy),
         // not Idle.
         qp.drain(ctx, CostCat::DeviceIo);
@@ -147,6 +160,7 @@ impl StorageAccess for SpdkAccess {
         ctx.charge(CostCat::DeviceIo, submit);
         let qp = self.dev.create_qpair();
         qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf));
+        record_nvme_occupancy(ctx, &self.dev);
         qp.drain(ctx, CostCat::DeviceIo);
         ctx.counters().device_writes += 1;
         ctx.counters().bytes_written += (pages * STORE_PAGE) as u64;
@@ -186,6 +200,7 @@ impl StorageAccess for HostNvmeAccess {
         ctx.charge(CostCat::Syscall, sw);
         let qp = self.dev.create_qpair();
         qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf));
+        record_nvme_occupancy(ctx, &self.dev);
         // Interrupt-driven completion: the CPU sleeps.
         qp.drain(ctx, CostCat::Idle);
         ctx.counters().device_reads += 1;
@@ -199,6 +214,7 @@ impl StorageAccess for HostNvmeAccess {
         ctx.charge(CostCat::Syscall, sw);
         let qp = self.dev.create_qpair();
         qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf));
+        record_nvme_occupancy(ctx, &self.dev);
         qp.drain(ctx, CostCat::Idle);
         ctx.counters().device_writes += 1;
         ctx.counters().bytes_written += (pages * STORE_PAGE) as u64;

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use aquila_sim::{Cycles, ServiceCenter, SimCtx};
 
@@ -106,6 +106,12 @@ impl NvmeDevice {
     /// Total I/O operations served.
     pub fn ops_served(&self) -> u64 {
         self.service.ops()
+    }
+
+    /// Commands still being served by the device at virtual time `now`
+    /// (instantaneous queue occupancy across all queue pairs).
+    pub fn inflight_at(&self, now: Cycles) -> usize {
+        self.service.busy_channels(now)
     }
 
     /// Resets the timing model (between experiment phases; contents are

@@ -103,6 +103,7 @@ impl PmemDevice {
         ctx.wait_until(r.end, aquila_sim::CostCat::DeviceIo);
         ctx.counters().device_reads += 1;
         ctx.counters().bytes_read += buf.len() as u64;
+        aquila_sim::trace::span(ctx, "pmem.memcpy.read", aquila_sim::CostCat::Memcpy, before);
         ctx.now() - before
     }
 
@@ -118,6 +119,7 @@ impl PmemDevice {
         ctx.wait_until(r.end, aquila_sim::CostCat::DeviceIo);
         ctx.counters().device_writes += 1;
         ctx.counters().bytes_written += buf.len() as u64;
+        aquila_sim::trace::span(ctx, "pmem.memcpy.write", aquila_sim::CostCat::Memcpy, before);
         ctx.now() - before
     }
 

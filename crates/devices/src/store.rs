@@ -5,7 +5,7 @@
 //! integrity through the whole mmio path. Per-page locks keep the store
 //! sound under real threads without serializing unrelated pages.
 
-use parking_lot::RwLock;
+use aquila_sync::RwLock;
 
 /// Page size of the store (4 KiB).
 pub const STORE_PAGE: usize = 4096;

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use aquila::{Aquila, FileId, Gva, Prot};
 use aquila_devices::{Blobstore, StorageAccess, STORE_PAGE};

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use aquila_sim::{CostCat, Cycles, SimCtx};
 
@@ -289,7 +289,7 @@ impl StoneDb {
     /// Merges `level` (all of L0, or the first table of a deeper level)
     /// with the overlapping tables of `level + 1`.
     fn compact_level(&self, ctx: &mut dyn SimCtx, level: usize) {
-        let (inputs, survivors_below) = {
+        let inputs = {
             let mut levels = self.levels.lock();
             if levels.len() <= level + 1 {
                 levels.push(Vec::new());
@@ -314,9 +314,8 @@ impl StoneDb {
                 .into_iter()
                 .partition(|t| !(t.reader.meta.largest < lo || t.reader.meta.smallest > hi));
             levels[level + 1] = keep;
-            ((upper, overlap), ())
+            (upper, overlap)
         };
-        let _ = survivors_below;
         let (upper, overlap) = inputs;
 
         // Merge: oldest first so newer versions overwrite. Precedence:
@@ -498,6 +497,6 @@ mod tests {
         db.bulk_load(&mut ctx, (0..100u64).map(kv));
         let t0 = ctx.now();
         db.get(&mut ctx, b"key00000050").unwrap();
-        assert!((ctx.now() - t0).get() as u64 >= GET_BASE.get());
+        assert!((ctx.now() - t0).get() >= GET_BASE.get());
     }
 }

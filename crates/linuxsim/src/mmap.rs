@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use aquila_sim::{CoreDebts, CostCat, Cycles, SimCtx, SimRwLock};
 

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::{Mutex, RwLock};
+use aquila_sync::{Mutex, RwLock};
 
 use aquila_sim::{CostCat, Cycles, SimCtx, SimMutex};
 
@@ -164,12 +164,17 @@ impl KernelPageCache {
                 .entry(file)
                 .or_insert_with(|| std::sync::Arc::new(SimMutex::new())),
         );
+        let t_lock = ctx.now();
         let r = lock.acquire(ctx.now(), hold);
         if r.wait > Cycles::ZERO {
             self.contended
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            aquila_sim::metrics::add(ctx, "linux.tree_lock.contended", 1);
         }
         ctx.wait_until(r.start, CostCat::LockWait);
+        if r.wait > Cycles::ZERO {
+            aquila_sim::trace::span(ctx, "linux.tree_lock.wait", CostCat::LockWait, t_lock);
+        }
         ctx.wait_until(r.end, CostCat::CacheMgmt);
     }
 

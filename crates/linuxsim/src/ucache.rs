@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use aquila_devices::{StorageAccess, STORE_PAGE};
 use aquila_sim::{CostCat, Cycles, SimCtx, SimMutex};
@@ -18,9 +18,12 @@ use aquila_sim::{CostCat, Cycles, SimCtx, SimMutex};
 /// Cycles a shard lock is held per operation.
 const SHARD_HOLD: Cycles = Cycles(200);
 
+/// Cache key: (file id, page number).
+type BlockKey = (u32, u64);
+
 struct Shard {
-    map: Mutex<HashMap<(u32, u64), Box<[u8]>>>,
-    lru: Mutex<Vec<(u32, u64)>>, // Approximate LRU: move-to-back vector.
+    map: Mutex<HashMap<BlockKey, Box<[u8]>>>,
+    lru: Mutex<Vec<BlockKey>>, // Approximate LRU: move-to-back vector.
     lock_model: SimMutex,
 }
 
@@ -54,7 +57,7 @@ impl UserCache {
         }
     }
 
-    fn shard_of(&self, key: (u32, u64)) -> &Shard {
+    fn shard_of(&self, key: BlockKey) -> &Shard {
         let h = aquila_sim::rng::fnv1a_64(((key.0 as u64) << 40) ^ key.1);
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
@@ -79,7 +82,7 @@ impl UserCache {
     ///
     /// Every call — hit or miss — pays the lookup cost; misses addi-
     /// tionally pay the direct-I/O `pread` and possibly an eviction.
-    pub fn get(&self, ctx: &mut dyn SimCtx, key: (u32, u64), dev_page: u64, buf: &mut [u8]) {
+    pub fn get(&self, ctx: &mut dyn SimCtx, key: BlockKey, dev_page: u64, buf: &mut [u8]) {
         debug_assert_eq!(buf.len(), STORE_PAGE);
         let lookup = ctx.cost().ucache_lookup;
         ctx.charge(CostCat::CacheMgmt, lookup);
@@ -124,7 +127,7 @@ impl UserCache {
 
     /// Writes a block through the cache (write-through with direct I/O,
     /// the mode RocksDB uses for SST creation).
-    pub fn put_through(&self, ctx: &mut dyn SimCtx, key: (u32, u64), dev_page: u64, buf: &[u8]) {
+    pub fn put_through(&self, ctx: &mut dyn SimCtx, key: BlockKey, dev_page: u64, buf: &[u8]) {
         debug_assert_eq!(buf.len(), STORE_PAGE);
         self.access.write_pages(ctx, dev_page, buf);
         let shard = self.shard_of(key);

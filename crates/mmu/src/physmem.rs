@@ -11,7 +11,7 @@
 //! under real threads, while staying contention-free under the
 //! single-threaded discrete-event engine.
 
-use parking_lot::RwLock;
+use aquila_sync::RwLock;
 
 use aquila_vmx::Gpa;
 

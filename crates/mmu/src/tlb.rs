@@ -7,7 +7,7 @@
 //! mappings for many pages (512 in the paper's evaluation) are removed
 //! first and a *single* IPI round invalidates all of them (section 4.1).
 
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use aquila_sim::{CostCat, SimCtx};
 use aquila_vmx::{ApicFabric, Gpa, IpiSendPath};
@@ -198,6 +198,7 @@ impl TlbFabric {
         if pages.is_empty() {
             return;
         }
+        let t_sd = ctx.now();
         // Functional invalidation on every core's TLB.
         for tlb in &self.tlbs {
             let mut tlb = tlb.lock();
@@ -217,6 +218,9 @@ impl TlbFabric {
         *self.shootdowns.lock() += 1;
         // One IPI round for the whole batch.
         self.apic.lock().broadcast(ctx, debts, path, remote_handler);
+        aquila_sim::metrics::add(ctx, "tlb.shootdown.rounds", 1);
+        aquila_sim::metrics::add(ctx, "tlb.shootdown.pages", pages.len() as u64);
+        aquila_sim::trace::span(ctx, "tlb.shootdown", CostCat::Tlb, t_sd);
     }
 }
 

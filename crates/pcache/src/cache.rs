@@ -17,7 +17,7 @@
 use aquila_mmu::{FrameId, PhysMem};
 use aquila_sim::{CostCat, SimCtx};
 use aquila_vmx::Gpa;
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use crate::dirty::{DirtyPage, DirtyTrees};
 use crate::freelist::{Freelist, FreelistConfig, NumaTopology};
@@ -173,6 +173,7 @@ impl DramCache {
     /// [`crate::dirty::coalesce_runs`]), and then return the frames with
     /// [`DramCache::release_frame`].
     pub fn evict_candidates(&self, ctx: &mut dyn SimCtx) -> Vec<Victim> {
+        let t_sel = ctx.now();
         let frames = self.clock.collect_victims(self.cfg.evict_batch);
         let mut victims = Vec::with_capacity(frames.len());
         let mut charge = aquila_sim::Cycles::ZERO;
@@ -197,6 +198,13 @@ impl DramCache {
             ctx.counters().evictions += 1;
         }
         ctx.charge(CostCat::Eviction, charge);
+        aquila_sim::metrics::add(ctx, "pcache.evict.victims", victims.len() as u64);
+        aquila_sim::metrics::add(
+            ctx,
+            "pcache.evict.dirty",
+            victims.iter().filter(|v| v.dirty).count() as u64,
+        );
+        aquila_sim::trace::span(ctx, "pcache.select_victims", CostCat::Eviction, t_sel);
         victims
     }
 
@@ -211,16 +219,19 @@ impl DramCache {
         key: PageKey,
         frame: FrameId,
     ) -> Result<(), FrameId> {
+        let t_ins = ctx.now();
         let c = ctx.cost().hash_update + ctx.cost().lru_update;
         ctx.charge(CostCat::CacheMgmt, c);
-        match self.map.insert(key, frame.0 as u64) {
+        let result = match self.map.insert(key, frame.0 as u64) {
             InsertOutcome::Inserted => {
                 *self.owners[frame.0 as usize].lock() = Some(key);
                 self.clock.mark_resident(frame);
                 Ok(())
             }
             InsertOutcome::AlreadyPresent(v) => Err(FrameId(v as u32)),
-        }
+        };
+        aquila_sim::trace::span(ctx, "pcache.insert", CostCat::CacheMgmt, t_ins);
+        result
     }
 
     /// Returns a frame to the freelist (after eviction writeback, or when
@@ -230,7 +241,10 @@ impl DramCache {
         ctx.charge(CostCat::CacheMgmt, c);
         self.clock.mark_free(frame);
         *self.owners[frame.0 as usize].lock() = None;
-        self.freelist.free(ctx.core(), frame);
+        if self.freelist.free(ctx.core(), frame) {
+            aquila_sim::metrics::add(ctx, "pcache.freelist.spills", 1);
+            aquila_sim::trace::instant(ctx, "pcache.freelist.spill", CostCat::CacheMgmt);
+        }
     }
 
     /// Marks a cached page dirty (write-fault path). Returns true if the

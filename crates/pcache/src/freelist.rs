@@ -8,7 +8,7 @@
 //! pages in the paper's evaluation). Lock-free queues plus batching keep
 //! allocator contention negligible.
 
-use crossbeam::queue::SegQueue;
+use aquila_sync::SegQueue;
 
 use aquila_mmu::FrameId;
 
@@ -150,8 +150,9 @@ impl Freelist {
 
     /// Frees a frame from `core` (eviction places recycled pages here);
     /// spills a batch to the NUMA queue if the core queue grew beyond its
-    /// threshold.
-    pub fn free(&self, core: usize, frame: FrameId) {
+    /// threshold. Returns `true` when a spill happened, so callers with a
+    /// simulation context can record the (rare) slow path.
+    pub fn free(&self, core: usize, frame: FrameId) -> bool {
         let core = core % self.core_queues.len();
         let cq = &self.core_queues[core];
         cq.push(frame);
@@ -163,7 +164,9 @@ impl Freelist {
                     None => break,
                 }
             }
+            return true;
         }
+        false
     }
 
     /// Total free frames across all queues (approximate under concurrency).
@@ -262,9 +265,11 @@ mod tests {
             level_batch: 8,
         };
         let fl = Freelist::new(NumaTopology::flat(2), cfg, frames(0));
+        let mut spilled = false;
         for i in 0..12 {
-            fl.free(0, FrameId(i));
+            spilled |= fl.free(0, FrameId(i));
         }
+        assert!(spilled, "crossing the threshold must report a spill");
         // After crossing the threshold a batch moved to the node queue;
         // core 1 (same node) can now allocate.
         assert!(fl.alloc(1).is_some());

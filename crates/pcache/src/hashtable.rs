@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use crate::key::PageKey;
 

@@ -13,7 +13,10 @@
 //!   in global time order and the [`engine::SimCtx`] trait through which
 //!   library code charges costs;
 //! - [`hist::LatencyHist`] and [`stats::Breakdown`] — the measurement
-//!   machinery behind every figure.
+//!   machinery behind every figure;
+//! - [`trace`] and [`metrics`] — cycle-stamped event tracing (with a
+//!   Chrome `trace_event` exporter for Perfetto) and a registry of named
+//!   per-core counters/gauges, both zero-cost when not installed.
 //!
 //! Everything is deterministic: a run is a pure function of the seed, the
 //! cost model, and the workload parameters.
@@ -21,20 +24,24 @@
 pub mod cost;
 pub mod engine;
 pub mod hist;
+pub mod metrics;
 pub mod region;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use cost::{CostCat, CostModel};
 pub use engine::{CoreDebts, Engine, FreeCtx, RunReport, SimCtx, Step, ThreadCtx};
 pub use hist::LatencyHist;
+pub use metrics::{MetricId, MetricKind, MetricsRegistry, MetricsSnapshot};
 pub use region::{DramRegion, MemRegion};
 pub use resource::{Reservation, ServiceCenter, SimMutex, SimRwLock};
 pub use rng::{Rng64, ScrambledZipfian, Zipfian};
 pub use stats::{Breakdown, Counters};
 pub use time::{Cycles, CPU_HZ};
+pub use trace::{TraceEvent, Tracer};
 
 /// Page size used throughout the simulation (4 KiB, matching the paper's
 /// GVA->GPA granularity).

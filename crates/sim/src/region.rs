@@ -64,14 +64,14 @@ pub trait MemRegion: Send + Sync {
 /// A plain DRAM region (the in-memory baseline: `malloc`-class cost,
 /// no I/O ever).
 pub struct DramRegion {
-    data: parking_lot::RwLock<Vec<u8>>,
+    data: aquila_sync::RwLock<Vec<u8>>,
 }
 
 impl DramRegion {
     /// Allocates a zeroed DRAM region of `len` bytes.
     pub fn new(len: u64) -> DramRegion {
         DramRegion {
-            data: parking_lot::RwLock::new(vec![0u8; len as usize]),
+            data: aquila_sync::RwLock::new(vec![0u8; len as usize]),
         }
     }
 }

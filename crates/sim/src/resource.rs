@@ -9,11 +9,11 @@
 //! kernel locks behave (Figure 10's collapse of Linux `mmap` under a single
 //! page-cache tree lock).
 //!
-//! The models use `parking_lot` internally so the structures stay `Sync`
+//! The models use `aquila_sync` locks internally so the structures stay `Sync`
 //! and usable from real threads in library code, even though the engine
 //! itself is single-threaded.
 
-use parking_lot::Mutex;
+use aquila_sync::Mutex;
 
 use crate::time::Cycles;
 
@@ -196,18 +196,13 @@ impl ServiceCenter {
     /// unlimited).
     pub fn new(channels: usize, max_iops: u64, max_bytes_per_sec: u64) -> ServiceCenter {
         assert!(channels > 0, "a device needs at least one channel");
-        let gap_per_op = if max_iops == 0 {
-            Cycles::ZERO
-        } else {
-            Cycles(crate::time::CPU_HZ / max_iops)
-        };
+        let gap_per_op = Cycles(crate::time::CPU_HZ.checked_div(max_iops).unwrap_or(0));
         // Store per-byte gap in femtocycles to keep integer precision:
         // gap_per_byte = CPU_HZ / bytes_per_sec cycles, usually < 1.
-        let gap_per_byte_femto = if max_bytes_per_sec == 0 {
-            0
-        } else {
-            crate::time::CPU_HZ.saturating_mul(1_000_000_000) / max_bytes_per_sec
-        };
+        let gap_per_byte_femto = crate::time::CPU_HZ
+            .saturating_mul(1_000_000_000)
+            .checked_div(max_bytes_per_sec)
+            .unwrap_or(0);
         ServiceCenter {
             state: Mutex::new(ServiceState {
                 channels: vec![Cycles::ZERO; channels],
@@ -251,6 +246,12 @@ impl ServiceCenter {
     /// Operations admitted so far.
     pub fn ops(&self) -> u64 {
         self.state.lock().ops
+    }
+
+    /// Channels still serving an operation at virtual time `now` — the
+    /// device's instantaneous queue occupancy, for observability.
+    pub fn busy_channels(&self, now: Cycles) -> usize {
+        self.state.lock().channels.iter().filter(|&&c| c > now).count()
     }
 
     /// Bytes transferred so far.

@@ -90,65 +90,73 @@ impl Breakdown {
     }
 }
 
-/// Simulation-wide event counters.
-#[derive(Debug, Clone, Default)]
-pub struct Counters {
-    /// Page faults taken (both minor and major).
-    pub page_faults: u64,
-    /// Faults satisfied from the DRAM cache (minor).
-    pub minor_faults: u64,
-    /// Faults that required device I/O (major).
-    pub major_faults: u64,
-    /// Pages evicted from the DRAM cache.
-    pub evictions: u64,
-    /// Dirty pages written back to the device.
-    pub writebacks: u64,
-    /// Read I/O operations issued to a device.
-    pub device_reads: u64,
-    /// Write I/O operations issued to a device.
-    pub device_writes: u64,
-    /// Bytes read from devices.
-    pub bytes_read: u64,
-    /// Bytes written to devices.
-    pub bytes_written: u64,
-    /// TLB shootdown rounds (one IPI broadcast, possibly many pages).
-    pub tlb_shootdowns: u64,
-    /// Individual page invalidations requested.
-    pub tlb_invalidations: u64,
-    /// System calls executed through a kernel (host or guest-intercepted).
-    pub syscalls: u64,
-    /// vmcalls / forced vmexits taken.
-    pub vmexits: u64,
-    /// EPT violations handled by the hypervisor.
-    pub ept_faults: u64,
-    /// Readahead pages fetched speculatively.
-    pub readahead_pages: u64,
+/// Defines [`Counters`] with every field enumerated exactly once.
+///
+/// `merge`, `NAMES`, and `iter` are all generated from the same field
+/// list, so adding a counter cannot silently be dropped from merges or
+/// from machine-readable reports (the bug class the old field-by-field
+/// `merge` invited).
+macro_rules! define_counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Simulation-wide event counters.
+        #[derive(Debug, Clone, Default)]
+        pub struct Counters {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl Counters {
+            /// Field names, in declaration order (matches [`Self::iter`]).
+            pub const NAMES: &'static [&'static str] = &[$(stringify!($name)),+];
+
+            /// Creates zeroed counters.
+            pub fn new() -> Counters {
+                Counters::default()
+            }
+
+            /// Merges another counter set into this one.
+            pub fn merge(&mut self, o: &Counters) {
+                $(self.$name += o.$name;)+
+            }
+
+            /// Iterates over `(name, value)` pairs in declaration order.
+            pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+                [$((stringify!($name), self.$name)),+].into_iter()
+            }
+        }
+    };
 }
 
-impl Counters {
-    /// Creates zeroed counters.
-    pub fn new() -> Counters {
-        Counters::default()
-    }
-
-    /// Merges another counter set into this one.
-    pub fn merge(&mut self, o: &Counters) {
-        self.page_faults += o.page_faults;
-        self.minor_faults += o.minor_faults;
-        self.major_faults += o.major_faults;
-        self.evictions += o.evictions;
-        self.writebacks += o.writebacks;
-        self.device_reads += o.device_reads;
-        self.device_writes += o.device_writes;
-        self.bytes_read += o.bytes_read;
-        self.bytes_written += o.bytes_written;
-        self.tlb_shootdowns += o.tlb_shootdowns;
-        self.tlb_invalidations += o.tlb_invalidations;
-        self.syscalls += o.syscalls;
-        self.vmexits += o.vmexits;
-        self.ept_faults += o.ept_faults;
-        self.readahead_pages += o.readahead_pages;
-    }
+define_counters! {
+    /// Page faults taken (both minor and major).
+    page_faults,
+    /// Faults satisfied from the DRAM cache (minor).
+    minor_faults,
+    /// Faults that required device I/O (major).
+    major_faults,
+    /// Pages evicted from the DRAM cache.
+    evictions,
+    /// Dirty pages written back to the device.
+    writebacks,
+    /// Read I/O operations issued to a device.
+    device_reads,
+    /// Write I/O operations issued to a device.
+    device_writes,
+    /// Bytes read from devices.
+    bytes_read,
+    /// Bytes written to devices.
+    bytes_written,
+    /// TLB shootdown rounds (one IPI broadcast, possibly many pages).
+    tlb_shootdowns,
+    /// Individual page invalidations requested.
+    tlb_invalidations,
+    /// System calls executed through a kernel (host or guest-intercepted).
+    syscalls,
+    /// vmcalls / forced vmexits taken.
+    vmexits,
+    /// EPT violations handled by the hypervisor.
+    ept_faults,
+    /// Readahead pages fetched speculatively.
+    readahead_pages,
 }
 
 #[cfg(test)]
@@ -215,6 +223,44 @@ mod tests {
         assert_eq!(a.page_faults, 5);
         assert_eq!(a.tlb_shootdowns, 1);
         assert_eq!(a.bytes_read, 4096);
+    }
+
+    #[test]
+    fn counters_merge_covers_every_field() {
+        // Set every counter to 1 through the generated iterator's field
+        // list; a merge must double all of them. Guards against merge and
+        // iter disagreeing with the struct definition.
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        for c in [&mut a, &mut b] {
+            c.page_faults = 1;
+            c.minor_faults = 1;
+            c.major_faults = 1;
+            c.evictions = 1;
+            c.writebacks = 1;
+            c.device_reads = 1;
+            c.device_writes = 1;
+            c.bytes_read = 1;
+            c.bytes_written = 1;
+            c.tlb_shootdowns = 1;
+            c.tlb_invalidations = 1;
+            c.syscalls = 1;
+            c.vmexits = 1;
+            c.ept_faults = 1;
+            c.readahead_pages = 1;
+        }
+        a.merge(&b);
+        assert_eq!(Counters::NAMES.len(), a.iter().count());
+        for (name, v) in a.iter() {
+            assert_eq!(v, 2, "counter {name} dropped from merge");
+        }
+    }
+
+    #[test]
+    fn counters_iter_matches_names() {
+        let c = Counters::new();
+        let from_iter: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(from_iter, Counters::NAMES);
     }
 
     #[test]

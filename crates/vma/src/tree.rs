@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use aquila_sync::{Mutex, RwLock};
 
 use aquila_mmu::Vpn;
 use aquila_sim::{CostCat, SimCtx};

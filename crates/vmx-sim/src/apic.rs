@@ -75,7 +75,7 @@ impl IpiRateLimiter {
 /// interruption without cross-thread synchronization.
 #[derive(Debug)]
 pub struct ApicFabric {
-    limiter: parking_lot::Mutex<IpiRateLimiter>,
+    limiter: aquila_sync::Mutex<IpiRateLimiter>,
     /// IPIs sent (per broadcast, not per target).
     pub sends: u64,
 }
@@ -85,7 +85,7 @@ impl ApicFabric {
     /// burst 1024) — enough for any honest workload, throttling floods.
     pub fn new() -> ApicFabric {
         ApicFabric {
-            limiter: parking_lot::Mutex::new(IpiRateLimiter::new(1_000_000, 1024)),
+            limiter: aquila_sync::Mutex::new(IpiRateLimiter::new(1_000_000, 1024)),
             sends: 0,
         }
     }
@@ -93,7 +93,7 @@ impl ApicFabric {
     /// Creates a fabric with an explicit rate limit.
     pub fn with_rate(rate_per_sec: u64, burst: u64) -> ApicFabric {
         ApicFabric {
-            limiter: parking_lot::Mutex::new(IpiRateLimiter::new(rate_per_sec, burst)),
+            limiter: aquila_sync::Mutex::new(IpiRateLimiter::new(rate_per_sec, burst)),
             sends: 0,
         }
     }

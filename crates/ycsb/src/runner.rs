@@ -107,7 +107,7 @@ mod tests {
             2,
             |ctx, _op| {
                 // Every 100th op is slow (tail).
-                let c = if i % 100 == 0 { 100_000 } else { 500 };
+                let c = if i.is_multiple_of(100) { 100_000 } else { 500 };
                 i += 1;
                 ctx.charge(CostCat::App, Cycles(c));
             },

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use aquila::{AquilaRuntime, DeviceKind};
 use aquila_kvstore::{AquilaEnv, StoneConfig, StoneDb};
-use aquila_sim::{CoreDebts, FreeCtx, SimCtx};
+use aquila_sim::{CoreDebts, FreeCtx};
 use aquila_ycsb::workload::{value_of, KeyGen, OpKind, VALUE_SIZE};
 use aquila_ycsb::{run_ops, Distribution, Workload};
 

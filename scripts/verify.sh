@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full verification: build, tests, lints, and an observability smoke run.
+#
+# Usage: scripts/verify.sh
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q (tier-1)"
+cargo test -q
+
+step "cargo test --workspace -q"
+cargo test --workspace -q
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "fig8 smoke run with --json/--trace"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q -p aquila-bench --bin fig8 -- c \
+    --json "$tmp/r.json" --trace "$tmp/t.json" > "$tmp/stdout.txt"
+
+grep -q '"schema_version": 1' "$tmp/r.json" ||
+    { echo "FAIL: JSON record missing schema_version 1" >&2; exit 1; }
+grep -q '"traceEvents"' "$tmp/t.json" ||
+    { echo "FAIL: trace file missing traceEvents" >&2; exit 1; }
+grep -q 'aquila.fault' "$tmp/t.json" ||
+    { echo "FAIL: trace has no fault-handler spans" >&2; exit 1; }
+
+echo
+echo "verify: all checks passed"
