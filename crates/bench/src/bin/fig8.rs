@@ -10,6 +10,7 @@
 //!
 //! `--json <path>` writes the breakdowns as a machine-readable record;
 //! `--trace <path>` writes a Chrome trace of the run (Perfetto).
+//! `--race` runs the deterministic race detector over the workload.
 
 use std::sync::Arc;
 
@@ -20,7 +21,7 @@ use aquila_bench::{BenchArgs, Dev};
 use aquila_sim::CoreDebts;
 
 fn usage() -> ! {
-    eprintln!("usage: fig8 [a|b|c|all] [--json <path>] [--trace <path>]");
+    eprintln!("usage: fig8 [a|b|c|all] [--json <path>] [--trace <path>] [--race]");
     std::process::exit(2);
 }
 

@@ -7,7 +7,10 @@
 //!   of the run (see [`crate::report::JsonReport`]);
 //! - `--trace <path>` — install the global tracer and write a Chrome
 //!   `trace_event` file of the run, viewable in Perfetto
-//!   (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing`;
+//! - `--race` — install the deterministic race detector
+//!   ([`aquila_sim::race`]) and print its summary at the end of the run,
+//!   exiting with status 3 if any finding was reported.
 //!
 //! Either flag also installs the global metrics registry so subsystem
 //! counters/gauges land in the JSON record. Without them, the binaries
@@ -27,6 +30,7 @@ pub struct BenchArgs {
     pub rest: Vec<String>,
     json: Option<PathBuf>,
     trace: Option<PathBuf>,
+    race: bool,
 }
 
 impl BenchArgs {
@@ -43,6 +47,7 @@ impl BenchArgs {
         let mut rest = Vec::new();
         let mut json = None;
         let mut trace = None;
+        let mut race = false;
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -54,12 +59,16 @@ impl BenchArgs {
                     Some(p) => trace = Some(PathBuf::from(p)),
                     None => die("--trace requires a path"),
                 },
+                "--race" => race = true,
                 _ => rest.push(a),
             }
         }
-        let parsed = BenchArgs { rest, json, trace };
+        let parsed = BenchArgs { rest, json, trace, race };
         if parsed.trace.is_some() {
             aquila_sim::trace::install(aquila_sim::trace::DEFAULT_CAPACITY);
+        }
+        if parsed.race {
+            aquila_sim::race::install();
         }
         if parsed.json.is_some() || parsed.trace.is_some() {
             // Shards wrap (`core % shards`), so this only needs to be an
@@ -89,8 +98,14 @@ impl BenchArgs {
         self.json.is_some()
     }
 
+    /// Whether the race detector was requested with `--race`.
+    pub fn wants_race(&self) -> bool {
+        self.race
+    }
+
     /// Writes the requested artifacts (JSON record and/or Chrome trace),
-    /// printing where each landed. Call once at the end of `main`.
+    /// printing where each landed, then — under `--race` — prints the
+    /// race-detector summary and exits 3 if it reported anything.
     pub fn finish(&self, report: &JsonReport) {
         if let Some(path) = &self.json {
             match report.write(path) {
@@ -119,6 +134,13 @@ impl BenchArgs {
                 }
             }
         }
+        if self.race {
+            let det = aquila_sim::race::global().expect("installed in parse");
+            println!("{}", det.summary());
+            if !det.findings().is_empty() {
+                std::process::exit(3);
+            }
+        }
     }
 }
 
@@ -141,6 +163,7 @@ mod tests {
             "c", "--json", "r.json", "--full", "--trace", "t.json",
         ]));
         assert_eq!(a.rest, vec!["c", "--full"]);
+        assert!(!a.wants_race());
         assert_eq!(a.json.as_deref(), Some(std::path::Path::new("r.json")));
         assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("t.json")));
         assert!(a.wants_json());

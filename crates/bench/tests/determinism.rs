@@ -1,0 +1,64 @@
+//! Determinism regression: the same figure binary run twice must be a
+//! bit-identical pure function of its arguments — stdout, the JSON
+//! record, and the Chrome trace all byte-for-byte equal. This is the
+//! end-to-end guard behind the static lint (`aquila-analysis`) and the
+//! runtime race detector (`aquila_sim::race`): if someone reintroduces
+//! a seed-randomized map or a wall-clock read on the sim path, one of
+//! the artifacts diverges here.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run_fig8(tag: &str) -> (Output, Vec<u8>, Vec<u8>) {
+    let dir = std::env::temp_dir().join(format!("aquila-determinism-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("mkdir");
+    let json = dir.join("fig8.json");
+    let trace = dir.join("fig8.trace.json");
+    // Relative artifact paths, run from inside the temp dir: the binary
+    // echoes the paths it wrote, and stdout must match across runs.
+    let out = Command::new(env!("CARGO_BIN_EXE_fig8"))
+        .current_dir(&dir)
+        .args(["a", "--race", "--json", "fig8.json", "--trace", "fig8.trace.json"])
+        .output()
+        .expect("fig8 runs");
+    assert!(
+        out.status.success(),
+        "fig8 failed (status {:?}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json_bytes = fs::read(&json).expect("JSON record written");
+    let trace_bytes = fs::read(&trace).expect("trace written");
+    fs::remove_dir_all(&dir).ok();
+    (out, json_bytes, trace_bytes)
+}
+
+#[test]
+fn fig8_is_bit_identical_across_runs() {
+    let (out1, json1, trace1) = run_fig8("one");
+    let (out2, json2, trace2) = run_fig8("two");
+
+    assert_eq!(
+        out1.stdout, out2.stdout,
+        "stdout diverged between identical runs"
+    );
+    assert_eq!(json1, json2, "JSON record diverged between identical runs");
+    assert_eq!(trace1, trace2, "Chrome trace diverged between identical runs");
+
+    // The --race summary is part of stdout; make the zero-findings
+    // acceptance explicit rather than implied by byte equality.
+    let stdout = String::from_utf8_lossy(&out1.stdout);
+    assert!(
+        stdout.contains("race detector: 0 findings"),
+        "expected a clean race-detector summary, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn fig8_artifacts_are_nonempty() {
+    let (_, json, trace) = run_fig8("nonempty");
+    assert!(json.len() > 64, "JSON record suspiciously small");
+    assert!(trace.len() > 64, "trace suspiciously small");
+    let _ = PathBuf::from(env!("CARGO_BIN_EXE_fig8")); // binary path resolved at compile time
+}

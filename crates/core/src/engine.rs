@@ -22,11 +22,18 @@ use aquila_sync::Mutex;
 use aquila_devices::STORE_PAGE;
 use aquila_mmu::{Access, FrameId, Gva, PageTable, PteFlags, TlbFabric, Vpn, PAGE_SIZE};
 use aquila_pcache::{coalesce_runs, CacheConfig, DirtyPage, DramCache, NumaTopology, PageKey};
-use aquila_sim::{CoreDebts, CostCat, Cycles, SimCtx};
+use aquila_sim::{race, CoreDebts, CostCat, Cycles, SimCtx};
 use aquila_vmx::{Ept, EptPageSize, EptPerms, Gpa, Hpa, IpiSendPath, Vcpu, PAGE_1G};
 
 use crate::error::AquilaError;
 use crate::file::{FileId, Files};
+
+// Race-detector names for the owner side of the per-core TLB locks; the
+// remote side (shootdown sweep) uses the same names in `aquila-mmu`, so
+// happens-before edges line up across crates. Instanced by core, taken
+// one at a time, never nested with another annotated lock.
+const L_TLB: &str = "mmu.tlb";
+const V_TLB: &str = "mmu.tlb.state";
 
 use aquila_vma::VmaTree;
 pub use aquila_vma::{Advice, Prot};
@@ -432,7 +439,10 @@ impl Aquila {
             // TLB first: a hit is free, exactly the paper's argument for
             // mmio over software caches.
             let core = ctx.core() % self.cfg.cores;
+            race::acquire(ctx, (L_TLB, core as u64));
             let hit = self.tlbs.with_local(core, |t| t.lookup(vpn));
+            race::read(ctx, (V_TLB, core as u64));
+            race::release(ctx, (L_TLB, core as u64));
             if let Some((gpa_base, flags)) = hit {
                 if access == Access::Read || flags.writable {
                     return Ok(Gpa(gpa_base.get() + gva.page_offset()));
@@ -446,8 +456,11 @@ impl Aquila {
             match walked {
                 Ok(gpa) => {
                     let pte = self.page_table.lock().lookup(gva).expect("just walked");
+                    race::acquire(ctx, (L_TLB, core as u64));
                     self.tlbs
                         .with_local(core, |t| t.insert(vpn, pte.gpa, pte.flags));
+                    race::write(ctx, (V_TLB, core as u64));
+                    race::release(ctx, (L_TLB, core as u64));
                     return Ok(gpa);
                 }
                 Err(_) => {
@@ -534,8 +547,11 @@ impl Aquila {
                         fl.dirty = true;
                         pt.protect(gva, fl);
                         drop(pt);
-                        self.tlbs
-                            .with_local(ctx.core() % self.cfg.cores, |t| t.invalidate(vpn));
+                        let core = ctx.core() % self.cfg.cores;
+                        race::acquire(ctx, (L_TLB, core as u64));
+                        self.tlbs.with_local(core, |t| t.invalidate(vpn));
+                        race::write(ctx, (V_TLB, core as u64));
+                        race::release(ctx, (L_TLB, core as u64));
                     }
                     ctx.counters().minor_faults += 1;
                     return Ok(());
@@ -604,8 +620,11 @@ impl Aquila {
             pt.map(vpn.base(), gpa, flags);
         }
         self.rmap[frame.0 as usize].lock().push(vpn);
-        self.tlbs
-            .with_local(ctx.core() % self.cfg.cores, |t| t.insert(vpn, gpa, flags));
+        let core = ctx.core() % self.cfg.cores;
+        race::acquire(ctx, (L_TLB, core as u64));
+        self.tlbs.with_local(core, |t| t.insert(vpn, gpa, flags));
+        race::write(ctx, (V_TLB, core as u64));
+        race::release(ctx, (L_TLB, core as u64));
     }
 
     fn rmap_remove(&self, frame: Option<FrameId>, vpn: Vpn) {

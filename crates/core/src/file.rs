@@ -7,10 +7,9 @@
 //! A file can also map a raw device range directly (the dedicated-device
 //! deployment the paper describes for key-value stores).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use aquila_sync::RwLock;
+use aquila_sync::{DetMap, RwLock};
 
 use aquila_devices::{BlobId, Blobstore, StorageAccess, STORE_PAGE};
 use aquila_sim::SimCtx;
@@ -84,7 +83,7 @@ impl FileObj {
 /// The open-file registry: name -> blob translation plus page I/O.
 pub struct Files {
     files: RwLock<Vec<Arc<FileObj>>>,
-    by_name: RwLock<HashMap<String, FileId>>,
+    by_name: RwLock<DetMap<String, FileId>>,
 }
 
 impl Files {
@@ -92,7 +91,7 @@ impl Files {
     pub fn new() -> Files {
         Files {
             files: RwLock::new(Vec::new()),
-            by_name: RwLock::new(HashMap::new()),
+            by_name: RwLock::new(DetMap::new()),
         }
     }
 

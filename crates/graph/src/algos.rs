@@ -160,7 +160,7 @@ pub fn label_propagation(team: &mut Team, g: &CsrGraph, max_iters: u32) -> (u64,
     }
 
     // Count distinct labels.
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = aquila_sync::DetSet::new();
     let ctx = team.ctx(0);
     for v in 0..n {
         seen.insert(region.read_u32(ctx, labels_at + v * 4));

@@ -7,10 +7,9 @@
 //! makes the store generic over all three, which is exactly the Figure 5
 //! experiment.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use aquila_sync::Mutex;
+use aquila_sync::{DetMap, Mutex};
 
 use aquila::{Aquila, FileId, Gva, Prot};
 use aquila_devices::{Blobstore, StorageAccess, STORE_PAGE};
@@ -65,7 +64,7 @@ pub trait Env: Send + Sync {
 // ------------------------------------------------------------------
 
 struct DirectState {
-    files: HashMap<String, (u32, u64, u64)>, // name -> (id, base_page, pages)
+    files: DetMap<String, (u32, u64, u64)>, // name -> (id, base_page, pages)
     next_page: u64,
     next_id: u32,
 }
@@ -85,7 +84,7 @@ impl DirectIoEnv {
             cache: Arc::new(UserCache::new(cache_blocks, 64, Arc::clone(&access))),
             access,
             state: Mutex::new(DirectState {
-                files: HashMap::new(),
+                files: DetMap::new(),
                 next_page: 0,
                 next_id: 0,
             }),
@@ -159,7 +158,7 @@ impl Env for DirectIoEnv {
 /// RocksDB's mmap mode: reads through Linux mmio, writes via O_DIRECT.
 pub struct MmapEnv {
     lm: Arc<LinuxMmap>,
-    files: Mutex<HashMap<String, (LinuxFileId, u64, u64)>>, // (file, vpn, pages)
+    files: Mutex<DetMap<String, (LinuxFileId, u64, u64)>>, // (file, vpn, pages)
 }
 
 impl MmapEnv {
@@ -167,7 +166,7 @@ impl MmapEnv {
     pub fn new(lm: Arc<LinuxMmap>) -> MmapEnv {
         MmapEnv {
             lm,
-            files: Mutex::new(HashMap::new()),
+            files: Mutex::new(DetMap::new()),
         }
     }
 
@@ -238,7 +237,7 @@ pub struct AquilaEnv {
     aquila: Arc<Aquila>,
     store: Arc<Blobstore>,
     access: Arc<dyn StorageAccess>,
-    files: Mutex<HashMap<String, (FileId, Gva, u64)>>,
+    files: Mutex<DetMap<String, (FileId, Gva, u64)>>,
 }
 
 impl AquilaEnv {
@@ -252,7 +251,7 @@ impl AquilaEnv {
             aquila,
             store,
             access,
-            files: Mutex::new(HashMap::new()),
+            files: Mutex::new(DetMap::new()),
         }
     }
 

@@ -19,12 +19,11 @@
 //! (kmmap "does not address scalability issues with the number of user
 //! threads", section 7.2).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use aquila_sync::Mutex;
+use aquila_sync::{DetMap, Mutex};
 
-use aquila_sim::{CoreDebts, CostCat, Cycles, SimCtx, SimRwLock};
+use aquila_sim::{race, CoreDebts, CostCat, Cycles, SimCtx, SimRwLock};
 
 use crate::device::KernelDevice;
 use crate::pagecache::{KVictim, KernelPageCache, Key};
@@ -37,6 +36,22 @@ const SHOOTDOWN_PER_CORE: Cycles = Cycles(300);
 const SHOOTDOWN_REMOTE: Cycles = Cycles(600);
 /// `mmap_sem` read-side hold time on the fault path.
 const RWSEM_HOLD: Cycles = Cycles(80);
+
+// Race-detector identities (`aquila_sim::race`). Canonical acquisition
+// order within the engine: files -> vmas -> pt -> rmap (declared in
+// [`LinuxMmap::new`], checked statically by AQ004 and dynamically by the
+// detector's rank table). `next_vpn`/`next_dev_page` are leaf counters
+// never held across another lock, so they carry no rank. Setup-phase
+// mutations without a `SimCtx` (`open_file`) are outside the detector's
+// view.
+const LOCK_FILES: race::LockKey = ("linuxsim.files", 0);
+const LOCK_VMAS: race::LockKey = ("linuxsim.vmas", 0);
+const LOCK_PT: race::LockKey = ("linuxsim.pt", 0);
+const LOCK_RMAP: race::LockKey = ("linuxsim.rmap", 0);
+const VAR_FILES: race::VarKey = ("linuxsim.files.table", 0);
+const VAR_VMAS: race::VarKey = ("linuxsim.vmas.list", 0);
+const VAR_PT: race::VarKey = ("linuxsim.pt.map", 0);
+const VAR_RMAP: race::VarKey = ("linuxsim.rmap.map", 0);
 
 /// Errors from the Linux baseline engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,9 +142,9 @@ pub struct LinuxMmap {
     dev: KernelDevice,
     mmap_sem: SimRwLock,
     vmas: Mutex<Vec<Vma>>,
-    pt: Mutex<HashMap<u64, Pte>>,
+    pt: Mutex<DetMap<u64, Pte>>,
     /// Reverse map: cached page -> virtual pages mapping it.
-    rmap: Mutex<HashMap<Key, Vec<u64>>>,
+    rmap: Mutex<DetMap<Key, Vec<u64>>>,
     files: Mutex<Vec<FileDesc>>,
     next_vpn: Mutex<u64>,
     next_dev_page: Mutex<u64>,
@@ -139,12 +154,16 @@ pub struct LinuxMmap {
 impl LinuxMmap {
     /// Creates the baseline over a kernel device.
     pub fn new(cfg: LinuxConfig, dev: KernelDevice, debts: Arc<CoreDebts>) -> LinuxMmap {
+        race::declare_order(
+            "linuxsim",
+            &["linuxsim.files", "linuxsim.vmas", "linuxsim.pt", "linuxsim.rmap"],
+        );
         LinuxMmap {
             cache: KernelPageCache::new(cfg.cache_frames),
             mmap_sem: SimRwLock::new(),
             vmas: Mutex::new(Vec::new()),
-            pt: Mutex::new(HashMap::new()),
-            rmap: Mutex::new(HashMap::new()),
+            pt: Mutex::new(DetMap::new()),
+            rmap: Mutex::new(DetMap::new()),
             files: Mutex::new(Vec::new()),
             next_vpn: Mutex::new(0x10_0000),
             next_dev_page: Mutex::new(0),
@@ -191,12 +210,11 @@ impl LinuxMmap {
         pages: u64,
         writable: bool,
     ) -> Result<u64, LinuxError> {
-        let flen = self
-            .files
-            .lock()
-            .get(file.0 as usize)
-            .ok_or(LinuxError::BadFile)?
-            .pages;
+        race::acquire(ctx, LOCK_FILES);
+        let flen = self.files.lock().get(file.0 as usize).map(|f| f.pages);
+        race::read(ctx, VAR_FILES);
+        race::release(ctx, LOCK_FILES);
+        let flen = flen.ok_or(LinuxError::BadFile)?;
         if offset_page + pages > flen {
             return Err(LinuxError::BadFile);
         }
@@ -212,6 +230,7 @@ impl LinuxMmap {
             *nv += pages + 16;
             s
         };
+        race::acquire(ctx, LOCK_VMAS);
         self.vmas.lock().push(Vma {
             start,
             pages,
@@ -219,6 +238,8 @@ impl LinuxMmap {
             file_page: offset_page,
             writable,
         });
+        race::write(ctx, VAR_VMAS);
+        race::release(ctx, LOCK_VMAS);
         Ok(start)
     }
 
@@ -230,11 +251,16 @@ impl LinuxMmap {
         let r = self.mmap_sem.acquire_write(ctx.now(), Cycles(1500));
         ctx.wait_until(r.start, CostCat::LockWait);
         ctx.wait_until(r.end, CostCat::Syscall);
+        race::acquire(ctx, LOCK_VMAS);
         self.vmas
             .lock()
             .retain(|v| !(v.start == start_vpn && v.pages == pages));
+        race::write(ctx, VAR_VMAS);
+        race::release(ctx, LOCK_VMAS);
         let mut flushed = 0;
         {
+            race::acquire(ctx, LOCK_PT);
+            race::acquire(ctx, LOCK_RMAP);
             let mut pt = self.pt.lock();
             let mut rmap = self.rmap.lock();
             for i in 0..pages {
@@ -246,6 +272,12 @@ impl LinuxMmap {
                     flushed += 1;
                 }
             }
+            race::write(ctx, VAR_PT);
+            race::write(ctx, VAR_RMAP);
+            drop(rmap);
+            drop(pt);
+            race::release(ctx, LOCK_RMAP);
+            race::release(ctx, LOCK_PT);
         }
         if flushed > 0 {
             // One flush for the whole unmap (Linux batches range unmaps).
@@ -319,12 +351,13 @@ impl LinuxMmap {
 
     fn translate(&self, ctx: &mut dyn SimCtx, vpn: u64, write: bool) -> Result<u32, LinuxError> {
         for _ in 0..4 {
-            {
-                let pt = self.pt.lock();
-                if let Some(pte) = pt.get(&vpn) {
-                    if !write || pte.writable {
-                        return Ok(pte.frame);
-                    }
+            race::acquire(ctx, LOCK_PT);
+            let hit = self.pt.lock().get(&vpn).copied();
+            race::read(ctx, VAR_PT);
+            race::release(ctx, LOCK_PT);
+            if let Some(pte) = hit {
+                if !write || pte.writable {
+                    return Ok(pte.frame);
                 }
             }
             self.fault(ctx, vpn, write)?;
@@ -343,13 +376,16 @@ impl LinuxMmap {
         ctx.wait_until(r.end, CostCat::FaultHandler);
         // VMA lookup on the rb-tree.
         ctx.charge(CostCat::FaultHandler, Cycles(150));
+        race::acquire(ctx, LOCK_VMAS);
         let vma = {
             let vmas = self.vmas.lock();
             vmas.iter()
                 .find(|v| (v.start..v.start + v.pages).contains(&vpn))
                 .copied()
-                .ok_or(LinuxError::Segfault(vpn << 12))?
         };
+        race::read(ctx, VAR_VMAS);
+        race::release(ctx, LOCK_VMAS);
+        let vma = vma.ok_or(LinuxError::Segfault(vpn << 12))?;
         if write && !vma.writable {
             return Err(LinuxError::Protection(vpn << 12));
         }
@@ -360,19 +396,27 @@ impl LinuxMmap {
         let key: Key = (vma.file, file_page);
 
         // Write-protect fault on an already-present page: `page_mkwrite`.
-        {
+        let mkwrite = {
+            race::acquire(ctx, LOCK_PT);
             let mut pt = self.pt.lock();
-            if let Some(pte) = pt.get_mut(&vpn) {
-                if write && !pte.writable {
-                    let frame = pte.frame;
+            let state = pt.get_mut(&vpn).map(|pte| {
+                let upgrade = write && !pte.writable;
+                if upgrade {
                     pte.writable = true;
-                    drop(pt);
-                    self.cache.mark_dirty(ctx, key);
-                    let _ = frame;
                 }
-                ctx.counters().minor_faults += 1;
-                return Ok(());
+                upgrade
+            });
+            race::write(ctx, VAR_PT);
+            drop(pt);
+            race::release(ctx, LOCK_PT);
+            state
+        };
+        if let Some(upgraded) = mkwrite {
+            if upgraded {
+                self.cache.mark_dirty(ctx, key);
             }
+            ctx.counters().minor_faults += 1;
+            return Ok(());
         }
 
         // Page-cache lookup (tree lock).
@@ -425,6 +469,7 @@ impl LinuxMmap {
     }
 
     fn install(&self, ctx: &mut dyn SimCtx, vpn: u64, key: Key, frame: u32, write: bool) {
+        race::acquire(ctx, LOCK_PT);
         self.pt.lock().insert(
             vpn,
             Pte {
@@ -432,7 +477,12 @@ impl LinuxMmap {
                 writable: write,
             },
         );
+        race::write(ctx, VAR_PT);
+        race::release(ctx, LOCK_PT);
+        race::acquire(ctx, LOCK_RMAP);
         self.rmap.lock().entry(key).or_default().push(vpn);
+        race::write(ctx, VAR_RMAP);
+        race::release(ctx, LOCK_RMAP);
         if write {
             self.cache.mark_dirty(ctx, key);
         }
@@ -448,6 +498,8 @@ impl LinuxMmap {
     fn finish_victims(&self, ctx: &mut dyn SimCtx, victims: &[KVictim]) -> Result<(), LinuxError> {
         let mut any_unmapped = false;
         {
+            race::acquire(ctx, LOCK_PT);
+            race::acquire(ctx, LOCK_RMAP);
             let mut pt = self.pt.lock();
             let mut rmap = self.rmap.lock();
             for v in victims {
@@ -456,6 +508,12 @@ impl LinuxMmap {
                     any_unmapped = true;
                 }
             }
+            race::write(ctx, VAR_PT);
+            race::write(ctx, VAR_RMAP);
+            drop(rmap);
+            drop(pt);
+            race::release(ctx, LOCK_RMAP);
+            race::release(ctx, LOCK_PT);
         }
         if any_unmapped {
             self.shootdown(ctx, 1);
@@ -481,7 +539,10 @@ impl LinuxMmap {
         // thread (the writeback burstiness the paper reports). Scattered
         // dirty pages coalesce poorly, so runs are whatever the dirty set
         // offers.
+        race::acquire(ctx, LOCK_FILES);
         let files: usize = self.files.lock().len();
+        race::read(ctx, VAR_FILES);
+        race::release(ctx, LOCK_FILES);
         for f in 0..files as u32 {
             self.msync_file(ctx, f, 0, u64::MAX, true)?;
         }
@@ -498,16 +559,20 @@ impl LinuxMmap {
         let c = ctx.cost().syscall_entry_exit;
         ctx.charge(CostCat::Syscall, c);
         ctx.counters().syscalls += 1;
+        race::acquire(ctx, LOCK_VMAS);
         let vma = {
             let vmas = self.vmas.lock();
             vmas.iter()
                 .find(|v| (v.start..v.start + v.pages).contains(&start_vpn))
                 .copied()
-                .ok_or(LinuxError::Segfault(start_vpn << 12))?
         };
+        race::read(ctx, VAR_VMAS);
+        race::release(ctx, LOCK_VMAS);
+        let vma = vma.ok_or(LinuxError::Segfault(start_vpn << 12))?;
         let fp0 = vma.file_page + (start_vpn - vma.start);
         self.msync_file(ctx, vma.file, fp0, fp0 + pages, self.cfg.kmmap)?;
         // Downgrade written-back mappings so future writes re-fault.
+        race::acquire(ctx, LOCK_PT);
         let mut pt = self.pt.lock();
         for i in 0..pages {
             if let Some(pte) = pt.get_mut(&(start_vpn + i)) {
@@ -515,6 +580,8 @@ impl LinuxMmap {
             }
         }
         drop(pt);
+        race::write(ctx, VAR_PT);
+        race::release(ctx, LOCK_PT);
         self.shootdown(ctx, 1);
         Ok(())
     }

@@ -7,17 +7,26 @@
 //! reservation that models the tree lock's serialization, so Figure 10's
 //! collapse emerges from the model rather than being hard-coded.
 
-use std::collections::HashMap;
 
-use aquila_sync::{Mutex, RwLock};
+use aquila_sync::{DetMap, Mutex, RwLock};
 
-use aquila_sim::{CostCat, Cycles, SimCtx, SimMutex};
+use aquila_sim::{race, CostCat, Cycles, SimCtx, SimMutex};
 
 /// A (file, page) key in the page cache.
 pub type Key = (u32, u64);
 
 /// Cycles the tree lock is held for a lookup/insert/delete.
 pub const TREE_HOLD: Cycles = Cycles(350);
+
+// Race-detector identities. The host-side `inner` mutex protects the
+// whole index (tree/owner/dirty/lru/free move together); `tree_locks` is
+// the registry of per-file virtual tree locks. Order declared in
+// [`KernelPageCache::new`]; the registry lock is never held across
+// `inner`.
+const LOCK_TREE_LOCKS: race::LockKey = ("linux.pagecache.tree_locks", 0);
+const LOCK_INNER: race::LockKey = ("linux.pagecache.inner", 0);
+const VAR_TREE_LOCKS: race::VarKey = ("linux.pagecache.tree_locks.map", 0);
+const VAR_INNER: race::VarKey = ("linux.pagecache.index", 0);
 
 /// Exact LRU over frame ids (an intrusive doubly-linked list).
 struct LruList {
@@ -78,9 +87,9 @@ impl LruList {
 }
 
 struct Inner {
-    tree: HashMap<Key, u32>,
+    tree: DetMap<Key, u32>,
     owner: Vec<Option<Key>>,
-    dirty: HashMap<Key, ()>,
+    dirty: DetMap<Key, ()>,
     lru: LruList,
     free: Vec<u32>,
 }
@@ -103,7 +112,7 @@ pub struct KernelPageCache {
     /// Per-file (per-inode address_space) tree locks. All threads reading
     /// one shared file contend on one of these — the Figure 10 shared-file
     /// collapse — while separate files use separate locks.
-    tree_locks: Mutex<HashMap<u32, std::sync::Arc<SimMutex>>>,
+    tree_locks: Mutex<DetMap<u32, std::sync::Arc<SimMutex>>>,
     /// The LRU/zone lock taken by reclaim.
     lru_lock: SimMutex,
     contended: std::sync::atomic::AtomicU64,
@@ -112,18 +121,22 @@ pub struct KernelPageCache {
 impl KernelPageCache {
     /// Creates a cache of `frames` 4 KiB frames.
     pub fn new(frames: usize) -> KernelPageCache {
+        race::declare_order(
+            "linux.pagecache",
+            &["linux.pagecache.tree_locks", "linux.pagecache.inner"],
+        );
         KernelPageCache {
             frames: (0..frames)
                 .map(|_| RwLock::new(vec![0u8; 4096].into_boxed_slice()))
                 .collect(),
             inner: Mutex::new(Inner {
-                tree: HashMap::new(),
+                tree: DetMap::new(),
                 owner: vec![None; frames],
-                dirty: HashMap::new(),
+                dirty: DetMap::new(),
                 lru: LruList::new(frames),
                 free: (0..frames as u32).rev().collect(),
             }),
-            tree_locks: Mutex::new(HashMap::new()),
+            tree_locks: Mutex::new(DetMap::new()),
             lru_lock: SimMutex::new(),
             contended: std::sync::atomic::AtomicU64::new(0),
         }
@@ -158,12 +171,15 @@ impl KernelPageCache {
     }
 
     fn take_tree_lock(&self, ctx: &mut dyn SimCtx, file: u32, hold: Cycles) {
+        race::acquire(ctx, LOCK_TREE_LOCKS);
         let lock = std::sync::Arc::clone(
             self.tree_locks
                 .lock()
                 .entry(file)
                 .or_insert_with(|| std::sync::Arc::new(SimMutex::new())),
         );
+        race::write(ctx, VAR_TREE_LOCKS);
+        race::release(ctx, LOCK_TREE_LOCKS);
         let t_lock = ctx.now();
         let r = lock.acquire(ctx.now(), hold);
         if r.wait > Cycles::ZERO {
@@ -181,11 +197,15 @@ impl KernelPageCache {
     /// Looks up a page under its file's tree lock, touching the LRU.
     pub fn lookup(&self, ctx: &mut dyn SimCtx, key: Key) -> Option<u32> {
         self.take_tree_lock(ctx, key.0, TREE_HOLD);
+        race::acquire(ctx, LOCK_INNER);
         let mut inner = self.inner.lock();
         let frame = inner.tree.get(&key).copied();
         if let Some(f) = frame {
             inner.lru.touch(f);
         }
+        drop(inner);
+        race::write(ctx, VAR_INNER);
+        race::release(ctx, LOCK_INNER);
         frame
     }
 
@@ -196,51 +216,63 @@ impl KernelPageCache {
     /// overwrite the frame with device data.
     pub fn insert(&self, ctx: &mut dyn SimCtx, key: Key) -> (u32, Option<KVictim>, bool) {
         self.take_tree_lock(ctx, key.0, TREE_HOLD);
+        race::acquire(ctx, LOCK_INNER);
         let mut inner = self.inner.lock();
-        if let Some(&f) = inner.tree.get(&key) {
+        let result = if let Some(&f) = inner.tree.get(&key) {
             // Already cached (or raced with another fill).
-            return (f, None, true);
-        }
-        let (frame, victim) = match inner.free.pop() {
-            Some(f) => (f, None),
-            None => {
-                let f = inner
-                    .lru
-                    .pop_lru()
-                    .expect("no free and no LRU: empty cache?");
-                let old = inner.owner[f as usize]
-                    .take()
-                    .expect("LRU frames have owners");
-                inner.tree.remove(&old);
-                let dirty = inner.dirty.remove(&old).is_some();
-                ctx.counters().evictions += 1;
-                (
-                    f,
-                    Some(KVictim {
-                        key: old,
-                        frame: f,
-                        dirty,
-                    }),
-                )
-            }
+            (f, None, true)
+        } else {
+            let (frame, victim) = match inner.free.pop() {
+                Some(f) => (f, None),
+                None => {
+                    let f = inner
+                        .lru
+                        .pop_lru()
+                        .expect("no free and no LRU: empty cache?");
+                    let old = inner.owner[f as usize]
+                        .take()
+                        .expect("LRU frames have owners");
+                    inner.tree.remove(&old);
+                    let dirty = inner.dirty.remove(&old).is_some();
+                    ctx.counters().evictions += 1;
+                    (
+                        f,
+                        Some(KVictim {
+                            key: old,
+                            frame: f,
+                            dirty,
+                        }),
+                    )
+                }
+            };
+            inner.tree.insert(key, frame);
+            inner.owner[frame as usize] = Some(key);
+            inner.lru.touch(frame);
+            (frame, victim, false)
         };
-        inner.tree.insert(key, frame);
-        inner.owner[frame as usize] = Some(key);
-        inner.lru.touch(frame);
-        (frame, victim, false)
+        drop(inner);
+        race::write(ctx, VAR_INNER);
+        race::release(ctx, LOCK_INNER);
+        result
     }
 
     /// Marks a page dirty — under the same tree lock (the Linux
     /// behaviour the paper calls out).
     pub fn mark_dirty(&self, ctx: &mut dyn SimCtx, key: Key) {
         self.take_tree_lock(ctx, key.0, TREE_HOLD);
+        race::acquire(ctx, LOCK_INNER);
         self.inner.lock().dirty.insert(key, ());
+        race::write(ctx, VAR_INNER);
+        race::release(ctx, LOCK_INNER);
     }
 
     /// Clears the dirty mark after writeback.
     pub fn clear_dirty(&self, ctx: &mut dyn SimCtx, key: Key) {
         self.take_tree_lock(ctx, key.0, TREE_HOLD);
+        race::acquire(ctx, LOCK_INNER);
         self.inner.lock().dirty.remove(&key);
+        race::write(ctx, VAR_INNER);
+        race::release(ctx, LOCK_INNER);
     }
 
     /// Snapshot of the dirty pages of `file` within `[start, end)` page
@@ -253,6 +285,7 @@ impl KernelPageCache {
         end: u64,
     ) -> Vec<(Key, u32)> {
         self.take_tree_lock(ctx, file, TREE_HOLD * 4);
+        race::acquire(ctx, LOCK_INNER);
         let inner = self.inner.lock();
         let mut v: Vec<(Key, u32)> = inner
             .dirty
@@ -260,6 +293,9 @@ impl KernelPageCache {
             .filter(|&&(f, p)| f == file && (start..end).contains(&p))
             .map(|&k| (k, inner.tree[&k]))
             .collect();
+        drop(inner);
+        race::read(ctx, VAR_INNER);
+        race::release(ctx, LOCK_INNER);
         v.sort();
         v
     }
@@ -278,6 +314,7 @@ impl KernelPageCache {
             .acquire(ctx.now(), Cycles(150 * n.max(1) as u64));
         ctx.wait_until(r.start, CostCat::LockWait);
         ctx.wait_until(r.end, CostCat::Eviction);
+        race::acquire(ctx, LOCK_INNER);
         let mut inner = self.inner.lock();
         let mut out = Vec::new();
         for _ in 0..n {
@@ -295,6 +332,9 @@ impl KernelPageCache {
                 dirty,
             });
         }
+        drop(inner);
+        race::write(ctx, VAR_INNER);
+        race::release(ctx, LOCK_INNER);
         out
     }
 

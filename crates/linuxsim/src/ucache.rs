@@ -7,13 +7,12 @@
 //! (the paper cites one-third to one-half of total CPU cycles going to
 //! cache management in such designs).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use aquila_sync::Mutex;
+use aquila_sync::{DetMap, Mutex};
 
 use aquila_devices::{StorageAccess, STORE_PAGE};
-use aquila_sim::{CostCat, Cycles, SimCtx, SimMutex};
+use aquila_sim::{race, CostCat, Cycles, SimCtx, SimMutex};
 
 /// Cycles a shard lock is held per operation.
 const SHARD_HOLD: Cycles = Cycles(200);
@@ -21,8 +20,16 @@ const SHARD_HOLD: Cycles = Cycles(200);
 /// Cache key: (file id, page number).
 type BlockKey = (u32, u64);
 
+// Race-detector lock/variable names, instanced by shard index. Order
+// (declared in [`UserCache::new`]): a shard's `map` may be held while
+// taking its `lru`, never the other way round.
+const L_MAP: &str = "ucache.map";
+const L_LRU: &str = "ucache.lru";
+const V_MAP: &str = "ucache.map.shard";
+const V_LRU: &str = "ucache.lru.shard";
+
 struct Shard {
-    map: Mutex<HashMap<BlockKey, Box<[u8]>>>,
+    map: Mutex<DetMap<BlockKey, Box<[u8]>>>,
     lru: Mutex<Vec<BlockKey>>, // Approximate LRU: move-to-back vector.
     lock_model: SimMutex,
 }
@@ -42,10 +49,11 @@ impl UserCache {
     /// shards over a direct-I/O access path.
     pub fn new(capacity_blocks: usize, shards: usize, access: Arc<dyn StorageAccess>) -> UserCache {
         let shards = shards.max(1);
+        race::declare_order("ucache", &[L_MAP, L_LRU]);
         UserCache {
             shards: (0..shards)
                 .map(|_| Shard {
-                    map: Mutex::new(HashMap::new()),
+                    map: Mutex::new(DetMap::new()),
                     lru: Mutex::new(Vec::new()),
                     lock_model: SimMutex::new(),
                 })
@@ -57,9 +65,9 @@ impl UserCache {
         }
     }
 
-    fn shard_of(&self, key: BlockKey) -> &Shard {
+    fn shard_of(&self, key: BlockKey) -> usize {
         let h = aquila_sim::rng::fnv1a_64(((key.0 as u64) << 40) ^ key.1);
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
     }
 
     /// (hits, misses) so far.
@@ -86,21 +94,34 @@ impl UserCache {
         debug_assert_eq!(buf.len(), STORE_PAGE);
         let lookup = ctx.cost().ucache_lookup;
         ctx.charge(CostCat::CacheMgmt, lookup);
-        let shard = self.shard_of(key);
+        let si = self.shard_of(key);
+        let shard = &self.shards[si];
         let r = shard.lock_model.acquire(ctx.now(), SHARD_HOLD);
         ctx.wait_until(r.start, CostCat::LockWait);
         ctx.wait_until(r.end, CostCat::CacheMgmt);
 
-        if let Some(block) = shard.map.lock().get(&key) {
+        race::acquire(ctx, (L_MAP, si as u64));
+        let map = shard.map.lock();
+        if let Some(block) = map.get(&key) {
             buf.copy_from_slice(block);
+            race::read(ctx, (V_MAP, si as u64));
+            race::acquire(ctx, (L_LRU, si as u64));
             let mut lru = shard.lru.lock();
             if let Some(pos) = lru.iter().position(|&k| k == key) {
                 lru.remove(pos);
             }
             lru.push(key);
+            drop(lru);
+            race::write(ctx, (V_LRU, si as u64));
+            race::release(ctx, (L_LRU, si as u64));
+            drop(map);
+            race::release(ctx, (L_MAP, si as u64));
             *self.hits.lock() += 1;
             return;
         }
+        drop(map);
+        race::read(ctx, (V_MAP, si as u64));
+        race::release(ctx, (L_MAP, si as u64));
         *self.misses.lock() += 1;
 
         // Miss: direct-I/O pread (syscall + kernel path + device).
@@ -110,7 +131,9 @@ impl UserCache {
         let r = shard.lock_model.acquire(ctx.now(), SHARD_HOLD);
         ctx.wait_until(r.start, CostCat::LockWait);
         ctx.wait_until(r.end, CostCat::CacheMgmt);
+        race::acquire(ctx, (L_MAP, si as u64));
         let mut map = shard.map.lock();
+        race::acquire(ctx, (L_LRU, si as u64));
         let mut lru = shard.lru.lock();
         if map.len() >= self.capacity_per_shard {
             let evict = ctx.cost().ucache_evict;
@@ -123,6 +146,12 @@ impl UserCache {
         }
         map.insert(key, buf.to_vec().into_boxed_slice());
         lru.push(key);
+        drop(lru);
+        drop(map);
+        race::write(ctx, (V_MAP, si as u64));
+        race::write(ctx, (V_LRU, si as u64));
+        race::release(ctx, (L_LRU, si as u64));
+        race::release(ctx, (L_MAP, si as u64));
     }
 
     /// Writes a block through the cache (write-through with direct I/O,
@@ -130,14 +159,19 @@ impl UserCache {
     pub fn put_through(&self, ctx: &mut dyn SimCtx, key: BlockKey, dev_page: u64, buf: &[u8]) {
         debug_assert_eq!(buf.len(), STORE_PAGE);
         self.access.write_pages(ctx, dev_page, buf);
-        let shard = self.shard_of(key);
+        let si = self.shard_of(key);
+        let shard = &self.shards[si];
         let r = shard.lock_model.acquire(ctx.now(), SHARD_HOLD);
         ctx.wait_until(r.start, CostCat::LockWait);
         ctx.wait_until(r.end, CostCat::CacheMgmt);
+        race::acquire(ctx, (L_MAP, si as u64));
         let mut map = shard.map.lock();
         if map.contains_key(&key) {
             map.insert(key, buf.to_vec().into_boxed_slice());
         }
+        drop(map);
+        race::write(ctx, (V_MAP, si as u64));
+        race::release(ctx, (L_MAP, si as u64));
     }
 
     /// Resets shard-lock timing models (between experiment phases).

@@ -9,7 +9,7 @@
 
 use aquila_sync::Mutex;
 
-use aquila_sim::{CostCat, SimCtx};
+use aquila_sim::{race, CostCat, SimCtx};
 use aquila_vmx::{ApicFabric, Gpa, IpiSendPath};
 
 use crate::addr::Vpn;
@@ -20,6 +20,18 @@ use crate::pagetable::PteFlags;
 const TLB_SETS: usize = 384;
 /// Associativity.
 const TLB_WAYS: usize = 4;
+
+// Race-detector identities: per-core TLB locks (instanced by core; the
+// shootdown sweep takes them one at a time in ascending core order, never
+// nested), the APIC fabric, and the shootdown counter. Owner-side
+// accesses without a `SimCtx` (`with_local` from stats paths) are outside
+// the detector's view; the engine annotates its own `with_local` calls.
+const L_TLB: &str = "mmu.tlb";
+const V_TLB: &str = "mmu.tlb.state";
+const L_APIC: &str = "mmu.apic";
+const V_APIC: &str = "mmu.apic.fabric";
+const L_SHOOTDOWNS: &str = "mmu.shootdowns";
+const V_SHOOTDOWNS: &str = "mmu.shootdowns.count";
 
 #[derive(Debug, Clone, Copy)]
 struct TlbEntry {
@@ -200,11 +212,15 @@ impl TlbFabric {
         }
         let t_sd = ctx.now();
         // Functional invalidation on every core's TLB.
-        for tlb in &self.tlbs {
+        for (core, tlb) in self.tlbs.iter().enumerate() {
+            race::acquire(ctx, (L_TLB, core as u64));
             let mut tlb = tlb.lock();
             for &vpn in pages {
                 tlb.invalidate(vpn);
             }
+            drop(tlb);
+            race::write(ctx, (V_TLB, core as u64));
+            race::release(ctx, (L_TLB, core as u64));
         }
         // Local invalidation cost: invlpg per page up to the point where a
         // full flush is cheaper.
@@ -215,9 +231,15 @@ impl TlbFabric {
         ctx.charge(CostCat::Tlb, local);
         ctx.counters().tlb_invalidations += pages.len() as u64;
         ctx.counters().tlb_shootdowns += 1;
+        race::acquire(ctx, (L_SHOOTDOWNS, 0));
         *self.shootdowns.lock() += 1;
+        race::write(ctx, (V_SHOOTDOWNS, 0));
+        race::release(ctx, (L_SHOOTDOWNS, 0));
         // One IPI round for the whole batch.
+        race::acquire(ctx, (L_APIC, 0));
         self.apic.lock().broadcast(ctx, debts, path, remote_handler);
+        race::write(ctx, (V_APIC, 0));
+        race::release(ctx, (L_APIC, 0));
         aquila_sim::metrics::add(ctx, "tlb.shootdown.rounds", 1);
         aquila_sim::metrics::add(ctx, "tlb.shootdown.pages", pages.len() as u64);
         aquila_sim::trace::span(ctx, "tlb.shootdown", CostCat::Tlb, t_sd);

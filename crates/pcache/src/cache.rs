@@ -15,7 +15,7 @@
 //! the paper's layering where applications can customize either side.
 
 use aquila_mmu::{FrameId, PhysMem};
-use aquila_sim::{CostCat, SimCtx};
+use aquila_sim::{race, CostCat, SimCtx};
 use aquila_vmx::Gpa;
 use aquila_sync::Mutex;
 
@@ -65,6 +65,24 @@ impl CacheConfig {
     }
 }
 
+// Race-detector identities (`aquila_sim::race`). The hash table is
+// deliberately lock-free on the read side, so lookups are annotated as
+// Acquire-reads of the per-key slot — paired with the Release-publish
+// writes that mutations perform under the per-bucket lock — instead of
+// lockset-checked plain accesses. The CLOCK bits are Relaxed atomics
+// carrying no cross-thread data flow and stay unannotated. Declared
+// nesting order (see [`DramCache::new`]): a bucket lock may be held while
+// taking an owner slot (commit_insert); dirty trees and the freelist are
+// leaves.
+const L_BUCKET: &str = "pcache.map.bucket";
+const V_SLOT: &str = "pcache.map.key";
+const L_OWNER: &str = "pcache.owner";
+const V_OWNER: &str = "pcache.owner.slot";
+const L_DIRTY: &str = "pcache.dirty";
+const V_DIRTY: &str = "pcache.dirty.trees";
+const L_FREELIST: &str = "pcache.freelist";
+const V_FREELIST: &str = "pcache.freelist.queues";
+
 /// An evicted page the mmio engine must now unmap and possibly write back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Victim {
@@ -101,6 +119,7 @@ impl DramCache {
             cfg.initial_frames <= cfg.max_frames,
             "initial frames exceed pool"
         );
+        race::declare_order("pcache", &[L_BUCKET, L_OWNER, L_DIRTY, L_FREELIST]);
         let mem = PhysMem::new(Gpa(cfg.gpa_base), cfg.max_frames);
         let freelist = Freelist::new(
             cfg.topology,
@@ -149,6 +168,7 @@ impl DramCache {
     pub fn lookup(&self, ctx: &mut dyn SimCtx, key: PageKey) -> Option<FrameId> {
         let c = ctx.cost().hash_lookup;
         ctx.charge(CostCat::CacheMgmt, c);
+        race::read_acquire(ctx, (V_SLOT, key.pack()));
         let frame = self.map.get(key).map(|v| FrameId(v as u32));
         if let Some(f) = frame {
             self.clock.touch(f);
@@ -161,7 +181,11 @@ impl DramCache {
     pub fn try_alloc(&self, ctx: &mut dyn SimCtx) -> Option<FrameId> {
         let c = ctx.cost().freelist_op;
         ctx.charge(CostCat::CacheMgmt, c);
-        self.freelist.alloc(ctx.core())
+        race::acquire(ctx, (L_FREELIST, 0));
+        let frame = self.freelist.alloc(ctx.core());
+        race::write(ctx, (V_FREELIST, 0));
+        race::release(ctx, (L_FREELIST, 0));
+        frame
     }
 
     /// Selects and detaches an eviction batch.
@@ -178,18 +202,26 @@ impl DramCache {
         let mut victims = Vec::with_capacity(frames.len());
         let mut charge = aquila_sim::Cycles::ZERO;
         for frame in frames {
-            let key = {
-                let mut owner = self.owners[frame.0 as usize].lock();
-                match owner.take() {
-                    Some(k) => k,
-                    None => continue, // Raced with a concurrent release.
-                }
+            race::acquire(ctx, (L_OWNER, frame.0 as u64));
+            let key = self.owners[frame.0 as usize].lock().take();
+            race::write(ctx, (V_OWNER, frame.0 as u64));
+            race::release(ctx, (L_OWNER, frame.0 as u64));
+            let Some(key) = key else {
+                continue; // Raced with a concurrent release.
             };
             charge += ctx.cost().hash_update + ctx.cost().lru_update;
-            if self.map.remove(key).is_none() {
+            let bucket = self.map.bucket_index(key);
+            race::acquire(ctx, (L_BUCKET, bucket));
+            let removed = self.map.remove(key);
+            race::write_release(ctx, (V_SLOT, key.pack()));
+            race::release(ctx, (L_BUCKET, bucket));
+            if removed.is_none() {
                 continue;
             }
+            race::acquire(ctx, (L_DIRTY, 0));
             let dirty = self.dirty.remove_anywhere(key).is_some();
+            race::write(ctx, (V_DIRTY, 0));
+            race::release(ctx, (L_DIRTY, 0));
             if dirty {
                 charge += ctx.cost().rbtree_op;
             }
@@ -222,14 +254,21 @@ impl DramCache {
         let t_ins = ctx.now();
         let c = ctx.cost().hash_update + ctx.cost().lru_update;
         ctx.charge(CostCat::CacheMgmt, c);
+        let bucket = self.map.bucket_index(key);
+        race::acquire(ctx, (L_BUCKET, bucket));
         let result = match self.map.insert(key, frame.0 as u64) {
             InsertOutcome::Inserted => {
+                race::acquire(ctx, (L_OWNER, frame.0 as u64));
                 *self.owners[frame.0 as usize].lock() = Some(key);
+                race::write(ctx, (V_OWNER, frame.0 as u64));
+                race::release(ctx, (L_OWNER, frame.0 as u64));
                 self.clock.mark_resident(frame);
                 Ok(())
             }
             InsertOutcome::AlreadyPresent(v) => Err(FrameId(v as u32)),
         };
+        race::write_release(ctx, (V_SLOT, key.pack()));
+        race::release(ctx, (L_BUCKET, bucket));
         aquila_sim::trace::span(ctx, "pcache.insert", CostCat::CacheMgmt, t_ins);
         result
     }
@@ -240,11 +279,17 @@ impl DramCache {
         let c = ctx.cost().freelist_op;
         ctx.charge(CostCat::CacheMgmt, c);
         self.clock.mark_free(frame);
+        race::acquire(ctx, (L_OWNER, frame.0 as u64));
         *self.owners[frame.0 as usize].lock() = None;
+        race::write(ctx, (V_OWNER, frame.0 as u64));
+        race::release(ctx, (L_OWNER, frame.0 as u64));
+        race::acquire(ctx, (L_FREELIST, 0));
         if self.freelist.free(ctx.core(), frame) {
             aquila_sim::metrics::add(ctx, "pcache.freelist.spills", 1);
             aquila_sim::trace::instant(ctx, "pcache.freelist.spill", CostCat::CacheMgmt);
         }
+        race::write(ctx, (V_FREELIST, 0));
+        race::release(ctx, (L_FREELIST, 0));
     }
 
     /// Marks a cached page dirty (write-fault path). Returns true if the
@@ -252,7 +297,11 @@ impl DramCache {
     pub fn mark_dirty(&self, ctx: &mut dyn SimCtx, key: PageKey, frame: FrameId) -> bool {
         let c = ctx.cost().rbtree_op;
         ctx.charge(CostCat::CacheMgmt, c);
-        self.dirty.insert(ctx.core(), key, frame)
+        race::acquire(ctx, (L_DIRTY, 0));
+        let fresh = self.dirty.insert(ctx.core(), key, frame);
+        race::write(ctx, (V_DIRTY, 0));
+        race::release(ctx, (L_DIRTY, 0));
+        fresh
     }
 
     /// Drains the dirty pages of `file` in `[start, end)` page range for
@@ -264,7 +313,10 @@ impl DramCache {
         start: u64,
         end: u64,
     ) -> Vec<DirtyPage> {
+        race::acquire(ctx, (L_DIRTY, 0));
         let pages = self.dirty.drain_file_range(file, start, end);
+        race::write(ctx, (V_DIRTY, 0));
+        race::release(ctx, (L_DIRTY, 0));
         let c = ctx.cost().rbtree_op * pages.len().max(1) as u64;
         ctx.charge(CostCat::CacheMgmt, c);
         pages
@@ -272,7 +324,10 @@ impl DramCache {
 
     /// Drains every dirty page (shutdown or full sync).
     pub fn drain_dirty_all(&self, ctx: &mut dyn SimCtx) -> Vec<DirtyPage> {
+        race::acquire(ctx, (L_DIRTY, 0));
         let pages = self.dirty.drain_all();
+        race::write(ctx, (V_DIRTY, 0));
+        race::release(ctx, (L_DIRTY, 0));
         let c = ctx.cost().rbtree_op * pages.len().max(1) as u64;
         ctx.charge(CostCat::CacheMgmt, c);
         pages

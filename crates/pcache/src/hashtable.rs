@@ -20,10 +20,9 @@
 //! correct under deletion-heavy eviction churn, where lock-free open
 //! addressing is notoriously subtle.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use aquila_sync::Mutex;
+use aquila_sync::{DetMap, Mutex};
 
 use crate::key::PageKey;
 
@@ -112,7 +111,7 @@ pub struct LockFreeMap {
     buckets: Vec<Bucket>,
     mask: u64,
     len: AtomicU64,
-    overflow: Mutex<HashMap<u64, u64>>,
+    overflow: Mutex<DetMap<u64, u64>>,
 }
 
 impl LockFreeMap {
@@ -124,7 +123,7 @@ impl LockFreeMap {
             buckets: (0..buckets).map(|_| Bucket::new()).collect(),
             mask: (buckets - 1) as u64,
             len: AtomicU64::new(0),
-            overflow: Mutex::new(HashMap::new()),
+            overflow: Mutex::new(DetMap::new()),
         }
     }
 
@@ -146,6 +145,13 @@ impl LockFreeMap {
     #[inline]
     fn bucket_of(&self, key: PageKey) -> &Bucket {
         &self.buckets[(key.hash() & self.mask) as usize]
+    }
+
+    /// The bucket index `key` hashes to. Exposed so callers can name the
+    /// per-bucket lock in race-detector annotations.
+    #[inline]
+    pub fn bucket_index(&self, key: PageKey) -> u64 {
+        key.hash() & self.mask
     }
 
     /// Looks up a key (lock-free in the common, non-overflowed case).

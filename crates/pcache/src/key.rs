@@ -74,7 +74,7 @@ mod tests {
     #[test]
     fn hash_spreads_sequential_pages() {
         // Sequential pages of one file should not collide in low bits.
-        let mut low_bits = std::collections::HashSet::new();
+        let mut low_bits = aquila_sync::DetSet::new();
         for page in 0..1024u64 {
             low_bits.insert(PageKey::new(1, page).hash() & 0x3FF);
         }

@@ -53,6 +53,13 @@ pub trait SimCtx {
     fn core(&self) -> usize;
     /// Number of cores in the simulated machine.
     fn num_cores(&self) -> usize;
+    /// Identity of the virtual thread, for happens-before tracking in
+    /// [`crate::race`]. Defaults to the pinned core — correct for free
+    /// contexts and one-thread-per-core runs; the engine's [`ThreadCtx`]
+    /// overrides it with the dense engine thread id.
+    fn thread_id(&self) -> usize {
+        self.core()
+    }
 }
 
 /// Per-core pending interrupt work, charged to a core the next time one of
@@ -171,6 +178,10 @@ impl SimCtx for ThreadCtx {
 
     fn num_cores(&self) -> usize {
         self.num_cores
+    }
+
+    fn thread_id(&self) -> usize {
+        self.id
     }
 }
 

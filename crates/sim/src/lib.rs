@@ -25,6 +25,7 @@ pub mod cost;
 pub mod engine;
 pub mod hist;
 pub mod metrics;
+pub mod race;
 pub mod region;
 pub mod resource;
 pub mod rng;
@@ -36,6 +37,7 @@ pub use cost::{CostCat, CostModel};
 pub use engine::{CoreDebts, Engine, FreeCtx, RunReport, SimCtx, Step, ThreadCtx};
 pub use hist::LatencyHist;
 pub use metrics::{MetricId, MetricKind, MetricsRegistry, MetricsSnapshot};
+pub use race::{RaceDetector, RaceStats};
 pub use region::{DramRegion, MemRegion};
 pub use resource::{Reservation, ServiceCenter, SimMutex, SimRwLock};
 pub use rng::{Rng64, ScrambledZipfian, Zipfian};

@@ -14,10 +14,9 @@
 //! Like tracing, metrics never charge virtual cycles; with no registry
 //! installed each instrumentation site costs one atomic load.
 
-use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-use aquila_sync::{Mutex, RwLock};
+use aquila_sync::{DetMap, Mutex, RwLock};
 
 use crate::engine::SimCtx;
 
@@ -36,7 +35,7 @@ pub struct MetricId(usize);
 
 struct Registrations {
     names: Vec<(&'static str, MetricKind)>,
-    index: HashMap<&'static str, MetricId>,
+    index: DetMap<&'static str, MetricId>,
 }
 
 /// Named counters/gauges with one shard per virtual core.
@@ -52,7 +51,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             regs: RwLock::new(Registrations {
                 names: Vec::new(),
-                index: HashMap::new(),
+                index: DetMap::new(),
             }),
             shards: (0..cores).map(|_| Mutex::new(Vec::new())).collect(),
         }

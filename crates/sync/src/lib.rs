@@ -9,15 +9,18 @@
 //!   directly (no poisoning: a panicked holder propagates the inner
 //!   value rather than wedging every later run of the simulation);
 //! - [`SegQueue`] — an unbounded MPMC FIFO (a mutexed `VecDeque`; the
-//!   freelist's queues are short and per-core, so contention is nil).
+//!   freelist's queues are short and per-core, so contention is nil);
+//! - [`DetMap`] / [`DetSet`] — deterministic ordered replacements for
+//!   `std::collections::HashMap`/`HashSet` in sim-path crates.
 //!
 //! Everything here is *host-time* synchronization: it protects the
 //! simulator's own shared state and never charges virtual cycles. Lock
 //! contention that the paper models (tree locks, IPIs) lives in
 //! `aquila_sim::resource` instead.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
@@ -181,6 +184,174 @@ impl<T> fmt::Debug for SegQueue<T> {
     }
 }
 
+/// A deterministic map: ordered iteration, no hash-seed dependence.
+///
+/// The DES is bit-deterministic only if every iteration that feeds the
+/// simulation (or its trace/metrics observers) visits elements in a
+/// reproducible order. `std::collections::HashMap` randomizes its seed
+/// per process, so its iteration order differs run to run; `DetMap` is a
+/// `BTreeMap` newtype that keeps the familiar map API (via `Deref`) while
+/// making iteration order a pure function of the keys. The `AQ001`
+/// determinism lint (`cargo run -p aquila-analysis -- lint`) enforces its
+/// use in sim-path crates.
+pub struct DetMap<K: Ord, V>(BTreeMap<K, V>);
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// Creates an empty map.
+    pub const fn new() -> DetMap<K, V> {
+        DetMap(BTreeMap::new())
+    }
+
+    /// Consumes the wrapper, returning the underlying ordered map.
+    pub fn into_inner(self) -> BTreeMap<K, V> {
+        self.0
+    }
+}
+
+impl<K: Ord, V> Default for DetMap<K, V> {
+    fn default() -> DetMap<K, V> {
+        DetMap::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Clone for DetMap<K, V> {
+    fn clone(&self) -> DetMap<K, V> {
+        DetMap(self.0.clone())
+    }
+}
+
+impl<K: Ord, V> Deref for DetMap<K, V> {
+    type Target = BTreeMap<K, V>;
+    fn deref(&self) -> &BTreeMap<K, V> {
+        &self.0
+    }
+}
+
+impl<K: Ord, V> DerefMut for DetMap<K, V> {
+    fn deref_mut(&mut self) -> &mut BTreeMap<K, V> {
+        &mut self.0
+    }
+}
+
+impl<K: Ord + fmt::Debug, V: fmt::Debug> fmt::Debug for DetMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> DetMap<K, V> {
+        DetMap(BTreeMap::from_iter(iter))
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for DetMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        self.0.extend(iter)
+    }
+}
+
+impl<K: Ord, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::collections::btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::collections::btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a mut DetMap<K, V> {
+    type Item = (&'a K, &'a mut V);
+    type IntoIter = std::collections::btree_map::IterMut<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter_mut()
+    }
+}
+
+/// A deterministic set: ordered iteration, no hash-seed dependence.
+///
+/// `std::collections::HashSet` counterpart of [`DetMap`]; see there for
+/// why sim-path crates must not iterate hash-ordered collections.
+pub struct DetSet<T: Ord>(BTreeSet<T>);
+
+impl<T: Ord> DetSet<T> {
+    /// Creates an empty set.
+    pub const fn new() -> DetSet<T> {
+        DetSet(BTreeSet::new())
+    }
+
+    /// Consumes the wrapper, returning the underlying ordered set.
+    pub fn into_inner(self) -> BTreeSet<T> {
+        self.0
+    }
+}
+
+impl<T: Ord> Default for DetSet<T> {
+    fn default() -> DetSet<T> {
+        DetSet::new()
+    }
+}
+
+impl<T: Ord + Clone> Clone for DetSet<T> {
+    fn clone(&self) -> DetSet<T> {
+        DetSet(self.0.clone())
+    }
+}
+
+impl<T: Ord> Deref for DetSet<T> {
+    type Target = BTreeSet<T>;
+    fn deref(&self) -> &BTreeSet<T> {
+        &self.0
+    }
+}
+
+impl<T: Ord> DerefMut for DetSet<T> {
+    fn deref_mut(&mut self) -> &mut BTreeSet<T> {
+        &mut self.0
+    }
+}
+
+impl<T: Ord + fmt::Debug> fmt::Debug for DetSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: Ord> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> DetSet<T> {
+        DetSet(BTreeSet::from_iter(iter))
+    }
+}
+
+impl<T: Ord> Extend<T> for DetSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.0.extend(iter)
+    }
+}
+
+impl<T: Ord> IntoIterator for DetSet<T> {
+    type Item = T;
+    type IntoIter = std::collections::btree_set::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::btree_set::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +432,26 @@ mod tests {
             assert!(seen.insert(v));
         }
         assert_eq!(seen.len(), 400);
+    }
+
+    #[test]
+    fn detmap_iterates_in_key_order() {
+        let mut m = DetMap::new();
+        for k in [9u64, 3, 7, 1, 5] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<u64> = m.keys().copied().collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        *m.entry(3).or_insert(0) += 1;
+        assert_eq!(m[&3], 31);
+        m.retain(|&k, _| k > 4);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn detset_iterates_in_order() {
+        let s: DetSet<i32> = [4, 2, 8, 2].into_iter().collect();
+        let v: Vec<i32> = s.iter().copied().collect();
+        assert_eq!(v, vec![2, 4, 8]);
     }
 }

@@ -104,7 +104,7 @@ pub struct Vcpu {
     ring: Ring,
     /// The VM control structure for this vcpu.
     pub vmcs: Vmcs,
-    msrs: std::collections::HashMap<u32, u64>,
+    msrs: aquila_sync::DetMap<u32, u64>,
     ist: IstStacks,
 }
 
@@ -115,7 +115,7 @@ impl Vcpu {
             mode: CpuMode::VmxRoot,
             ring: Ring::Ring0,
             vmcs: Vmcs::default(),
-            msrs: std::collections::HashMap::new(),
+            msrs: aquila_sync::DetMap::new(),
             ist: IstStacks::new(),
         }
     }

@@ -20,6 +20,9 @@ cargo test --workspace -q
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+step "determinism lint (aquila-analysis)"
+cargo run --release -q -p aquila-analysis -- lint
+
 step "fig8 smoke run with --json/--trace"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -32,6 +35,14 @@ grep -q '"traceEvents"' "$tmp/t.json" ||
     { echo "FAIL: trace file missing traceEvents" >&2; exit 1; }
 grep -q 'aquila.fault' "$tmp/t.json" ||
     { echo "FAIL: trace has no fault-handler spans" >&2; exit 1; }
+
+step "race-detector smoke run (fig8 a --race, twice, bit-identical)"
+cargo run --release -q -p aquila-bench --bin fig8 -- a --race > "$tmp/race1.txt"
+cargo run --release -q -p aquila-bench --bin fig8 -- a --race > "$tmp/race2.txt"
+diff "$tmp/race1.txt" "$tmp/race2.txt" ||
+    { echo "FAIL: race-detector runs are not bit-identical" >&2; exit 1; }
+grep -q 'race detector: 0 findings' "$tmp/race1.txt" ||
+    { echo "FAIL: race detector reported findings" >&2; exit 1; }
 
 echo
 echo "verify: all checks passed"
