@@ -29,6 +29,11 @@
 //!   `crates/linuxsim` that contradict the declared order
 //!   `files -> vmas -> pt -> rmap` (DESIGN.md §9; the runtime
 //!   counterpart is `aquila_sim::race`).
+//! - `AQ005-config-construction` — `AquilaConfig` struct literals or
+//!   `AquilaConfig::new(..)` calls outside the builder module
+//!   (`crates/core/src/config.rs`). Configuration goes through
+//!   `AquilaConfig::builder(..)` so new policy knobs (watermarks, write
+//!   policy, queue depth) pick up their defaults and derivations.
 //!
 //! Findings print as `path:line: AQxxx-id: message`, one per line, and
 //! the process exits 1 if any finding is not suppressed by
@@ -136,6 +141,7 @@ enum Lint {
     WallClock,
     UnorderedIteration,
     LockOrder,
+    ConfigConstruction,
 }
 
 impl Lint {
@@ -145,6 +151,7 @@ impl Lint {
             Lint::WallClock => "AQ002-wall-clock",
             Lint::UnorderedIteration => "AQ003-unordered-iteration",
             Lint::LockOrder => "AQ004-lock-order",
+            Lint::ConfigConstruction => "AQ005-config-construction",
         }
     }
 
@@ -155,6 +162,7 @@ impl Lint {
             Lint::WallClock => "AQ002",
             Lint::UnorderedIteration => "AQ003",
             Lint::LockOrder => "AQ004",
+            Lint::ConfigConstruction => "AQ005",
         }
     }
 }
@@ -514,6 +522,38 @@ fn lint_file(path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
+    // AQ005: AquilaConfig is builder-only. A struct literal or a call to
+    // the deprecated `new` shim anywhere but the builder module bypasses
+    // the policy derivations (watermark defaults, batch clamping).
+    if path != "crates/core/src/config.rs" {
+        for (n, line) in lines.iter().enumerate() {
+            if skip.get(n).copied().unwrap_or(false) {
+                continue;
+            }
+            if let Some(col) = find_token(line, "AquilaConfig") {
+                let rest = line[col + "AquilaConfig".len()..].trim_start();
+                // `-> AquilaConfig {` / `-> &AquilaConfig {` is a return
+                // type followed by the function body, not a literal.
+                let before = line[..col].trim_end();
+                let type_position = before.ends_with("->")
+                    || before.ends_with('&')
+                    || before.ends_with("dyn")
+                    || before.ends_with("impl");
+                if (rest.starts_with('{') && !type_position) || rest.starts_with("::new") {
+                    push(
+                        &mut out,
+                        n,
+                        Lint::ConfigConstruction,
+                        "construct AquilaConfig through AquilaConfig::builder(..); \
+                         struct literals and the deprecated `new` shim are sealed \
+                         to crates/core/src/config.rs"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
     // AQ004: declared lock order, statically approximated as "within a
     // function, table-lock acquisitions appear in non-decreasing rank
     // order". The precise hold-tracking version runs at simulation time
@@ -725,6 +765,42 @@ fn b(&self) { let f = self.files.lock(); }
 ";
         let findings = lint_file("crates/linuxsim/src/x.rs", src);
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn aq005_flags_direct_config_construction() {
+        let literal = "fn f() { let c = AquilaConfig { cores: 1 }; }\n";
+        let shim = "fn f() { let c = AquilaConfig::new(1, 64); }\n";
+        let builder = "fn f() { let c = AquilaConfig::builder(1, 64).build(); }\n";
+        for src in [literal, shim] {
+            let findings = lint_file("crates/core/src/engine.rs", src);
+            assert!(
+                findings.iter().any(|f| f.lint == Lint::ConfigConstruction),
+                "{src:?} -> {findings:?}"
+            );
+            assert!(
+                lint_file("crates/core/src/config.rs", src).is_empty(),
+                "builder module is exempt"
+            );
+        }
+        assert!(lint_file("crates/core/src/engine.rs", builder).is_empty());
+    }
+
+    #[test]
+    fn aq005_ignores_return_type_position() {
+        // A return type followed by the function body brace is not a
+        // struct literal.
+        for src in [
+            "pub fn config(&self) -> &AquilaConfig {\n",
+            "fn take() -> AquilaConfig {\n",
+            "fn dynish() -> Box<dyn AsRef<AquilaConfig>> { todo!() }\nfn f(c: &impl AsRef<AquilaConfig>) {}\n",
+        ] {
+            let findings = lint_file("crates/core/src/engine.rs", src);
+            assert!(
+                findings.iter().all(|f| f.lint != Lint::ConfigConstruction),
+                "{src:?} -> {findings:?}"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use aquila::DeviceKind;
 use aquila_bench::micro::{micro_aquila, micro_linux, prepare_micro, run_micro, Micro};
 use aquila_bench::report::{banner, print_rows, JsonReport, Row};
-use aquila_bench::{BenchArgs, Dev};
+use aquila_bench::{BenchArgs, Dev, Runner};
 use aquila_sim::CoreDebts;
 
 struct Scale {
@@ -38,23 +38,16 @@ fn scales(full: bool) -> Scale {
 }
 
 fn main() {
-    let args = BenchArgs::parse();
-    let full = args.has_flag("--full");
-    // `--fit` selects (a), `--nofit` selects (b); neither or both runs
-    // both cases.
-    let has_fit = args.has_flag("--fit");
-    let has_nofit = args.has_flag("--nofit");
-    let fit = has_fit || !has_nofit;
-    let nofit = has_nofit || !has_fit;
-    let sc = scales(full);
-    let mut json = JsonReport::new("fig10", "Microbenchmark scalability, shared vs private files");
-    if fit {
-        run_case(&sc, true, &mut json);
-    }
-    if nofit {
-        run_case(&sc, false, &mut json);
-    }
-    args.finish(&json);
+    // `fit` is (a), `nofit` is (b); the historical `--fit`/`--nofit`
+    // flag spellings select the same parts.
+    Runner::new("fig10", "Microbenchmark scalability, shared vs private files")
+        .part("fit", "(a) dataset fits in memory", |args, r| {
+            run_case(&scales(args.has_flag("--full")), true, r)
+        })
+        .part("nofit", "(b) dataset 12x the cache", |args, r| {
+            run_case(&scales(args.has_flag("--full")), false, r)
+        })
+        .run(BenchArgs::parse(), "all");
 }
 
 fn build(aquila: bool, fit: bool, threads: usize, sc: &Scale, shared: bool) -> Arc<Micro> {

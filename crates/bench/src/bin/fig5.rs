@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use aquila_bench::kvscen::{build_stone, load_stone, warm_stone, Backend, Dev};
 use aquila_bench::report::{banner, print_rows, print_speedup, JsonReport, Row};
-use aquila_bench::BenchArgs;
+use aquila_bench::{BenchArgs, Runner};
 use aquila_kvstore::StoneDb;
 use aquila_sim::{CoreDebts, Engine, FreeCtx, LatencyHist, SimCtx, Step};
 use aquila_ycsb::workload::{Distribution, KeyGen, Workload};
@@ -55,23 +55,16 @@ fn scale(full: bool) -> Scale {
 }
 
 fn main() {
-    let args = BenchArgs::parse();
-    let full = args.has_flag("--full");
-    // `--fit` selects (a), `--nofit` selects (b); neither or both runs
-    // both cases.
-    let has_fit = args.has_flag("--fit");
-    let has_nofit = args.has_flag("--nofit");
-    let want_fit = has_fit || !has_nofit;
-    let want_nofit = has_nofit || !has_fit;
-    let sc = scale(full);
-    let mut report = JsonReport::new("fig5", "YCSB-C on StoneDB across backends");
-    if want_fit {
-        run_case(&sc, true, &mut report);
-    }
-    if want_nofit {
-        run_case(&sc, false, &mut report);
-    }
-    args.finish(&report);
+    // `fit` is (a), `nofit` is (b); the historical `--fit`/`--nofit`
+    // flag spellings select the same parts.
+    Runner::new("fig5", "YCSB-C on StoneDB across backends")
+        .part("fit", "(a) dataset fits in the cache", |args, r| {
+            run_case(&scale(args.has_flag("--full")), true, r)
+        })
+        .part("nofit", "(b) dataset 4x the cache", |args, r| {
+            run_case(&scale(args.has_flag("--full")), false, r)
+        })
+        .run(BenchArgs::parse(), "all");
 }
 
 fn run_case(sc: &Scale, fit: bool, report: &mut JsonReport) {

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use aquila::{AquilaRegion, AquilaRuntime, DeviceKind};
 use aquila_bench::report::{banner, JsonReport};
-use aquila_bench::{BenchArgs, Dev};
+use aquila_bench::{BenchArgs, Dev, Runner};
 use aquila_devices::{NvmeDevice, PmemDevice};
 use aquila_graph::{bfs, rmat_edges, CsrGraph, RmatParams, Team};
 use aquila_linuxsim::{KernelDevice, LinuxConfig, LinuxMmap, LinuxRegion};
@@ -94,10 +94,19 @@ fn build_region(
 }
 
 fn main() {
-    let args = BenchArgs::parse();
-    let mut json = JsonReport::new("fig6", "Ligra BFS with the heap over storage");
+    // The historical `--large` flag spelling selects the `large` part.
+    Runner::new("fig6", "Ligra BFS with the heap over storage")
+        .part("small", "(a) DRAM cache = heap/8", |args, r| {
+            run_case(args, false, r)
+        })
+        .part("large", "(b) DRAM cache = heap/4", |args, r| {
+            run_case(args, true, r)
+        })
+        .run(BenchArgs::parse(), "small");
+}
+
+fn run_case(args: &BenchArgs, big_cache: bool, json: &mut JsonReport) {
     let full = args.has_flag("--full");
-    let big_cache = args.rest.iter().any(|a| a.contains("large"));
     let (scale_exp, edge_factor) = if full { (19, 10) } else { (18, 10) };
     let n = 1u64 << scale_exp;
     let m = n * edge_factor;
@@ -190,5 +199,4 @@ fn main() {
         );
         println!();
     }
-    args.finish(&json);
 }

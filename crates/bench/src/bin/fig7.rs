@@ -12,13 +12,17 @@ use std::sync::Arc;
 
 use aquila_bench::kvscen::{build_stone, load_stone, warm_stone, Backend, Dev};
 use aquila_bench::report::{banner, fig7_bars, JsonReport};
-use aquila_bench::BenchArgs;
+use aquila_bench::{BenchArgs, Runner};
 use aquila_sim::{Breakdown, CoreDebts, FreeCtx};
 use aquila_ycsb::{run_ops, Distribution, Workload};
 
 fn main() {
-    let args = BenchArgs::parse();
-    let mut json = JsonReport::new("fig7", "RocksDB per-get cycle breakdown");
+    Runner::new("fig7", "RocksDB per-get cycle breakdown")
+        .part("breakdown", "per-get cycles, user-space cache vs Aquila", run_breakdown)
+        .run(BenchArgs::parse(), "all");
+}
+
+fn run_breakdown(args: &BenchArgs, json: &mut JsonReport) {
     let full = args.has_flag("--full");
     let records: u64 = if full { 65_536 } else { 16_384 };
     // Cache = 1/4 of the dataset (the paper's 8 GB cache / 32 GB dataset).
@@ -83,5 +87,4 @@ fn main() {
     );
     json.add_scalar("cache_mgmt_ratio", ucache_cm / aq_cm);
     json.add_scalar("throughput_gain_pct", (aq_kops / ucache_kops - 1.0) * 100.0);
-    args.finish(&json);
 }

@@ -17,29 +17,21 @@ use std::sync::Arc;
 use aquila::DeviceKind;
 use aquila_bench::micro::{micro_aquila, micro_linux, prepare_micro, run_micro};
 use aquila_bench::report::{banner, print_breakdown_per_op, JsonReport};
-use aquila_bench::{BenchArgs, Dev};
+use aquila_bench::{BenchArgs, Dev, Runner};
 use aquila_sim::CoreDebts;
 
-fn usage() -> ! {
-    eprintln!("usage: fig8 [a|b|c|all] [--json <path>] [--trace <path>] [--race]");
-    std::process::exit(2);
-}
-
 fn main() {
-    let args = BenchArgs::parse();
-    let mut report = JsonReport::new("fig8", "Page-fault overhead breakdowns");
-    match args.selector("all").as_str() {
-        "a" => part_a(&mut report),
-        "b" => part_b(&mut report),
-        "c" => part_c(&mut report),
-        "all" => {
-            part_a(&mut report);
-            part_b(&mut report);
-            part_c(&mut report);
-        }
-        _ => usage(),
-    }
-    args.finish(&report);
+    Runner::new("fig8", "Page-fault overhead breakdowns")
+        .part("a", "fault cost, dataset fits in memory (pmem)", |_, r| {
+            part_a(r)
+        })
+        .part("b", "fault cost with evictions in the common path", |_, r| {
+            part_b(r)
+        })
+        .part("c", "device access paths (DAX/SPDK vs host kernel)", |_, r| {
+            part_c(r)
+        })
+        .run(BenchArgs::parse(), "all");
 }
 
 /// Single-threaded fault-cost probe: every access faults (cache warm,

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use aquila::{AquilaRegion, AquilaRuntime, DeviceKind};
 use aquila_bench::report::{banner, print_rows, JsonReport, Row};
-use aquila_bench::{BenchArgs, Dev};
+use aquila_bench::{BenchArgs, Dev, Runner};
 use aquila_devices::{NvmeDevice, PmemDevice};
 use aquila_kvstore::{Krill, KrillConfig};
 use aquila_linuxsim::{KernelDevice, LinuxConfig, LinuxMmap, LinuxRegion};
@@ -82,8 +82,17 @@ fn build(aquila: bool, dev: Dev, region_pages: u64, cache_frames: usize) -> Setu
 }
 
 fn main() {
-    let args = BenchArgs::parse();
-    let mut json = JsonReport::new("fig9", "Krill on kmmap vs Aquila, YCSB A-F");
+    Runner::new("fig9", "Krill on kmmap vs Aquila, YCSB A-F")
+        .part("nvme", "YCSB A-F over Optane NVMe", |args, r| {
+            run_device(args, Dev::Nvme, r)
+        })
+        .part("pmem", "YCSB A-F over DAX pmem", |args, r| {
+            run_device(args, Dev::Pmem, r)
+        })
+        .run(BenchArgs::parse(), "all");
+}
+
+fn run_device(args: &BenchArgs, dev: Dev, json: &mut JsonReport) {
     let full = args.has_flag("--full");
     let records: u64 = if full { 16_384 } else { 6_144 };
     let ops: u64 = if full { 8_000 } else { 3_000 };
@@ -96,11 +105,14 @@ fn main() {
     let cache_frames = (records / 6) as usize;
 
     banner(
-        "Figure 9: Krill (Kreon) on kmmap vs Aquila, YCSB A-F, 1 thread, dataset 2x cache",
+        &format!(
+            "Figure 9 ({}): Krill (Kreon) on kmmap vs Aquila, YCSB A-F, 1 thread, dataset 2x cache",
+            dev.name()
+        ),
         "NVMe: ~1.02x ops, 1.29x avg, 3.78x p99.9 latency; pmem: 1.22x ops, 1.43x avg, 13.72x p99.9",
     );
 
-    for dev in [Dev::Nvme, Dev::Pmem] {
+    {
         println!("--- device: {} ---", dev.name());
         let mut rows: Vec<Row> = Vec::new();
         let mut ratios = Vec::new();
@@ -186,5 +198,4 @@ fn main() {
         json.add_scalar(format!("{}/avg_p999_ratio", dev.name()), p_sum / n);
         println!();
     }
-    args.finish(&json);
 }

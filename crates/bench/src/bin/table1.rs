@@ -1,11 +1,15 @@
 //! Table 1: the standard YCSB workloads.
 
-use aquila_bench::{BenchArgs, JsonReport};
+use aquila_bench::{BenchArgs, JsonReport, Runner};
 use aquila_ycsb::Workload;
 
 fn main() {
-    let args = BenchArgs::parse();
-    let mut json = JsonReport::new("table1", "Standard YCSB workloads");
+    Runner::new("table1", "Standard YCSB workloads")
+        .part("workloads", "the paper's YCSB workload definitions", print_table)
+        .run(BenchArgs::parse(), "all");
+}
+
+fn print_table(_args: &BenchArgs, json: &mut JsonReport) {
     println!("Table 1. Standard YCSB Workloads.");
     println!();
     println!("  {:<4} Workload", "");
@@ -22,5 +26,4 @@ fn main() {
     json.add_scalar("key_size_bytes", aquila_ycsb::workload::KEY_SIZE as f64);
     json.add_scalar("value_size_bytes", aquila_ycsb::workload::VALUE_SIZE as f64);
     json.add_scalar("scan_len", aquila_ycsb::workload::SCAN_LEN as f64);
-    args.finish(&json);
 }

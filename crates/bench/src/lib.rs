@@ -12,7 +12,10 @@
 //! | `fig8`   | Page-fault overhead breakdowns (a/b/c) |
 //! | `fig9`   | Kreon kmmap vs Aquila, YCSB A-F |
 //! | `fig10`  | Microbenchmark scalability, shared vs private files |
+//! | `sweep`  | Sync vs async write-behind across queue depth and watermarks |
 //!
+//! Every binary is a set of named parts behind [`Runner`]: select parts
+//! positionally or as `--<part>` flags, `--list` to enumerate them.
 //! Sizes are scaled from the paper's testbed (see DESIGN.md); pass
 //! `--full` to the binaries for larger runs.
 
@@ -21,11 +24,13 @@ pub mod json;
 pub mod kvscen;
 pub mod micro;
 pub mod report;
+pub mod runner;
 
 pub use cli::BenchArgs;
 pub use json::Json;
 pub use kvscen::{build_stone, load_stone, warm_stone, Backend, Dev, StoneScenario};
 pub use micro::{micro_aquila, micro_linux, run_micro, Micro, MicroResult};
+pub use runner::Runner;
 pub use report::{
     banner, fig7_bars, print_breakdown_per_op, print_rows, print_speedup, JsonReport, Row,
     SCHEMA_VERSION,

@@ -10,21 +10,24 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-fn run_fig8(tag: &str) -> (Output, Vec<u8>, Vec<u8>) {
-    let dir = std::env::temp_dir().join(format!("aquila-determinism-{tag}-{}", std::process::id()));
+fn run_bin(exe: &str, part: &str, tag: &str) -> (Output, Vec<u8>, Vec<u8>) {
+    let dir = std::env::temp_dir().join(format!(
+        "aquila-determinism-{tag}-{}",
+        std::process::id()
+    ));
     fs::create_dir_all(&dir).expect("mkdir");
-    let json = dir.join("fig8.json");
-    let trace = dir.join("fig8.trace.json");
+    let json = dir.join("r.json");
+    let trace = dir.join("t.trace.json");
     // Relative artifact paths, run from inside the temp dir: the binary
     // echoes the paths it wrote, and stdout must match across runs.
-    let out = Command::new(env!("CARGO_BIN_EXE_fig8"))
+    let out = Command::new(exe)
         .current_dir(&dir)
-        .args(["a", "--race", "--json", "fig8.json", "--trace", "fig8.trace.json"])
+        .args([part, "--race", "--json", "r.json", "--trace", "t.trace.json"])
         .output()
-        .expect("fig8 runs");
+        .expect("binary runs");
     assert!(
         out.status.success(),
-        "fig8 failed (status {:?}):\n{}",
+        "{exe} {part} failed (status {:?}):\n{}",
         out.status,
         String::from_utf8_lossy(&out.stderr)
     );
@@ -34,10 +37,9 @@ fn run_fig8(tag: &str) -> (Output, Vec<u8>, Vec<u8>) {
     (out, json_bytes, trace_bytes)
 }
 
-#[test]
-fn fig8_is_bit_identical_across_runs() {
-    let (out1, json1, trace1) = run_fig8("one");
-    let (out2, json2, trace2) = run_fig8("two");
+fn assert_double_run_identical(exe: &str, part: &str, tag: &str) -> String {
+    let (out1, json1, trace1) = run_bin(exe, part, &format!("{tag}-one"));
+    let (out2, json2, trace2) = run_bin(exe, part, &format!("{tag}-two"));
 
     assert_eq!(
         out1.stdout, out2.stdout,
@@ -48,16 +50,34 @@ fn fig8_is_bit_identical_across_runs() {
 
     // The --race summary is part of stdout; make the zero-findings
     // acceptance explicit rather than implied by byte equality.
-    let stdout = String::from_utf8_lossy(&out1.stdout);
+    let stdout = String::from_utf8_lossy(&out1.stdout).into_owned();
     assert!(
         stdout.contains("race detector: 0 findings"),
         "expected a clean race-detector summary, got:\n{stdout}"
+    );
+    stdout
+}
+
+#[test]
+fn fig8_is_bit_identical_across_runs() {
+    assert_double_run_identical(env!("CARGO_BIN_EXE_fig8"), "a", "fig8");
+}
+
+/// The asynchronous write-behind pipeline — evictor thread, watermark
+/// refill, queue-depth-batched NVMe submission — stays a deterministic
+/// pure function of its arguments, with the race detector clean.
+#[test]
+fn sweep_async_pipeline_is_bit_identical_across_runs() {
+    let stdout = assert_double_run_identical(env!("CARGO_BIN_EXE_sweep"), "qd", "sweep");
+    assert!(
+        stdout.contains("async-qd4"),
+        "sweep must exercise the async pipeline:\n{stdout}"
     );
 }
 
 #[test]
 fn fig8_artifacts_are_nonempty() {
-    let (_, json, trace) = run_fig8("nonempty");
+    let (_, json, trace) = run_bin(env!("CARGO_BIN_EXE_fig8"), "a", "nonempty");
     assert!(json.len() > 64, "JSON record suspiciously small");
     assert!(trace.len() > 64, "trace suspiciously small");
     let _ = PathBuf::from(env!("CARGO_BIN_EXE_fig8")); // binary path resolved at compile time

@@ -1,0 +1,259 @@
+//! Aquila configuration: the typed builder and the mmio policy section.
+//!
+//! Construction goes through [`AquilaConfig::builder`]; the builder is the
+//! only supported way to assemble a configuration (lint AQ005 rejects
+//! direct struct construction elsewhere). The replacement/write-behind
+//! knobs live in their own [`MmioPolicy`] section so the eviction pipeline
+//! can be configured as a unit:
+//!
+//! ```
+//! use aquila::config::{AquilaConfig, WritePolicy};
+//!
+//! let cfg = AquilaConfig::builder(4, 4096)
+//!     .max_cache_frames(8192)
+//!     .write_policy(WritePolicy::Async)
+//!     .watermarks(256, 1024)
+//!     .queue_depth(8)
+//!     .evictor_cores(vec![3])
+//!     .build();
+//! assert_eq!(cfg.policy.low_watermark, 256);
+//! ```
+
+use aquila_pcache::NumaTopology;
+use aquila_vmx::IpiSendPath;
+
+/// When eviction writeback happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Dirty victims are written back synchronously inside the faulting
+    /// vcore's eviction round — the fault that triggers eviction pays the
+    /// full device latency (the pre-pipeline behavior, and the default).
+    Sync,
+    /// Dedicated evictor threads watch the freelist watermarks, detach
+    /// victim batches off the fault path, and write them back through
+    /// real NVMe queue pairs at [`MmioPolicy::queue_depth`]; faulting
+    /// vcores take clean frames from the freelist and rarely block.
+    Async,
+}
+
+/// The cache-replacement and write-behind policy section of
+/// [`AquilaConfig`].
+#[derive(Debug, Clone)]
+pub struct MmioPolicy {
+    /// Pages evicted per eviction round (paper: 512; clamped at boot to
+    /// 1/8 of the cache so a round never wipes the working set).
+    pub evict_batch: usize,
+    /// Free-frame count below which the evictor starts a round. 0 means
+    /// "derive from the cache size" under [`WritePolicy::Async`] and
+    /// "disabled" under [`WritePolicy::Sync`].
+    pub low_watermark: usize,
+    /// Free-frame count the evictor refills to once triggered. Same 0
+    /// semantics as `low_watermark`.
+    pub high_watermark: usize,
+    /// Simulated cores that run evictor threads (the harness spawns one
+    /// [`crate::Aquila::evictor`] thread per listed core).
+    pub evictor_cores: Vec<usize>,
+    /// When writeback happens relative to the fault path.
+    pub write_policy: WritePolicy,
+    /// NVMe queue depth for write-behind submission. 1 degenerates to the
+    /// blocking one-command-then-drain discipline.
+    pub queue_depth: usize,
+}
+
+impl Default for MmioPolicy {
+    fn default() -> MmioPolicy {
+        MmioPolicy {
+            evict_batch: 512,
+            low_watermark: 0,
+            high_watermark: 0,
+            evictor_cores: Vec::new(),
+            write_policy: WritePolicy::Sync,
+            queue_depth: 8,
+        }
+    }
+}
+
+/// Aquila configuration. Build one with [`AquilaConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct AquilaConfig {
+    /// Simulated cores (threads enter Aquila 1:1 with cores).
+    pub cores: usize,
+    /// Initial DRAM cache size in 4 KiB frames.
+    pub cache_frames: usize,
+    /// Maximum cache size (dynamic resizing headroom).
+    pub max_cache_frames: usize,
+    /// Readahead window in pages under `Advice::Normal`.
+    pub readahead: usize,
+    /// Readahead window under `Advice::Sequential`.
+    pub readahead_seq: usize,
+    /// IPI send path for shootdowns (paper default: vmexit-mediated).
+    pub ipi_path: IpiSendPath,
+    /// NUMA shape.
+    pub topology: NumaTopology,
+    /// Replacement and write-behind policy.
+    pub policy: MmioPolicy,
+}
+
+impl AquilaConfig {
+    /// Starts a builder for a flat-`cores` machine with a cache of
+    /// `cache_frames` frames.
+    pub fn builder(cores: usize, cache_frames: usize) -> AquilaConfigBuilder {
+        AquilaConfigBuilder {
+            cfg: AquilaConfig {
+                cores,
+                cache_frames,
+                max_cache_frames: cache_frames,
+                readahead: 8,
+                readahead_seq: 32,
+                ipi_path: IpiSendPath::VmexitMediated,
+                topology: NumaTopology::flat(cores),
+                policy: MmioPolicy::default(),
+            },
+        }
+    }
+
+    /// A flat-`cores` machine with a cache of `cache_frames` frames.
+    #[deprecated(note = "use AquilaConfig::builder(cores, cache_frames).build()")]
+    pub fn new(cores: usize, cache_frames: usize) -> AquilaConfig {
+        AquilaConfig::builder(cores, cache_frames).build()
+    }
+}
+
+/// Builder for [`AquilaConfig`]. Every knob has a sensible default; call
+/// [`AquilaConfigBuilder::build`] to finish.
+#[derive(Debug, Clone)]
+pub struct AquilaConfigBuilder {
+    cfg: AquilaConfig,
+}
+
+impl AquilaConfigBuilder {
+    /// Maximum cache size for dynamic resizing (default: `cache_frames`).
+    pub fn max_cache_frames(mut self, frames: usize) -> Self {
+        self.cfg.max_cache_frames = frames;
+        self
+    }
+
+    /// Readahead windows for `Advice::Normal` and `Advice::Sequential`.
+    pub fn readahead(mut self, normal: usize, sequential: usize) -> Self {
+        self.cfg.readahead = normal;
+        self.cfg.readahead_seq = sequential;
+        self
+    }
+
+    /// IPI send path for TLB shootdowns.
+    pub fn ipi_path(mut self, path: IpiSendPath) -> Self {
+        self.cfg.ipi_path = path;
+        self
+    }
+
+    /// NUMA topology (default: flat).
+    pub fn topology(mut self, topology: NumaTopology) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Replaces the whole policy section at once.
+    pub fn policy(mut self, policy: MmioPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Pages evicted per eviction round.
+    pub fn evict_batch(mut self, batch: usize) -> Self {
+        self.cfg.policy.evict_batch = batch;
+        self
+    }
+
+    /// Freelist watermarks driving the asynchronous evictor: start a
+    /// round below `low` free frames, refill to `high`.
+    pub fn watermarks(mut self, low: usize, high: usize) -> Self {
+        self.cfg.policy.low_watermark = low;
+        self.cfg.policy.high_watermark = high;
+        self
+    }
+
+    /// When eviction writeback happens ([`WritePolicy::Sync`] default).
+    pub fn write_policy(mut self, policy: WritePolicy) -> Self {
+        self.cfg.policy.write_policy = policy;
+        self
+    }
+
+    /// NVMe queue depth for write-behind submission (default 8).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.policy.queue_depth = depth;
+        self
+    }
+
+    /// Cores that run evictor threads.
+    pub fn evictor_cores(mut self, cores: Vec<usize>) -> Self {
+        self.cfg.policy.evictor_cores = cores;
+        self
+    }
+
+    /// Finishes the configuration.
+    ///
+    /// Under [`WritePolicy::Async`] with unset (0) watermarks, defaults
+    /// are derived from the cache size: low = frames/8, high = frames/4.
+    /// `high_watermark` is clamped to at least `low_watermark`.
+    pub fn build(self) -> AquilaConfig {
+        let mut cfg = self.cfg;
+        if cfg.policy.write_policy == WritePolicy::Async && cfg.policy.low_watermark == 0 {
+            cfg.policy.low_watermark = (cfg.cache_frames / 8).max(8);
+            cfg.policy.high_watermark = (cfg.cache_frames / 4).max(16);
+        }
+        cfg.policy.high_watermark = cfg.policy.high_watermark.max(cfg.policy.low_watermark);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_policy_defaults() {
+        let cfg = AquilaConfig::builder(4, 1024).build();
+        assert_eq!(cfg.cores, 4);
+        assert_eq!(cfg.cache_frames, 1024);
+        assert_eq!(cfg.max_cache_frames, 1024);
+        assert_eq!(cfg.policy.evict_batch, 512);
+        assert_eq!(cfg.policy.write_policy, WritePolicy::Sync);
+        assert_eq!(cfg.policy.queue_depth, 8);
+        assert_eq!(cfg.policy.low_watermark, 0, "sync mode: no watermarks");
+        assert!(cfg.policy.evictor_cores.is_empty());
+    }
+
+    #[test]
+    fn async_derives_watermarks_from_cache_size() {
+        let cfg = AquilaConfig::builder(2, 4096)
+            .write_policy(WritePolicy::Async)
+            .build();
+        assert_eq!(cfg.policy.low_watermark, 512);
+        assert_eq!(cfg.policy.high_watermark, 1024);
+    }
+
+    #[test]
+    fn explicit_watermarks_survive_and_clamp() {
+        let cfg = AquilaConfig::builder(2, 4096)
+            .write_policy(WritePolicy::Async)
+            .watermarks(100, 50)
+            .queue_depth(16)
+            .evictor_cores(vec![1])
+            .build();
+        assert_eq!(cfg.policy.low_watermark, 100);
+        assert_eq!(cfg.policy.high_watermark, 100, "clamped up to low");
+        assert_eq!(cfg.policy.queue_depth, 16);
+        assert_eq!(cfg.policy.evictor_cores, vec![1]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_matches_builder() {
+        let a = AquilaConfig::new(2, 64);
+        let b = AquilaConfig::builder(2, 64).build();
+        assert_eq!(a.cores, b.cores);
+        assert_eq!(a.cache_frames, b.cache_frames);
+        assert_eq!(a.max_cache_frames, b.max_cache_frames);
+        assert_eq!(a.policy.evict_batch, b.policy.evict_batch);
+    }
+}

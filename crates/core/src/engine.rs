@@ -15,18 +15,21 @@
 //! 5. **Cache resizing** (uncommon) — vmcalls to the hypervisor plus 1 GiB
 //!    EPT mappings.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use aquila_sync::Mutex;
 
-use aquila_devices::STORE_PAGE;
+use aquila_devices::{BufRef, DeviceError, NvmeOp, STORE_PAGE};
 use aquila_mmu::{Access, FrameId, Gva, PageTable, PteFlags, TlbFabric, Vpn, PAGE_SIZE};
-use aquila_pcache::{coalesce_runs, CacheConfig, DirtyPage, DramCache, NumaTopology, PageKey};
-use aquila_sim::{race, CoreDebts, CostCat, Cycles, SimCtx};
-use aquila_vmx::{Ept, EptPageSize, EptPerms, Gpa, Hpa, IpiSendPath, Vcpu, PAGE_1G};
+use aquila_pcache::{coalesce_runs, CacheConfig, DirtyPage, DramCache, PageKey, Victim};
+use aquila_sim::{race, CoreDebts, CostCat, Cycles, SimCtx, Step, ThreadFn};
+use aquila_vmx::{Ept, EptPageSize, EptPerms, Gpa, Hpa, Vcpu, PAGE_1G};
 
 use crate::error::AquilaError;
 use crate::file::{FileId, Files};
+
+pub use crate::config::{AquilaConfig, AquilaConfigBuilder, MmioPolicy, WritePolicy};
 
 // Race-detector names for the owner side of the per-core TLB locks; the
 // remote side (shootdown sweep) uses the same names in `aquila-mmu`, so
@@ -37,43 +40,6 @@ const V_TLB: &str = "mmu.tlb.state";
 
 use aquila_vma::VmaTree;
 pub use aquila_vma::{Advice, Prot};
-
-/// Aquila configuration.
-#[derive(Debug, Clone)]
-pub struct AquilaConfig {
-    /// Simulated cores (threads enter Aquila 1:1 with cores).
-    pub cores: usize,
-    /// Initial DRAM cache size in 4 KiB frames.
-    pub cache_frames: usize,
-    /// Maximum cache size (dynamic resizing headroom).
-    pub max_cache_frames: usize,
-    /// Pages evicted per synchronous eviction round (paper: 512).
-    pub evict_batch: usize,
-    /// Readahead window in pages under `Advice::Normal`.
-    pub readahead: usize,
-    /// Readahead window under `Advice::Sequential`.
-    pub readahead_seq: usize,
-    /// IPI send path for shootdowns (paper default: vmexit-mediated).
-    pub ipi_path: IpiSendPath,
-    /// NUMA shape.
-    pub topology: NumaTopology,
-}
-
-impl AquilaConfig {
-    /// A flat-`cores` machine with a cache of `cache_frames` frames.
-    pub fn new(cores: usize, cache_frames: usize) -> AquilaConfig {
-        AquilaConfig {
-            cores,
-            cache_frames,
-            max_cache_frames: cache_frames,
-            evict_batch: 512,
-            readahead: 8,
-            readahead_seq: 32,
-            ipi_path: IpiSendPath::VmexitMediated,
-            topology: NumaTopology::flat(cores),
-        }
-    }
-}
 
 /// Fault/IO statistics snapshot.
 #[derive(Debug, Clone, Copy, Default)]
@@ -99,6 +65,10 @@ pub struct Aquila {
     ept: Mutex<Ept>,
     hpa_next: Mutex<u64>,
     stats: Mutex<EngineStats>,
+    /// Latest virtual time at which every write-behind submission so far
+    /// is known durable on the device; `msync`/`sync_all` rendezvous with
+    /// this horizon under [`WritePolicy::Async`].
+    wb_horizon: Mutex<Cycles>,
 }
 
 impl Aquila {
@@ -108,10 +78,12 @@ impl Aquila {
         // An eviction batch close to the cache size would wipe the whole
         // working set per round; clamp to 1/8 of the cache (the paper's
         // 512-page batch is a tiny fraction of its multi-GB caches).
-        cfg.evict_batch = cfg.evict_batch.min((cfg.cache_frames / 8).max(16));
+        cfg.policy.evict_batch = cfg.policy.evict_batch.min((cfg.cache_frames / 8).max(16));
         let mut ccfg = CacheConfig::flat(cfg.max_cache_frames, cfg.cores);
         ccfg.initial_frames = cfg.cache_frames;
-        ccfg.evict_batch = cfg.evict_batch;
+        ccfg.evict_batch = cfg.policy.evict_batch;
+        ccfg.low_watermark = cfg.policy.low_watermark;
+        ccfg.high_watermark = cfg.policy.high_watermark;
         ccfg.topology = cfg.topology;
         let cache = DramCache::new(ccfg);
         let mut ept = Ept::new();
@@ -137,6 +109,7 @@ impl Aquila {
                 ept_granules: granules,
                 uncommon_vmcalls: 0,
             }),
+            wb_horizon: Mutex::new(Cycles::ZERO),
             debts,
             cache,
             cfg,
@@ -360,7 +333,11 @@ impl Aquila {
         let dirty = self
             .cache
             .drain_dirty_range(ctx, desc.file, start_fp, start_fp + pages);
-        self.writeback(ctx, &dirty)?;
+        self.writeback_policy(ctx, &dirty)?;
+        // Under write-behind, pages of this range may already be detached
+        // and in flight on the evictor's queue pair; durability means
+        // waiting for the pipeline horizon, not re-issuing them.
+        self.write_behind_rendezvous(ctx);
         // Downgrade all written-back pages to read-only.
         let mut flushed = Vec::new();
         {
@@ -636,6 +613,11 @@ impl Aquila {
 
     /// Allocates a cache frame, running a batched eviction round when the
     /// freelist is empty.
+    ///
+    /// With the write-behind pipeline active this is the *direct reclaim*
+    /// fallback: the evictor normally keeps the freelist above the low
+    /// watermark, so faulting vcores take a clean frame and return
+    /// immediately; a stall here means the evictor fell behind.
     fn alloc_frame(&self, ctx: &mut dyn SimCtx) -> Result<FrameId, AquilaError> {
         if let Some(f) = self.cache.try_alloc(ctx) {
             return Ok(f);
@@ -643,16 +625,26 @@ impl Aquila {
         // Eviction round: detach a batch, unmap, one shootdown, write back
         // dirty victims in device order, then recycle frames.
         let t_evict = ctx.now();
+        aquila_sim::metrics::add(ctx, "aquila.evict.stall", 1);
         let victims = self.cache.evict_candidates(ctx);
         if victims.is_empty() {
             return Err(AquilaError::NoSpace);
         }
         aquila_sim::metrics::add(ctx, "aquila.evict.rounds", 1);
         aquila_sim::metrics::add(ctx, "aquila.evict.pages", victims.len() as u64);
+        self.retire_victims(ctx, &victims)?;
+        aquila_sim::trace::span(ctx, "aquila.evict", CostCat::Eviction, t_evict);
+        self.cache.try_alloc(ctx).ok_or(AquilaError::NoSpace)
+    }
+
+    /// Unmaps a detached victim batch (one batched shootdown), writes the
+    /// dirty ones back per the configured [`WritePolicy`], and recycles
+    /// every frame to the freelist.
+    fn retire_victims(&self, ctx: &mut dyn SimCtx, victims: &[Victim]) -> Result<(), AquilaError> {
         let mut flushed = Vec::new();
         {
             let mut pt = self.page_table.lock();
-            for v in &victims {
+            for v in victims {
                 let vpns = std::mem::take(&mut *self.rmap[v.frame.0 as usize].lock());
                 for vpn in vpns {
                     pt.unmap(vpn.base());
@@ -671,16 +663,21 @@ impl Aquila {
             })
             .collect();
         dirty.sort_by_key(|d| (d.key.file, d.key.page));
-        self.writeback(ctx, &dirty)?;
-        // Keep the first frame for the caller; recycle the rest.
-        let kept = victims[0].frame;
-        for v in &victims[1..] {
+        self.writeback_policy(ctx, &dirty)?;
+        for v in victims {
             self.cache.release_frame(ctx, v.frame);
         }
-        // The kept frame needs its owner slot cleared too.
-        self.cache.release_frame(ctx, kept);
-        aquila_sim::trace::span(ctx, "aquila.evict", CostCat::Eviction, t_evict);
-        self.cache.try_alloc(ctx).ok_or(AquilaError::NoSpace)
+        Ok(())
+    }
+
+    /// Dispatches writeback per the configured policy: blocking
+    /// run-at-a-time I/O under [`WritePolicy::Sync`], queue-depth-batched
+    /// submission under [`WritePolicy::Async`].
+    fn writeback_policy(&self, ctx: &mut dyn SimCtx, dirty: &[DirtyPage]) -> Result<(), AquilaError> {
+        match self.cfg.policy.write_policy {
+            WritePolicy::Sync => self.writeback(ctx, dirty),
+            WritePolicy::Async => self.writeback_batched(ctx, dirty),
+        }
     }
 
     /// Writes dirty pages back to their files, coalescing contiguous runs
@@ -708,6 +705,188 @@ impl Aquila {
         aquila_sim::metrics::add(ctx, "aquila.writeback.runs", runs);
         aquila_sim::trace::span(ctx, "aquila.writeback", CostCat::DeviceIo, t_wb);
         Ok(())
+    }
+
+    /// Write-behind: coalesces dirty pages into device-contiguous
+    /// segments and submits them through one *real* NVMe queue pair at
+    /// [`MmioPolicy::queue_depth`], so device service overlaps across
+    /// commands instead of the one-command-then-drain discipline of the
+    /// blocking path. [`DeviceError::QueueFull`] is the backpressure
+    /// signal: the submitter waits until the earliest in-flight command
+    /// lands, harvests it, and retries. Paths without an NVMe device
+    /// (DAX/HOST-pmem) and depth 1 fall back to blocking per-segment I/O.
+    fn writeback_batched(&self, ctx: &mut dyn SimCtx, dirty: &[DirtyPage]) -> Result<(), AquilaError> {
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let qd = self.cfg.policy.queue_depth.max(1);
+        let t_wb = ctx.now();
+        // Translate runs into device-contiguous segments up front (the
+        // submission loop must not interleave blob-map lookups with
+        // completion waits).
+        struct Seg {
+            file: FileId,
+            dev: u64,
+            buf: Vec<u8>,
+        }
+        let mut segs: Vec<Seg> = Vec::new();
+        for run in coalesce_runs(dirty) {
+            let file = FileId(run[0].key.file);
+            let mut i = 0usize;
+            while i < run.len() {
+                let dev = self.files.dev_page(file, run[i].key.page)?;
+                let mut len = 1usize;
+                while i + len < run.len()
+                    && self.files.dev_page(file, run[i + len].key.page)? == dev + len as u64
+                {
+                    len += 1;
+                }
+                let mut buf = vec![0u8; len * STORE_PAGE];
+                for (j, d) in run[i..i + len].iter().enumerate() {
+                    self.cache
+                        .mem()
+                        .read(d.frame, 0, &mut buf[j * STORE_PAGE..(j + 1) * STORE_PAGE]);
+                }
+                segs.push(Seg { file, dev, buf });
+                i += len;
+            }
+        }
+        let mut ios = 0u64;
+        let access0 = self.files.access_of(FileId(dirty[0].key.file))?;
+        match access0.nvme_device() {
+            Some(nvme) if qd > 1 => {
+                let qp = nvme.create_qpair_depth(qd);
+                for seg in &segs {
+                    let access = self.files.access_of(seg.file)?;
+                    let same_dev = access
+                        .nvme_device()
+                        .is_some_and(|d| Arc::ptr_eq(d, nvme));
+                    if !same_dev {
+                        // A file on a different device: blocking path.
+                        access.write_pages(ctx, seg.dev, &seg.buf)?;
+                        ios += 1;
+                        continue;
+                    }
+                    let submit = ctx.cost().nvme_submit_poll;
+                    ctx.charge(CostCat::DeviceIo, submit);
+                    loop {
+                        let res = qp.submit(
+                            ctx.now(),
+                            NvmeOp::Write,
+                            seg.dev,
+                            seg.buf.len() / STORE_PAGE,
+                            BufRef::Shared(&seg.buf),
+                        );
+                        match res {
+                            Ok(_) => break,
+                            Err(DeviceError::QueueFull { .. }) => {
+                                if let Some(t) = qp.earliest_finish() {
+                                    ctx.wait_until(t, CostCat::DeviceIo);
+                                }
+                                qp.poll(ctx.now());
+                            }
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    ios += 1;
+                    ctx.counters().device_writes += 1;
+                    ctx.counters().bytes_written += seg.buf.len() as u64;
+                }
+                // Polled completion of the tail (SPDK-style busy wait).
+                qp.drain(ctx, CostCat::DeviceIo);
+            }
+            _ => {
+                for seg in &segs {
+                    let access = self.files.access_of(seg.file)?;
+                    access.write_pages(ctx, seg.dev, &seg.buf)?;
+                    ios += 1;
+                }
+            }
+        }
+        ctx.counters().writebacks += dirty.len() as u64;
+        // Everything submitted by this round is durable by now; publish
+        // the horizon for msync/sync_all rendezvous.
+        {
+            let mut h = self.wb_horizon.lock();
+            if ctx.now() > *h {
+                *h = ctx.now();
+            }
+        }
+        aquila_sim::metrics::add(ctx, "aquila.writeback.async.pages", dirty.len() as u64);
+        aquila_sim::metrics::add(ctx, "aquila.writeback.async.ios", ios);
+        aquila_sim::trace::span(ctx, "aquila.writeback.async", CostCat::DeviceIo, t_wb);
+        Ok(())
+    }
+
+    /// Blocks until every write-behind submission made so far (in virtual
+    /// time) is durable. No-op under [`WritePolicy::Sync`] or when the
+    /// pipeline is already drained.
+    fn write_behind_rendezvous(&self, ctx: &mut dyn SimCtx) {
+        if self.cfg.policy.write_policy != WritePolicy::Async {
+            return;
+        }
+        let h = *self.wb_horizon.lock();
+        ctx.wait_until(h, CostCat::Idle);
+    }
+
+    // ---------------------------------------------------------------
+    // The asynchronous write-behind evictor.
+    // ---------------------------------------------------------------
+
+    /// True when the freelist has dropped below the low watermark (the
+    /// evictor's wake condition).
+    pub fn needs_eviction(&self) -> bool {
+        self.cache.below_low_watermark()
+    }
+
+    /// One watermark-driven evictor round: detaches up to the refill
+    /// deficit (bounded by the eviction batch size), writes dirty victims
+    /// back per the configured policy, and recycles the frames. Returns
+    /// the number of frames reclaimed (0 when the freelist is already at
+    /// the high watermark or watermarks are disabled).
+    pub fn evictor_round(&self, ctx: &mut dyn SimCtx) -> Result<usize, AquilaError> {
+        let target = self.cache.refill_target();
+        if target == 0 {
+            return Ok(0);
+        }
+        let t_round = ctx.now();
+        let batch = target.min(self.cfg.policy.evict_batch.max(1));
+        let victims = self.cache.evict_candidates_n(ctx, batch);
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        let n = victims.len();
+        aquila_sim::metrics::add(ctx, "aquila.evictor.rounds", 1);
+        aquila_sim::metrics::add(ctx, "aquila.evictor.pages", n as u64);
+        self.retire_victims(ctx, &victims)?;
+        aquila_sim::trace::span(ctx, "aquila.evictor.round", CostCat::Eviction, t_round);
+        Ok(n)
+    }
+
+    /// Builds the step function of a dedicated evictor thread for the DES
+    /// engine (spawn one per core in [`MmioPolicy::evictor_cores`]).
+    ///
+    /// The thread runs [`Aquila::evictor_round`] whenever the freelist is
+    /// below the low watermark, idles in `poll_interval`-cycle ticks
+    /// otherwise, and exits once `stop` is set and the freelist is
+    /// healthy (each round drains its own queue pair, so nothing stays in
+    /// flight across steps).
+    pub fn evictor(self: &Arc<Self>, stop: Arc<AtomicBool>, poll_interval: Cycles) -> ThreadFn {
+        let aq = Arc::clone(self);
+        Box::new(move |ctx| {
+            if aq.needs_eviction() {
+                if let Ok(n) = aq.evictor_round(ctx) {
+                    if n > 0 {
+                        return Step::Yield;
+                    }
+                }
+            }
+            if stop.load(Ordering::Acquire) {
+                return Step::Done;
+            }
+            ctx.charge(CostCat::Idle, poll_interval);
+            Step::Yield
+        })
     }
 
     /// Speculatively caches pages after `file_page` per the mapping's
@@ -830,7 +1009,9 @@ impl Aquila {
     /// Flushes all dirty pages (shutdown path).
     pub fn sync_all(&self, ctx: &mut dyn SimCtx) -> Result<(), AquilaError> {
         let dirty = self.cache.drain_dirty_all(ctx);
-        self.writeback(ctx, &dirty)
+        self.writeback_policy(ctx, &dirty)?;
+        self.write_behind_rendezvous(ctx);
+        Ok(())
     }
 
     /// Per-core TLB statistics: (hits, misses) summed across cores.

@@ -1,5 +1,6 @@
 //! Error types of the Aquila public API.
 
+use aquila_devices::DeviceError;
 use aquila_mmu::Gva;
 
 /// Errors surfaced by Aquila's mmap-compatible interface.
@@ -24,6 +25,15 @@ pub enum AquilaError {
     MappingOverlap,
     /// The address range is not mapped (munmap/msync on a hole).
     NotMapped,
+    /// A storage-device operation failed (out-of-range I/O, mismatched
+    /// buffer, full queue pair).
+    Device(DeviceError),
+}
+
+impl From<DeviceError> for AquilaError {
+    fn from(e: DeviceError) -> AquilaError {
+        AquilaError::Device(e)
+    }
 }
 
 impl core::fmt::Display for AquilaError {
@@ -40,6 +50,7 @@ impl core::fmt::Display for AquilaError {
             AquilaError::NoSpace => write!(f, "out of storage space"),
             AquilaError::MappingOverlap => write!(f, "mapping overlaps existing range"),
             AquilaError::NotMapped => write!(f, "address range not mapped"),
+            AquilaError::Device(e) => write!(f, "device error: {e}"),
         }
     }
 }

@@ -207,6 +207,17 @@ impl Files {
             .ok_or(AquilaError::BadFile)
     }
 
+    /// Device page backing logical `page` of `id` (the write-behind
+    /// pipeline translates victims before batching raw submissions).
+    pub fn dev_page(&self, id: FileId, page: u64) -> Result<u64, AquilaError> {
+        self.get(id)?.dev_page(page)
+    }
+
+    /// The storage access path behind `id`.
+    pub fn access_of(&self, id: FileId) -> Result<Arc<dyn StorageAccess>, AquilaError> {
+        Ok(Arc::clone(self.get(id)?.access()))
+    }
+
     /// Reads file pages `[page, page + buf.len()/4096)` from the device.
     ///
     /// Runs of logically contiguous pages that are also contiguous on the
@@ -229,7 +240,7 @@ impl Files {
                 run += 1;
             }
             obj.access()
-                .read_pages(ctx, dev, &mut buf[i * STORE_PAGE..(i + run) * STORE_PAGE]);
+                .read_pages(ctx, dev, &mut buf[i * STORE_PAGE..(i + run) * STORE_PAGE])?;
             i += run;
         }
         Ok(())
@@ -254,7 +265,7 @@ impl Files {
                 run += 1;
             }
             obj.access()
-                .write_pages(ctx, dev, &buf[i * STORE_PAGE..(i + run) * STORE_PAGE]);
+                .write_pages(ctx, dev, &buf[i * STORE_PAGE..(i + run) * STORE_PAGE])?;
             i += run;
         }
         Ok(())
@@ -283,7 +294,7 @@ mod tests {
         let mut ctx = FreeCtx::new(1);
         let dev = Arc::new(NvmeDevice::optane(16384));
         let access: Arc<dyn StorageAccess> = Arc::new(SpdkAccess::new(dev));
-        let store = Arc::new(Blobstore::format(&mut ctx, Arc::clone(&access)));
+        let store = Arc::new(Blobstore::format(&mut ctx, Arc::clone(&access)).unwrap());
         (ctx, store, access, Files::new())
     }
 

@@ -28,6 +28,7 @@
 //! assert_eq!(&back, b"hello, mmio");
 //! ```
 
+pub mod config;
 pub mod engine;
 pub mod error;
 pub mod file;
@@ -40,7 +41,8 @@ mod tests;
 
 pub use aquila_mmu::Gva;
 pub use aquila_vma::{Advice, Prot};
-pub use engine::{Aquila, AquilaConfig, EngineStats};
+pub use config::{AquilaConfig, AquilaConfigBuilder, MmioPolicy, WritePolicy};
+pub use engine::{Aquila, EngineStats};
 pub use error::AquilaError;
 pub use file::{FileId, Files};
 pub use region::AquilaRegion;

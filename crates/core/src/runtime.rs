@@ -67,6 +67,29 @@ impl AquilaRuntime {
         cores: usize,
         debts: Arc<CoreDebts>,
     ) -> AquilaRuntime {
+        Self::build_with_policy(
+            ctx,
+            kind,
+            device_pages,
+            cache_frames,
+            cores,
+            debts,
+            crate::config::MmioPolicy::default(),
+        )
+    }
+
+    /// [`AquilaRuntime::build`] with an explicit replacement/write-behind
+    /// policy section.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_policy(
+        ctx: &mut dyn SimCtx,
+        kind: DeviceKind,
+        device_pages: u64,
+        cache_frames: usize,
+        cores: usize,
+        debts: Arc<CoreDebts>,
+        policy: crate::config::MmioPolicy,
+    ) -> AquilaRuntime {
         let access: Arc<dyn StorageAccess> = match kind {
             DeviceKind::NvmeSpdk => {
                 Arc::new(SpdkAccess::new(Arc::new(NvmeDevice::optane(device_pages))))
@@ -84,9 +107,10 @@ impl AquilaRuntime {
                 CallDomain::Guest,
             )),
         };
-        let store = Arc::new(Blobstore::format(ctx, Arc::clone(&access)));
-        let mut cfg = AquilaConfig::new(cores, cache_frames);
-        cfg.topology = if cores > 16 {
+        let store = Arc::new(
+            Blobstore::format(ctx, Arc::clone(&access)).expect("blobstore format on fresh device"),
+        );
+        let topology = if cores > 16 {
             NumaTopology {
                 nodes: 2,
                 cores_per_node: cores.div_ceil(2),
@@ -94,6 +118,10 @@ impl AquilaRuntime {
         } else {
             NumaTopology::flat(cores)
         };
+        let cfg = AquilaConfig::builder(cores, cache_frames)
+            .topology(topology)
+            .policy(policy)
+            .build();
         let aquila = Arc::new(Aquila::new(cfg, debts));
         AquilaRuntime {
             aquila,

@@ -254,8 +254,7 @@ fn cache_hit_fault_cost_matches_paper() {
 fn grow_and_shrink_cache_via_hypervisor() {
     let mut ctx = FreeCtx::new(7);
     let debts = Arc::new(CoreDebts::new(1));
-    let mut cfg = AquilaConfig::new(1, 32);
-    cfg.max_cache_frames = 1024;
+    let cfg = AquilaConfig::builder(1, 32).max_cache_frames(1024).build();
     let aquila = crate::engine::Aquila::new(cfg, debts);
     let vmexits_before = ctx.stats.vmexits;
     let added = aquila.grow_cache(&mut ctx, 512);
@@ -388,4 +387,115 @@ fn sync_all_flushes_everything() {
     rt.aquila.sync_all(&mut ctx).unwrap();
     assert_eq!(rt.aquila.cache().dirty_count(), 0);
     assert!(ctx.stats.writebacks >= 8);
+}
+
+#[test]
+fn evictor_pipeline_offloads_eviction_and_preserves_data() {
+    // One worker vcore storing over a file 8x the cache, one evictor
+    // vcore running the write-behind pipeline. The evictor must do the
+    // eviction (worker major faults return via the freelist), the data
+    // must read back intact, and the worker's fault path must be cheaper
+    // than the same run with synchronous eviction.
+    use crate::config::{MmioPolicy, WritePolicy};
+    use aquila_sim::{Engine, Step};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let run = |pipeline: bool| -> (f64, u64) {
+        let policy = if pipeline {
+            MmioPolicy {
+                low_watermark: 16,
+                high_watermark: 48,
+                evictor_cores: vec![1],
+                write_policy: WritePolicy::Async,
+                queue_depth: 8,
+                evict_batch: 32,
+            }
+        } else {
+            MmioPolicy {
+                evict_batch: 32,
+                ..MmioPolicy::default()
+            }
+        };
+        let cores = if pipeline { 2 } else { 1 };
+        let mut engine = Engine::new(cores, 7);
+        let mut ctx = FreeCtx::new(7);
+        let rt = AquilaRuntime::build_with_policy(
+            &mut ctx,
+            DeviceKind::NvmeSpdk,
+            16384,
+            128,
+            cores,
+            engine.debts(),
+            policy,
+        );
+        let f = rt.open("/evictor", 1024).unwrap();
+        let addr = rt.aquila.mmap(&mut ctx, f, 0, 1024, Prot::RW).unwrap();
+        rt.aquila
+            .madvise(&mut ctx, addr, 1024, Advice::Random)
+            .unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let fault_cycles = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let faults = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        {
+            let aquila = Arc::clone(&rt.aquila);
+            let stop = Arc::clone(&stop);
+            let fault_cycles = Arc::clone(&fault_cycles);
+            let faults = Arc::clone(&faults);
+            let mut p = 0u64;
+            engine.spawn(
+                0,
+                Box::new(move |ctx| {
+                    let page = (p * 2654435761) % 1024;
+                    let pf0 = ctx.counters().page_faults;
+                    let t0 = ctx.now();
+                    aquila
+                        .write(ctx, addr.add(page * 4096 + 7), &page.to_le_bytes())
+                        .unwrap();
+                    if ctx.counters().page_faults > pf0 {
+                        fault_cycles.fetch_add((ctx.now() - t0).get(), Ordering::Relaxed);
+                        faults.fetch_add(1, Ordering::Relaxed);
+                    }
+                    p += 1;
+                    if p >= 1024 {
+                        stop.store(true, Ordering::Release);
+                        Step::Done
+                    } else {
+                        Step::Yield
+                    }
+                }),
+            );
+        }
+        if pipeline {
+            engine.spawn(
+                1,
+                rt.aquila
+                    .evictor(Arc::clone(&stop), Cycles::from_micros(2)),
+            );
+        }
+        let report = engine.run();
+        assert!(report.counters.evictions > 0, "pressure forces eviction");
+
+        // Every page written must read back with its tag.
+        let mut b = [0u8; 8];
+        for page in 0..1024u64 {
+            rt.aquila
+                .read(&mut ctx, addr.add(page * 4096 + 7), &mut b)
+                .unwrap();
+            assert_eq!(u64::from_le_bytes(b), page, "page {page}");
+        }
+        (
+            fault_cycles.load(Ordering::Relaxed) as f64
+                / faults.load(Ordering::Relaxed).max(1) as f64,
+            report.counters.writebacks,
+        )
+    };
+
+    let (sync_cyc, sync_wb) = run(false);
+    let (async_cyc, async_wb) = run(true);
+    assert!(sync_wb > 0 && async_wb > 0, "dirty victims were written back");
+    assert!(
+        async_cyc < sync_cyc * 0.8,
+        "write-behind must take eviction off the fault path: sync {sync_cyc:.0} vs async {async_cyc:.0} cycles/fault"
+    );
 }

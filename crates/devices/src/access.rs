@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use aquila_sim::{CostCat, SimCtx};
 
+use crate::error::DeviceError;
 use crate::nvme::{BufRef, NvmeDevice, NvmeOp};
 use crate::pmem::PmemDevice;
 use crate::store::STORE_PAGE;
@@ -88,12 +89,22 @@ pub trait StorageAccess: Send + Sync {
     /// Device capacity in 4 KiB pages.
     fn capacity_pages(&self) -> u64;
     /// Reads `buf.len() / 4096` pages starting at `page`.
-    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]);
+    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8])
+        -> Result<(), DeviceError>;
     /// Writes `buf.len() / 4096` pages starting at `page`.
-    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]);
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) -> Result<(), DeviceError>;
     /// Resets the underlying device's timing model (between experiment
     /// phases; contents untouched).
     fn reset_timing(&self);
+    /// The raw NVMe device behind this path, when there is one.
+    ///
+    /// The asynchronous write-behind evictor needs real queue pairs
+    /// (depth > 1) rather than the one-command-then-drain discipline the
+    /// blocking methods implement; paths without an NVMe device (DAX,
+    /// HOST-pmem) return `None` and writeback stays on the blocking path.
+    fn nvme_device(&self) -> Option<&Arc<NvmeDevice>> {
+        None
+    }
 }
 
 /// Records the device's queue occupancy right after a submission: a trace
@@ -140,30 +151,41 @@ impl StorageAccess for SpdkAccess {
         self.dev.capacity_pages()
     }
 
-    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]) {
+    fn read_pages(
+        &self,
+        ctx: &mut dyn SimCtx,
+        page: u64,
+        buf: &mut [u8],
+    ) -> Result<(), DeviceError> {
         let pages = buf.len() / STORE_PAGE;
         let submit = ctx.cost().nvme_submit_poll;
         ctx.charge(CostCat::DeviceIo, submit);
         let qp = self.dev.create_qpair();
-        qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf));
+        qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf))?;
         record_nvme_occupancy(ctx, &self.dev);
         // Polled completion: the CPU spins, so the wait is DeviceIo (busy),
         // not Idle.
         qp.drain(ctx, CostCat::DeviceIo);
         ctx.counters().device_reads += 1;
         ctx.counters().bytes_read += (pages * STORE_PAGE) as u64;
+        Ok(())
     }
 
-    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) {
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) -> Result<(), DeviceError> {
         let pages = buf.len() / STORE_PAGE;
         let submit = ctx.cost().nvme_submit_poll;
         ctx.charge(CostCat::DeviceIo, submit);
         let qp = self.dev.create_qpair();
-        qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf));
+        qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf))?;
         record_nvme_occupancy(ctx, &self.dev);
         qp.drain(ctx, CostCat::DeviceIo);
         ctx.counters().device_writes += 1;
         ctx.counters().bytes_written += (pages * STORE_PAGE) as u64;
+        Ok(())
+    }
+
+    fn nvme_device(&self) -> Option<&Arc<NvmeDevice>> {
+        Some(&self.dev)
     }
 }
 
@@ -193,31 +215,42 @@ impl StorageAccess for HostNvmeAccess {
         self.dev.capacity_pages()
     }
 
-    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]) {
+    fn read_pages(
+        &self,
+        ctx: &mut dyn SimCtx,
+        page: u64,
+        buf: &mut [u8],
+    ) -> Result<(), DeviceError> {
         let pages = buf.len() / STORE_PAGE;
         self.domain.charge_entry(ctx);
         let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
         ctx.charge(CostCat::Syscall, sw);
         let qp = self.dev.create_qpair();
-        qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf));
+        qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf))?;
         record_nvme_occupancy(ctx, &self.dev);
         // Interrupt-driven completion: the CPU sleeps.
         qp.drain(ctx, CostCat::Idle);
         ctx.counters().device_reads += 1;
         ctx.counters().bytes_read += (pages * STORE_PAGE) as u64;
+        Ok(())
     }
 
-    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) {
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) -> Result<(), DeviceError> {
         let pages = buf.len() / STORE_PAGE;
         self.domain.charge_entry(ctx);
         let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
         ctx.charge(CostCat::Syscall, sw);
         let qp = self.dev.create_qpair();
-        qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf));
+        qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf))?;
         record_nvme_occupancy(ctx, &self.dev);
         qp.drain(ctx, CostCat::Idle);
         ctx.counters().device_writes += 1;
         ctx.counters().bytes_written += (pages * STORE_PAGE) as u64;
+        Ok(())
+    }
+
+    fn nvme_device(&self) -> Option<&Arc<NvmeDevice>> {
+        Some(&self.dev)
     }
 }
 
@@ -248,14 +281,21 @@ impl StorageAccess for DaxAccess {
         self.dev.capacity_pages()
     }
 
-    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]) {
+    fn read_pages(
+        &self,
+        ctx: &mut dyn SimCtx,
+        page: u64,
+        buf: &mut [u8],
+    ) -> Result<(), DeviceError> {
         self.dev
-            .dax_read(ctx, page * STORE_PAGE as u64, buf, self.simd);
+            .dax_read(ctx, page * STORE_PAGE as u64, buf, self.simd)?;
+        Ok(())
     }
 
-    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) {
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) -> Result<(), DeviceError> {
         self.dev
-            .dax_write(ctx, page * STORE_PAGE as u64, buf, self.simd);
+            .dax_write(ctx, page * STORE_PAGE as u64, buf, self.simd)?;
+        Ok(())
     }
 }
 
@@ -286,19 +326,27 @@ impl StorageAccess for HostPmemAccess {
         self.dev.capacity_pages()
     }
 
-    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8]) {
-        self.domain.charge_entry(ctx);
-        let sw = ctx.cost().host_directio_sw;
-        ctx.charge(CostCat::Syscall, sw);
-        self.dev.dax_read(ctx, page * STORE_PAGE as u64, buf, false);
-    }
-
-    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) {
+    fn read_pages(
+        &self,
+        ctx: &mut dyn SimCtx,
+        page: u64,
+        buf: &mut [u8],
+    ) -> Result<(), DeviceError> {
         self.domain.charge_entry(ctx);
         let sw = ctx.cost().host_directio_sw;
         ctx.charge(CostCat::Syscall, sw);
         self.dev
-            .dax_write(ctx, page * STORE_PAGE as u64, buf, false);
+            .dax_read(ctx, page * STORE_PAGE as u64, buf, false)?;
+        Ok(())
+    }
+
+    fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        self.domain.charge_entry(ctx);
+        let sw = ctx.cost().host_directio_sw;
+        ctx.charge(CostCat::Syscall, sw);
+        self.dev
+            .dax_write(ctx, page * STORE_PAGE as u64, buf, false)?;
+        Ok(())
     }
 }
 
@@ -324,9 +372,9 @@ mod tests {
         for (i, p) in paths.iter().enumerate() {
             let mut ctx = FreeCtx::new(i as u64);
             let data = page_of(0x10 + i as u8);
-            p.write_pages(&mut ctx, i as u64, &data);
+            p.write_pages(&mut ctx, i as u64, &data).unwrap();
             let mut back = page_of(0);
-            p.read_pages(&mut ctx, i as u64, &mut back);
+            p.read_pages(&mut ctx, i as u64, &mut back).unwrap();
             assert_eq!(back, data, "path {} corrupted data", p.kind().name());
         }
     }
@@ -340,8 +388,8 @@ mod tests {
         let mut a = FreeCtx::new(1);
         let mut b = FreeCtx::new(1);
         let mut buf = page_of(0);
-        spdk.read_pages(&mut a, 0, &mut buf);
-        host.read_pages(&mut b, 1, &mut buf);
+        spdk.read_pages(&mut a, 0, &mut buf).unwrap();
+        host.read_pages(&mut b, 1, &mut buf).unwrap();
         let ratio = b.now().get() as f64 / a.now().get() as f64;
         assert!(
             (1.3..2.2).contains(&ratio),
@@ -358,8 +406,8 @@ mod tests {
         let mut a = FreeCtx::new(1);
         let mut b = FreeCtx::new(1);
         let mut buf = page_of(0);
-        dax.read_pages(&mut a, 0, &mut buf);
-        host.read_pages(&mut b, 1, &mut buf);
+        dax.read_pages(&mut a, 0, &mut buf).unwrap();
+        host.read_pages(&mut b, 1, &mut buf).unwrap();
         let ratio = b.now().get() as f64 / a.now().get() as f64;
         assert!(ratio > 5.0, "HOST-pmem/DAX-pmem ratio {ratio:.2} too small");
     }
@@ -371,13 +419,13 @@ mod tests {
 
         let guest = HostPmemAccess::new(Arc::clone(&pmem), CallDomain::Guest);
         let mut gctx = FreeCtx::new(1);
-        guest.read_pages(&mut gctx, 0, &mut buf);
+        guest.read_pages(&mut gctx, 0, &mut buf).unwrap();
         assert_eq!(gctx.stats.vmexits, 1);
         assert_eq!(gctx.stats.syscalls, 0);
 
         let user = HostPmemAccess::new(Arc::clone(&pmem), CallDomain::User);
         let mut uctx = FreeCtx::new(1);
-        user.read_pages(&mut uctx, 0, &mut buf);
+        user.read_pages(&mut uctx, 0, &mut buf).unwrap();
         assert_eq!(uctx.stats.syscalls, 1);
         assert_eq!(uctx.stats.vmexits, 0);
     }
@@ -389,13 +437,13 @@ mod tests {
 
         let spdk = SpdkAccess::new(Arc::clone(&nvme));
         let mut sctx = FreeCtx::new(1);
-        spdk.read_pages(&mut sctx, 0, &mut buf);
+        spdk.read_pages(&mut sctx, 0, &mut buf).unwrap();
         assert_eq!(sctx.breakdown.get(CostCat::Idle), Cycles::ZERO);
         assert!(sctx.breakdown.get(CostCat::DeviceIo) >= Cycles::from_micros(10));
 
         let host = HostNvmeAccess::new(Arc::clone(&nvme), CallDomain::User);
         let mut hctx = FreeCtx::new(1);
-        host.read_pages(&mut hctx, 1, &mut buf);
+        host.read_pages(&mut hctx, 1, &mut buf).unwrap();
         assert!(hctx.breakdown.get(CostCat::Idle) >= Cycles::from_micros(9));
     }
 
@@ -407,9 +455,9 @@ mod tests {
         let data: Vec<u8> = (0..32 * STORE_PAGE)
             .map(|i| (i / STORE_PAGE) as u8)
             .collect();
-        spdk.write_pages(&mut ctx, 8, &data);
+        spdk.write_pages(&mut ctx, 8, &data).unwrap();
         let mut back = vec![0u8; 32 * STORE_PAGE];
-        spdk.read_pages(&mut ctx, 8, &mut back);
+        spdk.read_pages(&mut ctx, 8, &mut back).unwrap();
         assert_eq!(back, data);
     }
 }

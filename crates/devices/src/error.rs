@@ -1,0 +1,74 @@
+//! Device-level errors.
+//!
+//! Storage paths used to `panic!` on out-of-range I/O, mismatched
+//! buffers, and overfull queues. Those conditions are *reportable*: a
+//! mis-sized mmap window or an evictor pushing past its queue depth is
+//! a caller bug or a backpressure signal, not a reason to abort the
+//! simulation. Every fallible device operation returns [`DeviceError`],
+//! which the engine surfaces through `AquilaError::Device`.
+
+/// An error from a device-model operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An I/O touched pages beyond the device capacity.
+    OutOfRange {
+        /// First page of the offending range.
+        page: u64,
+        /// Length of the range in pages.
+        pages: usize,
+        /// Device capacity in pages.
+        capacity: u64,
+    },
+    /// A sub-page access crossed its page boundary.
+    CrossesPage {
+        /// Offset within the page.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+    },
+    /// A buffer length did not match the requested page count.
+    BufferSize {
+        /// Bytes the operation required.
+        expected: usize,
+        /// Bytes the caller supplied.
+        got: usize,
+    },
+    /// Buffer mutability did not match the opcode (read needs `Mut`,
+    /// write needs `Shared`).
+    BufferDirection,
+    /// A bounded queue pair is full; poll completions and resubmit.
+    QueueFull {
+        /// The queue depth that was exceeded.
+        depth: usize,
+    },
+}
+
+impl core::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DeviceError::OutOfRange {
+                page,
+                pages,
+                capacity,
+            } => write!(
+                f,
+                "I/O beyond device capacity: pages {page}..{} of {capacity}",
+                page + *pages as u64
+            ),
+            DeviceError::CrossesPage { offset, len } => {
+                write!(f, "access at offset {offset} len {len} crosses page boundary")
+            }
+            DeviceError::BufferSize { expected, got } => {
+                write!(f, "buffer size {got} does not match transfer size {expected}")
+            }
+            DeviceError::BufferDirection => {
+                write!(f, "buffer mutability does not match opcode")
+            }
+            DeviceError::QueueFull { depth } => {
+                write!(f, "queue pair full (depth {depth})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}

@@ -14,6 +14,7 @@
 //! Device contents are real bytes; only the timing is modelled.
 
 pub mod access;
+pub mod error;
 pub mod nvme;
 pub mod pmem;
 pub mod spdk;
@@ -22,6 +23,7 @@ pub mod store;
 pub use access::{
     AccessKind, CallDomain, DaxAccess, HostNvmeAccess, HostPmemAccess, SpdkAccess, StorageAccess,
 };
+pub use error::DeviceError;
 pub use nvme::{BufRef, NvmeCompletion, NvmeDevice, NvmeOp, NvmeProfile, QueuePair};
 pub use pmem::{PmemDevice, PmemProfile};
 pub use spdk::{BlobError, BlobId, Blobstore, MD_PAGES, PAGES_PER_CLUSTER};

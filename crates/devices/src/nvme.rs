@@ -14,6 +14,7 @@ use aquila_sync::Mutex;
 
 use aquila_sim::{Cycles, ServiceCenter, SimCtx};
 
+use crate::error::DeviceError;
 use crate::store::{PageStore, STORE_PAGE};
 
 /// An NVMe command opcode (the two the simulation needs).
@@ -133,10 +134,19 @@ impl NvmeDevice {
         r.end
     }
 
-    /// Creates a queue pair.
+    /// Creates an unbounded queue pair.
     pub fn create_qpair(&self) -> QueuePair<'_> {
+        self.create_qpair_depth(usize::MAX)
+    }
+
+    /// Creates a queue pair that accepts at most `depth` in-flight
+    /// commands; [`QueuePair::submit`] returns
+    /// [`DeviceError::QueueFull`] past that, the backpressure signal the
+    /// write-behind evictor paces itself with.
+    pub fn create_qpair_depth(&self, depth: usize) -> QueuePair<'_> {
         QueuePair {
             dev: self,
+            depth,
             inflight: Mutex::new(VecDeque::new()),
             next_cid: Mutex::new(0),
         }
@@ -162,6 +172,7 @@ impl core::fmt::Debug for NvmeDevice {
 /// `spdk_nvme_qpair_process_completions`.
 pub struct QueuePair<'d> {
     dev: &'d NvmeDevice,
+    depth: usize,
     inflight: Mutex<VecDeque<Inflight>>,
     next_cid: Mutex<u64>,
 }
@@ -172,10 +183,8 @@ impl<'d> QueuePair<'d> {
     /// The submission itself costs nothing here — the *access path*
     /// (SPDK polled vs host kernel) charges its own per-command CPU cost.
     ///
-    /// # Panics
-    ///
-    /// Panics if the range exceeds the device capacity or the buffer size
-    /// does not match the page count.
+    /// Fails if the range exceeds the device capacity, the buffer size
+    /// does not match the page count, or a bounded queue is full.
     pub fn submit(
         &self,
         now: Cycles,
@@ -183,21 +192,37 @@ impl<'d> QueuePair<'d> {
         lba_page: u64,
         pages: usize,
         buf: BufRef<'_>,
-    ) -> u64 {
-        assert!(
-            lba_page + pages as u64 <= self.dev.capacity_pages(),
-            "I/O beyond device capacity"
-        );
+    ) -> Result<u64, DeviceError> {
+        if lba_page + pages as u64 > self.dev.capacity_pages() {
+            return Err(DeviceError::OutOfRange {
+                page: lba_page,
+                pages,
+                capacity: self.dev.capacity_pages(),
+            });
+        }
+        if self.inflight.lock().len() >= self.depth {
+            return Err(DeviceError::QueueFull { depth: self.depth });
+        }
         match (op, buf) {
             (NvmeOp::Read, BufRef::Mut(b)) => {
-                assert_eq!(b.len(), pages * STORE_PAGE);
-                self.dev.store.read_range(lba_page * STORE_PAGE as u64, b);
+                if b.len() != pages * STORE_PAGE {
+                    return Err(DeviceError::BufferSize {
+                        expected: pages * STORE_PAGE,
+                        got: b.len(),
+                    });
+                }
+                self.dev.store.read_range(lba_page * STORE_PAGE as u64, b)?;
             }
             (NvmeOp::Write, BufRef::Shared(b)) => {
-                assert_eq!(b.len(), pages * STORE_PAGE);
-                self.dev.store.write_range(lba_page * STORE_PAGE as u64, b);
+                if b.len() != pages * STORE_PAGE {
+                    return Err(DeviceError::BufferSize {
+                        expected: pages * STORE_PAGE,
+                        got: b.len(),
+                    });
+                }
+                self.dev.store.write_range(lba_page * STORE_PAGE as u64, b)?;
             }
-            _ => panic!("buffer mutability does not match opcode"),
+            _ => return Err(DeviceError::BufferDirection),
         }
         let finish = self.dev.reserve(now, pages);
         let mut cid_guard = self.next_cid.lock();
@@ -205,7 +230,7 @@ impl<'d> QueuePair<'d> {
         *cid_guard += 1;
         drop(cid_guard);
         self.inflight.lock().push_back(Inflight { cid, finish });
-        cid
+        Ok(cid)
     }
 
     /// Harvests completions finished by `now`.
@@ -216,11 +241,12 @@ impl<'d> QueuePair<'d> {
         let mut i = 0;
         while i < inflight.len() {
             if inflight[i].finish <= now {
-                let c = inflight.remove(i).expect("index in range");
-                out.push(NvmeCompletion {
-                    cid: c.cid,
-                    finished_at: c.finish,
-                });
+                if let Some(c) = inflight.remove(i) {
+                    out.push(NvmeCompletion {
+                        cid: c.cid,
+                        finished_at: c.finish,
+                    });
+                }
             } else {
                 i += 1;
             }
@@ -231,6 +257,20 @@ impl<'d> QueuePair<'d> {
     /// Number of commands still in flight.
     pub fn inflight(&self) -> usize {
         self.inflight.lock().len()
+    }
+
+    /// The queue depth (`usize::MAX` for unbounded pairs).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Virtual time the earliest in-flight command finishes, if any.
+    ///
+    /// The write-behind evictor waits until exactly this instant before
+    /// polling again, so it harvests completions as they land instead of
+    /// stalling for the whole batch the way [`Self::drain`] does.
+    pub fn earliest_finish(&self) -> Option<Cycles> {
+        self.inflight.lock().iter().map(|c| c.finish).min()
     }
 
     /// Spins (advancing the caller's clock) until all in-flight commands
@@ -266,9 +306,11 @@ mod tests {
         let dev = NvmeDevice::optane(64);
         let qp = dev.create_qpair();
         let data = vec![0xABu8; STORE_PAGE];
-        qp.submit(Cycles(0), NvmeOp::Write, 5, 1, BufRef::Shared(&data));
+        qp.submit(Cycles(0), NvmeOp::Write, 5, 1, BufRef::Shared(&data))
+            .unwrap();
         let mut back = vec![0u8; STORE_PAGE];
-        qp.submit(Cycles(0), NvmeOp::Read, 5, 1, BufRef::Mut(&mut back));
+        qp.submit(Cycles(0), NvmeOp::Read, 5, 1, BufRef::Mut(&mut back))
+            .unwrap();
         assert_eq!(back, data);
     }
 
@@ -277,7 +319,9 @@ mod tests {
         let dev = NvmeDevice::optane(16);
         let qp = dev.create_qpair();
         let mut buf = vec![0u8; STORE_PAGE];
-        let cid = qp.submit(Cycles(0), NvmeOp::Read, 0, 1, BufRef::Mut(&mut buf));
+        let cid = qp
+            .submit(Cycles(0), NvmeOp::Read, 0, 1, BufRef::Mut(&mut buf))
+            .unwrap();
         // Nothing completes before the 10 us latency.
         assert!(qp.poll(Cycles(1000)).is_empty());
         assert_eq!(qp.inflight(), 1);
@@ -292,7 +336,8 @@ mod tests {
         let dev = NvmeDevice::optane(16);
         let qp = dev.create_qpair();
         let mut buf = vec![0u8; STORE_PAGE];
-        qp.submit(Cycles(0), NvmeOp::Read, 0, 1, BufRef::Mut(&mut buf));
+        qp.submit(Cycles(0), NvmeOp::Read, 0, 1, BufRef::Mut(&mut buf))
+            .unwrap();
         let mut ctx = FreeCtx::new(1);
         let done = qp.drain(&mut ctx, CostCat::DeviceIo);
         assert_eq!(done.len(), 1);
@@ -306,7 +351,8 @@ mod tests {
         let qp = dev.create_qpair();
         let mut buf = vec![0u8; STORE_PAGE];
         for i in 0..100 {
-            qp.submit(Cycles(0), NvmeOp::Read, i, 1, BufRef::Mut(&mut buf));
+            qp.submit(Cycles(0), NvmeOp::Read, i, 1, BufRef::Mut(&mut buf))
+                .unwrap();
         }
         let mut ctx = FreeCtx::new(1);
         qp.drain(&mut ctx, CostCat::DeviceIo);
@@ -325,23 +371,66 @@ mod tests {
         let dev = NvmeDevice::optane(64);
         let qp = dev.create_qpair();
         let data: Vec<u8> = (0..8 * STORE_PAGE).map(|i| (i % 253) as u8).collect();
-        qp.submit(Cycles(0), NvmeOp::Write, 16, 8, BufRef::Shared(&data));
+        qp.submit(Cycles(0), NvmeOp::Write, 16, 8, BufRef::Shared(&data))
+            .unwrap();
         let mut back = vec![0u8; 8 * STORE_PAGE];
-        qp.submit(Cycles(0), NvmeOp::Read, 16, 8, BufRef::Mut(&mut back));
+        qp.submit(Cycles(0), NvmeOp::Read, 16, 8, BufRef::Mut(&mut back))
+            .unwrap();
         assert_eq!(back, data);
     }
 
     #[test]
-    #[should_panic(expected = "beyond device capacity")]
-    fn io_beyond_capacity_panics() {
+    fn io_beyond_capacity_is_error() {
         let dev = NvmeDevice::optane(4);
         let qp = dev.create_qpair();
-        qp.submit(
-            Cycles(0),
-            NvmeOp::Read,
-            3,
-            2,
-            BufRef::Mut(&mut vec![0u8; 2 * STORE_PAGE]),
+        let err = qp
+            .submit(
+                Cycles(0),
+                NvmeOp::Read,
+                3,
+                2,
+                BufRef::Mut(&mut vec![0u8; 2 * STORE_PAGE]),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::OutOfRange {
+                page: 3,
+                pages: 2,
+                capacity: 4
+            }
+        );
+    }
+
+    #[test]
+    fn bounded_qpair_reports_full_and_mismatches() {
+        let dev = NvmeDevice::optane(64);
+        let qp = dev.create_qpair_depth(2);
+        let mut buf = vec![0u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Read, 0, 1, BufRef::Mut(&mut buf))
+            .unwrap();
+        qp.submit(Cycles(0), NvmeOp::Read, 1, 1, BufRef::Mut(&mut buf))
+            .unwrap();
+        assert_eq!(
+            qp.submit(Cycles(0), NvmeOp::Read, 2, 1, BufRef::Mut(&mut buf)),
+            Err(DeviceError::QueueFull { depth: 2 })
+        );
+        // Harvesting frees a slot.
+        assert!(qp.earliest_finish().is_some());
+        qp.poll(Cycles::from_micros(20));
+        qp.submit(Cycles(0), NvmeOp::Read, 2, 1, BufRef::Mut(&mut buf))
+            .unwrap();
+        // Direction and size mismatches are reportable too.
+        assert_eq!(
+            qp.submit(Cycles(0), NvmeOp::Write, 0, 1, BufRef::Mut(&mut buf)),
+            Err(DeviceError::BufferDirection)
+        );
+        assert_eq!(
+            qp.submit(Cycles(0), NvmeOp::Read, 0, 2, BufRef::Mut(&mut buf)),
+            Err(DeviceError::BufferSize {
+                expected: 2 * STORE_PAGE,
+                got: STORE_PAGE
+            })
         );
     }
 
@@ -352,8 +441,10 @@ mod tests {
         let mut buf = vec![0u8; STORE_PAGE];
         // Two commands at t=0 on a 128-channel device finish at nearly the
         // same time (only the IOPS gate separates them).
-        qp.submit(Cycles(0), NvmeOp::Read, 0, 1, BufRef::Mut(&mut buf));
-        qp.submit(Cycles(0), NvmeOp::Read, 1, 1, BufRef::Mut(&mut buf));
+        qp.submit(Cycles(0), NvmeOp::Read, 0, 1, BufRef::Mut(&mut buf))
+            .unwrap();
+        qp.submit(Cycles(0), NvmeOp::Read, 1, 1, BufRef::Mut(&mut buf))
+            .unwrap();
         let done = qp.poll(Cycles::from_micros(15));
         assert_eq!(done.len(), 2);
         let spread = done[1].finished_at.get() as i64 - done[0].finished_at.get() as i64;

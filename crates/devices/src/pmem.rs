@@ -9,6 +9,7 @@
 
 use aquila_sim::{Cycles, ServiceCenter, SimCtx};
 
+use crate::error::DeviceError;
 use crate::store::{PageStore, STORE_PAGE};
 
 /// Performance profile for a pmem DIMM region.
@@ -92,9 +93,15 @@ impl PmemDevice {
     /// copy) and pacing against device bandwidth.
     ///
     /// Returns the cycles spent (CPU copy plus any bandwidth stall).
-    pub fn dax_read(&self, ctx: &mut dyn SimCtx, pos: u64, buf: &mut [u8], simd: bool) -> Cycles {
+    pub fn dax_read(
+        &self,
+        ctx: &mut dyn SimCtx,
+        pos: u64,
+        buf: &mut [u8],
+        simd: bool,
+    ) -> Result<Cycles, DeviceError> {
         let before = ctx.now();
-        self.store.read_range(pos, buf);
+        self.store.read_range(pos, buf)?;
         let copy = ctx.cost().memcpy(buf.len() as u64, simd);
         let r = self
             .service
@@ -104,13 +111,19 @@ impl PmemDevice {
         ctx.counters().device_reads += 1;
         ctx.counters().bytes_read += buf.len() as u64;
         aquila_sim::trace::span(ctx, "pmem.memcpy.read", aquila_sim::CostCat::Memcpy, before);
-        ctx.now() - before
+        Ok(ctx.now() - before)
     }
 
     /// DAX copy of `buf` to device offset `pos`; mirror of [`Self::dax_read`].
-    pub fn dax_write(&self, ctx: &mut dyn SimCtx, pos: u64, buf: &[u8], simd: bool) -> Cycles {
+    pub fn dax_write(
+        &self,
+        ctx: &mut dyn SimCtx,
+        pos: u64,
+        buf: &[u8],
+        simd: bool,
+    ) -> Result<Cycles, DeviceError> {
         let before = ctx.now();
-        self.store.write_range(pos, buf);
+        self.store.write_range(pos, buf)?;
         let copy = ctx.cost().memcpy(buf.len() as u64, simd);
         let r = self
             .service
@@ -120,19 +133,43 @@ impl PmemDevice {
         ctx.counters().device_writes += 1;
         ctx.counters().bytes_written += buf.len() as u64;
         aquila_sim::trace::span(ctx, "pmem.memcpy.write", aquila_sim::CostCat::Memcpy, before);
-        ctx.now() - before
+        Ok(ctx.now() - before)
     }
 
     /// Page-granular DAX read (the common fault-fill size).
-    pub fn dax_read_page(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8], simd: bool) {
-        debug_assert_eq!(buf.len(), STORE_PAGE);
-        self.dax_read(ctx, page * STORE_PAGE as u64, buf, simd);
+    pub fn dax_read_page(
+        &self,
+        ctx: &mut dyn SimCtx,
+        page: u64,
+        buf: &mut [u8],
+        simd: bool,
+    ) -> Result<(), DeviceError> {
+        if buf.len() != STORE_PAGE {
+            return Err(DeviceError::BufferSize {
+                expected: STORE_PAGE,
+                got: buf.len(),
+            });
+        }
+        self.dax_read(ctx, page * STORE_PAGE as u64, buf, simd)?;
+        Ok(())
     }
 
     /// Page-granular DAX write.
-    pub fn dax_write_page(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8], simd: bool) {
-        debug_assert_eq!(buf.len(), STORE_PAGE);
-        self.dax_write(ctx, page * STORE_PAGE as u64, buf, simd);
+    pub fn dax_write_page(
+        &self,
+        ctx: &mut dyn SimCtx,
+        page: u64,
+        buf: &[u8],
+        simd: bool,
+    ) -> Result<(), DeviceError> {
+        if buf.len() != STORE_PAGE {
+            return Err(DeviceError::BufferSize {
+                expected: STORE_PAGE,
+                got: buf.len(),
+            });
+        }
+        self.dax_write(ctx, page * STORE_PAGE as u64, buf, simd)?;
+        Ok(())
     }
 }
 
@@ -152,9 +189,9 @@ mod tests {
         let dev = PmemDevice::dram_backed(16);
         let mut ctx = FreeCtx::new(1);
         let data: Vec<u8> = (0..STORE_PAGE).map(|i| (i % 256) as u8).collect();
-        dev.dax_write_page(&mut ctx, 3, &data, true);
+        dev.dax_write_page(&mut ctx, 3, &data, true).unwrap();
         let mut back = vec![0u8; STORE_PAGE];
-        dev.dax_read_page(&mut ctx, 3, &mut back, true);
+        dev.dax_read_page(&mut ctx, 3, &mut back, true).unwrap();
         assert_eq!(back, data);
         assert_eq!(ctx.stats.device_reads, 1);
         assert_eq!(ctx.stats.device_writes, 1);
@@ -166,9 +203,9 @@ mod tests {
         let data = vec![0u8; STORE_PAGE];
 
         let mut ctx_simd = FreeCtx::new(1);
-        dev.dax_write_page(&mut ctx_simd, 0, &data, true);
+        dev.dax_write_page(&mut ctx_simd, 0, &data, true).unwrap();
         let mut ctx_scalar = FreeCtx::new(1);
-        dev.dax_write_page(&mut ctx_scalar, 1, &data, false);
+        dev.dax_write_page(&mut ctx_scalar, 1, &data, false).unwrap();
 
         let simd = ctx_simd.breakdown.get(CostCat::Memcpy);
         let scalar = ctx_scalar.breakdown.get(CostCat::Memcpy);
@@ -186,7 +223,8 @@ mod tests {
         let mut ctx = FreeCtx::new(1);
         let chunk = vec![0u8; 256 * 1024];
         for i in 0..4 {
-            dev.dax_write(&mut ctx, i * chunk.len() as u64, &chunk, true);
+            dev.dax_write(&mut ctx, i * chunk.len() as u64, &chunk, true)
+                .unwrap();
         }
         assert!(ctx.now() >= Cycles::from_micros(50), "paced: {}", ctx.now());
     }
@@ -195,9 +233,26 @@ mod tests {
     fn sub_page_ranges_work() {
         let dev = PmemDevice::dram_backed(4);
         let mut ctx = FreeCtx::new(1);
-        dev.dax_write(&mut ctx, 5000, b"tail", true);
+        dev.dax_write(&mut ctx, 5000, b"tail", true).unwrap();
         let mut buf = [0u8; 4];
-        dev.dax_read(&mut ctx, 5000, &mut buf, false);
+        dev.dax_read(&mut ctx, 5000, &mut buf, false).unwrap();
         assert_eq!(&buf, b"tail");
+    }
+
+    #[test]
+    fn mis_sized_page_io_is_error() {
+        let dev = PmemDevice::dram_backed(4);
+        let mut ctx = FreeCtx::new(1);
+        assert_eq!(
+            dev.dax_write_page(&mut ctx, 0, &[0u8; 100], true),
+            Err(DeviceError::BufferSize {
+                expected: STORE_PAGE,
+                got: 100
+            })
+        );
+        assert!(matches!(
+            dev.dax_read(&mut ctx, 4 * STORE_PAGE as u64, &mut [0u8; 8], false),
+            Err(DeviceError::OutOfRange { .. })
+        ));
     }
 }

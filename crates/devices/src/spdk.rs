@@ -19,6 +19,7 @@ use aquila_sync::Mutex;
 use aquila_sim::SimCtx;
 
 use crate::access::StorageAccess;
+use crate::error::DeviceError;
 use crate::store::STORE_PAGE;
 
 /// Pages per cluster (1 MiB clusters).
@@ -43,6 +44,18 @@ pub enum BlobError {
     OutOfRange,
     /// The device does not contain a valid blobstore.
     NotFormatted,
+    /// The device is too small to hold a blobstore at all.
+    DeviceTooSmall,
+    /// Serialized metadata no longer fits the reserved region.
+    MetadataOverflow,
+    /// The underlying access path failed.
+    Device(DeviceError),
+}
+
+impl From<DeviceError> for BlobError {
+    fn from(e: DeviceError) -> BlobError {
+        BlobError::Device(e)
+    }
 }
 
 #[derive(Debug, Clone, Default)]
@@ -67,12 +80,14 @@ pub struct Blobstore {
 
 impl Blobstore {
     /// Formats the device and creates an empty blobstore.
-    pub fn format(ctx: &mut dyn SimCtx, access: Arc<dyn StorageAccess>) -> Blobstore {
+    pub fn format(
+        ctx: &mut dyn SimCtx,
+        access: Arc<dyn StorageAccess>,
+    ) -> Result<Blobstore, BlobError> {
         let capacity = access.capacity_pages();
-        assert!(
-            capacity > MD_PAGES + PAGES_PER_CLUSTER,
-            "device too small for a blobstore"
-        );
+        if capacity <= MD_PAGES + PAGES_PER_CLUSTER {
+            return Err(BlobError::DeviceTooSmall);
+        }
         let total_clusters = (capacity - MD_PAGES) / PAGES_PER_CLUSTER;
         let bs = Blobstore {
             access,
@@ -84,8 +99,8 @@ impl Blobstore {
             data_start_page: MD_PAGES,
             total_clusters,
         };
-        bs.sync_md(ctx);
-        bs
+        bs.sync_md(ctx)?;
+        Ok(bs)
     }
 
     /// Loads an existing blobstore from the device.
@@ -96,29 +111,35 @@ impl Blobstore {
         let capacity = access.capacity_pages();
         let total_clusters = (capacity.saturating_sub(MD_PAGES)) / PAGES_PER_CLUSTER;
         let mut md = vec![0u8; (MD_PAGES as usize) * STORE_PAGE];
-        access.read_pages(ctx, 0, &mut md);
+        access.read_pages(ctx, 0, &mut md)?;
         let mut rd = Reader::new(&md);
-        if rd.u64() != MAGIC {
+        if rd.u64().ok_or(BlobError::NotFormatted)? != MAGIC {
             return Err(BlobError::NotFormatted);
         }
-        let next_id = rd.u64();
-        let blob_count = rd.u32() as usize;
+        // A truncated or corrupt metadata region reads as unformatted
+        // rather than a panic: every decode below is checked.
+        let bad = BlobError::NotFormatted;
+        let next_id = rd.u64().ok_or(bad.clone())?;
+        let blob_count = rd.u32().ok_or(bad.clone())? as usize;
         let mut blobs = BTreeMap::new();
         let mut free = vec![true; total_clusters as usize];
         for _ in 0..blob_count {
-            let id = rd.u64();
-            let nclusters = rd.u32() as usize;
+            let id = rd.u64().ok_or(bad.clone())?;
+            let nclusters = rd.u32().ok_or(bad.clone())? as usize;
             let mut clusters = Vec::with_capacity(nclusters);
             for _ in 0..nclusters {
-                let c = rd.u32();
-                free[c as usize] = false;
+                let c = rd.u32().ok_or(bad.clone())?;
+                *free
+                    .get_mut(c as usize)
+                    .ok_or(BlobError::NotFormatted)? = false;
                 clusters.push(c);
             }
-            let nxattrs = rd.u32() as usize;
+            let nxattrs = rd.u32().ok_or(bad.clone())? as usize;
             let mut xattrs = BTreeMap::new();
             for _ in 0..nxattrs {
-                let k = String::from_utf8(rd.bytes().to_vec()).unwrap_or_default();
-                let v = rd.bytes().to_vec();
+                let k = String::from_utf8(rd.bytes().ok_or(bad.clone())?.to_vec())
+                    .unwrap_or_default();
+                let v = rd.bytes().ok_or(bad.clone())?.to_vec();
                 xattrs.insert(k, v);
             }
             blobs.insert(id, Blob { clusters, xattrs });
@@ -136,7 +157,7 @@ impl Blobstore {
     }
 
     /// Persists blobstore metadata to the device's reserved region.
-    pub fn sync_md(&self, ctx: &mut dyn SimCtx) {
+    pub fn sync_md(&self, ctx: &mut dyn SimCtx) -> Result<(), BlobError> {
         let st = self.state.lock();
         let mut w = Writer::new();
         w.u64(MAGIC);
@@ -155,13 +176,13 @@ impl Blobstore {
             }
         }
         let mut buf = w.finish();
-        assert!(
-            buf.len() <= (MD_PAGES as usize) * STORE_PAGE,
-            "metadata region overflow"
-        );
+        if buf.len() > (MD_PAGES as usize) * STORE_PAGE {
+            return Err(BlobError::MetadataOverflow);
+        }
         buf.resize((MD_PAGES as usize) * STORE_PAGE, 0);
         drop(st);
-        self.access.write_pages(ctx, 0, &buf);
+        self.access.write_pages(ctx, 0, &buf)?;
+        Ok(())
     }
 
     /// Creates an empty blob and returns its id.
@@ -213,11 +234,17 @@ impl Blobstore {
             }
             return Err(BlobError::NoSpace);
         }
-        st.blobs
-            .get_mut(&id.0)
-            .expect("checked above")
-            .clusters
-            .extend(grabbed);
+        match st.blobs.get_mut(&id.0) {
+            Some(blob) => blob.clusters.extend(grabbed),
+            None => {
+                // Unreachable (existence checked above), but recover
+                // instead of panicking: release the grabbed clusters.
+                for &c in &grabbed {
+                    st.free[c as usize] = true;
+                }
+                return Err(BlobError::NoSuchBlob);
+            }
+        }
         Ok(())
     }
 
@@ -308,12 +335,13 @@ impl Blobstore {
             |this, ctx, dev_page, off, chunk_len, done, buf: &mut [u8]| {
                 if off == 0 && chunk_len == STORE_PAGE {
                     this.access
-                        .read_pages(ctx, dev_page, &mut buf[done..done + STORE_PAGE]);
+                        .read_pages(ctx, dev_page, &mut buf[done..done + STORE_PAGE])?;
                 } else {
                     let mut page = vec![0u8; STORE_PAGE];
-                    this.access.read_pages(ctx, dev_page, &mut page);
+                    this.access.read_pages(ctx, dev_page, &mut page)?;
                     buf[done..done + chunk_len].copy_from_slice(&page[off..off + chunk_len]);
                 }
+                Ok(())
             },
             buf,
         )
@@ -337,13 +365,14 @@ impl Blobstore {
             |this, ctx, dev_page, off, chunk_len, done, b: &mut [u8]| {
                 if off == 0 && chunk_len == STORE_PAGE {
                     this.access
-                        .write_pages(ctx, dev_page, &b[done..done + STORE_PAGE]);
+                        .write_pages(ctx, dev_page, &b[done..done + STORE_PAGE])?;
                 } else {
                     let mut page = vec![0u8; STORE_PAGE];
-                    this.access.read_pages(ctx, dev_page, &mut page);
+                    this.access.read_pages(ctx, dev_page, &mut page)?;
                     page[off..off + chunk_len].copy_from_slice(&b[done..done + chunk_len]);
-                    this.access.write_pages(ctx, dev_page, &page);
+                    this.access.write_pages(ctx, dev_page, &page)?;
                 }
+                Ok(())
             },
             &mut scratch,
         )
@@ -360,7 +389,15 @@ impl Blobstore {
         buf: &mut [u8],
     ) -> Result<(), BlobError>
     where
-        F: FnMut(&Blobstore, &mut dyn SimCtx, u64, usize, usize, usize, &mut [u8]),
+        F: FnMut(
+            &Blobstore,
+            &mut dyn SimCtx,
+            u64,
+            usize,
+            usize,
+            usize,
+            &mut [u8],
+        ) -> Result<(), BlobError>,
     {
         let size_bytes = self.size_pages(id)? * STORE_PAGE as u64;
         if pos + len as u64 > size_bytes {
@@ -373,7 +410,7 @@ impl Blobstore {
             let off = (abs % STORE_PAGE as u64) as usize;
             let chunk = (STORE_PAGE - off).min(len - done);
             let dev_page = self.lba_page(id, logical_page)?;
-            op(self, ctx, dev_page, off, chunk, done, buf);
+            op(self, ctx, dev_page, off, chunk, done, buf)?;
             done += chunk;
         }
         Ok(())
@@ -424,21 +461,21 @@ impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
-    fn u64(&mut self) -> u64 {
-        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("len"));
+    fn u64(&mut self) -> Option<u64> {
+        let v = u64::from_le_bytes(self.buf.get(self.pos..self.pos + 8)?.try_into().ok()?);
         self.pos += 8;
-        v
+        Some(v)
     }
-    fn u32(&mut self) -> u32 {
-        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("len"));
+    fn u32(&mut self) -> Option<u32> {
+        let v = u32::from_le_bytes(self.buf.get(self.pos..self.pos + 4)?.try_into().ok()?);
         self.pos += 4;
-        v
+        Some(v)
     }
-    fn bytes(&mut self) -> &'a [u8] {
-        let len = self.u32() as usize;
-        let b = &self.buf[self.pos..self.pos + len];
+    fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        let b = self.buf.get(self.pos..self.pos + len)?;
         self.pos += len;
-        b
+        Some(b)
     }
 }
 
@@ -452,7 +489,10 @@ mod tests {
     fn new_store(ctx: &mut FreeCtx, pages: u64) -> (Blobstore, Arc<dyn StorageAccess>) {
         let dev = Arc::new(NvmeDevice::optane(pages));
         let access: Arc<dyn StorageAccess> = Arc::new(SpdkAccess::new(dev));
-        (Blobstore::format(ctx, Arc::clone(&access)), access)
+        (
+            Blobstore::format(ctx, Arc::clone(&access)).unwrap(),
+            access,
+        )
     }
 
     #[test]
@@ -533,12 +573,12 @@ mod tests {
 
         let blob;
         {
-            let bs = Blobstore::format(&mut ctx, Arc::clone(&access));
+            let bs = Blobstore::format(&mut ctx, Arc::clone(&access)).unwrap();
             blob = bs.create();
             bs.resize(blob, 2).unwrap();
             bs.set_xattr(blob, "name", b"persist-me").unwrap();
             bs.write(&mut ctx, blob, 0, &payload).unwrap();
-            bs.sync_md(&mut ctx);
+            bs.sync_md(&mut ctx).unwrap();
         }
         let bs2 = Blobstore::load(&mut ctx, Arc::clone(&access)).unwrap();
         assert_eq!(bs2.size_clusters(blob).unwrap(), 2);

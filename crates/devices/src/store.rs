@@ -7,6 +7,8 @@
 
 use aquila_sync::RwLock;
 
+use crate::error::DeviceError;
+
 /// Page size of the store (4 KiB).
 pub const STORE_PAGE: usize = 4096;
 
@@ -36,70 +38,85 @@ impl PageStore {
         self.pages.iter().filter(|p| p.read().is_some()).count() as u64
     }
 
+    fn slot(&self, page: u64) -> Result<&RwLock<Option<Box<[u8]>>>, DeviceError> {
+        self.pages
+            .get(page as usize)
+            .ok_or(DeviceError::OutOfRange {
+                page,
+                pages: 1,
+                capacity: self.page_count(),
+            })
+    }
+
     /// Reads `buf.len()` bytes from `page` starting at `offset`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the range crosses the page boundary or the page index is
+    /// Fails if the range crosses the page boundary or the page index is
     /// out of bounds.
-    pub fn read_at(&self, page: u64, offset: usize, buf: &mut [u8]) {
-        assert!(
-            offset + buf.len() <= STORE_PAGE,
-            "read crosses page boundary"
-        );
-        match &*self.pages[page as usize].read() {
+    pub fn read_at(&self, page: u64, offset: usize, buf: &mut [u8]) -> Result<(), DeviceError> {
+        if offset + buf.len() > STORE_PAGE {
+            return Err(DeviceError::CrossesPage {
+                offset,
+                len: buf.len(),
+            });
+        }
+        match &*self.slot(page)?.read() {
             Some(data) => buf.copy_from_slice(&data[offset..offset + buf.len()]),
             None => buf.fill(0),
         }
+        Ok(())
     }
 
     /// Writes `buf` into `page` starting at `offset`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the range crosses the page boundary or the page index is
+    /// Fails if the range crosses the page boundary or the page index is
     /// out of bounds.
-    pub fn write_at(&self, page: u64, offset: usize, buf: &[u8]) {
-        assert!(
-            offset + buf.len() <= STORE_PAGE,
-            "write crosses page boundary"
-        );
-        let mut slot = self.pages[page as usize].write();
+    pub fn write_at(&self, page: u64, offset: usize, buf: &[u8]) -> Result<(), DeviceError> {
+        if offset + buf.len() > STORE_PAGE {
+            return Err(DeviceError::CrossesPage {
+                offset,
+                len: buf.len(),
+            });
+        }
+        let mut slot = self.slot(page)?.write();
         let data = slot.get_or_insert_with(|| vec![0u8; STORE_PAGE].into_boxed_slice());
         data[offset..offset + buf.len()].copy_from_slice(buf);
+        Ok(())
     }
 
     /// Reads a possibly multi-page byte range starting at absolute byte
     /// offset `pos`.
-    pub fn read_range(&self, pos: u64, buf: &mut [u8]) {
+    pub fn read_range(&self, pos: u64, buf: &mut [u8]) -> Result<(), DeviceError> {
         let mut done = 0usize;
         while done < buf.len() {
             let abs = pos + done as u64;
             let page = abs / STORE_PAGE as u64;
             let off = (abs % STORE_PAGE as u64) as usize;
             let n = (STORE_PAGE - off).min(buf.len() - done);
-            self.read_at(page, off, &mut buf[done..done + n]);
+            self.read_at(page, off, &mut buf[done..done + n])?;
             done += n;
         }
+        Ok(())
     }
 
     /// Writes a possibly multi-page byte range starting at absolute byte
     /// offset `pos`.
-    pub fn write_range(&self, pos: u64, buf: &[u8]) {
+    pub fn write_range(&self, pos: u64, buf: &[u8]) -> Result<(), DeviceError> {
         let mut done = 0usize;
         while done < buf.len() {
             let abs = pos + done as u64;
             let page = abs / STORE_PAGE as u64;
             let off = (abs % STORE_PAGE as u64) as usize;
             let n = (STORE_PAGE - off).min(buf.len() - done);
-            self.write_at(page, off, &buf[done..done + n]);
+            self.write_at(page, off, &buf[done..done + n])?;
             done += n;
         }
+        Ok(())
     }
 
     /// Drops a page's contents back to logical zero (TRIM/deallocate).
-    pub fn discard(&self, page: u64) {
-        *self.pages[page as usize].write() = None;
+    pub fn discard(&self, page: u64) -> Result<(), DeviceError> {
+        *self.slot(page)?.write() = None;
+        Ok(())
     }
 }
 
@@ -122,7 +139,7 @@ mod tests {
     fn unwritten_pages_read_zero() {
         let s = PageStore::new(4);
         let mut buf = [0xFFu8; 16];
-        s.read_at(2, 100, &mut buf);
+        s.read_at(2, 100, &mut buf).unwrap();
         assert_eq!(buf, [0u8; 16]);
         assert_eq!(s.resident_pages(), 0);
     }
@@ -130,9 +147,9 @@ mod tests {
     #[test]
     fn write_read_roundtrip() {
         let s = PageStore::new(4);
-        s.write_at(1, 10, b"payload");
+        s.write_at(1, 10, b"payload").unwrap();
         let mut buf = [0u8; 7];
-        s.read_at(1, 10, &mut buf);
+        s.read_at(1, 10, &mut buf).unwrap();
         assert_eq!(&buf, b"payload");
         assert_eq!(s.resident_pages(), 1);
     }
@@ -141,9 +158,9 @@ mod tests {
     fn range_io_crosses_pages() {
         let s = PageStore::new(3);
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
-        s.write_range(100, &data);
+        s.write_range(100, &data).unwrap();
         let mut back = vec![0u8; data.len()];
-        s.read_range(100, &mut back);
+        s.read_range(100, &mut back).unwrap();
         assert_eq!(back, data);
         assert_eq!(s.resident_pages(), 3);
     }
@@ -151,18 +168,36 @@ mod tests {
     #[test]
     fn discard_returns_page_to_zero() {
         let s = PageStore::new(2);
-        s.write_at(0, 0, &[1, 2, 3]);
-        s.discard(0);
+        s.write_at(0, 0, &[1, 2, 3]).unwrap();
+        s.discard(0).unwrap();
         let mut buf = [9u8; 3];
-        s.read_at(0, 0, &mut buf);
+        s.read_at(0, 0, &mut buf).unwrap();
         assert_eq!(buf, [0, 0, 0]);
         assert_eq!(s.resident_pages(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "crosses page boundary")]
-    fn cross_boundary_page_io_panics() {
+    fn cross_boundary_page_io_is_error() {
         let s = PageStore::new(2);
-        s.read_at(0, 4090, &mut [0u8; 16]);
+        assert_eq!(
+            s.read_at(0, 4090, &mut [0u8; 16]),
+            Err(DeviceError::CrossesPage {
+                offset: 4090,
+                len: 16
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_page_is_error() {
+        let s = PageStore::new(2);
+        assert!(matches!(
+            s.write_at(7, 0, &[1]),
+            Err(DeviceError::OutOfRange { page: 7, .. })
+        ));
+        assert!(matches!(
+            s.discard(2),
+            Err(DeviceError::OutOfRange { page: 2, .. })
+        ));
     }
 }

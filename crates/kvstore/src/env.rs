@@ -117,7 +117,9 @@ impl EnvFile for DirectFile {
 
     fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) {
         assert!(page + (buf.len() / STORE_PAGE) as u64 <= self.pages);
-        self.access.write_pages(ctx, self.base + page, buf);
+        self.access
+            .write_pages(ctx, self.base + page, buf)
+            .expect("SST write within device bounds");
     }
 }
 

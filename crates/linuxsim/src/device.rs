@@ -41,14 +41,16 @@ impl KernelDevice {
             KernelDevice::Pmem(d) => {
                 // Kernel pmem driver: scalar copy, small block-glue cost.
                 ctx.charge(CostCat::DeviceIo, aquila_sim::Cycles(240));
-                d.dax_read(ctx, page * STORE_PAGE as u64, buf, false);
+                d.dax_read(ctx, page * STORE_PAGE as u64, buf, false)
+                    .expect("kernel fill within device bounds");
             }
             KernelDevice::Nvme(d) => {
                 let c = ctx.cost().nvme_submit_kernel;
                 ctx.charge(CostCat::DeviceIo, c);
                 let pages = buf.len() / STORE_PAGE;
                 let qp = d.create_qpair();
-                qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf));
+                qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf))
+                    .expect("kernel fill within device bounds");
                 // Interrupt-driven completion: CPU idles.
                 qp.drain(ctx, CostCat::Idle);
                 ctx.counters().device_reads += 1;
@@ -62,14 +64,16 @@ impl KernelDevice {
         match self {
             KernelDevice::Pmem(d) => {
                 ctx.charge(CostCat::DeviceIo, aquila_sim::Cycles(240));
-                d.dax_write(ctx, page * STORE_PAGE as u64, buf, false);
+                d.dax_write(ctx, page * STORE_PAGE as u64, buf, false)
+                    .expect("kernel writeback within device bounds");
             }
             KernelDevice::Nvme(d) => {
                 let c = ctx.cost().nvme_submit_kernel;
                 ctx.charge(CostCat::DeviceIo, c);
                 let pages = buf.len() / STORE_PAGE;
                 let qp = d.create_qpair();
-                qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf));
+                qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf))
+                    .expect("kernel writeback within device bounds");
                 qp.drain(ctx, CostCat::Idle);
                 ctx.counters().device_writes += 1;
                 ctx.counters().bytes_written += buf.len() as u64;

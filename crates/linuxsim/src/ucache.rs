@@ -125,7 +125,8 @@ impl UserCache {
         *self.misses.lock() += 1;
 
         // Miss: direct-I/O pread (syscall + kernel path + device).
-        self.access.read_pages(ctx, dev_page, buf);
+        self.access.read_pages(ctx, dev_page, buf)
+            .expect("user-cache fill within device bounds");
 
         // Insert, evicting LRU if the shard is full (another lock round).
         let r = shard.lock_model.acquire(ctx.now(), SHARD_HOLD);
@@ -158,7 +159,8 @@ impl UserCache {
     /// the mode RocksDB uses for SST creation).
     pub fn put_through(&self, ctx: &mut dyn SimCtx, key: BlockKey, dev_page: u64, buf: &[u8]) {
         debug_assert_eq!(buf.len(), STORE_PAGE);
-        self.access.write_pages(ctx, dev_page, buf);
+        self.access.write_pages(ctx, dev_page, buf)
+            .expect("user-cache write-through within device bounds");
         let si = self.shard_of(key);
         let shard = &self.shards[si];
         let r = shard.lock_model.acquire(ctx.now(), SHARD_HOLD);
@@ -219,7 +221,7 @@ mod tests {
     fn miss_then_hit() {
         let (mut ctx, uc, access) = cache(16);
         let data = vec![0x42u8; STORE_PAGE];
-        access.write_pages(&mut ctx, 7, &data);
+        access.write_pages(&mut ctx, 7, &data).unwrap();
         let mut buf = vec![0u8; STORE_PAGE];
         uc.get(&mut ctx, (0, 7), 7, &mut buf);
         assert_eq!(buf, data);

@@ -35,6 +35,13 @@ pub struct CacheConfig {
     pub initial_frames: usize,
     /// Pages evicted per synchronous eviction round (paper: 512).
     pub evict_batch: usize,
+    /// Free-frame count below which the asynchronous write-behind
+    /// pipeline starts evicting (0 disables watermark-driven eviction;
+    /// faulting vcores then evict synchronously as before).
+    pub low_watermark: usize,
+    /// Free-frame count the pipeline refills to once triggered. Must be
+    /// `>= low_watermark`; 0 disables watermark-driven eviction.
+    pub high_watermark: usize,
     /// NUMA shape for the freelist.
     pub topology: NumaTopology,
     /// Freelist batching parameters.
@@ -55,6 +62,8 @@ impl CacheConfig {
             max_frames: frames,
             initial_frames: frames,
             evict_batch: 512,
+            low_watermark: 0,
+            high_watermark: 0,
             topology: NumaTopology::flat(cores),
             freelist: FreelistConfig {
                 core_spill_threshold: spill,
@@ -197,8 +206,15 @@ impl DramCache {
     /// [`crate::dirty::coalesce_runs`]), and then return the frames with
     /// [`DramCache::release_frame`].
     pub fn evict_candidates(&self, ctx: &mut dyn SimCtx) -> Vec<Victim> {
+        self.evict_candidates_n(ctx, self.cfg.evict_batch)
+    }
+
+    /// [`DramCache::evict_candidates`] with an explicit batch size (the
+    /// asynchronous evictor sizes batches by the watermark deficit rather
+    /// than the synchronous `evict_batch`).
+    pub fn evict_candidates_n(&self, ctx: &mut dyn SimCtx, batch: usize) -> Vec<Victim> {
         let t_sel = ctx.now();
-        let frames = self.clock.collect_victims(self.cfg.evict_batch);
+        let frames = self.clock.collect_victims(batch);
         let mut victims = Vec::with_capacity(frames.len());
         let mut charge = aquila_sim::Cycles::ZERO;
         for frame in frames {
@@ -369,6 +385,32 @@ impl DramCache {
     pub fn free_frames(&self) -> usize {
         self.freelist.free_count()
     }
+
+    /// Configured low watermark (0 = watermark eviction disabled).
+    pub fn low_watermark(&self) -> usize {
+        self.cfg.low_watermark
+    }
+
+    /// Configured high watermark (0 = watermark eviction disabled).
+    pub fn high_watermark(&self) -> usize {
+        self.cfg.high_watermark
+    }
+
+    /// True when watermark eviction is enabled and the free pool has
+    /// dropped below the low watermark (the evictor's wake condition).
+    pub fn below_low_watermark(&self) -> bool {
+        self.cfg.low_watermark > 0 && self.freelist.free_count() < self.cfg.low_watermark
+    }
+
+    /// How many frames the evictor should reclaim right now to bring the
+    /// free pool back up to the high watermark (0 when already there or
+    /// watermarks are disabled).
+    pub fn refill_target(&self) -> usize {
+        if self.cfg.high_watermark == 0 {
+            return 0;
+        }
+        self.cfg.high_watermark.saturating_sub(self.freelist.free_count())
+    }
 }
 
 impl core::fmt::Debug for DramCache {
@@ -499,6 +541,37 @@ mod tests {
         let reclaimed = cache.shrink(6);
         assert_eq!(reclaimed, 6);
         assert_eq!(cache.active_frames(), 10);
+    }
+
+    #[test]
+    fn watermarks_drive_refill_target() {
+        let mut cfg = CacheConfig::flat(16, 1);
+        cfg.low_watermark = 4;
+        cfg.high_watermark = 8;
+        let cache = DramCache::new(cfg);
+        let mut ctx = FreeCtx::new(1);
+        assert!(!cache.below_low_watermark(), "full pool is above the mark");
+        assert_eq!(cache.refill_target(), 0);
+        let mut held = Vec::new();
+        while cache.free_frames() > 3 {
+            held.push(cache.try_alloc(&mut ctx).unwrap());
+        }
+        assert!(cache.below_low_watermark());
+        assert_eq!(cache.refill_target(), 5, "refill to the high mark");
+        cache.release_frame(&mut ctx, held.pop().unwrap());
+        assert!(!cache.below_low_watermark(), "4 free == low mark, not below");
+        assert_eq!(cache.refill_target(), 4);
+    }
+
+    #[test]
+    fn watermarks_disabled_by_default() {
+        let cache = small_cache(4);
+        let mut ctx = FreeCtx::new(1);
+        while cache.try_alloc(&mut ctx).is_some() {}
+        assert!(!cache.below_low_watermark());
+        assert_eq!(cache.refill_target(), 0);
+        assert_eq!(cache.low_watermark(), 0);
+        assert_eq!(cache.high_watermark(), 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod time;
 pub mod trace;
 
 pub use cost::{CostCat, CostModel};
-pub use engine::{CoreDebts, Engine, FreeCtx, RunReport, SimCtx, Step, ThreadCtx};
+pub use engine::{CoreDebts, Engine, FreeCtx, RunReport, SimCtx, Step, ThreadCtx, ThreadFn};
 pub use hist::LatencyHist;
 pub use metrics::{MetricId, MetricKind, MetricsRegistry, MetricsSnapshot};
 pub use race::{RaceDetector, RaceStats};

@@ -36,9 +36,10 @@ fn scan_with(advice: Advice, evict_batch: usize, kind: DeviceKind) -> (f64, u64,
         1,
         debts.clone(),
     );
-    let mut cfg = AquilaConfig::new(1, CACHE_FRAMES);
-    cfg.evict_batch = evict_batch;
-    cfg.topology = NumaTopology::flat(1);
+    let cfg = AquilaConfig::builder(1, CACHE_FRAMES)
+        .evict_batch(evict_batch)
+        .topology(NumaTopology::flat(1))
+        .build();
     let aquila = Aquila::new(cfg, debts);
     // Reuse the runtime's blobstore/access for the custom engine.
     let file = aquila

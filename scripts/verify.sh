@@ -44,5 +44,20 @@ diff "$tmp/race1.txt" "$tmp/race2.txt" ||
 grep -q 'race detector: 0 findings' "$tmp/race1.txt" ||
     { echo "FAIL: race detector reported findings" >&2; exit 1; }
 
+step "write-behind sweep smoke run (sweep qd --race --json, async speedup at qd4)"
+# The async double-run bit-identity check lives in
+# crates/bench/tests/determinism.rs (sweep_async_pipeline_is_bit_identical_
+# across_runs) and already ran under `cargo test --workspace` above; this
+# step asserts the performance claim itself from the JSON record.
+cargo run --release -q -p aquila-bench --bin sweep -- qd --race \
+    --json "$tmp/sweep.json" > "$tmp/sweep.txt"
+grep -q 'race detector: 0 findings' "$tmp/sweep.txt" ||
+    { echo "FAIL: race detector reported findings in sweep" >&2; exit 1; }
+grep -q '"async-qd4/speedup_over_sync"' "$tmp/sweep.json" ||
+    { echo "FAIL: sweep JSON missing async-qd4 speedup scalar" >&2; exit 1; }
+awk -F': ' '/"async-qd4\/speedup_over_sync"/ { exit ($2 + 0 > 1.0) ? 0 : 1 }' \
+    "$tmp/sweep.json" ||
+    { echo "FAIL: async write-behind at qd4 is not faster than sync" >&2; exit 1; }
+
 echo
 echo "verify: all checks passed"

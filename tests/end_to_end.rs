@@ -33,14 +33,13 @@ fn data_survives_an_aquila_restart() {
         .write(&mut ctx, addr.add(12345), b"survives reboot")
         .unwrap();
     rt.aquila.msync(&mut ctx, addr, 128).unwrap();
-    rt.store.sync_md(&mut ctx);
+    rt.store.sync_md(&mut ctx).unwrap();
     let access: Arc<dyn StorageAccess> = Arc::clone(&rt.access);
     drop(rt);
 
     // "Reboot": reload the blobstore from the same device, new engine.
     let store2 = Arc::new(Blobstore::load(&mut ctx, Arc::clone(&access)).expect("reload"));
-    let mut cfg = aquila::AquilaConfig::new(1, 512);
-    cfg.max_cache_frames = 512;
+    let cfg = aquila::AquilaConfig::builder(1, 512).build();
     let aquila2 = Arc::new(aquila::Aquila::new(cfg, debts));
     let f2 = aquila2
         .files()
@@ -222,14 +221,15 @@ fn cache_pressure_full_pipeline() {
 fn dynamic_cache_resize_under_load() {
     let mut ctx = FreeCtx::new(9);
     let debts = Arc::new(CoreDebts::new(1));
-    let mut cfg = aquila::AquilaConfig::new(1, 64);
-    cfg.max_cache_frames = 1024;
+    let cfg = aquila::AquilaConfig::builder(1, 64)
+        .max_cache_frames(1024)
+        .build();
     let aquila = Arc::new(aquila::Aquila::new(cfg, debts));
     // Build storage by hand.
     let rt_ctx = &mut ctx;
     let dev = Arc::new(aquila_devices::PmemDevice::dram_backed(16384));
     let access: Arc<dyn StorageAccess> = Arc::new(aquila_devices::DaxAccess::new(dev, true));
-    let store = Arc::new(Blobstore::format(rt_ctx, Arc::clone(&access)));
+    let store = Arc::new(Blobstore::format(rt_ctx, Arc::clone(&access)).unwrap());
     let f = aquila
         .files()
         .open_blob(&store, &access, "/resize", 2048)
