@@ -34,6 +34,13 @@
 //!   (`crates/core/src/config.rs`). Configuration goes through
 //!   `AquilaConfig::builder(..)` so new policy knobs (watermarks, write
 //!   policy, queue depth) pick up their defaults and derivations.
+//! - `AQ006-device-unwrap` — `.unwrap()`/`.expect(` on device-layer
+//!   `Result`s. With fault injection (`--faults`, DESIGN.md §11) any
+//!   device command can fail at a seeded point, so a panic here turns a
+//!   planned fault into a crash instead of a retry/degradation. Inside
+//!   `crates/devices` every non-test unwrap is flagged; elsewhere a
+//!   line (or the two lines above it, for chained calls) must name a
+//!   device entry point (`read_pages`, `write_pages`, `submit`, …).
 //!
 //! Findings print as `path:line: AQxxx-id: message`, one per line, and
 //! the process exits 1 if any finding is not suppressed by
@@ -142,6 +149,7 @@ enum Lint {
     UnorderedIteration,
     LockOrder,
     ConfigConstruction,
+    DeviceUnwrap,
 }
 
 impl Lint {
@@ -152,6 +160,7 @@ impl Lint {
             Lint::UnorderedIteration => "AQ003-unordered-iteration",
             Lint::LockOrder => "AQ004-lock-order",
             Lint::ConfigConstruction => "AQ005-config-construction",
+            Lint::DeviceUnwrap => "AQ006-device-unwrap",
         }
     }
 
@@ -163,6 +172,7 @@ impl Lint {
             Lint::UnorderedIteration => "AQ003",
             Lint::LockOrder => "AQ004",
             Lint::ConfigConstruction => "AQ005",
+            Lint::DeviceUnwrap => "AQ006",
         }
     }
 }
@@ -554,6 +564,55 @@ fn lint_file(path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
+    // AQ006: unwrap/expect on device-layer Results. `src/tests.rs`
+    // files are `#[cfg(test)]`-gated at their module declaration, so
+    // the in-file scan cannot see the gate; exempt them by path like
+    // integration tests.
+    if !path.starts_with("crates/analysis/") && !path.ends_with("/tests.rs") {
+        // Entry points whose Results carry DeviceError (directly or via
+        // a wrapper like BlobError); `.read(`/`.write(` are too generic
+        // to list without drowning the lint in engine-API noise.
+        const DEVICE_TOKENS: [&str; 11] = [
+            "read_pages",
+            "write_pages",
+            "dax_read",
+            "dax_write",
+            "read_at",
+            "write_at",
+            "read_range",
+            "write_range",
+            "open_blob",
+            "sync_md",
+            "submit",
+        ];
+        let in_devices = path.starts_with("crates/devices/");
+        for (n, line) in lines.iter().enumerate() {
+            if skip.get(n).copied().unwrap_or(false) {
+                continue;
+            }
+            if !line.contains(".unwrap()") && !line.contains(".expect(") {
+                continue;
+            }
+            // A chained call may put the device entry point on an
+            // earlier line; look back over a short window.
+            let window_start = n.saturating_sub(2);
+            let device_call = lines[window_start..=n]
+                .iter()
+                .any(|l| DEVICE_TOKENS.iter().any(|t| find_token(l, t).is_some()));
+            if in_devices || device_call {
+                push(
+                    &mut out,
+                    n,
+                    Lint::DeviceUnwrap,
+                    "device-layer Result unwrapped; with fault injection any \
+                     command can fail at a seeded point — propagate the error \
+                     into the retry/degradation policy (DESIGN.md §11)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
     // AQ004: declared lock order, statically approximated as "within a
     // function, table-lock acquisitions appear in non-decreasing rank
     // order". The precise hold-tracking version runs at simulation time
@@ -801,6 +860,49 @@ fn b(&self) { let f = self.files.lock(); }
                 "{src:?} -> {findings:?}"
             );
         }
+    }
+
+    #[test]
+    fn aq006_flags_every_unwrap_inside_devices() {
+        let src = "fn f(g: Guard) { let v = g.pop().unwrap(); }\n";
+        let findings = lint_file("crates/devices/src/x.rs", src);
+        assert!(
+            findings.iter().any(|f| f.lint == Lint::DeviceUnwrap),
+            "{findings:?}"
+        );
+        // Outside devices the same line has no device token: clean.
+        assert!(lint_file("crates/core/src/x.rs", src)
+            .iter()
+            .all(|f| f.lint != Lint::DeviceUnwrap));
+    }
+
+    #[test]
+    fn aq006_flags_device_calls_elsewhere_including_chains() {
+        let inline = "fn f() { access.write_pages(ctx, 0, &b).unwrap(); }\n";
+        let chained = "\
+fn f() {
+    self.access
+        .write_pages(ctx, base, buf)
+        .expect(\"SST write\");
+}
+";
+        for src in [inline, chained] {
+            let findings = lint_file("crates/kvstore/src/x.rs", src);
+            assert!(
+                findings.iter().any(|f| f.lint == Lint::DeviceUnwrap),
+                "{src:?} -> {findings:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aq006_skips_tests_and_non_device_unwraps() {
+        let src = "fn f() { let v = list.first().unwrap(); }\n";
+        assert!(lint_file("crates/core/src/x.rs", src).is_empty());
+        let dev = "fn f(g: Guard) { let v = g.pop().unwrap(); }\n";
+        assert!(lint_file("crates/devices/src/tests.rs", dev).is_empty());
+        let gated = "#[cfg(test)]\nmod t {\n    fn f() { d.read_pages(ctx, 0, &mut b).unwrap(); }\n}\n";
+        assert!(lint_file("crates/core/src/x.rs", gated).is_empty());
     }
 
     #[test]

@@ -10,7 +10,13 @@
 //!   (<https://ui.perfetto.dev>) or `chrome://tracing`;
 //! - `--race` — install the deterministic race detector
 //!   ([`aquila_sim::race`]) and print its summary at the end of the run,
-//!   exiting with status 3 if any finding was reported.
+//!   exiting with status 3 if any finding was reported;
+//! - `--faults <spec>` — install the process-global fault plan
+//!   ([`aquila_sim::fault`]); every NVMe device the run builds injects
+//!   the planned faults at their seeded virtual-time points (grammar in
+//!   EXPERIMENTS.md, e.g. `nvme.write:media_error@op=1000`). The empty
+//!   spec installs an empty plan, which is bit-identical to running
+//!   without the flag.
 //!
 //! Either flag also installs the global metrics registry so subsystem
 //! counters/gauges land in the JSON record. Without them, the binaries
@@ -31,6 +37,7 @@ pub struct BenchArgs {
     json: Option<PathBuf>,
     trace: Option<PathBuf>,
     race: bool,
+    faults: Option<String>,
 }
 
 impl BenchArgs {
@@ -48,6 +55,7 @@ impl BenchArgs {
         let mut json = None;
         let mut trace = None;
         let mut race = false;
+        let mut faults = None;
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -60,10 +68,25 @@ impl BenchArgs {
                     None => die("--trace requires a path"),
                 },
                 "--race" => race = true,
+                "--faults" => match it.next() {
+                    Some(s) => faults = Some(s),
+                    None => die("--faults requires a spec (may be empty)"),
+                },
                 _ => rest.push(a),
             }
         }
-        let parsed = BenchArgs { rest, json, trace, race };
+        let parsed = BenchArgs {
+            rest,
+            json,
+            trace,
+            race,
+            faults,
+        };
+        if let Some(spec) = &parsed.faults {
+            if let Err(e) = aquila_sim::fault::install_spec(spec) {
+                die(&format!("--faults: {e}"));
+            }
+        }
         if parsed.trace.is_some() {
             aquila_sim::trace::install(aquila_sim::trace::DEFAULT_CAPACITY);
         }
@@ -101,6 +124,11 @@ impl BenchArgs {
     /// Whether the race detector was requested with `--race`.
     pub fn wants_race(&self) -> bool {
         self.race
+    }
+
+    /// The `--faults` spec, if the flag was given (possibly empty).
+    pub fn fault_spec(&self) -> Option<&str> {
+        self.faults.as_deref()
     }
 
     /// Writes the requested artifacts (JSON record and/or Chrome trace),

@@ -96,7 +96,9 @@ pub fn print_breakdown_per_op(label: &str, b: &Breakdown, ops: u64) {
 
 /// Version of the machine-readable record layout. Bump when a field is
 /// renamed, removed, or changes meaning; adding fields is compatible.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: `faults` object (injected count, crash capture flag) added and
+/// guaranteed present, zeroed when no fault plan is installed.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Quantiles recorded for every histogram in a JSON report.
 const REPORT_QUANTILES: [f64; 5] = [0.5, 0.9, 0.99, 0.999, 1.0];
@@ -246,6 +248,17 @@ impl JsonReport {
                 .collect(),
             None => Vec::new(),
         };
+        // Fault-injection counters from the global plan. The fields are
+        // always present and read zero both without a plan and with an
+        // empty one, so `--faults ""` stays bit-identical to no flag.
+        let faults = match aquila_sim::fault::global() {
+            Some(plan) => Json::obj()
+                .with("injected", Json::U64(plan.injected()))
+                .with("crash_captured", Json::Bool(plan.crash_image().is_some())),
+            None => Json::obj()
+                .with("injected", Json::U64(0))
+                .with("crash_captured", Json::Bool(false)),
+        };
         Json::obj()
             .with("schema_version", Json::U64(SCHEMA_VERSION))
             .with("figure", Json::Str(self.figure.clone()))
@@ -257,6 +270,7 @@ impl JsonReport {
             .with("counters", Json::Arr(counters))
             .with("scalars", scalars)
             .with("metrics", Json::Arr(metrics))
+            .with("faults", faults)
     }
 
     /// Writes the record to `path`.

@@ -108,7 +108,7 @@ impl<'a> Runner<'a> {
         for s in &selected {
             if s != "all" && !self.parts.iter().any(|p| p.name == s) {
                 eprintln!(
-                    "error: {}: unknown part {s:?}\nusage: {} [{}|all] [--list] [--full] [--json <path>] [--trace <path>] [--race]",
+                    "error: {}: unknown part {s:?}\nusage: {} [{}|all] [--list] [--full] [--json <path>] [--trace <path>] [--race] [--faults <spec>]",
                     self.bin,
                     self.bin,
                     self.parts

@@ -11,6 +11,10 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn run_bin(exe: &str, part: &str, tag: &str) -> (Output, Vec<u8>, Vec<u8>) {
+    run_bin_with(exe, part, tag, &[])
+}
+
+fn run_bin_with(exe: &str, part: &str, tag: &str, extra: &[&str]) -> (Output, Vec<u8>, Vec<u8>) {
     let dir = std::env::temp_dir().join(format!(
         "aquila-determinism-{tag}-{}",
         std::process::id()
@@ -23,6 +27,7 @@ fn run_bin(exe: &str, part: &str, tag: &str) -> (Output, Vec<u8>, Vec<u8>) {
     let out = Command::new(exe)
         .current_dir(&dir)
         .args([part, "--race", "--json", "r.json", "--trace", "t.trace.json"])
+        .args(extra)
         .output()
         .expect("binary runs");
     assert!(
@@ -72,6 +77,50 @@ fn sweep_async_pipeline_is_bit_identical_across_runs() {
     assert!(
         stdout.contains("async-qd4"),
         "sweep must exercise the async pipeline:\n{stdout}"
+    );
+}
+
+/// Fault-injection property: installing an *empty* fault plan
+/// (`--faults ""`) must be bit-identical to not configuring faults at
+/// all — same stdout, same JSON record (including the zeroed `faults`
+/// section), same trace. The injection hooks cost nothing when the plan
+/// has no clauses.
+#[test]
+fn empty_fault_plan_is_bit_identical_to_unconfigured() {
+    let exe = env!("CARGO_BIN_EXE_fig8");
+    let (out_base, json_base, trace_base) = run_bin(exe, "a", "nofaults");
+    let (out_empty, json_empty, trace_empty) =
+        run_bin_with(exe, "a", "emptyfaults", &["--faults", ""]);
+    assert_eq!(
+        out_base.stdout, out_empty.stdout,
+        "stdout diverged with an empty fault plan installed"
+    );
+    assert_eq!(
+        json_base, json_empty,
+        "JSON record diverged with an empty fault plan installed"
+    );
+    assert_eq!(
+        trace_base, trace_empty,
+        "trace diverged with an empty fault plan installed"
+    );
+}
+
+/// A non-empty fault plan is still deterministic (double-run identical)
+/// and its injections are visible in the JSON record's fault counters.
+#[test]
+fn injected_faults_are_deterministic_and_reported() {
+    let exe = env!("CARGO_BIN_EXE_sweep");
+    let spec = "nvme.write:media_error@op=40";
+    let run = |tag: &str| run_bin_with(exe, "qd", tag, &["--faults", spec]);
+    let (out1, json1, trace1) = run("faults-one");
+    let (out2, json2, trace2) = run("faults-two");
+    assert_eq!(out1.stdout, out2.stdout, "stdout diverged under faults");
+    assert_eq!(json1, json2, "JSON record diverged under faults");
+    assert_eq!(trace1, trace2, "trace diverged under faults");
+    let json = String::from_utf8_lossy(&json1);
+    assert!(
+        json.contains("\"injected\": 1"),
+        "fault counter missing from the JSON record:\n{json}"
     );
 }
 

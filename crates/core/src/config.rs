@@ -19,7 +19,9 @@
 //! assert_eq!(cfg.policy.low_watermark, 256);
 //! ```
 
+use aquila_devices::RetryPolicy;
 use aquila_pcache::NumaTopology;
+use aquila_sim::Cycles;
 use aquila_vmx::IpiSendPath;
 
 /// When eviction writeback happens.
@@ -58,6 +60,17 @@ pub struct MmioPolicy {
     /// NVMe queue depth for write-behind submission. 1 degenerates to the
     /// blocking one-command-then-drain discipline.
     pub queue_depth: usize,
+    /// Retry/backoff policy applied to transient device-command failures
+    /// (media errors, timeouts, controller resets). The access paths
+    /// apply it to blocking I/O; the write-behind pipeline applies it to
+    /// queue-pair submission.
+    pub retry: RetryPolicy,
+    /// How long the freelist may sit *continuously* below the low
+    /// watermark before the engine concludes the write-behind evictor
+    /// cannot keep up and degrades the region to synchronous
+    /// write-through (DESIGN.md §11). Only meaningful under
+    /// [`WritePolicy::Async`]; [`Cycles::MAX`] disables the deadline.
+    pub stall_deadline: Cycles,
 }
 
 impl Default for MmioPolicy {
@@ -69,6 +82,8 @@ impl Default for MmioPolicy {
             evictor_cores: Vec::new(),
             write_policy: WritePolicy::Sync,
             queue_depth: 8,
+            retry: RetryPolicy::default(),
+            stall_deadline: Cycles::from_millis(10),
         }
     }
 }
@@ -190,6 +205,19 @@ impl AquilaConfigBuilder {
         self
     }
 
+    /// Retry/backoff policy for transient device-command failures.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.policy.retry = retry;
+        self
+    }
+
+    /// Continuous-watermark-stall budget before write-behind degrades to
+    /// write-through ([`Cycles::MAX`] disables).
+    pub fn stall_deadline(mut self, deadline: Cycles) -> Self {
+        self.cfg.policy.stall_deadline = deadline;
+        self
+    }
+
     /// Finishes the configuration.
     ///
     /// Under [`WritePolicy::Async`] with unset (0) watermarks, defaults
@@ -244,6 +272,22 @@ mod tests {
         assert_eq!(cfg.policy.high_watermark, 100, "clamped up to low");
         assert_eq!(cfg.policy.queue_depth, 16);
         assert_eq!(cfg.policy.evictor_cores, vec![1]);
+    }
+
+    #[test]
+    fn retry_and_stall_knobs_flow_through() {
+        let cfg = AquilaConfig::builder(2, 256)
+            .retry(RetryPolicy {
+                max_attempts: 7,
+                ..RetryPolicy::default()
+            })
+            .stall_deadline(Cycles::from_micros(50))
+            .build();
+        assert_eq!(cfg.policy.retry.max_attempts, 7);
+        assert_eq!(cfg.policy.stall_deadline, Cycles::from_micros(50));
+        let d = MmioPolicy::default();
+        assert_eq!(d.retry.max_attempts, RetryPolicy::default().max_attempts);
+        assert!(d.stall_deadline > Cycles::ZERO);
     }
 
     #[test]

@@ -50,6 +50,34 @@ pub struct EngineStats {
     pub uncommon_vmcalls: u64,
 }
 
+/// Health of the mmio region's write path (DESIGN.md §11). Transitions
+/// only escalate within a run: `Healthy` → `WriteThrough` when the
+/// write-behind evictor misses its watermark stall deadline, and any
+/// state → `ReadOnly` when the device write path trips its circuit
+/// breaker. Reads are served in every state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RegionState {
+    /// Full service: writeback follows the configured [`WritePolicy`].
+    Healthy,
+    /// Write-behind suspended: dirty pages are written back
+    /// synchronously (write-through), applying backpressure directly to
+    /// the writers instead of letting the pipeline fall further behind.
+    WriteThrough,
+    /// The device no longer accepts writes: write faults and `msync`
+    /// fail with [`AquilaError::DegradedReadOnly`]; cached data stays
+    /// readable.
+    ReadOnly,
+}
+
+/// Degradation bookkeeping (kept off the hot path: only the evictor
+/// tick and the direct-reclaim fallback touch it).
+struct DegradeState {
+    state: RegionState,
+    /// Virtual time the freelist first dipped below the low watermark
+    /// of the current continuous stall (None when healthy).
+    stall_since: Option<Cycles>,
+}
+
 /// The Aquila library OS instance (one per process).
 pub struct Aquila {
     cfg: AquilaConfig,
@@ -69,6 +97,8 @@ pub struct Aquila {
     /// is known durable on the device; `msync`/`sync_all` rendezvous with
     /// this horizon under [`WritePolicy::Async`].
     wb_horizon: Mutex<Cycles>,
+    /// Write-path degradation machine (DESIGN.md §11).
+    degrade: Mutex<DegradeState>,
 }
 
 impl Aquila {
@@ -110,6 +140,10 @@ impl Aquila {
                 uncommon_vmcalls: 0,
             }),
             wb_horizon: Mutex::new(Cycles::ZERO),
+            degrade: Mutex::new(DegradeState {
+                state: RegionState::Healthy,
+                stall_since: None,
+            }),
             debts,
             cache,
             cfg,
@@ -156,6 +190,64 @@ impl Aquila {
     /// The configuration this instance was booted with.
     pub fn config(&self) -> &AquilaConfig {
         &self.cfg
+    }
+
+    /// Current write-path health of the region.
+    pub fn region_state(&self) -> RegionState {
+        self.degrade.lock().state
+    }
+
+    /// Escalates the degradation machine to `to` (never downgrades);
+    /// counted in `aquila.degrade.transitions` and traced as an instant.
+    fn transition(&self, ctx: &dyn SimCtx, to: RegionState) {
+        let mut d = self.degrade.lock();
+        if d.state >= to {
+            return;
+        }
+        d.state = to;
+        drop(d);
+        aquila_sim::metrics::add(ctx, "aquila.degrade.transitions", 1);
+        aquila_sim::metrics::gauge(ctx, "aquila.degrade.state", to as u64);
+        aquila_sim::trace::instant(ctx, "aquila.degrade", CostCat::Eviction);
+    }
+
+    /// Samples the freelist against the low watermark: a *continuous*
+    /// stretch below it longer than [`MmioPolicy::stall_deadline`] means
+    /// the write-behind evictor cannot keep up, and the region degrades
+    /// to synchronous write-through. Called from the evictor tick and
+    /// the direct-reclaim fallback; any alloc recovery above the
+    /// watermark resets the clock.
+    pub fn track_watermark_stall(&self, ctx: &dyn SimCtx) {
+        if self.cfg.policy.write_policy != WritePolicy::Async {
+            return;
+        }
+        let deadline = self.cfg.policy.stall_deadline;
+        let stalled = self.cache.watermark_deficit() > 0;
+        let mut d = self.degrade.lock();
+        if !stalled {
+            d.stall_since = None;
+            return;
+        }
+        match d.stall_since {
+            None => d.stall_since = Some(ctx.now()),
+            Some(t0) => {
+                if deadline != Cycles::MAX
+                    && ctx.now().saturating_sub(t0) > deadline
+                    && d.state == RegionState::Healthy
+                {
+                    drop(d);
+                    self.transition(ctx, RegionState::WriteThrough);
+                }
+            }
+        }
+    }
+
+    /// Reacts to a writeback failure: an open circuit breaker means the
+    /// device write path is gone, so the region goes read-only.
+    fn degrade_on_error(&self, ctx: &dyn SimCtx, e: &AquilaError) {
+        if matches!(e, AquilaError::Device(DeviceError::CircuitOpen)) {
+            self.transition(ctx, RegionState::ReadOnly);
+        }
     }
 
     /// Switches the calling thread into Aquila mode (the per-thread
@@ -328,12 +420,24 @@ impl Aquila {
             .vmas
             .lookup(ctx, addr.vpn())
             .ok_or(AquilaError::NotMapped)?;
+        if self.region_state() == RegionState::ReadOnly {
+            // Durability cannot be promised any more; refuse rather than
+            // silently acknowledge (DESIGN.md §11).
+            return Err(AquilaError::DegradedReadOnly);
+        }
         let file = FileId(desc.file);
         let start_fp = desc.file_page_of(addr.vpn());
         let dirty = self
             .cache
             .drain_dirty_range(ctx, desc.file, start_fp, start_fp + pages);
-        self.writeback_policy(ctx, &dirty)?;
+        if let Err(e) = self.writeback_policy(ctx, &dirty) {
+            // Draining cleared the dirty bits; restore them so the data
+            // is not silently dropped from future writeback rounds.
+            for d in &dirty {
+                self.cache.mark_dirty(ctx, d.key, d.frame);
+            }
+            return Err(e);
+        }
         // Under write-behind, pages of this range may already be detached
         // and in flight on the evictor's queue pair; durability means
         // waiting for the pipeline horizon, not re-issuing them.
@@ -474,6 +578,9 @@ impl Aquila {
             .ok_or(AquilaError::Segfault(gva))?;
         if access == Access::Write && !prot.write {
             return Err(AquilaError::ProtectionViolation(gva));
+        }
+        if access == Access::Write && self.region_state() == RegionState::ReadOnly {
+            return Err(AquilaError::DegradedReadOnly);
         }
         let body = ctx.cost().aquila_fault_body;
         ctx.charge(CostCat::FaultHandler, body);
@@ -626,6 +733,9 @@ impl Aquila {
         // dirty victims in device order, then recycle frames.
         let t_evict = ctx.now();
         aquila_sim::metrics::add(ctx, "aquila.evict.stall", 1);
+        // Direct reclaim means the evictor fell behind; feed the stall
+        // clock even if the evictor itself is wedged and not ticking.
+        self.track_watermark_stall(ctx);
         let victims = self.cache.evict_candidates(ctx);
         if victims.is_empty() {
             return Err(AquilaError::NoSpace);
@@ -663,21 +773,48 @@ impl Aquila {
             })
             .collect();
         dirty.sort_by_key(|d| (d.key.file, d.key.page));
-        self.writeback_policy(ctx, &dirty)?;
+        if let Err(e) = self.writeback_policy(ctx, &dirty) {
+            // The dirty victims could not be persisted; put them back in
+            // the cache (still dirty) so their data stays readable and a
+            // later round can retry, and recycle only the clean frames.
+            for v in victims {
+                if v.dirty && self.cache.commit_insert(ctx, v.key, v.frame).is_ok() {
+                    self.cache.mark_dirty(ctx, v.key, v.frame);
+                } else {
+                    self.cache.release_frame(ctx, v.frame);
+                }
+            }
+            return Err(e);
+        }
         for v in victims {
             self.cache.release_frame(ctx, v.frame);
         }
         Ok(())
     }
 
-    /// Dispatches writeback per the configured policy: blocking
-    /// run-at-a-time I/O under [`WritePolicy::Sync`], queue-depth-batched
-    /// submission under [`WritePolicy::Async`].
+    /// Dispatches writeback per the configured policy *and* the current
+    /// [`RegionState`]: blocking run-at-a-time I/O under
+    /// [`WritePolicy::Sync`] or once degraded to write-through,
+    /// queue-depth-batched submission under a healthy
+    /// [`WritePolicy::Async`]; refused outright once read-only. An open
+    /// circuit breaker surfacing from either path escalates the
+    /// degradation machine.
     fn writeback_policy(&self, ctx: &mut dyn SimCtx, dirty: &[DirtyPage]) -> Result<(), AquilaError> {
-        match self.cfg.policy.write_policy {
-            WritePolicy::Sync => self.writeback(ctx, dirty),
-            WritePolicy::Async => self.writeback_batched(ctx, dirty),
+        if dirty.is_empty() {
+            return Ok(());
         }
+        let state = self.region_state();
+        if state == RegionState::ReadOnly {
+            return Err(AquilaError::DegradedReadOnly);
+        }
+        let result = match (self.cfg.policy.write_policy, state) {
+            (WritePolicy::Async, RegionState::Healthy) => self.writeback_batched(ctx, dirty),
+            _ => self.writeback(ctx, dirty),
+        };
+        if let Err(e) = &result {
+            self.degrade_on_error(ctx, e);
+        }
+        result
     }
 
     /// Writes dirty pages back to their files, coalescing contiguous runs
@@ -767,27 +904,34 @@ impl Aquila {
                         ios += 1;
                         continue;
                     }
-                    let submit = ctx.cost().nvme_submit_poll;
-                    ctx.charge(CostCat::DeviceIo, submit);
-                    loop {
-                        let res = qp.submit(
-                            ctx.now(),
-                            NvmeOp::Write,
-                            seg.dev,
-                            seg.buf.len() / STORE_PAGE,
-                            BufRef::Shared(&seg.buf),
-                        );
-                        match res {
-                            Ok(_) => break,
-                            Err(DeviceError::QueueFull { .. }) => {
-                                if let Some(t) = qp.earliest_finish() {
-                                    ctx.wait_until(t, CostCat::DeviceIo);
+                    // Transient command failures retry with backoff and
+                    // feed the write-path breaker; QueueFull stays the
+                    // pacing signal inside each attempt.
+                    let retry = access0.retry_policy();
+                    let breaker = access0.breaker().map(|b| b.as_ref());
+                    retry.run(ctx, breaker, |ctx| {
+                        let submit = ctx.cost().nvme_submit_poll;
+                        ctx.charge(CostCat::DeviceIo, submit);
+                        loop {
+                            let res = qp.submit(
+                                ctx.now(),
+                                NvmeOp::Write,
+                                seg.dev,
+                                seg.buf.len() / STORE_PAGE,
+                                BufRef::Shared(&seg.buf),
+                            );
+                            match res {
+                                Ok(_) => return Ok(()),
+                                Err(DeviceError::QueueFull { .. }) => {
+                                    if let Some(t) = qp.earliest_finish() {
+                                        ctx.wait_until(t, CostCat::DeviceIo);
+                                    }
+                                    qp.poll(ctx.now());
                                 }
-                                qp.poll(ctx.now());
+                                Err(e) => return Err(e),
                             }
-                            Err(e) => return Err(e.into()),
                         }
-                    }
+                    })?;
                     ios += 1;
                     ctx.counters().device_writes += 1;
                     ctx.counters().bytes_written += seg.buf.len() as u64;
@@ -874,6 +1018,7 @@ impl Aquila {
     pub fn evictor(self: &Arc<Self>, stop: Arc<AtomicBool>, poll_interval: Cycles) -> ThreadFn {
         let aq = Arc::clone(self);
         Box::new(move |ctx| {
+            aq.track_watermark_stall(ctx);
             if aq.needs_eviction() {
                 if let Ok(n) = aq.evictor_round(ctx) {
                     if n > 0 {
@@ -1009,7 +1154,12 @@ impl Aquila {
     /// Flushes all dirty pages (shutdown path).
     pub fn sync_all(&self, ctx: &mut dyn SimCtx) -> Result<(), AquilaError> {
         let dirty = self.cache.drain_dirty_all(ctx);
-        self.writeback_policy(ctx, &dirty)?;
+        if let Err(e) = self.writeback_policy(ctx, &dirty) {
+            for d in &dirty {
+                self.cache.mark_dirty(ctx, d.key, d.frame);
+            }
+            return Err(e);
+        }
         self.write_behind_rendezvous(ctx);
         Ok(())
     }

@@ -25,6 +25,13 @@ pub enum AquilaError {
     MappingOverlap,
     /// The address range is not mapped (munmap/msync on a hole).
     NotMapped,
+    /// The region was degraded to read-only after persistent device
+    /// write failures (circuit breaker open): writes and `msync` are
+    /// refused; reads keep working (DESIGN.md §11).
+    DegradedReadOnly,
+    /// A crash-recovery boot could not reassemble the stack from the
+    /// captured device image.
+    RecoveryFailed(&'static str),
     /// A storage-device operation failed (out-of-range I/O, mismatched
     /// buffer, full queue pair).
     Device(DeviceError),
@@ -50,6 +57,10 @@ impl core::fmt::Display for AquilaError {
             AquilaError::NoSpace => write!(f, "out of storage space"),
             AquilaError::MappingOverlap => write!(f, "mapping overlaps existing range"),
             AquilaError::NotMapped => write!(f, "address range not mapped"),
+            AquilaError::DegradedReadOnly => {
+                write!(f, "region degraded to read-only; write refused")
+            }
+            AquilaError::RecoveryFailed(why) => write!(f, "crash recovery failed: {why}"),
             AquilaError::Device(e) => write!(f, "device error: {e}"),
         }
     }

@@ -42,7 +42,7 @@ mod tests;
 pub use aquila_mmu::Gva;
 pub use aquila_vma::{Advice, Prot};
 pub use config::{AquilaConfig, AquilaConfigBuilder, MmioPolicy, WritePolicy};
-pub use engine::{Aquila, EngineStats};
+pub use engine::{Aquila, EngineStats, RegionState};
 pub use error::AquilaError;
 pub use file::{FileId, Files};
 pub use region::AquilaRegion;

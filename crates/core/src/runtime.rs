@@ -7,13 +7,14 @@
 use std::sync::Arc;
 
 use aquila_devices::{
-    AccessKind, Blobstore, CallDomain, DaxAccess, HostNvmeAccess, HostPmemAccess, NvmeDevice,
-    PmemDevice, SpdkAccess, StorageAccess,
+    AccessKind, BlobError, Blobstore, CallDomain, DaxAccess, HostNvmeAccess, HostPmemAccess,
+    NvmeDevice, NvmeProfile, PmemDevice, SpdkAccess, StorageAccess,
 };
 use aquila_pcache::NumaTopology;
-use aquila_sim::{CoreDebts, SimCtx};
+use aquila_sim::{fault, CoreDebts, SimCtx};
 
 use crate::engine::{Aquila, AquilaConfig};
+use crate::error::AquilaError;
 
 /// Which device + access path to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,12 +92,14 @@ impl AquilaRuntime {
         policy: crate::config::MmioPolicy,
     ) -> AquilaRuntime {
         let access: Arc<dyn StorageAccess> = match kind {
-            DeviceKind::NvmeSpdk => {
-                Arc::new(SpdkAccess::new(Arc::new(NvmeDevice::optane(device_pages))))
-            }
-            DeviceKind::NvmeHost => Arc::new(HostNvmeAccess::new(
-                Arc::new(NvmeDevice::optane(device_pages)),
+            DeviceKind::NvmeSpdk => Arc::new(SpdkAccess::with_retry(
+                Self::nvme_device(device_pages),
+                policy.retry,
+            )),
+            DeviceKind::NvmeHost => Arc::new(HostNvmeAccess::with_retry(
+                Self::nvme_device(device_pages),
                 CallDomain::Guest,
+                policy.retry,
             )),
             DeviceKind::PmemDax => Arc::new(DaxAccess::new(
                 Arc::new(PmemDevice::dram_backed(device_pages)),
@@ -110,6 +113,28 @@ impl AquilaRuntime {
         let store = Arc::new(
             Blobstore::format(ctx, Arc::clone(&access)).expect("blobstore format on fresh device"),
         );
+        Self::assemble(kind, store, access, cache_frames, cores, debts, policy)
+    }
+
+    /// Creates an NVMe device with the process-global fault plan (if one
+    /// was installed, e.g. via the benches' `--faults` flag) attached.
+    fn nvme_device(device_pages: u64) -> Arc<NvmeDevice> {
+        let dev = Arc::new(NvmeDevice::optane(device_pages));
+        if let Some(plan) = fault::global() {
+            dev.set_fault_plan(Arc::clone(plan));
+        }
+        dev
+    }
+
+    fn assemble(
+        kind: DeviceKind,
+        store: Arc<Blobstore>,
+        access: Arc<dyn StorageAccess>,
+        cache_frames: usize,
+        cores: usize,
+        debts: Arc<CoreDebts>,
+        policy: crate::config::MmioPolicy,
+    ) -> AquilaRuntime {
         let topology = if cores > 16 {
             NumaTopology {
                 nodes: 2,
@@ -129,6 +154,44 @@ impl AquilaRuntime {
             access,
             kind,
         }
+    }
+
+    /// Reboots an Aquila stack from a captured NVMe device image (the
+    /// crash-consistency harness's recovery path): the device is restored
+    /// byte-for-byte from the image and the blobstore is *loaded*, not
+    /// formatted, so every file and page that was durable at the capture
+    /// point is visible again through [`AquilaRuntime::open`].
+    pub fn recover_from_image(
+        ctx: &mut dyn SimCtx,
+        image: &[u8],
+        cache_frames: usize,
+        cores: usize,
+        debts: Arc<CoreDebts>,
+        policy: crate::config::MmioPolicy,
+    ) -> Result<AquilaRuntime, AquilaError> {
+        let dev = Arc::new(NvmeDevice::from_image(image, NvmeProfile::optane_p4800x()));
+        if let Some(plan) = fault::global() {
+            dev.set_fault_plan(Arc::clone(plan));
+        }
+        let access: Arc<dyn StorageAccess> = Arc::new(SpdkAccess::with_retry(dev, policy.retry));
+        let store = match Blobstore::load(ctx, Arc::clone(&access)) {
+            Ok(bs) => Arc::new(bs),
+            Err(BlobError::Device(e)) => return Err(AquilaError::Device(e)),
+            Err(_) => {
+                return Err(AquilaError::RecoveryFailed(
+                    "device image does not hold a loadable blobstore",
+                ))
+            }
+        };
+        Ok(Self::assemble(
+            DeviceKind::NvmeSpdk,
+            store,
+            access,
+            cache_frames,
+            cores,
+            debts,
+            policy,
+        ))
     }
 
     /// Opens (or creates) a named file of at least `pages` pages through

@@ -409,6 +409,7 @@ fn evictor_pipeline_offloads_eviction_and_preserves_data() {
                 write_policy: WritePolicy::Async,
                 queue_depth: 8,
                 evict_batch: 32,
+                ..MmioPolicy::default()
             }
         } else {
             MmioPolicy {
@@ -498,4 +499,162 @@ fn evictor_pipeline_offloads_eviction_and_preserves_data() {
         async_cyc < sync_cyc * 0.8,
         "write-behind must take eviction off the fault path: sync {sync_cyc:.0} vs async {async_cyc:.0} cycles/fault"
     );
+}
+
+#[test]
+fn breaker_trip_degrades_region_to_read_only() {
+    use crate::config::MmioPolicy;
+    use crate::engine::RegionState;
+    use aquila_devices::RetryPolicy;
+    use aquila_sim::fault::FaultPlan;
+
+    let mut ctx = FreeCtx::new(11);
+    let debts = Arc::new(CoreDebts::new(1));
+    // No retry headroom and a hair-trigger breaker: the first injected
+    // media error opens the write path's circuit.
+    let policy = MmioPolicy {
+        retry: RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 1,
+            ..RetryPolicy::default()
+        },
+        ..MmioPolicy::default()
+    };
+    let rt = AquilaRuntime::build_with_policy(
+        &mut ctx,
+        DeviceKind::NvmeSpdk,
+        65536,
+        64,
+        1,
+        debts,
+        policy,
+    );
+    rt.aquila.thread_enter(&mut ctx);
+    // The plan is attached after the blobstore format, so the msync
+    // writeback below is the first counted write command.
+    rt.access
+        .nvme_device()
+        .expect("spdk path has an nvme device")
+        .set_fault_plan(Arc::new(
+            FaultPlan::parse("nvme.write:media_error@op=1").unwrap(),
+        ));
+
+    let f = rt.open("/data/degrade", 16).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 16, Prot::RW).unwrap();
+    rt.aquila.write(&mut ctx, addr, b"doomed").unwrap();
+    assert_eq!(rt.aquila.region_state(), RegionState::Healthy);
+
+    let err = rt.aquila.msync(&mut ctx, addr, 16).unwrap_err();
+    assert!(matches!(err, AquilaError::Device(_)), "got {err:?}");
+    assert_eq!(rt.aquila.region_state(), RegionState::ReadOnly);
+
+    // Writes now fail fast with the typed degradation error...
+    let err = rt
+        .aquila
+        .write(&mut ctx, addr.add(3 * 4096), &[1])
+        .unwrap_err();
+    assert_eq!(err, AquilaError::DegradedReadOnly);
+    assert_eq!(rt.aquila.msync(&mut ctx, addr, 16), Err(AquilaError::DegradedReadOnly));
+    // ...while cached data stays readable, including the unpersisted
+    // write (its dirty bit was restored, never silently dropped).
+    let mut back = [0u8; 6];
+    rt.aquila.read(&mut ctx, addr, &mut back).unwrap();
+    assert_eq!(&back, b"doomed");
+    assert!(rt.aquila.cache().dirty_count() >= 1);
+    assert!(rt.access.breaker().unwrap().is_open());
+}
+
+#[test]
+fn watermark_stall_degrades_async_to_write_through() {
+    use crate::config::{MmioPolicy, WritePolicy};
+    use crate::engine::RegionState;
+
+    let mut ctx = FreeCtx::new(12);
+    let debts = Arc::new(CoreDebts::new(1));
+    let policy = MmioPolicy {
+        write_policy: WritePolicy::Async,
+        low_watermark: 16,
+        high_watermark: 32,
+        stall_deadline: Cycles::from_micros(100),
+        ..MmioPolicy::default()
+    };
+    let rt = AquilaRuntime::build_with_policy(
+        &mut ctx,
+        DeviceKind::NvmeSpdk,
+        65536,
+        64,
+        1,
+        debts,
+        policy,
+    );
+    // Pin the freelist below the low watermark, as if the evictor were
+    // wedged behind a failing device.
+    let mut held = Vec::new();
+    while rt.aquila.cache().watermark_deficit() == 0 {
+        held.push(rt.aquila.cache().try_alloc(&mut ctx).unwrap());
+    }
+    rt.aquila.track_watermark_stall(&ctx); // Starts the stall clock.
+    assert_eq!(rt.aquila.region_state(), RegionState::Healthy);
+    ctx.charge(CostCat::Idle, Cycles::from_micros(200));
+    rt.aquila.track_watermark_stall(&ctx); // Past the deadline.
+    assert_eq!(rt.aquila.region_state(), RegionState::WriteThrough);
+    // Recovery of the freelist does not un-degrade (sticky for the run).
+    for f in held {
+        rt.aquila.cache().release_frame(&mut ctx, f);
+    }
+    rt.aquila.track_watermark_stall(&ctx);
+    assert_eq!(rt.aquila.region_state(), RegionState::WriteThrough);
+}
+
+#[test]
+fn recover_from_image_reboots_the_stack() {
+    use crate::config::MmioPolicy;
+
+    let mut ctx = FreeCtx::new(13);
+    let debts = Arc::new(CoreDebts::new(1));
+    let rt = AquilaRuntime::build(&mut ctx, DeviceKind::NvmeSpdk, 65536, 64, 1, debts);
+    rt.aquila.thread_enter(&mut ctx);
+    let f = rt.open("/data/survivor", 32).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 32, Prot::RW).unwrap();
+    rt.aquila.write(&mut ctx, addr.add(5), b"persisted").unwrap();
+    rt.aquila.msync(&mut ctx, addr, 32).unwrap();
+    rt.store.sync_md(&mut ctx).unwrap();
+    let image = rt
+        .access
+        .nvme_device()
+        .unwrap()
+        .store()
+        .snapshot();
+    drop(rt);
+
+    // Reboot a fresh stack from the captured image: the blobstore loads
+    // and the file is found again by name.
+    let mut ctx2 = FreeCtx::new(14);
+    let debts2 = Arc::new(CoreDebts::new(1));
+    let rt2 = AquilaRuntime::recover_from_image(
+        &mut ctx2,
+        &image,
+        64,
+        1,
+        debts2,
+        MmioPolicy::default(),
+    )
+    .unwrap();
+    rt2.aquila.thread_enter(&mut ctx2);
+    let f2 = rt2.open("/data/survivor", 32).unwrap();
+    let addr2 = rt2.aquila.mmap(&mut ctx2, f2, 0, 32, Prot::RW).unwrap();
+    let mut back = [0u8; 9];
+    rt2.aquila.read(&mut ctx2, addr2.add(5), &mut back).unwrap();
+    assert_eq!(&back, b"persisted");
+}
+
+#[test]
+fn recover_from_unformatted_image_is_typed_error() {
+    use crate::config::MmioPolicy;
+    let mut ctx = FreeCtx::new(15);
+    let debts = Arc::new(CoreDebts::new(1));
+    let blank = vec![0u8; 256 * 4096];
+    let err = AquilaRuntime::recover_from_image(&mut ctx, &blank, 16, 1, debts, MmioPolicy::default())
+        .unwrap_err();
+    assert!(matches!(err, AquilaError::RecoveryFailed(_)));
 }

@@ -21,6 +21,7 @@ use aquila_sim::{CostCat, SimCtx};
 use crate::error::DeviceError;
 use crate::nvme::{BufRef, NvmeDevice, NvmeOp};
 use crate::pmem::PmemDevice;
+use crate::retry::{CircuitBreaker, RetryPolicy};
 use crate::store::STORE_PAGE;
 
 /// Which protection domain the caller sits in, which determines the price
@@ -105,6 +106,16 @@ pub trait StorageAccess: Send + Sync {
     fn nvme_device(&self) -> Option<&Arc<NvmeDevice>> {
         None
     }
+    /// The write-path circuit breaker, when the path has one. The engine
+    /// watches it to degrade the region once the device stops accepting
+    /// writes (DESIGN.md §11).
+    fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        None
+    }
+    /// The retry policy the path applies to transient command failures.
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::default()
+    }
 }
 
 /// Records the device's queue occupancy right after a submission: a trace
@@ -122,6 +133,8 @@ fn record_nvme_occupancy(ctx: &dyn SimCtx, dev: &NvmeDevice) {
 /// SPDK-style polled user-space NVMe access (no kernel on the I/O path).
 pub struct SpdkAccess {
     dev: Arc<NvmeDevice>,
+    retry: RetryPolicy,
+    breaker: Arc<CircuitBreaker>,
 }
 
 impl SpdkAccess {
@@ -129,7 +142,16 @@ impl SpdkAccess {
     /// this process (the paper's protection argument), which the type
     /// system encodes by taking ownership of the only handle used for I/O.
     pub fn new(dev: Arc<NvmeDevice>) -> SpdkAccess {
-        SpdkAccess { dev }
+        SpdkAccess::with_retry(dev, RetryPolicy::default())
+    }
+
+    /// Wraps a device with an explicit retry policy.
+    pub fn with_retry(dev: Arc<NvmeDevice>, retry: RetryPolicy) -> SpdkAccess {
+        SpdkAccess {
+            dev,
+            retry,
+            breaker: CircuitBreaker::new(retry.breaker_threshold),
+        }
     }
 
     /// The underlying device.
@@ -158,14 +180,21 @@ impl StorageAccess for SpdkAccess {
         buf: &mut [u8],
     ) -> Result<(), DeviceError> {
         let pages = buf.len() / STORE_PAGE;
-        let submit = ctx.cost().nvme_submit_poll;
-        ctx.charge(CostCat::DeviceIo, submit);
-        let qp = self.dev.create_qpair();
-        qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf))?;
-        record_nvme_occupancy(ctx, &self.dev);
-        // Polled completion: the CPU spins, so the wait is DeviceIo (busy),
-        // not Idle.
-        qp.drain(ctx, CostCat::DeviceIo);
+        // Reads retry but never consult the breaker: a degraded region
+        // must keep serving reads (DESIGN.md §11).
+        self.retry.run(ctx, None, |ctx| {
+            let submit = ctx.cost().nvme_submit_poll;
+            ctx.charge(CostCat::DeviceIo, submit);
+            let t0 = ctx.now();
+            let qp = self.dev.create_qpair();
+            qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf))?;
+            record_nvme_occupancy(ctx, &self.dev);
+            // Polled completion: the CPU spins, so the wait is DeviceIo
+            // (busy), not Idle.
+            qp.drain(ctx, CostCat::DeviceIo);
+            self.retry.observe_latency(ctx, ctx.now() - t0);
+            Ok(())
+        })?;
         ctx.counters().device_reads += 1;
         ctx.counters().bytes_read += (pages * STORE_PAGE) as u64;
         Ok(())
@@ -173,12 +202,17 @@ impl StorageAccess for SpdkAccess {
 
     fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) -> Result<(), DeviceError> {
         let pages = buf.len() / STORE_PAGE;
-        let submit = ctx.cost().nvme_submit_poll;
-        ctx.charge(CostCat::DeviceIo, submit);
-        let qp = self.dev.create_qpair();
-        qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf))?;
-        record_nvme_occupancy(ctx, &self.dev);
-        qp.drain(ctx, CostCat::DeviceIo);
+        self.retry.run(ctx, Some(&self.breaker), |ctx| {
+            let submit = ctx.cost().nvme_submit_poll;
+            ctx.charge(CostCat::DeviceIo, submit);
+            let t0 = ctx.now();
+            let qp = self.dev.create_qpair();
+            qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf))?;
+            record_nvme_occupancy(ctx, &self.dev);
+            qp.drain(ctx, CostCat::DeviceIo);
+            self.retry.observe_latency(ctx, ctx.now() - t0);
+            Ok(())
+        })?;
         ctx.counters().device_writes += 1;
         ctx.counters().bytes_written += (pages * STORE_PAGE) as u64;
         Ok(())
@@ -187,18 +221,42 @@ impl StorageAccess for SpdkAccess {
     fn nvme_device(&self) -> Option<&Arc<NvmeDevice>> {
         Some(&self.dev)
     }
+
+    fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        Some(&self.breaker)
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
 }
 
 /// Host-kernel direct I/O to an NVMe device.
 pub struct HostNvmeAccess {
     dev: Arc<NvmeDevice>,
     domain: CallDomain,
+    retry: RetryPolicy,
+    breaker: Arc<CircuitBreaker>,
 }
 
 impl HostNvmeAccess {
     /// Creates the path; `domain` selects syscall vs vmcall entry cost.
     pub fn new(dev: Arc<NvmeDevice>, domain: CallDomain) -> HostNvmeAccess {
-        HostNvmeAccess { dev, domain }
+        HostNvmeAccess::with_retry(dev, domain, RetryPolicy::default())
+    }
+
+    /// Creates the path with an explicit retry policy.
+    pub fn with_retry(
+        dev: Arc<NvmeDevice>,
+        domain: CallDomain,
+        retry: RetryPolicy,
+    ) -> HostNvmeAccess {
+        HostNvmeAccess {
+            dev,
+            domain,
+            retry,
+            breaker: CircuitBreaker::new(retry.breaker_threshold),
+        }
     }
 }
 
@@ -222,14 +280,19 @@ impl StorageAccess for HostNvmeAccess {
         buf: &mut [u8],
     ) -> Result<(), DeviceError> {
         let pages = buf.len() / STORE_PAGE;
-        self.domain.charge_entry(ctx);
-        let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
-        ctx.charge(CostCat::Syscall, sw);
-        let qp = self.dev.create_qpair();
-        qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf))?;
-        record_nvme_occupancy(ctx, &self.dev);
-        // Interrupt-driven completion: the CPU sleeps.
-        qp.drain(ctx, CostCat::Idle);
+        self.retry.run(ctx, None, |ctx| {
+            self.domain.charge_entry(ctx);
+            let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
+            ctx.charge(CostCat::Syscall, sw);
+            let t0 = ctx.now();
+            let qp = self.dev.create_qpair();
+            qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf))?;
+            record_nvme_occupancy(ctx, &self.dev);
+            // Interrupt-driven completion: the CPU sleeps.
+            qp.drain(ctx, CostCat::Idle);
+            self.retry.observe_latency(ctx, ctx.now() - t0);
+            Ok(())
+        })?;
         ctx.counters().device_reads += 1;
         ctx.counters().bytes_read += (pages * STORE_PAGE) as u64;
         Ok(())
@@ -237,13 +300,18 @@ impl StorageAccess for HostNvmeAccess {
 
     fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) -> Result<(), DeviceError> {
         let pages = buf.len() / STORE_PAGE;
-        self.domain.charge_entry(ctx);
-        let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
-        ctx.charge(CostCat::Syscall, sw);
-        let qp = self.dev.create_qpair();
-        qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf))?;
-        record_nvme_occupancy(ctx, &self.dev);
-        qp.drain(ctx, CostCat::Idle);
+        self.retry.run(ctx, Some(&self.breaker), |ctx| {
+            self.domain.charge_entry(ctx);
+            let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
+            ctx.charge(CostCat::Syscall, sw);
+            let t0 = ctx.now();
+            let qp = self.dev.create_qpair();
+            qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf))?;
+            record_nvme_occupancy(ctx, &self.dev);
+            qp.drain(ctx, CostCat::Idle);
+            self.retry.observe_latency(ctx, ctx.now() - t0);
+            Ok(())
+        })?;
         ctx.counters().device_writes += 1;
         ctx.counters().bytes_written += (pages * STORE_PAGE) as u64;
         Ok(())
@@ -251,6 +319,14 @@ impl StorageAccess for HostNvmeAccess {
 
     fn nvme_device(&self) -> Option<&Arc<NvmeDevice>> {
         Some(&self.dev)
+    }
+
+    fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        Some(&self.breaker)
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 }
 
@@ -445,6 +521,54 @@ mod tests {
         let mut hctx = FreeCtx::new(1);
         host.read_pages(&mut hctx, 1, &mut buf).unwrap();
         assert!(hctx.breakdown.get(CostCat::Idle) >= Cycles::from_micros(9));
+    }
+
+    #[test]
+    fn spdk_write_retries_through_injected_fault() {
+        use aquila_sim::fault::FaultPlan;
+        let nvme = Arc::new(NvmeDevice::optane(64));
+        nvme.set_fault_plan(Arc::new(
+            FaultPlan::parse("nvme.write:media_error@op=1").unwrap(),
+        ));
+        let spdk = SpdkAccess::new(Arc::clone(&nvme));
+        let mut ctx = FreeCtx::new(1);
+        let data = page_of(0x5A);
+        // The first submission fails; the retry layer backs off and the
+        // second attempt lands the data.
+        spdk.write_pages(&mut ctx, 3, &data).unwrap();
+        let mut back = page_of(0);
+        spdk.read_pages(&mut ctx, 3, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert!(!spdk.breaker().unwrap().is_open());
+        assert!(
+            ctx.now() >= spdk.retry_policy().backoff_for(1),
+            "retry charged its backoff"
+        );
+    }
+
+    #[test]
+    fn breaker_opens_under_sustained_write_failure() {
+        use aquila_sim::fault::FaultPlan;
+        let nvme = Arc::new(NvmeDevice::optane(64));
+        // Both write attempts fail, which meets the tightened breaker
+        // threshold below mid-retry.
+        nvme.set_fault_plan(Arc::new(
+            FaultPlan::parse("nvme.write:media_error@op=1; nvme.write:media_error@op=2").unwrap(),
+        ));
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            breaker_threshold: 2,
+            ..RetryPolicy::default()
+        };
+        let spdk = SpdkAccess::with_retry(Arc::clone(&nvme), policy);
+        let mut ctx = FreeCtx::new(1);
+        let data = page_of(1);
+        let err = spdk.write_pages(&mut ctx, 0, &data).unwrap_err();
+        assert_eq!(err, DeviceError::CircuitOpen);
+        assert!(spdk.breaker().unwrap().is_open());
+        // Reads keep working: the breaker guards only the write path.
+        let mut back = page_of(0);
+        spdk.read_pages(&mut ctx, 1, &mut back).unwrap();
     }
 
     #[test]

@@ -41,6 +41,21 @@ pub enum DeviceError {
         /// The queue depth that was exceeded.
         depth: usize,
     },
+    /// The medium failed the command (uncorrectable error). Transient;
+    /// retryable with backoff.
+    MediaError {
+        /// First page of the failed transfer.
+        page: u64,
+    },
+    /// The command did not complete within the device's deadline.
+    /// Transient; retryable with backoff.
+    Timeout,
+    /// The controller reset; in-flight state was lost. Transient;
+    /// retryable with backoff.
+    DeviceReset,
+    /// The retry layer's circuit breaker is open: too many consecutive
+    /// command failures. Not retryable — callers must degrade.
+    CircuitOpen,
 }
 
 impl core::fmt::Display for DeviceError {
@@ -67,7 +82,26 @@ impl core::fmt::Display for DeviceError {
             DeviceError::QueueFull { depth } => {
                 write!(f, "queue pair full (depth {depth})")
             }
+            DeviceError::MediaError { page } => {
+                write!(f, "uncorrectable media error at page {page}")
+            }
+            DeviceError::Timeout => write!(f, "command timed out"),
+            DeviceError::DeviceReset => write!(f, "device reset; command lost"),
+            DeviceError::CircuitOpen => {
+                write!(f, "circuit breaker open after consecutive device failures")
+            }
         }
+    }
+}
+
+impl DeviceError {
+    /// Whether the error is a transient device condition worth retrying
+    /// (as opposed to a caller bug or a backpressure signal).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::MediaError { .. } | DeviceError::Timeout | DeviceError::DeviceReset
+        )
     }
 }
 

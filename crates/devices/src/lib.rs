@@ -17,6 +17,7 @@ pub mod access;
 pub mod error;
 pub mod nvme;
 pub mod pmem;
+pub mod retry;
 pub mod spdk;
 pub mod store;
 
@@ -26,5 +27,6 @@ pub use access::{
 pub use error::DeviceError;
 pub use nvme::{BufRef, NvmeCompletion, NvmeDevice, NvmeOp, NvmeProfile, QueuePair};
 pub use pmem::{PmemDevice, PmemProfile};
+pub use retry::{CircuitBreaker, RetryPolicy};
 pub use spdk::{BlobError, BlobId, Blobstore, MD_PAGES, PAGES_PER_CLUSTER};
 pub use store::{PageStore, STORE_PAGE};

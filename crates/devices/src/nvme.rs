@@ -9,9 +9,11 @@
 //! without kernel involvement.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
 
 use aquila_sync::Mutex;
 
+use aquila_sim::fault::{CrashImage, FaultOutcome, FaultPlan, FaultTarget, SECTOR_SIZE};
 use aquila_sim::{Cycles, ServiceCenter, SimCtx};
 
 use crate::error::DeviceError;
@@ -71,6 +73,7 @@ pub struct NvmeDevice {
     store: PageStore,
     service: ServiceCenter,
     profile: NvmeProfile,
+    fault: OnceLock<Arc<FaultPlan>>,
 }
 
 impl NvmeDevice {
@@ -80,7 +83,30 @@ impl NvmeDevice {
             store: PageStore::new(pages),
             service: ServiceCenter::new(profile.channels, profile.max_iops, profile.max_bw),
             profile,
+            fault: OnceLock::new(),
         }
+    }
+
+    /// Restores a device from a flat byte image (a crash-consistency
+    /// recovery boot). The image length is rounded up to whole pages.
+    pub fn from_image(image: &[u8], profile: NvmeProfile) -> NvmeDevice {
+        let pages = (image.len() as u64).div_ceil(STORE_PAGE as u64);
+        let dev = NvmeDevice::new(pages, profile);
+        match dev.store.write_range(0, image) {
+            Ok(()) => dev,
+            Err(_) => unreachable!("device is sized to hold the image"),
+        }
+    }
+
+    /// Attaches a fault plan; commands submitted through any queue pair
+    /// consult it. First attach wins (like the global plan install).
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        let _ = self.fault.set(plan);
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.get()
     }
 
     /// Creates an Optane-profile device.
@@ -203,6 +229,26 @@ impl<'d> QueuePair<'d> {
         if self.inflight.lock().len() >= self.depth {
             return Err(DeviceError::QueueFull { depth: self.depth });
         }
+        // Injected faults draw after the organic checks, so an operation
+        // number always names a command the queue actually admitted.
+        let injected = self.dev.fault.get().filter(|p| !p.is_empty()).and_then(|plan| {
+            let target = match op {
+                NvmeOp::Read => FaultTarget::NvmeRead,
+                NvmeOp::Write => FaultTarget::NvmeWrite,
+            };
+            plan.draw(target, now)
+        });
+        match injected {
+            Some(FaultOutcome::MediaError) => {
+                return Err(DeviceError::MediaError { page: lba_page })
+            }
+            Some(FaultOutcome::Timeout) => return Err(DeviceError::Timeout),
+            Some(FaultOutcome::QueueFull) => {
+                return Err(DeviceError::QueueFull { depth: self.depth })
+            }
+            Some(FaultOutcome::DeviceReset) => return Err(DeviceError::DeviceReset),
+            Some(FaultOutcome::Torn { .. } | FaultOutcome::Crash { .. }) | None => {}
+        }
         match (op, buf) {
             (NvmeOp::Read, BufRef::Mut(b)) => {
                 if b.len() != pages * STORE_PAGE {
@@ -220,7 +266,36 @@ impl<'d> QueuePair<'d> {
                         got: b.len(),
                     });
                 }
-                self.dev.store.write_range(lba_page * STORE_PAGE as u64, b)?;
+                let pos = lba_page * STORE_PAGE as u64;
+                match injected {
+                    Some(FaultOutcome::Torn { sectors }) => {
+                        // The command dies mid-transfer: whole sectors up
+                        // to the cut persist, the rest never land.
+                        let keep = (sectors as usize * SECTOR_SIZE).min(b.len());
+                        self.dev.store.write_range(pos, &b[..keep])?;
+                        return Err(DeviceError::MediaError { page: lba_page });
+                    }
+                    Some(FaultOutcome::Crash { sectors }) => {
+                        // Power cut: capture the image as the medium
+                        // stands, with a sector-granular prefix of the
+                        // in-flight write applied, then let the live run
+                        // proceed so the workload can finish. The
+                        // crash-consistency harness recovers from the
+                        // captured image.
+                        if let Some(plan) = self.dev.fault.get() {
+                            let mut image = self.dev.store.snapshot();
+                            let keep = (sectors as usize * SECTOR_SIZE).min(b.len());
+                            let end = (pos as usize + keep).min(image.len());
+                            if (pos as usize) < end {
+                                image[pos as usize..end]
+                                    .copy_from_slice(&b[..end - pos as usize]);
+                            }
+                            plan.record_crash(CrashImage { at: now, image });
+                        }
+                        self.dev.store.write_range(pos, b)?;
+                    }
+                    _ => self.dev.store.write_range(pos, b)?,
+                }
             }
             _ => return Err(DeviceError::BufferDirection),
         }
@@ -432,6 +507,95 @@ mod tests {
                 got: STORE_PAGE
             })
         );
+    }
+
+    #[test]
+    fn injected_media_error_fires_once_then_heals() {
+        let dev = NvmeDevice::optane(64);
+        dev.set_fault_plan(Arc::new(
+            FaultPlan::parse("nvme.write:media_error@op=2").unwrap(),
+        ));
+        let qp = dev.create_qpair();
+        let data = vec![7u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Write, 0, 1, BufRef::Shared(&data))
+            .unwrap();
+        assert_eq!(
+            qp.submit(Cycles(0), NvmeOp::Write, 1, 1, BufRef::Shared(&data)),
+            Err(DeviceError::MediaError { page: 1 })
+        );
+        // The failed write never reached the medium.
+        let mut back = vec![0u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Read, 1, 1, BufRef::Mut(&mut back))
+            .unwrap();
+        assert!(back.iter().all(|&b| b == 0));
+        // The retry (op 3) succeeds.
+        qp.submit(Cycles(0), NvmeOp::Write, 1, 1, BufRef::Shared(&data))
+            .unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_sector_prefix_only() {
+        let dev = NvmeDevice::optane(8);
+        dev.set_fault_plan(Arc::new(FaultPlan::parse("nvme.write:torn=3@op=1").unwrap()));
+        let qp = dev.create_qpair();
+        let data = vec![0xAAu8; STORE_PAGE];
+        assert_eq!(
+            qp.submit(Cycles(0), NvmeOp::Write, 2, 1, BufRef::Shared(&data)),
+            Err(DeviceError::MediaError { page: 2 })
+        );
+        let mut back = vec![0u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Read, 2, 1, BufRef::Mut(&mut back))
+            .unwrap();
+        let cut = 3 * SECTOR_SIZE;
+        assert!(back[..cut].iter().all(|&b| b == 0xAA), "prefix persisted");
+        assert!(back[cut..].iter().all(|&b| b == 0), "tail never landed");
+    }
+
+    #[test]
+    fn crash_point_captures_torn_image_and_run_continues() {
+        let dev = NvmeDevice::optane(8);
+        let plan = Arc::new(FaultPlan::parse("nvme.write:crash=2@op=2").unwrap());
+        dev.set_fault_plan(Arc::clone(&plan));
+        let qp = dev.create_qpair();
+        let old = vec![0x11u8; STORE_PAGE];
+        let new = vec![0x22u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Write, 3, 1, BufRef::Shared(&old))
+            .unwrap();
+        // Op 2 overwrites page 3; the cut lands mid-transfer.
+        qp.submit(Cycles(99), NvmeOp::Write, 3, 1, BufRef::Shared(&new))
+            .unwrap();
+        let img = plan.crash_image().expect("crash captured");
+        assert_eq!(img.at, Cycles(99));
+        let page3 = &img.image[3 * STORE_PAGE..4 * STORE_PAGE];
+        let cut = 2 * SECTOR_SIZE;
+        assert!(page3[..cut].iter().all(|&b| b == 0x22), "new prefix");
+        assert!(page3[cut..].iter().all(|&b| b == 0x11), "old tail");
+        // The live device saw the whole write (the run continues).
+        let mut back = vec![0u8; STORE_PAGE];
+        qp.submit(Cycles(100), NvmeOp::Read, 3, 1, BufRef::Mut(&mut back))
+            .unwrap();
+        assert_eq!(back, new);
+        // A recovered device boots from the captured image.
+        let rec = NvmeDevice::from_image(&img.image, NvmeProfile::optane_p4800x());
+        assert_eq!(rec.capacity_pages(), 8);
+        let mut rback = vec![0u8; STORE_PAGE];
+        rec.create_qpair()
+            .submit(Cycles(0), NvmeOp::Read, 3, 1, BufRef::Mut(&mut rback))
+            .unwrap();
+        assert_eq!(&rback[..], page3);
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let dev = NvmeDevice::optane(8);
+        dev.set_fault_plan(Arc::new(FaultPlan::empty()));
+        let qp = dev.create_qpair();
+        let data = vec![1u8; STORE_PAGE];
+        for i in 0..4 {
+            qp.submit(Cycles(0), NvmeOp::Write, i, 1, BufRef::Shared(&data))
+                .unwrap();
+        }
+        assert_eq!(dev.fault_plan().unwrap().injected(), 0);
     }
 
     #[test]

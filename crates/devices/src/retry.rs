@@ -1,0 +1,295 @@
+//! Bounded retry with deterministic backoff, plus a circuit breaker.
+//!
+//! Device commands can now fail transiently (media errors, timeouts,
+//! controller resets — see [`DeviceError::is_transient`]). This module
+//! gives every access path one policy for surviving them: retry up to a
+//! bound with exponential *virtual-cycle* backoff (charged as Idle, so
+//! the schedule stays deterministic), track commands that exceeded the
+//! per-command deadline, and trip a [`CircuitBreaker`] after enough
+//! consecutive failures so a dead device fails fast instead of melting
+//! the run in retry loops. The engine watches the breaker to degrade
+//! the region (Async -> sync write-through -> read-only, DESIGN.md §11).
+//!
+//! `QueueFull` is deliberately *not* retried here: it is backpressure,
+//! owned by the submission loops that pace themselves with it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use aquila_sync::Mutex;
+
+use aquila_sim::{metrics, CostCat, Cycles, SimCtx};
+
+use crate::error::DeviceError;
+
+/// Retry/backoff tuning for a storage path.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total command attempts, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Cycles,
+    /// Consecutive failures (across commands) that trip the breaker.
+    pub breaker_threshold: u32,
+    /// Per-command latency deadline; completions past it bump the
+    /// `aquila.retry.deadline_misses` counter (observability only — the
+    /// simulated device always completes, so there is no abort path).
+    pub command_timeout: Cycles,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: Cycles::from_micros(5),
+            breaker_threshold: 16,
+            command_timeout: Cycles::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based), doubling each time
+    /// with a cap so the exponent cannot overflow.
+    pub fn backoff_for(&self, retry: u32) -> Cycles {
+        self.backoff * (1u64 << retry.saturating_sub(1).min(10))
+    }
+
+    /// Runs `attempt` until it succeeds, exhausts the attempt budget, or
+    /// hits a non-transient error. Transient failures wait the backoff
+    /// (as Idle — the CPU would be parked, not spinning) and feed the
+    /// breaker when one is supplied; when the breaker is or becomes
+    /// open, the call fails fast with [`DeviceError::CircuitOpen`].
+    pub fn run(
+        &self,
+        ctx: &mut dyn SimCtx,
+        breaker: Option<&CircuitBreaker>,
+        mut attempt: impl FnMut(&mut dyn SimCtx) -> Result<(), DeviceError>,
+    ) -> Result<(), DeviceError> {
+        if breaker.is_some_and(|b| b.is_open()) {
+            return Err(DeviceError::CircuitOpen);
+        }
+        let mut tries = 0u32;
+        loop {
+            match attempt(ctx) {
+                Ok(()) => {
+                    if let Some(b) = breaker {
+                        b.record_success();
+                    }
+                    return Ok(());
+                }
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(e) => {
+                    metrics::add(ctx, "aquila.fault.injected", 1);
+                    if let Some(b) = breaker {
+                        if b.record_failure() {
+                            metrics::add(ctx, "aquila.breaker.trips", 1);
+                        }
+                        if b.is_open() {
+                            return Err(DeviceError::CircuitOpen);
+                        }
+                    }
+                    tries += 1;
+                    if tries >= self.max_attempts {
+                        return Err(e);
+                    }
+                    metrics::add(ctx, "aquila.retry.attempts", 1);
+                    let park = ctx.now() + self.backoff_for(tries);
+                    ctx.wait_until(park, CostCat::Idle);
+                }
+            }
+        }
+    }
+
+    /// Records a completed command's observed latency against the
+    /// per-command deadline (no-op without a metrics registry).
+    pub fn observe_latency(&self, ctx: &dyn SimCtx, latency: Cycles) {
+        if latency > self.command_timeout {
+            metrics::add(ctx, "aquila.retry.deadline_misses", 1);
+        }
+    }
+}
+
+/// Trips open after N consecutive command failures; a success before
+/// the threshold resets the count. Once open it stays open — the
+/// engine's degradation machine, not the breaker, decides what happens
+/// next.
+pub struct CircuitBreaker {
+    threshold: u32,
+    consecutive: Mutex<u32>,
+    open: AtomicBool,
+}
+
+impl CircuitBreaker {
+    /// A breaker that trips after `threshold` consecutive failures.
+    pub fn new(threshold: u32) -> Arc<CircuitBreaker> {
+        Arc::new(CircuitBreaker {
+            threshold: threshold.max(1),
+            consecutive: Mutex::new(0),
+            open: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether the breaker has tripped.
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+
+    /// Resets the consecutive-failure count (a command succeeded).
+    pub fn record_success(&self) {
+        *self.consecutive.lock() = 0;
+    }
+
+    /// Counts a failure; returns `true` when this one trips the breaker.
+    pub fn record_failure(&self) -> bool {
+        let mut n = self.consecutive.lock();
+        *n += 1;
+        if *n >= self.threshold && !self.open.swap(true, Ordering::AcqRel) {
+            return true;
+        }
+        false
+    }
+
+    /// Consecutive failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        *self.consecutive.lock()
+    }
+}
+
+impl core::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "CircuitBreaker {{ open: {}, consecutive: {}/{} }}",
+            self.is_open(),
+            self.consecutive_failures(),
+            self.threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aquila_sim::FreeCtx;
+
+    #[test]
+    fn success_passes_through() {
+        let p = RetryPolicy::default();
+        let mut ctx = FreeCtx::new(1);
+        let mut calls = 0;
+        p.run(&mut ctx, None, |_| {
+            calls += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(ctx.now(), Cycles::ZERO, "no backoff on success");
+    }
+
+    #[test]
+    fn transient_errors_retry_with_backoff() {
+        let p = RetryPolicy::default();
+        let mut ctx = FreeCtx::new(1);
+        let mut calls = 0;
+        p.run(&mut ctx, None, |_| {
+            calls += 1;
+            if calls < 3 {
+                Err(DeviceError::Timeout)
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+        assert_eq!(calls, 3);
+        // Two retries: backoff 5 us + 10 us.
+        assert_eq!(ctx.now(), p.backoff_for(1) + p.backoff_for(2));
+    }
+
+    #[test]
+    fn attempt_budget_is_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut ctx = FreeCtx::new(1);
+        let mut calls = 0;
+        let err = p
+            .run(&mut ctx, None, |_| {
+                calls += 1;
+                Err(DeviceError::MediaError { page: 7 })
+            })
+            .unwrap_err();
+        assert_eq!(calls, 3);
+        assert_eq!(err, DeviceError::MediaError { page: 7 });
+    }
+
+    #[test]
+    fn non_transient_errors_do_not_retry() {
+        let p = RetryPolicy::default();
+        let mut ctx = FreeCtx::new(1);
+        let mut calls = 0;
+        let err = p
+            .run(&mut ctx, None, |_| {
+                calls += 1;
+                Err(DeviceError::QueueFull { depth: 8 })
+            })
+            .unwrap_err();
+        assert_eq!(calls, 1, "QueueFull is backpressure, not a retry case");
+        assert_eq!(err, DeviceError::QueueFull { depth: 8 });
+        assert_eq!(ctx.now(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_fails_fast() {
+        let p = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let b = CircuitBreaker::new(3);
+        let mut ctx = FreeCtx::new(1);
+        // Two commands x up-to-2 attempts of pure failure: the third
+        // recorded failure trips the breaker mid-retry.
+        let e1 = p
+            .run(&mut ctx, Some(&b), |_| Err(DeviceError::Timeout))
+            .unwrap_err();
+        assert_eq!(e1, DeviceError::Timeout);
+        let e2 = p
+            .run(&mut ctx, Some(&b), |_| Err(DeviceError::Timeout))
+            .unwrap_err();
+        assert_eq!(e2, DeviceError::CircuitOpen);
+        assert!(b.is_open());
+        // Open breaker fails fast without calling the closure.
+        let mut calls = 0;
+        let e3 = p
+            .run(&mut ctx, Some(&b), |_| {
+                calls += 1;
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(e3, DeviceError::CircuitOpen);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let b = CircuitBreaker::new(2);
+        assert!(!b.record_failure());
+        b.record_success();
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "second consecutive failure trips");
+        assert!(!b.record_failure(), "trip reports only once");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            backoff: Cycles(100),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_for(1), Cycles(100));
+        assert_eq!(p.backoff_for(2), Cycles(200));
+        assert_eq!(p.backoff_for(3), Cycles(400));
+        assert_eq!(p.backoff_for(40), Cycles(100 * 1024), "exponent capped");
+    }
+}

@@ -33,6 +33,8 @@ const APPEND_COST: Cycles = Cycles(600);
 const PAGE: u64 = 4096;
 /// First log page (after the superblock area).
 const LOG_START: u64 = 16 * PAGE;
+/// Commit-record magic ("KRILLCMT") at offset 0 of the superblock.
+const COMMIT_MAGIC: u64 = 0x4b52_494c_4c43_4d54;
 
 /// Krill tuning.
 #[derive(Debug, Clone)]
@@ -93,6 +95,11 @@ pub enum KrillError {
     IndexFull,
     /// Key or value too large for the record encoding.
     TooLarge,
+    /// Reopen found no valid commit record in the superblock.
+    NoCommitRecord,
+    /// Reopen found a commit record pointing at a log that does not
+    /// parse up to the committed head.
+    CorruptLog,
 }
 
 impl Krill {
@@ -114,6 +121,73 @@ impl Krill {
             cfg,
             log_end,
         }
+    }
+
+    /// Makes every key acknowledged so far crash-durable: syncs the
+    /// value log, then writes + syncs a superblock commit record naming
+    /// the durable log head. Data goes down before the metadata that
+    /// points at it, so a crash between the two syncs leaves the
+    /// previous commit record valid (the new tail is simply garbage
+    /// beyond the old committed head).
+    pub fn commit(&self, ctx: &mut dyn SimCtx) {
+        let log_head = self.state.lock().log_head;
+        if log_head > LOG_START {
+            self.region.sync(ctx, LOG_START, log_head - LOG_START);
+        }
+        let mut rec = [0u8; 24];
+        rec[0..8].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+        rec[8..16].copy_from_slice(&log_head.to_le_bytes());
+        rec[16..24].copy_from_slice(&(COMMIT_MAGIC ^ log_head).to_le_bytes());
+        self.region.write(ctx, 0, &rec);
+        self.region.sync(ctx, 0, PAGE);
+    }
+
+    /// Reopens a committed store after a crash: validates the superblock
+    /// commit record and replays the value log up to the committed head,
+    /// rebuilding the key index in memory. Index runs are *not* restored
+    /// — like Kreon, they are a rebuildable cache of the log, so the
+    /// replayed index starts in L0 and spills again as the store runs.
+    /// Every key acknowledged by [`Krill::commit`] is served; anything
+    /// appended after the last commit is ignored.
+    pub fn reopen(
+        ctx: &mut dyn SimCtx,
+        region: Arc<dyn MemRegion>,
+        cfg: KrillConfig,
+    ) -> Result<Krill, KrillError> {
+        let mut rec = [0u8; 24];
+        region.read(ctx, 0, &mut rec);
+        let magic = u64::from_le_bytes(rec[0..8].try_into().expect("8-byte slice"));
+        let head = u64::from_le_bytes(rec[8..16].try_into().expect("8-byte slice"));
+        let check = u64::from_le_bytes(rec[16..24].try_into().expect("8-byte slice"));
+        if magic != COMMIT_MAGIC || check != COMMIT_MAGIC ^ head {
+            return Err(KrillError::NoCommitRecord);
+        }
+        let db = Krill::new(region, cfg);
+        if head < LOG_START || head > db.log_end {
+            return Err(KrillError::CorruptLog);
+        }
+        let mut l0: BTreeMap<Vec<u8>, (u64, u32)> = BTreeMap::new();
+        let mut off = LOG_START;
+        while off < head {
+            ctx.charge(CostCat::App, APPEND_COST);
+            let mut hdr = [0u8; 4];
+            db.region.read(ctx, off, &mut hdr);
+            let klen = u16::from_le_bytes([hdr[0], hdr[1]]) as u64;
+            let vlen = u16::from_le_bytes([hdr[2], hdr[3]]) as u64;
+            if klen == 0 || off + 4 + klen + vlen > head {
+                return Err(KrillError::CorruptLog);
+            }
+            let mut key = vec![0u8; klen as usize];
+            db.region.read(ctx, off + 4, &mut key);
+            l0.insert(key, (off, vlen as u32));
+            off += 4 + klen + vlen;
+        }
+        {
+            let mut st = db.state.lock();
+            st.l0 = l0;
+            st.log_head = head;
+        }
+        Ok(db)
     }
 
     /// Bytes of log space used.
@@ -509,6 +583,85 @@ mod tests {
             }
         }
         assert_eq!(err, Some(KrillError::LogFull));
+    }
+
+    #[test]
+    fn commit_then_reopen_serves_every_acknowledged_key() {
+        let region: Arc<dyn MemRegion> = Arc::new(DramRegion::new(64 << 20));
+        let db = Krill::new(
+            Arc::clone(&region),
+            KrillConfig {
+                l0_entries: 64,
+                max_runs: 2,
+                log_frac: 0.6,
+            },
+        );
+        let mut ctx = FreeCtx::new(9);
+        for i in 0..500u64 {
+            let (k, v) = kv(i);
+            db.put(&mut ctx, &k, &v).unwrap();
+        }
+        db.commit(&mut ctx);
+        // Uncommitted tail: appended after the commit, allowed to vanish.
+        db.put(&mut ctx, b"tail-key", b"tail-val").unwrap();
+        drop(db);
+
+        let db2 = Krill::reopen(
+            &mut ctx,
+            region,
+            KrillConfig {
+                l0_entries: 64,
+                max_runs: 2,
+                log_frac: 0.6,
+            },
+        )
+        .unwrap();
+        for i in 0..500u64 {
+            let (k, v) = kv(i);
+            assert_eq!(db2.get(&mut ctx, &k), Some(v), "key {i}");
+        }
+        assert_eq!(db2.get(&mut ctx, b"tail-key"), None, "uncommitted tail");
+    }
+
+    #[test]
+    fn reopen_replays_overwrites_newest_wins() {
+        let region: Arc<dyn MemRegion> = Arc::new(DramRegion::new(64 << 20));
+        let db = Krill::new(Arc::clone(&region), KrillConfig::default());
+        let mut ctx = FreeCtx::new(9);
+        db.put(&mut ctx, b"k", b"old").unwrap();
+        db.put(&mut ctx, b"k", b"new").unwrap();
+        db.commit(&mut ctx);
+        let db2 = Krill::reopen(&mut ctx, region, KrillConfig::default()).unwrap();
+        assert_eq!(db2.get(&mut ctx, b"k"), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn reopen_without_commit_is_typed_error() {
+        let region: Arc<dyn MemRegion> = Arc::new(DramRegion::new(64 << 20));
+        let db = Krill::new(Arc::clone(&region), KrillConfig::default());
+        let mut ctx = FreeCtx::new(9);
+        db.put(&mut ctx, b"k", b"v").unwrap();
+        drop(db); // Never committed.
+        assert_eq!(
+            Krill::reopen(&mut ctx, region, KrillConfig::default()).err(),
+            Some(KrillError::NoCommitRecord)
+        );
+    }
+
+    #[test]
+    fn reopen_rejects_commit_record_past_log_end() {
+        let region: Arc<dyn MemRegion> = Arc::new(DramRegion::new(LOG_START + 256 * 4096));
+        let mut ctx = FreeCtx::new(9);
+        let bogus_head = u64::MAX / 2;
+        let mut rec = [0u8; 24];
+        rec[0..8].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+        rec[8..16].copy_from_slice(&bogus_head.to_le_bytes());
+        rec[16..24].copy_from_slice(&(COMMIT_MAGIC ^ bogus_head).to_le_bytes());
+        region.write(&mut ctx, 0, &rec);
+        assert_eq!(
+            Krill::reopen(&mut ctx, region, KrillConfig::default()).err(),
+            Some(KrillError::CorruptLog)
+        );
     }
 
     #[test]

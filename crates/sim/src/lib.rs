@@ -16,13 +16,17 @@
 //!   machinery behind every figure;
 //! - [`trace`] and [`metrics`] — cycle-stamped event tracing (with a
 //!   Chrome `trace_event` exporter for Perfetto) and a registry of named
-//!   per-core counters/gauges, both zero-cost when not installed.
+//!   per-core counters/gauges, both zero-cost when not installed;
+//! - [`fault`] — schedule-deterministic fault plans (media errors,
+//!   timeouts, torn writes, power cuts) that device models consult at
+//!   chosen operation counts or cycle points, zero-cost when empty.
 //!
 //! Everything is deterministic: a run is a pure function of the seed, the
 //! cost model, and the workload parameters.
 
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod hist;
 pub mod metrics;
 pub mod race;
@@ -35,6 +39,10 @@ pub mod trace;
 
 pub use cost::{CostCat, CostModel};
 pub use engine::{CoreDebts, Engine, FreeCtx, RunReport, SimCtx, Step, ThreadCtx, ThreadFn};
+pub use fault::{
+    CrashImage, FaultClause, FaultKind, FaultOutcome, FaultPlan, FaultSpecError, FaultTarget,
+    FaultTrigger, SECTOR_SIZE,
+};
 pub use hist::LatencyHist;
 pub use metrics::{MetricId, MetricKind, MetricsRegistry, MetricsSnapshot};
 pub use race::{RaceDetector, RaceStats};

@@ -29,8 +29,10 @@ trap 'rm -rf "$tmp"' EXIT
 cargo run --release -q -p aquila-bench --bin fig8 -- c \
     --json "$tmp/r.json" --trace "$tmp/t.json" > "$tmp/stdout.txt"
 
-grep -q '"schema_version": 1' "$tmp/r.json" ||
-    { echo "FAIL: JSON record missing schema_version 1" >&2; exit 1; }
+grep -q '"schema_version": 2' "$tmp/r.json" ||
+    { echo "FAIL: JSON record missing schema_version 2" >&2; exit 1; }
+grep -q '"faults"' "$tmp/r.json" ||
+    { echo "FAIL: JSON record missing faults section" >&2; exit 1; }
 grep -q '"traceEvents"' "$tmp/t.json" ||
     { echo "FAIL: trace file missing traceEvents" >&2; exit 1; }
 grep -q 'aquila.fault' "$tmp/t.json" ||
@@ -58,6 +60,31 @@ grep -q '"async-qd4/speedup_over_sync"' "$tmp/sweep.json" ||
 awk -F': ' '/"async-qd4\/speedup_over_sync"/ { exit ($2 + 0 > 1.0) ? 0 : 1 }' \
     "$tmp/sweep.json" ||
     { echo "FAIL: async write-behind at qd4 is not faster than sync" >&2; exit 1; }
+
+step "fault-injection sweep smoke run (sweep qd --faults --race, twice, bit-identical)"
+fault_spec='nvme.write:media_error@op=40'
+cargo run --release -q -p aquila-bench --bin sweep -- qd --race \
+    --faults "$fault_spec" --json "$tmp/f1.json" > "$tmp/fault1.txt"
+cargo run --release -q -p aquila-bench --bin sweep -- qd --race \
+    --faults "$fault_spec" --json "$tmp/f2.json" > "$tmp/fault2.txt"
+# The runs write to distinct JSON paths and stdout echoes the path it
+# wrote, so strip that one line before comparing.
+diff <(grep -v 'wrote JSON record' "$tmp/fault1.txt") \
+     <(grep -v 'wrote JSON record' "$tmp/fault2.txt") &&
+    diff "$tmp/f1.json" "$tmp/f2.json" ||
+    { echo "FAIL: fault-injected runs are not bit-identical" >&2; exit 1; }
+grep -q 'race detector: 0 findings' "$tmp/fault1.txt" ||
+    { echo "FAIL: race detector reported findings under fault injection" >&2; exit 1; }
+grep -q '"injected": 1' "$tmp/f1.json" ||
+    { echo "FAIL: fault counter missing from fault-injected JSON record" >&2; exit 1; }
+
+step "crash-consistency smoke (seeded power cut before any writeback)"
+# The full >=100-cut-point property sweep runs under `cargo test
+# --workspace` above (crates/core/tests/crash_consistency.rs); this step
+# re-runs the cheap recovery case in release mode as a targeted smoke.
+cargo test --release -q -p aquila --test crash_consistency \
+    cut_before_any_writeback_recovers_empty_file
+cargo test --release -q -p aquila-kvstore --test krill_recovery
 
 echo
 echo "verify: all checks passed"

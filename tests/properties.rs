@@ -372,6 +372,7 @@ fn write_behind_device_image(seed: u64, pipeline: bool) -> Vec<u8> {
             write_policy: WritePolicy::Async,
             queue_depth: 8,
             evict_batch: 16,
+            ..MmioPolicy::default()
         }
     } else {
         MmioPolicy {
