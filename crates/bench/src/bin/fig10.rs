@@ -9,8 +9,8 @@
 
 use std::sync::Arc;
 
-use aquila::DeviceKind;
-use aquila_bench::micro::{micro_aquila, micro_linux, prepare_micro, run_micro, Micro};
+use aquila::{DeviceKind, MmioPolicy};
+use aquila_bench::micro::{micro_aquila_policy, micro_linux, prepare_micro, run_micro, Micro};
 use aquila_bench::report::{banner, print_rows, JsonReport, Row};
 use aquila_bench::{BenchArgs, Dev, Runner};
 use aquila_sim::CoreDebts;
@@ -21,12 +21,20 @@ struct Scale {
     threads: Vec<usize>,
 }
 
-fn scales(full: bool) -> Scale {
-    if full {
+fn scales(args: &BenchArgs) -> Scale {
+    if args.has_flag("--full") {
         Scale {
             pages_per_file: 16384, // 64 MiB per file.
             ops_per_thread: 3000,
             threads: vec![1, 2, 4, 8, 16, 32],
+        }
+    } else if args.has_flag("--tiny") {
+        // CI-sized: enough to exercise promotion (>2 MiB per file) and
+        // cross-core shootdowns, small enough for a double run.
+        Scale {
+            pages_per_file: 1024, // 4 MiB per file.
+            ops_per_thread: 300,
+            threads: vec![1, 4],
         }
     } else {
         Scale {
@@ -42,15 +50,22 @@ fn main() {
     // flag spellings select the same parts.
     Runner::new("fig10", "Microbenchmark scalability, shared vs private files")
         .part("fit", "(a) dataset fits in memory", |args, r| {
-            run_case(&scales(args.has_flag("--full")), true, r)
+            run_case(&scales(args), true, args.has_flag("--huge"), r)
         })
         .part("nofit", "(b) dataset 12x the cache", |args, r| {
-            run_case(&scales(args.has_flag("--full")), false, r)
+            run_case(&scales(args), false, args.has_flag("--huge"), r)
         })
         .run(BenchArgs::parse(), "all");
 }
 
-fn build(aquila: bool, fit: bool, threads: usize, sc: &Scale, shared: bool) -> Arc<Micro> {
+fn build(
+    aquila: bool,
+    fit: bool,
+    huge: bool,
+    threads: usize,
+    sc: &Scale,
+    shared: bool,
+) -> Arc<Micro> {
     let debts = Arc::new(CoreDebts::new(threads));
     // Private-file mode sizes the dataset with the thread count, as the
     // paper's per-thread files do.
@@ -63,14 +78,24 @@ fn build(aquila: bool, fit: bool, threads: usize, sc: &Scale, shared: bool) -> A
     } else {
         (total_pages / 12) as usize
     };
+    let policy = if huge {
+        MmioPolicy {
+            huge_pages: true,
+            promote_threshold: 64,
+            ..MmioPolicy::default()
+        }
+    } else {
+        MmioPolicy::default()
+    };
     Arc::new(if aquila {
-        micro_aquila(
+        micro_aquila_policy(
             DeviceKind::PmemDax,
             threads,
             cache,
             nfiles,
             sc.pages_per_file,
             debts,
+            policy,
         )
     } else {
         micro_linux(
@@ -85,7 +110,7 @@ fn build(aquila: bool, fit: bool, threads: usize, sc: &Scale, shared: bool) -> A
     })
 }
 
-fn run_case(sc: &Scale, fit: bool, json: &mut JsonReport) {
+fn run_case(sc: &Scale, fit: bool, huge: bool, json: &mut JsonReport) {
     let case = if fit {
         "(a) dataset fits in memory"
     } else {
@@ -112,7 +137,7 @@ fn run_case(sc: &Scale, fit: bool, json: &mut JsonReport) {
         for &t in &sc.threads {
             let mut pair = Vec::new();
             for aquila in [false, true] {
-                let micro = build(aquila, fit, t, sc, shared);
+                let micro = build(aquila, fit, huge, t, sc, shared);
                 prepare_micro(&micro, fit);
                 let r = run_micro(
                     Arc::clone(&micro),

@@ -14,22 +14,36 @@
 
 use std::sync::Arc;
 
-use aquila::DeviceKind;
-use aquila_bench::micro::{micro_aquila, micro_linux, prepare_micro, run_micro};
+use aquila::{DeviceKind, MmioPolicy};
+use aquila_bench::micro::{micro_aquila_policy, micro_linux, prepare_micro, run_micro};
 use aquila_bench::report::{banner, print_breakdown_per_op, JsonReport};
 use aquila_bench::{BenchArgs, Dev, Runner};
 use aquila_sim::CoreDebts;
 
+/// Aquila policy for the run: `--huge` turns on transparent 2 MiB
+/// promotion (khugepaged-style, threshold 64 resident pages per run).
+fn aquila_policy(args: &BenchArgs) -> MmioPolicy {
+    if args.has_flag("--huge") {
+        MmioPolicy {
+            huge_pages: true,
+            promote_threshold: 64,
+            ..MmioPolicy::default()
+        }
+    } else {
+        MmioPolicy::default()
+    }
+}
+
 fn main() {
     Runner::new("fig8", "Page-fault overhead breakdowns")
-        .part("a", "fault cost, dataset fits in memory (pmem)", |_, r| {
-            part_a(r)
+        .part("a", "fault cost, dataset fits in memory (pmem)", |args, r| {
+            part_a(&aquila_policy(args), r)
         })
-        .part("b", "fault cost with evictions in the common path", |_, r| {
-            part_b(r)
+        .part("b", "fault cost with evictions in the common path", |args, r| {
+            part_b(&aquila_policy(args), r)
         })
-        .part("c", "device access paths (DAX/SPDK vs host kernel)", |_, r| {
-            part_c(r)
+        .part("c", "device access paths (DAX/SPDK vs host kernel)", |args, r| {
+            part_c(&aquila_policy(args), r)
         })
         .run(BenchArgs::parse(), "all");
 }
@@ -37,14 +51,22 @@ fn main() {
 /// Single-threaded fault-cost probe: every access faults (cache warm,
 /// mappings dropped), pmem device.
 fn fault_cost(
-    aquila: bool,
+    aquila: Option<&MmioPolicy>,
     warm: bool,
     cache_frames: usize,
     pages: u64,
 ) -> (f64, aquila_sim::Breakdown, u64) {
     let debts = Arc::new(CoreDebts::new(1));
-    let micro = Arc::new(if aquila {
-        micro_aquila(DeviceKind::PmemDax, 1, cache_frames, 1, pages, debts)
+    let micro = Arc::new(if let Some(policy) = aquila {
+        micro_aquila_policy(
+            DeviceKind::PmemDax,
+            1,
+            cache_frames,
+            1,
+            pages,
+            debts,
+            policy.clone(),
+        )
     } else {
         micro_linux(false, Dev::Pmem, 1, cache_frames, 1, pages, debts)
     });
@@ -55,15 +77,15 @@ fn fault_cost(
     (r.elapsed.get() as f64 / faults as f64, r.breakdown, faults)
 }
 
-fn part_a(report: &mut JsonReport) {
+fn part_a(policy: &MmioPolicy, report: &mut JsonReport) {
     banner(
         "Figure 8(a): page-fault overhead, dataset fits in memory (pmem)",
         "Linux 5380 cycles total (49% device I/O, 24% trap); Aquila trap 552 vs 1287 (2.33x)",
     );
     // The paper's 8(a) faults fill from the pmem device (no evictions):
     // cold cache sized to hold the whole dataset.
-    let (lx, lxb, lxf) = fault_cost(false, false, 16384, 8192);
-    let (aq, aqb, aqf) = fault_cost(true, false, 16384, 8192);
+    let (lx, lxb, lxf) = fault_cost(None, false, 16384, 8192);
+    let (aq, aqb, aqf) = fault_cost(Some(policy), false, 16384, 8192);
     println!("Linux  mmap  (device fill): {lx:.0} cycles/fault");
     print_breakdown_per_op("  components", &lxb, lxf);
     println!("Aquila mmio  (device fill): {aq:.0} cycles/fault");
@@ -73,23 +95,23 @@ fn part_a(report: &mut JsonReport) {
     report.add_breakdown("8a/aquila-device-fill", &aqb, aqf);
     report.add_scalar("8a/linux_over_aquila", lx / aq);
     // And the pure protection-switch comparison (page already cached).
-    let (lxh, _, _) = fault_cost(false, true, 16384, 8192);
-    let (aqh, _, _) = fault_cost(true, true, 16384, 8192);
+    let (lxh, _, _) = fault_cost(None, true, 16384, 8192);
+    let (aqh, _, _) = fault_cost(Some(policy), true, 16384, 8192);
     println!("Linux  mmap  (cache hit)  : {lxh:.0} cycles/fault");
     println!("Aquila mmio  (cache hit)  : {aqh:.0} cycles/fault (paper: 2179)");
     report.add_scalar("8a/linux_cache_hit_cycles", lxh);
     report.add_scalar("8a/aquila_cache_hit_cycles", aqh);
 }
 
-fn part_b(report: &mut JsonReport) {
+fn part_b(policy: &MmioPolicy, report: &mut JsonReport) {
     banner(
         "Figure 8(b): page-fault overhead with evictions (cache 1/8 of dataset)",
         "Aquila 2.06x lower than Linux mmap; no Aquila component above ~10%",
     );
     // Dataset 8x the cache: every fault is major and eviction runs in the
     // common path.
-    let (lx, lxb, lxf) = fault_cost(false, false, 1024, 8192);
-    let (aq, aqb, aqf) = fault_cost(true, false, 1024, 8192);
+    let (lx, lxb, lxf) = fault_cost(None, false, 1024, 8192);
+    let (aq, aqb, aqf) = fault_cost(Some(policy), false, 1024, 8192);
     println!("Linux  mmap : {lx:.0} cycles/fault");
     print_breakdown_per_op("  components", &lxb, lxf);
     println!("Aquila mmio : {aq:.0} cycles/fault");
@@ -100,7 +122,7 @@ fn part_b(report: &mut JsonReport) {
     report.add_scalar("8b/linux_over_aquila", lx / aq);
 }
 
-fn part_c(report: &mut JsonReport) {
+fn part_c(policy: &MmioPolicy, report: &mut JsonReport) {
     banner(
         "Figure 8(c): Aquila device access paths (cycles per fault)",
         "Cache-Hit 2179; HOST-pmem/DAX-pmem = 7.77x; HOST-NVMe/SPDK-NVMe = 1.53x",
@@ -108,7 +130,7 @@ fn part_c(report: &mut JsonReport) {
     let mut results: Vec<(&str, f64)> = Vec::new();
 
     // Cache-Hit: warm cache, pmem (no device I/O on the fault path).
-    let (hit, _, _) = fault_cost(true, true, 16384, 8192);
+    let (hit, _, _) = fault_cost(Some(policy), true, 16384, 8192);
     results.push(("Cache-Hit", hit));
 
     // Cold-cache fault cost per access path.
@@ -119,7 +141,15 @@ fn part_c(report: &mut JsonReport) {
         ("HOST-NVMe", DeviceKind::NvmeHost),
     ] {
         let debts = Arc::new(CoreDebts::new(1));
-        let micro = Arc::new(micro_aquila(kind, 1, 16384, 1, 8192, debts));
+        let micro = Arc::new(micro_aquila_policy(
+            kind,
+            1,
+            16384,
+            1,
+            8192,
+            debts,
+            policy.clone(),
+        ));
         prepare_micro(&micro, false);
         let r = run_micro(micro, 1, 3000, true, 0xF8);
         let faults = r.counters.page_faults.max(1);

@@ -14,7 +14,10 @@
 //! says write-behind overlap buys its latency hiding.
 //!
 //! Parts: `qd` sweeps sync vs async x queue depth {1,2,4,8}; `watermark`
-//! sweeps the low/high watermark pair at fixed depth 4.
+//! sweeps the low/high watermark pair at fixed depth 4; `tlb` compares
+//! 4 KiB mappings against transparent 2 MiB promotion on a sequential
+//! in-cache scan whose footprint exceeds the 4 KiB dTLB reach (dTLB miss
+//! rate and fault-path cycles per touched page).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -193,9 +196,148 @@ fn part_watermark(args: &BenchArgs, json: &mut JsonReport) {
     print_cells(&cells, json);
 }
 
+// ---------------------------------------------------------------------
+// Part `tlb`: page-size-aware TLB model, 4 KiB vs transparent 2 MiB.
+// ---------------------------------------------------------------------
+
+/// 16 MiB scanned sequentially: larger than the 4 KiB dTLB reach, well
+/// inside the 2 MiB sub-TLB reach once promoted.
+const TLB_FILE_PAGES: u64 = 4096;
+const TLB_CACHE_FRAMES: usize = 8192;
+const TLB_PASSES: u64 = 4;
+
+struct TlbCell {
+    label: String,
+    fault_cycles_per_page: f64,
+    faults: u64,
+    miss_rate: f64,
+    scan_accesses: u64,
+    scan_cycles_per_access: f64,
+    promoted_runs: usize,
+    huge_hits: u64,
+}
+
+/// One `tlb` cell: a single vcore touches the file once (cold, fault-path
+/// cycles per page), then scans it `TLB_PASSES` times warm with mappings
+/// intact (dTLB miss rate).
+fn run_tlb_cell(label: &str, policy: MmioPolicy) -> TlbCell {
+    let mut ctx = aquila_sim::FreeCtx::new(0x71B);
+    let debts = Arc::new(aquila_sim::CoreDebts::new(1));
+    let rt = AquilaRuntime::build_with_policy(
+        &mut ctx,
+        DeviceKind::PmemDax,
+        TLB_FILE_PAGES + 4096,
+        TLB_CACHE_FRAMES,
+        1,
+        debts,
+        policy,
+    );
+    rt.aquila.thread_enter(&mut ctx);
+    let f = rt.open("/tlb", TLB_FILE_PAGES).expect("open");
+    let addr = rt
+        .aquila
+        .mmap(&mut ctx, f, 0, TLB_FILE_PAGES, Prot::RW)
+        .expect("mmap");
+    rt.aquila
+        .madvise(&mut ctx, addr, TLB_FILE_PAGES, Advice::Sequential)
+        .expect("madvise");
+    // Cold touch: cycles spent on accesses that fault, per touched page.
+    // With promotion enabled one fault can map 512 pages, so most pages
+    // never fault at all.
+    let mut buf = [0u8; 64];
+    let mut fault_cycles = 0u64;
+    for p in 0..TLB_FILE_PAGES {
+        let pf0 = ctx.stats.page_faults;
+        let t0 = ctx.now();
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut buf)
+            .expect("touch");
+        if ctx.stats.page_faults > pf0 {
+            fault_cycles += (ctx.now() - t0).get();
+        }
+    }
+    let faults = ctx.stats.page_faults;
+    // Warm scan, mappings intact: pure translation behaviour.
+    let (h0, m0) = rt.aquila.tlb_stats();
+    let t0 = ctx.now();
+    for _ in 0..TLB_PASSES {
+        for p in 0..TLB_FILE_PAGES {
+            rt.aquila
+                .read(&mut ctx, addr.add(p * 4096), &mut buf)
+                .expect("scan");
+        }
+    }
+    let scan_cycles = (ctx.now() - t0).get();
+    let (h1, m1) = rt.aquila.tlb_stats();
+    let accesses = (h1 - h0) + (m1 - m0);
+    TlbCell {
+        label: label.to_string(),
+        fault_cycles_per_page: fault_cycles as f64 / TLB_FILE_PAGES as f64,
+        faults,
+        miss_rate: (m1 - m0) as f64 / accesses.max(1) as f64,
+        scan_accesses: accesses,
+        scan_cycles_per_access: scan_cycles as f64 / accesses.max(1) as f64,
+        promoted_runs: rt.aquila.promoted_runs(),
+        huge_hits: rt.aquila.tlb_huge_hits(),
+    }
+}
+
+fn part_tlb(_args: &BenchArgs, json: &mut JsonReport) {
+    banner(
+        "TLB sweep: sequential in-cache scan, 4 KiB mappings vs transparent 2 MiB promotion",
+        "expected: >=4x lower dTLB miss rate and lower fault-path cycles per page with promotion on",
+    );
+    let cells = [
+        run_tlb_cell("4k", MmioPolicy::default()),
+        run_tlb_cell(
+            "2m",
+            MmioPolicy {
+                huge_pages: true,
+                promote_threshold: 64,
+                ..MmioPolicy::default()
+            },
+        ),
+    ];
+    println!(
+        "{:<6} {:>16} {:>8} {:>14} {:>14} {:>9} {:>10}",
+        "policy", "fault cyc/page", "faults", "dTLB miss", "scan cyc/acc", "promoted", "huge hits"
+    );
+    for c in &cells {
+        println!(
+            "{:<6} {:>16.0} {:>8} {:>13.2}% {:>14.0} {:>9} {:>10}",
+            c.label,
+            c.fault_cycles_per_page,
+            c.faults,
+            c.miss_rate * 100.0,
+            c.scan_cycles_per_access,
+            c.promoted_runs,
+            c.huge_hits
+        );
+        json.add_scalar(format!("tlb/{}/fault_cycles_per_page", c.label), c.fault_cycles_per_page);
+        json.add_scalar(format!("tlb/{}/faults", c.label), c.faults as f64);
+        json.add_scalar(format!("tlb/{}/dtlb_miss_rate", c.label), c.miss_rate);
+        json.add_scalar(
+            format!("tlb/{}/scan_cycles_per_access", c.label),
+            c.scan_cycles_per_access,
+        );
+        json.add_scalar(format!("tlb/{}/promoted_runs", c.label), c.promoted_runs as f64);
+        json.add_scalar(format!("tlb/{}/huge_tlb_hits", c.label), c.huge_hits as f64);
+    }
+    // Floor the promoted miss rate at one miss per scan so a perfect
+    // zero-miss run reports a finite, interpretable ratio.
+    let floor = 1.0 / cells[1].scan_accesses.max(1) as f64;
+    let miss_improvement = cells[0].miss_rate / cells[1].miss_rate.max(floor);
+    let fault_reduction = cells[0].fault_cycles_per_page / cells[1].fault_cycles_per_page.max(1e-9);
+    println!("  -> dTLB miss rate : {miss_improvement:.1}x lower with 2 MiB promotion");
+    println!("  -> fault-path work: {fault_reduction:.1}x fewer cycles per touched page");
+    json.add_scalar("tlb/dtlb_miss_improvement", miss_improvement);
+    json.add_scalar("tlb/fault_cycle_reduction", fault_reduction);
+}
+
 fn main() {
     Runner::new("sweep", "Sync vs async write-behind across queue depth and watermarks")
         .part("qd", "sync vs async x NVMe queue depth {1,2,4,8}", part_qd)
         .part("watermark", "async watermark placement at queue depth 4", part_watermark)
+        .part("tlb", "dTLB miss rate and fault cycles, 4 KiB vs 2 MiB", part_tlb)
         .run(BenchArgs::parse(), "all");
 }

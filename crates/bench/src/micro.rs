@@ -14,7 +14,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use aquila::{Advice, Aquila, AquilaRuntime, DeviceKind, FileId, Gva, Prot};
+use aquila::{Advice, Aquila, AquilaRuntime, DeviceKind, FileId, Gva, MmioPolicy, Prot};
 use aquila_devices::{NvmeDevice, PmemDevice, StorageAccess};
 use aquila_linuxsim::{KernelDevice, LinuxConfig, LinuxFileId, LinuxMmap};
 use aquila_sim::{
@@ -168,9 +168,40 @@ pub fn micro_aquila(
     pages_per_file: u64,
     debts: Arc<CoreDebts>,
 ) -> Micro {
+    micro_aquila_policy(
+        kind,
+        cores,
+        cache_frames,
+        nfiles,
+        pages_per_file,
+        debts,
+        MmioPolicy::default(),
+    )
+}
+
+/// [`micro_aquila`] with an explicit [`MmioPolicy`] (used by the `--huge`
+/// benchmark variants to enable transparent 2 MiB promotion).
+pub fn micro_aquila_policy(
+    kind: DeviceKind,
+    cores: usize,
+    cache_frames: usize,
+    nfiles: usize,
+    pages_per_file: u64,
+    debts: Arc<CoreDebts>,
+    policy: MmioPolicy,
+) -> Micro {
     let mut ctx = FreeCtx::new(0xA0);
     let device_pages = (nfiles as u64 + 1) * (pages_per_file + 512) + 4096;
-    let rt = AquilaRuntime::build(&mut ctx, kind, device_pages, cache_frames, cores, debts);
+    let huge = policy.huge_pages;
+    let rt = AquilaRuntime::build_with_policy(
+        &mut ctx,
+        kind,
+        device_pages,
+        cache_frames,
+        cores,
+        debts,
+        policy,
+    );
     let mut files = Vec::new();
     let mut bases = Vec::new();
     for i in 0..nfiles {
@@ -188,7 +219,7 @@ pub fn micro_aquila(
         bases.push(b);
     }
     Micro {
-        label: format!("aquila/{:?}", rt.kind),
+        label: format!("aquila/{:?}{}", rt.kind, if huge { "+2M" } else { "" }),
         inner: Inner::Aquila {
             aquila: Arc::clone(&rt.aquila),
             access: Arc::clone(&rt.access),

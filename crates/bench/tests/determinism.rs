@@ -43,8 +43,12 @@ fn run_bin_with(exe: &str, part: &str, tag: &str, extra: &[&str]) -> (Output, Ve
 }
 
 fn assert_double_run_identical(exe: &str, part: &str, tag: &str) -> String {
-    let (out1, json1, trace1) = run_bin(exe, part, &format!("{tag}-one"));
-    let (out2, json2, trace2) = run_bin(exe, part, &format!("{tag}-two"));
+    assert_double_run_identical_with(exe, part, tag, &[])
+}
+
+fn assert_double_run_identical_with(exe: &str, part: &str, tag: &str, extra: &[&str]) -> String {
+    let (out1, json1, trace1) = run_bin_with(exe, part, &format!("{tag}-one"), extra);
+    let (out2, json2, trace2) = run_bin_with(exe, part, &format!("{tag}-two"), extra);
 
     assert_eq!(
         out1.stdout, out2.stdout,
@@ -77,6 +81,36 @@ fn sweep_async_pipeline_is_bit_identical_across_runs() {
     assert!(
         stdout.contains("async-qd4"),
         "sweep must exercise the async pipeline:\n{stdout}"
+    );
+}
+
+/// The page-size-aware TLB sweep — transparent 2 MiB promotion, the
+/// huge sub-TLB, and the hole-filling collapse path — is a bit-identical
+/// pure function of its arguments, with the race detector clean.
+#[test]
+fn sweep_tlb_part_is_bit_identical_across_runs() {
+    let stdout = assert_double_run_identical(env!("CARGO_BIN_EXE_sweep"), "tlb", "tlb");
+    assert!(
+        stdout.contains("2m"),
+        "tlb sweep must run the promoted cell:\n{stdout}"
+    );
+}
+
+/// Figure 10 with `--huge`: the multi-core promotion/demotion machinery
+/// (candidacy scans under the fault lock, batched shootdowns, munmap
+/// splintering on every `drop_mappings`) runs race-clean and
+/// deterministically.
+#[test]
+fn fig10_with_huge_pages_is_race_clean_and_deterministic() {
+    let stdout = assert_double_run_identical_with(
+        env!("CARGO_BIN_EXE_fig10"),
+        "fit",
+        "fig10-huge",
+        &["--huge", "--tiny"],
+    );
+    assert!(
+        stdout.contains("+2M"),
+        "fig10 --huge must label the promoted engine:\n{stdout}"
     );
 }
 

@@ -71,6 +71,18 @@ pub struct MmioPolicy {
     /// write-through (DESIGN.md §11). Only meaningful under
     /// [`WritePolicy::Async`]; [`Cycles::MAX`] disables the deadline.
     pub stall_deadline: Cycles,
+    /// Enables transparent 2 MiB huge-page promotion (DESIGN.md §12):
+    /// 2 MiB-aligned runs of resident file pages collapse into a single
+    /// PD-level PTE backed by a physically contiguous slab run.
+    pub huge_pages: bool,
+    /// Resident 4 KiB pages (out of 512) a 2 MiB-aligned run needs before
+    /// promotion triggers; the remainder is filled eagerly from the
+    /// device during collapse. Clamped to `1..=512` at engine boot.
+    pub promote_threshold: usize,
+    /// Upper bound on promoted cache share, in percent of
+    /// `max_cache_frames` (sizes the slab pool: promotion stops when all
+    /// slab runs are in use). Clamped to `1..=100` at engine boot.
+    pub max_promoted_share: usize,
 }
 
 impl Default for MmioPolicy {
@@ -84,6 +96,9 @@ impl Default for MmioPolicy {
             queue_depth: 8,
             retry: RetryPolicy::default(),
             stall_deadline: Cycles::from_millis(10),
+            huge_pages: false,
+            promote_threshold: 512,
+            max_promoted_share: 50,
         }
     }
 }
@@ -218,6 +233,25 @@ impl AquilaConfigBuilder {
         self
     }
 
+    /// Enables transparent 2 MiB huge-page promotion (default off).
+    pub fn huge_pages(mut self, on: bool) -> Self {
+        self.cfg.policy.huge_pages = on;
+        self
+    }
+
+    /// Resident pages (of 512) that trigger promotion of an aligned run.
+    pub fn promote_threshold(mut self, pages: usize) -> Self {
+        self.cfg.policy.promote_threshold = pages;
+        self
+    }
+
+    /// Maximum promoted share of the cache, in percent (sizes the slab
+    /// pool).
+    pub fn max_promoted_share(mut self, percent: usize) -> Self {
+        self.cfg.policy.max_promoted_share = percent;
+        self
+    }
+
     /// Finishes the configuration.
     ///
     /// Under [`WritePolicy::Async`] with unset (0) watermarks, defaults
@@ -288,6 +322,22 @@ mod tests {
         let d = MmioPolicy::default();
         assert_eq!(d.retry.max_attempts, RetryPolicy::default().max_attempts);
         assert!(d.stall_deadline > Cycles::ZERO);
+    }
+
+    #[test]
+    fn huge_page_knobs_default_off_and_flow_through() {
+        let d = MmioPolicy::default();
+        assert!(!d.huge_pages);
+        assert_eq!(d.promote_threshold, 512);
+        assert_eq!(d.max_promoted_share, 50);
+        let cfg = AquilaConfig::builder(2, 4096)
+            .huge_pages(true)
+            .promote_threshold(384)
+            .max_promoted_share(25)
+            .build();
+        assert!(cfg.policy.huge_pages);
+        assert_eq!(cfg.policy.promote_threshold, 384);
+        assert_eq!(cfg.policy.max_promoted_share, 25);
     }
 
     #[test]

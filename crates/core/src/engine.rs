@@ -15,13 +15,17 @@
 //! 5. **Cache resizing** (uncommon) — vmcalls to the hypervisor plus 1 GiB
 //!    EPT mappings.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use aquila_sync::Mutex;
 
 use aquila_devices::{BufRef, DeviceError, NvmeOp, STORE_PAGE};
-use aquila_mmu::{Access, FrameId, Gva, PageTable, PteFlags, TlbFabric, Vpn, PAGE_SIZE};
+use aquila_mmu::{
+    Access, FrameId, Gva, LeafKind, PageTable, PteFlags, TlbFabric, Vpn, HUGE_PAGE_PAGES, PAGE_2M,
+    PAGE_SIZE,
+};
 use aquila_pcache::{coalesce_runs, CacheConfig, DirtyPage, DramCache, PageKey, Victim};
 use aquila_sim::{race, CoreDebts, CostCat, Cycles, SimCtx, Step, ThreadFn};
 use aquila_vmx::{Ept, EptPageSize, EptPerms, Gpa, Hpa, Vcpu, PAGE_1G};
@@ -37,6 +41,12 @@ pub use crate::config::{AquilaConfig, AquilaConfigBuilder, MmioPolicy, WritePoli
 // one at a time, never nested with another annotated lock.
 const L_TLB: &str = "mmu.tlb";
 const V_TLB: &str = "mmu.tlb.state";
+
+// The promoted-run registry lock. When promotion or demotion nests it
+// with pcache or TLB locks it is always the *outermost* annotated lock,
+// so its edges in the dynamic order graph never form a cycle.
+const L_HUGE: &str = "aquila.huge";
+const V_HUGE: &str = "aquila.huge.runs";
 
 use aquila_vma::VmaTree;
 pub use aquila_vma::{Advice, Prot};
@@ -78,6 +88,15 @@ struct DegradeState {
     stall_since: Option<Cycles>,
 }
 
+/// One promoted 2 MiB mapping: the slab run backing it and the file
+/// pages it covers (DESIGN.md §12).
+#[derive(Debug, Clone, Copy)]
+struct HugeRun {
+    run: usize,
+    file: u32,
+    fp_base: u64,
+}
+
 /// The Aquila library OS instance (one per process).
 pub struct Aquila {
     cfg: AquilaConfig,
@@ -99,6 +118,13 @@ pub struct Aquila {
     wb_horizon: Mutex<Cycles>,
     /// Write-path degradation machine (DESIGN.md §11).
     degrade: Mutex<DegradeState>,
+    /// Promoted 2 MiB runs, keyed by the 2 MiB-aligned base VPN.
+    huge_runs: Mutex<BTreeMap<u64, HugeRun>>,
+    /// Degradation demands splintering every promoted run, but the
+    /// transition fires from `&dyn` contexts that cannot run the
+    /// demotion machinery; the next fault, sync, or evictor tick
+    /// services the flag.
+    demote_all_pending: AtomicBool,
 }
 
 impl Aquila {
@@ -109,28 +135,56 @@ impl Aquila {
         // working set per round; clamp to 1/8 of the cache (the paper's
         // 512-page batch is a tiny fraction of its multi-GB caches).
         cfg.policy.evict_batch = cfg.policy.evict_batch.min((cfg.cache_frames / 8).max(16));
+        cfg.policy.promote_threshold = cfg.policy.promote_threshold.clamp(1, HUGE_PAGE_PAGES as usize);
+        cfg.policy.max_promoted_share = cfg.policy.max_promoted_share.clamp(1, 100);
         let mut ccfg = CacheConfig::flat(cfg.max_cache_frames, cfg.cores);
         ccfg.initial_frames = cfg.cache_frames;
         ccfg.evict_batch = cfg.policy.evict_batch;
         ccfg.low_watermark = cfg.policy.low_watermark;
         ccfg.high_watermark = cfg.policy.high_watermark;
         ccfg.topology = cfg.topology;
+        // The slab sizes the promoted share: each run holds 512 frames
+        // *in addition to* the ordinary cache, so a full slab means
+        // `max_promoted_share` percent of the cache is huge-mapped.
+        ccfg.slab_runs = if cfg.policy.huge_pages {
+            ((cfg.max_cache_frames * cfg.policy.max_promoted_share / 100)
+                / HUGE_PAGE_PAGES as usize)
+                .max(1)
+        } else {
+            0
+        };
+        let slab_frames = ccfg.slab_runs * HUGE_PAGE_PAGES as usize;
         let cache = DramCache::new(ccfg);
         let mut ept = Ept::new();
         let mut hpa_next = 0x40_0000_0000u64; // Host frames for the guest cache.
-        let granules = Self::map_cache_granules(
+        let mut granules = Self::map_cache_granules(
             &mut ept,
             &mut hpa_next,
             cache.mem().base().get(),
             cfg.cache_frames as u64 * PAGE_SIZE,
         );
+        // Slab runs get eager 2 MiB EPT granules from a separate host
+        // window, keeping the 1 GiB cache granules above contiguous for
+        // grow_cache.
+        let mut slab_hpa = 0x200_0000_0000u64;
+        for run in 0..cache.slab_runs() {
+            ept.map(
+                cache.slab_run_gpa(run),
+                Hpa(slab_hpa),
+                EptPageSize::Size2M,
+                EptPerms::RW,
+            )
+            .expect("slab granules are disjoint from the cache window");
+            slab_hpa += PAGE_2M;
+            granules += 1;
+        }
         let aquila = Aquila {
             files: Files::new(),
             vmas: VmaTree::new(0x10_0000),
             page_table: Mutex::new(PageTable::new()),
             tlbs: TlbFabric::new(cfg.cores),
             vcpus: (0..cfg.cores).map(|_| Mutex::new(Vcpu::new())).collect(),
-            rmap: (0..cfg.max_cache_frames)
+            rmap: (0..cfg.max_cache_frames + slab_frames)
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
             ept: Mutex::new(ept),
@@ -144,6 +198,8 @@ impl Aquila {
                 state: RegionState::Healthy,
                 stall_since: None,
             }),
+            huge_runs: Mutex::new(BTreeMap::new()),
+            demote_all_pending: AtomicBool::new(false),
             debts,
             cache,
             cfg,
@@ -206,6 +262,12 @@ impl Aquila {
         }
         d.state = to;
         drop(d);
+        if self.cfg.policy.huge_pages {
+            // A degraded region runs write-through or read-only; both
+            // want 4 KiB dirty tracking back, so splinter every run at
+            // the next opportunity.
+            self.demote_all_pending.store(true, Ordering::Release);
+        }
         aquila_sim::metrics::add(ctx, "aquila.degrade.transitions", 1);
         aquila_sim::metrics::gauge(ctx, "aquila.degrade.state", to as u64);
         aquila_sim::trace::instant(ctx, "aquila.degrade", CostCat::Eviction);
@@ -298,6 +360,9 @@ impl Aquila {
         if removed.is_empty() {
             return Err(AquilaError::NotMapped);
         }
+        // A 4 KiB unmap inside a promoted run must splinter it first;
+        // `PageTable::unmap` cannot carve pages out of a 2 MiB leaf.
+        self.demote_range(ctx, addr.vpn(), pages);
         let mut flushed = Vec::new();
         {
             let mut pt = self.page_table.lock();
@@ -322,6 +387,7 @@ impl Aquila {
         new_pages: u64,
     ) -> Result<Gva, AquilaError> {
         ctx.counters().syscalls += 1;
+        self.demote_range(ctx, addr.vpn(), old_pages);
         // Tear down PTEs of the old range first.
         let mut flushed = Vec::new();
         {
@@ -361,6 +427,7 @@ impl Aquila {
             .ok_or(AquilaError::NotMapped)?;
         desc.set_advice(advice);
         if advice == Advice::DontNeed {
+            self.demote_range(ctx, addr.vpn(), pages);
             // Drop the PTEs; cached data stays cached (shared mapping).
             let mut flushed = Vec::new();
             {
@@ -393,6 +460,9 @@ impl Aquila {
             return Err(AquilaError::NotMapped);
         }
         if !prot.write {
+            // Write-protecting part of a promoted run splinters it:
+            // per-page protection needs per-page leaves.
+            self.demote_range(ctx, addr.vpn(), pages);
             // Downgrade live PTEs and shoot down stale writable entries.
             let mut flushed = Vec::new();
             {
@@ -425,6 +495,11 @@ impl Aquila {
             // silently acknowledge (DESIGN.md §11).
             return Err(AquilaError::DegradedReadOnly);
         }
+        self.service_pending_demotions(ctx);
+        // msync's contract is "writes after the sync are tracked again";
+        // a 2 MiB leaf cannot be write-protected per page, so any run
+        // the range touches splinters first.
+        self.demote_range(ctx, addr.vpn(), pages);
         let file = FileId(desc.file);
         let start_fp = desc.file_page_of(addr.vpn());
         let dirty = self
@@ -536,10 +611,26 @@ impl Aquila {
             };
             match walked {
                 Ok(gpa) => {
-                    let pte = self.page_table.lock().lookup(gva).expect("just walked");
+                    let (pte, kind) = self
+                        .page_table
+                        .lock()
+                        .lookup_leaf(gva)
+                        .expect("just walked");
+                    // The hardware walk behind the TLB miss: one memory
+                    // reference per radix level. Huge leaves terminate
+                    // at the PD, one level early — part of their
+                    // fault-path win beyond the wider TLB reach.
+                    let levels = match kind {
+                        LeafKind::Small => 4,
+                        LeafKind::Huge => 3,
+                    };
+                    let walk = Cycles(ctx.cost().radix_level.get() * levels);
+                    ctx.charge(CostCat::Tlb, walk);
                     race::acquire(ctx, (L_TLB, core as u64));
-                    self.tlbs
-                        .with_local(core, |t| t.insert(vpn, pte.gpa, pte.flags));
+                    self.tlbs.with_local(core, |t| match kind {
+                        LeafKind::Small => t.insert(vpn, pte.gpa, pte.flags),
+                        LeafKind::Huge => t.insert_huge(vpn.huge_base(), pte.gpa, pte.flags),
+                    });
                     race::write(ctx, (V_TLB, core as u64));
                     race::release(ctx, (L_TLB, core as u64));
                     return Ok(gpa);
@@ -582,6 +673,7 @@ impl Aquila {
         if access == Access::Write && self.region_state() == RegionState::ReadOnly {
             return Err(AquilaError::DegradedReadOnly);
         }
+        self.service_pending_demotions(ctx);
         let body = ctx.cost().aquila_fault_body;
         ctx.charge(CostCat::FaultHandler, body);
 
@@ -618,24 +710,37 @@ impl Aquila {
         // handler that already installed the mapping.
         {
             let mut pt = self.page_table.lock();
-            if let Some(pte) = pt.lookup(gva) {
+            if let Some((pte, kind)) = pt.lookup_leaf(gva) {
                 if pte.flags.present {
                     if access == Access::Write && !pte.flags.writable {
-                        // Dirty-tracking write fault: mark dirty, enable
-                        // writes. Upgrades need no shootdown (other cores
-                        // refault at worst).
-                        if let Some(frame) = pte_frame(&self.cache, pte.gpa) {
-                            self.cache.mark_dirty(ctx, key, frame);
+                        match kind {
+                            LeafKind::Small => {
+                                // Dirty-tracking write fault: mark dirty,
+                                // enable writes. Upgrades need no
+                                // shootdown (other cores refault at
+                                // worst).
+                                if let Some(frame) = pte_frame(&self.cache, pte.gpa) {
+                                    self.cache.mark_dirty(ctx, key, frame);
+                                }
+                                let mut fl = PteFlags::RW;
+                                fl.dirty = true;
+                                pt.protect(gva, fl);
+                                drop(pt);
+                                let core = ctx.core() % self.cfg.cores;
+                                race::acquire(ctx, (L_TLB, core as u64));
+                                self.tlbs.with_local(core, |t| t.invalidate(vpn));
+                                race::write(ctx, (V_TLB, core as u64));
+                                race::release(ctx, (L_TLB, core as u64));
+                            }
+                            LeafKind::Huge => {
+                                // The whole 2 MiB leaf upgrades at once,
+                                // so every page it covers must enter the
+                                // dirty trees now: no further write
+                                // faults will arrive for them.
+                                drop(pt);
+                                self.huge_write_upgrade(ctx, vpn.huge_base());
+                            }
                         }
-                        let mut fl = PteFlags::RW;
-                        fl.dirty = true;
-                        pt.protect(gva, fl);
-                        drop(pt);
-                        let core = ctx.core() % self.cfg.cores;
-                        race::acquire(ctx, (L_TLB, core as u64));
-                        self.tlbs.with_local(core, |t| t.invalidate(vpn));
-                        race::write(ctx, (V_TLB, core as u64));
-                        race::release(ctx, (L_TLB, core as u64));
                     }
                     ctx.counters().minor_faults += 1;
                     return Ok(());
@@ -647,6 +752,7 @@ impl Aquila {
         if let Some(frame) = self.cache.lookup(ctx, key) {
             ctx.counters().minor_faults += 1;
             self.map_frame(ctx, vpn, key, frame, access);
+            self.maybe_promote(ctx, vpn, desc);
             return Ok(());
         }
 
@@ -673,6 +779,7 @@ impl Aquila {
 
         // Readahead per the mapping's advice (operation 3 batching).
         self.readahead(ctx, desc, file, file_page);
+        self.maybe_promote(ctx, vpn, desc);
         Ok(())
     }
 
@@ -736,15 +843,28 @@ impl Aquila {
         // Direct reclaim means the evictor fell behind; feed the stall
         // clock even if the evictor itself is wedged and not ticking.
         self.track_watermark_stall(ctx);
-        let victims = self.cache.evict_candidates(ctx);
-        if victims.is_empty() {
-            return Err(AquilaError::NoSpace);
+        loop {
+            let victims = self.cache.evict_candidates(ctx);
+            if victims.is_empty() {
+                // Everything evictable is gone but promoted runs may be
+                // pinning frames: splinter the lowest run and retry (the
+                // "partial eviction demotes" rule of DESIGN.md §12).
+                if !self.demote_one(ctx) {
+                    return Err(AquilaError::NoSpace);
+                }
+                continue;
+            }
+            aquila_sim::metrics::add(ctx, "aquila.evict.rounds", 1);
+            aquila_sim::metrics::add(ctx, "aquila.evict.pages", victims.len() as u64);
+            self.retire_victims(ctx, &victims)?;
+            // Slab victims drain their run rather than feeding the
+            // ordinary freelist, so one round may leave it empty: keep
+            // evicting until an allocatable frame shows up.
+            if let Some(f) = self.cache.try_alloc(ctx) {
+                aquila_sim::trace::span(ctx, "aquila.evict", CostCat::Eviction, t_evict);
+                return Ok(f);
+            }
         }
-        aquila_sim::metrics::add(ctx, "aquila.evict.rounds", 1);
-        aquila_sim::metrics::add(ctx, "aquila.evict.pages", victims.len() as u64);
-        self.retire_victims(ctx, &victims)?;
-        aquila_sim::trace::span(ctx, "aquila.evict", CostCat::Eviction, t_evict);
-        self.cache.try_alloc(ctx).ok_or(AquilaError::NoSpace)
     }
 
     /// Unmaps a detached victim batch (one batched shootdown), writes the
@@ -989,6 +1109,7 @@ impl Aquila {
     /// the number of frames reclaimed (0 when the freelist is already at
     /// the high watermark or watermarks are disabled).
     pub fn evictor_round(&self, ctx: &mut dyn SimCtx) -> Result<usize, AquilaError> {
+        self.service_pending_demotions(ctx);
         let target = self.cache.refill_target();
         if target == 0 {
             return Ok(0);
@@ -1103,6 +1224,336 @@ impl Aquila {
     }
 
     // ---------------------------------------------------------------
+    // Transparent 2 MiB huge pages: promotion and demotion
+    // (DESIGN.md §12).
+    // ---------------------------------------------------------------
+
+    /// Considers collapsing the 2 MiB run around `vpn` into one huge
+    /// PTE. Runs under the per-entry fault lock; the DES steps a thread
+    /// atomically through the whole fault body, so the candidacy scan
+    /// and the collapse cannot interleave with another fault.
+    ///
+    /// The trigger is khugepaged-flavoured but synchronous: the scan
+    /// only fires when the faulting page sits exactly at
+    /// [`MmioPolicy::promote_threshold`] within its run, so a
+    /// sequential fill pays one scan per 512 faults instead of 512.
+    fn maybe_promote(
+        &self,
+        ctx: &mut dyn SimCtx,
+        vpn: Vpn,
+        desc: &Arc<aquila_vma::VmaDesc>,
+    ) {
+        if !self.cfg.policy.huge_pages || self.cache.slab_runs() == 0 {
+            return;
+        }
+        if self.region_state() != RegionState::Healthy {
+            return;
+        }
+        if (vpn.huge_index() as usize) + 1 != self.cfg.policy.promote_threshold {
+            // Scan only at the exact threshold crossing: a sequential
+            // fill pays one scan per run, and random workloads (which
+            // fault at arbitrary in-run offsets) don't pay a 512-page
+            // scan on every fault past the threshold.
+            return;
+        }
+        let hbase = vpn.huge_base();
+        // The window must lie inside one VMA, and the GVA and file
+        // offset must be co-aligned for a single leaf to cover both.
+        if hbase.0 < desc.start.0 || hbase.0 + HUGE_PAGE_PAGES > desc.start.0 + desc.pages {
+            return;
+        }
+        let fp_base = desc.file_page_of(hbase);
+        if !fp_base.is_multiple_of(HUGE_PAGE_PAGES) {
+            return;
+        }
+        race::acquire(ctx, (L_HUGE, 0));
+        let promoted = self.huge_runs.lock().contains_key(&hbase.0);
+        race::read(ctx, (V_HUGE, 0));
+        race::release(ctx, (L_HUGE, 0));
+        if promoted || self.cache.free_slab_runs() == 0 {
+            return;
+        }
+        // Candidacy scan: residency and clean/dirty uniformity.
+        let t0 = ctx.now();
+        let mut frames: Vec<Option<FrameId>> = Vec::with_capacity(HUGE_PAGE_PAGES as usize);
+        let mut resident = 0usize;
+        let mut dirty_ct = 0usize;
+        for i in 0..HUGE_PAGE_PAGES {
+            let key = PageKey::new(desc.file, fp_base + i);
+            match self.cache.lookup(ctx, key) {
+                Some(f) => {
+                    resident += 1;
+                    if self.cache.page_dirty(ctx, key) {
+                        dirty_ct += 1;
+                    }
+                    frames.push(Some(f));
+                }
+                None => frames.push(None),
+            }
+        }
+        if resident < self.cfg.policy.promote_threshold {
+            return;
+        }
+        if dirty_ct != 0 && dirty_ct != resident {
+            // A mixed run would either lose dirty tracking or amplify
+            // a clean majority into writeback; wait until it settles.
+            aquila_sim::metrics::add(ctx, "aquila.huge.mixed_skip", 1);
+            return;
+        }
+        let Some(run) = self.cache.try_alloc_slab_run(ctx) else {
+            return;
+        };
+        self.promote(ctx, hbase, desc, fp_base, run, &frames, dirty_ct != 0, t0);
+    }
+
+    /// Collapses the run at `hbase` into slab run `run`: eager-fills
+    /// the holes from the device, migrates resident pages, swaps the
+    /// 4 KiB PTEs for one 2 MiB leaf with a single batched shootdown.
+    #[allow(clippy::too_many_arguments)]
+    fn promote(
+        &self,
+        ctx: &mut dyn SimCtx,
+        hbase: Vpn,
+        desc: &Arc<aquila_vma::VmaDesc>,
+        fp_base: u64,
+        run: usize,
+        frames: &[Option<FrameId>],
+        dirty: bool,
+        t0: Cycles,
+    ) {
+        let file = FileId(desc.file);
+        // Stage 1: device reads for the holes — the only fallible step,
+        // done before any state changes so an error aborts cleanly.
+        let mut fills: Vec<(usize, Vec<u8>)> = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            if f.is_none() {
+                let mut buf = vec![0u8; STORE_PAGE];
+                if self
+                    .files
+                    .read_pages(ctx, file, fp_base + i as u64, &mut buf)
+                    .is_err()
+                {
+                    self.cache.release_slab_run(ctx, run);
+                    return;
+                }
+                fills.push((i, buf));
+            }
+        }
+        // Stage 2: repoint the cache into the slab run (infallible; the
+        // DES cannot interleave another thread here).
+        race::acquire(ctx, (L_HUGE, 0));
+        let mut displaced: Vec<(FrameId, Vec<Vpn>)> = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            if let Some(old) = *f {
+                let key = PageKey::new(desc.file, fp_base + i as u64);
+                self.cache
+                    .migrate_frame(ctx, key, old, self.cache.slab_run_frame(run, i));
+                let vpns = std::mem::take(&mut *self.rmap[old.0 as usize].lock());
+                displaced.push((old, vpns));
+            }
+        }
+        for (i, buf) in &fills {
+            let slab = self.cache.slab_run_frame(run, *i);
+            self.cache.mem().write(slab, 0, buf);
+            let key = PageKey::new(desc.file, fp_base + *i as u64);
+            self.cache
+                .insert_pinned(ctx, key, slab)
+                .expect("scan saw the page absent under the fault lock");
+            if dirty {
+                // A uniformly dirty run maps writable, so the fills
+                // must be tracked too: their (device-identical) bytes
+                // ride along at writeback.
+                self.cache.mark_dirty(ctx, key, slab);
+            }
+        }
+        // Stage 3: swap the 4 KiB PTEs for one 2 MiB leaf; one batched
+        // shootdown covers every displaced mapping.
+        let mut fl = if dirty { PteFlags::RW } else { PteFlags::RO };
+        fl.dirty = dirty;
+        let gpa = self.cache.slab_run_gpa(run);
+        let mut flushed: Vec<Vpn> = Vec::new();
+        {
+            let mut pt = self.page_table.lock();
+            for (_, vpns) in &displaced {
+                for vpn in vpns {
+                    if pt.unmap(vpn.base()).is_some() {
+                        flushed.push(*vpn);
+                    }
+                }
+            }
+            pt.map_huge(hbase.base(), gpa, fl);
+        }
+        self.tlbs
+            .shootdown_batch(ctx, &self.debts, self.cfg.ipi_path, &flushed);
+        for (old, _) in &displaced {
+            self.cache.release_frame(ctx, *old);
+        }
+        // Prime the local 2 MiB sub-TLB so the faulting access retries
+        // straight into a huge hit.
+        let core = ctx.core() % self.cfg.cores;
+        race::acquire(ctx, (L_TLB, core as u64));
+        self.tlbs.with_local(core, |t| t.insert_huge(hbase, gpa, fl));
+        race::write(ctx, (V_TLB, core as u64));
+        race::release(ctx, (L_TLB, core as u64));
+        let active = {
+            let mut runs = self.huge_runs.lock();
+            runs.insert(
+                hbase.0,
+                HugeRun {
+                    run,
+                    file: desc.file,
+                    fp_base,
+                },
+            );
+            runs.len()
+        };
+        race::write(ctx, (V_HUGE, 0));
+        race::release(ctx, (L_HUGE, 0));
+        ctx.counters().huge_promotions += 1;
+        aquila_sim::metrics::add(ctx, "aquila.huge.promote", 1);
+        aquila_sim::metrics::gauge(ctx, "aquila.huge.promoted_runs", active as u64);
+        aquila_sim::trace::span(ctx, "aquila.huge.promote", CostCat::CacheMgmt, t0);
+    }
+
+    /// Write fault against a read-only 2 MiB leaf: the whole run turns
+    /// writable at once, so all 512 pages enter the dirty trees (dirty
+    /// amplification is bounded and data-safe — every amplified page
+    /// writes back bytes identical to the device's).
+    fn huge_write_upgrade(&self, ctx: &mut dyn SimCtx, hbase: Vpn) {
+        race::acquire(ctx, (L_HUGE, 0));
+        let hr = self.huge_runs.lock().get(&hbase.0).copied();
+        race::read(ctx, (V_HUGE, 0));
+        race::release(ctx, (L_HUGE, 0));
+        let Some(hr) = hr else {
+            return;
+        };
+        for i in 0..HUGE_PAGE_PAGES {
+            let key = PageKey::new(hr.file, hr.fp_base + i);
+            self.cache
+                .mark_dirty(ctx, key, self.cache.slab_run_frame(hr.run, i as usize));
+        }
+        let mut fl = PteFlags::RW;
+        fl.dirty = true;
+        self.page_table.lock().protect(hbase.base(), fl);
+        // Upgrades need no shootdown: stale read-only entries on other
+        // cores refault at worst (same rule as the 4 KiB path).
+        let core = ctx.core() % self.cfg.cores;
+        race::acquire(ctx, (L_TLB, core as u64));
+        self.tlbs.with_local(core, |t| t.invalidate(hbase));
+        race::write(ctx, (V_TLB, core as u64));
+        race::release(ctx, (L_TLB, core as u64));
+        aquila_sim::metrics::add(ctx, "aquila.huge.write_upgrade", 1);
+    }
+
+    /// Splinters the promoted runs at `hbases`: drops each 2 MiB leaf,
+    /// one batched shootdown for the whole set, and unpins the slab
+    /// frames so CLOCK can evict them. Demotion installs no 4 KiB PTEs
+    /// — the pages stay cached in their slab frames and the next access
+    /// refaults minor (lazy splinter).
+    fn demote_runs(&self, ctx: &mut dyn SimCtx, hbases: &[u64]) {
+        if hbases.is_empty() {
+            return;
+        }
+        let t0 = ctx.now();
+        race::acquire(ctx, (L_HUGE, 0));
+        let dropped: Vec<(Vpn, HugeRun)> = {
+            let mut runs = self.huge_runs.lock();
+            hbases
+                .iter()
+                .filter_map(|&h| runs.remove(&h).map(|hr| (Vpn(h), hr)))
+                .collect()
+        };
+        race::write(ctx, (V_HUGE, 0));
+        race::release(ctx, (L_HUGE, 0));
+        if dropped.is_empty() {
+            return;
+        }
+        {
+            let mut pt = self.page_table.lock();
+            for (hv, _) in &dropped {
+                pt.unmap_huge(hv.base());
+            }
+        }
+        // One invalidation per run base: every core's covering 2 MiB
+        // TLB entry drops with it.
+        let flushed: Vec<Vpn> = dropped.iter().map(|&(hv, _)| hv).collect();
+        self.tlbs
+            .shootdown_batch(ctx, &self.debts, self.cfg.ipi_path, &flushed);
+        for (_, hr) in &dropped {
+            self.cache.unpin_slab_run(hr.run);
+        }
+        let active = self.huge_runs.lock().len();
+        ctx.counters().huge_demotions += dropped.len() as u64;
+        aquila_sim::metrics::add(ctx, "aquila.huge.demote", dropped.len() as u64);
+        aquila_sim::metrics::gauge(ctx, "aquila.huge.promoted_runs", active as u64);
+        aquila_sim::trace::span(ctx, "aquila.huge.demote", CostCat::CacheMgmt, t0);
+    }
+
+    /// Demotes every promoted run overlapping `[start, start + pages)`.
+    fn demote_range(&self, ctx: &mut dyn SimCtx, start: Vpn, pages: u64) {
+        if !self.cfg.policy.huge_pages {
+            return;
+        }
+        race::acquire(ctx, (L_HUGE, 0));
+        let hbases: Vec<u64> = self
+            .huge_runs
+            .lock()
+            .range(start.huge_base().0..start.0 + pages)
+            .map(|(&h, _)| h)
+            .collect();
+        race::read(ctx, (V_HUGE, 0));
+        race::release(ctx, (L_HUGE, 0));
+        self.demote_runs(ctx, &hbases);
+    }
+
+    /// Demotes every promoted run (shutdown and degradation service).
+    fn demote_all(&self, ctx: &mut dyn SimCtx) {
+        if !self.cfg.policy.huge_pages {
+            return;
+        }
+        let hbases: Vec<u64> = self.huge_runs.lock().keys().copied().collect();
+        self.demote_runs(ctx, &hbases);
+    }
+
+    /// Demotes the lowest-addressed run to relieve eviction pressure;
+    /// false when nothing is promoted.
+    fn demote_one(&self, ctx: &mut dyn SimCtx) -> bool {
+        let h = self.huge_runs.lock().keys().next().copied();
+        match h {
+            Some(h) => {
+                self.demote_runs(ctx, &[h]);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Services a degradation-triggered demand to splinter every run
+    /// (the transition fires from `&dyn` contexts).
+    fn service_pending_demotions(&self, ctx: &mut dyn SimCtx) {
+        if self.demote_all_pending.swap(false, Ordering::AcqRel) {
+            self.demote_all(ctx);
+        }
+    }
+
+    /// Number of currently promoted 2 MiB runs.
+    pub fn promoted_runs(&self) -> usize {
+        self.huge_runs.lock().len()
+    }
+
+    /// 4 KiB pages currently mapped through 2 MiB leaves.
+    pub fn huge_mapped_pages(&self) -> u64 {
+        self.page_table.lock().huge_mapped() * HUGE_PAGE_PAGES
+    }
+
+    /// Huge-TLB (2 MiB sub-array) hits summed across cores.
+    pub fn tlb_huge_hits(&self) -> u64 {
+        (0..self.cfg.cores)
+            .map(|c| self.tlbs.with_local(c, |t| t.huge_hits()))
+            .sum()
+    }
+
+    // ---------------------------------------------------------------
     // Dynamic cache resizing (operation 5: uncommon, hypervisor-backed).
     // ---------------------------------------------------------------
 
@@ -1153,6 +1604,9 @@ impl Aquila {
 
     /// Flushes all dirty pages (shutdown path).
     pub fn sync_all(&self, ctx: &mut dyn SimCtx) -> Result<(), AquilaError> {
+        // Shutdown durability wants per-page write tracking back for
+        // whatever runs after the sync; splinter everything first.
+        self.demote_all(ctx);
         let dirty = self.cache.drain_dirty_all(ctx);
         if let Err(e) = self.writeback_policy(ctx, &dirty) {
             for d in &dirty {

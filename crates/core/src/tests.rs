@@ -648,6 +648,277 @@ fn recover_from_image_reboots_the_stack() {
     assert_eq!(&back, b"persisted");
 }
 
+// -------------------------------------------------------------------
+// Transparent 2 MiB huge pages (DESIGN.md §12).
+// -------------------------------------------------------------------
+
+fn huge_runtime(
+    cache_frames: usize,
+    policy: crate::config::MmioPolicy,
+) -> (FreeCtx, AquilaRuntime) {
+    let mut ctx = FreeCtx::new(42);
+    let debts = Arc::new(CoreDebts::new(1));
+    let rt = AquilaRuntime::build_with_policy(
+        &mut ctx,
+        DeviceKind::PmemDax,
+        65536,
+        cache_frames,
+        1,
+        debts,
+        policy,
+    );
+    rt.aquila.thread_enter(&mut ctx);
+    (ctx, rt)
+}
+
+#[test]
+fn huge_promotion_collapses_clean_sequential_run() {
+    use crate::config::MmioPolicy;
+    let policy = MmioPolicy {
+        huge_pages: true,
+        ..MmioPolicy::default()
+    };
+    let (mut ctx, rt) = huge_runtime(1024, policy);
+    let f = rt.open("/data/huge-seq", 1024).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 1024, Prot::RW).unwrap();
+    let mut b = [0u8; 1];
+    for p in 0..512u64 {
+        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+    }
+    assert_eq!(ctx.stats.huge_promotions, 1, "one run collapsed");
+    assert_eq!(rt.aquila.promoted_runs(), 1);
+    assert_eq!(rt.aquila.huge_mapped_pages(), 512);
+    // A re-scan is fault-free and served by the 2 MiB sub-TLB.
+    let faults = ctx.stats.page_faults;
+    for p in 0..512u64 {
+        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+    }
+    assert_eq!(ctx.stats.page_faults, faults, "no faults after promotion");
+    assert!(
+        rt.aquila.tlb_huge_hits() >= 512,
+        "huge hits: {}",
+        rt.aquila.tlb_huge_hits()
+    );
+}
+
+#[test]
+fn huge_dirty_run_demotes_on_msync_and_retracks_writes() {
+    use crate::config::MmioPolicy;
+    let policy = MmioPolicy {
+        huge_pages: true,
+        ..MmioPolicy::default()
+    };
+    let (mut ctx, rt) = huge_runtime(1024, policy);
+    let f = rt.open("/data/huge-dirty", 512).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 512, Prot::RW).unwrap();
+    for p in 0..512u64 {
+        rt.aquila
+            .write(&mut ctx, addr.add(p * 4096), &[p as u8])
+            .unwrap();
+    }
+    assert_eq!(rt.aquila.promoted_runs(), 1, "uniformly dirty run promotes");
+    assert_eq!(rt.aquila.cache().dirty_count(), 512);
+    rt.aquila.msync(&mut ctx, addr, 512).unwrap();
+    assert_eq!(ctx.stats.huge_demotions, 1, "msync splinters the run");
+    assert_eq!(rt.aquila.promoted_runs(), 0);
+    assert_eq!(rt.aquila.cache().dirty_count(), 0);
+    // Lazy splinter: pages stay cached in their slab frames, so the
+    // refaults are all minor and the data is intact.
+    let major = ctx.stats.major_faults;
+    let mut b = [0u8; 1];
+    for p in 0..512u64 {
+        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+        assert_eq!(b[0], p as u8, "page {p}");
+    }
+    assert_eq!(ctx.stats.major_faults, major, "no device I/O after demotion");
+    // Writes fault and are tracked at 4 KiB again.
+    rt.aquila.write(&mut ctx, addr, &[0xAA]).unwrap();
+    assert_eq!(rt.aquila.cache().dirty_count(), 1);
+}
+
+#[test]
+fn huge_clean_run_write_upgrades_whole_leaf() {
+    use crate::config::MmioPolicy;
+    let policy = MmioPolicy {
+        huge_pages: true,
+        ..MmioPolicy::default()
+    };
+    let (mut ctx, rt) = huge_runtime(1024, policy);
+    let f = rt.open("/data/huge-upgrade", 512).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 512, Prot::RW).unwrap();
+    let mut b = [0u8; 1];
+    for p in 0..512u64 {
+        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+    }
+    assert_eq!(rt.aquila.promoted_runs(), 1);
+    assert_eq!(rt.aquila.cache().dirty_count(), 0, "clean run maps read-only");
+    let faults = ctx.stats.page_faults;
+    rt.aquila
+        .write(&mut ctx, addr.add(7 * 4096 + 3), &[9])
+        .unwrap();
+    assert_eq!(ctx.stats.page_faults, faults + 1, "one upgrade fault");
+    assert_eq!(rt.aquila.promoted_runs(), 1, "upgrade keeps the leaf huge");
+    assert_eq!(
+        rt.aquila.cache().dirty_count(),
+        512,
+        "the whole run enters dirty tracking at once"
+    );
+    // Later writes anywhere in the run are fault-free.
+    rt.aquila.write(&mut ctx, addr.add(400 * 4096), &[1]).unwrap();
+    assert_eq!(ctx.stats.page_faults, faults + 1);
+    // Shutdown durability: sync_all splinters and writes the run back.
+    rt.aquila.sync_all(&mut ctx).unwrap();
+    assert_eq!(rt.aquila.promoted_runs(), 0);
+    assert!(ctx.stats.writebacks >= 512);
+    rt.aquila
+        .read(&mut ctx, addr.add(7 * 4096 + 3), &mut b)
+        .unwrap();
+    assert_eq!(b[0], 9);
+}
+
+#[test]
+fn huge_partial_dontneed_splinters_and_slab_drains() {
+    use crate::config::MmioPolicy;
+    let policy = MmioPolicy {
+        huge_pages: true,
+        ..MmioPolicy::default()
+    };
+    let (mut ctx, rt) = huge_runtime(512, policy);
+    let f = rt.open("/data/huge-splinter", 512).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 512, Prot::RW).unwrap();
+    let mut b = [0u8; 1];
+    for p in 0..512u64 {
+        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+    }
+    assert_eq!(rt.aquila.promoted_runs(), 1);
+    assert_eq!(rt.aquila.cache().free_slab_runs(), 0);
+    // Dropping PTEs of a sub-range cannot carve a 2 MiB leaf: the whole
+    // run splinters, the pages stay cached.
+    rt.aquila
+        .madvise(&mut ctx, addr.add(100 * 4096), 50, Advice::DontNeed)
+        .unwrap();
+    assert_eq!(ctx.stats.huge_demotions, 1);
+    assert_eq!(rt.aquila.promoted_runs(), 0);
+    let major = ctx.stats.major_faults;
+    rt.aquila.read(&mut ctx, addr.add(120 * 4096), &mut b).unwrap();
+    assert_eq!(ctx.stats.major_faults, major, "dropped PTE, cached data");
+    // Under pressure the unpinned slab frames drain through normal
+    // eviction and the run returns to the pool.
+    let f2 = rt.open("/data/huge-pressure", 2048).unwrap();
+    let addr2 = rt.aquila.mmap(&mut ctx, f2, 0, 2048, Prot::RW).unwrap();
+    rt.aquila
+        .madvise(&mut ctx, addr2, 2048, Advice::Random)
+        .unwrap();
+    // Skip one page per aligned 512-run so the pressure file itself can
+    // never become uniform enough to claim the freed slab run.
+    for _pass in 0..2 {
+        for p in (0..2048u64).filter(|p| p % 512 != 17) {
+            rt.aquila
+                .read(&mut ctx, addr2.add(p * 4096), &mut b)
+                .unwrap();
+        }
+    }
+    assert!(ctx.stats.evictions > 0);
+    assert_eq!(ctx.stats.huge_promotions, 1, "pressure file stayed 4 KiB");
+    assert_eq!(
+        rt.aquila.cache().free_slab_runs(),
+        1,
+        "drained run returned to the slab pool"
+    );
+}
+
+#[test]
+fn huge_pages_off_never_promotes() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 1024);
+    let f = rt.open("/data/huge-off", 512).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 512, Prot::RW).unwrap();
+    let mut b = [0u8; 1];
+    for p in 0..512u64 {
+        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+    }
+    assert_eq!(ctx.stats.huge_promotions, 0);
+    assert_eq!(rt.aquila.promoted_runs(), 0);
+    assert_eq!(rt.aquila.cache().slab_runs(), 0, "no slab without the knob");
+}
+
+// -------------------------------------------------------------------
+// Readahead edge behaviour (regression).
+// -------------------------------------------------------------------
+
+#[test]
+fn readahead_never_passes_the_mapping_end() {
+    use aquila_pcache::PageKey;
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 64);
+    let f = rt.open("/data/ra-end", 24).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 24, Prot::RW).unwrap();
+    rt.aquila
+        .madvise(&mut ctx, addr, 24, Advice::Sequential)
+        .unwrap();
+    let mut b = [0u8; 1];
+    rt.aquila.read(&mut ctx, addr.add(20 * 4096), &mut b).unwrap();
+    // The sequential window would reach past page 23; it must clip at
+    // the mapping/file end instead of inserting ghost pages.
+    for fp in 24..64u64 {
+        assert!(
+            rt.aquila.cache().lookup(&mut ctx, PageKey::new(f.0, fp)).is_none(),
+            "page {fp} cached past the end of the file"
+        );
+    }
+    assert!(ctx.stats.readahead_pages <= 3, "window clipped to [21, 24)");
+}
+
+#[test]
+fn readahead_never_triggers_eviction() {
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 16);
+    let fa = rt.open("/data/ra-a", 15).unwrap();
+    let a = rt.aquila.mmap(&mut ctx, fa, 0, 15, Prot::RW).unwrap();
+    rt.aquila.madvise(&mut ctx, a, 15, Advice::Random).unwrap();
+    let mut b = [0u8; 1];
+    for p in 0..15u64 {
+        rt.aquila.read(&mut ctx, a.add(p * 4096), &mut b).unwrap();
+    }
+    assert_eq!(ctx.stats.evictions, 0, "working set fits");
+    // One free frame left: the fault takes it, and the readahead window
+    // must stop at the empty freelist instead of evicting.
+    let fb = rt.open("/data/ra-b", 32).unwrap();
+    let baddr = rt.aquila.mmap(&mut ctx, fb, 0, 32, Prot::RW).unwrap();
+    rt.aquila
+        .madvise(&mut ctx, baddr, 32, Advice::Sequential)
+        .unwrap();
+    rt.aquila.read(&mut ctx, baddr, &mut b).unwrap();
+    assert_eq!(ctx.stats.evictions, 0, "readahead never evicts");
+    assert_eq!(ctx.stats.readahead_pages, 0);
+}
+
+#[test]
+fn readahead_window_inside_promotion_candidate_run() {
+    use crate::config::MmioPolicy;
+    use aquila_pcache::PageKey;
+    let policy = MmioPolicy {
+        huge_pages: true,
+        ..MmioPolicy::default()
+    };
+    let (mut ctx, rt) = huge_runtime(1024, policy);
+    let f = rt.open("/data/ra-huge", 600).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, 600, Prot::RW).unwrap();
+    rt.aquila
+        .madvise(&mut ctx, addr, 600, Advice::Sequential)
+        .unwrap();
+    let mut b = [0u8; 1];
+    for p in 0..600u64 {
+        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+    }
+    // The first run promoted with readahead active inside it; the
+    // 600-page tail cannot (no full 512-page window fits).
+    assert_eq!(rt.aquila.promoted_runs(), 1);
+    for fp in 600..640u64 {
+        assert!(
+            rt.aquila.cache().lookup(&mut ctx, PageKey::new(f.0, fp)).is_none(),
+            "page {fp} cached past the end of the file"
+        );
+    }
+}
+
 #[test]
 fn recover_from_unformatted_image_is_typed_error() {
     use crate::config::MmioPolicy;

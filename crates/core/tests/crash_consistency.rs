@@ -42,6 +42,8 @@ fn writes(round: u64, page: u64) -> bool {
 }
 
 struct RunOutcome {
+    /// Pages in the workload file (the huge sweep uses a full 2 MiB run).
+    file_pages: u64,
     /// Device image captured at the cut, with the cut's virtual time.
     cut: Option<(aquila_sim::Cycles, Vec<u8>)>,
     /// Per-page history of tags in writeback order.
@@ -54,12 +56,44 @@ struct RunOutcome {
 /// Runs the seeded workload with a crash planted at write op `cut_op`
 /// tearing `sectors` sectors, and returns what the checker needs.
 fn run_workload(seed: u64, cut_op: u64, sectors: usize) -> RunOutcome {
+    run_workload_policy(
+        seed,
+        cut_op,
+        sectors,
+        FILE_PAGES,
+        256,
+        MmioPolicy::default(),
+        false,
+    )
+}
+
+/// Policy-parametrized variant: `file_pages`/`cache_frames` size the
+/// stack, and `expect_promotion` asserts mid-run that the workload
+/// actually collapsed a run to 2 MiB (so the huge sweep can't silently
+/// degenerate into the 4 KiB path).
+fn run_workload_policy(
+    seed: u64,
+    cut_op: u64,
+    sectors: usize,
+    file_pages: u64,
+    cache_frames: usize,
+    policy: MmioPolicy,
+    expect_promotion: bool,
+) -> RunOutcome {
     let mut ctx = FreeCtx::new(seed);
     let debts = Arc::new(CoreDebts::new(1));
-    let rt = AquilaRuntime::build(&mut ctx, DeviceKind::NvmeSpdk, 65536, 256, 1, debts);
+    let rt = AquilaRuntime::build_with_policy(
+        &mut ctx,
+        DeviceKind::NvmeSpdk,
+        65536,
+        cache_frames,
+        1,
+        debts,
+        policy,
+    );
     rt.aquila.thread_enter(&mut ctx);
-    let f = rt.open("/crash/file", FILE_PAGES).unwrap();
-    let addr = rt.aquila.mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW).unwrap();
+    let f = rt.open("/crash/file", file_pages).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, file_pages, Prot::RW).unwrap();
     // Blob metadata must be durable before the fault window opens, or
     // the cut could land inside the superblock write instead of data.
     rt.store.sync_md(&mut ctx).unwrap();
@@ -75,33 +109,53 @@ fn run_workload(seed: u64, cut_op: u64, sectors: usize) -> RunOutcome {
         .expect("spdk path has an nvme device")
         .set_fault_plan(Arc::clone(&plan));
 
-    let mut history: Vec<Vec<u8>> = vec![Vec::new(); FILE_PAGES as usize];
+    if expect_promotion {
+        // Clean sequential warm touch: all-clean residency lets the
+        // exact threshold crossing (in-run index 63, threshold 64)
+        // promote the run, so round 0's first store goes through the
+        // clean-leaf write upgrade and the first msync drains a
+        // whole-leaf amplified writeback.
+        let mut b = [0u8; 8];
+        for page in 0..file_pages {
+            rt.aquila.read(&mut ctx, addr.add(page * PAGE as u64), &mut b).unwrap();
+        }
+        assert!(
+            rt.aquila.promoted_runs() > 0,
+            "huge sweep never promoted; the contract check would be vacuous"
+        );
+    }
+
+    let mut history: Vec<Vec<u8>> = vec![Vec::new(); file_pages as usize];
     let mut acks = Vec::new();
     for round in 0..ROUNDS {
-        for page in 0..FILE_PAGES {
+        for page in 0..file_pages {
             if writes(round, page) {
                 let buf = vec![tag(round, page); PAGE];
                 rt.aquila.write(&mut ctx, addr.add(page * PAGE as u64), &buf).unwrap();
                 history[page as usize].push(tag(round, page));
             }
         }
-        if rt.aquila.msync(&mut ctx, addr, FILE_PAGES).is_ok() {
+        if rt.aquila.msync(&mut ctx, addr, file_pages).is_ok() {
             let idx: Vec<i32> = history.iter().map(|h| h.len() as i32 - 1).collect();
             acks.push((ctx.now(), idx));
         }
     }
     RunOutcome {
+        file_pages,
         cut: plan.crash_image().map(|c| (c.at, c.image)),
         history,
         acks,
     }
 }
 
-/// Recovers a fresh stack from `image` and checks both contract clauses.
-fn check_recovery(outcome: &RunOutcome, label: &str) {
+/// Recovers a fresh stack from `image` (under `policy`, so the huge
+/// sweep also exercises recovery with promotion enabled) and checks
+/// both contract clauses.
+fn check_recovery(outcome: &RunOutcome, label: &str, policy: MmioPolicy) {
+    let file_pages = outcome.file_pages;
     let (cut_at, image) = outcome.cut.as_ref().expect("cut point fired");
     // Durability floor: the last ack that completed before the cut.
-    let mut floor = vec![-1i32; FILE_PAGES as usize];
+    let mut floor = vec![-1i32; file_pages as usize];
     for (t, idx) in &outcome.acks {
         if t <= cut_at {
             floor.clone_from_slice(idx);
@@ -110,11 +164,11 @@ fn check_recovery(outcome: &RunOutcome, label: &str) {
 
     let mut ctx = FreeCtx::new(0x4EC0 ^ image.len() as u64);
     let debts = Arc::new(CoreDebts::new(1));
-    let rt = AquilaRuntime::recover_from_image(&mut ctx, image, 256, 1, debts, MmioPolicy::default())
+    let rt = AquilaRuntime::recover_from_image(&mut ctx, image, 1024, 1, debts, policy)
         .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
     rt.aquila.thread_enter(&mut ctx);
-    let f = rt.open("/crash/file", FILE_PAGES).unwrap();
-    let addr = rt.aquila.mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW).unwrap();
+    let f = rt.open("/crash/file", file_pages).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, file_pages, Prot::RW).unwrap();
 
     for (page, &page_floor) in floor.iter().enumerate() {
         let mut back = vec![0u8; PAGE];
@@ -172,11 +226,65 @@ fn acknowledged_data_survives_over_100_seeded_power_cuts() {
             continue; // Cut op beyond the run's write count.
         }
         fired += 1;
-        check_recovery(&outcome, &format!("cut_op={k} sectors={sectors}"));
+        check_recovery(
+            &outcome,
+            &format!("cut_op={k} sectors={sectors}"),
+            MmioPolicy::default(),
+        );
     }
     assert!(
         fired >= 100,
         "only {fired} cut points fired; the sweep must cover at least 100"
+    );
+}
+
+/// Power cuts landing inside writebacks of a *promoted* 2 MiB run obey
+/// the same durability contract. Promotion changes the writeback shape —
+/// a clean-run write upgrade dirties the whole leaf, so an msync can
+/// rewrite pages the workload never touched that round — but every
+/// amplified rewrite carries the page's current (already-consistent)
+/// bytes, so the checker's clauses must hold unchanged: acked versions
+/// never roll back, tearing stays sector-granular, and at most two
+/// *consecutive* versions coexist with the newer one a clean prefix.
+/// Recovery itself also runs with `huge_pages` on, so the post-crash
+/// read scan re-promotes (hole-filling from the cut image) while the
+/// contract is being checked.
+#[test]
+fn promoted_runs_keep_the_durability_contract_across_power_cuts() {
+    let policy = MmioPolicy {
+        huge_pages: true,
+        promote_threshold: 64,
+        ..MmioPolicy::default()
+    };
+    let mut fired = 0u32;
+    for k in 0..40u64 {
+        // Stride across the (dirty-amplified, much longer) writeback
+        // stream so cuts land before, inside, and after the first
+        // whole-leaf msync.
+        let cut_op = 1 + k * 21;
+        let sectors = (k % 9) as usize;
+        let outcome = run_workload_policy(
+            0x2417_0000 + k,
+            cut_op,
+            sectors,
+            512, // exactly one 2 MiB run
+            1024,
+            policy.clone(),
+            true,
+        );
+        if outcome.cut.is_none() {
+            continue;
+        }
+        fired += 1;
+        check_recovery(
+            &outcome,
+            &format!("huge cut_op={cut_op} sectors={sectors}"),
+            policy.clone(),
+        );
+    }
+    assert!(
+        fired >= 30,
+        "only {fired} huge cut points fired; the sweep must cover at least 30"
     );
 }
 

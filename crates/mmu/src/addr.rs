@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-/// Page size (4 KiB) — the only GVA->GPA granularity Aquila uses, to keep
+/// Page size (4 KiB) — the base GVA->GPA granularity, keeping
 /// application-visible mappings fine-grained (section 3.5).
 pub const PAGE_SIZE: u64 = 4096;
 /// log2 of [`PAGE_SIZE`].
@@ -11,6 +11,10 @@ pub const PAGE_SHIFT: u32 = 12;
 pub const ENTRIES_PER_TABLE: usize = 512;
 /// Number of radix levels in an x86-64 page table.
 pub const PT_LEVELS: usize = 4;
+/// 2 MiB huge-page size: one level-1 (PD) leaf covering 512 base pages.
+pub const PAGE_2M: u64 = 2 * 1024 * 1024;
+/// Base pages per 2 MiB huge page.
+pub const HUGE_PAGE_PAGES: u64 = ENTRIES_PER_TABLE as u64;
 
 /// A guest-virtual address (GVA).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -52,6 +56,18 @@ impl Gva {
     pub const fn pt_index(self, level: usize) -> usize {
         ((self.0 >> (PAGE_SHIFT + 9 * level as u32)) & 0x1FF) as usize
     }
+
+    /// Byte offset within the covering 2 MiB huge page.
+    #[inline]
+    pub const fn huge_offset(self) -> u64 {
+        self.0 & (PAGE_2M - 1)
+    }
+
+    /// Rounds down to the 2 MiB huge-page boundary.
+    #[inline]
+    pub const fn huge_base(self) -> Gva {
+        Gva(self.0 & !(PAGE_2M - 1))
+    }
 }
 
 impl fmt::Display for Gva {
@@ -76,6 +92,24 @@ impl Vpn {
     pub const fn next(self) -> Vpn {
         Vpn(self.0 + 1)
     }
+
+    /// First VPN of the covering 2 MiB huge page.
+    #[inline]
+    pub const fn huge_base(self) -> Vpn {
+        Vpn(self.0 & !(HUGE_PAGE_PAGES - 1))
+    }
+
+    /// Index of this page within its covering 2 MiB huge page.
+    #[inline]
+    pub const fn huge_index(self) -> u64 {
+        self.0 & (HUGE_PAGE_PAGES - 1)
+    }
+
+    /// Whether this VPN sits on a 2 MiB huge-page boundary.
+    #[inline]
+    pub const fn is_huge_aligned(self) -> bool {
+        self.0 & (HUGE_PAGE_PAGES - 1) == 0
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +124,19 @@ mod tests {
         assert_eq!(a.page_base(), Gva(0x1234_5000));
         assert_eq!(a.vpn().base(), Gva(0x1234_5000));
         assert_eq!(a.vpn().next(), Vpn(0x12346));
+    }
+
+    #[test]
+    fn huge_alignment_helpers() {
+        let a = Gva(0x4032_1678);
+        assert_eq!(a.huge_base(), Gva(0x4020_0000));
+        assert_eq!(a.huge_offset(), 0x12_1678);
+        let v = Vpn(0x12345);
+        assert_eq!(v.huge_base(), Vpn(0x12200));
+        assert_eq!(v.huge_index(), 0x145);
+        assert!(!v.is_huge_aligned());
+        assert!(v.huge_base().is_huge_aligned());
+        assert_eq!(PAGE_2M, HUGE_PAGE_PAGES * PAGE_SIZE);
     }
 
     #[test]

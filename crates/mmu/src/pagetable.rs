@@ -9,7 +9,7 @@
 
 use aquila_vmx::Gpa;
 
-use crate::addr::{Gva, Vpn, ENTRIES_PER_TABLE, PT_LEVELS};
+use crate::addr::{Gva, Vpn, ENTRIES_PER_TABLE, HUGE_PAGE_PAGES, PAGE_SIZE, PT_LEVELS};
 
 /// Permissions and state bits of a leaf page-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,8 +70,20 @@ pub enum PageFaultKind {
     Protection,
 }
 
+/// The leaf granularity a translation resolved through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafKind {
+    /// An ordinary 4 KiB PTE.
+    Small,
+    /// A 2 MiB PD-level huge leaf.
+    Huge,
+}
+
 enum Node {
     Table(Box<Table>),
+    /// A 2 MiB leaf installed directly in a level-1 (PD) slot; `gpa` is
+    /// the 2 MiB-aligned base of the backing guest-physical run.
+    Huge(Pte),
     Empty,
 }
 
@@ -103,6 +115,7 @@ impl Table {
 pub struct PageTable {
     root: Table,
     mapped: u64,
+    huge_mapped: u64,
 }
 
 impl PageTable {
@@ -111,12 +124,19 @@ impl PageTable {
         PageTable {
             root: Table::new(PT_LEVELS - 1),
             mapped: 0,
+            huge_mapped: 0,
         }
     }
 
-    /// Number of present leaf mappings.
+    /// Number of present leaf mappings, in 4 KiB-page equivalents (a
+    /// huge leaf counts as 512).
     pub fn mapped_pages(&self) -> u64 {
         self.mapped
+    }
+
+    /// Number of 2 MiB huge leaves currently installed.
+    pub fn huge_mapped(&self) -> u64 {
+        self.huge_mapped
     }
 
     /// Installs (or replaces) the mapping for the page containing `gva`.
@@ -132,6 +152,7 @@ impl PageTable {
             }
             table = match slot {
                 Node::Table(t) => t,
+                Node::Huge(_) => panic!("4 KiB map inside a promoted 2 MiB region; demote first"),
                 Node::Empty => unreachable!("just populated"),
             };
         }
@@ -154,29 +175,54 @@ impl PageTable {
         prev
     }
 
-    /// Reads the entry for the page containing `gva` without access checks.
+    /// Reads the entry for the page containing `gva` without access
+    /// checks. A huge leaf is reported as its synthesized 4 KiB slice, so
+    /// callers that reason per-page keep working.
     pub fn lookup(&self, gva: Gva) -> Option<Pte> {
+        self.lookup_leaf(gva).map(|(pte, kind)| match kind {
+            LeafKind::Small => pte,
+            LeafKind::Huge => Pte {
+                gpa: Gpa(pte.gpa.get() + gva.vpn().huge_index() * PAGE_SIZE),
+                flags: pte.flags,
+            },
+        })
+    }
+
+    /// Reads the *leaf* covering `gva`: the 4 KiB PTE, or the covering
+    /// 2 MiB huge leaf (base GPA, not the per-page slice) with
+    /// [`LeafKind::Huge`].
+    pub fn lookup_leaf(&self, gva: Gva) -> Option<(Pte, LeafKind)> {
         let mut table = &self.root;
         for level in (1..PT_LEVELS).rev() {
             match &table.entries[gva.pt_index(level)] {
                 Node::Table(t) => table = t,
+                Node::Huge(pte) => {
+                    debug_assert_eq!(level, 1);
+                    return Some((*pte, LeafKind::Huge));
+                }
                 Node::Empty => return None,
             }
         }
-        table.leaves[gva.pt_index(0)]
+        table.leaves[gva.pt_index(0)].map(|pte| (pte, LeafKind::Small))
     }
 
     /// Translates an access, updating accessed/dirty bits like hardware
-    /// would.
+    /// would. Resolves through either a 4 KiB PTE or a 2 MiB huge leaf.
     pub fn translate(&mut self, gva: Gva, access: Access) -> Result<Gpa, PageFaultKind> {
-        let leaf = match self.leaf_mut(gva) {
-            Some(l) => l,
-            None => return Err(PageFaultKind::NotPresent),
-        };
-        let pte = match leaf {
-            Some(p) if p.flags.present => p,
+        let (pte, off) = match self.pd_slot_mut(gva) {
+            Some(Node::Huge(pte)) => (pte, gva.huge_offset()),
+            Some(Node::Table(t)) => {
+                debug_assert_eq!(t.level, 0);
+                match &mut t.leaves[gva.pt_index(0)] {
+                    Some(p) => (p, gva.page_offset()),
+                    None => return Err(PageFaultKind::NotPresent),
+                }
+            }
             _ => return Err(PageFaultKind::NotPresent),
         };
+        if !pte.flags.present {
+            return Err(PageFaultKind::NotPresent);
+        }
         if access == Access::Write && !pte.flags.writable {
             return Err(PageFaultKind::Protection);
         }
@@ -184,12 +230,18 @@ impl PageTable {
         if access == Access::Write {
             pte.flags.dirty = true;
         }
-        Ok(Gpa(pte.gpa.get() + gva.page_offset()))
+        Ok(Gpa(pte.gpa.get() + off))
     }
 
     /// Updates the flags of an existing mapping (the `mprotect` /
-    /// write-enable path). Returns the old flags.
+    /// write-enable path). Returns the old flags. On a huge leaf the new
+    /// flags apply to the whole 2 MiB region.
     pub fn protect(&mut self, gva: Gva, flags: PteFlags) -> Option<PteFlags> {
+        if let Some(Node::Huge(pte)) = self.pd_slot_mut(gva) {
+            let old = pte.flags;
+            pte.flags = flags;
+            return Some(old);
+        }
         let leaf = self.leaf_mut(gva)?;
         match leaf {
             Some(pte) => {
@@ -198,6 +250,45 @@ impl PageTable {
                 Some(old)
             }
             None => None,
+        }
+    }
+
+    /// Installs a 2 MiB huge leaf at the (2 MiB-aligned) `gva`, mapping
+    /// it to the (2 MiB-aligned) `gpa` run. Any 4 KiB mappings previously
+    /// present under the slot are displaced; the caller is expected to
+    /// have unmapped and shot them down first, so the return value — the
+    /// number of displaced 4 KiB leaves — is normally 0.
+    pub fn map_huge(&mut self, gva: Gva, gpa: Gpa, flags: PteFlags) -> u64 {
+        debug_assert_eq!(gva.huge_offset(), 0, "huge map requires 2M-aligned GVA");
+        debug_assert_eq!(gpa.get() % (HUGE_PAGE_PAGES * PAGE_SIZE), 0);
+        let slot = self.pd_slot_mut_create(gva);
+        let displaced = match std::mem::replace(slot, Node::Huge(Pte { gpa, flags })) {
+            Node::Table(t) => t.leaves.iter().filter(|l| l.is_some()).count() as u64,
+            Node::Huge(_) => HUGE_PAGE_PAGES,
+            Node::Empty => 0,
+        };
+        self.mapped -= displaced;
+        if displaced == HUGE_PAGE_PAGES {
+            self.huge_mapped -= 1;
+        }
+        self.mapped += HUGE_PAGE_PAGES;
+        self.huge_mapped += 1;
+        displaced
+    }
+
+    /// Removes the huge leaf covering `gva` (the splinter/demote path).
+    /// The 4 KiB slices become not-present and refault on demand.
+    pub fn unmap_huge(&mut self, gva: Gva) -> Option<Pte> {
+        match self.pd_slot_mut(gva) {
+            Some(slot @ Node::Huge(_)) => {
+                let Node::Huge(pte) = std::mem::replace(slot, Node::Empty) else {
+                    unreachable!("matched huge above");
+                };
+                self.mapped -= HUGE_PAGE_PAGES;
+                self.huge_mapped -= 1;
+                Some(pte)
+            }
+            _ => None,
         }
     }
 
@@ -214,15 +305,49 @@ impl PageTable {
         }
     }
 
+    /// 4 KiB leaf slot, if the walk reaches a level-0 table. A covering
+    /// huge leaf yields `None`: per-page mutation under a promoted region
+    /// is a caller bug (demote first).
     fn leaf_mut(&mut self, gva: Gva) -> Option<&mut Option<Pte>> {
         let mut table = &mut self.root;
         for level in (1..PT_LEVELS).rev() {
             match &mut table.entries[gva.pt_index(level)] {
                 Node::Table(t) => table = t,
-                Node::Empty => return None,
+                Node::Huge(_) | Node::Empty => return None,
             }
         }
         Some(&mut table.leaves[gva.pt_index(0)])
+    }
+
+    /// The level-1 (PD) slot covering `gva`, without creating tables.
+    fn pd_slot_mut(&mut self, gva: Gva) -> Option<&mut Node> {
+        let mut table = &mut self.root;
+        for level in (2..PT_LEVELS).rev() {
+            match &mut table.entries[gva.pt_index(level)] {
+                Node::Table(t) => table = t,
+                _ => return None,
+            }
+        }
+        debug_assert_eq!(table.level, 1);
+        Some(&mut table.entries[gva.pt_index(1)])
+    }
+
+    /// The level-1 (PD) slot covering `gva`, creating intermediate
+    /// tables on the way down.
+    fn pd_slot_mut_create(&mut self, gva: Gva) -> &mut Node {
+        let mut table = &mut self.root;
+        for level in (2..PT_LEVELS).rev() {
+            let slot = &mut table.entries[gva.pt_index(level)];
+            if matches!(slot, Node::Empty) {
+                *slot = Node::Table(Box::new(Table::new(level - 1)));
+            }
+            table = match slot {
+                Node::Table(t) => t,
+                _ => unreachable!("levels above 1 hold only tables"),
+            };
+        }
+        debug_assert_eq!(table.level, 1);
+        &mut table.entries[gva.pt_index(1)]
     }
 }
 
@@ -335,5 +460,97 @@ mod tests {
     fn unmap_missing_returns_none() {
         let mut pt = PageTable::new();
         assert!(pt.unmap(Gva(0x123000)).is_none());
+    }
+
+    const HUGE: u64 = HUGE_PAGE_PAGES * PAGE_SIZE;
+
+    #[test]
+    fn huge_map_translates_every_slice() {
+        let mut pt = PageTable::new();
+        let gva = Gva(4 * HUGE);
+        let gpa = Gpa(16 * HUGE);
+        assert_eq!(pt.map_huge(gva, gpa, PteFlags::RW), 0);
+        assert_eq!(pt.mapped_pages(), HUGE_PAGE_PAGES);
+        assert_eq!(pt.huge_mapped(), 1);
+        // First, middle, and last 4K slices all resolve through the leaf.
+        for off in [0u64, 255 * PAGE_SIZE + 0x123, HUGE - 1] {
+            assert_eq!(
+                pt.translate(gva.add(off), Access::Write),
+                Ok(Gpa(gpa.get() + off))
+            );
+        }
+        // Per-page lookup synthesizes the slice PTE.
+        let slice = pt.lookup(gva.add(7 * PAGE_SIZE)).unwrap();
+        assert_eq!(slice.gpa, Gpa(gpa.get() + 7 * PAGE_SIZE));
+        let (leaf, kind) = pt.lookup_leaf(gva.add(7 * PAGE_SIZE)).unwrap();
+        assert_eq!(kind, LeafKind::Huge);
+        assert_eq!(leaf.gpa, gpa);
+    }
+
+    #[test]
+    fn huge_write_to_readonly_faults_and_protect_upgrades_whole_leaf() {
+        let mut pt = PageTable::new();
+        let gva = Gva(2 * HUGE);
+        pt.map_huge(gva, Gpa(8 * HUGE), PteFlags::RO);
+        let inside = gva.add(100 * PAGE_SIZE);
+        assert!(pt.translate(inside, Access::Read).is_ok());
+        assert_eq!(
+            pt.translate(inside, Access::Write),
+            Err(PageFaultKind::Protection)
+        );
+        // protect on any covered address upgrades the whole leaf.
+        let mut rw = PteFlags::RW;
+        rw.dirty = true;
+        let old = pt.protect(inside, rw).unwrap();
+        assert!(!old.writable);
+        assert!(pt.translate(gva.add(HUGE - 1), Access::Write).is_ok());
+        assert!(pt.lookup_leaf(gva).unwrap().0.flags.dirty);
+    }
+
+    #[test]
+    fn unmap_huge_splinters_to_not_present() {
+        let mut pt = PageTable::new();
+        let gva = Gva(HUGE);
+        pt.map_huge(gva, Gpa(4 * HUGE), PteFlags::RW);
+        let pte = pt.unmap_huge(gva.add(33 * PAGE_SIZE)).unwrap();
+        assert_eq!(pte.gpa, Gpa(4 * HUGE));
+        assert_eq!(pt.mapped_pages(), 0);
+        assert_eq!(pt.huge_mapped(), 0);
+        assert_eq!(
+            pt.translate(gva, Access::Read),
+            Err(PageFaultKind::NotPresent)
+        );
+        // The region accepts ordinary 4K maps again after the splinter.
+        pt.map(gva, Gpa(0x7000), PteFlags::RW);
+        assert_eq!(pt.translate(gva, Access::Read), Ok(Gpa(0x7000)));
+        assert!(pt.unmap_huge(gva).is_none());
+    }
+
+    #[test]
+    fn huge_map_reports_displaced_small_leaves() {
+        let mut pt = PageTable::new();
+        let gva = Gva(3 * HUGE);
+        pt.map(gva, Gpa(0x1000), PteFlags::RW);
+        pt.map(gva.add(5 * PAGE_SIZE), Gpa(0x2000), PteFlags::RO);
+        assert_eq!(pt.map_huge(gva, Gpa(32 * HUGE), PteFlags::RW), 2);
+        assert_eq!(pt.mapped_pages(), HUGE_PAGE_PAGES);
+    }
+
+    #[test]
+    fn huge_and_small_neighbours_coexist() {
+        let mut pt = PageTable::new();
+        let huge_gva = Gva(8 * HUGE);
+        let small_gva = Gva(9 * HUGE + 3 * PAGE_SIZE);
+        pt.map_huge(huge_gva, Gpa(64 * HUGE), PteFlags::RW);
+        pt.map(small_gva, Gpa(0xABC000), PteFlags::RW);
+        assert_eq!(pt.mapped_pages(), HUGE_PAGE_PAGES + 1);
+        assert_eq!(
+            pt.translate(huge_gva.add(12), Access::Read),
+            Ok(Gpa(64 * HUGE + 12))
+        );
+        assert_eq!(pt.translate(small_gva, Access::Read), Ok(Gpa(0xABC000)));
+        let mut seen = 0;
+        pt.for_range(huge_gva.vpn(), Vpn(huge_gva.vpn().0 + HUGE_PAGE_PAGES), |_, _| seen += 1);
+        assert_eq!(seen, HUGE_PAGE_PAGES);
     }
 }

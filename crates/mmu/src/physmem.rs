@@ -21,26 +21,54 @@ use crate::addr::PAGE_SIZE;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameId(pub u32);
 
-/// A pool of real 4 KiB frames at a guest-physical base address.
+/// A pool of real 4 KiB frames at a guest-physical base address, with an
+/// optional second *slab* window of physically contiguous 2 MiB runs at a
+/// separate base (the huge-page promotion pool). Frame indices are flat:
+/// `0..slab_start` live at `base`, `slab_start..` at `slab_base`.
 pub struct PhysMem {
     base: Gpa,
+    slab_base: Gpa,
+    slab_start: usize,
     frames: Vec<RwLock<Box<[u8]>>>,
 }
 
 impl PhysMem {
     /// Allocates a pool of `frames` zeroed frames based at `base`.
     pub fn new(base: Gpa, frames: usize) -> PhysMem {
+        Self::with_slab(base, frames, Gpa(base.get()), 0)
+    }
+
+    /// Allocates `frames` ordinary frames at `base` plus `slab_frames`
+    /// slab frames at `slab_base` (which must be 2 MiB-aligned and must
+    /// not overlap the ordinary window).
+    pub fn with_slab(base: Gpa, frames: usize, slab_base: Gpa, slab_frames: usize) -> PhysMem {
+        if slab_frames > 0 {
+            assert_eq!(slab_base.get() % (512 * PAGE_SIZE), 0, "slab base not 2M-aligned");
+            let main_end = base.get() + frames as u64 * PAGE_SIZE;
+            let slab_end = slab_base.get() + slab_frames as u64 * PAGE_SIZE;
+            assert!(
+                slab_base.get() >= main_end || base.get() >= slab_end,
+                "slab window overlaps the ordinary frame window"
+            );
+        }
         PhysMem {
             base,
-            frames: (0..frames)
+            slab_base,
+            slab_start: frames,
+            frames: (0..frames + slab_frames)
                 .map(|_| RwLock::new(vec![0u8; PAGE_SIZE as usize].into_boxed_slice()))
                 .collect(),
         }
     }
 
-    /// Number of frames in the pool.
+    /// Number of frames in the pool (ordinary + slab).
     pub fn frame_count(&self) -> usize {
         self.frames.len()
+    }
+
+    /// First frame index of the slab window (== ordinary frame count).
+    pub fn slab_start(&self) -> usize {
+        self.slab_start
     }
 
     /// Base guest-physical address of the pool.
@@ -50,18 +78,32 @@ impl PhysMem {
 
     /// Guest-physical base address of a frame.
     pub fn gpa_of(&self, frame: FrameId) -> Gpa {
-        Gpa(self.base.get() + frame.0 as u64 * PAGE_SIZE)
+        let idx = frame.0 as usize;
+        if idx < self.slab_start {
+            Gpa(self.base.get() + idx as u64 * PAGE_SIZE)
+        } else {
+            Gpa(self.slab_base.get() + (idx - self.slab_start) as u64 * PAGE_SIZE)
+        }
     }
 
-    /// Frame containing a guest-physical address, if inside the pool.
+    /// Frame containing a guest-physical address, if inside either the
+    /// ordinary or the slab window.
     pub fn frame_of(&self, gpa: Gpa) -> Option<FrameId> {
-        let off = gpa.get().checked_sub(self.base.get())?;
-        let idx = off / PAGE_SIZE;
-        if (idx as usize) < self.frames.len() {
-            Some(FrameId(idx as u32))
-        } else {
-            None
+        if let Some(off) = gpa.get().checked_sub(self.base.get()) {
+            let idx = (off / PAGE_SIZE) as usize;
+            if idx < self.slab_start {
+                return Some(FrameId(idx as u32));
+            }
         }
+        if self.slab_start < self.frames.len() {
+            if let Some(off) = gpa.get().checked_sub(self.slab_base.get()) {
+                let idx = self.slab_start + (off / PAGE_SIZE) as usize;
+                if idx < self.frames.len() {
+                    return Some(FrameId(idx as u32));
+                }
+            }
+        }
+        None
     }
 
     /// Runs `f` with shared access to a frame's bytes.
@@ -160,5 +202,37 @@ mod tests {
     fn out_of_range_frame_panics() {
         let pm = PhysMem::new(Gpa(0), 1);
         pm.read(FrameId(1), 0, &mut [0u8; 1]);
+    }
+
+    #[test]
+    fn slab_window_is_piecewise_contiguous() {
+        // 4 ordinary frames at 4 GiB, one 2M slab run at 32 GiB.
+        let pm = PhysMem::with_slab(Gpa(0x1_0000_0000), 4, Gpa(0x8_0000_0000), 512);
+        assert_eq!(pm.frame_count(), 516);
+        assert_eq!(pm.slab_start(), 4);
+        // Ordinary frames translate from the ordinary base.
+        assert_eq!(pm.gpa_of(FrameId(3)), Gpa(0x1_0000_3000));
+        assert_eq!(pm.frame_of(Gpa(0x1_0000_3000)), Some(FrameId(3)));
+        // One past the ordinary window is not the slab.
+        assert_eq!(pm.frame_of(Gpa(0x1_0000_4000)), None);
+        // Slab frames are contiguous at the slab base: frame 4 is the
+        // run's first page, frame 4+511 its last.
+        assert_eq!(pm.gpa_of(FrameId(4)), Gpa(0x8_0000_0000));
+        assert_eq!(pm.gpa_of(FrameId(4 + 511)), Gpa(0x8_0000_0000 + 511 * 4096));
+        assert_eq!(pm.frame_of(Gpa(0x8_0000_0000 + 511 * 4096)), Some(FrameId(515)));
+        assert_eq!(pm.frame_of(Gpa(0x8_0000_0000 + 512 * 4096)), None);
+        // Slab frames hold real, independent bytes.
+        pm.write(FrameId(515), 0, b"slab");
+        let mut buf = [0u8; 4];
+        pm.read(FrameId(515), 0, &mut buf);
+        assert_eq!(&buf, b"slab");
+        pm.read(FrameId(3), 0, &mut buf);
+        assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_slab_window_rejected() {
+        PhysMem::with_slab(Gpa(0x8_0000_0000), 1024, Gpa(0x8_0020_0000), 512);
     }
 }

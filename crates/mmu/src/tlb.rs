@@ -15,11 +15,17 @@ use aquila_vmx::{ApicFabric, Gpa, IpiSendPath};
 use crate::addr::Vpn;
 use crate::pagetable::PteFlags;
 
-/// Number of sets in the simulated TLB (64-entry sets x 4 ways = 1536
+/// Number of sets in the simulated TLB (384 sets x 4 ways = 1536
 /// data-TLB entries, Haswell-class).
 const TLB_SETS: usize = 384;
 /// Associativity.
 const TLB_WAYS: usize = 4;
+/// Sets in the 2 MiB sub-TLB (8 sets x 4 ways = 32 huge entries,
+/// Haswell-class). Small on purpose: its *reach* (32 x 2 MiB = 64 MiB)
+/// is what promotion buys, not its entry count.
+const HUGE_TLB_SETS: usize = 8;
+/// Associativity of the 2 MiB sub-TLB.
+const HUGE_TLB_WAYS: usize = 4;
 
 // Race-detector identities: per-core TLB locks (instanced by core; the
 // shootdown sweep takes them one at a time in ascending core order, never
@@ -55,12 +61,17 @@ const INVALID: TlbEntry = TlbEntry {
     lru: 0,
 };
 
-/// A single core's TLB: set-associative with LRU replacement.
+/// A single core's dTLB: a 4 KiB array and a 2 MiB sub-TLB, both
+/// set-associative with LRU replacement, as on Haswell-class parts.
 #[derive(Debug)]
 pub struct Tlb {
     sets: Vec<[TlbEntry; TLB_WAYS]>,
+    /// 2 MiB sub-TLB; entries are keyed by the huge VPN (vpn >> 9) and
+    /// hold the 2 MiB-aligned base GPA.
+    huge_sets: Vec<[TlbEntry; HUGE_TLB_WAYS]>,
     tick: u64,
     hits: u64,
+    huge_hits: u64,
     misses: u64,
     invalidations: u64,
     flushes: u64,
@@ -71,8 +82,10 @@ impl Tlb {
     pub fn new() -> Tlb {
         Tlb {
             sets: vec![[INVALID; TLB_WAYS]; TLB_SETS],
+            huge_sets: vec![[INVALID; HUGE_TLB_WAYS]; HUGE_TLB_SETS],
             tick: 0,
             hits: 0,
+            huge_hits: 0,
             misses: 0,
             invalidations: 0,
             flushes: 0,
@@ -84,7 +97,19 @@ impl Tlb {
         (vpn.0 as usize) % TLB_SETS
     }
 
-    /// Looks up a translation; updates hit/miss statistics and LRU.
+    #[inline]
+    fn hvpn_of(vpn: Vpn) -> Vpn {
+        Vpn(vpn.0 >> 9)
+    }
+
+    #[inline]
+    fn huge_set_of(hvpn: Vpn) -> usize {
+        (hvpn.0 as usize) % HUGE_TLB_SETS
+    }
+
+    /// Looks up a translation; updates hit/miss statistics and LRU. A
+    /// 2 MiB entry hit returns the GPA of the 4 KiB slice, so callers do
+    /// not care which array the translation came from.
     pub fn lookup(&mut self, vpn: Vpn) -> Option<(Gpa, PteFlags)> {
         self.tick += 1;
         let tick = self.tick;
@@ -94,6 +119,17 @@ impl Tlb {
                 e.lru = tick;
                 self.hits += 1;
                 return Some((e.gpa, e.flags));
+            }
+        }
+        let hvpn = Self::hvpn_of(vpn);
+        let set = &mut self.huge_sets[Self::huge_set_of(hvpn)];
+        for e in set.iter_mut() {
+            if e.valid && e.vpn == hvpn {
+                e.lru = tick;
+                self.hits += 1;
+                self.huge_hits += 1;
+                let slice = Gpa(e.gpa.get() + (vpn.0 & 0x1FF) * crate::addr::PAGE_SIZE);
+                return Some((slice, e.flags));
             }
         }
         self.misses += 1;
@@ -119,7 +155,31 @@ impl Tlb {
         };
     }
 
-    /// Invalidates the entry for one page (local `invlpg`).
+    /// Inserts a 2 MiB translation for the huge page containing
+    /// `hbase` (which must be 2 MiB-aligned; `gpa` is the 2 MiB-aligned
+    /// base of the backing run), evicting the LRU way in its sub-TLB set.
+    pub fn insert_huge(&mut self, hbase: Vpn, gpa: Gpa, flags: PteFlags) {
+        debug_assert!(hbase.is_huge_aligned(), "huge TLB entry must be 2M-aligned");
+        self.tick += 1;
+        let tick = self.tick;
+        let hvpn = Self::hvpn_of(hbase);
+        let set = &mut self.huge_sets[Self::huge_set_of(hvpn)];
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru + 1 } else { 0 })
+            .expect("sets are non-empty");
+        *victim = TlbEntry {
+            vpn: hvpn,
+            gpa,
+            flags,
+            valid: true,
+            lru: tick,
+        };
+    }
+
+    /// Invalidates the entry for one page (local `invlpg`). As on real
+    /// hardware, `invlpg` also drops the covering 2 MiB entry, so every
+    /// existing shootdown path handles promoted mappings unchanged.
     pub fn invalidate(&mut self, vpn: Vpn) {
         let set = &mut self.sets[Self::set_of(vpn)];
         for e in set.iter_mut() {
@@ -128,11 +188,24 @@ impl Tlb {
                 self.invalidations += 1;
             }
         }
+        let hvpn = Self::hvpn_of(vpn);
+        let set = &mut self.huge_sets[Self::huge_set_of(hvpn)];
+        for e in set.iter_mut() {
+            if e.valid && e.vpn == hvpn {
+                e.valid = false;
+                self.invalidations += 1;
+            }
+        }
     }
 
-    /// Flushes the whole TLB (CR3 reload).
+    /// Flushes the whole TLB (CR3 reload), both page sizes.
     pub fn flush(&mut self) {
         for set in self.sets.iter_mut() {
+            for e in set.iter_mut() {
+                e.valid = false;
+            }
+        }
+        for set in self.huge_sets.iter_mut() {
             for e in set.iter_mut() {
                 e.valid = false;
             }
@@ -140,9 +213,33 @@ impl Tlb {
         self.flushes += 1;
     }
 
-    /// (hits, misses) so far.
+    /// (hits, misses) so far. Hits through the 2 MiB sub-TLB count as
+    /// hits here; [`Tlb::huge_hits`] breaks them out.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Hits served by the 2 MiB sub-TLB.
+    pub fn huge_hits(&self) -> u64 {
+        self.huge_hits
+    }
+
+    /// Bytes of address space the currently valid entries can translate
+    /// without a walk: 4 KiB per small entry, 2 MiB per huge entry.
+    pub fn reach_bytes(&self) -> u64 {
+        let small = self
+            .sets
+            .iter()
+            .flatten()
+            .filter(|e| e.valid)
+            .count() as u64;
+        let huge = self
+            .huge_sets
+            .iter()
+            .flatten()
+            .filter(|e| e.valid)
+            .count() as u64;
+        small * crate::addr::PAGE_SIZE + huge * crate::addr::PAGE_2M
     }
 
     /// Entries invalidated individually.
@@ -350,6 +447,80 @@ mod tests {
             tlb_cost < 10_000,
             "batched cost should be capped: {tlb_cost}"
         );
+    }
+
+    #[test]
+    fn huge_entry_translates_every_slice_and_counts_one_reach() {
+        let mut tlb = Tlb::new();
+        let hbase = Vpn(0x1200); // 2M-aligned (0x1200 % 512 == 0).
+        tlb.insert_huge(hbase, Gpa(0x4000_0000), flags());
+        for idx in [0u64, 1, 255, 511] {
+            let (gpa, fl) = tlb.lookup(Vpn(hbase.0 + idx)).unwrap();
+            assert_eq!(gpa, Gpa(0x4000_0000 + idx * 4096));
+            assert!(fl.writable);
+        }
+        assert_eq!(tlb.huge_hits(), 4);
+        assert_eq!(tlb.stats().0, 4);
+        assert_eq!(tlb.reach_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn invalidate_any_slice_drops_covering_huge_entry() {
+        let mut tlb = Tlb::new();
+        let hbase = Vpn(512);
+        tlb.insert_huge(hbase, Gpa(0x20_0000), flags());
+        assert!(tlb.lookup(Vpn(512 + 100)).is_some());
+        // invlpg of a middle slice kills the whole 2M entry.
+        tlb.invalidate(Vpn(512 + 300));
+        assert!(tlb.lookup(Vpn(512 + 100)).is_none());
+        assert_eq!(tlb.invalidations(), 1);
+    }
+
+    #[test]
+    fn small_entry_wins_over_huge_and_flush_clears_both() {
+        let mut tlb = Tlb::new();
+        let hbase = Vpn(1024);
+        tlb.insert_huge(hbase, Gpa(0x40_0000), flags());
+        // A 4K entry for one slice shadows the huge entry for that page.
+        tlb.insert(Vpn(1025), Gpa(0xAB_C000), flags());
+        let (gpa, _) = tlb.lookup(Vpn(1025)).unwrap();
+        assert_eq!(gpa, Gpa(0xAB_C000));
+        assert_eq!(tlb.huge_hits(), 0);
+        tlb.flush();
+        assert!(tlb.lookup(Vpn(1025)).is_none());
+        assert!(tlb.lookup(Vpn(1024)).is_none());
+        assert_eq!(tlb.reach_bytes(), 0);
+    }
+
+    #[test]
+    fn huge_sub_tlb_conflicts_evict_lru() {
+        let mut tlb = Tlb::new();
+        // Five huge pages mapping to the same sub-TLB set (hvpn stride
+        // HUGE_TLB_SETS => vpn stride HUGE_TLB_SETS * 512).
+        let stride = (HUGE_TLB_SETS as u64) * 512;
+        let bases: Vec<Vpn> = (0..5).map(|i| Vpn(i * stride)).collect();
+        for &b in &bases {
+            tlb.insert_huge(b, Gpa(b.0 * 4096), flags());
+        }
+        assert!(tlb.lookup(bases[0]).is_none());
+        for &b in &bases[1..] {
+            assert!(tlb.lookup(b).is_some(), "huge {b:?} evicted unexpectedly");
+        }
+    }
+
+    #[test]
+    fn shootdown_drops_huge_entries_on_every_core() {
+        let fabric = TlbFabric::new(2);
+        let debts = CoreDebts::new(2);
+        let hbase = Vpn(2048);
+        for core in 0..2 {
+            fabric.with_local(core, |t| t.insert_huge(hbase, Gpa(0x80_0000), flags()));
+        }
+        let mut ctx = FreeCtx::new(1).with_core(0, 2);
+        fabric.shootdown_batch(&mut ctx, &debts, IpiSendPath::VmexitMediated, &[hbase]);
+        for core in 0..2 {
+            assert!(fabric.with_local(core, |t| t.lookup(Vpn(2048 + 17)).is_none()));
+        }
     }
 
     #[test]

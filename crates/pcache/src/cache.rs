@@ -14,7 +14,7 @@
 //! and performs unmapping, shootdowns, and device writeback — mirroring
 //! the paper's layering where applications can customize either side.
 
-use aquila_mmu::{FrameId, PhysMem};
+use aquila_mmu::{FrameId, PhysMem, HUGE_PAGE_PAGES, PAGE_SIZE};
 use aquila_sim::{race, CostCat, SimCtx};
 use aquila_vmx::Gpa;
 use aquila_sync::Mutex;
@@ -48,6 +48,13 @@ pub struct CacheConfig {
     pub freelist: FreelistConfig,
     /// Guest-physical base address of the frame pool.
     pub gpa_base: u64,
+    /// Number of 2 MiB slab runs backing huge-page promotion (0 disables
+    /// the slab window). Each run is 512 physically contiguous frames
+    /// appended beyond `max_frames`, outside the ordinary freelist.
+    pub slab_runs: usize,
+    /// Guest-physical base of the slab window (2 MiB-aligned, disjoint
+    /// from the ordinary window).
+    pub slab_gpa_base: u64,
 }
 
 impl CacheConfig {
@@ -70,6 +77,8 @@ impl CacheConfig {
                 level_batch: (spill / 2).max(16),
             },
             gpa_base: 0x1_0000_0000,
+            slab_runs: 0,
+            slab_gpa_base: 0x8_0000_0000,
         }
     }
 }
@@ -91,6 +100,8 @@ const L_DIRTY: &str = "pcache.dirty";
 const V_DIRTY: &str = "pcache.dirty.trees";
 const L_FREELIST: &str = "pcache.freelist";
 const V_FREELIST: &str = "pcache.freelist.queues";
+const L_SLAB: &str = "pcache.slab";
+const V_SLAB: &str = "pcache.slab.runs";
 
 /// An evicted page the mmio engine must now unmap and possibly write back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +125,12 @@ pub struct DramCache {
     owners: Vec<Mutex<Option<PageKey>>>,
     cfg: CacheConfig,
     active_frames: Mutex<usize>,
+    /// Free slab runs, sorted descending so `pop` yields the lowest id
+    /// (deterministic allocation order).
+    slab_free: Mutex<Vec<usize>>,
+    /// Resident pages per slab run; a run returns to `slab_free` when its
+    /// occupancy drains back to zero.
+    slab_occupancy: Vec<Mutex<u16>>,
 }
 
 impl DramCache {
@@ -128,21 +145,30 @@ impl DramCache {
             cfg.initial_frames <= cfg.max_frames,
             "initial frames exceed pool"
         );
-        race::declare_order("pcache", &[L_BUCKET, L_OWNER, L_DIRTY, L_FREELIST]);
-        let mem = PhysMem::new(Gpa(cfg.gpa_base), cfg.max_frames);
+        race::declare_order("pcache", &[L_BUCKET, L_OWNER, L_DIRTY, L_FREELIST, L_SLAB]);
+        let slab_frames = cfg.slab_runs * HUGE_PAGE_PAGES as usize;
+        let total_frames = cfg.max_frames + slab_frames;
+        let mem = PhysMem::with_slab(
+            Gpa(cfg.gpa_base),
+            cfg.max_frames,
+            Gpa(cfg.slab_gpa_base),
+            slab_frames,
+        );
         let freelist = Freelist::new(
             cfg.topology,
             cfg.freelist,
             (0..cfg.initial_frames as u32).map(FrameId),
         );
         DramCache {
-            map: LockFreeMap::new(cfg.max_frames),
-            clock: ClockLru::new(cfg.max_frames),
+            map: LockFreeMap::new(total_frames),
+            clock: ClockLru::new(total_frames),
             dirty: DirtyTrees::new(cfg.topology.cores()),
-            owners: (0..cfg.max_frames).map(|_| Mutex::new(None)).collect(),
+            owners: (0..total_frames).map(|_| Mutex::new(None)).collect(),
             freelist,
             mem,
             active_frames: Mutex::new(cfg.initial_frames),
+            slab_free: Mutex::new((0..cfg.slab_runs).rev().collect()),
+            slab_occupancy: (0..cfg.slab_runs).map(|_| Mutex::new(0)).collect(),
             cfg,
         }
     }
@@ -195,6 +221,202 @@ impl DramCache {
         race::write(ctx, (V_FREELIST, 0));
         race::release(ctx, (L_FREELIST, 0));
         frame
+    }
+
+    /// Number of 2 MiB slab runs configured (0 = promotion disabled).
+    pub fn slab_runs(&self) -> usize {
+        self.cfg.slab_runs
+    }
+
+    /// Free (unallocated) slab runs.
+    pub fn free_slab_runs(&self) -> usize {
+        self.slab_free.lock().len()
+    }
+
+    /// Frames the CLOCK sweep currently considers resident (diagnostics).
+    pub fn clock_resident(&self) -> usize {
+        self.clock.resident_count()
+    }
+
+    /// Cached pages occupying slab run `run` (diagnostics).
+    pub fn slab_occupancy_of(&self, run: usize) -> usize {
+        usize::from(*self.slab_occupancy[run].lock())
+    }
+
+    /// First frame id of slab run `run`.
+    pub fn slab_run_frame(&self, run: usize, page: usize) -> FrameId {
+        debug_assert!(run < self.cfg.slab_runs && page < HUGE_PAGE_PAGES as usize);
+        FrameId((self.mem.slab_start() + run * HUGE_PAGE_PAGES as usize + page) as u32)
+    }
+
+    /// Guest-physical base address of slab run `run` (2 MiB-aligned).
+    pub fn slab_run_gpa(&self, run: usize) -> Gpa {
+        self.mem.gpa_of(self.slab_run_frame(run, 0))
+    }
+
+    /// The slab run containing `frame`, or `None` for ordinary frames.
+    pub fn slab_run_of(&self, frame: FrameId) -> Option<usize> {
+        let idx = frame.0 as usize;
+        if idx >= self.mem.slab_start() && idx < self.mem.frame_count() {
+            Some((idx - self.mem.slab_start()) / HUGE_PAGE_PAGES as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Allocates the lowest-numbered free slab run for a promotion.
+    pub fn try_alloc_slab_run(&self, ctx: &mut dyn SimCtx) -> Option<usize> {
+        let c = ctx.cost().freelist_op;
+        ctx.charge(CostCat::CacheMgmt, c);
+        race::acquire(ctx, (L_SLAB, 0));
+        let run = self.slab_free.lock().pop();
+        race::write(ctx, (V_SLAB, 0));
+        race::release(ctx, (L_SLAB, 0));
+        run
+    }
+
+    /// Returns an *empty* slab run allocated with
+    /// [`DramCache::try_alloc_slab_run`] whose promotion was abandoned
+    /// before any page migrated into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pages have already migrated into the run (those drain
+    /// back through [`DramCache::release_frame`] instead).
+    pub fn release_slab_run(&self, ctx: &mut dyn SimCtx, run: usize) {
+        race::acquire(ctx, (L_SLAB, 0));
+        assert_eq!(
+            *self.slab_occupancy[run].lock(),
+            0,
+            "released slab run still holds pages"
+        );
+        let mut free = self.slab_free.lock();
+        free.push(run);
+        free.sort_unstable_by(|a, b| b.cmp(a));
+        drop(free);
+        race::write(ctx, (V_SLAB, 0));
+        race::release(ctx, (L_SLAB, 0));
+    }
+
+    /// Migrates a cached page from `old` (an ordinary frame) into `new`
+    /// (a slab frame) during huge-page collapse: copies the bytes,
+    /// repoints the index, owner slots, and dirty tree, and charges the
+    /// run's occupancy. Returns whether the page was dirty.
+    ///
+    /// The caller still owns `old`: it must unmap any virtual mappings,
+    /// shoot down TLBs, and then call [`DramCache::release_frame`] on it.
+    /// The slab frame is left *pinned* (invisible to CLOCK) until
+    /// [`DramCache::unpin_slab_run`] makes the run's pages evictable
+    /// again at demotion.
+    pub fn migrate_frame(
+        &self,
+        ctx: &mut dyn SimCtx,
+        key: PageKey,
+        old: FrameId,
+        new: FrameId,
+    ) -> bool {
+        let run = self
+            .slab_run_of(new)
+            .expect("migration target must be a slab frame");
+        let c = ctx.cost().memcpy_4k_avx2 + ctx.cost().hash_update;
+        ctx.charge(CostCat::CacheMgmt, c);
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        self.mem.read(old, 0, &mut buf);
+        self.mem.write(new, 0, &buf);
+        let bucket = self.map.bucket_index(key);
+        race::acquire(ctx, (L_BUCKET, bucket));
+        let repointed = self.map.update(key, new.0 as u64);
+        race::write_release(ctx, (V_SLOT, key.pack()));
+        race::release(ctx, (L_BUCKET, bucket));
+        assert!(
+            repointed,
+            "page vanished during promotion; candidacy is checked under the fault lock"
+        );
+        race::acquire(ctx, (L_OWNER, old.0 as u64));
+        *self.owners[old.0 as usize].lock() = None;
+        race::write(ctx, (V_OWNER, old.0 as u64));
+        race::release(ctx, (L_OWNER, old.0 as u64));
+        race::acquire(ctx, (L_OWNER, new.0 as u64));
+        *self.owners[new.0 as usize].lock() = Some(key);
+        race::write(ctx, (V_OWNER, new.0 as u64));
+        race::release(ctx, (L_OWNER, new.0 as u64));
+        race::acquire(ctx, (L_DIRTY, 0));
+        let dirty = match self.dirty.remove_anywhere(key) {
+            Some((core, _)) => {
+                self.dirty.insert(core, key, new);
+                true
+            }
+            None => false,
+        };
+        race::write(ctx, (V_DIRTY, 0));
+        race::release(ctx, (L_DIRTY, 0));
+        race::acquire(ctx, (L_SLAB, 0));
+        *self.slab_occupancy[run].lock() += 1;
+        race::write(ctx, (V_SLAB, 0));
+        race::release(ctx, (L_SLAB, 0));
+        dirty
+    }
+
+    /// Publishes `key -> frame` for a slab frame the promoter filled
+    /// directly from the device (a page of the run that was not yet
+    /// resident). Like [`DramCache::commit_insert`] but the frame stays
+    /// pinned (invisible to CLOCK) and the run's occupancy is charged.
+    pub fn insert_pinned(
+        &self,
+        ctx: &mut dyn SimCtx,
+        key: PageKey,
+        frame: FrameId,
+    ) -> Result<(), FrameId> {
+        let run = self
+            .slab_run_of(frame)
+            .expect("pinned inserts target slab frames");
+        let c = ctx.cost().hash_update;
+        ctx.charge(CostCat::CacheMgmt, c);
+        let bucket = self.map.bucket_index(key);
+        race::acquire(ctx, (L_BUCKET, bucket));
+        let result = match self.map.insert(key, frame.0 as u64) {
+            InsertOutcome::Inserted => {
+                race::acquire(ctx, (L_OWNER, frame.0 as u64));
+                *self.owners[frame.0 as usize].lock() = Some(key);
+                race::write(ctx, (V_OWNER, frame.0 as u64));
+                race::release(ctx, (L_OWNER, frame.0 as u64));
+                Ok(())
+            }
+            InsertOutcome::AlreadyPresent(v) => Err(FrameId(v as u32)),
+        };
+        race::write_release(ctx, (V_SLOT, key.pack()));
+        race::release(ctx, (L_BUCKET, bucket));
+        if result.is_ok() {
+            race::acquire(ctx, (L_SLAB, 0));
+            *self.slab_occupancy[run].lock() += 1;
+            race::write(ctx, (V_SLAB, 0));
+            race::release(ctx, (L_SLAB, 0));
+        }
+        result
+    }
+
+    /// Makes a demoted run's pages visible to CLOCK again (they remain
+    /// resident in their slab frames as ordinary 4 KiB pages and drain
+    /// out through normal eviction).
+    pub fn unpin_slab_run(&self, run: usize) {
+        for page in 0..HUGE_PAGE_PAGES as usize {
+            let frame = self.slab_run_frame(run, page);
+            if self.owners[frame.0 as usize].lock().is_some() {
+                self.clock.mark_resident(frame);
+            }
+        }
+    }
+
+    /// Whether `key` is currently marked dirty (uniform clean/dirty
+    /// candidacy check for promotion).
+    pub fn page_dirty(&self, ctx: &mut dyn SimCtx, key: PageKey) -> bool {
+        let c = ctx.cost().rbtree_op;
+        ctx.charge(CostCat::CacheMgmt, c);
+        race::acquire(ctx, (L_DIRTY, 0));
+        let dirty = self.dirty.contains(key);
+        race::read(ctx, (V_DIRTY, 0));
+        race::release(ctx, (L_DIRTY, 0));
+        dirty
     }
 
     /// Selects and detaches an eviction batch.
@@ -289,8 +511,10 @@ impl DramCache {
         result
     }
 
-    /// Returns a frame to the freelist (after eviction writeback, or when
-    /// an insert lost a race).
+    /// Returns a frame to its pool (after eviction writeback, or when an
+    /// insert lost a race). Ordinary frames go back to the freelist; slab
+    /// frames drain their run's occupancy, and the run returns to the
+    /// slab pool once empty — slab frames never enter the freelist.
     pub fn release_frame(&self, ctx: &mut dyn SimCtx, frame: FrameId) {
         let c = ctx.cost().freelist_op;
         ctx.charge(CostCat::CacheMgmt, c);
@@ -299,6 +523,22 @@ impl DramCache {
         *self.owners[frame.0 as usize].lock() = None;
         race::write(ctx, (V_OWNER, frame.0 as u64));
         race::release(ctx, (L_OWNER, frame.0 as u64));
+        if let Some(run) = self.slab_run_of(frame) {
+            self.mem.zero(frame);
+            race::acquire(ctx, (L_SLAB, 0));
+            let mut occ = self.slab_occupancy[run].lock();
+            *occ -= 1;
+            if *occ == 0 {
+                let mut free = self.slab_free.lock();
+                free.push(run);
+                free.sort_unstable_by(|a, b| b.cmp(a));
+                aquila_sim::trace::instant(ctx, "pcache.slab.run_freed", CostCat::CacheMgmt);
+            }
+            drop(occ);
+            race::write(ctx, (V_SLAB, 0));
+            race::release(ctx, (L_SLAB, 0));
+            return;
+        }
         race::acquire(ctx, (L_FREELIST, 0));
         if self.freelist.free(ctx.core(), frame) {
             aquila_sim::metrics::add(ctx, "pcache.freelist.spills", 1);
@@ -585,6 +825,120 @@ mod tests {
         assert_eq!(cache.refill_target(), 0);
         assert_eq!(cache.low_watermark(), 0);
         assert_eq!(cache.high_watermark(), 0);
+    }
+
+    fn slab_cache(frames: usize, runs: usize) -> DramCache {
+        let mut cfg = CacheConfig::flat(frames, 2);
+        cfg.evict_batch = 4;
+        cfg.slab_runs = runs;
+        DramCache::new(cfg)
+    }
+
+    #[test]
+    fn slab_runs_allocate_lowest_first_and_recycle() {
+        let cache = slab_cache(8, 2);
+        let mut ctx = FreeCtx::new(1);
+        assert_eq!(cache.slab_runs(), 2);
+        assert_eq!(cache.free_slab_runs(), 2);
+        assert_eq!(cache.try_alloc_slab_run(&mut ctx), Some(0));
+        assert_eq!(cache.try_alloc_slab_run(&mut ctx), Some(1));
+        assert_eq!(cache.try_alloc_slab_run(&mut ctx), None);
+        cache.release_slab_run(&mut ctx, 1);
+        cache.release_slab_run(&mut ctx, 0);
+        assert_eq!(cache.try_alloc_slab_run(&mut ctx), Some(0), "lowest id first");
+    }
+
+    #[test]
+    fn slab_run_geometry() {
+        let cache = slab_cache(8, 2);
+        // Slab frames start right after the 8 ordinary frames.
+        assert_eq!(cache.slab_run_frame(0, 0), FrameId(8));
+        assert_eq!(cache.slab_run_frame(0, 511), FrameId(8 + 511));
+        assert_eq!(cache.slab_run_frame(1, 0), FrameId(8 + 512));
+        assert_eq!(cache.slab_run_gpa(0), Gpa(0x8_0000_0000));
+        assert_eq!(cache.slab_run_gpa(1), Gpa(0x8_0020_0000));
+        assert_eq!(cache.slab_run_of(FrameId(7)), None);
+        assert_eq!(cache.slab_run_of(FrameId(8)), Some(0));
+        assert_eq!(cache.slab_run_of(FrameId(8 + 513)), Some(1));
+    }
+
+    #[test]
+    fn migrate_repoints_index_dirty_and_owner() {
+        let cache = slab_cache(8, 1);
+        let mut ctx = FreeCtx::new(1);
+        let run = cache.try_alloc_slab_run(&mut ctx).unwrap();
+        let clean = PageKey::new(1, 0);
+        let dirty = PageKey::new(1, 1);
+        let f0 = cache.try_alloc(&mut ctx).unwrap();
+        let f1 = cache.try_alloc(&mut ctx).unwrap();
+        cache.mem().write(f0, 0, b"clean");
+        cache.mem().write(f1, 0, b"dirty");
+        cache.commit_insert(&mut ctx, clean, f0).unwrap();
+        cache.commit_insert(&mut ctx, dirty, f1).unwrap();
+        cache.mark_dirty(&mut ctx, dirty, f1);
+        assert!(!cache.page_dirty(&mut ctx, clean));
+        assert!(cache.page_dirty(&mut ctx, dirty));
+
+        let s0 = cache.slab_run_frame(run, 0);
+        let s1 = cache.slab_run_frame(run, 1);
+        assert!(!cache.migrate_frame(&mut ctx, clean, f0, s0));
+        assert!(cache.migrate_frame(&mut ctx, dirty, f1, s1));
+        // Index now points at the slab frames, bytes travelled along.
+        assert_eq!(cache.lookup(&mut ctx, clean), Some(s0));
+        assert_eq!(cache.lookup(&mut ctx, dirty), Some(s1));
+        let mut buf = [0u8; 5];
+        cache.mem().read(s1, 0, &mut buf);
+        assert_eq!(&buf, b"dirty");
+        // The dirty tree tracks the new frame.
+        let drained = cache.drain_dirty_range(&mut ctx, 1, 0, 2);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].frame, s1);
+        // Old frames release back to the ordinary freelist.
+        let free_before = cache.free_frames();
+        cache.release_frame(&mut ctx, f0);
+        cache.release_frame(&mut ctx, f1);
+        assert_eq!(cache.free_frames(), free_before + 2);
+    }
+
+    #[test]
+    fn pinned_slab_frames_are_invisible_to_clock_until_unpinned() {
+        let cache = slab_cache(8, 1);
+        let mut ctx = FreeCtx::new(1);
+        let run = cache.try_alloc_slab_run(&mut ctx).unwrap();
+        for p in 0..4u64 {
+            let key = PageKey::new(3, p);
+            let f = cache.try_alloc(&mut ctx).unwrap();
+            cache.commit_insert(&mut ctx, key, f).unwrap();
+            cache.migrate_frame(&mut ctx, key, f, cache.slab_run_frame(run, p as usize));
+            cache.release_frame(&mut ctx, f);
+        }
+        // Two sweeps can never pick the pinned slab frames.
+        assert!(cache.evict_candidates(&mut ctx).is_empty());
+        assert!(cache.evict_candidates(&mut ctx).is_empty());
+        cache.unpin_slab_run(run);
+        let victims = cache.evict_candidates(&mut ctx);
+        assert_eq!(victims.len(), 4, "unpinned slab pages become victims");
+        assert_eq!(cache.free_slab_runs(), 0, "run still occupied");
+        for v in victims {
+            cache.release_frame(&mut ctx, v.frame);
+        }
+        assert_eq!(cache.free_slab_runs(), 1, "drained run returned to the pool");
+    }
+
+    #[test]
+    fn empty_slab_run_release_requires_zero_occupancy() {
+        let cache = slab_cache(8, 1);
+        let mut ctx = FreeCtx::new(1);
+        let run = cache.try_alloc_slab_run(&mut ctx).unwrap();
+        let key = PageKey::new(0, 0);
+        let f = cache.try_alloc(&mut ctx).unwrap();
+        cache.commit_insert(&mut ctx, key, f).unwrap();
+        cache.migrate_frame(&mut ctx, key, f, cache.slab_run_frame(run, 0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = FreeCtx::new(1);
+            cache.release_slab_run(&mut ctx, run);
+        }));
+        assert!(result.is_err(), "occupied run must not be force-released");
     }
 
     #[test]

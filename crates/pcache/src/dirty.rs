@@ -77,6 +77,13 @@ impl DirtyTrees {
         None
     }
 
+    /// Whether `key` is marked dirty in any core's tree.
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.trees
+            .iter()
+            .any(|t| t.lock().contains_key(&(key.file, key.page)))
+    }
+
     /// Total dirty pages across all trees.
     pub fn len(&self) -> usize {
         self.trees.iter().map(|t| t.lock().len()).sum()

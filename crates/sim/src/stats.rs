@@ -157,6 +157,10 @@ define_counters! {
     ept_faults,
     /// Readahead pages fetched speculatively.
     readahead_pages,
+    /// 2 MiB huge-page promotions (512-page runs collapsed to one PTE).
+    huge_promotions,
+    /// 2 MiB huge-page demotions (runs splintered back to 4 KiB).
+    huge_demotions,
 }
 
 #[cfg(test)]
@@ -248,6 +252,8 @@ mod tests {
             c.vmexits = 1;
             c.ept_faults = 1;
             c.readahead_pages = 1;
+            c.huge_promotions = 1;
+            c.huge_demotions = 1;
         }
         a.merge(&b);
         assert_eq!(Counters::NAMES.len(), a.iter().count());

@@ -254,11 +254,16 @@ impl VmaTree {
     }
 
     /// Finds a free virtual range of `pages` pages (bump allocation, as
-    /// the engine's automatic placement policy).
+    /// the engine's automatic placement policy). Mappings of at least 512
+    /// pages are placed on a 2 MiB boundary so aligned file runs stay
+    /// promotable to huge pages.
     pub fn find_free(&self, pages: u64) -> Vpn {
         let mut nf = self.next_free.lock();
-        let start = *nf;
-        *nf += pages + 16; // Guard gap between mappings.
+        let mut start = *nf;
+        if pages >= 512 {
+            start = (start + 511) & !511;
+        }
+        *nf = start + pages + 16; // Guard gap between mappings.
         Vpn(start)
     }
 
@@ -537,6 +542,18 @@ mod tests {
             a1 <= b0 || b1 <= a0,
             "ranges overlap: {a0}..{a1} vs {b0}..{b1}"
         );
+    }
+
+    #[test]
+    fn large_mappings_are_huge_aligned() {
+        let t = tree();
+        let mut ctx = FreeCtx::new(1);
+        // A small map first skews the bump pointer off any 512 boundary.
+        t.map(&mut ctx, None, 3, 0, 0, Prot::RW).unwrap();
+        let big = t.map(&mut ctx, None, 1024, 1, 0, Prot::RW).unwrap();
+        assert_eq!(big.start.0 % 512, 0, "large mapping must start 2M-aligned");
+        let small = t.map(&mut ctx, None, 4, 2, 0, Prot::RW).unwrap();
+        assert!(small.start.0 >= big.start.0 + 1024, "no overlap after big map");
     }
 
     #[test]

@@ -190,6 +190,14 @@ impl Ept {
         self.leaf_containing(gpa).is_some()
     }
 
+    /// Base and size of the leaf covering `gpa`, if any. Lets the engine
+    /// assert which granule class (1 GiB cache backing vs 2 MiB promotion
+    /// slab) serves a guest-physical range.
+    pub fn leaf_at(&self, gpa: Gpa) -> Option<(Gpa, EptPageSize)> {
+        self.leaf_containing(gpa)
+            .map(|(base, entry)| (Gpa(base), entry.size))
+    }
+
     /// Total bytes currently mapped.
     pub fn mapped_bytes(&self) -> u64 {
         self.mapped_bytes
@@ -319,6 +327,41 @@ mod tests {
         assert!(!ept.is_mapped(Gpa(0x3000)));
         assert_eq!(ept.unmap(Gpa(0x3000)), Err(EptError::NotMapped));
         assert_eq!(ept.mapped_bytes(), 0);
+    }
+
+    #[test]
+    fn mixed_1g_cache_and_2m_slab_granules_coexist() {
+        // The engine's layout: 1 GiB granules backing the ordinary cache
+        // window, 2 MiB granules backing the promotion slab window far
+        // above it. Both resolve, and leaf_at reports the right class.
+        let mut ept = Ept::new();
+        ept.map(Gpa(4 * PAGE_1G), Hpa(PAGE_1G), EptPageSize::Size1G, EptPerms::RWX)
+            .unwrap();
+        let slab = 32 * PAGE_1G;
+        for run in 0..4u64 {
+            ept.map(
+                Gpa(slab + run * PAGE_2M),
+                Hpa(64 * PAGE_1G + run * PAGE_2M),
+                EptPageSize::Size2M,
+                EptPerms::RW,
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            ept.leaf_at(Gpa(4 * PAGE_1G + 0x1234)),
+            Some((Gpa(4 * PAGE_1G), EptPageSize::Size1G))
+        );
+        assert_eq!(
+            ept.leaf_at(Gpa(slab + 3 * PAGE_2M + 0x5678)),
+            Some((Gpa(slab + 3 * PAGE_2M), EptPageSize::Size2M))
+        );
+        assert_eq!(ept.leaf_at(Gpa(slab + 4 * PAGE_2M)), None);
+        let hpa = ept
+            .translate(Gpa(slab + PAGE_2M + 0xABC), EptAccess::Write)
+            .unwrap();
+        assert_eq!(hpa, Hpa(64 * PAGE_1G + PAGE_2M + 0xABC));
+        assert_eq!(ept.mapped_bytes(), PAGE_1G + 4 * PAGE_2M);
+        assert_eq!(ept.leaf_count(), 5);
     }
 
     #[test]

@@ -78,6 +78,22 @@ grep -q 'race detector: 0 findings' "$tmp/fault1.txt" ||
 grep -q '"injected": 1' "$tmp/f1.json" ||
     { echo "FAIL: fault counter missing from fault-injected JSON record" >&2; exit 1; }
 
+step "tlb sweep smoke run (sweep tlb --race --json, 2 MiB dTLB-miss win)"
+# Bit-identity of the double run lives in determinism.rs
+# (sweep_tlb_part_is_bit_identical_across_runs); this step asserts the
+# headline huge-page claims from the JSON record: >= 4x fewer warm-scan
+# dTLB misses and a measurable cold fault-path cycle reduction.
+cargo run --release -q -p aquila-bench --bin sweep -- tlb --race \
+    --json "$tmp/tlb.json" > "$tmp/tlb.txt"
+grep -q 'race detector: 0 findings' "$tmp/tlb.txt" ||
+    { echo "FAIL: race detector reported findings in tlb sweep" >&2; exit 1; }
+awk -F': ' '/"tlb\/dtlb_miss_improvement"/ { exit ($2 + 0 >= 4.0) ? 0 : 1 }' \
+    "$tmp/tlb.json" ||
+    { echo "FAIL: 2 MiB promotion does not cut dTLB misses >= 4x" >&2; exit 1; }
+awk -F': ' '/"tlb\/fault_cycle_reduction"/ { exit ($2 + 0 > 1.0) ? 0 : 1 }' \
+    "$tmp/tlb.json" ||
+    { echo "FAIL: promotion does not reduce fault-path cycles" >&2; exit 1; }
+
 step "crash-consistency smoke (seeded power cut before any writeback)"
 # The full >=100-cut-point property sweep runs under `cargo test
 # --workspace` above (crates/core/tests/crash_consistency.rs); this step

@@ -351,6 +351,139 @@ fn async_pipeline_matches_sync_device_contents() {
     }
 }
 
+/// Transparent 2 MiB promotion is invisible to correctness: the same
+/// random mmap/read/write/msync workload produces byte-identical device
+/// images, identical final page contents, and identical in-flight read
+/// values with `huge_pages` on and off.
+///
+/// The workload holds its one `sync_all` until the end: promoted-mode
+/// `sync_all` splinters every run (write tracking restarts at 4 KiB),
+/// while 4 KiB mode leaves RW PTEs in place, so mid-workload full syncs
+/// are the one operation whose *tracking* side effects legitimately
+/// differ. Mid-workload durability uses `msync` ranges, which downgrade
+/// (4 KiB) or demote (2 MiB) equivalently.
+#[test]
+fn huge_page_promotion_matches_4k_results() {
+    for case in 0..4u64 {
+        let seed = 0x2417 + case * 0x9E37;
+        let (img4k, mem4k, rd4k) = huge_equivalence_run(seed, false);
+        let (img2m, mem2m, rd2m) = huge_equivalence_run(seed, true);
+        assert_eq!(rd4k, rd2m, "in-flight read values diverged (case {case})");
+        assert!(mem4k == mem2m, "final page contents diverged (case {case})");
+        assert!(img4k == img2m, "device image diverged (case {case})");
+    }
+}
+
+/// Runs the promotion-equivalence workload and returns (device image,
+/// 64-byte prefix of every file page read back through the fault path,
+/// FNV fold of every value read during the workload).
+fn huge_equivalence_run(seed: u64, huge: bool) -> (Vec<u8>, Vec<u8>, u64) {
+    use aquila::{Advice, AquilaRuntime, DeviceKind, MmioPolicy, Prot};
+    use aquila_sim::CoreDebts;
+
+    const FILE_PAGES: u64 = 1536; // three 2 MiB runs
+    const DEVICE_PAGES: u64 = 4096;
+    const CACHE_FRAMES: usize = 1024; // eviction pressure + 1 slab run
+    const OPS: u64 = 1500;
+
+    let policy = if huge {
+        MmioPolicy {
+            huge_pages: true,
+            promote_threshold: 128,
+            ..MmioPolicy::default()
+        }
+    } else {
+        MmioPolicy::default()
+    };
+    let mut ctx = FreeCtx::new(seed);
+    let debts = Arc::new(CoreDebts::new(1));
+    let rt = AquilaRuntime::build_with_policy(
+        &mut ctx,
+        DeviceKind::NvmeSpdk,
+        DEVICE_PAGES,
+        CACHE_FRAMES,
+        1,
+        debts,
+        policy,
+    );
+    rt.aquila.thread_enter(&mut ctx);
+    let f = rt.open("/prop/huge", FILE_PAGES).unwrap();
+    let addr = rt.aquila.mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW).unwrap();
+    rt.aquila
+        .madvise(&mut ctx, addr, FILE_PAGES, Advice::Random)
+        .unwrap();
+
+    // Sequential warm touch: crosses each run's promotion threshold
+    // (with holes device-filled, since only the first 128 pages of a run
+    // are resident at the crossing).
+    let mut buf = [0u8; 8];
+    for p in 0..FILE_PAGES {
+        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut buf).unwrap();
+    }
+    if huge {
+        assert!(
+            rt.aquila.promoted_runs() > 0,
+            "the workload must actually exercise promotion"
+        );
+    }
+
+    let mut rng = Rng64::new(seed ^ 0x2417);
+    let mut read_sum = 0u64;
+    for _ in 0..OPS {
+        let page = rng.below(FILE_PAGES);
+        let off = rng.below(4096 - 8);
+        match rng.below(8) {
+            0..=4 => {
+                let val = rng.next_u64();
+                rt.aquila
+                    .write(&mut ctx, addr.add(page * 4096 + off), &val.to_le_bytes())
+                    .unwrap();
+            }
+            5 | 6 => {
+                rt.aquila
+                    .read(&mut ctx, addr.add(page * 4096 + off), &mut buf)
+                    .unwrap();
+                read_sum = read_sum
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(u64::from_le_bytes(buf));
+            }
+            _ => {
+                // Durability point on a random sub-range: downgrades the
+                // 4 KiB PTEs, demotes any promoted run it overlaps.
+                let base = rng.below(FILE_PAGES - 1);
+                let len = rng.range(1, (FILE_PAGES - base).min(700));
+                rt.aquila.msync(&mut ctx, addr.add(base * 4096), len).unwrap();
+            }
+        }
+    }
+    rt.aquila.sync_all(&mut ctx).unwrap();
+
+    // Final page contents, read back through the fault path.
+    let mut mem = vec![0u8; (FILE_PAGES * 64) as usize];
+    for p in 0..FILE_PAGES {
+        rt.aquila
+            .read(
+                &mut ctx,
+                addr.add(p * 4096),
+                &mut mem[(p * 64) as usize..((p + 1) * 64) as usize],
+            )
+            .unwrap();
+    }
+    // And the raw device image underneath.
+    let mut img = vec![0u8; (DEVICE_PAGES * 4096) as usize];
+    for chunk in 0..DEVICE_PAGES / 64 {
+        let base = chunk * 64;
+        rt.access
+            .read_pages(
+                &mut ctx,
+                base,
+                &mut img[(base * 4096) as usize..((base + 64) * 4096) as usize],
+            )
+            .unwrap();
+    }
+    (img, mem, read_sum)
+}
+
 /// Runs a random store workload (writes, interleaved msyncs, final
 /// sync_all) over an NVMe-backed Aquila stack and returns the full
 /// device contents.
