@@ -41,6 +41,13 @@
 //!   `crates/devices` every non-test unwrap is flagged; elsewhere a
 //!   line (or the two lines above it, for chained calls) must name a
 //!   device entry point (`read_pages`, `write_pages`, `submit`, …).
+//! - `AQ007-dynamic-name` — metric/span names at observability sinks
+//!   (`metrics::add`, `metrics::gauge`, `metrics::record_latency`,
+//!   `trace::span`, `trace::instant`, `trace::counter`, `span::begin`,
+//!   `span::begin_child`) on sim paths must be `&'static str` literals
+//!   at the call site. A `format!`ed or variable name allocates on the
+//!   hot path (breaking the zero-cost-when-disabled contract), defeats
+//!   registry idempotence, and makes artifact schemas data-dependent.
 //!
 //! Findings print as `path:line: AQxxx-id: message`, one per line, and
 //! the process exits 1 if any finding is not suppressed by
@@ -150,6 +157,7 @@ enum Lint {
     LockOrder,
     ConfigConstruction,
     DeviceUnwrap,
+    DynamicName,
 }
 
 impl Lint {
@@ -161,6 +169,7 @@ impl Lint {
             Lint::LockOrder => "AQ004-lock-order",
             Lint::ConfigConstruction => "AQ005-config-construction",
             Lint::DeviceUnwrap => "AQ006-device-unwrap",
+            Lint::DynamicName => "AQ007-dynamic-name",
         }
     }
 
@@ -173,6 +182,7 @@ impl Lint {
             Lint::LockOrder => "AQ004",
             Lint::ConfigConstruction => "AQ005",
             Lint::DeviceUnwrap => "AQ006",
+            Lint::DynamicName => "AQ007",
         }
     }
 }
@@ -613,6 +623,79 @@ fn lint_file(path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
+    // AQ007: observability names are static literals on sim paths. The
+    // cleaned source blanks string literals but preserves positions, so
+    // the sink call and the argument comma are located on the cleaned
+    // text (no commas hiding inside strings) and the verdict — does the
+    // second argument start with `"` — is read from the raw text at the
+    // same offset. Bench binaries are host-side harness code (their
+    // dynamic labels go to JSON scalars, not sim-path sinks).
+    if !path.starts_with("crates/analysis/") && !path.starts_with("crates/bench/") {
+        let raw_lines: Vec<&str> = source.lines().collect();
+        const SINKS: [&str; 8] = [
+            "metrics::add(",
+            "metrics::gauge(",
+            "metrics::record_latency(",
+            "trace::span(",
+            "trace::instant(",
+            "trace::counter(",
+            "span::begin(",
+            "span::begin_child(",
+        ];
+        for (n, line) in lines.iter().enumerate() {
+            if skip.get(n).copied().unwrap_or(false) {
+                continue;
+            }
+            for sink in SINKS {
+                let Some(col) = line.find(sink) else { continue };
+                // Join up to three lines so multi-line calls keep the
+                // cleaned/raw offset correspondence.
+                let end = lines.len().min(n + 3);
+                let cleaned_win = lines[n..end].join("\n");
+                let raw_win = raw_lines[n..end].join("\n");
+                let open = col + sink.len();
+                // Find the comma ending the first (ctx) argument at
+                // depth 1 of the call.
+                let mut depth = 1i32;
+                let mut comma = None;
+                for (off, ch) in cleaned_win[open..].char_indices() {
+                    match ch {
+                        '(' | '[' | '{' => depth += 1,
+                        ')' | ']' | '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            comma = Some(open + off);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                let Some(comma) = comma else { continue };
+                let second_arg_is_literal = raw_win[comma + 1..]
+                    .chars()
+                    .find(|c| !c.is_whitespace())
+                    == Some('"');
+                if !second_arg_is_literal {
+                    push(
+                        &mut out,
+                        n,
+                        Lint::DynamicName,
+                        format!(
+                            "`{}` name must be a &'static str literal at the \
+                             call site; dynamic names allocate on the hot path \
+                             and make artifact schemas data-dependent",
+                            sink.trim_end_matches('(')
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     // AQ004: declared lock order, statically approximated as "within a
     // function, table-lock acquisitions appear in non-decreasing rank
     // order". The precise hold-tracking version runs at simulation time
@@ -903,6 +986,41 @@ fn f() {
         assert!(lint_file("crates/devices/src/tests.rs", dev).is_empty());
         let gated = "#[cfg(test)]\nmod t {\n    fn f() { d.read_pages(ctx, 0, &mut b).unwrap(); }\n}\n";
         assert!(lint_file("crates/core/src/x.rs", gated).is_empty());
+    }
+
+    #[test]
+    fn aq007_flags_dynamic_metric_and_span_names() {
+        let var = "fn f(ctx: &mut dyn SimCtx, name: &str) { metrics::add(ctx, name, 1); }\n";
+        let fmtd = "fn f(ctx: &mut dyn SimCtx) { let n = format!(\"m{}\", 1); trace::instant(ctx, &n, CostCat::App); }\n";
+        for src in [var, fmtd] {
+            let findings = lint_file("crates/core/src/x.rs", src);
+            assert!(
+                findings.iter().any(|f| f.lint == Lint::DynamicName),
+                "{src:?} -> {findings:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aq007_accepts_literal_names_and_exempts_bench() {
+        let lit = "fn f(ctx: &mut dyn SimCtx) { metrics::add(ctx, \"aquila.fault\", 1); }\n";
+        assert!(lint_file("crates/core/src/x.rs", lit).is_empty());
+        let multiline = "\
+fn f(ctx: &mut dyn SimCtx) {
+    aquila_sim::metrics::record_latency(
+        ctx,
+        \"aquila.fault.cycles\",
+        Cycles(5),
+    );
+}
+";
+        assert!(lint_file("crates/core/src/x.rs", multiline).is_empty());
+        let span_child =
+            "fn f(ctx: &mut dyn SimCtx) { let s = span::begin_child(ctx, \"tlb.ipi.drain\", CostCat::Tlb, p); span::end(ctx, s); }\n";
+        assert!(lint_file("crates/sim/src/x.rs", span_child).is_empty());
+        // Bench harness labels are host-side and may be dynamic.
+        let var = "fn f(ctx: &mut dyn SimCtx, name: &str) { metrics::add(ctx, name, 1); }\n";
+        assert!(lint_file("crates/bench/src/x.rs", var).is_empty());
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! sweeps the low/high watermark pair at fixed depth 4; `tlb` compares
 //! 4 KiB mappings against transparent 2 MiB promotion on a sequential
 //! in-cache scan whose footprint exceeds the 4 KiB dTLB reach (dTLB miss
-//! rate and fault-path cycles per touched page).
+//! rate and fault-path cycles per touched page); `latency` runs the same
+//! store workload under linuxsim, mmio-sync, mmio-async qd4, and
+//! mmio-huge, recording every fault-service latency into a cycle-exact
+//! histogram and reporting p50/p90/p99/p999.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -27,7 +30,9 @@ use std::sync::Arc;
 use aquila::{Advice, AquilaRuntime, DeviceKind, MmioPolicy, Prot, WritePolicy};
 use aquila_bench::report::{banner, JsonReport};
 use aquila_bench::{BenchArgs, Runner};
-use aquila_sim::{Cycles, Engine, SimCtx, Step};
+use aquila_devices::NvmeDevice;
+use aquila_linuxsim::{KernelDevice, LinuxConfig, LinuxMmap};
+use aquila_sim::{Cycles, Engine, LatencyHist, SimCtx, Step};
 
 const WORKERS: usize = 4;
 const FILE_PAGES: u64 = 8192;
@@ -334,10 +339,199 @@ fn part_tlb(_args: &BenchArgs, json: &mut JsonReport) {
     json.add_scalar("tlb/fault_cycle_reduction", fault_reduction);
 }
 
+// ---------------------------------------------------------------------
+// Part `latency`: cycle-exact fault-service latency distributions.
+// ---------------------------------------------------------------------
+
+/// Runs the random-store workload under `policy`, recording each fault's
+/// service latency (cycles the faulting worker lost to the store that
+/// faulted) in per-worker histograms merged in worker order.
+fn run_latency_mmio(policy: MmioPolicy, ops_per_thread: u64) -> LatencyHist {
+    let cores = WORKERS + policy.evictor_cores.len();
+    let evictor_cores = policy.evictor_cores.clone();
+    let mut engine = Engine::new(cores, 0x5EE9);
+    let mut ctx = aquila_sim::FreeCtx::new(0x5EE9);
+    let rt = AquilaRuntime::build_with_policy(
+        &mut ctx,
+        DeviceKind::NvmeSpdk,
+        FILE_PAGES + 4096,
+        CACHE_FRAMES,
+        cores,
+        engine.debts(),
+        policy,
+    );
+    let f = rt.open("/sweep-lat", FILE_PAGES).expect("open");
+    let addr = rt
+        .aquila
+        .mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW)
+        .expect("mmap");
+    rt.aquila
+        .madvise(&mut ctx, addr, FILE_PAGES, Advice::Random)
+        .expect("madvise");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let live = Arc::new(AtomicUsize::new(WORKERS));
+    let hists: Rc<RefCell<Vec<LatencyHist>>> =
+        Rc::new(RefCell::new((0..WORKERS).map(|_| LatencyHist::new()).collect()));
+    let chunk = FILE_PAGES / WORKERS as u64;
+    for t in 0..WORKERS {
+        let aquila = Arc::clone(&rt.aquila);
+        let hists = Rc::clone(&hists);
+        let stop = Arc::clone(&stop);
+        let live = Arc::clone(&live);
+        let lo = t as u64 * chunk;
+        let mut done = 0u64;
+        engine.spawn(
+            t,
+            Box::new(move |ctx| {
+                let page = lo + ctx.rng().below(chunk);
+                let pf0 = ctx.counters().page_faults;
+                let t0 = ctx.now();
+                aquila
+                    .write(ctx, addr.add(page * 4096 + 16), &page.to_le_bytes())
+                    .expect("store");
+                if ctx.counters().page_faults > pf0 {
+                    hists.borrow_mut()[t].record(ctx.now() - t0);
+                }
+                done += 1;
+                if done >= ops_per_thread {
+                    if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        stop.store(true, Ordering::Release);
+                    }
+                    Step::Done
+                } else {
+                    Step::Yield
+                }
+            }),
+        );
+    }
+    for &core in &evictor_cores {
+        engine.spawn(
+            core,
+            rt.aquila.evictor(Arc::clone(&stop), Cycles::from_micros(2)),
+        );
+    }
+    engine.run();
+    let mut merged = LatencyHist::new();
+    for h in hists.borrow().iter() {
+        merged.merge(h);
+    }
+    merged
+}
+
+/// The linuxsim analog: same stores, same footprint, kernel mmap path
+/// (inline reclaim, no evictor thread).
+fn run_latency_linux(ops_per_thread: u64) -> LatencyHist {
+    let mut engine = Engine::new(WORKERS, 0x5EE9);
+    let mut ctx = aquila_sim::FreeCtx::new(0x5EE9);
+    let kdev = KernelDevice::Nvme(Arc::new(NvmeDevice::optane(FILE_PAGES + 4096)));
+    let mut cfg = LinuxConfig::linux(WORKERS, CACHE_FRAMES);
+    cfg.readahead_pages = 1; // random access pattern, no window
+    let lm = Arc::new(LinuxMmap::new(cfg, kdev, engine.debts()));
+    let f = lm.open_file(FILE_PAGES).expect("open");
+    let base = lm.mmap(&mut ctx, f, 0, FILE_PAGES, true).expect("mmap");
+
+    let hists: Rc<RefCell<Vec<LatencyHist>>> =
+        Rc::new(RefCell::new((0..WORKERS).map(|_| LatencyHist::new()).collect()));
+    let chunk = FILE_PAGES / WORKERS as u64;
+    for t in 0..WORKERS {
+        let lm = Arc::clone(&lm);
+        let hists = Rc::clone(&hists);
+        let lo = t as u64 * chunk;
+        let mut done = 0u64;
+        engine.spawn(
+            t,
+            Box::new(move |ctx| {
+                let page = lo + ctx.rng().below(chunk);
+                let pf0 = ctx.counters().page_faults;
+                let t0 = ctx.now();
+                lm.write(ctx, ((base + page) << 12) + 16, &page.to_le_bytes())
+                    .expect("store");
+                if ctx.counters().page_faults > pf0 {
+                    hists.borrow_mut()[t].record(ctx.now() - t0);
+                }
+                done += 1;
+                if done >= ops_per_thread {
+                    Step::Done
+                } else {
+                    Step::Yield
+                }
+            }),
+        );
+    }
+    engine.run();
+    let mut merged = LatencyHist::new();
+    for h in hists.borrow().iter() {
+        merged.merge(h);
+    }
+    merged
+}
+
+fn part_latency(args: &BenchArgs, json: &mut JsonReport) {
+    let ops: u64 = if args.has_flag("--full") { 4000 } else { 1500 };
+    banner(
+        "Fault-service latency: cycle-exact distributions per backend",
+        "expected: mmio beats linuxsim at p50 (lean fault path); sync pays a heavy eviction tail at p99 that the async qd4 pipeline trims",
+    );
+    let cells: [(&str, LatencyHist); 4] = [
+        ("linuxsim", run_latency_linux(ops)),
+        ("mmio-sync", run_latency_mmio(MmioPolicy::default(), ops)),
+        ("mmio-async-qd4", run_latency_mmio(async_policy(4, 0, 0), ops)),
+        (
+            "mmio-huge",
+            run_latency_mmio(
+                MmioPolicy {
+                    huge_pages: true,
+                    promote_threshold: 64,
+                    ..MmioPolicy::default()
+                },
+                ops,
+            ),
+        ),
+    ];
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "config", "faults", "p50", "p90", "p99", "p99.9", "max"
+    );
+    for (label, h) in &cells {
+        println!(
+            "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            label,
+            h.count(),
+            h.quantile(0.5).get(),
+            h.quantile(0.9).get(),
+            h.quantile(0.99).get(),
+            h.quantile(0.999).get(),
+            h.quantile(1.0).get(),
+        );
+        json.add_hist(format!("latency/{label}"), h);
+        for (q, name) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (0.999, "p999")] {
+            json.add_scalar(
+                format!("latency/{label}/{name}_cycles"),
+                h.quantile(q).get() as f64,
+            );
+        }
+        json.add_scalar(format!("latency/{label}/faults"), h.count() as f64);
+    }
+    let p50_speedup = cells[0].1.quantile(0.5).get() as f64
+        / cells[1].1.quantile(0.5).get().max(1) as f64;
+    let tail_speedup = cells[1].1.quantile(0.99).get() as f64
+        / cells[2].1.quantile(0.99).get().max(1) as f64;
+    println!("  -> mmio-sync p50 is {p50_speedup:.2}x lower than linuxsim");
+    println!("  -> async qd4 p99 is {tail_speedup:.2}x lower than sync");
+    json.add_scalar("latency/sync_p50_speedup_over_linux", p50_speedup);
+    json.add_scalar("latency/async_p99_speedup_over_sync", tail_speedup);
+}
+
 fn main() {
     Runner::new("sweep", "Sync vs async write-behind across queue depth and watermarks")
         .part("qd", "sync vs async x NVMe queue depth {1,2,4,8}", part_qd)
         .part("watermark", "async watermark placement at queue depth 4", part_watermark)
         .part("tlb", "dTLB miss rate and fault cycles, 4 KiB vs 2 MiB", part_tlb)
+        .part(
+            "latency",
+            "fault-service latency distributions: linuxsim vs mmio sync/async/huge",
+            part_latency,
+        )
         .run(BenchArgs::parse(), "all");
 }

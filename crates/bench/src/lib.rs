@@ -23,6 +23,7 @@ pub mod cli;
 pub mod json;
 pub mod kvscen;
 pub mod micro;
+pub mod prof;
 pub mod report;
 pub mod runner;
 

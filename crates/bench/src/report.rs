@@ -98,7 +98,10 @@ pub fn print_breakdown_per_op(label: &str, b: &Breakdown, ops: u64) {
 /// renamed, removed, or changes meaning; adding fields is compatible.
 /// v2: `faults` object (injected count, crash capture flag) added and
 /// guaranteed present, zeroed when no fault plan is installed.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: `latency` array added — one entry per registered latency
+/// histogram in the global metrics registry (count, mean, p50/p90/p99/
+/// p999/max in cycles), merged deterministically across core shards.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Quantiles recorded for every histogram in a JSON report.
 const REPORT_QUANTILES: [f64; 5] = [0.5, 0.9, 0.99, 0.999, 1.0];
@@ -228,9 +231,9 @@ impl JsonReport {
         for (name, v) in &self.scalars {
             scalars.set(name, Json::F64(*v));
         }
-        let metrics = match aquila_sim::metrics::global() {
-            Some(m) => m
-                .snapshot()
+        let snapshot = aquila_sim::metrics::global().map(|m| m.snapshot());
+        let metrics = match &snapshot {
+            Some(s) => s
                 .entries()
                 .iter()
                 .map(|(name, kind, value)| {
@@ -245,6 +248,16 @@ impl JsonReport {
                         )
                         .with("value", Json::U64(*value))
                 })
+                .collect(),
+            None => Vec::new(),
+        };
+        // Cycle-exact latency distributions (schema v3): one entry per
+        // registered histogram, shards merged deterministically.
+        let latency = match &snapshot {
+            Some(s) => s
+                .hists()
+                .iter()
+                .map(|(name, h)| hist_entry(name, h))
                 .collect(),
             None => Vec::new(),
         };
@@ -270,6 +283,7 @@ impl JsonReport {
             .with("counters", Json::Arr(counters))
             .with("scalars", scalars)
             .with("metrics", Json::Arr(metrics))
+            .with("latency", Json::Arr(latency))
             .with("faults", faults)
     }
 
@@ -277,6 +291,19 @@ impl JsonReport {
     pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_json().render())
     }
+}
+
+/// One schema-v3 `latency` entry for a named histogram.
+pub fn hist_entry(name: &str, h: &LatencyHist) -> Json {
+    Json::obj()
+        .with("name", Json::Str(name.to_string()))
+        .with("count", Json::U64(h.count()))
+        .with("mean_cycles", Json::U64(h.mean().get()))
+        .with("p50_cycles", Json::U64(h.quantile(0.5).get()))
+        .with("p90_cycles", Json::U64(h.quantile(0.9).get()))
+        .with("p99_cycles", Json::U64(h.quantile(0.99).get()))
+        .with("p999_cycles", Json::U64(h.quantile(0.999).get()))
+        .with("max_cycles", Json::U64(h.quantile(1.0).get()))
 }
 
 /// Aggregates a breakdown into the paper's Figure 7 three bars:

@@ -114,6 +114,21 @@ fn fig10_with_huge_pages_is_race_clean_and_deterministic() {
     );
 }
 
+/// The latency part — per-fault cycle-exact histograms across linuxsim,
+/// mmio-sync, mmio-async qd4, and mmio-huge, plus the engine-side
+/// schema-v3 `latency` section and the causal span trace — is a
+/// bit-identical pure function of its arguments, race-clean.
+#[test]
+fn sweep_latency_part_is_bit_identical_across_runs() {
+    let stdout = assert_double_run_identical(env!("CARGO_BIN_EXE_sweep"), "latency", "latency");
+    for cfg in ["linuxsim", "mmio-sync", "mmio-async-qd4", "mmio-huge"] {
+        assert!(
+            stdout.contains(cfg),
+            "latency sweep must report {cfg}:\n{stdout}"
+        );
+    }
+}
+
 /// Fault-injection property: installing an *empty* fault plan
 /// (`--faults ""`) must be bit-identical to not configuring faults at
 /// all — same stdout, same JSON record (including the zeroed `faults`

@@ -16,7 +16,7 @@
 //!    EPT mappings.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use aquila_sync::Mutex;
@@ -116,6 +116,11 @@ pub struct Aquila {
     /// is known durable on the device; `msync`/`sync_all` rendezvous with
     /// this horizon under [`WritePolicy::Async`].
     wb_horizon: Mutex<Cycles>,
+    /// Causal-span id of the writeback round that last advanced
+    /// `wb_horizon`; an msync rendezvous links its drain span to this, so
+    /// the cross-thread wait attributes to the evictor round it waited
+    /// on. Zero when tracing is off or nothing was published.
+    wb_span: AtomicU64,
     /// Write-path degradation machine (DESIGN.md §11).
     degrade: Mutex<DegradeState>,
     /// Promoted 2 MiB runs, keyed by the 2 MiB-aligned base VPN.
@@ -194,6 +199,7 @@ impl Aquila {
                 uncommon_vmcalls: 0,
             }),
             wb_horizon: Mutex::new(Cycles::ZERO),
+            wb_span: AtomicU64::new(0),
             degrade: Mutex::new(DegradeState {
                 state: RegionState::Healthy,
                 stall_since: None,
@@ -486,6 +492,19 @@ impl Aquila {
     /// their mappings to read-only so future writes are tracked again.
     pub fn msync(&self, ctx: &mut dyn SimCtx, addr: Gva, pages: u64) -> Result<(), AquilaError> {
         ctx.counters().syscalls += 1;
+        let t0 = ctx.now();
+        let sp = aquila_sim::span::begin(ctx, "aquila.msync", CostCat::Syscall);
+        let result = self.msync_service(ctx, addr, pages);
+        aquila_sim::metrics::record_latency(
+            ctx,
+            "aquila.msync.cycles",
+            ctx.now().saturating_sub(t0),
+        );
+        aquila_sim::span::end(ctx, sp);
+        result
+    }
+
+    fn msync_service(&self, ctx: &mut dyn SimCtx, addr: Gva, pages: u64) -> Result<(), AquilaError> {
         let (desc, _) = self
             .vmas
             .lookup(ctx, addr.vpn())
@@ -645,7 +664,10 @@ impl Aquila {
         Err(AquilaError::Segfault(gva))
     }
 
-    /// The page-fault handler (non-root ring 0).
+    /// The page-fault handler (non-root ring 0). The whole service is one
+    /// causal root span and one `aquila.fault.cycles` histogram sample,
+    /// measured over the same `[t_fault, now]` window so folded span
+    /// totals and the histogram sum agree exactly.
     fn handle_fault(
         &self,
         ctx: &mut dyn SimCtx,
@@ -653,9 +675,28 @@ impl Aquila {
         access: Access,
     ) -> Result<(), AquilaError> {
         let t_fault = ctx.now();
-        let vpn = gva.vpn();
         ctx.counters().page_faults += 1;
         aquila_sim::metrics::add(ctx, "aquila.fault", 1);
+        let sp = aquila_sim::span::begin(ctx, "aquila.fault", CostCat::FaultHandler);
+        let result = self.fault_service(ctx, gva, access);
+        aquila_sim::metrics::record_latency(
+            ctx,
+            "aquila.fault.cycles",
+            ctx.now().saturating_sub(t_fault),
+        );
+        aquila_sim::span::end(ctx, sp);
+        result
+    }
+
+    /// The body of [`Self::handle_fault`]: exception delivery, VMA
+    /// validation, and the locked fault path.
+    fn fault_service(
+        &self,
+        ctx: &mut dyn SimCtx,
+        gva: Gva,
+        access: Access,
+    ) -> Result<(), AquilaError> {
+        let vpn = gva.vpn();
         // Exception delivery in non-root ring 0 (552 cycles, no protection
         // domain switch).
         self.vcpus[ctx.core() % self.vcpus.len()]
@@ -690,7 +731,6 @@ impl Aquila {
         }
         let result = self.fault_locked(ctx, gva, access, &desc);
         self.vmas.unlock_entry(vpn);
-        aquila_sim::trace::span(ctx, "aquila.fault", CostCat::FaultHandler, t_fault);
         result
     }
 
@@ -761,10 +801,11 @@ impl Aquila {
         ctx.counters().major_faults += 1;
         aquila_sim::metrics::add(ctx, "aquila.fault.major", 1);
         let frame = self.alloc_frame(ctx)?;
-        let t_read = ctx.now();
+        let sp_read = aquila_sim::span::begin(ctx, "aquila.fault.read", CostCat::DeviceIo);
         let mut buf = vec![0u8; STORE_PAGE];
-        self.files.read_pages(ctx, file, file_page, &mut buf)?;
-        aquila_sim::trace::span(ctx, "aquila.fault.read", CostCat::DeviceIo, t_read);
+        let read = self.files.read_pages(ctx, file, file_page, &mut buf);
+        aquila_sim::span::end(ctx, sp_read);
+        read?;
         self.cache.mem().write(frame, 0, &buf);
         match self.cache.commit_insert(ctx, key, frame) {
             Ok(()) => {
@@ -840,6 +881,7 @@ impl Aquila {
         // dirty victims in device order, then recycle frames.
         let t_evict = ctx.now();
         aquila_sim::metrics::add(ctx, "aquila.evict.stall", 1);
+        let sp = aquila_sim::span::begin(ctx, "aquila.evict", CostCat::Eviction);
         // Direct reclaim means the evictor fell behind; feed the stall
         // clock even if the evictor itself is wedged and not ticking.
         self.track_watermark_stall(ctx);
@@ -850,18 +892,27 @@ impl Aquila {
                 // pinning frames: splinter the lowest run and retry (the
                 // "partial eviction demotes" rule of DESIGN.md §12).
                 if !self.demote_one(ctx) {
+                    aquila_sim::span::end(ctx, sp);
                     return Err(AquilaError::NoSpace);
                 }
                 continue;
             }
             aquila_sim::metrics::add(ctx, "aquila.evict.rounds", 1);
             aquila_sim::metrics::add(ctx, "aquila.evict.pages", victims.len() as u64);
-            self.retire_victims(ctx, &victims)?;
+            if let Err(e) = self.retire_victims(ctx, &victims) {
+                aquila_sim::span::end(ctx, sp);
+                return Err(e);
+            }
             // Slab victims drain their run rather than feeding the
             // ordinary freelist, so one round may leave it empty: keep
             // evicting until an allocatable frame shows up.
             if let Some(f) = self.cache.try_alloc(ctx) {
-                aquila_sim::trace::span(ctx, "aquila.evict", CostCat::Eviction, t_evict);
+                aquila_sim::metrics::record_latency(
+                    ctx,
+                    "aquila.evict.direct.cycles",
+                    ctx.now().saturating_sub(t_evict),
+                );
+                aquila_sim::span::end(ctx, sp);
                 return Ok(f);
             }
         }
@@ -944,6 +995,7 @@ impl Aquila {
             return Ok(());
         }
         let t_wb = ctx.now();
+        let sp = aquila_sim::span::begin(ctx, "aquila.writeback", CostCat::DeviceIo);
         let mut runs = 0u64;
         for run in coalesce_runs(dirty) {
             runs += 1;
@@ -955,12 +1007,20 @@ impl Aquila {
                     .mem()
                     .read(d.frame, 0, &mut buf[i * STORE_PAGE..(i + 1) * STORE_PAGE]);
             }
-            self.files.write_pages(ctx, file, first_page, &buf)?;
+            if let Err(e) = self.files.write_pages(ctx, file, first_page, &buf) {
+                aquila_sim::span::end(ctx, sp);
+                return Err(e);
+            }
             ctx.counters().writebacks += run.len() as u64;
         }
         aquila_sim::metrics::add(ctx, "aquila.writeback.pages", dirty.len() as u64);
         aquila_sim::metrics::add(ctx, "aquila.writeback.runs", runs);
-        aquila_sim::trace::span(ctx, "aquila.writeback", CostCat::DeviceIo, t_wb);
+        aquila_sim::metrics::record_latency(
+            ctx,
+            "aquila.writeback.cycles",
+            ctx.now().saturating_sub(t_wb),
+        );
+        aquila_sim::span::end(ctx, sp);
         Ok(())
     }
 
@@ -976,8 +1036,26 @@ impl Aquila {
         if dirty.is_empty() {
             return Ok(());
         }
-        let qd = self.cfg.policy.queue_depth.max(1);
         let t_wb = ctx.now();
+        let sp = aquila_sim::span::begin(ctx, "aquila.writeback.async", CostCat::DeviceIo);
+        let result = self.writeback_batched_locked(ctx, dirty);
+        if result.is_ok() {
+            aquila_sim::metrics::record_latency(
+                ctx,
+                "aquila.writeback.async.cycles",
+                ctx.now().saturating_sub(t_wb),
+            );
+        }
+        aquila_sim::span::end(ctx, sp);
+        result
+    }
+
+    fn writeback_batched_locked(
+        &self,
+        ctx: &mut dyn SimCtx,
+        dirty: &[DirtyPage],
+    ) -> Result<(), AquilaError> {
+        let qd = self.cfg.policy.queue_depth.max(1);
         // Translate runs into device-contiguous segments up front (the
         // submission loop must not interleave blob-map lookups with
         // completion waits).
@@ -1069,16 +1147,18 @@ impl Aquila {
         }
         ctx.counters().writebacks += dirty.len() as u64;
         // Everything submitted by this round is durable by now; publish
-        // the horizon for msync/sync_all rendezvous.
+        // the horizon for msync/sync_all rendezvous, tagged with this
+        // round's causal span so a rendezvous can link its wait to us.
         {
             let mut h = self.wb_horizon.lock();
             if ctx.now() > *h {
                 *h = ctx.now();
+                self.wb_span
+                    .store(aquila_sim::span::current(ctx).0, Ordering::Relaxed);
             }
         }
         aquila_sim::metrics::add(ctx, "aquila.writeback.async.pages", dirty.len() as u64);
         aquila_sim::metrics::add(ctx, "aquila.writeback.async.ios", ios);
-        aquila_sim::trace::span(ctx, "aquila.writeback.async", CostCat::DeviceIo, t_wb);
         Ok(())
     }
 
@@ -1090,7 +1170,19 @@ impl Aquila {
             return;
         }
         let h = *self.wb_horizon.lock();
+        let t0 = ctx.now();
+        // Link the drain to the writeback round that published the
+        // horizon — a cross-thread parent: the waiter is an msync caller,
+        // the publisher is (typically) the dedicated evictor.
+        let parent = aquila_sim::SpanId(self.wb_span.load(Ordering::Relaxed));
+        let sp = aquila_sim::span::begin_child(ctx, "aquila.msync.drain", CostCat::Idle, parent);
         ctx.wait_until(h, CostCat::Idle);
+        aquila_sim::metrics::record_latency(
+            ctx,
+            "aquila.msync.drain.cycles",
+            ctx.now().saturating_sub(t0),
+        );
+        aquila_sim::span::end(ctx, sp);
     }
 
     // ---------------------------------------------------------------
@@ -1123,8 +1215,15 @@ impl Aquila {
         let n = victims.len();
         aquila_sim::metrics::add(ctx, "aquila.evictor.rounds", 1);
         aquila_sim::metrics::add(ctx, "aquila.evictor.pages", n as u64);
-        self.retire_victims(ctx, &victims)?;
-        aquila_sim::trace::span(ctx, "aquila.evictor.round", CostCat::Eviction, t_round);
+        let sp = aquila_sim::span::begin(ctx, "aquila.evictor.round", CostCat::Eviction);
+        let result = self.retire_victims(ctx, &victims);
+        aquila_sim::metrics::record_latency(
+            ctx,
+            "aquila.evictor.round.cycles",
+            ctx.now().saturating_sub(t_round),
+        );
+        aquila_sim::span::end(ctx, sp);
+        result?;
         Ok(n)
     }
 
@@ -1190,7 +1289,7 @@ impl Aquila {
         if to_fetch.is_empty() {
             return;
         }
-        let t_ra = ctx.now();
+        let sp = aquila_sim::span::begin(ctx, "aquila.readahead", CostCat::DeviceIo);
         // One multi-page read for the contiguous prefix.
         let mut run = 1usize;
         while run < to_fetch.len() && to_fetch[run] == to_fetch[0] + run as u64 {
@@ -1202,6 +1301,7 @@ impl Aquila {
             .read_pages(ctx, file, to_fetch[0], &mut buf)
             .is_err()
         {
+            aquila_sim::span::end(ctx, sp);
             return;
         }
         for (i, &fp) in to_fetch[..run].iter().enumerate() {
@@ -1220,7 +1320,7 @@ impl Aquila {
                 aquila_sim::metrics::add(ctx, "aquila.readahead.pages", 1);
             }
         }
-        aquila_sim::trace::span(ctx, "aquila.readahead", CostCat::DeviceIo, t_ra);
+        aquila_sim::span::end(ctx, sp);
     }
 
     // ---------------------------------------------------------------

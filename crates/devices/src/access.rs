@@ -186,13 +186,21 @@ impl StorageAccess for SpdkAccess {
             let submit = ctx.cost().nvme_submit_poll;
             ctx.charge(CostCat::DeviceIo, submit);
             let t0 = ctx.now();
+            let sp = aquila_sim::span::begin(ctx, "nvme.read.io", CostCat::DeviceIo);
             let qp = self.dev.create_qpair();
-            qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf))?;
+            let submitted = qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf));
             record_nvme_occupancy(ctx, &self.dev);
+            if let Err(e) = submitted {
+                aquila_sim::span::end(ctx, sp);
+                return Err(e);
+            }
             // Polled completion: the CPU spins, so the wait is DeviceIo
             // (busy), not Idle.
             qp.drain(ctx, CostCat::DeviceIo);
-            self.retry.observe_latency(ctx, ctx.now() - t0);
+            let served = ctx.now() - t0;
+            self.retry.observe_latency(ctx, served);
+            aquila_sim::metrics::record_latency(ctx, "nvme.read.cycles", served);
+            aquila_sim::span::end(ctx, sp);
             Ok(())
         })?;
         ctx.counters().device_reads += 1;
@@ -206,11 +214,19 @@ impl StorageAccess for SpdkAccess {
             let submit = ctx.cost().nvme_submit_poll;
             ctx.charge(CostCat::DeviceIo, submit);
             let t0 = ctx.now();
+            let sp = aquila_sim::span::begin(ctx, "nvme.write.io", CostCat::DeviceIo);
             let qp = self.dev.create_qpair();
-            qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf))?;
+            let submitted = qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf));
             record_nvme_occupancy(ctx, &self.dev);
+            if let Err(e) = submitted {
+                aquila_sim::span::end(ctx, sp);
+                return Err(e);
+            }
             qp.drain(ctx, CostCat::DeviceIo);
-            self.retry.observe_latency(ctx, ctx.now() - t0);
+            let served = ctx.now() - t0;
+            self.retry.observe_latency(ctx, served);
+            aquila_sim::metrics::record_latency(ctx, "nvme.write.cycles", served);
+            aquila_sim::span::end(ctx, sp);
             Ok(())
         })?;
         ctx.counters().device_writes += 1;
@@ -285,12 +301,20 @@ impl StorageAccess for HostNvmeAccess {
             let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
             ctx.charge(CostCat::Syscall, sw);
             let t0 = ctx.now();
+            let sp = aquila_sim::span::begin(ctx, "nvme.read.io", CostCat::DeviceIo);
             let qp = self.dev.create_qpair();
-            qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf))?;
+            let submitted = qp.submit(ctx.now(), NvmeOp::Read, page, pages, BufRef::Mut(buf));
             record_nvme_occupancy(ctx, &self.dev);
+            if let Err(e) = submitted {
+                aquila_sim::span::end(ctx, sp);
+                return Err(e);
+            }
             // Interrupt-driven completion: the CPU sleeps.
             qp.drain(ctx, CostCat::Idle);
-            self.retry.observe_latency(ctx, ctx.now() - t0);
+            let served = ctx.now() - t0;
+            self.retry.observe_latency(ctx, served);
+            aquila_sim::metrics::record_latency(ctx, "nvme.read.cycles", served);
+            aquila_sim::span::end(ctx, sp);
             Ok(())
         })?;
         ctx.counters().device_reads += 1;
@@ -305,11 +329,19 @@ impl StorageAccess for HostNvmeAccess {
             let sw = ctx.cost().host_directio_sw + ctx.cost().nvme_submit_kernel;
             ctx.charge(CostCat::Syscall, sw);
             let t0 = ctx.now();
+            let sp = aquila_sim::span::begin(ctx, "nvme.write.io", CostCat::DeviceIo);
             let qp = self.dev.create_qpair();
-            qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf))?;
+            let submitted = qp.submit(ctx.now(), NvmeOp::Write, page, pages, BufRef::Shared(buf));
             record_nvme_occupancy(ctx, &self.dev);
+            if let Err(e) = submitted {
+                aquila_sim::span::end(ctx, sp);
+                return Err(e);
+            }
             qp.drain(ctx, CostCat::Idle);
-            self.retry.observe_latency(ctx, ctx.now() - t0);
+            let served = ctx.now() - t0;
+            self.retry.observe_latency(ctx, served);
+            aquila_sim::metrics::record_latency(ctx, "nvme.write.cycles", served);
+            aquila_sim::span::end(ctx, sp);
             Ok(())
         })?;
         ctx.counters().device_writes += 1;
@@ -363,14 +395,18 @@ impl StorageAccess for DaxAccess {
         page: u64,
         buf: &mut [u8],
     ) -> Result<(), DeviceError> {
+        let t0 = ctx.now();
         self.dev
             .dax_read(ctx, page * STORE_PAGE as u64, buf, self.simd)?;
+        aquila_sim::metrics::record_latency(ctx, "pmem.read.cycles", ctx.now() - t0);
         Ok(())
     }
 
     fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) -> Result<(), DeviceError> {
+        let t0 = ctx.now();
         self.dev
             .dax_write(ctx, page * STORE_PAGE as u64, buf, self.simd)?;
+        aquila_sim::metrics::record_latency(ctx, "pmem.write.cycles", ctx.now() - t0);
         Ok(())
     }
 }
@@ -411,8 +447,10 @@ impl StorageAccess for HostPmemAccess {
         self.domain.charge_entry(ctx);
         let sw = ctx.cost().host_directio_sw;
         ctx.charge(CostCat::Syscall, sw);
+        let t0 = ctx.now();
         self.dev
             .dax_read(ctx, page * STORE_PAGE as u64, buf, false)?;
+        aquila_sim::metrics::record_latency(ctx, "pmem.read.cycles", ctx.now() - t0);
         Ok(())
     }
 
@@ -420,8 +458,10 @@ impl StorageAccess for HostPmemAccess {
         self.domain.charge_entry(ctx);
         let sw = ctx.cost().host_directio_sw;
         ctx.charge(CostCat::Syscall, sw);
+        let t0 = ctx.now();
         self.dev
             .dax_write(ctx, page * STORE_PAGE as u64, buf, false)?;
+        aquila_sim::metrics::record_latency(ctx, "pmem.write.cycles", ctx.now() - t0);
         Ok(())
     }
 }

@@ -308,6 +308,7 @@ impl TlbFabric {
             return;
         }
         let t_sd = ctx.now();
+        let sp = aquila_sim::span::begin(ctx, "tlb.shootdown", CostCat::Tlb);
         // Functional invalidation on every core's TLB.
         for (core, tlb) in self.tlbs.iter().enumerate() {
             race::acquire(ctx, (L_TLB, core as u64));
@@ -332,14 +333,22 @@ impl TlbFabric {
         *self.shootdowns.lock() += 1;
         race::write(ctx, (V_SHOOTDOWNS, 0));
         race::release(ctx, (L_SHOOTDOWNS, 0));
-        // One IPI round for the whole batch.
+        // One IPI round for the whole batch. Tag every remote core with
+        // this shootdown's causal span first, so each core's debt drain
+        // records a `tlb.ipi.drain` child linking back to us.
+        debts.tag_broadcast_except(ctx.core(), sp.id());
         race::acquire(ctx, (L_APIC, 0));
         self.apic.lock().broadcast(ctx, debts, path, remote_handler);
         race::write(ctx, (V_APIC, 0));
         race::release(ctx, (L_APIC, 0));
         aquila_sim::metrics::add(ctx, "tlb.shootdown.rounds", 1);
         aquila_sim::metrics::add(ctx, "tlb.shootdown.pages", pages.len() as u64);
-        aquila_sim::trace::span(ctx, "tlb.shootdown", CostCat::Tlb, t_sd);
+        aquila_sim::metrics::record_latency(
+            ctx,
+            "tlb.shootdown.cycles",
+            ctx.now().saturating_sub(t_sd),
+        );
+        aquila_sim::span::end(ctx, sp);
     }
 }
 

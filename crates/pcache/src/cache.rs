@@ -435,7 +435,7 @@ impl DramCache {
     /// asynchronous evictor sizes batches by the watermark deficit rather
     /// than the synchronous `evict_batch`).
     pub fn evict_candidates_n(&self, ctx: &mut dyn SimCtx, batch: usize) -> Vec<Victim> {
-        let t_sel = ctx.now();
+        let sp = aquila_sim::span::begin(ctx, "pcache.select_victims", CostCat::Eviction);
         let frames = self.clock.collect_victims(batch);
         let mut victims = Vec::with_capacity(frames.len());
         let mut charge = aquila_sim::Cycles::ZERO;
@@ -474,7 +474,7 @@ impl DramCache {
             "pcache.evict.dirty",
             victims.iter().filter(|v| v.dirty).count() as u64,
         );
-        aquila_sim::trace::span(ctx, "pcache.select_victims", CostCat::Eviction, t_sel);
+        aquila_sim::span::end(ctx, sp);
         victims
     }
 
@@ -489,7 +489,7 @@ impl DramCache {
         key: PageKey,
         frame: FrameId,
     ) -> Result<(), FrameId> {
-        let t_ins = ctx.now();
+        let sp = aquila_sim::span::begin(ctx, "pcache.insert", CostCat::CacheMgmt);
         let c = ctx.cost().hash_update + ctx.cost().lru_update;
         ctx.charge(CostCat::CacheMgmt, c);
         let bucket = self.map.bucket_index(key);
@@ -507,7 +507,7 @@ impl DramCache {
         };
         race::write_release(ctx, (V_SLOT, key.pack()));
         race::release(ctx, (L_BUCKET, bucket));
-        aquila_sim::trace::span(ctx, "pcache.insert", CostCat::CacheMgmt, t_ins);
+        aquila_sim::span::end(ctx, sp);
         result
     }
 

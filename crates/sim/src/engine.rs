@@ -60,6 +60,12 @@ pub trait SimCtx {
     fn thread_id(&self) -> usize {
         self.core()
     }
+    /// This virtual thread's open causal-span stack (ids, innermost
+    /// last), used by [`crate::span`]. `None` means the context does not
+    /// track spans; [`ThreadCtx`] and [`FreeCtx`] both do.
+    fn span_stack(&mut self) -> Option<&mut Vec<u64>> {
+        None
+    }
 }
 
 /// Per-core pending interrupt work, charged to a core the next time one of
@@ -72,6 +78,10 @@ pub trait SimCtx {
 #[derive(Debug, Default)]
 pub struct CoreDebts {
     debts: Vec<AtomicU64>,
+    /// Causal-span id of the latest depositor per core ([`crate::span`]);
+    /// drained with the debt so the IPI handler's span links back to the
+    /// shootdown that caused it. Zero when untagged.
+    span_tags: Vec<AtomicU64>,
 }
 
 impl CoreDebts {
@@ -79,6 +89,7 @@ impl CoreDebts {
     pub fn new(cores: usize) -> CoreDebts {
         CoreDebts {
             debts: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+            span_tags: (0..cores).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -106,6 +117,27 @@ impl CoreDebts {
         }
     }
 
+    /// Tags every core except `sender` with the depositor's causal-span
+    /// id (the shootdown span), linking the remote IPI drains back to it.
+    pub fn tag_broadcast_except(&self, sender: usize, span: crate::span::SpanId) {
+        if span.is_none() {
+            return;
+        }
+        for (i, t) in self.span_tags.iter().enumerate() {
+            if i != sender {
+                t.store(span.0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Takes (and clears) the causal-span tag for `core`.
+    pub fn take_span_tag(&self, core: usize) -> crate::span::SpanId {
+        match self.span_tags.get(core) {
+            Some(t) => crate::span::SpanId(t.swap(0, Ordering::Relaxed)),
+            None => crate::span::SpanId::NONE,
+        }
+    }
+
     /// Number of cores tracked.
     pub fn cores(&self) -> usize {
         self.debts.len()
@@ -125,6 +157,8 @@ pub struct ThreadCtx {
     /// Event counters for this thread.
     pub stats: Counters,
     debts: Arc<CoreDebts>,
+    /// Open causal-span ids ([`crate::span`]), innermost last.
+    spans: Vec<u64>,
 }
 
 impl ThreadCtx {
@@ -134,10 +168,21 @@ impl ThreadCtx {
     }
 
     /// Drains pending cross-core interrupt debt into the TLB category.
+    /// When the depositor tagged this core with its causal span (a TLB
+    /// shootdown), the drain records a child span linking the remote
+    /// IPI-handling cost back to the shootdown that caused it.
     fn drain_debt(&mut self) {
         let d = self.debts.drain(self.core);
         if d > Cycles::ZERO {
-            self.charge(CostCat::Tlb, d);
+            let debts = Arc::clone(&self.debts);
+            let parent = debts.take_span_tag(self.core);
+            if parent.is_none() {
+                self.charge(CostCat::Tlb, d);
+            } else {
+                let sp = crate::span::begin_child(self, "tlb.ipi.drain", CostCat::Tlb, parent);
+                self.charge(CostCat::Tlb, d);
+                crate::span::end(self, sp);
+            }
         }
     }
 }
@@ -183,6 +228,10 @@ impl SimCtx for ThreadCtx {
     fn thread_id(&self) -> usize {
         self.id
     }
+
+    fn span_stack(&mut self) -> Option<&mut Vec<u64>> {
+        Some(&mut self.spans)
+    }
 }
 
 /// A free-running context for unit tests: same accounting as [`ThreadCtx`],
@@ -197,6 +246,7 @@ pub struct FreeCtx {
     pub stats: Counters,
     core: usize,
     num_cores: usize,
+    spans: Vec<u64>,
 }
 
 impl FreeCtx {
@@ -210,6 +260,7 @@ impl FreeCtx {
             stats: Counters::new(),
             core: 0,
             num_cores: 1,
+            spans: Vec::new(),
         }
     }
 
@@ -257,6 +308,10 @@ impl SimCtx for FreeCtx {
 
     fn num_cores(&self) -> usize {
         self.num_cores
+    }
+
+    fn span_stack(&mut self) -> Option<&mut Vec<u64>> {
+        Some(&mut self.spans)
     }
 }
 
@@ -352,6 +407,7 @@ impl Engine {
                 breakdown: Breakdown::new(),
                 stats: Counters::new(),
                 debts: Arc::clone(&self.debts),
+                spans: Vec::new(),
             },
             body,
             done: false,

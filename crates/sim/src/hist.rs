@@ -86,6 +86,13 @@ impl LatencyHist {
         self.total
     }
 
+    /// Exact sum of all recorded samples, in cycles. (Bucketing loses
+    /// precision on quantiles, never on the sum — `aquila-prof` uses this
+    /// to cross-check folded span totals against the histogram.)
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Arithmetic mean of the samples, or zero when empty.
     pub fn mean(&self) -> Cycles {
         if self.total == 0 {

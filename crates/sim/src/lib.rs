@@ -14,9 +14,11 @@
 //!   library code charges costs;
 //! - [`hist::LatencyHist`] and [`stats::Breakdown`] — the measurement
 //!   machinery behind every figure;
-//! - [`trace`] and [`metrics`] — cycle-stamped event tracing (with a
-//!   Chrome `trace_event` exporter for Perfetto) and a registry of named
-//!   per-core counters/gauges, both zero-cost when not installed;
+//! - [`trace`], [`span`], and [`metrics`] — cycle-stamped event tracing
+//!   (with a Chrome `trace_event` exporter for Perfetto), causal
+//!   begin/end spans with cross-thread parent links, and a registry of
+//!   named per-core counters/gauges/latency-histograms, all zero-cost
+//!   when not installed;
 //! - [`fault`] — schedule-deterministic fault plans (media errors,
 //!   timeouts, torn writes, power cuts) that device models consult at
 //!   chosen operation counts or cycle points, zero-cost when empty.
@@ -33,6 +35,7 @@ pub mod race;
 pub mod region;
 pub mod resource;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -44,8 +47,9 @@ pub use fault::{
     FaultTrigger, SECTOR_SIZE,
 };
 pub use hist::LatencyHist;
-pub use metrics::{MetricId, MetricKind, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{HistId, MetricId, MetricKind, MetricsRegistry, MetricsSnapshot};
 pub use race::{RaceDetector, RaceStats};
+pub use span::{Span, SpanId};
 pub use region::{DramRegion, MemRegion};
 pub use resource::{Reservation, ServiceCenter, SimMutex, SimRwLock};
 pub use rng::{Rng64, ScrambledZipfian, Zipfian};

@@ -10,6 +10,10 @@
 //!
 //! Counters sum across cores; gauges keep the per-core maximum (the
 //! interesting number for occupancy-style gauges like NVMe queue depth).
+//! Latency histograms ([`crate::hist::LatencyHist`]) are a third,
+//! first-class kind: each vcore records into its own shard and the
+//! snapshot merges them in shard order — a deterministic bucket-wise sum,
+//! so the merged distribution is a pure function of the run.
 //!
 //! Like tracing, metrics never charge virtual cycles; with no registry
 //! installed each instrumentation site costs one atomic load.
@@ -19,6 +23,8 @@ use std::sync::{Arc, OnceLock};
 use aquila_sync::{DetMap, Mutex, RwLock};
 
 use crate::engine::SimCtx;
+use crate::hist::LatencyHist;
+use crate::time::Cycles;
 
 /// What a metric reports across cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,15 +39,23 @@ pub enum MetricKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetricId(usize);
 
+/// A registered latency histogram's slot (index into every hist shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
 struct Registrations {
     names: Vec<(&'static str, MetricKind)>,
     index: DetMap<&'static str, MetricId>,
+    hist_names: Vec<&'static str>,
+    hist_index: DetMap<&'static str, HistId>,
 }
 
-/// Named counters/gauges with one shard per virtual core.
+/// Named counters/gauges/latency-histograms with one shard per virtual
+/// core.
 pub struct MetricsRegistry {
     regs: RwLock<Registrations>,
     shards: Vec<Mutex<Vec<u64>>>,
+    hist_shards: Vec<Mutex<Vec<LatencyHist>>>,
 }
 
 impl MetricsRegistry {
@@ -52,8 +66,11 @@ impl MetricsRegistry {
             regs: RwLock::new(Registrations {
                 names: Vec::new(),
                 index: DetMap::new(),
+                hist_names: Vec::new(),
+                hist_index: DetMap::new(),
             }),
             shards: (0..cores).map(|_| Mutex::new(Vec::new())).collect(),
+            hist_shards: (0..cores).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
 
@@ -110,6 +127,37 @@ impl MetricsRegistry {
         self.gauge_max(core, id, value);
     }
 
+    /// Registers (or looks up) a latency histogram, returning its id.
+    pub fn register_hist(&self, name: &'static str) -> HistId {
+        if let Some(&id) = self.regs.read().hist_index.get(name) {
+            return id;
+        }
+        let mut regs = self.regs.write();
+        if let Some(&id) = regs.hist_index.get(name) {
+            return id;
+        }
+        let id = HistId(regs.hist_names.len());
+        regs.hist_names.push(name);
+        regs.hist_index.insert(name, id);
+        id
+    }
+
+    /// Records one latency sample into a histogram on `core`'s shard.
+    pub fn record(&self, core: usize, id: HistId, v: Cycles) {
+        let shard = &self.hist_shards[core % self.hist_shards.len()];
+        let mut hists = shard.lock();
+        if hists.len() <= id.0 {
+            hists.resize_with(id.0 + 1, LatencyHist::new);
+        }
+        hists[id.0].record(v);
+    }
+
+    /// Registers-and-records in one call (for low-frequency sites).
+    pub fn record_named(&self, core: usize, name: &'static str, v: Cycles) {
+        let id = self.register_hist(name);
+        self.record(core, id, v);
+    }
+
     /// Number of shards (virtual cores).
     pub fn cores(&self) -> usize {
         self.shards.len()
@@ -134,7 +182,21 @@ impl MetricsRegistry {
             }
         }
         entries.sort_by(|a, b| a.0.cmp(&b.0));
-        MetricsSnapshot { entries }
+        // Merge histogram shards in shard order: bucket-wise sums commute,
+        // so the merged distribution is deterministic regardless.
+        let mut hists: Vec<(String, LatencyHist)> = regs
+            .hist_names
+            .iter()
+            .map(|&n| (n.to_string(), LatencyHist::new()))
+            .collect();
+        for shard in &self.hist_shards {
+            let shard_hists = shard.lock();
+            for (slot, h) in shard_hists.iter().enumerate() {
+                hists[slot].1.merge(h);
+            }
+        }
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { entries, hists }
     }
 }
 
@@ -153,6 +215,7 @@ impl core::fmt::Debug for MetricsRegistry {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     entries: Vec<(String, MetricKind, u64)>,
+    hists: Vec<(String, LatencyHist)>,
 }
 
 impl MetricsSnapshot {
@@ -169,9 +232,19 @@ impl MetricsSnapshot {
             .map(|&(_, _, v)| v)
     }
 
-    /// Whether no metrics are registered.
+    /// `(name, merged histogram)` rows, sorted by name.
+    pub fn hists(&self) -> &[(String, LatencyHist)] {
+        &self.hists
+    }
+
+    /// Looks up a merged latency histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&LatencyHist> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Whether no metrics (of any kind) are registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.hists.is_empty()
     }
 }
 
@@ -202,6 +275,15 @@ pub fn add(ctx: &dyn SimCtx, name: &'static str, delta: u64) {
 pub fn gauge(ctx: &dyn SimCtx, name: &'static str, value: u64) {
     if let Some(m) = GLOBAL.get() {
         m.gauge_named(ctx.core(), name, value);
+    }
+}
+
+/// Records a latency sample into a named histogram on the calling vcore
+/// (no-op when no registry is installed; never charges cycles).
+#[inline]
+pub fn record_latency(ctx: &dyn SimCtx, name: &'static str, v: Cycles) {
+    if let Some(m) = GLOBAL.get() {
+        m.record_named(ctx.core(), name, v);
     }
 }
 
@@ -267,5 +349,50 @@ mod tests {
         let m = MetricsRegistry::new(2);
         m.add_named(17, "wrapped", 1); // 17 % 2 == shard 1
         assert_eq!(m.snapshot().get("wrapped"), Some(1));
+    }
+
+    #[test]
+    fn hist_shards_merge_deterministically() {
+        let m = MetricsRegistry::new(4);
+        let id = m.register_hist("fault.cycles");
+        m.record(0, id, Cycles(100));
+        m.record(1, id, Cycles(300));
+        m.record(3, id, Cycles(500));
+        let snap = m.snapshot();
+        let h = snap.hist("fault.cycles").expect("merged hist");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 900);
+        assert_eq!(h.min(), Cycles(100));
+        assert_eq!(h.max(), Cycles(500));
+        // Two snapshots of the same registry agree bucket-for-bucket.
+        let again = m.snapshot();
+        let h2 = again.hist("fault.cycles").unwrap();
+        assert_eq!(h.quantile(0.5), h2.quantile(0.5));
+        assert_eq!(h.quantile(0.999), h2.quantile(0.999));
+    }
+
+    #[test]
+    fn hist_register_is_idempotent_and_name_sorted() {
+        let m = MetricsRegistry::new(1);
+        let a = m.register_hist("zeta.cycles");
+        let b = m.register_hist("zeta.cycles");
+        assert_eq!(a, b);
+        m.record_named(0, "alpha.cycles", Cycles(7));
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.hists().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha.cycles", "zeta.cycles"]);
+        // Registered-but-never-recorded histograms still appear (empty).
+        assert_eq!(snap.hist("zeta.cycles").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn hists_and_scalars_are_independent_namespaces() {
+        let m = MetricsRegistry::new(1);
+        m.add_named(0, "x", 2);
+        m.record_named(0, "x", Cycles(9));
+        let snap = m.snapshot();
+        assert_eq!(snap.get("x"), Some(2));
+        assert_eq!(snap.hist("x").unwrap().count(), 1);
+        assert!(!snap.is_empty());
     }
 }

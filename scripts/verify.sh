@@ -29,14 +29,18 @@ trap 'rm -rf "$tmp"' EXIT
 cargo run --release -q -p aquila-bench --bin fig8 -- c \
     --json "$tmp/r.json" --trace "$tmp/t.json" > "$tmp/stdout.txt"
 
-grep -q '"schema_version": 2' "$tmp/r.json" ||
-    { echo "FAIL: JSON record missing schema_version 2" >&2; exit 1; }
+grep -q '"schema_version": 3' "$tmp/r.json" ||
+    { echo "FAIL: JSON record missing schema_version 3" >&2; exit 1; }
 grep -q '"faults"' "$tmp/r.json" ||
     { echo "FAIL: JSON record missing faults section" >&2; exit 1; }
+grep -q '"latency"' "$tmp/r.json" ||
+    { echo "FAIL: JSON record missing schema-v3 latency section" >&2; exit 1; }
 grep -q '"traceEvents"' "$tmp/t.json" ||
     { echo "FAIL: trace file missing traceEvents" >&2; exit 1; }
 grep -q 'aquila.fault' "$tmp/t.json" ||
     { echo "FAIL: trace has no fault-handler spans" >&2; exit 1; }
+grep -q '"ph":"b"' "$tmp/t.json" ||
+    { echo "FAIL: trace has no causal span begin events" >&2; exit 1; }
 
 step "race-detector smoke run (fig8 a --race, twice, bit-identical)"
 cargo run --release -q -p aquila-bench --bin fig8 -- a --race > "$tmp/race1.txt"
@@ -55,10 +59,10 @@ cargo run --release -q -p aquila-bench --bin sweep -- qd --race \
     --json "$tmp/sweep.json" > "$tmp/sweep.txt"
 grep -q 'race detector: 0 findings' "$tmp/sweep.txt" ||
     { echo "FAIL: race detector reported findings in sweep" >&2; exit 1; }
-grep -q '"async-qd4/speedup_over_sync"' "$tmp/sweep.json" ||
-    { echo "FAIL: sweep JSON missing async-qd4 speedup scalar" >&2; exit 1; }
-awk -F': ' '/"async-qd4\/speedup_over_sync"/ { exit ($2 + 0 > 1.0) ? 0 : 1 }' \
-    "$tmp/sweep.json" ||
+# Scalar extraction goes through the shared bench::json parser via
+# `aquila-prof get` (one code path for every schema-v3 consumer).
+prof=target/release/aquila-prof
+"$prof" get "$tmp/sweep.json" "async-qd4/speedup_over_sync" --ge 1.0 > /dev/null ||
     { echo "FAIL: async write-behind at qd4 is not faster than sync" >&2; exit 1; }
 
 step "fault-injection sweep smoke run (sweep qd --faults --race, twice, bit-identical)"
@@ -87,12 +91,39 @@ cargo run --release -q -p aquila-bench --bin sweep -- tlb --race \
     --json "$tmp/tlb.json" > "$tmp/tlb.txt"
 grep -q 'race detector: 0 findings' "$tmp/tlb.txt" ||
     { echo "FAIL: race detector reported findings in tlb sweep" >&2; exit 1; }
-awk -F': ' '/"tlb\/dtlb_miss_improvement"/ { exit ($2 + 0 >= 4.0) ? 0 : 1 }' \
-    "$tmp/tlb.json" ||
+"$prof" get "$tmp/tlb.json" "tlb/dtlb_miss_improvement" --ge 4.0 > /dev/null ||
     { echo "FAIL: 2 MiB promotion does not cut dTLB misses >= 4x" >&2; exit 1; }
-awk -F': ' '/"tlb\/fault_cycle_reduction"/ { exit ($2 + 0 > 1.0) ? 0 : 1 }' \
-    "$tmp/tlb.json" ||
+"$prof" get "$tmp/tlb.json" "tlb/fault_cycle_reduction" --ge 1.0 > /dev/null ||
     { echo "FAIL: promotion does not reduce fault-path cycles" >&2; exit 1; }
+
+step "latency sweep (sweep latency --race, twice, bit-identical JSON)"
+cargo run --release -q -p aquila-bench --bin sweep -- latency --race \
+    --json "$tmp/lat1.json" > "$tmp/lat1.txt"
+cargo run --release -q -p aquila-bench --bin sweep -- latency --race \
+    --json "$tmp/lat2.json" > "$tmp/lat2.txt"
+diff "$tmp/lat1.json" "$tmp/lat2.json" ||
+    { echo "FAIL: latency sweep JSON not bit-identical across runs" >&2; exit 1; }
+grep -q 'race detector: 0 findings' "$tmp/lat1.txt" ||
+    { echo "FAIL: race detector reported findings in latency sweep" >&2; exit 1; }
+for cfg in linuxsim mmio-sync mmio-async-qd4 mmio-huge; do
+    "$prof" get "$tmp/lat1.json" "latency/$cfg/p99_cycles" --ge 1 > /dev/null ||
+        { echo "FAIL: latency sweep missing p99 for $cfg" >&2; exit 1; }
+done
+"$prof" get "$tmp/lat1.json" "latency/sync_p50_speedup_over_linux" --ge 1.0 > /dev/null ||
+    { echo "FAIL: mmio p50 fault latency not below linuxsim" >&2; exit 1; }
+
+step "aquila-prof flamegraph from a fig10 trace"
+cargo run --release -q -p aquila-bench --bin fig10 -- fit --tiny \
+    --trace "$tmp/fig10.trace.json" > /dev/null
+"$prof" flame "$tmp/fig10.trace.json" --out "$tmp/fig10.folded" > "$tmp/flame.txt"
+grep -q 'aquila.fault' "$tmp/fig10.folded" ||
+    { echo "FAIL: folded flamegraph has no fault stacks" >&2; exit 1; }
+grep -q 'aquila.fault' "$tmp/flame.txt" ||
+    { echo "FAIL: aquila-prof stage table has no fault stage" >&2; exit 1; }
+
+step "aquila-prof baseline gate vs committed golden report (expected pass)"
+"$prof" check "$tmp/lat1.json" --baseline results/golden/sweep_latency.json ||
+    { echo "FAIL: latency regressed vs results/golden/sweep_latency.json" >&2; exit 1; }
 
 step "crash-consistency smoke (seeded power cut before any writeback)"
 # The full >=100-cut-point property sweep runs under `cargo test
