@@ -675,10 +675,8 @@ fn lint_file(path: &str, source: &str) -> Vec<Finding> {
                     }
                 }
                 let Some(comma) = comma else { continue };
-                let second_arg_is_literal = raw_win[comma + 1..]
-                    .chars()
-                    .find(|c| !c.is_whitespace())
-                    == Some('"');
+                let second_arg_is_literal =
+                    raw_win[comma + 1..].chars().find(|c| !c.is_whitespace()) == Some('"');
                 if !second_arg_is_literal {
                     push(
                         &mut out,
@@ -800,7 +798,8 @@ mod tests {
 
     #[test]
     fn strips_comments_strings_and_chars() {
-        let src = "let a = \"Hash\\\"Map\"; // HashMap here\nlet b = 'x'; /* Hash\nSet */ let c = 1;";
+        let src =
+            "let a = \"Hash\\\"Map\"; // HashMap here\nlet b = 'x'; /* Hash\nSet */ let c = 1;";
         let cleaned = strip_source(src);
         assert!(!cleaned.contains("HashMap"));
         assert!(!cleaned.contains("HashSet"));
@@ -984,7 +983,8 @@ fn f() {
         assert!(lint_file("crates/core/src/x.rs", src).is_empty());
         let dev = "fn f(g: Guard) { let v = g.pop().unwrap(); }\n";
         assert!(lint_file("crates/devices/src/tests.rs", dev).is_empty());
-        let gated = "#[cfg(test)]\nmod t {\n    fn f() { d.read_pages(ctx, 0, &mut b).unwrap(); }\n}\n";
+        let gated =
+            "#[cfg(test)]\nmod t {\n    fn f() { d.read_pages(ctx, 0, &mut b).unwrap(); }\n}\n";
         assert!(lint_file("crates/core/src/x.rs", gated).is_empty());
     }
 
@@ -1025,9 +1025,7 @@ fn f(ctx: &mut dyn SimCtx) {
 
     #[test]
     fn allowlist_matches_code_path_and_text() {
-        let allow = Allowlist::parse(
-            "# comment\nAQ001 crates/pcache/ model\nAQ002 crates/sim/\n",
-        );
+        let allow = Allowlist::parse("# comment\nAQ001 crates/pcache/ model\nAQ002 crates/sim/\n");
         let f = |lint, path: &str, text: &str| Finding {
             path: path.to_string(),
             line: 1,

@@ -53,8 +53,7 @@ usage: aquila-prof flame <trace.json> [--out <folded.txt>]
 ";
 
 fn load(path: &str) -> Result<Json, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     Json::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -95,8 +94,8 @@ fn cmd_flame(rest: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
     let mut args = rest.to_vec();
-    let baseline_path = take_flag(&mut args, "--baseline")?
-        .ok_or("check requires --baseline <golden.json>")?;
+    let baseline_path =
+        take_flag(&mut args, "--baseline")?.ok_or("check requires --baseline <golden.json>")?;
     let tolerance: f64 = take_flag(&mut args, "--tolerance")?
         .map(|t| t.parse().map_err(|_| format!("bad tolerance '{t}'")))
         .transpose()?
@@ -119,7 +118,10 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
     }
     for r in &regressions {
         if r.quantile == "missing" {
-            println!("REGRESSION {}: histogram missing from current report", r.name);
+            println!(
+                "REGRESSION {}: histogram missing from current report",
+                r.name
+            );
         } else {
             println!(
                 "REGRESSION {} {}: {} -> {} cycles ({:.2}x, limit +{:.0}%)",

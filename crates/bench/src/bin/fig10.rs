@@ -48,14 +48,17 @@ fn scales(args: &BenchArgs) -> Scale {
 fn main() {
     // `fit` is (a), `nofit` is (b); the historical `--fit`/`--nofit`
     // flag spellings select the same parts.
-    Runner::new("fig10", "Microbenchmark scalability, shared vs private files")
-        .part("fit", "(a) dataset fits in memory", |args, r| {
-            run_case(&scales(args), true, args.has_flag("--huge"), r)
-        })
-        .part("nofit", "(b) dataset 12x the cache", |args, r| {
-            run_case(&scales(args), false, args.has_flag("--huge"), r)
-        })
-        .run(BenchArgs::parse(), "all");
+    Runner::new(
+        "fig10",
+        "Microbenchmark scalability, shared vs private files",
+    )
+    .part("fit", "(a) dataset fits in memory", |args, r| {
+        run_case(&scales(args), true, args.has_flag("--huge"), r)
+    })
+    .part("nofit", "(b) dataset 12x the cache", |args, r| {
+        run_case(&scales(args), false, args.has_flag("--huge"), r)
+    })
+    .run(BenchArgs::parse(), "all");
 }
 
 fn build(
@@ -153,11 +156,7 @@ fn run_case(sc: &Scale, fit: bool, huge: bool, json: &mut JsonReport) {
                 );
                 let row = Row::from_hist(label, r.ops, r.elapsed, &r.latency);
                 json.add_hist(
-                    format!(
-                        "10{}/{}",
-                        if fit { "a" } else { "b" },
-                        row.label.clone()
-                    ),
+                    format!("10{}/{}", if fit { "a" } else { "b" }, row.label.clone()),
                     &r.latency,
                 );
                 pair.push(row.kops);

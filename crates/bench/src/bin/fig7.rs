@@ -18,7 +18,11 @@ use aquila_ycsb::{run_ops, Distribution, Workload};
 
 fn main() {
     Runner::new("fig7", "RocksDB per-get cycle breakdown")
-        .part("breakdown", "per-get cycles, user-space cache vs Aquila", run_breakdown)
+        .part(
+            "breakdown",
+            "per-get cycles, user-space cache vs Aquila",
+            run_breakdown,
+        )
         .run(BenchArgs::parse(), "all");
 }
 

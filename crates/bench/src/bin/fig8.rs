@@ -36,15 +36,21 @@ fn aquila_policy(args: &BenchArgs) -> MmioPolicy {
 
 fn main() {
     Runner::new("fig8", "Page-fault overhead breakdowns")
-        .part("a", "fault cost, dataset fits in memory (pmem)", |args, r| {
-            part_a(&aquila_policy(args), r)
-        })
-        .part("b", "fault cost with evictions in the common path", |args, r| {
-            part_b(&aquila_policy(args), r)
-        })
-        .part("c", "device access paths (DAX/SPDK vs host kernel)", |args, r| {
-            part_c(&aquila_policy(args), r)
-        })
+        .part(
+            "a",
+            "fault cost, dataset fits in memory (pmem)",
+            |args, r| part_a(&aquila_policy(args), r),
+        )
+        .part(
+            "b",
+            "fault cost with evictions in the common path",
+            |args, r| part_b(&aquila_policy(args), r),
+        )
+        .part(
+            "c",
+            "device access paths (DAX/SPDK vs host kernel)",
+            |args, r| part_c(&aquila_policy(args), r),
+        )
         .run(BenchArgs::parse(), "all");
 }
 

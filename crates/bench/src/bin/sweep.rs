@@ -156,7 +156,10 @@ fn print_cells(cells: &[Cell], json: &mut JsonReport) {
             c.makespan.as_secs_f64() * 1e3,
             c.writebacks
         );
-        json.add_scalar(format!("{}/mean_fault_cycles", c.label), c.mean_fault_cycles);
+        json.add_scalar(
+            format!("{}/mean_fault_cycles", c.label),
+            c.mean_fault_cycles,
+        );
         json.add_scalar(
             format!("{}/makespan_ms", c.label),
             c.makespan.as_secs_f64() * 1e3,
@@ -173,13 +176,20 @@ fn part_qd(args: &BenchArgs, json: &mut JsonReport) {
     );
     let mut cells = vec![run_cell("sync", MmioPolicy::default(), ops)];
     for qd in [1usize, 2, 4, 8] {
-        cells.push(run_cell(&format!("async-qd{qd}"), async_policy(qd, 0, 0), ops));
+        cells.push(run_cell(
+            &format!("async-qd{qd}"),
+            async_policy(qd, 0, 0),
+            ops,
+        ));
     }
     print_cells(&cells, json);
     let sync = cells[0].mean_fault_cycles;
     for c in &cells[1..] {
         let speedup = sync / c.mean_fault_cycles;
-        println!("  -> {}: {speedup:.2}x lower fault-path cycles than sync", c.label);
+        println!(
+            "  -> {}: {speedup:.2}x lower fault-path cycles than sync",
+            c.label
+        );
         json.add_scalar(format!("{}/speedup_over_sync", c.label), speedup);
     }
 }
@@ -318,14 +328,20 @@ fn part_tlb(_args: &BenchArgs, json: &mut JsonReport) {
             c.promoted_runs,
             c.huge_hits
         );
-        json.add_scalar(format!("tlb/{}/fault_cycles_per_page", c.label), c.fault_cycles_per_page);
+        json.add_scalar(
+            format!("tlb/{}/fault_cycles_per_page", c.label),
+            c.fault_cycles_per_page,
+        );
         json.add_scalar(format!("tlb/{}/faults", c.label), c.faults as f64);
         json.add_scalar(format!("tlb/{}/dtlb_miss_rate", c.label), c.miss_rate);
         json.add_scalar(
             format!("tlb/{}/scan_cycles_per_access", c.label),
             c.scan_cycles_per_access,
         );
-        json.add_scalar(format!("tlb/{}/promoted_runs", c.label), c.promoted_runs as f64);
+        json.add_scalar(
+            format!("tlb/{}/promoted_runs", c.label),
+            c.promoted_runs as f64,
+        );
         json.add_scalar(format!("tlb/{}/huge_tlb_hits", c.label), c.huge_hits as f64);
     }
     // Floor the promoted miss rate at one miss per scan so a perfect
@@ -371,8 +387,9 @@ fn run_latency_mmio(policy: MmioPolicy, ops_per_thread: u64) -> LatencyHist {
 
     let stop = Arc::new(AtomicBool::new(false));
     let live = Arc::new(AtomicUsize::new(WORKERS));
-    let hists: Rc<RefCell<Vec<LatencyHist>>> =
-        Rc::new(RefCell::new((0..WORKERS).map(|_| LatencyHist::new()).collect()));
+    let hists: Rc<RefCell<Vec<LatencyHist>>> = Rc::new(RefCell::new(
+        (0..WORKERS).map(|_| LatencyHist::new()).collect(),
+    ));
     let chunk = FILE_PAGES / WORKERS as u64;
     for t in 0..WORKERS {
         let aquila = Arc::clone(&rt.aquila);
@@ -431,8 +448,9 @@ fn run_latency_linux(ops_per_thread: u64) -> LatencyHist {
     let f = lm.open_file(FILE_PAGES).expect("open");
     let base = lm.mmap(&mut ctx, f, 0, FILE_PAGES, true).expect("mmap");
 
-    let hists: Rc<RefCell<Vec<LatencyHist>>> =
-        Rc::new(RefCell::new((0..WORKERS).map(|_| LatencyHist::new()).collect()));
+    let hists: Rc<RefCell<Vec<LatencyHist>>> = Rc::new(RefCell::new(
+        (0..WORKERS).map(|_| LatencyHist::new()).collect(),
+    ));
     let chunk = FILE_PAGES / WORKERS as u64;
     for t in 0..WORKERS {
         let lm = Arc::clone(&lm);
@@ -476,7 +494,10 @@ fn part_latency(args: &BenchArgs, json: &mut JsonReport) {
     let cells: [(&str, LatencyHist); 4] = [
         ("linuxsim", run_latency_linux(ops)),
         ("mmio-sync", run_latency_mmio(MmioPolicy::default(), ops)),
-        ("mmio-async-qd4", run_latency_mmio(async_policy(4, 0, 0), ops)),
+        (
+            "mmio-async-qd4",
+            run_latency_mmio(async_policy(4, 0, 0), ops),
+        ),
         (
             "mmio-huge",
             run_latency_mmio(
@@ -513,10 +534,10 @@ fn part_latency(args: &BenchArgs, json: &mut JsonReport) {
         }
         json.add_scalar(format!("latency/{label}/faults"), h.count() as f64);
     }
-    let p50_speedup = cells[0].1.quantile(0.5).get() as f64
-        / cells[1].1.quantile(0.5).get().max(1) as f64;
-    let tail_speedup = cells[1].1.quantile(0.99).get() as f64
-        / cells[2].1.quantile(0.99).get().max(1) as f64;
+    let p50_speedup =
+        cells[0].1.quantile(0.5).get() as f64 / cells[1].1.quantile(0.5).get().max(1) as f64;
+    let tail_speedup =
+        cells[1].1.quantile(0.99).get() as f64 / cells[2].1.quantile(0.99).get().max(1) as f64;
     println!("  -> mmio-sync p50 is {p50_speedup:.2}x lower than linuxsim");
     println!("  -> async qd4 p99 is {tail_speedup:.2}x lower than sync");
     json.add_scalar("latency/sync_p50_speedup_over_linux", p50_speedup);
@@ -524,14 +545,25 @@ fn part_latency(args: &BenchArgs, json: &mut JsonReport) {
 }
 
 fn main() {
-    Runner::new("sweep", "Sync vs async write-behind across queue depth and watermarks")
-        .part("qd", "sync vs async x NVMe queue depth {1,2,4,8}", part_qd)
-        .part("watermark", "async watermark placement at queue depth 4", part_watermark)
-        .part("tlb", "dTLB miss rate and fault cycles, 4 KiB vs 2 MiB", part_tlb)
-        .part(
-            "latency",
-            "fault-service latency distributions: linuxsim vs mmio sync/async/huge",
-            part_latency,
-        )
-        .run(BenchArgs::parse(), "all");
+    Runner::new(
+        "sweep",
+        "Sync vs async write-behind across queue depth and watermarks",
+    )
+    .part("qd", "sync vs async x NVMe queue depth {1,2,4,8}", part_qd)
+    .part(
+        "watermark",
+        "async watermark placement at queue depth 4",
+        part_watermark,
+    )
+    .part(
+        "tlb",
+        "dTLB miss rate and fault cycles, 4 KiB vs 2 MiB",
+        part_tlb,
+    )
+    .part(
+        "latency",
+        "fault-service latency distributions: linuxsim vs mmio sync/async/huge",
+        part_latency,
+    )
+    .run(BenchArgs::parse(), "all");
 }

@@ -5,7 +5,11 @@ use aquila_ycsb::Workload;
 
 fn main() {
     Runner::new("table1", "Standard YCSB workloads")
-        .part("workloads", "the paper's YCSB workload definitions", print_table)
+        .part(
+            "workloads",
+            "the paper's YCSB workload definitions",
+            print_table,
+        )
         .run(BenchArgs::parse(), "all");
 }
 

@@ -537,7 +537,10 @@ mod tests {
         );
         assert_eq!(j.lookup("scalars/latency/p99"), Some(&Json::U64(123)));
         assert_eq!(j.lookup("scalars/missing"), None);
-        assert_eq!(j.lookup("scalars/latency/p99").unwrap().as_f64(), Some(123.0));
+        assert_eq!(
+            j.lookup("scalars/latency/p99").unwrap().as_f64(),
+            Some(123.0)
+        );
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub use cli::BenchArgs;
 pub use json::Json;
 pub use kvscen::{build_stone, load_stone, warm_stone, Backend, Dev, StoneScenario};
 pub use micro::{micro_aquila, micro_linux, run_micro, Micro, MicroResult};
-pub use runner::Runner;
 pub use report::{
     banner, fig7_bars, print_breakdown_per_op, print_rows, print_speedup, JsonReport, Row,
     SCHEMA_VERSION,
 };
+pub use runner::Runner;

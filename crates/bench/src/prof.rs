@@ -61,12 +61,8 @@ pub fn parse_trace(doc: &Json) -> Result<Vec<SpanRec>, String> {
     for ev in events {
         let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
         let args = ev.get("args");
-        let span_id = args
-            .and_then(|a| a.get("span_id"))
-            .and_then(Json::as_u64);
-        let ts_cycles = args
-            .and_then(|a| a.get("ts_cycles"))
-            .and_then(Json::as_u64);
+        let span_id = args.and_then(|a| a.get("span_id")).and_then(Json::as_u64);
+        let ts_cycles = args.and_then(|a| a.get("ts_cycles")).and_then(Json::as_u64);
         match ph {
             "b" => {
                 let (Some(id), Some(ts)) = (span_id, ts_cycles) else {
@@ -144,9 +140,7 @@ impl Profile {
     pub fn rooted_total(&self, root: &str) -> u64 {
         self.folded
             .iter()
-            .filter(|(stack, _)| {
-                stack == root || stack.starts_with(&format!("{root};"))
-            })
+            .filter(|(stack, _)| stack == root || stack.starts_with(&format!("{root};")))
             .map(|(_, c)| *c)
             .sum()
     }
@@ -167,8 +161,12 @@ pub fn fold(spans: &[SpanRec]) -> Profile {
     let mut covered: BTreeMap<u64, u64> = BTreeMap::new();
     for s in spans {
         let Some(end) = s.end_cycles else { continue };
-        let Some(parent) = by_id.get(&s.parent) else { continue };
-        let Some(pend) = parent.end_cycles else { continue };
+        let Some(parent) = by_id.get(&s.parent) else {
+            continue;
+        };
+        let Some(pend) = parent.end_cycles else {
+            continue;
+        };
         let lo = s.begin_cycles.max(parent.begin_cycles);
         let hi = end.min(pend);
         *covered.entry(parent.id).or_insert(0) += hi.saturating_sub(lo);

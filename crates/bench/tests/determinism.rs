@@ -15,10 +15,7 @@ fn run_bin(exe: &str, part: &str, tag: &str) -> (Output, Vec<u8>, Vec<u8>) {
 }
 
 fn run_bin_with(exe: &str, part: &str, tag: &str, extra: &[&str]) -> (Output, Vec<u8>, Vec<u8>) {
-    let dir = std::env::temp_dir().join(format!(
-        "aquila-determinism-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("aquila-determinism-{tag}-{}", std::process::id()));
     fs::create_dir_all(&dir).expect("mkdir");
     let json = dir.join("r.json");
     let trace = dir.join("t.trace.json");
@@ -26,7 +23,14 @@ fn run_bin_with(exe: &str, part: &str, tag: &str, extra: &[&str]) -> (Output, Ve
     // echoes the paths it wrote, and stdout must match across runs.
     let out = Command::new(exe)
         .current_dir(&dir)
-        .args([part, "--race", "--json", "r.json", "--trace", "t.trace.json"])
+        .args([
+            part,
+            "--race",
+            "--json",
+            "r.json",
+            "--trace",
+            "t.trace.json",
+        ])
         .args(extra)
         .output()
         .expect("binary runs");
@@ -55,7 +59,10 @@ fn assert_double_run_identical_with(exe: &str, part: &str, tag: &str, extra: &[&
         "stdout diverged between identical runs"
     );
     assert_eq!(json1, json2, "JSON record diverged between identical runs");
-    assert_eq!(trace1, trace2, "Chrome trace diverged between identical runs");
+    assert_eq!(
+        trace1, trace2,
+        "Chrome trace diverged between identical runs"
+    );
 
     // The --race summary is part of stdout; make the zero-findings
     // acceptance explicit rather than implied by byte equality.

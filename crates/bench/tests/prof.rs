@@ -116,7 +116,11 @@ fn baseline_check_fails_on_inflated_p99() {
         .arg(&golden)
         .output()
         .expect("run aquila-prof");
-    assert_eq!(out.status.code(), Some(4), "inflated p99 must fail the check");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "inflated p99 must fail the check"
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
 
     // A report within tolerance of itself passes.

@@ -140,7 +140,10 @@ impl Aquila {
         // working set per round; clamp to 1/8 of the cache (the paper's
         // 512-page batch is a tiny fraction of its multi-GB caches).
         cfg.policy.evict_batch = cfg.policy.evict_batch.min((cfg.cache_frames / 8).max(16));
-        cfg.policy.promote_threshold = cfg.policy.promote_threshold.clamp(1, HUGE_PAGE_PAGES as usize);
+        cfg.policy.promote_threshold = cfg
+            .policy
+            .promote_threshold
+            .clamp(1, HUGE_PAGE_PAGES as usize);
         cfg.policy.max_promoted_share = cfg.policy.max_promoted_share.clamp(1, 100);
         let mut ccfg = CacheConfig::flat(cfg.max_cache_frames, cfg.cores);
         ccfg.initial_frames = cfg.cache_frames;
@@ -504,7 +507,12 @@ impl Aquila {
         result
     }
 
-    fn msync_service(&self, ctx: &mut dyn SimCtx, addr: Gva, pages: u64) -> Result<(), AquilaError> {
+    fn msync_service(
+        &self,
+        ctx: &mut dyn SimCtx,
+        addr: Gva,
+        pages: u64,
+    ) -> Result<(), AquilaError> {
         let (desc, _) = self
             .vmas
             .lookup(ctx, addr.vpn())
@@ -970,7 +978,11 @@ impl Aquila {
     /// [`WritePolicy::Async`]; refused outright once read-only. An open
     /// circuit breaker surfacing from either path escalates the
     /// degradation machine.
-    fn writeback_policy(&self, ctx: &mut dyn SimCtx, dirty: &[DirtyPage]) -> Result<(), AquilaError> {
+    fn writeback_policy(
+        &self,
+        ctx: &mut dyn SimCtx,
+        dirty: &[DirtyPage],
+    ) -> Result<(), AquilaError> {
         if dirty.is_empty() {
             return Ok(());
         }
@@ -1032,7 +1044,11 @@ impl Aquila {
     /// signal: the submitter waits until the earliest in-flight command
     /// lands, harvests it, and retries. Paths without an NVMe device
     /// (DAX/HOST-pmem) and depth 1 fall back to blocking per-segment I/O.
-    fn writeback_batched(&self, ctx: &mut dyn SimCtx, dirty: &[DirtyPage]) -> Result<(), AquilaError> {
+    fn writeback_batched(
+        &self,
+        ctx: &mut dyn SimCtx,
+        dirty: &[DirtyPage],
+    ) -> Result<(), AquilaError> {
         if dirty.is_empty() {
             return Ok(());
         }
@@ -1078,9 +1094,11 @@ impl Aquila {
                 }
                 let mut buf = vec![0u8; len * STORE_PAGE];
                 for (j, d) in run[i..i + len].iter().enumerate() {
-                    self.cache
-                        .mem()
-                        .read(d.frame, 0, &mut buf[j * STORE_PAGE..(j + 1) * STORE_PAGE]);
+                    self.cache.mem().read(
+                        d.frame,
+                        0,
+                        &mut buf[j * STORE_PAGE..(j + 1) * STORE_PAGE],
+                    );
                 }
                 segs.push(Seg { file, dev, buf });
                 i += len;
@@ -1093,9 +1111,7 @@ impl Aquila {
                 let qp = nvme.create_qpair_depth(qd);
                 for seg in &segs {
                     let access = self.files.access_of(seg.file)?;
-                    let same_dev = access
-                        .nvme_device()
-                        .is_some_and(|d| Arc::ptr_eq(d, nvme));
+                    let same_dev = access.nvme_device().is_some_and(|d| Arc::ptr_eq(d, nvme));
                     if !same_dev {
                         // A file on a different device: blocking path.
                         access.write_pages(ctx, seg.dev, &seg.buf)?;
@@ -1337,12 +1353,7 @@ impl Aquila {
     /// only fires when the faulting page sits exactly at
     /// [`MmioPolicy::promote_threshold`] within its run, so a
     /// sequential fill pays one scan per 512 faults instead of 512.
-    fn maybe_promote(
-        &self,
-        ctx: &mut dyn SimCtx,
-        vpn: Vpn,
-        desc: &Arc<aquila_vma::VmaDesc>,
-    ) {
+    fn maybe_promote(&self, ctx: &mut dyn SimCtx, vpn: Vpn, desc: &Arc<aquila_vma::VmaDesc>) {
         if !self.cfg.policy.huge_pages || self.cache.slab_runs() == 0 {
             return;
         }
@@ -1492,7 +1503,8 @@ impl Aquila {
         // straight into a huge hit.
         let core = ctx.core() % self.cfg.cores;
         race::acquire(ctx, (L_TLB, core as u64));
-        self.tlbs.with_local(core, |t| t.insert_huge(hbase, gpa, fl));
+        self.tlbs
+            .with_local(core, |t| t.insert_huge(hbase, gpa, fl));
         race::write(ctx, (V_TLB, core as u64));
         race::release(ctx, (L_TLB, core as u64));
         let active = {

@@ -470,8 +470,7 @@ fn evictor_pipeline_offloads_eviction_and_preserves_data() {
         if pipeline {
             engine.spawn(
                 1,
-                rt.aquila
-                    .evictor(Arc::clone(&stop), Cycles::from_micros(2)),
+                rt.aquila.evictor(Arc::clone(&stop), Cycles::from_micros(2)),
             );
         }
         let report = engine.run();
@@ -494,7 +493,10 @@ fn evictor_pipeline_offloads_eviction_and_preserves_data() {
 
     let (sync_cyc, sync_wb) = run(false);
     let (async_cyc, async_wb) = run(true);
-    assert!(sync_wb > 0 && async_wb > 0, "dirty victims were written back");
+    assert!(
+        sync_wb > 0 && async_wb > 0,
+        "dirty victims were written back"
+    );
     assert!(
         async_cyc < sync_cyc * 0.8,
         "write-behind must take eviction off the fault path: sync {sync_cyc:.0} vs async {async_cyc:.0} cycles/fault"
@@ -554,7 +556,10 @@ fn breaker_trip_degrades_region_to_read_only() {
         .write(&mut ctx, addr.add(3 * 4096), &[1])
         .unwrap_err();
     assert_eq!(err, AquilaError::DegradedReadOnly);
-    assert_eq!(rt.aquila.msync(&mut ctx, addr, 16), Err(AquilaError::DegradedReadOnly));
+    assert_eq!(
+        rt.aquila.msync(&mut ctx, addr, 16),
+        Err(AquilaError::DegradedReadOnly)
+    );
     // ...while cached data stays readable, including the unpersisted
     // write (its dirty bit was restored, never silently dropped).
     let mut back = [0u8; 6];
@@ -616,30 +621,21 @@ fn recover_from_image_reboots_the_stack() {
     rt.aquila.thread_enter(&mut ctx);
     let f = rt.open("/data/survivor", 32).unwrap();
     let addr = rt.aquila.mmap(&mut ctx, f, 0, 32, Prot::RW).unwrap();
-    rt.aquila.write(&mut ctx, addr.add(5), b"persisted").unwrap();
+    rt.aquila
+        .write(&mut ctx, addr.add(5), b"persisted")
+        .unwrap();
     rt.aquila.msync(&mut ctx, addr, 32).unwrap();
     rt.store.sync_md(&mut ctx).unwrap();
-    let image = rt
-        .access
-        .nvme_device()
-        .unwrap()
-        .store()
-        .snapshot();
+    let image = rt.access.nvme_device().unwrap().store().snapshot();
     drop(rt);
 
     // Reboot a fresh stack from the captured image: the blobstore loads
     // and the file is found again by name.
     let mut ctx2 = FreeCtx::new(14);
     let debts2 = Arc::new(CoreDebts::new(1));
-    let rt2 = AquilaRuntime::recover_from_image(
-        &mut ctx2,
-        &image,
-        64,
-        1,
-        debts2,
-        MmioPolicy::default(),
-    )
-    .unwrap();
+    let rt2 =
+        AquilaRuntime::recover_from_image(&mut ctx2, &image, 64, 1, debts2, MmioPolicy::default())
+            .unwrap();
     rt2.aquila.thread_enter(&mut ctx2);
     let f2 = rt2.open("/data/survivor", 32).unwrap();
     let addr2 = rt2.aquila.mmap(&mut ctx2, f2, 0, 32, Prot::RW).unwrap();
@@ -683,7 +679,9 @@ fn huge_promotion_collapses_clean_sequential_run() {
     let addr = rt.aquila.mmap(&mut ctx, f, 0, 1024, Prot::RW).unwrap();
     let mut b = [0u8; 1];
     for p in 0..512u64 {
-        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut b)
+            .unwrap();
     }
     assert_eq!(ctx.stats.huge_promotions, 1, "one run collapsed");
     assert_eq!(rt.aquila.promoted_runs(), 1);
@@ -691,7 +689,9 @@ fn huge_promotion_collapses_clean_sequential_run() {
     // A re-scan is fault-free and served by the 2 MiB sub-TLB.
     let faults = ctx.stats.page_faults;
     for p in 0..512u64 {
-        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut b)
+            .unwrap();
     }
     assert_eq!(ctx.stats.page_faults, faults, "no faults after promotion");
     assert!(
@@ -727,10 +727,15 @@ fn huge_dirty_run_demotes_on_msync_and_retracks_writes() {
     let major = ctx.stats.major_faults;
     let mut b = [0u8; 1];
     for p in 0..512u64 {
-        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut b)
+            .unwrap();
         assert_eq!(b[0], p as u8, "page {p}");
     }
-    assert_eq!(ctx.stats.major_faults, major, "no device I/O after demotion");
+    assert_eq!(
+        ctx.stats.major_faults, major,
+        "no device I/O after demotion"
+    );
     // Writes fault and are tracked at 4 KiB again.
     rt.aquila.write(&mut ctx, addr, &[0xAA]).unwrap();
     assert_eq!(rt.aquila.cache().dirty_count(), 1);
@@ -748,10 +753,16 @@ fn huge_clean_run_write_upgrades_whole_leaf() {
     let addr = rt.aquila.mmap(&mut ctx, f, 0, 512, Prot::RW).unwrap();
     let mut b = [0u8; 1];
     for p in 0..512u64 {
-        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut b)
+            .unwrap();
     }
     assert_eq!(rt.aquila.promoted_runs(), 1);
-    assert_eq!(rt.aquila.cache().dirty_count(), 0, "clean run maps read-only");
+    assert_eq!(
+        rt.aquila.cache().dirty_count(),
+        0,
+        "clean run maps read-only"
+    );
     let faults = ctx.stats.page_faults;
     rt.aquila
         .write(&mut ctx, addr.add(7 * 4096 + 3), &[9])
@@ -764,7 +775,9 @@ fn huge_clean_run_write_upgrades_whole_leaf() {
         "the whole run enters dirty tracking at once"
     );
     // Later writes anywhere in the run are fault-free.
-    rt.aquila.write(&mut ctx, addr.add(400 * 4096), &[1]).unwrap();
+    rt.aquila
+        .write(&mut ctx, addr.add(400 * 4096), &[1])
+        .unwrap();
     assert_eq!(ctx.stats.page_faults, faults + 1);
     // Shutdown durability: sync_all splinters and writes the run back.
     rt.aquila.sync_all(&mut ctx).unwrap();
@@ -788,7 +801,9 @@ fn huge_partial_dontneed_splinters_and_slab_drains() {
     let addr = rt.aquila.mmap(&mut ctx, f, 0, 512, Prot::RW).unwrap();
     let mut b = [0u8; 1];
     for p in 0..512u64 {
-        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut b)
+            .unwrap();
     }
     assert_eq!(rt.aquila.promoted_runs(), 1);
     assert_eq!(rt.aquila.cache().free_slab_runs(), 0);
@@ -800,7 +815,9 @@ fn huge_partial_dontneed_splinters_and_slab_drains() {
     assert_eq!(ctx.stats.huge_demotions, 1);
     assert_eq!(rt.aquila.promoted_runs(), 0);
     let major = ctx.stats.major_faults;
-    rt.aquila.read(&mut ctx, addr.add(120 * 4096), &mut b).unwrap();
+    rt.aquila
+        .read(&mut ctx, addr.add(120 * 4096), &mut b)
+        .unwrap();
     assert_eq!(ctx.stats.major_faults, major, "dropped PTE, cached data");
     // Under pressure the unpinned slab frames drain through normal
     // eviction and the run returns to the pool.
@@ -834,7 +851,9 @@ fn huge_pages_off_never_promotes() {
     let addr = rt.aquila.mmap(&mut ctx, f, 0, 512, Prot::RW).unwrap();
     let mut b = [0u8; 1];
     for p in 0..512u64 {
-        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut b)
+            .unwrap();
     }
     assert_eq!(ctx.stats.huge_promotions, 0);
     assert_eq!(rt.aquila.promoted_runs(), 0);
@@ -855,12 +874,17 @@ fn readahead_never_passes_the_mapping_end() {
         .madvise(&mut ctx, addr, 24, Advice::Sequential)
         .unwrap();
     let mut b = [0u8; 1];
-    rt.aquila.read(&mut ctx, addr.add(20 * 4096), &mut b).unwrap();
+    rt.aquila
+        .read(&mut ctx, addr.add(20 * 4096), &mut b)
+        .unwrap();
     // The sequential window would reach past page 23; it must clip at
     // the mapping/file end instead of inserting ghost pages.
     for fp in 24..64u64 {
         assert!(
-            rt.aquila.cache().lookup(&mut ctx, PageKey::new(f.0, fp)).is_none(),
+            rt.aquila
+                .cache()
+                .lookup(&mut ctx, PageKey::new(f.0, fp))
+                .is_none(),
             "page {fp} cached past the end of the file"
         );
     }
@@ -906,14 +930,19 @@ fn readahead_window_inside_promotion_candidate_run() {
         .unwrap();
     let mut b = [0u8; 1];
     for p in 0..600u64 {
-        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut b).unwrap();
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut b)
+            .unwrap();
     }
     // The first run promoted with readahead active inside it; the
     // 600-page tail cannot (no full 512-page window fits).
     assert_eq!(rt.aquila.promoted_runs(), 1);
     for fp in 600..640u64 {
         assert!(
-            rt.aquila.cache().lookup(&mut ctx, PageKey::new(f.0, fp)).is_none(),
+            rt.aquila
+                .cache()
+                .lookup(&mut ctx, PageKey::new(f.0, fp))
+                .is_none(),
             "page {fp} cached past the end of the file"
         );
     }
@@ -925,7 +954,8 @@ fn recover_from_unformatted_image_is_typed_error() {
     let mut ctx = FreeCtx::new(15);
     let debts = Arc::new(CoreDebts::new(1));
     let blank = vec![0u8; 256 * 4096];
-    let err = AquilaRuntime::recover_from_image(&mut ctx, &blank, 16, 1, debts, MmioPolicy::default())
-        .unwrap_err();
+    let err =
+        AquilaRuntime::recover_from_image(&mut ctx, &blank, 16, 1, debts, MmioPolicy::default())
+            .unwrap_err();
     assert!(matches!(err, AquilaError::RecoveryFailed(_)));
 }

@@ -93,7 +93,10 @@ fn run_workload_policy(
     );
     rt.aquila.thread_enter(&mut ctx);
     let f = rt.open("/crash/file", file_pages).unwrap();
-    let addr = rt.aquila.mmap(&mut ctx, f, 0, file_pages, Prot::RW).unwrap();
+    let addr = rt
+        .aquila
+        .mmap(&mut ctx, f, 0, file_pages, Prot::RW)
+        .unwrap();
     // Blob metadata must be durable before the fault window opens, or
     // the cut could land inside the superblock write instead of data.
     rt.store.sync_md(&mut ctx).unwrap();
@@ -101,9 +104,8 @@ fn run_workload_policy(
     // The plan attaches after format + metadata sync, so op numbering
     // counts workload writebacks only. Per-device plan, not the global:
     // every iteration gets its own.
-    let plan = Arc::new(
-        FaultPlan::parse(&format!("nvme.write:crash={sectors}@op={cut_op}")).unwrap(),
-    );
+    let plan =
+        Arc::new(FaultPlan::parse(&format!("nvme.write:crash={sectors}@op={cut_op}")).unwrap());
     rt.access
         .nvme_device()
         .expect("spdk path has an nvme device")
@@ -117,7 +119,9 @@ fn run_workload_policy(
         // whole-leaf amplified writeback.
         let mut b = [0u8; 8];
         for page in 0..file_pages {
-            rt.aquila.read(&mut ctx, addr.add(page * PAGE as u64), &mut b).unwrap();
+            rt.aquila
+                .read(&mut ctx, addr.add(page * PAGE as u64), &mut b)
+                .unwrap();
         }
         assert!(
             rt.aquila.promoted_runs() > 0,
@@ -131,7 +135,9 @@ fn run_workload_policy(
         for page in 0..file_pages {
             if writes(round, page) {
                 let buf = vec![tag(round, page); PAGE];
-                rt.aquila.write(&mut ctx, addr.add(page * PAGE as u64), &buf).unwrap();
+                rt.aquila
+                    .write(&mut ctx, addr.add(page * PAGE as u64), &buf)
+                    .unwrap();
                 history[page as usize].push(tag(round, page));
             }
         }
@@ -168,7 +174,10 @@ fn check_recovery(outcome: &RunOutcome, label: &str, policy: MmioPolicy) {
         .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
     rt.aquila.thread_enter(&mut ctx);
     let f = rt.open("/crash/file", file_pages).unwrap();
-    let addr = rt.aquila.mmap(&mut ctx, f, 0, file_pages, Prot::RW).unwrap();
+    let addr = rt
+        .aquila
+        .mmap(&mut ctx, f, 0, file_pages, Prot::RW)
+        .unwrap();
 
     for (page, &page_floor) in floor.iter().enumerate() {
         let mut back = vec![0u8; PAGE];
@@ -302,10 +311,15 @@ fn cut_before_any_writeback_recovers_empty_file() {
             .unwrap();
     rt.aquila.thread_enter(&mut ctx);
     let f = rt.open("/crash/file", FILE_PAGES).unwrap();
-    let addr = rt.aquila.mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW).unwrap();
+    let addr = rt
+        .aquila
+        .mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW)
+        .unwrap();
     let mut b = vec![0u8; PAGE];
     for page in 0..FILE_PAGES {
-        rt.aquila.read(&mut ctx, addr.add(page * PAGE as u64), &mut b).unwrap();
+        rt.aquila
+            .read(&mut ctx, addr.add(page * PAGE as u64), &mut b)
+            .unwrap();
         assert!(b.iter().all(|&x| x == 0), "page {page} not zero");
     }
 }

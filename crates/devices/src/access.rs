@@ -90,8 +90,12 @@ pub trait StorageAccess: Send + Sync {
     /// Device capacity in 4 KiB pages.
     fn capacity_pages(&self) -> u64;
     /// Reads `buf.len() / 4096` pages starting at `page`.
-    fn read_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &mut [u8])
-        -> Result<(), DeviceError>;
+    fn read_pages(
+        &self,
+        ctx: &mut dyn SimCtx,
+        page: u64,
+        buf: &mut [u8],
+    ) -> Result<(), DeviceError>;
     /// Writes `buf.len() / 4096` pages starting at `page`.
     fn write_pages(&self, ctx: &mut dyn SimCtx, page: u64, buf: &[u8]) -> Result<(), DeviceError>;
     /// Resets the underlying device's timing model (between experiment

@@ -71,10 +71,16 @@ impl core::fmt::Display for DeviceError {
                 page + *pages as u64
             ),
             DeviceError::CrossesPage { offset, len } => {
-                write!(f, "access at offset {offset} len {len} crosses page boundary")
+                write!(
+                    f,
+                    "access at offset {offset} len {len} crosses page boundary"
+                )
             }
             DeviceError::BufferSize { expected, got } => {
-                write!(f, "buffer size {got} does not match transfer size {expected}")
+                write!(
+                    f,
+                    "buffer size {got} does not match transfer size {expected}"
+                )
             }
             DeviceError::BufferDirection => {
                 write!(f, "buffer mutability does not match opcode")

@@ -231,13 +231,18 @@ impl<'d> QueuePair<'d> {
         }
         // Injected faults draw after the organic checks, so an operation
         // number always names a command the queue actually admitted.
-        let injected = self.dev.fault.get().filter(|p| !p.is_empty()).and_then(|plan| {
-            let target = match op {
-                NvmeOp::Read => FaultTarget::NvmeRead,
-                NvmeOp::Write => FaultTarget::NvmeWrite,
-            };
-            plan.draw(target, now)
-        });
+        let injected = self
+            .dev
+            .fault
+            .get()
+            .filter(|p| !p.is_empty())
+            .and_then(|plan| {
+                let target = match op {
+                    NvmeOp::Read => FaultTarget::NvmeRead,
+                    NvmeOp::Write => FaultTarget::NvmeWrite,
+                };
+                plan.draw(target, now)
+            });
         match injected {
             Some(FaultOutcome::MediaError) => {
                 return Err(DeviceError::MediaError { page: lba_page })
@@ -287,8 +292,7 @@ impl<'d> QueuePair<'d> {
                             let keep = (sectors as usize * SECTOR_SIZE).min(b.len());
                             let end = (pos as usize + keep).min(image.len());
                             if (pos as usize) < end {
-                                image[pos as usize..end]
-                                    .copy_from_slice(&b[..end - pos as usize]);
+                                image[pos as usize..end].copy_from_slice(&b[..end - pos as usize]);
                             }
                             plan.record_crash(CrashImage { at: now, image });
                         }
@@ -536,7 +540,9 @@ mod tests {
     #[test]
     fn torn_write_persists_sector_prefix_only() {
         let dev = NvmeDevice::optane(8);
-        dev.set_fault_plan(Arc::new(FaultPlan::parse("nvme.write:torn=3@op=1").unwrap()));
+        dev.set_fault_plan(Arc::new(
+            FaultPlan::parse("nvme.write:torn=3@op=1").unwrap(),
+        ));
         let qp = dev.create_qpair();
         let data = vec![0xAAu8; STORE_PAGE];
         assert_eq!(

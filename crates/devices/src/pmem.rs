@@ -132,7 +132,12 @@ impl PmemDevice {
         ctx.wait_until(r.end, aquila_sim::CostCat::DeviceIo);
         ctx.counters().device_writes += 1;
         ctx.counters().bytes_written += buf.len() as u64;
-        aquila_sim::trace::span(ctx, "pmem.memcpy.write", aquila_sim::CostCat::Memcpy, before);
+        aquila_sim::trace::span(
+            ctx,
+            "pmem.memcpy.write",
+            aquila_sim::CostCat::Memcpy,
+            before,
+        );
         Ok(ctx.now() - before)
     }
 
@@ -205,7 +210,8 @@ mod tests {
         let mut ctx_simd = FreeCtx::new(1);
         dev.dax_write_page(&mut ctx_simd, 0, &data, true).unwrap();
         let mut ctx_scalar = FreeCtx::new(1);
-        dev.dax_write_page(&mut ctx_scalar, 1, &data, false).unwrap();
+        dev.dax_write_page(&mut ctx_scalar, 1, &data, false)
+            .unwrap();
 
         let simd = ctx_simd.breakdown.get(CostCat::Memcpy);
         let scalar = ctx_scalar.breakdown.get(CostCat::Memcpy);

@@ -129,16 +129,14 @@ impl Blobstore {
             let mut clusters = Vec::with_capacity(nclusters);
             for _ in 0..nclusters {
                 let c = rd.u32().ok_or(bad.clone())?;
-                *free
-                    .get_mut(c as usize)
-                    .ok_or(BlobError::NotFormatted)? = false;
+                *free.get_mut(c as usize).ok_or(BlobError::NotFormatted)? = false;
                 clusters.push(c);
             }
             let nxattrs = rd.u32().ok_or(bad.clone())? as usize;
             let mut xattrs = BTreeMap::new();
             for _ in 0..nxattrs {
-                let k = String::from_utf8(rd.bytes().ok_or(bad.clone())?.to_vec())
-                    .unwrap_or_default();
+                let k =
+                    String::from_utf8(rd.bytes().ok_or(bad.clone())?.to_vec()).unwrap_or_default();
                 let v = rd.bytes().ok_or(bad.clone())?.to_vec();
                 xattrs.insert(k, v);
             }
@@ -489,10 +487,7 @@ mod tests {
     fn new_store(ctx: &mut FreeCtx, pages: u64) -> (Blobstore, Arc<dyn StorageAccess>) {
         let dev = Arc::new(NvmeDevice::optane(pages));
         let access: Arc<dyn StorageAccess> = Arc::new(SpdkAccess::new(dev));
-        (
-            Blobstore::format(ctx, Arc::clone(&access)).unwrap(),
-            access,
-        )
+        (Blobstore::format(ctx, Arc::clone(&access)).unwrap(), access)
     }
 
     #[test]

@@ -50,9 +50,8 @@ fn run_with_cut(seed: u64, cut_op: u64, sectors: usize) -> Option<Vec<u8>> {
     db.commit(&mut ctx);
 
     // Arm the cut, then run several put+commit rounds under it.
-    let plan = Arc::new(
-        FaultPlan::parse(&format!("nvme.write:crash={sectors}@op={cut_op}")).unwrap(),
-    );
+    let plan =
+        Arc::new(FaultPlan::parse(&format!("nvme.write:crash={sectors}@op={cut_op}")).unwrap());
     rt.access
         .nvme_device()
         .expect("spdk path has an nvme device")

@@ -156,7 +156,12 @@ impl LinuxMmap {
     pub fn new(cfg: LinuxConfig, dev: KernelDevice, debts: Arc<CoreDebts>) -> LinuxMmap {
         race::declare_order(
             "linuxsim",
-            &["linuxsim.files", "linuxsim.vmas", "linuxsim.pt", "linuxsim.rmap"],
+            &[
+                "linuxsim.files",
+                "linuxsim.vmas",
+                "linuxsim.pt",
+                "linuxsim.rmap",
+            ],
         );
         LinuxMmap {
             cache: KernelPageCache::new(cfg.cache_frames),

@@ -7,7 +7,6 @@
 //! reservation that models the tree lock's serialization, so Figure 10's
 //! collapse emerges from the model rather than being hard-coded.
 
-
 use aquila_sync::{DetMap, Mutex, RwLock};
 
 use aquila_sim::{race, CostCat, Cycles, SimCtx, SimMutex};

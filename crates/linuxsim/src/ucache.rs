@@ -125,7 +125,8 @@ impl UserCache {
         *self.misses.lock() += 1;
 
         // Miss: direct-I/O pread (syscall + kernel path + device).
-        self.access.read_pages(ctx, dev_page, buf)
+        self.access
+            .read_pages(ctx, dev_page, buf)
             .expect("user-cache fill within device bounds");
 
         // Insert, evicting LRU if the shard is full (another lock round).
@@ -159,7 +160,8 @@ impl UserCache {
     /// the mode RocksDB uses for SST creation).
     pub fn put_through(&self, ctx: &mut dyn SimCtx, key: BlockKey, dev_page: u64, buf: &[u8]) {
         debug_assert_eq!(buf.len(), STORE_PAGE);
-        self.access.write_pages(ctx, dev_page, buf)
+        self.access
+            .write_pages(ctx, dev_page, buf)
             .expect("user-cache write-through within device bounds");
         let si = self.shard_of(key);
         let shard = &self.shards[si];

@@ -550,7 +550,11 @@ mod tests {
         );
         assert_eq!(pt.translate(small_gva, Access::Read), Ok(Gpa(0xABC000)));
         let mut seen = 0;
-        pt.for_range(huge_gva.vpn(), Vpn(huge_gva.vpn().0 + HUGE_PAGE_PAGES), |_, _| seen += 1);
+        pt.for_range(
+            huge_gva.vpn(),
+            Vpn(huge_gva.vpn().0 + HUGE_PAGE_PAGES),
+            |_, _| seen += 1,
+        );
         assert_eq!(seen, HUGE_PAGE_PAGES);
     }
 }

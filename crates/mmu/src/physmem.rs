@@ -43,7 +43,11 @@ impl PhysMem {
     /// not overlap the ordinary window).
     pub fn with_slab(base: Gpa, frames: usize, slab_base: Gpa, slab_frames: usize) -> PhysMem {
         if slab_frames > 0 {
-            assert_eq!(slab_base.get() % (512 * PAGE_SIZE), 0, "slab base not 2M-aligned");
+            assert_eq!(
+                slab_base.get() % (512 * PAGE_SIZE),
+                0,
+                "slab base not 2M-aligned"
+            );
             let main_end = base.get() + frames as u64 * PAGE_SIZE;
             let slab_end = slab_base.get() + slab_frames as u64 * PAGE_SIZE;
             assert!(
@@ -219,7 +223,10 @@ mod tests {
         // run's first page, frame 4+511 its last.
         assert_eq!(pm.gpa_of(FrameId(4)), Gpa(0x8_0000_0000));
         assert_eq!(pm.gpa_of(FrameId(4 + 511)), Gpa(0x8_0000_0000 + 511 * 4096));
-        assert_eq!(pm.frame_of(Gpa(0x8_0000_0000 + 511 * 4096)), Some(FrameId(515)));
+        assert_eq!(
+            pm.frame_of(Gpa(0x8_0000_0000 + 511 * 4096)),
+            Some(FrameId(515))
+        );
         assert_eq!(pm.frame_of(Gpa(0x8_0000_0000 + 512 * 4096)), None);
         // Slab frames hold real, independent bytes.
         pm.write(FrameId(515), 0, b"slab");

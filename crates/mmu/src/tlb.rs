@@ -227,18 +227,8 @@ impl Tlb {
     /// Bytes of address space the currently valid entries can translate
     /// without a walk: 4 KiB per small entry, 2 MiB per huge entry.
     pub fn reach_bytes(&self) -> u64 {
-        let small = self
-            .sets
-            .iter()
-            .flatten()
-            .filter(|e| e.valid)
-            .count() as u64;
-        let huge = self
-            .huge_sets
-            .iter()
-            .flatten()
-            .filter(|e| e.valid)
-            .count() as u64;
+        let small = self.sets.iter().flatten().filter(|e| e.valid).count() as u64;
+        let huge = self.huge_sets.iter().flatten().filter(|e| e.valid).count() as u64;
         small * crate::addr::PAGE_SIZE + huge * crate::addr::PAGE_2M
     }
 

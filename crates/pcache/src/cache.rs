@@ -16,8 +16,8 @@
 
 use aquila_mmu::{FrameId, PhysMem, HUGE_PAGE_PAGES, PAGE_SIZE};
 use aquila_sim::{race, CostCat, SimCtx};
-use aquila_vmx::Gpa;
 use aquila_sync::Mutex;
+use aquila_vmx::Gpa;
 
 use crate::dirty::{DirtyPage, DirtyTrees};
 use crate::freelist::{Freelist, FreelistConfig, NumaTopology};
@@ -650,7 +650,9 @@ impl DramCache {
         if self.cfg.low_watermark == 0 {
             return 0;
         }
-        self.cfg.low_watermark.saturating_sub(self.freelist.free_count())
+        self.cfg
+            .low_watermark
+            .saturating_sub(self.freelist.free_count())
     }
 
     /// How many frames the evictor should reclaim right now to bring the
@@ -660,7 +662,9 @@ impl DramCache {
         if self.cfg.high_watermark == 0 {
             return 0;
         }
-        self.cfg.high_watermark.saturating_sub(self.freelist.free_count())
+        self.cfg
+            .high_watermark
+            .saturating_sub(self.freelist.free_count())
     }
 }
 
@@ -809,9 +813,16 @@ mod tests {
         }
         assert!(cache.below_low_watermark());
         assert_eq!(cache.refill_target(), 5, "refill to the high mark");
-        assert_eq!(cache.watermark_deficit(), 1, "one frame short of the low mark");
+        assert_eq!(
+            cache.watermark_deficit(),
+            1,
+            "one frame short of the low mark"
+        );
         cache.release_frame(&mut ctx, held.pop().unwrap());
-        assert!(!cache.below_low_watermark(), "4 free == low mark, not below");
+        assert!(
+            !cache.below_low_watermark(),
+            "4 free == low mark, not below"
+        );
         assert_eq!(cache.refill_target(), 4);
         assert_eq!(cache.watermark_deficit(), 0);
     }
@@ -845,7 +856,11 @@ mod tests {
         assert_eq!(cache.try_alloc_slab_run(&mut ctx), None);
         cache.release_slab_run(&mut ctx, 1);
         cache.release_slab_run(&mut ctx, 0);
-        assert_eq!(cache.try_alloc_slab_run(&mut ctx), Some(0), "lowest id first");
+        assert_eq!(
+            cache.try_alloc_slab_run(&mut ctx),
+            Some(0),
+            "lowest id first"
+        );
     }
 
     #[test]
@@ -922,7 +937,11 @@ mod tests {
         for v in victims {
             cache.release_frame(&mut ctx, v.frame);
         }
-        assert_eq!(cache.free_slab_runs(), 1, "drained run returned to the pool");
+        assert_eq!(
+            cache.free_slab_runs(),
+            1,
+            "drained run returned to the pool"
+        );
     }
 
     #[test]

@@ -209,7 +209,10 @@ impl FaultPlan {
 
     /// Builds a plan from already-parsed clauses.
     pub fn from_clauses(clauses: Vec<FaultClause>) -> FaultPlan {
-        let states = clauses.iter().map(|_| ClauseState { fired: false }).collect();
+        let states = clauses
+            .iter()
+            .map(|_| ClauseState { fired: false })
+            .collect();
         FaultPlan {
             clauses,
             state: Mutex::new(PlanState {
@@ -380,7 +383,9 @@ fn parse_trigger(s: &str) -> Result<FaultTrigger, FaultSpecError> {
     if let Some(n) = s.strip_prefix("op=") {
         let n = parse_num(n, "op trigger")?;
         if n == 0 {
-            return Err(FaultSpecError("op trigger is 1-based; op=0 never fires".into()));
+            return Err(FaultSpecError(
+                "op trigger is 1-based; op=0 never fires".into(),
+            ));
         }
         return Ok(FaultTrigger::Op(n));
     }
@@ -498,10 +503,7 @@ mod tests {
     fn defaults_and_whitespace() {
         let p = FaultPlan::parse(" nvme.write:torn@op=1 ; nvme.write:crash@op=2 ;").unwrap();
         assert_eq!(p.clauses().len(), 2);
-        assert_eq!(
-            p.clauses()[0].kind,
-            FaultKind::TornWrite { sectors: 1 }
-        );
+        assert_eq!(p.clauses()[0].kind, FaultKind::TornWrite { sectors: 1 });
         assert_eq!(p.clauses()[1].kind, FaultKind::Crash { sectors: 0 });
         let q = FaultPlan::parse("nvme.read:queue_full@op=9").unwrap();
         assert_eq!(q.clauses()[0].kind, FaultKind::QueueFullStorm { len: 1 });

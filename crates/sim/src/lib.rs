@@ -49,10 +49,10 @@ pub use fault::{
 pub use hist::LatencyHist;
 pub use metrics::{HistId, MetricId, MetricKind, MetricsRegistry, MetricsSnapshot};
 pub use race::{RaceDetector, RaceStats};
-pub use span::{Span, SpanId};
 pub use region::{DramRegion, MemRegion};
 pub use resource::{Reservation, ServiceCenter, SimMutex, SimRwLock};
 pub use rng::{Rng64, ScrambledZipfian, Zipfian};
+pub use span::{Span, SpanId};
 pub use stats::{Breakdown, Counters};
 pub use time::{Cycles, CPU_HZ};
 pub use trace::{TraceEvent, Tracer};

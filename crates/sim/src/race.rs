@@ -658,10 +658,14 @@ mod tests {
             assert!(vs.read_vc.is_some(), "shared read promotes to vector");
             assert!(vs.read_epoch.is_none());
         }
-        assert!(d
-            .findings()
-            .iter()
-            .any(|f| matches!(f, Finding::WriteRead { writer: 0, reader: 1, .. })));
+        assert!(d.findings().iter().any(|f| matches!(
+            f,
+            Finding::WriteRead {
+                writer: 0,
+                reader: 1,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -669,10 +673,14 @@ mod tests {
         let d = RaceDetector::new();
         d.on_write(0, V);
         d.on_write(1, V);
-        assert!(d
-            .findings()
-            .iter()
-            .any(|f| matches!(f, Finding::WriteWrite { first: 0, second: 1, .. })));
+        assert!(d.findings().iter().any(|f| matches!(
+            f,
+            Finding::WriteWrite {
+                first: 0,
+                second: 1,
+                ..
+            }
+        )));
         // Eraser agrees: two threads, no common lock.
         assert!(d
             .findings()

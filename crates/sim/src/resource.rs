@@ -251,7 +251,12 @@ impl ServiceCenter {
     /// Channels still serving an operation at virtual time `now` — the
     /// device's instantaneous queue occupancy, for observability.
     pub fn busy_channels(&self, now: Cycles) -> usize {
-        self.state.lock().channels.iter().filter(|&&c| c > now).count()
+        self.state
+            .lock()
+            .channels
+            .iter()
+            .filter(|&&c| c > now)
+            .count()
     }
 
     /// Bytes transferred so far.

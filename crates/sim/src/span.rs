@@ -81,12 +81,7 @@ pub fn begin(ctx: &mut dyn SimCtx, name: &'static str, cat: CostCat) -> Span {
 /// Opens a span under an explicit `parent` (possibly from another DES
 /// thread). Pass [`SpanId::NONE`] for a root span.
 #[inline]
-pub fn begin_child(
-    ctx: &mut dyn SimCtx,
-    name: &'static str,
-    cat: CostCat,
-    parent: SpanId,
-) -> Span {
+pub fn begin_child(ctx: &mut dyn SimCtx, name: &'static str, cat: CostCat, parent: SpanId) -> Span {
     match trace::global() {
         Some(t) => begin_in(t, ctx, name, cat, parent),
         None => Span {
@@ -221,7 +216,13 @@ mod tests {
         let t = Tracer::new(64);
         let mut producer = FreeCtx::new(0x11).with_core(1, 4);
         let mut consumer = FreeCtx::new(0x22).with_core(2, 4);
-        let round = begin_in(&t, &mut producer, "evictor.round", CostCat::Eviction, SpanId::NONE);
+        let round = begin_in(
+            &t,
+            &mut producer,
+            "evictor.round",
+            CostCat::Eviction,
+            SpanId::NONE,
+        );
         // Publish the producer's span id; the consumer links to it even
         // though its own stack is empty.
         let handoff = round.id();

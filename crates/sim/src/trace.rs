@@ -252,7 +252,12 @@ impl Tracer {
                     start.get(),
                     dur.get()
                 ),
-                TraceEvent::Instant { name, cat, core, ts } => format!(
+                TraceEvent::Instant {
+                    name,
+                    cat,
+                    core,
+                    ts,
+                } => format!(
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
                      \"ts\":{:.3},\"pid\":1,\"tid\":{core},\
                      \"args\":{{\"ts_cycles\":{}}}}}",

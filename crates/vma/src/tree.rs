@@ -553,7 +553,10 @@ mod tests {
         let big = t.map(&mut ctx, None, 1024, 1, 0, Prot::RW).unwrap();
         assert_eq!(big.start.0 % 512, 0, "large mapping must start 2M-aligned");
         let small = t.map(&mut ctx, None, 4, 2, 0, Prot::RW).unwrap();
-        assert!(small.start.0 >= big.start.0 + 1024, "no overlap after big map");
+        assert!(
+            small.start.0 >= big.start.0 + 1024,
+            "no overlap after big map"
+        );
     }
 
     #[test]

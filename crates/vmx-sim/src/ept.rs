@@ -335,8 +335,13 @@ mod tests {
         // window, 2 MiB granules backing the promotion slab window far
         // above it. Both resolve, and leaf_at reports the right class.
         let mut ept = Ept::new();
-        ept.map(Gpa(4 * PAGE_1G), Hpa(PAGE_1G), EptPageSize::Size1G, EptPerms::RWX)
-            .unwrap();
+        ept.map(
+            Gpa(4 * PAGE_1G),
+            Hpa(PAGE_1G),
+            EptPageSize::Size1G,
+            EptPerms::RWX,
+        )
+        .unwrap();
         let slab = 32 * PAGE_1G;
         for run in 0..4u64 {
             ept.map(

@@ -53,7 +53,11 @@ fn page_table_matches_model() {
                     }
                 }
                 _ => {
-                    let access = if writable { Access::Write } else { Access::Read };
+                    let access = if writable {
+                        Access::Write
+                    } else {
+                        Access::Read
+                    };
                     let got = pt.translate(gva, access);
                     match model.get(&slot) {
                         None => assert!(got.is_err()),
@@ -135,8 +139,9 @@ fn vma_tree_matches_model() {
                 }
                 1 => {
                     let removed = tree.unmap(&mut ctx, aquila_mmu::Vpn(start), len);
-                    let expected =
-                        (start..start + len).filter(|v| model.remove(v).is_some()).count();
+                    let expected = (start..start + len)
+                        .filter(|v| model.remove(v).is_some())
+                        .count();
                     assert_eq!(removed.len(), expected);
                 }
                 _ => {
@@ -347,7 +352,10 @@ fn async_pipeline_matches_sync_device_contents() {
         let sync_img = write_behind_device_image(seed, false);
         let async_img = write_behind_device_image(seed, true);
         assert_eq!(sync_img.len(), async_img.len());
-        assert!(sync_img == async_img, "device contents diverged (case {case})");
+        assert!(
+            sync_img == async_img,
+            "device contents diverged (case {case})"
+        );
     }
 }
 
@@ -408,7 +416,10 @@ fn huge_equivalence_run(seed: u64, huge: bool) -> (Vec<u8>, Vec<u8>, u64) {
     );
     rt.aquila.thread_enter(&mut ctx);
     let f = rt.open("/prop/huge", FILE_PAGES).unwrap();
-    let addr = rt.aquila.mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW).unwrap();
+    let addr = rt
+        .aquila
+        .mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW)
+        .unwrap();
     rt.aquila
         .madvise(&mut ctx, addr, FILE_PAGES, Advice::Random)
         .unwrap();
@@ -418,7 +429,9 @@ fn huge_equivalence_run(seed: u64, huge: bool) -> (Vec<u8>, Vec<u8>, u64) {
     // are resident at the crossing).
     let mut buf = [0u8; 8];
     for p in 0..FILE_PAGES {
-        rt.aquila.read(&mut ctx, addr.add(p * 4096), &mut buf).unwrap();
+        rt.aquila
+            .read(&mut ctx, addr.add(p * 4096), &mut buf)
+            .unwrap();
     }
     if huge {
         assert!(
@@ -452,7 +465,9 @@ fn huge_equivalence_run(seed: u64, huge: bool) -> (Vec<u8>, Vec<u8>, u64) {
                 // 4 KiB PTEs, demotes any promoted run it overlaps.
                 let base = rng.below(FILE_PAGES - 1);
                 let len = rng.range(1, (FILE_PAGES - base).min(700));
-                rt.aquila.msync(&mut ctx, addr.add(base * 4096), len).unwrap();
+                rt.aquila
+                    .msync(&mut ctx, addr.add(base * 4096), len)
+                    .unwrap();
             }
         }
     }
@@ -526,7 +541,10 @@ fn write_behind_device_image(seed: u64, pipeline: bool) -> Vec<u8> {
         policy,
     );
     let f = rt.open("/prop/wb", FILE_PAGES).unwrap();
-    let addr = rt.aquila.mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW).unwrap();
+    let addr = rt
+        .aquila
+        .mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW)
+        .unwrap();
     rt.aquila
         .madvise(&mut ctx, addr, FILE_PAGES, Advice::Random)
         .unwrap();
@@ -567,8 +585,7 @@ fn write_behind_device_image(seed: u64, pipeline: bool) -> Vec<u8> {
     if pipeline {
         engine.spawn(
             1,
-            rt.aquila
-                .evictor(Arc::clone(&stop), Cycles::from_micros(2)),
+            rt.aquila.evictor(Arc::clone(&stop), Cycles::from_micros(2)),
         );
     }
     engine.run();
