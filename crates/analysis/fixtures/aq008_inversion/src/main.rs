@@ -1,0 +1,25 @@
+//! Seeded AQ008 bug: an interprocedural lock-order inversion that no
+//! single-function window can see. `lookup` holds the LRU lock while
+//! calling `touch`, which acquires the map lock — but the declared
+//! order is map before lru.
+
+const L_MAP: race::LockKey = ("fix.map", 0);
+const L_LRU: race::LockKey = ("fix.lru", 0);
+
+fn setup(ctx: &mut Ctx) {
+    race::declare_order("fix", &["fix.map", "fix.lru"]);
+    lookup(ctx);
+}
+
+fn lookup(ctx: &mut Ctx) {
+    race::acquire(ctx, L_LRU);
+    touch(ctx);
+    race::release(ctx, L_LRU);
+}
+
+fn touch(ctx: &mut Ctx) {
+    race::acquire(ctx, L_MAP);
+    race::release(ctx, L_MAP);
+}
+
+fn main() {}

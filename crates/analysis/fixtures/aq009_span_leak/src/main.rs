@@ -1,0 +1,16 @@
+//! Seeded AQ009 bug: a span leaked through a `?` early return. When
+//! `device_write` fails, the `fix.fault` span never ends and the folded
+//! flamegraph total drifts from the histogram sum.
+
+fn handle_fault(ctx: &mut Ctx) -> Result<(), DeviceError> {
+    let sp = span::begin(ctx, "fix.fault", CostCat::Fault);
+    device_write(ctx)?;
+    span::end(ctx, sp);
+    Ok(())
+}
+
+fn device_write(_ctx: &mut Ctx) -> Result<(), DeviceError> {
+    Ok(())
+}
+
+fn main() {}

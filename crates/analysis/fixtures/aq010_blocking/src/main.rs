@@ -1,0 +1,22 @@
+//! Seeded AQ010 bug: a `std::thread::sleep` reachable from a DES
+//! ThreadFn two calls deep. A simulated thread must yield virtual time
+//! through the engine, never block the host thread running the DES.
+
+fn boot(engine: &mut Engine) {
+    engine.spawn(0, Box::new(move |ctx| worker(ctx)));
+}
+
+fn worker(ctx: &mut Ctx) -> Step {
+    throttle(ctx);
+    done()
+}
+
+fn throttle(_ctx: &mut Ctx) {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn done() -> Step {
+    Step::Done
+}
+
+fn main() {}

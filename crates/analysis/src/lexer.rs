@@ -1,0 +1,700 @@
+//! Zero-dependency Rust lexer for the analysis pass.
+//!
+//! Two views of a source file are produced here:
+//!
+//! - [`lex`] — a token stream with line numbers, the input to the
+//!   symbol-graph builder ([`crate::graph`]) and the interprocedural
+//!   checkers. Comments vanish; string literals keep their contents
+//!   (lock names and `declare_order` tables live in them).
+//! - [`strip_source`] + [`test_lines`] — a position-preserving
+//!   "cleaned" text (comments/strings/chars blanked, newlines kept)
+//!   for the line-oriented lints AQ001–AQ007, which match on columns
+//!   of the raw text.
+//!
+//! The lexer handles the constructions a naive scanner trips over:
+//! nested block comments, raw (byte) strings `r#"…"#`, lifetimes vs.
+//! char literals vs. loop labels (`'a`, `'x'`, `'outer:`), numeric
+//! literals with type suffixes, and the joint symbols that matter for
+//! parsing (`::`, `->`, `=>`, `..`, `..=`, `...`).
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// Token kinds. Keywords lex as [`TokKind::Ident`]; only the joint
+/// symbols the parser dispatches on are fused, everything else is a
+/// single-character [`TokKind::Punct`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    Ident(String),
+    /// `'a` / `'outer` — lifetimes and loop labels (without the quote).
+    Lifetime(String),
+    /// String literal contents (raw inner text, escapes unprocessed).
+    Str(String),
+    /// Char or byte literal (contents never matter to the checkers).
+    Char,
+    Num(String),
+    /// One of `::`, `->`, `=>`, `..`, `..=`, `...`.
+    Sym(&'static str),
+    Punct(char),
+}
+
+impl TokKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, TokKind::Ident(i) if i == s)
+    }
+
+    /// Whether this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        *self == TokKind::Punct(c)
+    }
+
+    /// Whether this token is the joint symbol `s`.
+    pub fn is_sym(&self, s: &str) -> bool {
+        matches!(self, TokKind::Sym(t) if *t == s)
+    }
+
+    /// The string-literal contents, if this is a string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match self {
+            TokKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        self.kind.ident()
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind.is_ident(s)
+    }
+
+    /// Whether this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind.is_punct(c)
+    }
+
+    /// Whether this token is the joint symbol `s`.
+    pub fn is_sym(&self, s: &str) -> bool {
+        self.kind.is_sym(s)
+    }
+
+    /// The string-literal contents, if this is a string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        self.kind.str_lit()
+    }
+}
+
+/// Tokenizes `src`. Unterminated literals lex as best-effort tokens
+/// ending at EOF; the checkers only ever run over code that `cargo
+/// build` already accepted, so error recovery is not a design goal.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    let bump = |line: &mut u32, c: char| {
+        if c == '\n' {
+            *line += 1;
+        }
+    };
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump(&mut line, c);
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump(&mut line, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"…" / r#"…"# / br##"…"##.
+        if let Some((body, hashes)) = raw_string_start(&b, i) {
+            let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+            if !prev_ident {
+                let start_line = line;
+                let mut j = body;
+                let mut content = String::new();
+                while j < b.len() {
+                    if b[j] == '"' {
+                        let mut k = j + 1;
+                        let mut seen = 0;
+                        while seen < hashes && b.get(k) == Some(&'#') {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break;
+                        }
+                    }
+                    bump(&mut line, b[j]);
+                    content.push(b[j]);
+                    j += 1;
+                }
+                toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str(content),
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Ordinary (byte) string.
+        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"')) {
+            let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+            if c == '"' || !prev_ident {
+                let start_line = line;
+                if c == 'b' {
+                    i += 1;
+                }
+                i += 1; // opening quote
+                let mut content = String::new();
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        if let Some(e) = b.get(i + 1) {
+                            content.push('\\');
+                            content.push(*e);
+                            bump(&mut line, *e);
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '"' {
+                        i += 1;
+                        break;
+                    }
+                    bump(&mut line, b[i]);
+                    content.push(b[i]);
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str(content),
+                });
+                continue;
+            }
+        }
+        // Lifetime / loop label / char literal.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                // `'x'` is a char; `'a` (not closed right after one
+                // char) is a lifetime or a label.
+                Some(_) => b.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                let start_line = line;
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        i += 1;
+                        break;
+                    }
+                    bump(&mut line, b[i]);
+                    i += 1;
+                }
+                toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Char,
+                });
+                continue;
+            }
+            // Lifetime or label: consume ident chars after the quote.
+            let mut j = i + 1;
+            let mut name = String::new();
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                name.push(b[j]);
+                j += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Lifetime(name),
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literal (with `_`, radix prefixes, suffixes, floats).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < b.len() {
+                let d = b[j];
+                if d.is_alphanumeric() || d == '_' {
+                    j += 1;
+                    continue;
+                }
+                // A decimal point only if followed by a digit, so `0..n`
+                // does not swallow the range operator.
+                if d == '.' && b.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                    j += 1;
+                    continue;
+                }
+                // Exponent sign: `1e-9`.
+                if (d == '+' || d == '-')
+                    && j > start
+                    && matches!(b[j - 1], 'e' | 'E')
+                    && b.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                {
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            toks.push(Tok {
+                line,
+                kind: TokKind::Num(b[start..j].iter().collect()),
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword (incl. raw identifiers `r#ident`).
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            if c == 'r'
+                && b.get(i + 1) == Some(&'#')
+                && b.get(i + 2).is_some_and(|n| is_ident_start(*n))
+            {
+                j = i + 2;
+            }
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            let text: String = b[start..j].iter().collect();
+            let text = text.strip_prefix("r#").unwrap_or(&text).to_string();
+            toks.push(Tok {
+                line,
+                kind: TokKind::Ident(text),
+            });
+            i = j;
+            continue;
+        }
+        // Joint symbols the parser dispatches on.
+        let rest3: String = b[i..b.len().min(i + 3)].iter().collect();
+        let joint = if rest3.starts_with("...") {
+            Some("...")
+        } else if rest3.starts_with("..=") {
+            Some("..=")
+        } else if rest3.starts_with("..") {
+            Some("..")
+        } else if rest3.starts_with("::") {
+            Some("::")
+        } else if rest3.starts_with("->") {
+            Some("->")
+        } else if rest3.starts_with("=>") {
+            Some("=>")
+        } else {
+            None
+        };
+        if let Some(s) = joint {
+            toks.push(Tok {
+                line,
+                kind: TokKind::Sym(s),
+            });
+            i += s.len();
+            continue;
+        }
+        toks.push(Tok {
+            line,
+            kind: TokKind::Punct(c),
+        });
+        i += 1;
+    }
+    toks
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn raw_string_start(b: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&'r') {
+        return None;
+    }
+    let mut k = j + 1;
+    let mut hashes = 0;
+    while b.get(k) == Some(&'#') {
+        hashes += 1;
+        k += 1;
+    }
+    if b.get(k) == Some(&'"') {
+        Some((k + 1, hashes))
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Position-preserving cleaning for the line-oriented lints
+// ---------------------------------------------------------------------------
+
+/// Replaces comments, string/char literals with spaces (newlines kept,
+/// so line numbers survive). Handles nested block comments, raw strings
+/// (`r"…"`, `r#"…"#`, `br##"…"##`), escapes, and tells lifetimes
+/// (`'a`) from char literals.
+pub fn strip_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"…" / r#"…"# / br##"…"##.
+        if let Some((body, hashes)) = raw_string_start(&b, i) {
+            let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+            if !prev_ident {
+                out.resize(out.len() + (body - i), ' ');
+                i = body;
+                while i < b.len() {
+                    if b[i] == '"' {
+                        let mut k = i + 1;
+                        let mut seen = 0;
+                        while seen < hashes && b.get(k) == Some(&'#') {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            out.resize(out.len() + (k - i), ' ');
+                            i = k;
+                            break;
+                        }
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary (byte) string.
+        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"')) {
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            out.push(' ');
+            i += 1; // past the opening quote
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(blank(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(_) => b.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                out.push(' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Lines (0-based) inside `#[cfg(test)]`-attributed items, found by
+/// brace matching on the cleaned source.
+///
+/// An attribute followed by a braceless item (`#[cfg(test)] use …;`)
+/// covers only up to the terminating semicolon, so the *next* item is
+/// not swallowed — the over-marking a brace-only scan produces.
+pub fn test_lines(cleaned: &str) -> Vec<bool> {
+    let lines: Vec<&str> = cleaned.lines().collect();
+    let mut skip = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Span from the attribute to the close of the next brace group,
+        // or to a top-level `;` if one comes first (braceless item).
+        let mut depth: i64 = 0;
+        let mut started = false;
+        let mut j = i;
+        'scan: while j < lines.len() {
+            // Skip past the attribute itself on its own line.
+            let text = if j == i {
+                match lines[j].find("#[cfg(test)]") {
+                    Some(p) => &lines[j][p + "#[cfg(test)]".len()..],
+                    None => lines[j],
+                }
+            } else {
+                lines[j]
+            };
+            for ch in text.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if started && depth == 0 {
+                            break 'scan;
+                        }
+                    }
+                    ';' if !started && depth == 0 => {
+                        // Braceless item: `use`, `type`, `fn f();`, …
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(lines.len().saturating_sub(1));
+        for s in skip.iter_mut().take(end + 1).skip(i) {
+            *s = true;
+        }
+        i = end + 1;
+    }
+    skip
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(toks: &[Tok]) -> Vec<&str> {
+        toks.iter().filter_map(|t| t.ident()).collect()
+    }
+
+    #[test]
+    fn lexes_idents_paths_and_calls() {
+        let toks = lex("fn f() { race::acquire(ctx, (L_A, 0)); }");
+        assert_eq!(idents(&toks), ["fn", "f", "race", "acquire", "ctx", "L_A"]);
+        assert!(toks.iter().any(|t| t.is_sym("::")));
+    }
+
+    #[test]
+    fn string_contents_are_kept_for_lock_tables() {
+        let toks = lex("declare_order(\"dom\", &[\"a.x\", \"b.y\"])");
+        let strs: Vec<&str> = toks.iter().filter_map(|t| t.str_lit()).collect();
+        assert_eq!(strs, ["dom", "a.x", "b.y"]);
+    }
+
+    #[test]
+    fn raw_strings_lex_as_one_token() {
+        // Satellite fixture: raw strings with hashes, incl. a quote and
+        // a would-be token inside.
+        let toks = lex("let s = r#\"HashMap \" inside\"#; let t = br##\"x\"# still\"##;");
+        let strs: Vec<&str> = toks.iter().filter_map(|t| t.str_lit()).collect();
+        assert_eq!(strs, ["HashMap \" inside", "x\"# still"]);
+        assert!(!idents(&toks).contains(&"HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments_vanish() {
+        let toks = lex("a /* x /* y */ z */ b");
+        assert_eq!(idents(&toks), ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_labels_and_chars_disambiguate() {
+        let toks = lex("'outer: loop { break 'outer; } let c = 'x'; fn f<'a>(v: &'a str) {}");
+        let lifetimes: Vec<&String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Lifetime(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, ["outer", "outer", "a", "a"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = lex("for i in 0..n { let x = 1.5e-3f64; let y = 0x10_0000u64; }");
+        assert!(toks.iter().any(|t| t.is_sym("..")));
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["0", "1.5e-3f64", "0x10_0000u64"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let toks = lex("a\n\"s1\nstill s1\"\n/* c\nc */ b\nr#\"raw\nraw\"# c");
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 5);
+        assert_eq!(find("c"), 7);
+    }
+
+    #[test]
+    fn strips_comments_strings_and_chars() {
+        let src =
+            "let a = \"Hash\\\"Map\"; // HashMap here\nlet b = 'x'; /* Hash\nSet */ let c = 1;";
+        let cleaned = strip_source(src);
+        assert!(!cleaned.contains("HashMap"));
+        assert!(!cleaned.contains("HashSet"));
+        assert!(cleaned.contains("let a"));
+        assert!(cleaned.contains("let c = 1;"));
+        assert_eq!(cleaned.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strips_raw_strings_and_keeps_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let s = r#\"HashMap\"#; let t = x; }";
+        let cleaned = strip_source(src);
+        assert!(!cleaned.contains("HashMap"));
+        assert!(cleaned.contains("fn f<'a>"));
+        assert!(cleaned.contains("let t = x;"));
+    }
+
+    #[test]
+    fn cfg_test_mod_spanning_multiple_items_is_fully_marked() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn a() {}
+    fn b() {}
+}
+fn live2() {}
+";
+        let skip = test_lines(&strip_source(src));
+        assert!(!skip[0], "live fn marked as test");
+        assert!(skip[1] && skip[2] && skip[4] && skip[5] && skip[6]);
+        assert!(!skip[7], "fn after the test mod marked as test");
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_swallow_next_item() {
+        let src = "\
+#[cfg(test)]
+use std::collections::HashMap;
+fn live() { body(); }
+";
+        let skip = test_lines(&strip_source(src));
+        assert!(skip[0] && skip[1]);
+        assert!(!skip[2], "live fn after #[cfg(test)] use was swallowed");
+    }
+}

@@ -1,74 +1,52 @@
-//! Determinism lint pass for the Aquila workspace.
-//!
-//! The simulator's whole value proposition is that a run is a pure
-//! function of the seed and the cost model (DESIGN.md §2). That
-//! property is easy to lose to a stray `std::collections::HashMap`
-//! (SipHash seeds randomize iteration order per process) or a
-//! wall-clock read, and code review does not reliably catch either.
-//! This binary is the mechanical check, run from CI as:
+//! Thin CLI over the `aquila_analysis` library.
 //!
 //! ```text
-//! cargo run -p aquila-analysis -- lint
+//! aquila-analysis -- lint [--strict] [--json PATH] [--sarif PATH] [--root DIR]
 //! ```
 //!
-//! It is deliberately *not* built on `syn`/`rustc` internals — the
-//! workspace builds offline with zero external dependencies, so the
-//! scanner is a hand-rolled line/token pass: comments, string literals
-//! and `#[cfg(test)]` blocks are stripped first, then four lints run
-//! over what remains:
-//!
-//! - `AQ001-nondeterministic-map` — `HashMap`/`HashSet` in sim-path
-//!   code. Use `aquila_sync::DetMap`/`DetSet` (BTree-backed, ordered).
-//! - `AQ002-wall-clock` — `Instant::now`/`SystemTime`/`thread_rng`
-//!   outside `crates/bench`. Virtual time comes from `SimCtx::now()`;
-//!   randomness from the seeded `Rng64`.
-//! - `AQ003-unordered-iteration` — iterating a locally-declared
-//!   `HashMap`/`HashSet` where the results feed `trace`/`metrics`
-//!   sinks (order would leak into observable artifacts).
-//! - `AQ004-lock-order` — `.lock()` acquisition sequences in
-//!   `crates/linuxsim` that contradict the declared order
-//!   `files -> vmas -> pt -> rmap` (DESIGN.md §9; the runtime
-//!   counterpart is `aquila_sim::race`).
-//! - `AQ005-config-construction` — `AquilaConfig` struct literals or
-//!   `AquilaConfig::new(..)` calls outside the builder module
-//!   (`crates/core/src/config.rs`). Configuration goes through
-//!   `AquilaConfig::builder(..)` so new policy knobs (watermarks, write
-//!   policy, queue depth) pick up their defaults and derivations.
-//! - `AQ006-device-unwrap` — `.unwrap()`/`.expect(` on device-layer
-//!   `Result`s. With fault injection (`--faults`, DESIGN.md §11) any
-//!   device command can fail at a seeded point, so a panic here turns a
-//!   planned fault into a crash instead of a retry/degradation. Inside
-//!   `crates/devices` every non-test unwrap is flagged; elsewhere a
-//!   line (or the two lines above it, for chained calls) must name a
-//!   device entry point (`read_pages`, `write_pages`, `submit`, …).
-//! - `AQ007-dynamic-name` — metric/span names at observability sinks
-//!   (`metrics::add`, `metrics::gauge`, `metrics::record_latency`,
-//!   `trace::span`, `trace::instant`, `trace::counter`, `span::begin`,
-//!   `span::begin_child`) on sim paths must be `&'static str` literals
-//!   at the call site. A `format!`ed or variable name allocates on the
-//!   hot path (breaking the zero-cost-when-disabled contract), defeats
-//!   registry idempotence, and makes artifact schemas data-dependent.
-//!
-//! Findings print as `path:line: AQxxx-id: message`, one per line, and
-//! the process exits 1 if any finding is not suppressed by
-//! `crates/analysis/allowlist.txt` (format: `AQxxx <path-substring>
-//! [line-substring]`, `#` comments).
+//! Exit codes: 0 clean, 1 unsuppressed findings (or stale allowlist
+//! entries under `--strict`), 2 usage or I/O error.
 
-use std::fs;
 use std::path::{Path, PathBuf};
+
+use aquila_analysis::{run_lint, LintOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let root = workspace_root();
-            std::process::exit(run_lint(&root));
+            let mut opts = LintOptions::default();
+            let mut root: Option<PathBuf> = None;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--strict" => opts.strict = true,
+                    "--json" => match it.next() {
+                        Some(p) => opts.json = Some(PathBuf::from(p)),
+                        None => usage("--json needs a path"),
+                    },
+                    "--sarif" => match it.next() {
+                        Some(p) => opts.sarif = Some(PathBuf::from(p)),
+                        None => usage("--sarif needs a path"),
+                    },
+                    "--root" => match it.next() {
+                        Some(p) => root = Some(PathBuf::from(p)),
+                        None => usage("--root needs a directory"),
+                    },
+                    other => usage(&format!("unknown flag `{other}`")),
+                }
+            }
+            let root = root.unwrap_or_else(workspace_root);
+            std::process::exit(run_lint(&root, &opts));
         }
-        _ => {
-            eprintln!("usage: aquila-analysis lint");
-            std::process::exit(2);
-        }
+        _ => usage("expected the `lint` subcommand"),
     }
+}
+
+fn usage(why: &str) -> ! {
+    eprintln!("error: {why}");
+    eprintln!("usage: aquila-analysis lint [--strict] [--json PATH] [--sarif PATH] [--root DIR]");
+    std::process::exit(2);
 }
 
 /// The workspace root, two levels above this crate's manifest.
@@ -78,972 +56,4 @@ fn workspace_root() -> PathBuf {
         .and_then(Path::parent)
         .expect("crates/analysis sits two levels under the workspace root")
         .to_path_buf()
-}
-
-fn run_lint(root: &Path) -> i32 {
-    let allow = Allowlist::load(&root.join("crates/analysis/allowlist.txt"));
-    let mut findings = Vec::new();
-    for file in rs_files(root) {
-        let rel = file
-            .strip_prefix(root)
-            .unwrap_or(&file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let Ok(source) = fs::read_to_string(&file) else {
-            continue;
-        };
-        findings.extend(lint_file(&rel, &source));
-    }
-    findings.sort();
-    let mut visible = 0usize;
-    let mut suppressed = 0usize;
-    for f in &findings {
-        if allow.covers(f) {
-            suppressed += 1;
-        } else {
-            visible += 1;
-            println!("{}:{}: {}: {}", f.path, f.line, f.lint.id(), f.message);
-        }
-    }
-    if suppressed > 0 {
-        println!("lint: {suppressed} finding(s) suppressed by allowlist");
-    }
-    if visible > 0 {
-        println!("lint: {visible} finding(s)");
-        1
-    } else {
-        println!("lint: clean");
-        0
-    }
-}
-
-/// Every `.rs` file under `crates/*/src` and the root `src/`, sorted
-/// for deterministic output. Integration tests (`tests/`, `*/tests/`)
-/// are host-side test code and exempt, like `#[cfg(test)]` blocks.
-fn rs_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut dirs = vec![root.join("src")];
-    if let Ok(entries) = fs::read_dir(root.join("crates")) {
-        for e in entries.flatten() {
-            dirs.push(e.path().join("src"));
-        }
-    }
-    while let Some(dir) = dirs.pop() {
-        let Ok(entries) = fs::read_dir(&dir) else {
-            continue;
-        };
-        for e in entries.flatten() {
-            let p = e.path();
-            if p.is_dir() {
-                dirs.push(p);
-            } else if p.extension().is_some_and(|x| x == "rs") {
-                out.push(p);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Lint identities
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Lint {
-    NondeterministicMap,
-    WallClock,
-    UnorderedIteration,
-    LockOrder,
-    ConfigConstruction,
-    DeviceUnwrap,
-    DynamicName,
-}
-
-impl Lint {
-    fn id(self) -> &'static str {
-        match self {
-            Lint::NondeterministicMap => "AQ001-nondeterministic-map",
-            Lint::WallClock => "AQ002-wall-clock",
-            Lint::UnorderedIteration => "AQ003-unordered-iteration",
-            Lint::LockOrder => "AQ004-lock-order",
-            Lint::ConfigConstruction => "AQ005-config-construction",
-            Lint::DeviceUnwrap => "AQ006-device-unwrap",
-            Lint::DynamicName => "AQ007-dynamic-name",
-        }
-    }
-
-    /// AQ code alone (`AQ001`), the form used in the allowlist.
-    fn code(self) -> &'static str {
-        match self {
-            Lint::NondeterministicMap => "AQ001",
-            Lint::WallClock => "AQ002",
-            Lint::UnorderedIteration => "AQ003",
-            Lint::LockOrder => "AQ004",
-            Lint::ConfigConstruction => "AQ005",
-            Lint::DeviceUnwrap => "AQ006",
-            Lint::DynamicName => "AQ007",
-        }
-    }
-}
-
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Finding {
-    path: String,
-    line: usize,
-    lint: Lint,
-    message: String,
-    /// The cleaned source line, for allowlist line-substring matching.
-    text: String,
-}
-
-// ---------------------------------------------------------------------------
-// Allowlist
-// ---------------------------------------------------------------------------
-
-struct Allowlist {
-    entries: Vec<(String, String, Option<String>)>,
-}
-
-impl Allowlist {
-    fn load(path: &Path) -> Allowlist {
-        let text = fs::read_to_string(path).unwrap_or_default();
-        Allowlist::parse(&text)
-    }
-
-    fn parse(text: &str) -> Allowlist {
-        let mut entries = Vec::new();
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let mut parts = line.splitn(3, char::is_whitespace);
-            let (Some(code), Some(path)) = (parts.next(), parts.next()) else {
-                continue;
-            };
-            let rest = parts.next().map(|s| s.trim().to_string());
-            entries.push((code.to_string(), path.to_string(), rest));
-        }
-        Allowlist { entries }
-    }
-
-    fn covers(&self, f: &Finding) -> bool {
-        self.entries.iter().any(|(code, path, text)| {
-            code == f.lint.code()
-                && f.path.contains(path.as_str())
-                && text.as_ref().is_none_or(|t| f.text.contains(t.as_str()))
-        })
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Source cleaning: strip comments, strings, chars; blank cfg(test) blocks
-// ---------------------------------------------------------------------------
-
-/// Replaces comments, string/char literals with spaces (newlines kept,
-/// so line numbers survive). Handles nested block comments, raw strings
-/// (`r"…"`, `r#"…"#`, `br##"…"##`), escapes, and tells lifetimes
-/// (`'a`) from char literals.
-fn strip_source(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let mut out: Vec<char> = Vec::with_capacity(b.len());
-    let mut i = 0;
-    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
-    while i < b.len() {
-        let c = b[i];
-        // Line comment.
-        if c == '/' && b.get(i + 1) == Some(&'/') {
-            while i < b.len() && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment (nested).
-        if c == '/' && b.get(i + 1) == Some(&'*') {
-            let mut depth = 0;
-            while i < b.len() {
-                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw (byte) string: r"…" / r#"…"# / br##"…"##.
-        let raw_start = {
-            let mut j = i;
-            if b.get(j) == Some(&'b') {
-                j += 1;
-            }
-            if b.get(j) == Some(&'r') {
-                let mut k = j + 1;
-                let mut hashes = 0;
-                while b.get(k) == Some(&'#') {
-                    hashes += 1;
-                    k += 1;
-                }
-                if b.get(k) == Some(&'"') {
-                    Some((k + 1, hashes))
-                } else {
-                    None
-                }
-            } else {
-                None
-            }
-        };
-        if let Some((body, hashes)) = raw_start {
-            // Preceded by an identifier char? Then `r` is part of a
-            // name (e.g. `var"x"` cannot happen, but `br` check above
-            // can misfire on identifiers ending in b/r — guard).
-            let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
-            if !prev_ident {
-                out.resize(out.len() + (body - i), ' ');
-                i = body;
-                while i < b.len() {
-                    if b[i] == '"' {
-                        let mut k = i + 1;
-                        let mut seen = 0;
-                        while seen < hashes && b.get(k) == Some(&'#') {
-                            seen += 1;
-                            k += 1;
-                        }
-                        if seen == hashes {
-                            out.resize(out.len() + (k - i), ' ');
-                            i = k;
-                            break;
-                        }
-                    }
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        // Ordinary (byte) string.
-        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"')) {
-            if c == 'b' {
-                out.push(' ');
-                i += 1;
-            }
-            out.push(' ');
-            i += 1; // past the opening quote
-            while i < b.len() {
-                if b[i] == '\\' {
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                if b[i] == '"' {
-                    out.push(' ');
-                    i += 1;
-                    break;
-                }
-                out.push(blank(b[i]));
-                i += 1;
-            }
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == '\'' {
-            let next = b.get(i + 1).copied();
-            let is_char = match next {
-                Some('\\') => true,
-                Some(_) => b.get(i + 2) == Some(&'\''),
-                None => false,
-            };
-            if is_char {
-                out.push(' ');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == '\\' {
-                        out.push(' ');
-                        out.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    if b[i] == '\'' {
-                        out.push(' ');
-                        i += 1;
-                        break;
-                    }
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        out.push(c);
-        i += 1;
-    }
-    out.into_iter().collect()
-}
-
-/// Lines (0-based) inside `#[cfg(test)]`-attributed items, found by
-/// brace matching on the cleaned source.
-fn test_lines(cleaned: &str) -> Vec<bool> {
-    let lines: Vec<&str> = cleaned.lines().collect();
-    let mut skip = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        if !lines[i].contains("#[cfg(test)]") {
-            i += 1;
-            continue;
-        }
-        // Span from the attribute to the close of the next brace group.
-        let mut depth: i64 = 0;
-        let mut started = false;
-        let mut j = i;
-        'scan: while j < lines.len() {
-            for ch in lines[j].chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        started = true;
-                    }
-                    '}' => {
-                        depth -= 1;
-                        if started && depth == 0 {
-                            break 'scan;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            j += 1;
-        }
-        let end = j.min(lines.len().saturating_sub(1));
-        for s in skip.iter_mut().take(end + 1).skip(i) {
-            *s = true;
-        }
-        i = end + 1;
-    }
-    skip
-}
-
-// ---------------------------------------------------------------------------
-// The four lints
-// ---------------------------------------------------------------------------
-
-/// Crates exempt from a lint (by path prefix under the workspace root).
-fn exempt(lint: Lint, path: &str) -> bool {
-    // The lint tool itself names the banned tokens in patterns.
-    if path.starts_with("crates/analysis/") {
-        return true;
-    }
-    // Bench binaries may time real (host) execution of the simulation.
-    lint == Lint::WallClock && path.starts_with("crates/bench/")
-}
-
-fn lint_file(path: &str, source: &str) -> Vec<Finding> {
-    let cleaned = strip_source(source);
-    let skip = test_lines(&cleaned);
-    let lines: Vec<&str> = cleaned.lines().collect();
-    let mut out = Vec::new();
-
-    let push = |out: &mut Vec<Finding>, line: usize, lint: Lint, message: String| {
-        out.push(Finding {
-            path: path.to_string(),
-            line: line + 1,
-            lint,
-            message,
-            text: lines[line].trim().to_string(),
-        });
-    };
-
-    // AQ001 + collect unordered-container names for AQ003.
-    let mut unordered_names: Vec<String> = Vec::new();
-    for (n, line) in lines.iter().enumerate() {
-        if skip.get(n).copied().unwrap_or(false) {
-            continue;
-        }
-        for tok in ["HashMap", "HashSet"] {
-            if let Some(col) = find_token(line, tok) {
-                if !exempt(Lint::NondeterministicMap, path) {
-                    push(
-                        &mut out,
-                        n,
-                        Lint::NondeterministicMap,
-                        format!(
-                            "{tok} has seed-randomized iteration order; \
-                             use aquila_sync::Det{} instead",
-                            if tok == "HashMap" { "Map" } else { "Set" }
-                        ),
-                    );
-                }
-                // `let mut counts = HashMap::new()` / `counts: HashMap<..>`
-                if let Some(name) = declared_name(line, col) {
-                    unordered_names.push(name);
-                }
-            }
-        }
-        if exempt(Lint::WallClock, path) {
-            continue;
-        }
-        for pat in ["Instant::now", "SystemTime", "thread_rng", "rand::random"] {
-            if line.contains(pat) {
-                push(
-                    &mut out,
-                    n,
-                    Lint::WallClock,
-                    format!(
-                        "{pat} reads host state; use SimCtx::now() for \
-                         virtual time and the seeded Rng64 for randomness"
-                    ),
-                );
-            }
-        }
-    }
-
-    // AQ003: iterating one of the names above where the loop window
-    // also touches a trace/metrics sink.
-    if !exempt(Lint::UnorderedIteration, path) {
-        for (n, line) in lines.iter().enumerate() {
-            if skip.get(n).copied().unwrap_or(false) {
-                continue;
-            }
-            for name in &unordered_names {
-                let iterates = line.contains(&format!("in &{name}"))
-                    || line.contains(&format!("in {name}"))
-                    || line.contains(&format!("{name}.iter()"))
-                    || line.contains(&format!("{name}.keys()"))
-                    || line.contains(&format!("{name}.values()"));
-                if !iterates {
-                    continue;
-                }
-                let window = lines[n..lines.len().min(n + 5)].join("\n");
-                if window.contains("trace") || window.contains("metrics") {
-                    push(
-                        &mut out,
-                        n,
-                        Lint::UnorderedIteration,
-                        format!(
-                            "iteration over unordered `{name}` feeds an \
-                             observability sink; order leaks into artifacts"
-                        ),
-                    );
-                }
-            }
-        }
-    }
-
-    // AQ005: AquilaConfig is builder-only. A struct literal or a call to
-    // the deprecated `new` shim anywhere but the builder module bypasses
-    // the policy derivations (watermark defaults, batch clamping).
-    if path != "crates/core/src/config.rs" {
-        for (n, line) in lines.iter().enumerate() {
-            if skip.get(n).copied().unwrap_or(false) {
-                continue;
-            }
-            if let Some(col) = find_token(line, "AquilaConfig") {
-                let rest = line[col + "AquilaConfig".len()..].trim_start();
-                // `-> AquilaConfig {` / `-> &AquilaConfig {` is a return
-                // type followed by the function body, not a literal.
-                let before = line[..col].trim_end();
-                let type_position = before.ends_with("->")
-                    || before.ends_with('&')
-                    || before.ends_with("dyn")
-                    || before.ends_with("impl");
-                if (rest.starts_with('{') && !type_position) || rest.starts_with("::new") {
-                    push(
-                        &mut out,
-                        n,
-                        Lint::ConfigConstruction,
-                        "construct AquilaConfig through AquilaConfig::builder(..); \
-                         struct literals and the deprecated `new` shim are sealed \
-                         to crates/core/src/config.rs"
-                            .to_string(),
-                    );
-                }
-            }
-        }
-    }
-
-    // AQ006: unwrap/expect on device-layer Results. `src/tests.rs`
-    // files are `#[cfg(test)]`-gated at their module declaration, so
-    // the in-file scan cannot see the gate; exempt them by path like
-    // integration tests.
-    if !path.starts_with("crates/analysis/") && !path.ends_with("/tests.rs") {
-        // Entry points whose Results carry DeviceError (directly or via
-        // a wrapper like BlobError); `.read(`/`.write(` are too generic
-        // to list without drowning the lint in engine-API noise.
-        const DEVICE_TOKENS: [&str; 11] = [
-            "read_pages",
-            "write_pages",
-            "dax_read",
-            "dax_write",
-            "read_at",
-            "write_at",
-            "read_range",
-            "write_range",
-            "open_blob",
-            "sync_md",
-            "submit",
-        ];
-        let in_devices = path.starts_with("crates/devices/");
-        for (n, line) in lines.iter().enumerate() {
-            if skip.get(n).copied().unwrap_or(false) {
-                continue;
-            }
-            if !line.contains(".unwrap()") && !line.contains(".expect(") {
-                continue;
-            }
-            // A chained call may put the device entry point on an
-            // earlier line; look back over a short window.
-            let window_start = n.saturating_sub(2);
-            let device_call = lines[window_start..=n]
-                .iter()
-                .any(|l| DEVICE_TOKENS.iter().any(|t| find_token(l, t).is_some()));
-            if in_devices || device_call {
-                push(
-                    &mut out,
-                    n,
-                    Lint::DeviceUnwrap,
-                    "device-layer Result unwrapped; with fault injection any \
-                     command can fail at a seeded point — propagate the error \
-                     into the retry/degradation policy (DESIGN.md §11)"
-                        .to_string(),
-                );
-            }
-        }
-    }
-
-    // AQ007: observability names are static literals on sim paths. The
-    // cleaned source blanks string literals but preserves positions, so
-    // the sink call and the argument comma are located on the cleaned
-    // text (no commas hiding inside strings) and the verdict — does the
-    // second argument start with `"` — is read from the raw text at the
-    // same offset. Bench binaries are host-side harness code (their
-    // dynamic labels go to JSON scalars, not sim-path sinks).
-    if !path.starts_with("crates/analysis/") && !path.starts_with("crates/bench/") {
-        let raw_lines: Vec<&str> = source.lines().collect();
-        const SINKS: [&str; 8] = [
-            "metrics::add(",
-            "metrics::gauge(",
-            "metrics::record_latency(",
-            "trace::span(",
-            "trace::instant(",
-            "trace::counter(",
-            "span::begin(",
-            "span::begin_child(",
-        ];
-        for (n, line) in lines.iter().enumerate() {
-            if skip.get(n).copied().unwrap_or(false) {
-                continue;
-            }
-            for sink in SINKS {
-                let Some(col) = line.find(sink) else { continue };
-                // Join up to three lines so multi-line calls keep the
-                // cleaned/raw offset correspondence.
-                let end = lines.len().min(n + 3);
-                let cleaned_win = lines[n..end].join("\n");
-                let raw_win = raw_lines[n..end].join("\n");
-                let open = col + sink.len();
-                // Find the comma ending the first (ctx) argument at
-                // depth 1 of the call.
-                let mut depth = 1i32;
-                let mut comma = None;
-                for (off, ch) in cleaned_win[open..].char_indices() {
-                    match ch {
-                        '(' | '[' | '{' => depth += 1,
-                        ')' | ']' | '}' => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        ',' if depth == 1 => {
-                            comma = Some(open + off);
-                            break;
-                        }
-                        _ => {}
-                    }
-                }
-                let Some(comma) = comma else { continue };
-                let second_arg_is_literal =
-                    raw_win[comma + 1..].chars().find(|c| !c.is_whitespace()) == Some('"');
-                if !second_arg_is_literal {
-                    push(
-                        &mut out,
-                        n,
-                        Lint::DynamicName,
-                        format!(
-                            "`{}` name must be a &'static str literal at the \
-                             call site; dynamic names allocate on the hot path \
-                             and make artifact schemas data-dependent",
-                            sink.trim_end_matches('(')
-                        ),
-                    );
-                }
-            }
-        }
-    }
-
-    // AQ004: declared lock order, statically approximated as "within a
-    // function, table-lock acquisitions appear in non-decreasing rank
-    // order". The precise hold-tracking version runs at simulation time
-    // in aquila_sim::race; this catches inversions that are textually
-    // obvious without running a workload.
-    if path.starts_with("crates/linuxsim/") {
-        const TABLE: [(&str, usize); 4] = [("files", 0), ("vmas", 1), ("pt", 2), ("rmap", 3)];
-        let mut prev: Option<(usize, &str)> = None;
-        for (n, line) in lines.iter().enumerate() {
-            if skip.get(n).copied().unwrap_or(false) {
-                continue;
-            }
-            if line.contains("fn ") {
-                prev = None;
-            }
-            for (name, rank) in TABLE {
-                let hit = [".lock(", ".read(", ".write("]
-                    .iter()
-                    .any(|m| line.contains(&format!(".{name}{m}")));
-                if !hit {
-                    continue;
-                }
-                if let Some((prank, pname)) = prev {
-                    if rank < prank {
-                        push(
-                            &mut out,
-                            n,
-                            Lint::LockOrder,
-                            format!(
-                                "`{name}` (rank {rank}) acquired after \
-                                 `{pname}` (rank {prank}); declared order \
-                                 is files -> vmas -> pt -> rmap"
-                            ),
-                        );
-                    }
-                }
-                prev = Some((rank, name));
-            }
-        }
-    }
-
-    out
-}
-
-/// `tok` present as a whole token (not a substring of an identifier).
-fn find_token(line: &str, tok: &str) -> Option<usize> {
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(tok) {
-        let at = from + pos;
-        let before_ok = at == 0
-            || !line[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after_ok = !line[at + tok.len()..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return Some(at);
-        }
-        from = at + tok.len();
-    }
-    None
-}
-
-/// The variable a `HashMap`/`HashSet` mention on `line` declares, if
-/// the line looks like `let [mut] NAME … = Hash…` or `NAME: Hash…`.
-fn declared_name(line: &str, _col: usize) -> Option<String> {
-    let head = line.trim_start();
-    if let Some(rest) = head.strip_prefix("let ") {
-        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-        let name: String = rest
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        if !name.is_empty() {
-            return Some(name);
-        }
-    }
-    // Struct field / binding annotation: `name: HashMap<..>`.
-    let colon = line.find(':')?;
-    let before: String = line[..colon]
-        .trim_end()
-        .chars()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    let name: String = before.chars().rev().collect();
-    if name.is_empty() {
-        None
-    } else {
-        Some(name)
-    }
-}
-
-// ---------------------------------------------------------------------------
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn strips_comments_strings_and_chars() {
-        let src =
-            "let a = \"Hash\\\"Map\"; // HashMap here\nlet b = 'x'; /* Hash\nSet */ let c = 1;";
-        let cleaned = strip_source(src);
-        assert!(!cleaned.contains("HashMap"));
-        assert!(!cleaned.contains("HashSet"));
-        assert!(cleaned.contains("let a"));
-        assert!(cleaned.contains("let c = 1;"));
-        assert_eq!(cleaned.lines().count(), src.lines().count());
-    }
-
-    #[test]
-    fn strips_raw_strings_and_keeps_lifetimes() {
-        let src = "fn f<'a>(x: &'a str) { let s = r#\"HashMap\"#; let t = x; }";
-        let cleaned = strip_source(src);
-        assert!(!cleaned.contains("HashMap"));
-        assert!(cleaned.contains("fn f<'a>"));
-        assert!(cleaned.contains("let t = x;"));
-    }
-
-    #[test]
-    fn cfg_test_blocks_are_skipped() {
-        let src = "\
-fn live() {}
-#[cfg(test)]
-mod tests {
-    fn t() { let m = std::collections::HashMap::new(); }
-}
-fn live2() {}
-";
-        let findings = lint_file("crates/sim/src/x.rs", src);
-        assert!(findings.is_empty(), "{findings:?}");
-    }
-
-    #[test]
-    fn aq001_flags_hashmap_in_sim_path() {
-        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
-        let findings = lint_file("crates/pcache/src/x.rs", src);
-        let aq1: Vec<_> = findings
-            .iter()
-            .filter(|f| f.lint == Lint::NondeterministicMap)
-            .collect();
-        // One diagnostic per line per token kind.
-        assert_eq!(aq1.len(), 2, "{findings:?}");
-        assert_eq!(aq1[0].line, 1);
-        assert_eq!(aq1[1].line, 2);
-    }
-
-    #[test]
-    fn aq001_requires_whole_token() {
-        let src = "struct MyHashMapLike; fn f(x: MyHashMapLike) {}\n";
-        let findings = lint_file("crates/pcache/src/x.rs", src);
-        assert!(findings.is_empty(), "{findings:?}");
-    }
-
-    #[test]
-    fn aq002_flags_wall_clock_outside_bench() {
-        let src = "fn f() { let t = std::time::Instant::now(); }\n";
-        assert_eq!(lint_file("crates/sim/src/x.rs", src).len(), 1);
-        assert!(lint_file("crates/bench/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn aq003_flags_iteration_feeding_metrics() {
-        let src = "\
-fn f() {
-    let mut counts = HashMap::new();
-    counts.insert(1u32, 2u32);
-    for (k, v) in &counts {
-        metrics::add(*k as usize, *v as u64);
-    }
-}
-";
-        let findings = lint_file("crates/sim/src/x.rs", src);
-        assert!(
-            findings.iter().any(|f| f.lint == Lint::UnorderedIteration),
-            "{findings:?}"
-        );
-    }
-
-    #[test]
-    fn aq004_flags_rank_inversion_per_function() {
-        let src = "\
-fn bad(&self) {
-    let pt = self.pt.lock();
-    let vmas = self.vmas.read();
-}
-fn fine(&self) {
-    let vmas = self.vmas.read();
-    let pt = self.pt.lock();
-}
-";
-        let findings = lint_file("crates/linuxsim/src/x.rs", src);
-        let aq4: Vec<_> = findings
-            .iter()
-            .filter(|f| f.lint == Lint::LockOrder)
-            .collect();
-        assert_eq!(aq4.len(), 1, "{findings:?}");
-        assert_eq!(aq4[0].line, 3);
-    }
-
-    #[test]
-    fn aq004_resets_between_functions() {
-        let src = "\
-fn a(&self) { let r = self.rmap.lock(); }
-fn b(&self) { let f = self.files.lock(); }
-";
-        let findings = lint_file("crates/linuxsim/src/x.rs", src);
-        assert!(findings.is_empty(), "{findings:?}");
-    }
-
-    #[test]
-    fn aq005_flags_direct_config_construction() {
-        let literal = "fn f() { let c = AquilaConfig { cores: 1 }; }\n";
-        let shim = "fn f() { let c = AquilaConfig::new(1, 64); }\n";
-        let builder = "fn f() { let c = AquilaConfig::builder(1, 64).build(); }\n";
-        for src in [literal, shim] {
-            let findings = lint_file("crates/core/src/engine.rs", src);
-            assert!(
-                findings.iter().any(|f| f.lint == Lint::ConfigConstruction),
-                "{src:?} -> {findings:?}"
-            );
-            assert!(
-                lint_file("crates/core/src/config.rs", src).is_empty(),
-                "builder module is exempt"
-            );
-        }
-        assert!(lint_file("crates/core/src/engine.rs", builder).is_empty());
-    }
-
-    #[test]
-    fn aq005_ignores_return_type_position() {
-        // A return type followed by the function body brace is not a
-        // struct literal.
-        for src in [
-            "pub fn config(&self) -> &AquilaConfig {\n",
-            "fn take() -> AquilaConfig {\n",
-            "fn dynish() -> Box<dyn AsRef<AquilaConfig>> { todo!() }\nfn f(c: &impl AsRef<AquilaConfig>) {}\n",
-        ] {
-            let findings = lint_file("crates/core/src/engine.rs", src);
-            assert!(
-                findings.iter().all(|f| f.lint != Lint::ConfigConstruction),
-                "{src:?} -> {findings:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn aq006_flags_every_unwrap_inside_devices() {
-        let src = "fn f(g: Guard) { let v = g.pop().unwrap(); }\n";
-        let findings = lint_file("crates/devices/src/x.rs", src);
-        assert!(
-            findings.iter().any(|f| f.lint == Lint::DeviceUnwrap),
-            "{findings:?}"
-        );
-        // Outside devices the same line has no device token: clean.
-        assert!(lint_file("crates/core/src/x.rs", src)
-            .iter()
-            .all(|f| f.lint != Lint::DeviceUnwrap));
-    }
-
-    #[test]
-    fn aq006_flags_device_calls_elsewhere_including_chains() {
-        let inline = "fn f() { access.write_pages(ctx, 0, &b).unwrap(); }\n";
-        let chained = "\
-fn f() {
-    self.access
-        .write_pages(ctx, base, buf)
-        .expect(\"SST write\");
-}
-";
-        for src in [inline, chained] {
-            let findings = lint_file("crates/kvstore/src/x.rs", src);
-            assert!(
-                findings.iter().any(|f| f.lint == Lint::DeviceUnwrap),
-                "{src:?} -> {findings:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn aq006_skips_tests_and_non_device_unwraps() {
-        let src = "fn f() { let v = list.first().unwrap(); }\n";
-        assert!(lint_file("crates/core/src/x.rs", src).is_empty());
-        let dev = "fn f(g: Guard) { let v = g.pop().unwrap(); }\n";
-        assert!(lint_file("crates/devices/src/tests.rs", dev).is_empty());
-        let gated =
-            "#[cfg(test)]\nmod t {\n    fn f() { d.read_pages(ctx, 0, &mut b).unwrap(); }\n}\n";
-        assert!(lint_file("crates/core/src/x.rs", gated).is_empty());
-    }
-
-    #[test]
-    fn aq007_flags_dynamic_metric_and_span_names() {
-        let var = "fn f(ctx: &mut dyn SimCtx, name: &str) { metrics::add(ctx, name, 1); }\n";
-        let fmtd = "fn f(ctx: &mut dyn SimCtx) { let n = format!(\"m{}\", 1); trace::instant(ctx, &n, CostCat::App); }\n";
-        for src in [var, fmtd] {
-            let findings = lint_file("crates/core/src/x.rs", src);
-            assert!(
-                findings.iter().any(|f| f.lint == Lint::DynamicName),
-                "{src:?} -> {findings:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn aq007_accepts_literal_names_and_exempts_bench() {
-        let lit = "fn f(ctx: &mut dyn SimCtx) { metrics::add(ctx, \"aquila.fault\", 1); }\n";
-        assert!(lint_file("crates/core/src/x.rs", lit).is_empty());
-        let multiline = "\
-fn f(ctx: &mut dyn SimCtx) {
-    aquila_sim::metrics::record_latency(
-        ctx,
-        \"aquila.fault.cycles\",
-        Cycles(5),
-    );
-}
-";
-        assert!(lint_file("crates/core/src/x.rs", multiline).is_empty());
-        let span_child =
-            "fn f(ctx: &mut dyn SimCtx) { let s = span::begin_child(ctx, \"tlb.ipi.drain\", CostCat::Tlb, p); span::end(ctx, s); }\n";
-        assert!(lint_file("crates/sim/src/x.rs", span_child).is_empty());
-        // Bench harness labels are host-side and may be dynamic.
-        let var = "fn f(ctx: &mut dyn SimCtx, name: &str) { metrics::add(ctx, name, 1); }\n";
-        assert!(lint_file("crates/bench/src/x.rs", var).is_empty());
-    }
-
-    #[test]
-    fn allowlist_matches_code_path_and_text() {
-        let allow = Allowlist::parse("# comment\nAQ001 crates/pcache/ model\nAQ002 crates/sim/\n");
-        let f = |lint, path: &str, text: &str| Finding {
-            path: path.to_string(),
-            line: 1,
-            lint,
-            message: String::new(),
-            text: text.to_string(),
-        };
-        assert!(allow.covers(&f(
-            Lint::NondeterministicMap,
-            "crates/pcache/src/x.rs",
-            "let model = HashMap::new();"
-        )));
-        assert!(!allow.covers(&f(
-            Lint::NondeterministicMap,
-            "crates/pcache/src/x.rs",
-            "let other = HashMap::new();"
-        )));
-        assert!(allow.covers(&f(Lint::WallClock, "crates/sim/src/y.rs", "anything")));
-        assert!(!allow.covers(&f(Lint::WallClock, "crates/mmu/src/y.rs", "anything")));
-    }
 }

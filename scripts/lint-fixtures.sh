@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Smoke test for the interprocedural checkers: run aquila-analysis
+# against each seeded-bug fixture tree and assert the exit code, the
+# finding count, and the rule that fired. The same assertions run as
+# Rust integration tests (crates/analysis/tests/fixtures.rs); this
+# script exercises them through the real CLI + JSON artifact path.
+#
+# Usage: scripts/lint-fixtures.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+check_fixture() {
+    local name="$1" rule="$2"
+    local json="$tmp/$name.json"
+    printf '==> fixture %s (expect 1 %s finding)\n' "$name" "$rule"
+    set +e
+    cargo run --release -q -p aquila-analysis -- lint \
+        --root "crates/analysis/fixtures/$name" --json "$json"
+    local rc=$?
+    set -e
+    if [ "$rc" -ne 1 ]; then
+        echo "FAIL: $name: lint exited $rc, expected 1" >&2
+        exit 1
+    fi
+    grep -q '"findings/visible": 1' "$json" ||
+        { echo "FAIL: $name: expected exactly 1 visible finding" >&2; exit 1; }
+    grep -q "\"id\": \"$rule" "$json" ||
+        { echo "FAIL: $name: finding is not $rule" >&2; exit 1; }
+}
+
+check_fixture aq008_inversion AQ008-interprocedural-lock-order
+check_fixture aq009_span_leak AQ009-span-balance
+check_fixture aq010_blocking AQ010-des-blocking
+
+echo "lint-fixtures: all seeded bugs caught"

@@ -11,6 +11,9 @@ step() { printf '\n==> %s\n' "$*"; }
 step "cargo build --release"
 cargo build --release
 
+step "cargo fmt --check"
+cargo fmt --check
+
 step "cargo test -q (tier-1)"
 cargo test -q
 
@@ -20,12 +23,28 @@ cargo test --workspace -q
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-step "determinism lint (aquila-analysis)"
-cargo run --release -q -p aquila-analysis -- lint
-
-step "fig8 smoke run with --json/--trace"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+# Scalar extraction goes through the shared bench::json parser via
+# `aquila-prof get` (one code path for every schema-v3 consumer).
+prof=target/release/aquila-prof
+
+step "static analysis (aquila-analysis lint --strict, AQ001-AQ010)"
+cargo run --release -q -p aquila-analysis -- lint --strict \
+    --json "$tmp/lint.json" --sarif "$tmp/lint.sarif"
+"$prof" get "$tmp/lint.json" "findings/visible" --le 0 > /dev/null ||
+    { echo "FAIL: lint JSON reports unsuppressed findings" >&2; exit 1; }
+"$prof" get "$tmp/lint.json" "allowlist/stale" --le 0 > /dev/null ||
+    { echo "FAIL: lint JSON reports stale allowlist entries" >&2; exit 1; }
+"$prof" get "$tmp/lint.json" "graph/functions" --ge 1000 > /dev/null ||
+    { echo "FAIL: symbol graph saw suspiciously few functions" >&2; exit 1; }
+grep -q '"version": "2.1.0"' "$tmp/lint.sarif" ||
+    { echo "FAIL: SARIF log missing version marker" >&2; exit 1; }
+
+step "interprocedural checker fixtures (seeded AQ008/AQ009/AQ010 bugs)"
+scripts/lint-fixtures.sh
+
+step "fig8 smoke run with --json/--trace"
 cargo run --release -q -p aquila-bench --bin fig8 -- c \
     --json "$tmp/r.json" --trace "$tmp/t.json" > "$tmp/stdout.txt"
 
@@ -59,9 +78,6 @@ cargo run --release -q -p aquila-bench --bin sweep -- qd --race \
     --json "$tmp/sweep.json" > "$tmp/sweep.txt"
 grep -q 'race detector: 0 findings' "$tmp/sweep.txt" ||
     { echo "FAIL: race detector reported findings in sweep" >&2; exit 1; }
-# Scalar extraction goes through the shared bench::json parser via
-# `aquila-prof get` (one code path for every schema-v3 consumer).
-prof=target/release/aquila-prof
 "$prof" get "$tmp/sweep.json" "async-qd4/speedup_over_sync" --ge 1.0 > /dev/null ||
     { echo "FAIL: async write-behind at qd4 is not faster than sync" >&2; exit 1; }
 
