@@ -123,9 +123,11 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
-    // AQ005: AquilaConfig is builder-only. A struct literal or a call to
-    // the deprecated `new` shim anywhere but the builder module bypasses
-    // the policy derivations (watermark defaults, batch clamping).
+    // AQ005: AquilaConfig is builder-only. A struct literal — or a call
+    // to a positional `new` constructor, should one ever be reintroduced
+    // — anywhere but the builder module bypasses the policy derivations
+    // (watermark defaults, batch clamping). The deprecated `new` shim
+    // itself was removed in PR 8.
     if path != "crates/core/src/config.rs" {
         for (n, line) in lines.iter().enumerate() {
             if skip.get(n).copied().unwrap_or(false) {
@@ -146,7 +148,7 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Finding> {
                         n,
                         Lint::ConfigConstruction,
                         "construct AquilaConfig through AquilaConfig::builder(..); \
-                         struct literals and the deprecated `new` shim are sealed \
+                         struct literals and positional constructors are sealed \
                          to crates/core/src/config.rs"
                             .to_string(),
                     );
@@ -213,10 +215,13 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Finding> {
     // dynamic labels go to JSON scalars, not sim-path sinks).
     if !path.starts_with("crates/analysis/") && !path.starts_with("crates/bench/") {
         let raw_lines: Vec<&str> = source.lines().collect();
-        const SINKS: [&str; 8] = [
+        const SINKS: [&str; 9] = [
             "metrics::add(",
             "metrics::gauge(",
             "metrics::record_latency(",
+            // Labeled variant: the *base* name (second arg) must still be
+            // a literal; the small tenant index may vary.
+            "metrics::record_latency_labeled(",
             "trace::span(",
             "trace::instant(",
             "trace::counter(",

@@ -1,0 +1,3 @@
+fn main() {
+    aquila_bench::cli::main_for("serve");
+}

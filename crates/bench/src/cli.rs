@@ -177,6 +177,21 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// The entire `main` of a part-registry binary: looks `bin` up in
+/// [`crate::figs::BINS`], builds its part registry, parses the process
+/// arguments, and runs. Every `src/bin/<name>.rs` is a one-line shim
+/// over this, so the CLI surface exists in exactly one place.
+///
+/// # Panics
+///
+/// Panics if `bin` is not registered — a build-time wiring error, since
+/// the only callers are the shims themselves.
+pub fn main_for(bin: &str) {
+    let b = crate::figs::find(bin)
+        .unwrap_or_else(|| panic!("binary {bin:?} not registered in figs::BINS"));
+    (b.build)().run(BenchArgs::parse(), b.default);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,13 +13,16 @@
 //! | `fig9`   | Kreon kmmap vs Aquila, YCSB A-F |
 //! | `fig10`  | Microbenchmark scalability, shared vs private files |
 //! | `sweep`  | Sync vs async write-behind across queue depth and watermarks |
+//! | `serve`  | Multi-tenant open-loop serving with QoS and per-tenant SLOs |
 //!
 //! Every binary is a set of named parts behind [`Runner`]: select parts
-//! positionally or as `--<part>` flags, `--list` to enumerate them.
-//! Sizes are scaled from the paper's testbed (see DESIGN.md); pass
-//! `--full` to the binaries for larger runs.
+//! positionally or as `--<part>` flags, `--list` to enumerate them. The
+//! binaries themselves are one-line shims over [`cli::main_for`]; their
+//! bodies live in [`figs`]. Sizes are scaled from the paper's testbed
+//! (see DESIGN.md); pass `--full` to the binaries for larger runs.
 
 pub mod cli;
+pub mod figs;
 pub mod json;
 pub mod kvscen;
 pub mod micro;
@@ -33,6 +36,6 @@ pub use kvscen::{build_stone, load_stone, warm_stone, Backend, Dev, StoneScenari
 pub use micro::{micro_aquila, micro_linux, run_micro, Micro, MicroResult};
 pub use report::{
     banner, fig7_bars, print_breakdown_per_op, print_rows, print_speedup, JsonReport, Row,
-    SCHEMA_VERSION,
+    TenantEntry, SCHEMA_VERSION,
 };
 pub use runner::Runner;

@@ -1,4 +1,4 @@
-//! Offline analysis for Chrome-trace exports and schema-v3 reports
+//! Offline analysis for Chrome-trace exports and schema-v3+ reports
 //! (the `aquila-prof` binary is a thin CLI over this module).
 //!
 //! Three capabilities:
@@ -13,7 +13,7 @@
 //!   self/total table. Folding walks parent ids, not per-tid stacks, so
 //!   it is robust to several virtual threads multiplexed on one core
 //!   and to cross-thread causal children.
-//! - **Regression diff** — compare the `latency` arrays of two schema-v3
+//! - **Regression diff** — compare the `latency` arrays of two schema-v3+
 //!   reports quantile by quantile with a multiplicative tolerance.
 //!
 //! Determinism: all aggregation is over sorted keys, so identical traces
@@ -249,7 +249,7 @@ impl Regression {
     }
 }
 
-/// Diffs the `latency` arrays of two schema-v3 reports.
+/// Diffs the `latency` arrays of two schema-v3+ reports.
 ///
 /// For every histogram present in the baseline and every quantile field
 /// in `quantiles` (e.g. `["p99_cycles", "p999_cycles"]`), the current

@@ -101,7 +101,11 @@ pub fn print_breakdown_per_op(label: &str, b: &Breakdown, ops: u64) {
 /// v3: `latency` array added — one entry per registered latency
 /// histogram in the global metrics registry (count, mean, p50/p90/p99/
 /// p999/max in cycles), merged deterministically across core shards.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: `tenants` array added — one entry per tenant of a multi-tenant
+/// serving run (declared quota/weight/SLO, request counts, sheds, the
+/// per-tenant latency percentiles, and whether the p99 met the SLO);
+/// empty for single-tenant binaries.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Quantiles recorded for every histogram in a JSON report.
 const REPORT_QUANTILES: [f64; 5] = [0.5, 0.9, 0.99, 0.999, 1.0];
@@ -121,6 +125,27 @@ pub struct JsonReport {
     counters: Vec<(String, Counters)>,
     hists: Vec<Json>,
     scalars: Vec<(String, f64)>,
+    tenants: Vec<Json>,
+}
+
+/// One tenant's record in the schema-v4 `tenants` section: the declared
+/// contract (quota/weight/SLO) next to what the run actually delivered.
+#[derive(Debug, Clone)]
+pub struct TenantEntry {
+    /// Tenant id (the label index of its histograms, e.g. `t03`).
+    pub id: u16,
+    /// Human-readable tenant label (workload shape, role).
+    pub label: String,
+    /// Declared page-cache quota in frames (0 = unlimited).
+    pub quota_frames: usize,
+    /// Declared eviction weight.
+    pub weight: usize,
+    /// Declared p99 latency SLO.
+    pub slo_p99: Cycles,
+    /// Requests issued (including shed ones).
+    pub requests: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
 }
 
 impl JsonReport {
@@ -174,6 +199,32 @@ impl JsonReport {
     /// Records a named scalar (speedup ratios, derived figures).
     pub fn add_scalar(&mut self, name: impl Into<String>, value: f64) {
         self.scalars.push((name.into(), value));
+    }
+
+    /// Records one tenant of a multi-tenant serving run (schema v4).
+    ///
+    /// The latency histogram `h` holds the tenant's end-to-end request
+    /// latencies (completion minus *scheduled* open-loop arrival, so
+    /// queueing shows up); `slo_met` is derived here, not by the caller,
+    /// so the JSON and any stdout table always agree on the verdict.
+    pub fn add_tenant(&mut self, t: &TenantEntry, h: &LatencyHist) {
+        let p99 = h.quantile(0.99);
+        self.tenants.push(
+            Json::obj()
+                .with("id", Json::U64(t.id as u64))
+                .with("label", Json::Str(t.label.clone()))
+                .with("quota_frames", Json::U64(t.quota_frames as u64))
+                .with("weight", Json::U64(t.weight as u64))
+                .with("slo_p99_cycles", Json::U64(t.slo_p99.get()))
+                .with("requests", Json::U64(t.requests))
+                .with("shed", Json::U64(t.shed))
+                .with("count", Json::U64(h.count()))
+                .with("mean_cycles", Json::U64(h.mean().get()))
+                .with("p50_cycles", Json::U64(h.quantile(0.5).get()))
+                .with("p99_cycles", Json::U64(p99.get()))
+                .with("p999_cycles", Json::U64(h.quantile(0.999).get()))
+                .with("slo_met", Json::Bool(p99 <= t.slo_p99)),
+        );
     }
 
     /// Builds the full record, including a snapshot of the global metrics
@@ -284,6 +335,7 @@ impl JsonReport {
             .with("scalars", scalars)
             .with("metrics", Json::Arr(metrics))
             .with("latency", Json::Arr(latency))
+            .with("tenants", Json::Arr(self.tenants.clone()))
             .with("faults", faults)
     }
 
@@ -350,6 +402,29 @@ mod tests {
         assert_eq!(dev, 1000);
         assert_eq!(cache, 2500);
         assert_eq!(get, 3000);
+    }
+
+    #[test]
+    fn tenant_entry_derives_slo_verdict_from_hist() {
+        let mut h = LatencyHist::new();
+        for v in [100u64, 200, 300, 400] {
+            h.record(Cycles(v));
+        }
+        let mut r = JsonReport::new("serve", "t");
+        let t = TenantEntry {
+            id: 3,
+            label: "protected".into(),
+            quota_frames: 64,
+            weight: 4,
+            slo_p99: Cycles(1_000_000),
+            requests: 4,
+            shed: 0,
+        };
+        r.add_tenant(&t, &h);
+        let rendered = r.to_json().render();
+        assert!(rendered.contains("\"schema_version\": 4"));
+        assert!(rendered.contains("\"slo_met\": true"));
+        assert!(rendered.contains("\"quota_frames\": 64"));
     }
 
     #[test]

@@ -136,6 +136,30 @@ fn sweep_latency_part_is_bit_identical_across_runs() {
     }
 }
 
+/// The multi-tenant serving experiment — 8 tenants of open-loop
+/// Poisson/bursty sessions over a shared cache, tenant-labeled
+/// histograms, quota self-reclaim, weighted-fair eviction — is a
+/// bit-identical pure function of its seed, race-clean, and the
+/// schema-v4 `tenants` section carries the QoS verdicts.
+#[test]
+fn serve_qos_part_is_bit_identical_across_runs() {
+    let stdout = assert_double_run_identical(env!("CARGO_BIN_EXE_serve"), "qos", "serve");
+    for tag in ["[qos_on]", "[qos_off]", "protected", "zipf-hot"] {
+        assert!(stdout.contains(tag), "serve must report {tag}:\n{stdout}");
+    }
+}
+
+/// `sweep serve` (the alias part) runs the same experiment from the
+/// sweep entry point, deterministically.
+#[test]
+fn sweep_serve_part_is_bit_identical_across_runs() {
+    let stdout = assert_double_run_identical(env!("CARGO_BIN_EXE_sweep"), "serve", "sweep-serve");
+    assert!(
+        stdout.contains("zipf-hot"),
+        "sweep serve must run the QoS experiment:\n{stdout}"
+    );
+}
+
 /// Fault-injection property: installing an *empty* fault plan
 /// (`--faults ""`) must be bit-identical to not configuring faults at
 /// all — same stdout, same JSON record (including the zeroed `faults`

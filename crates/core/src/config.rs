@@ -83,6 +83,20 @@ pub struct MmioPolicy {
     /// `max_cache_frames` (sizes the slab pool: promotion stops when all
     /// slab runs are in use). Clamped to `1..=100` at engine boot.
     pub max_promoted_share: usize,
+    /// Enables multi-tenant QoS (DESIGN.md §15): per-tenant freelist
+    /// quotas (an over-quota tenant reclaims its own frames before
+    /// consuming the shared freelist), tenant-fair evictor rounds
+    /// (victim batches apportioned by weighted overage), and admission
+    /// control on the fault path (an over-quota tenant's faults are
+    /// delayed — or shed — while the cache is under watermark pressure
+    /// or degraded). Off by default: single-tenant runs are bit-for-bit
+    /// unchanged.
+    pub tenant_qos: bool,
+    /// Base admission-delay unit under [`MmioPolicy::tenant_qos`]. A
+    /// noisy tenant's fault is delayed by this amount scaled by how deep
+    /// the freelist sits below the low watermark; sheds kick in when the
+    /// deficit exceeds half the low watermark or the region is degraded.
+    pub qos_delay: Cycles,
 }
 
 impl Default for MmioPolicy {
@@ -99,6 +113,8 @@ impl Default for MmioPolicy {
             huge_pages: false,
             promote_threshold: 512,
             max_promoted_share: 50,
+            tenant_qos: false,
+            qos_delay: Cycles::from_micros(2),
         }
     }
 }
@@ -140,12 +156,6 @@ impl AquilaConfig {
                 policy: MmioPolicy::default(),
             },
         }
-    }
-
-    /// A flat-`cores` machine with a cache of `cache_frames` frames.
-    #[deprecated(note = "use AquilaConfig::builder(cores, cache_frames).build()")]
-    pub fn new(cores: usize, cache_frames: usize) -> AquilaConfig {
-        AquilaConfig::builder(cores, cache_frames).build()
     }
 }
 
@@ -252,6 +262,20 @@ impl AquilaConfigBuilder {
         self
     }
 
+    /// Enables multi-tenant QoS: quotas, fair eviction, admission
+    /// control (default off).
+    pub fn tenant_qos(mut self, on: bool) -> Self {
+        self.cfg.policy.tenant_qos = on;
+        self
+    }
+
+    /// Base admission-delay unit applied to over-quota tenants under
+    /// pressure (default 2 µs).
+    pub fn qos_delay(mut self, delay: Cycles) -> Self {
+        self.cfg.policy.qos_delay = delay;
+        self
+    }
+
     /// Finishes the configuration.
     ///
     /// Under [`WritePolicy::Async`] with unset (0) watermarks, defaults
@@ -341,13 +365,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_matches_builder() {
-        let a = AquilaConfig::new(2, 64);
-        let b = AquilaConfig::builder(2, 64).build();
-        assert_eq!(a.cores, b.cores);
-        assert_eq!(a.cache_frames, b.cache_frames);
-        assert_eq!(a.max_cache_frames, b.max_cache_frames);
-        assert_eq!(a.policy.evict_batch, b.policy.evict_batch);
+    fn qos_knobs_default_off_and_flow_through() {
+        let d = MmioPolicy::default();
+        assert!(!d.tenant_qos, "QoS must be opt-in");
+        assert_eq!(d.qos_delay, Cycles::from_micros(2));
+        let cfg = AquilaConfig::builder(2, 1024)
+            .tenant_qos(true)
+            .qos_delay(Cycles::from_micros(5))
+            .build();
+        assert!(cfg.policy.tenant_qos);
+        assert_eq!(cfg.policy.qos_delay, Cycles::from_micros(5));
     }
 }

@@ -26,7 +26,9 @@ use aquila_mmu::{
     Access, FrameId, Gva, LeafKind, PageTable, PteFlags, TlbFabric, Vpn, HUGE_PAGE_PAGES, PAGE_2M,
     PAGE_SIZE,
 };
-use aquila_pcache::{coalesce_runs, CacheConfig, DirtyPage, DramCache, PageKey, Victim};
+use aquila_pcache::{
+    coalesce_runs, CacheConfig, DirtyPage, DramCache, PageKey, Victim, MAX_TENANTS,
+};
 use aquila_sim::{race, CoreDebts, CostCat, Cycles, SimCtx, Step, ThreadFn};
 use aquila_vmx::{Ept, EptPageSize, EptPerms, Gpa, Hpa, Vcpu, PAGE_1G};
 
@@ -77,6 +79,25 @@ pub enum RegionState {
     /// fail with [`AquilaError::DegradedReadOnly`]; cached data stays
     /// readable.
     ReadOnly,
+}
+
+/// Admission-control decision for one tenant request (DESIGN.md §15).
+///
+/// Computed by [`Aquila::admit`] when [`MmioPolicy::tenant_qos`] is on.
+/// The invariant the QoS layer guarantees: a tenant at or under its
+/// frame quota (or with no quota declared) is **always** admitted —
+/// throttling applies only to tenants holding more cache than they
+/// reserved, and only while the cache is actually under pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed immediately.
+    Admit,
+    /// Proceed after charging the given deterministic throttle delay
+    /// (scaled from [`MmioPolicy::qos_delay`] by watermark deficit).
+    Delay(Cycles),
+    /// Refuse with [`AquilaError::QosShed`]: deep watermark deficit or
+    /// a degraded region, and the tenant is over quota.
+    Shed,
 }
 
 /// Degradation bookkeeping (kept off the hot path: only the evictor
@@ -319,6 +340,107 @@ impl Aquila {
         if matches!(e, AquilaError::Device(DeviceError::CircuitOpen)) {
             self.transition(ctx, RegionState::ReadOnly);
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Multi-tenant QoS (DESIGN.md §15).
+    // ---------------------------------------------------------------
+
+    /// Admission decision for a request from `tenant`.
+    ///
+    /// Always [`Admission::Admit`] when QoS is off, when the tenant is
+    /// within (or has no) quota, or when the cache is healthy. An
+    /// over-quota tenant under congestion is delayed in proportion to
+    /// the watermark deficit, and shed outright once the deficit
+    /// exceeds half the low watermark or the region has degraded.
+    pub fn admit(&self, tenant: u16) -> Admission {
+        if !self.cfg.policy.tenant_qos || !self.cache.tenant_over_quota(tenant) {
+            return Admission::Admit;
+        }
+        let deficit = self.cache.watermark_deficit();
+        let degraded = self.region_state() != RegionState::Healthy;
+        if deficit == 0 && !degraded {
+            // No congestion: overage costs nobody anything yet.
+            return Admission::Admit;
+        }
+        let low = self.cfg.policy.low_watermark.max(1);
+        if degraded || deficit > low / 2 {
+            return Admission::Shed;
+        }
+        // Mild pressure: deterministic backoff growing linearly with how
+        // deep the freelist sits below the watermark.
+        let unit = self.cfg.policy.qos_delay.0.max(1);
+        let scaled = unit + unit.saturating_mul(4 * deficit as u64) / low as u64;
+        Admission::Delay(Cycles(scaled))
+    }
+
+    /// Allocates a frame for a fault on `file`, applying tenant QoS
+    /// first: admission control (delay/shed), then quota self-reclaim —
+    /// an over-quota tenant evicts a small batch of *its own* frames
+    /// before it may consume the shared freelist.
+    fn alloc_frame_for(&self, ctx: &mut dyn SimCtx, file: u32) -> Result<FrameId, AquilaError> {
+        if self.cfg.policy.tenant_qos {
+            let tenant = self.cache.tenant_of_file(file);
+            match self.admit(tenant) {
+                Admission::Admit => {}
+                Admission::Delay(d) => {
+                    aquila_sim::metrics::add(ctx, "aquila.qos.delayed", 1);
+                    ctx.charge(CostCat::Idle, d);
+                }
+                Admission::Shed => {
+                    aquila_sim::metrics::add(ctx, "aquila.qos.shed", 1);
+                    return Err(AquilaError::QosShed);
+                }
+            }
+            let overage = self.cache.tenant_overage(tenant);
+            if overage > 0 {
+                // Small batches keep the self-reclaim tax on the noisy
+                // tenant's own fault path instead of the shared evictor.
+                let batch = overage.min(8);
+                let victims = self.cache.evict_candidates_from(ctx, batch, tenant);
+                if !victims.is_empty() {
+                    aquila_sim::metrics::add(
+                        ctx,
+                        "aquila.qos.self_reclaim.pages",
+                        victims.len() as u64,
+                    );
+                    self.retire_victims(ctx, &victims)?;
+                }
+            }
+        }
+        self.alloc_frame(ctx)
+    }
+
+    /// Tenant-fair victim selection: over-quota tenants contribute
+    /// victims in proportion to their overage divided by their weight
+    /// (heavier weight = more protected); the global CLOCK sweep tops up
+    /// whatever the scoped sweeps could not supply.
+    fn evict_candidates_fair(&self, ctx: &mut dyn SimCtx, batch: usize) -> Vec<Victim> {
+        let mut shares: Vec<(u16, usize)> = Vec::new();
+        let mut total = 0usize;
+        for t in 0..MAX_TENANTS as u16 {
+            let share = self.cache.tenant_overage(t) / self.cache.tenant_weight(t).max(1);
+            if share > 0 {
+                shares.push((t, share));
+                total += share;
+            }
+        }
+        let mut victims = Vec::with_capacity(batch);
+        if total > 0 {
+            for &(t, share) in &shares {
+                let want = (batch * share)
+                    .div_ceil(total)
+                    .min(batch.saturating_sub(victims.len()));
+                if want == 0 {
+                    break;
+                }
+                victims.extend(self.cache.evict_candidates_from(ctx, want, t));
+            }
+        }
+        if victims.len() < batch {
+            victims.extend(self.cache.evict_candidates_n(ctx, batch - victims.len()));
+        }
+        victims
     }
 
     /// Switches the calling thread into Aquila mode (the per-thread
@@ -808,7 +930,7 @@ impl Aquila {
         // from the device.
         ctx.counters().major_faults += 1;
         aquila_sim::metrics::add(ctx, "aquila.fault.major", 1);
-        let frame = self.alloc_frame(ctx)?;
+        let frame = self.alloc_frame_for(ctx, desc.file)?;
         let sp_read = aquila_sim::span::begin(ctx, "aquila.fault.read", CostCat::DeviceIo);
         let mut buf = vec![0u8; STORE_PAGE];
         let read = self.files.read_pages(ctx, file, file_page, &mut buf);
@@ -1224,7 +1346,11 @@ impl Aquila {
         }
         let t_round = ctx.now();
         let batch = target.min(self.cfg.policy.evict_batch.max(1));
-        let victims = self.cache.evict_candidates_n(ctx, batch);
+        let victims = if self.cfg.policy.tenant_qos {
+            self.evict_candidates_fair(ctx, batch)
+        } else {
+            self.cache.evict_candidates_n(ctx, batch)
+        };
         if victims.is_empty() {
             return Ok(0);
         }

@@ -35,6 +35,10 @@ pub enum AquilaError {
     /// A storage-device operation failed (out-of-range I/O, mismatched
     /// buffer, full queue pair).
     Device(DeviceError),
+    /// Admission control shed the request: the calling tenant is over
+    /// its frame quota while the cache is under pressure or degraded
+    /// (DESIGN.md §15). Never returned to a tenant within its quota.
+    QosShed,
 }
 
 impl From<DeviceError> for AquilaError {
@@ -62,6 +66,9 @@ impl core::fmt::Display for AquilaError {
             }
             AquilaError::RecoveryFailed(why) => write!(f, "crash recovery failed: {why}"),
             AquilaError::Device(e) => write!(f, "device error: {e}"),
+            AquilaError::QosShed => {
+                write!(f, "request shed: tenant over quota under cache pressure")
+            }
         }
     }
 }

@@ -34,6 +34,7 @@ pub mod error;
 pub mod file;
 pub mod region;
 pub mod runtime;
+pub mod session;
 pub mod syscall;
 
 #[cfg(test)]
@@ -42,9 +43,10 @@ mod tests;
 pub use aquila_mmu::Gva;
 pub use aquila_vma::{Advice, Prot};
 pub use config::{AquilaConfig, AquilaConfigBuilder, MmioPolicy, WritePolicy};
-pub use engine::{Aquila, EngineStats, RegionState};
+pub use engine::{Admission, Aquila, EngineStats, RegionState};
 pub use error::AquilaError;
 pub use file::{FileId, Files};
 pub use region::AquilaRegion;
 pub use runtime::{AquilaRuntime, DeviceKind};
+pub use session::{Session, Tenant, TenantSpec};
 pub use syscall::{Syscall, SyscallRet};

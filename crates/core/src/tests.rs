@@ -959,3 +959,154 @@ fn recover_from_unformatted_image_is_typed_error() {
             .unwrap_err();
     assert!(matches!(err, AquilaError::RecoveryFailed(_)));
 }
+
+// ---------------------------------------------------------------
+// Multi-tenant QoS (DESIGN.md §15).
+// ---------------------------------------------------------------
+
+#[test]
+fn admission_never_drops_a_tenant_under_its_quota() {
+    use crate::config::MmioPolicy;
+    use crate::engine::Admission;
+    use crate::session::{Tenant, TenantSpec};
+    let mut ctx = FreeCtx::new(7);
+    let debts = Arc::new(CoreDebts::new(1));
+    let policy = MmioPolicy {
+        tenant_qos: true,
+        low_watermark: 24,
+        high_watermark: 32,
+        ..MmioPolicy::default()
+    };
+    let rt = AquilaRuntime::build_with_policy(
+        &mut ctx,
+        DeviceKind::PmemDax,
+        65536,
+        64,
+        1,
+        debts,
+        policy,
+    );
+    rt.aquila.thread_enter(&mut ctx);
+
+    let protected = Tenant::register(
+        Arc::clone(&rt.aquila),
+        TenantSpec {
+            id: 1,
+            quota_frames: 0, // Unlimited: by definition never over quota.
+            weight: 4,
+            slo_p99: Cycles::from_micros(500),
+        },
+    );
+    let noisy = Tenant::register(
+        Arc::clone(&rt.aquila),
+        TenantSpec {
+            id: 2,
+            quota_frames: 8,
+            weight: 1,
+            slo_p99: Cycles::MAX,
+        },
+    );
+    let pf = protected.open(&rt, "/t/protected", 64).unwrap();
+    let nf = noisy.open(&rt, "/t/noisy", 256).unwrap();
+    let ps = protected.session();
+    let ns = noisy.session();
+    let pa = ps.mmap(&mut ctx, pf, 0, 64, Prot::RW).unwrap();
+    let na = ns.mmap(&mut ctx, nf, 0, 256, Prot::RW).unwrap();
+    ps.madvise(&mut ctx, pa, 64, Advice::Random).unwrap();
+    ns.madvise(&mut ctx, na, 256, Advice::Random).unwrap();
+
+    // The protected tenant warms 54 of the 64 cache frames, pulling the
+    // freelist well below the 24-frame watermark.
+    let mut b = [0u8; 1];
+    for p in 0..54u64 {
+        ps.read(&mut ctx, pa.add(p * 4096), &mut b).unwrap();
+    }
+    assert!(rt.aquila.cache().watermark_deficit() > 0);
+
+    // The noisy tenant floods far past its 8-frame quota while the
+    // cache is under pressure: its requests get delayed or shed, but a
+    // request is only ever *refused* once the tenant is over quota.
+    let mut sheds = 0u64;
+    for i in 0..200u64 {
+        let under_quota = !rt.aquila.cache().tenant_over_quota(2);
+        match ns.read(&mut ctx, na.add((i % 256) * 4096), &mut b) {
+            Ok(()) => {}
+            Err(AquilaError::QosShed) => {
+                assert!(!under_quota, "shed a request from a tenant under quota");
+                sheds += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(sheds > 0, "an over-quota flood under pressure must shed");
+    assert_eq!(noisy.shed_requests(), sheds);
+
+    // The under-quota tenant is always admitted — even now, with the
+    // freelist deep under the watermark — and its requests all succeed.
+    assert!(matches!(rt.aquila.admit(1), Admission::Admit));
+    for p in 0..54u64 {
+        ps.read(&mut ctx, pa.add(p * 4096), &mut b).unwrap();
+    }
+    assert_eq!(protected.shed_requests(), 0);
+    // Self-reclaim kept the noisy tenant pinned near its quota instead
+    // of letting it strip-mine the protected tenant's working set.
+    assert!(
+        noisy.resident_frames() <= 16,
+        "noisy resident {} should hug its 8-frame quota",
+        noisy.resident_frames()
+    );
+}
+
+#[test]
+fn qos_off_never_delays_or_sheds() {
+    use crate::engine::Admission;
+    use crate::session::{Tenant, TenantSpec};
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 32);
+    let noisy = Tenant::register(
+        Arc::clone(&rt.aquila),
+        TenantSpec {
+            id: 3,
+            quota_frames: 2,
+            weight: 1,
+            slo_p99: Cycles::MAX,
+        },
+    );
+    let f = noisy.open(&rt, "/t/off", 256).unwrap();
+    let s = noisy.session();
+    let a = s.mmap(&mut ctx, f, 0, 256, Prot::RW).unwrap();
+    s.madvise(&mut ctx, a, 256, Advice::Random).unwrap();
+    let mut b = [0u8; 1];
+    for p in 0..200u64 {
+        s.read(&mut ctx, a.add((p % 256) * 4096), &mut b).unwrap();
+    }
+    assert!(rt.aquila.cache().tenant_over_quota(3));
+    assert!(
+        matches!(rt.aquila.admit(3), Admission::Admit),
+        "QoS off: over-quota is meaningless"
+    );
+    assert_eq!(noisy.shed_requests(), 0);
+}
+
+#[test]
+fn session_accounting_tracks_requests_and_bytes() {
+    use crate::session::{Tenant, TenantSpec};
+    let (mut ctx, rt) = runtime(DeviceKind::PmemDax, 64);
+    let t = Tenant::register(Arc::clone(&rt.aquila), TenantSpec::unlimited(5));
+    let f = t.open(&rt, "/t/acct", 16).unwrap();
+    let s = t.session();
+    let a = s.mmap(&mut ctx, f, 0, 16, Prot::RW).unwrap();
+    s.write(&mut ctx, a, b"0123456789").unwrap();
+    let mut back = [0u8; 4];
+    s.read(&mut ctx, a.add(2), &mut back).unwrap();
+    assert_eq!(&back, b"2345");
+    s.msync(&mut ctx, a, 16).unwrap();
+    s.munmap(&mut ctx, a, 16).unwrap();
+    assert_eq!(t.requests(), 5, "mmap+write+read+msync+munmap");
+    assert_eq!(t.bytes(), (4, 10));
+    assert_eq!(
+        rt.aquila.cache().tenant_of_file(f.0),
+        5,
+        "file bound to its tenant"
+    );
+    assert!(t.resident_frames() >= 1);
+}

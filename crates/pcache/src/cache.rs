@@ -14,6 +14,8 @@
 //! and performs unmapping, shootdowns, and device writeback — mirroring
 //! the paper's layering where applications can customize either side.
 
+use std::sync::atomic::{AtomicU16, AtomicUsize, Ordering};
+
 use aquila_mmu::{FrameId, PhysMem, HUGE_PAGE_PAGES, PAGE_SIZE};
 use aquila_sim::{race, CostCat, SimCtx};
 use aquila_sync::Mutex;
@@ -103,6 +105,70 @@ const V_FREELIST: &str = "pcache.freelist.queues";
 const L_SLAB: &str = "pcache.slab";
 const V_SLAB: &str = "pcache.slab.runs";
 
+/// Upper bound on distinct tenants a cache tracks (DESIGN.md §15). Ids
+/// at or beyond the cap alias into the default tenant.
+pub const MAX_TENANTS: usize = 64;
+
+/// Files a cache can attribute to non-default tenants. File ids are
+/// allocated densely from zero, so a fixed window covers every real
+/// workload; ids beyond it fall back to the default tenant.
+const FILE_TENANT_CAP: usize = 1024;
+
+/// Per-tenant residency accounting and quota state.
+///
+/// Tenancy is attributed per *file*: [`DramCache::bind_file_tenant`]
+/// maps a file id to a tenant, and every cached page of that file
+/// charges the tenant's resident count at index-insert time (debited
+/// when the page leaves the index on eviction). Tenant 0 is the default
+/// tenant; unbound files land there. Everything here is plain atomics —
+/// the hot-path accounting is a single array-indexed counter update and
+/// the file→tenant lookup one array read, so tenancy adds no lock to
+/// the pcache nesting order.
+struct TenantTable {
+    file_tenant: Vec<AtomicU16>,
+    resident: Vec<AtomicUsize>,
+    /// Frame quota per tenant; 0 means unlimited.
+    quota: Vec<AtomicUsize>,
+    /// Fair-share weight per tenant (default 1); the evictor divides a
+    /// tenant's overage by its weight when apportioning a fairness round.
+    weight: Vec<AtomicUsize>,
+}
+
+impl TenantTable {
+    fn new() -> TenantTable {
+        TenantTable {
+            file_tenant: (0..FILE_TENANT_CAP).map(|_| AtomicU16::new(0)).collect(),
+            resident: (0..MAX_TENANTS).map(|_| AtomicUsize::new(0)).collect(),
+            quota: (0..MAX_TENANTS).map(|_| AtomicUsize::new(0)).collect(),
+            weight: (0..MAX_TENANTS).map(|_| AtomicUsize::new(1)).collect(),
+        }
+    }
+
+    fn tenant_of(&self, file: u32) -> u16 {
+        self.file_tenant
+            .get(file as usize)
+            .map(|t| t.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    fn slot(&self, tenant: u16) -> usize {
+        (tenant as usize) % MAX_TENANTS
+    }
+
+    fn credit(&self, file: u32) {
+        let t = self.slot(self.tenant_of(file));
+        self.resident[t].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn debit(&self, file: u32) {
+        let t = self.slot(self.tenant_of(file));
+        // Saturating: a file rebound mid-run could otherwise underflow.
+        let _ = self.resident[t].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+}
+
 /// An evicted page the mmio engine must now unmap and possibly write back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Victim {
@@ -131,6 +197,8 @@ pub struct DramCache {
     /// Resident pages per slab run; a run returns to `slab_free` when its
     /// occupancy drains back to zero.
     slab_occupancy: Vec<Mutex<u16>>,
+    /// Per-tenant residency/quota accounting (DESIGN.md §15).
+    tenants: TenantTable,
 }
 
 impl DramCache {
@@ -169,8 +237,67 @@ impl DramCache {
             active_frames: Mutex::new(cfg.initial_frames),
             slab_free: Mutex::new((0..cfg.slab_runs).rev().collect()),
             slab_occupancy: (0..cfg.slab_runs).map(|_| Mutex::new(0)).collect(),
+            tenants: TenantTable::new(),
             cfg,
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Tenancy (DESIGN.md §15): per-tenant residency, quotas, weights.
+    // ---------------------------------------------------------------
+
+    /// Attributes `file`'s cached pages to `tenant` (call before the
+    /// file's pages enter the cache; tenant 0 is the default tenant).
+    pub fn bind_file_tenant(&self, file: u32, tenant: u16) {
+        if let Some(slot) = self.tenants.file_tenant.get(file as usize) {
+            slot.store(tenant, Ordering::Relaxed);
+        }
+    }
+
+    /// The tenant `file` is bound to (0 when unbound).
+    pub fn tenant_of_file(&self, file: u32) -> u16 {
+        self.tenants.tenant_of(file)
+    }
+
+    /// Sets `tenant`'s frame quota (0 = unlimited).
+    pub fn set_tenant_quota(&self, tenant: u16, frames: usize) {
+        self.tenants.quota[self.tenants.slot(tenant)].store(frames, Ordering::Relaxed);
+    }
+
+    /// Sets `tenant`'s fair-share weight (clamped to at least 1).
+    pub fn set_tenant_weight(&self, tenant: u16, weight: usize) {
+        self.tenants.weight[self.tenants.slot(tenant)].store(weight.max(1), Ordering::Relaxed);
+    }
+
+    /// Frames `tenant`'s files currently hold in the cache.
+    pub fn tenant_resident(&self, tenant: u16) -> usize {
+        self.tenants.resident[self.tenants.slot(tenant)].load(Ordering::Relaxed)
+    }
+
+    /// `tenant`'s configured quota (0 = unlimited).
+    pub fn tenant_quota(&self, tenant: u16) -> usize {
+        self.tenants.quota[self.tenants.slot(tenant)].load(Ordering::Relaxed)
+    }
+
+    /// `tenant`'s fair-share weight.
+    pub fn tenant_weight(&self, tenant: u16) -> usize {
+        self.tenants.weight[self.tenants.slot(tenant)].load(Ordering::Relaxed)
+    }
+
+    /// How many frames `tenant` holds *beyond* its quota (0 with no
+    /// quota, or while under it). The fairness round evicts in
+    /// proportion to `overage / weight`.
+    pub fn tenant_overage(&self, tenant: u16) -> usize {
+        let quota = self.tenant_quota(tenant);
+        if quota == 0 {
+            return 0;
+        }
+        self.tenant_resident(tenant).saturating_sub(quota)
+    }
+
+    /// Whether `tenant` has a quota and currently exceeds it.
+    pub fn tenant_over_quota(&self, tenant: u16) -> bool {
+        self.tenant_overage(tenant) > 0
     }
 
     /// The frame pool (for reading/filling page data).
@@ -387,6 +514,7 @@ impl DramCache {
         race::write_release(ctx, (V_SLOT, key.pack()));
         race::release(ctx, (L_BUCKET, bucket));
         if result.is_ok() {
+            self.tenants.credit(key.file);
             race::acquire(ctx, (L_SLAB, 0));
             *self.slab_occupancy[run].lock() += 1;
             race::write(ctx, (V_SLAB, 0));
@@ -435,8 +563,36 @@ impl DramCache {
     /// asynchronous evictor sizes batches by the watermark deficit rather
     /// than the synchronous `evict_batch`).
     pub fn evict_candidates_n(&self, ctx: &mut dyn SimCtx, batch: usize) -> Vec<Victim> {
-        let sp = aquila_sim::span::begin(ctx, "pcache.select_victims", CostCat::Eviction);
         let frames = self.clock.collect_victims(batch);
+        self.detach_frames(ctx, frames)
+    }
+
+    /// [`DramCache::evict_candidates_n`] restricted to one tenant's
+    /// frames: the CLOCK sweep only considers frames whose owner key
+    /// belongs to a file bound to `tenant`, leaving every other tenant's
+    /// reference bits untouched (the fairness round of DESIGN.md §15).
+    pub fn evict_candidates_from(
+        &self,
+        ctx: &mut dyn SimCtx,
+        batch: usize,
+        tenant: u16,
+    ) -> Vec<Victim> {
+        let frames = self.clock.collect_victims_where(batch, |frame| {
+            // An unannotated peek at the owner slot: the detach below
+            // re-takes it authoritatively, so a racing release at worst
+            // wastes one candidate slot.
+            self.owners[frame.0 as usize]
+                .lock()
+                .map(|key| self.tenants.tenant_of(key.file) == tenant)
+                .unwrap_or(false)
+        });
+        self.detach_frames(ctx, frames)
+    }
+
+    /// Detaches the given frames from the index/dirty trees, producing
+    /// the victim batch the engine must unmap and retire.
+    fn detach_frames(&self, ctx: &mut dyn SimCtx, frames: Vec<FrameId>) -> Vec<Victim> {
+        let sp = aquila_sim::span::begin(ctx, "pcache.select_victims", CostCat::Eviction);
         let mut victims = Vec::with_capacity(frames.len());
         let mut charge = aquila_sim::Cycles::ZERO;
         for frame in frames {
@@ -456,6 +612,7 @@ impl DramCache {
             if removed.is_none() {
                 continue;
             }
+            self.tenants.debit(key.file);
             race::acquire(ctx, (L_DIRTY, 0));
             let dirty = self.dirty.remove_anywhere(key).is_some();
             race::write(ctx, (V_DIRTY, 0));
@@ -501,6 +658,7 @@ impl DramCache {
                 race::write(ctx, (V_OWNER, frame.0 as u64));
                 race::release(ctx, (L_OWNER, frame.0 as u64));
                 self.clock.mark_resident(frame);
+                self.tenants.credit(key.file);
                 Ok(())
             }
             InsertOutcome::AlreadyPresent(v) => Err(FrameId(v as u32)),
@@ -958,6 +1116,67 @@ mod tests {
             cache.release_slab_run(&mut ctx, run);
         }));
         assert!(result.is_err(), "occupied run must not be force-released");
+    }
+
+    #[test]
+    fn tenant_accounting_tracks_insert_and_evict() {
+        let cache = small_cache(8);
+        let mut ctx = FreeCtx::new(1);
+        cache.bind_file_tenant(1, 1);
+        cache.bind_file_tenant(2, 2);
+        for p in 0..3u64 {
+            let f = cache.try_alloc(&mut ctx).unwrap();
+            cache
+                .commit_insert(&mut ctx, PageKey::new(1, p), f)
+                .unwrap();
+        }
+        for p in 0..2u64 {
+            let f = cache.try_alloc(&mut ctx).unwrap();
+            cache
+                .commit_insert(&mut ctx, PageKey::new(2, p), f)
+                .unwrap();
+        }
+        assert_eq!(cache.tenant_resident(1), 3);
+        assert_eq!(cache.tenant_resident(2), 2);
+        assert_eq!(cache.tenant_resident(0), 0, "unbound default tenant idle");
+        // Quota/overage bookkeeping.
+        cache.set_tenant_quota(1, 2);
+        assert!(cache.tenant_over_quota(1));
+        assert_eq!(cache.tenant_overage(1), 1);
+        assert!(!cache.tenant_over_quota(2), "no quota means never over");
+        // Eviction debits the owning tenant.
+        let victims = cache.evict_candidates(&mut ctx);
+        assert_eq!(victims.len(), 4);
+        for v in &victims {
+            cache.release_frame(&mut ctx, v.frame);
+        }
+        assert_eq!(cache.tenant_resident(1) + cache.tenant_resident(2), 1);
+    }
+
+    #[test]
+    fn scoped_eviction_only_detaches_the_tenant() {
+        let cache = small_cache(8);
+        let mut ctx = FreeCtx::new(1);
+        cache.bind_file_tenant(1, 1);
+        cache.bind_file_tenant(2, 2);
+        for p in 0..4u64 {
+            let f = cache.try_alloc(&mut ctx).unwrap();
+            cache
+                .commit_insert(&mut ctx, PageKey::new(1, p), f)
+                .unwrap();
+            let f = cache.try_alloc(&mut ctx).unwrap();
+            cache
+                .commit_insert(&mut ctx, PageKey::new(2, p), f)
+                .unwrap();
+        }
+        let victims = cache.evict_candidates_from(&mut ctx, 3, 2);
+        assert_eq!(victims.len(), 3);
+        assert!(victims.iter().all(|v| v.key.file == 2));
+        assert_eq!(cache.tenant_resident(2), 1);
+        assert_eq!(cache.tenant_resident(1), 4, "tenant 1 untouched");
+        for v in &victims {
+            cache.release_frame(&mut ctx, v.frame);
+        }
     }
 
     #[test]

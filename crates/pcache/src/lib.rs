@@ -21,7 +21,7 @@ pub mod hashtable;
 pub mod key;
 pub mod lru;
 
-pub use cache::{CacheConfig, DramCache, Victim};
+pub use cache::{CacheConfig, DramCache, Victim, MAX_TENANTS};
 pub use dirty::{coalesce_runs, DirtyPage, DirtyTrees};
 pub use freelist::{Freelist, FreelistConfig, NumaTopology};
 pub use hashtable::{InsertOutcome, LockFreeMap};

@@ -66,18 +66,36 @@ impl ClockLru {
     /// Returns fewer than `batch` victims — possibly none — if the pool
     /// has too few unreferenced resident frames after two full sweeps.
     pub fn collect_victims(&self, batch: usize) -> Vec<FrameId> {
+        self.collect_victims_where(batch, |_| true)
+    }
+
+    /// [`ClockLru::collect_victims`] restricted to frames `pred` accepts
+    /// (the tenant-fair evictor sweeps one tenant's frames at a time).
+    ///
+    /// Frames `pred` rejects are passed over *without* touching their
+    /// reference bits, so a scoped sweep never ages another tenant's
+    /// recency state.
+    pub fn collect_victims_where(
+        &self,
+        batch: usize,
+        pred: impl Fn(FrameId) -> bool,
+    ) -> Vec<FrameId> {
         let n = self.referenced.len();
         if n == 0 {
             return Vec::new();
         }
         let mut victims = Vec::with_capacity(batch);
         let mut steps = 0usize;
-        // Two full sweeps guarantee every resident frame either gets its
-        // reference bit cleared (sweep 1) or becomes a victim (sweep 2).
+        // Two full sweeps guarantee every matching resident frame either
+        // gets its reference bit cleared (sweep 1) or becomes a victim
+        // (sweep 2).
         while victims.len() < batch && steps < 2 * n {
             let i = self.hand.fetch_add(1, Ordering::Relaxed) % n;
             steps += 1;
             if !self.resident[i].load(Ordering::Relaxed) {
+                continue;
+            }
+            if !pred(FrameId(i as u32)) {
                 continue;
             }
             if self.referenced[i].swap(false, Ordering::Relaxed) {
@@ -163,6 +181,25 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn scoped_sweep_skips_rejected_frames_without_aging_them() {
+        let c = ClockLru::new(8);
+        for i in 0..8 {
+            c.mark_resident(FrameId(i));
+        }
+        // A sweep restricted to even frames never yields odd ones.
+        let evens = c.collect_victims_where(8, |f| f.0 % 2 == 0);
+        assert_eq!(evens.len(), 4);
+        assert!(evens.iter().all(|f| f.0 % 2 == 0));
+        // The odd frames' reference bits were left alone: an unrestricted
+        // single-victim sweep must still give them their second chance
+        // (i.e. the first collected victim is one whose bit was already
+        // cleared by the scoped sweep — an even frame).
+        let next = c.collect_victims(1);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].0 % 2, 0, "odd frames kept their reference bits");
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Open-loop arrival processes in virtual time.
+//!
+//! A serving tenant issues requests on a schedule that does *not* react
+//! to service latency: if the system falls behind, requests queue and
+//! the measured latency (completion minus scheduled arrival) grows.
+//! That open-loop discipline is what makes tail latencies honest — a
+//! closed loop would throttle itself exactly when the system is
+//! slowest, hiding the tail it is supposed to measure.
+//!
+//! All three processes are driven by the owning virtual thread's
+//! deterministic [`Rng64`], so a seeded run reproduces every arrival
+//! bit-for-bit.
+
+use aquila_sim::{Cycles, Rng64};
+
+/// The shape of a tenant's request schedule.
+#[derive(Debug, Clone, Copy)]
+pub enum Arrival {
+    /// Memoryless arrivals: exponential interarrivals with the given
+    /// mean (a Poisson process in virtual time).
+    Poisson {
+        /// Mean interarrival gap.
+        mean: Cycles,
+    },
+    /// On/off bursts: `burst` back-to-back arrivals at mean gap `mean`,
+    /// then one calm gap of `calm × mean` (both exponentially jittered).
+    /// Models a noisy neighbor that slams the cache in waves.
+    Bursty {
+        /// Mean in-burst interarrival gap.
+        mean: Cycles,
+        /// Arrivals per burst (≥ 1).
+        burst: u32,
+        /// Calm-gap multiplier applied to `mean` between bursts.
+        calm: u64,
+    },
+    /// A sinusoidally modulated rate with the given period: the local
+    /// mean gap swings between `mean/(1+swing)` (peak) and
+    /// `mean/(1-swing)` (trough). Models diurnal load.
+    Diurnal {
+        /// Mean interarrival gap at mid-cycle.
+        mean: Cycles,
+        /// Full modulation period in virtual time.
+        period: Cycles,
+        /// Modulation depth in `[0, 1)`.
+        swing: f64,
+    },
+}
+
+/// Stateful generator for one session's arrival schedule.
+///
+/// The generator owns only the process state (burst countdown); the
+/// randomness comes from the caller's RNG so each virtual thread's
+/// stream stays independent and seeded.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: Arrival,
+    burst_left: u32,
+}
+
+/// Draws an exponential sample with the given mean, clamped to ≥ 1
+/// cycle so schedules always advance.
+fn exp_sample(rng: &mut Rng64, mean: f64) -> Cycles {
+    // 1 - f64() is in (0, 1], so ln() is finite and ≤ 0.
+    let u = 1.0 - rng.f64();
+    Cycles(((-u.ln()) * mean).max(1.0) as u64)
+}
+
+impl ArrivalGen {
+    /// Creates a generator for `process`.
+    pub fn new(process: Arrival) -> ArrivalGen {
+        let burst_left = match process {
+            Arrival::Bursty { burst, .. } => burst.max(1),
+            _ => 0,
+        };
+        ArrivalGen {
+            process,
+            burst_left,
+        }
+    }
+
+    /// Returns the gap from the previous scheduled arrival to the next
+    /// one. `now` is the previous *scheduled* time (not the completion
+    /// time), so a backlogged session keeps its open-loop schedule.
+    pub fn next_gap(&mut self, rng: &mut Rng64, now: Cycles) -> Cycles {
+        match self.process {
+            Arrival::Poisson { mean } => exp_sample(rng, mean.get() as f64),
+            Arrival::Bursty { mean, burst, calm } => {
+                if self.burst_left > 1 {
+                    self.burst_left -= 1;
+                    exp_sample(rng, mean.get() as f64)
+                } else {
+                    self.burst_left = burst.max(1);
+                    exp_sample(rng, (mean.get() * calm.max(1)) as f64)
+                }
+            }
+            Arrival::Diurnal {
+                mean,
+                period,
+                swing,
+            } => {
+                let phase = (now.get() % period.get().max(1)) as f64 / period.get().max(1) as f64;
+                let rate = 1.0 + swing * (phase * core::f64::consts::TAU).sin();
+                exp_sample(rng, mean.get() as f64 / rate.max(1e-3))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_near_its_mean() {
+        let mean = Cycles::from_micros(10);
+        let mut a = ArrivalGen::new(Arrival::Poisson { mean });
+        let mut b = ArrivalGen::new(Arrival::Poisson { mean });
+        let mut ra = Rng64::new(42);
+        let mut rb = Rng64::new(42);
+        let mut sum = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            let ga = a.next_gap(&mut ra, Cycles::ZERO);
+            let gb = b.next_gap(&mut rb, Cycles::ZERO);
+            assert_eq!(ga, gb);
+            sum += ga.get();
+        }
+        let avg = sum as f64 / n as f64;
+        let want = mean.get() as f64;
+        assert!(
+            (avg - want).abs() / want < 0.05,
+            "poisson mean drifted: {avg} vs {want}"
+        );
+    }
+
+    #[test]
+    fn bursty_alternates_short_runs_and_calm_gaps() {
+        let mean = Cycles(1_000);
+        let mut g = ArrivalGen::new(Arrival::Bursty {
+            mean,
+            burst: 8,
+            calm: 100,
+        });
+        let mut rng = Rng64::new(7);
+        // Over one burst + gap cycle, exactly one gap should be "calm
+        // sized" (far above the in-burst mean).
+        for _ in 0..50 {
+            let mut calm_gaps = 0;
+            for _ in 0..8 {
+                if g.next_gap(&mut rng, Cycles::ZERO) > Cycles(20_000) {
+                    calm_gaps += 1;
+                }
+            }
+            assert!(calm_gaps <= 2, "burst should be mostly tight gaps");
+        }
+    }
+
+    #[test]
+    fn diurnal_peak_gaps_are_shorter_than_trough_gaps() {
+        let period = Cycles(1_000_000);
+        let mut g = ArrivalGen::new(Arrival::Diurnal {
+            mean: Cycles(10_000),
+            period,
+            swing: 0.9,
+        });
+        let mut rng = Rng64::new(3);
+        let sample_at = |g: &mut ArrivalGen, rng: &mut Rng64, t: Cycles| -> f64 {
+            let mut sum = 0u64;
+            for _ in 0..4_000 {
+                sum += g.next_gap(rng, t).get();
+            }
+            sum as f64 / 4_000.0
+        };
+        // Peak rate at 1/4 period (sin = +1), trough at 3/4 (sin = -1).
+        let peak = sample_at(&mut g, &mut rng, Cycles(period.get() / 4));
+        let trough = sample_at(&mut g, &mut rng, Cycles(3 * period.get() / 4));
+        assert!(
+            trough > peak * 2.0,
+            "diurnal modulation missing: peak {peak} trough {trough}"
+        );
+    }
+}

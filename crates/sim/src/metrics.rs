@@ -46,8 +46,12 @@ pub struct HistId(usize);
 struct Registrations {
     names: Vec<(&'static str, MetricKind)>,
     index: DetMap<&'static str, MetricId>,
-    hist_names: Vec<&'static str>,
+    hist_names: Vec<String>,
     hist_index: DetMap<&'static str, HistId>,
+    // Tenant-labeled histograms: keyed by (static base name, tenant index)
+    // so hot recording paths never format strings — the display name
+    // `base[tNN]` is rendered exactly once, at registration.
+    hist_labels: DetMap<(&'static str, u16), HistId>,
 }
 
 /// Named counters/gauges/latency-histograms with one shard per virtual
@@ -68,6 +72,7 @@ impl MetricsRegistry {
                 index: DetMap::new(),
                 hist_names: Vec::new(),
                 hist_index: DetMap::new(),
+                hist_labels: DetMap::new(),
             }),
             shards: (0..cores).map(|_| Mutex::new(Vec::new())).collect(),
             hist_shards: (0..cores).map(|_| Mutex::new(Vec::new())).collect(),
@@ -137,8 +142,28 @@ impl MetricsRegistry {
             return id;
         }
         let id = HistId(regs.hist_names.len());
-        regs.hist_names.push(name);
+        regs.hist_names.push(name.to_string());
         regs.hist_index.insert(name, id);
+        id
+    }
+
+    /// Registers (or looks up) a tenant-labeled latency histogram.
+    ///
+    /// The snapshot name is `base[tNN]` (zero-padded, so labeled rows
+    /// sort numerically), rendered once here — recording sites pass only
+    /// the static `base` and the small `index`, keeping string formatting
+    /// off the simulation hot path (lint AQ007).
+    pub fn register_hist_labeled(&self, base: &'static str, index: u16) -> HistId {
+        if let Some(&id) = self.regs.read().hist_labels.get(&(base, index)) {
+            return id;
+        }
+        let mut regs = self.regs.write();
+        if let Some(&id) = regs.hist_labels.get(&(base, index)) {
+            return id;
+        }
+        let id = HistId(regs.hist_names.len());
+        regs.hist_names.push(format!("{base}[t{index:02}]"));
+        regs.hist_labels.insert((base, index), id);
         id
     }
 
@@ -155,6 +180,12 @@ impl MetricsRegistry {
     /// Registers-and-records in one call (for low-frequency sites).
     pub fn record_named(&self, core: usize, name: &'static str, v: Cycles) {
         let id = self.register_hist(name);
+        self.record(core, id, v);
+    }
+
+    /// Registers-and-records into a tenant-labeled histogram.
+    pub fn record_named_labeled(&self, core: usize, base: &'static str, index: u16, v: Cycles) {
+        let id = self.register_hist_labeled(base, index);
         self.record(core, id, v);
     }
 
@@ -187,7 +218,7 @@ impl MetricsRegistry {
         let mut hists: Vec<(String, LatencyHist)> = regs
             .hist_names
             .iter()
-            .map(|&n| (n.to_string(), LatencyHist::new()))
+            .map(|n| (n.clone(), LatencyHist::new()))
             .collect();
         for shard in &self.hist_shards {
             let shard_hists = shard.lock();
@@ -287,6 +318,16 @@ pub fn record_latency(ctx: &dyn SimCtx, name: &'static str, v: Cycles) {
     }
 }
 
+/// Records a latency sample into a tenant-labeled histogram (`base[tNN]`)
+/// on the calling vcore. The base name must be a static literal; only the
+/// small tenant index varies — no string formatting on the hot path.
+#[inline]
+pub fn record_latency_labeled(ctx: &dyn SimCtx, base: &'static str, index: u16, v: Cycles) {
+    if let Some(m) = GLOBAL.get() {
+        m.record_named_labeled(ctx.core(), base, index, v);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +424,41 @@ mod tests {
         assert_eq!(names, vec!["alpha.cycles", "zeta.cycles"]);
         // Registered-but-never-recorded histograms still appear (empty).
         assert_eq!(snap.hist("zeta.cycles").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn labeled_hists_render_once_and_sort_stably() {
+        let m = MetricsRegistry::new(2);
+        let a = m.register_hist_labeled("serve.req.cycles", 3);
+        let b = m.register_hist_labeled("serve.req.cycles", 3);
+        assert_eq!(a, b, "same (base, index) is one histogram");
+        let c = m.register_hist_labeled("serve.req.cycles", 11);
+        assert_ne!(a, c);
+        m.record(0, a, Cycles(100));
+        m.record(1, a, Cycles(200));
+        m.record_named_labeled(0, "serve.req.cycles", 11, Cycles(900));
+        let snap = m.snapshot();
+        let h3 = snap.hist("serve.req.cycles[t03]").expect("labeled name");
+        assert_eq!(h3.count(), 2);
+        assert_eq!(h3.sum(), 300);
+        assert_eq!(snap.hist("serve.req.cycles[t11]").unwrap().count(), 1);
+        // Zero-padding keeps tenant rows in numeric order after the
+        // snapshot's lexicographic sort.
+        let names: Vec<&str> = snap.hists().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["serve.req.cycles[t03]", "serve.req.cycles[t11]"]
+        );
+    }
+
+    #[test]
+    fn labeled_and_plain_hists_share_the_registry() {
+        let m = MetricsRegistry::new(1);
+        m.record_named(0, "serve.req.cycles", Cycles(5));
+        m.record_named_labeled(0, "serve.req.cycles", 0, Cycles(7));
+        let snap = m.snapshot();
+        assert_eq!(snap.hist("serve.req.cycles").unwrap().sum(), 5);
+        assert_eq!(snap.hist("serve.req.cycles[t00]").unwrap().sum(), 7);
     }
 
     #[test]

@@ -39,19 +39,19 @@ impl Cycles {
     /// 1 ns = 2.4 cycles at 2.4 GHz; the result is rounded to the nearest
     /// cycle.
     #[inline]
-    pub fn from_nanos(ns: u64) -> Cycles {
+    pub const fn from_nanos(ns: u64) -> Cycles {
         Cycles((ns * CPU_HZ + 500_000_000) / 1_000_000_000)
     }
 
     /// Builds a duration from microseconds at the modelled clock rate.
     #[inline]
-    pub fn from_micros(us: u64) -> Cycles {
+    pub const fn from_micros(us: u64) -> Cycles {
         Cycles::from_nanos(us * 1_000)
     }
 
     /// Builds a duration from milliseconds at the modelled clock rate.
     #[inline]
-    pub fn from_millis(ms: u64) -> Cycles {
+    pub const fn from_millis(ms: u64) -> Cycles {
         Cycles::from_nanos(ms * 1_000_000)
     }
 

@@ -48,8 +48,8 @@ step "fig8 smoke run with --json/--trace"
 cargo run --release -q -p aquila-bench --bin fig8 -- c \
     --json "$tmp/r.json" --trace "$tmp/t.json" > "$tmp/stdout.txt"
 
-grep -q '"schema_version": 3' "$tmp/r.json" ||
-    { echo "FAIL: JSON record missing schema_version 3" >&2; exit 1; }
+grep -q '"schema_version": 4' "$tmp/r.json" ||
+    { echo "FAIL: JSON record missing schema_version 4" >&2; exit 1; }
 grep -q '"faults"' "$tmp/r.json" ||
     { echo "FAIL: JSON record missing faults section" >&2; exit 1; }
 grep -q '"latency"' "$tmp/r.json" ||
@@ -127,6 +127,25 @@ for cfg in linuxsim mmio-sync mmio-async-qd4 mmio-huge; do
 done
 "$prof" get "$tmp/lat1.json" "latency/sync_p50_speedup_over_linux" --ge 1.0 > /dev/null ||
     { echo "FAIL: mmio p50 fault latency not below linuxsim" >&2; exit 1; }
+
+step "serve smoke run (serve qos --race --json, per-tenant SLO isolation)"
+# Bit-identity of the double run lives in determinism.rs
+# (serve_qos_part_is_bit_identical_across_runs); this step asserts the
+# QoS claim itself: the protected tenant's p99 holds inside its declared
+# SLO (48 K cycles = 20 us) with tenant QoS on, and the same seed with
+# QoS off lets the zipf-hot neighbor blow it.
+cargo run --release -q -p aquila-bench --bin serve -- qos --race \
+    --json "$tmp/serve.json" > "$tmp/serve.txt"
+grep -q 'race detector: 0 findings' "$tmp/serve.txt" ||
+    { echo "FAIL: race detector reported findings in serve" >&2; exit 1; }
+grep -q '"tenants"' "$tmp/serve.json" ||
+    { echo "FAIL: serve record missing schema-v4 tenants section" >&2; exit 1; }
+"$prof" get "$tmp/serve.json" "serve/qos_on/protected_p99_cycles" --le 48000 > /dev/null ||
+    { echo "FAIL: protected tenant p99 over SLO with QoS on" >&2; exit 1; }
+"$prof" get "$tmp/serve.json" "serve/qos_on/protected_slo_met" --ge 1 > /dev/null ||
+    { echo "FAIL: protected tenant SLO verdict not met with QoS on" >&2; exit 1; }
+"$prof" get "$tmp/serve.json" "serve/qos_off/protected_slo_met" --le 0 > /dev/null ||
+    { echo "FAIL: QoS off unexpectedly held the protected SLO (experiment lost its teeth)" >&2; exit 1; }
 
 step "aquila-prof flamegraph from a fig10 trace"
 cargo run --release -q -p aquila-bench --bin fig10 -- fit --tiny \
