@@ -109,6 +109,8 @@ pub(crate) fn part_qos(args: &BenchArgs, json: &mut JsonReport) {
             worker_cores: WORKER_CORES,
             cache_frames: CACHE_FRAMES,
             qos,
+            mirror: false,
+            scrub_rate: Cycles::ZERO,
             tenants: tenant_set(reqs),
         };
         let report = run(&cfg);
@@ -167,6 +169,83 @@ pub(crate) fn part_qos(args: &BenchArgs, json: &mut JsonReport) {
     }
 }
 
+/// The default silent-corruption storm for `serve integrity`. Every
+/// clause is a *silent* kind (bit flips, latent sectors) and the
+/// mirrored build attaches the global plan to the primary device only,
+/// so each injected fault is repairable from the clean replica — the
+/// run must finish with `unrepairable == 0` and `undetected == 0`.
+const INTEGRITY_STORM: &str = "nvme.write:corrupt=8@op=6; nvme.read:corrupt=2@op=9; \
+     nvme.write:corrupt=4@op=30; nvme.read:latent=2@op=24; nvme.write:latent=1@op=50";
+
+pub(crate) fn part_integrity(args: &BenchArgs, json: &mut JsonReport) {
+    let reqs: u64 = if args.has_flag("--full") { 800 } else { 200 };
+    banner(
+        "Serve (integrity): 8-tenant QoS workload under a silent-corruption storm, mirrored + scrubbed",
+        "expected: every injected corruption is detected by sector checksums and repaired from the replica; zero corrupted payloads acked",
+    );
+    // Install the default storm; a user-supplied `--faults` spec was
+    // installed earlier and wins (global install is first-come).
+    let _ = aquila_sim::fault::install_spec(INTEGRITY_STORM);
+    let cfg = ServeConfig {
+        seed: 0x1D7E6,
+        worker_cores: WORKER_CORES,
+        cache_frames: CACHE_FRAMES,
+        qos: true,
+        mirror: true,
+        scrub_rate: Cycles::from_micros(1),
+        tenants: tenant_set(reqs),
+    };
+    let report = run(&cfg);
+    let c = report
+        .integrity
+        .expect("mirrored serve run reports integrity counters");
+    let injected = aquila_sim::fault::global().map_or(0, |p| p.injected());
+    println!(
+        "[integrity] {} faults injected, {} detected, {} repaired ({} skipped), {} unrepairable, {} undetected",
+        injected, c.detected, c.repaired, c.repair_skipped, c.unrepairable, c.undetected(),
+    );
+    assert_eq!(
+        c.undetected(),
+        0,
+        "integrity invariant violated: corrupted payload acked to a session ({c:?})"
+    );
+    for t in &report.tenants {
+        json.add_tenant(
+            &TenantEntry {
+                id: t.id,
+                label: format!("integrity/{}", t.label),
+                quota_frames: t.quota_frames,
+                weight: t.weight,
+                slo_p99: t.slo_p99,
+                requests: t.requests,
+                shed: t.shed,
+            },
+            &t.hist,
+        );
+    }
+    let protected = &report.tenants[0];
+    println!(
+        "  protected tenant p99 {} (SLO {}, {})",
+        protected.hist.quantile(0.99),
+        protected.slo_p99,
+        if protected.slo_met() { "met" } else { "MISSED" },
+    );
+    json.set_integrity(&c);
+    json.add_scalar("integrity/injected", injected as f64);
+    json.add_scalar("integrity/detected", c.detected as f64);
+    json.add_scalar("integrity/repaired", c.repaired as f64);
+    json.add_scalar("integrity/unrepairable", c.unrepairable as f64);
+    json.add_scalar("integrity/undetected", c.undetected() as f64);
+    json.add_scalar(
+        "serve/integrity/protected_p99_cycles",
+        protected.hist.quantile(0.99).get() as f64,
+    );
+    json.add_scalar(
+        "serve/integrity/protected_slo_met",
+        if protected.slo_met() { 1.0 } else { 0.0 },
+    );
+}
+
 fn part_diurnal(args: &BenchArgs, json: &mut JsonReport) {
     let reqs: u64 = if args.has_flag("--full") { 1200 } else { 400 };
     banner(
@@ -178,6 +257,8 @@ fn part_diurnal(args: &BenchArgs, json: &mut JsonReport) {
         worker_cores: 4,
         cache_frames: 512,
         qos: true,
+        mirror: false,
+        scrub_rate: Cycles::ZERO,
         tenants: vec![
             TenantProfile {
                 spec: TenantSpec {
@@ -268,5 +349,10 @@ pub fn runner() -> Runner<'static> {
         "diurnal",
         "diurnally modulated load next to a steady tenant",
         part_diurnal,
+    )
+    .part(
+        "integrity",
+        "silent-corruption storm under the QoS workload, mirrored + scrubbed",
+        part_integrity,
     )
 }

@@ -574,4 +574,9 @@ pub fn runner() -> Runner<'static> {
         "multi-tenant QoS isolation (alias of the serve binary's qos part)",
         super::serve::part_qos,
     )
+    .part(
+        "integrity",
+        "silent-corruption storm, mirrored + scrubbed (alias of the serve binary's integrity part)",
+        super::serve::part_integrity,
+    )
 }

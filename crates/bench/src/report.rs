@@ -105,7 +105,12 @@ pub fn print_breakdown_per_op(label: &str, b: &Breakdown, ops: u64) {
 /// serving run (declared quota/weight/SLO, request counts, sheds, the
 /// per-tenant latency percentiles, and whether the p99 met the SLO);
 /// empty for single-tenant binaries.
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: `integrity` object added and guaranteed present — end-to-end
+/// data-integrity accounting of a mirrored run (faults injected,
+/// corruptions detected/repaired/unrepairable, and the `undetected`
+/// invariant that must read zero); zeroed with `"mirrored": false`
+/// for unmirrored runs.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Quantiles recorded for every histogram in a JSON report.
 const REPORT_QUANTILES: [f64; 5] = [0.5, 0.9, 0.99, 0.999, 1.0];
@@ -126,6 +131,7 @@ pub struct JsonReport {
     hists: Vec<Json>,
     scalars: Vec<(String, f64)>,
     tenants: Vec<Json>,
+    integrity: Option<aquila::IntegrityCounters>,
 }
 
 /// One tenant's record in the schema-v4 `tenants` section: the declared
@@ -227,6 +233,13 @@ impl JsonReport {
         );
     }
 
+    /// Records the end-of-run integrity counters of a mirrored run
+    /// (schema v5). Unmirrored parts never call this; their `integrity`
+    /// section renders zeroed with `"mirrored": false`.
+    pub fn set_integrity(&mut self, c: &aquila::IntegrityCounters) {
+        self.integrity = Some(*c);
+    }
+
     /// Builds the full record, including a snapshot of the global metrics
     /// registry (empty when `--trace`/`--json` did not install one).
     pub fn to_json(&self) -> Json {
@@ -323,6 +336,24 @@ impl JsonReport {
                 .with("injected", Json::U64(0))
                 .with("crash_captured", Json::Bool(false)),
         };
+        // End-to-end integrity accounting (schema v5). Always present;
+        // `injected` mirrors the fault plan's count so the section is
+        // self-contained for `aquila-prof get` gates. `undetected` is
+        // the invariant: with checksums on it must read zero — no
+        // corrupted payload was ever acked to a session.
+        let c = self.integrity.unwrap_or_default();
+        let integrity = Json::obj()
+            .with("mirrored", Json::Bool(self.integrity.is_some()))
+            .with(
+                "injected",
+                Json::U64(aquila_sim::fault::global().map_or(0, |p| p.injected())),
+            )
+            .with("detected", Json::U64(c.detected))
+            .with("repaired", Json::U64(c.repaired))
+            .with("repair_skipped", Json::U64(c.repair_skipped))
+            .with("unrepairable", Json::U64(c.unrepairable))
+            .with("tainted", Json::U64(c.tainted))
+            .with("undetected", Json::U64(c.undetected()));
         Json::obj()
             .with("schema_version", Json::U64(SCHEMA_VERSION))
             .with("figure", Json::Str(self.figure.clone()))
@@ -337,6 +368,7 @@ impl JsonReport {
             .with("latency", Json::Arr(latency))
             .with("tenants", Json::Arr(self.tenants.clone()))
             .with("faults", faults)
+            .with("integrity", integrity)
     }
 
     /// Writes the record to `path`.
@@ -422,9 +454,26 @@ mod tests {
         };
         r.add_tenant(&t, &h);
         let rendered = r.to_json().render();
-        assert!(rendered.contains("\"schema_version\": 4"));
+        assert!(rendered.contains("\"schema_version\": 5"));
         assert!(rendered.contains("\"slo_met\": true"));
         assert!(rendered.contains("\"quota_frames\": 64"));
+    }
+
+    #[test]
+    fn integrity_section_is_always_present_and_zeroed_by_default() {
+        let r = JsonReport::new("serve", "t");
+        let rendered = r.to_json().render();
+        assert!(rendered.contains("\"mirrored\": false"));
+        assert!(rendered.contains("\"undetected\": 0"));
+        let mut r = JsonReport::new("serve", "t");
+        r.set_integrity(&aquila::IntegrityCounters {
+            detected: 3,
+            repaired: 3,
+            ..Default::default()
+        });
+        let rendered = r.to_json().render();
+        assert!(rendered.contains("\"mirrored\": true"));
+        assert!(rendered.contains("\"repaired\": 3"));
     }
 
     #[test]

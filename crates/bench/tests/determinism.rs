@@ -149,6 +149,35 @@ fn serve_qos_part_is_bit_identical_across_runs() {
     }
 }
 
+/// The integrity part — a seeded silent-corruption storm over the
+/// mirrored backend with the background scrubber thread live — is a
+/// bit-identical pure function of its seed, race-clean, and the
+/// schema-v5 `integrity` section proves the end-to-end invariant:
+/// faults were injected, every corruption was detected and repaired,
+/// and no corrupted payload was acked (`undetected == 0`).
+#[test]
+fn serve_integrity_part_is_bit_identical_and_repairs_everything() {
+    let stdout = assert_double_run_identical(env!("CARGO_BIN_EXE_serve"), "integrity", "integrity");
+    assert!(
+        stdout.contains("faults injected"),
+        "integrity part must report its storm:\n{stdout}"
+    );
+    let (_, json, _) = run_bin(env!("CARGO_BIN_EXE_serve"), "integrity", "integrity-json");
+    let json = String::from_utf8_lossy(&json);
+    assert!(
+        json.contains("\"mirrored\": true"),
+        "integrity JSON:\n{json}"
+    );
+    assert!(
+        !json.contains("\"injected\": 0,"),
+        "the storm must inject faults:\n{json}"
+    );
+    assert!(
+        json.contains("\"unrepairable\": 0") && json.contains("\"undetected\": 0"),
+        "every silent corruption must be caught and repaired:\n{json}"
+    );
+}
+
 /// `sweep serve` (the alias part) runs the same experiment from the
 /// sweep entry point, deterministically.
 #[test]

@@ -97,6 +97,21 @@ pub struct MmioPolicy {
     /// the freelist sits below the low watermark; sheds kick in when the
     /// deficit exceeds half the low watermark or the region is degraded.
     pub qos_delay: Cycles,
+    /// Mirrors the NVMe backend 2-for-1 with per-sector checksums and
+    /// read-repair (DESIGN.md §16). Only meaningful for
+    /// `DeviceKind::NvmeSpdk`; mirrored configurations forfeit
+    /// deep-queue batched writeback (the mirror exposes no raw device).
+    /// Off by default: single-device runs are bit-for-bit unchanged.
+    pub mirror: bool,
+    /// Verify per-sector checksums on every read through the mirror
+    /// (on by default; disabling it is the ablation that lets silent
+    /// corruption through undetected). No effect without
+    /// [`MmioPolicy::mirror`].
+    pub checksums: bool,
+    /// Virtual-time pause between background-scrubber pages;
+    /// [`Cycles::ZERO`] disables the scrubber. Only meaningful with
+    /// [`MmioPolicy::mirror`].
+    pub scrub_rate: Cycles,
 }
 
 impl Default for MmioPolicy {
@@ -115,6 +130,9 @@ impl Default for MmioPolicy {
             max_promoted_share: 50,
             tenant_qos: false,
             qos_delay: Cycles::from_micros(2),
+            mirror: false,
+            checksums: true,
+            scrub_rate: Cycles::ZERO,
         }
     }
 }
@@ -276,13 +294,41 @@ impl AquilaConfigBuilder {
         self
     }
 
+    /// Enables the 2-way mirrored NVMe backend with read-repair
+    /// (default off).
+    pub fn mirror(mut self, on: bool) -> Self {
+        self.cfg.policy.mirror = on;
+        self
+    }
+
+    /// Per-sector checksum verification on mirrored reads (default on).
+    pub fn checksums(mut self, on: bool) -> Self {
+        self.cfg.policy.checksums = on;
+        self
+    }
+
+    /// Virtual-time pause between scrubbed pages; [`Cycles::ZERO`]
+    /// (default) disables the background scrubber.
+    pub fn scrub_rate(mut self, rate: Cycles) -> Self {
+        self.cfg.policy.scrub_rate = rate;
+        self
+    }
+
     /// Finishes the configuration.
     ///
     /// Under [`WritePolicy::Async`] with unset (0) watermarks, defaults
     /// are derived from the cache size: low = frames/8, high = frames/4.
     /// `high_watermark` is clamped to at least `low_watermark`.
+    ///
+    /// Panics if the retry policy is degenerate (zero attempts, zero
+    /// breaker threshold/cooldown, zero command timeout) — every retry
+    /// site assumes a usable policy, so misconfiguration fails at build
+    /// time, not mid-run.
     pub fn build(self) -> AquilaConfig {
         let mut cfg = self.cfg;
+        if let Err(why) = cfg.policy.retry.validate() {
+            panic!("invalid retry policy: {why}");
+        }
         if cfg.policy.write_policy == WritePolicy::Async && cfg.policy.low_watermark == 0 {
             cfg.policy.low_watermark = (cfg.cache_frames / 8).max(8);
             cfg.policy.high_watermark = (cfg.cache_frames / 4).max(16);
@@ -362,6 +408,33 @@ mod tests {
         assert!(cfg.policy.huge_pages);
         assert_eq!(cfg.policy.promote_threshold, 384);
         assert_eq!(cfg.policy.max_promoted_share, 25);
+    }
+
+    #[test]
+    fn integrity_knobs_default_off_and_flow_through() {
+        let d = MmioPolicy::default();
+        assert!(!d.mirror, "mirroring must be opt-in");
+        assert!(d.checksums, "verification defaults on once mirrored");
+        assert_eq!(d.scrub_rate, Cycles::ZERO, "scrubber off by default");
+        let cfg = AquilaConfig::builder(2, 1024)
+            .mirror(true)
+            .checksums(false)
+            .scrub_rate(Cycles::from_micros(50))
+            .build();
+        assert!(cfg.policy.mirror);
+        assert!(!cfg.policy.checksums);
+        assert_eq!(cfg.policy.scrub_rate, Cycles::from_micros(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid retry policy")]
+    fn degenerate_retry_policy_fails_at_build() {
+        let _ = AquilaConfig::builder(2, 1024)
+            .retry(RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            })
+            .build();
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use aquila_sync::Mutex;
 
-use aquila_devices::{BufRef, DeviceError, NvmeOp, STORE_PAGE};
+use aquila_devices::{BufRef, DeviceError, NvmeOp, StorageAccess, STORE_PAGE};
 use aquila_mmu::{
     Access, FrameId, Gva, LeafKind, PageTable, PteFlags, TlbFabric, Vpn, HUGE_PAGE_PAGES, PAGE_2M,
     PAGE_SIZE,
@@ -335,9 +335,13 @@ impl Aquila {
     }
 
     /// Reacts to a writeback failure: an open circuit breaker means the
-    /// device write path is gone, so the region goes read-only.
+    /// device write path is gone, and unrepairable corruption means the
+    /// medium cannot be trusted; either way the region goes read-only.
     fn degrade_on_error(&self, ctx: &dyn SimCtx, e: &AquilaError) {
-        if matches!(e, AquilaError::Device(DeviceError::CircuitOpen)) {
+        if matches!(
+            e,
+            AquilaError::Device(DeviceError::CircuitOpen | DeviceError::Corrupt { .. })
+        ) {
             self.transition(ctx, RegionState::ReadOnly);
         }
     }
@@ -935,6 +939,15 @@ impl Aquila {
         let mut buf = vec![0u8; STORE_PAGE];
         let read = self.files.read_pages(ctx, file, file_page, &mut buf);
         aquila_sim::span::end(ctx, sp_read);
+        if let Err(AquilaError::Device(DeviceError::Corrupt { page })) = read {
+            // Unrepairable corruption on every copy: refuse to map the
+            // poisoned page and degrade the region instead of silently
+            // serving garbage (DESIGN.md §16).
+            self.cache.release_frame(ctx, frame);
+            aquila_sim::metrics::add(ctx, "aquila.integrity.read_refused", 1);
+            self.transition(ctx, RegionState::ReadOnly);
+            return Err(AquilaError::DataCorrupted { page });
+        }
         read?;
         self.cache.mem().write(frame, 0, &buf);
         match self.cache.commit_insert(ctx, key, frame) {
@@ -1392,6 +1405,53 @@ impl Aquila {
                 return Step::Done;
             }
             ctx.charge(CostCat::Idle, poll_interval);
+            Step::Yield
+        })
+    }
+
+    /// Builds the step function of the background integrity scrubber
+    /// (DESIGN.md §16): an evictor-style DES thread that walks the
+    /// device's LBA space one page per tick, verifying sector checksums
+    /// through [`StorageAccess::scrub_page`] and repairing from the
+    /// replica proactively — so cold corruption is found before a tenant
+    /// faults on it. `scrub_rate` is the virtual-time pause between
+    /// pages; a page whose every copy fails verification degrades the
+    /// region to read-only, exactly like an unrepairable foreground
+    /// read.
+    ///
+    /// On access paths without integrity metadata `scrub_page` is a
+    /// no-op, so the thread exits immediately rather than spinning.
+    pub fn scrubber(
+        self: &Arc<Self>,
+        access: Arc<dyn StorageAccess>,
+        stop: Arc<AtomicBool>,
+        scrub_rate: Cycles,
+    ) -> ThreadFn {
+        let aq = Arc::clone(self);
+        let mut next: u64 = 0;
+        Box::new(move |ctx| {
+            if stop.load(Ordering::Acquire) {
+                return Step::Done;
+            }
+            let cap = access.capacity_pages();
+            if cap == 0 || scrub_rate == Cycles::ZERO || access.integrity_counters().is_none() {
+                return Step::Done;
+            }
+            let page = next % cap;
+            next = next.wrapping_add(1);
+            match access.scrub_page(ctx, page) {
+                Ok(repaired) => {
+                    if repaired {
+                        aquila_sim::metrics::add(ctx, "aquila.scrub.repaired", 1);
+                    }
+                }
+                Err(_) => {
+                    aquila_sim::metrics::add(ctx, "aquila.scrub.unrepairable", 1);
+                    aq.transition(ctx, RegionState::ReadOnly);
+                }
+            }
+            aquila_sim::metrics::add(ctx, "aquila.scrub.pages", 1);
+            ctx.charge(CostCat::Idle, scrub_rate);
             Step::Yield
         })
     }

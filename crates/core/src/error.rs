@@ -39,6 +39,14 @@ pub enum AquilaError {
     /// its frame quota while the cache is under pressure or degraded
     /// (DESIGN.md §15). Never returned to a tenant within its quota.
     QosShed,
+    /// A read's data failed its integrity check on every copy (primary
+    /// and replica): the engine refuses to map the poisoned page and
+    /// degrades the region to read-only instead of serving garbage
+    /// (DESIGN.md §16).
+    DataCorrupted {
+        /// The device page that could not be verified.
+        page: u64,
+    },
 }
 
 impl From<DeviceError> for AquilaError {
@@ -68,6 +76,9 @@ impl core::fmt::Display for AquilaError {
             AquilaError::Device(e) => write!(f, "device error: {e}"),
             AquilaError::QosShed => {
                 write!(f, "request shed: tenant over quota under cache pressure")
+            }
+            AquilaError::DataCorrupted { page } => {
+                write!(f, "unrepairable data corruption at device page {page}")
             }
         }
     }

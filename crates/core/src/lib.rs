@@ -40,6 +40,7 @@ pub mod syscall;
 #[cfg(test)]
 mod tests;
 
+pub use aquila_devices::{IntegrityCounters, StorageAccess};
 pub use aquila_mmu::Gva;
 pub use aquila_vma::{Advice, Prot};
 pub use config::{AquilaConfig, AquilaConfigBuilder, MmioPolicy, WritePolicy};

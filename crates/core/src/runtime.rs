@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use aquila_devices::{
     AccessKind, BlobError, Blobstore, CallDomain, DaxAccess, HostNvmeAccess, HostPmemAccess,
-    NvmeDevice, NvmeProfile, PmemDevice, SpdkAccess, StorageAccess,
+    MirrorAccess, NvmeDevice, NvmeProfile, PmemDevice, SpdkAccess, StorageAccess,
 };
 use aquila_pcache::NumaTopology;
 use aquila_sim::{fault, CoreDebts, SimCtx};
@@ -92,6 +92,16 @@ impl AquilaRuntime {
         policy: crate::config::MmioPolicy,
     ) -> AquilaRuntime {
         let access: Arc<dyn StorageAccess> = match kind {
+            // A mirrored backend replicates 2-for-1 with per-sector
+            // checksums and read-repair (DESIGN.md §16). The fault plan
+            // attaches to the primary only, so the replica is the clean
+            // copy repairs draw from.
+            DeviceKind::NvmeSpdk if policy.mirror => Arc::new(MirrorAccess::with_options(
+                Self::nvme_device(device_pages),
+                Arc::new(NvmeDevice::optane(device_pages)),
+                policy.retry,
+                policy.checksums,
+            )),
             DeviceKind::NvmeSpdk => Arc::new(SpdkAccess::with_retry(
                 Self::nvme_device(device_pages),
                 policy.retry,

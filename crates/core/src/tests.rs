@@ -566,7 +566,7 @@ fn breaker_trip_degrades_region_to_read_only() {
     rt.aquila.read(&mut ctx, addr, &mut back).unwrap();
     assert_eq!(&back, b"doomed");
     assert!(rt.aquila.cache().dirty_count() >= 1);
-    assert!(rt.access.breaker().unwrap().is_open());
+    assert!(rt.access.breaker().unwrap().is_open(ctx.now()));
 }
 
 #[test]
@@ -1109,4 +1109,109 @@ fn session_accounting_tracks_requests_and_bytes() {
         "file bound to its tenant"
     );
     assert!(t.resident_frames() >= 1);
+}
+
+#[test]
+fn mirrored_runtime_scrubber_heals_silent_corruption() {
+    use crate::engine::Aquila;
+    use aquila_devices::{Blobstore, MirrorAccess, NvmeDevice, StorageAccess};
+    use aquila_sim::fault::FaultPlan;
+
+    let mut ctx = FreeCtx::new(21);
+    let debts = Arc::new(CoreDebts::new(1));
+    let primary = Arc::new(NvmeDevice::optane(4096));
+    let replica = Arc::new(NvmeDevice::optane(4096));
+    let mirror = Arc::new(MirrorAccess::new(Arc::clone(&primary), replica));
+    let access: Arc<dyn StorageAccess> = mirror;
+    let store = Arc::new(Blobstore::format(&mut ctx, Arc::clone(&access)).unwrap());
+    let aq = Arc::new(Aquila::new(AquilaConfig::builder(1, 64).build(), debts));
+    aq.thread_enter(&mut ctx);
+
+    let f = aq
+        .files()
+        .open_blob(&store, &access, "/data/scrubbed", 16)
+        .unwrap();
+    let addr = aq.mmap(&mut ctx, f, 0, 16, Prot::RW).unwrap();
+    for p in 0..8u64 {
+        aq.write(&mut ctx, addr.add(p * 4096), &[p as u8 + 1; 64])
+            .unwrap();
+    }
+    // Attach the storm right before writeback so blobstore metadata
+    // stays clean and the corrupt clause lands on the data pages msync
+    // pushes out (writeback coalesces the 8 contiguous dirty pages into
+    // one device command, so op=1 is the data write).
+    primary.set_fault_plan(Arc::new(
+        FaultPlan::parse("nvme.write:corrupt=8@op=1").unwrap(),
+    ));
+    aq.msync(&mut ctx, addr, 16).unwrap();
+    assert!(
+        primary.poisoned_sectors() > 0,
+        "the storm corrupted writeback on the primary"
+    );
+
+    // Sweep the whole LBA space the way the background scrubber thread
+    // does (the thread itself runs live in the serve determinism test).
+    for page in 0..access.capacity_pages() {
+        let _ = access.scrub_page(&mut ctx, page);
+    }
+    assert_eq!(primary.poisoned_sectors(), 0, "scrubber healed the device");
+    let c = access.integrity_counters().unwrap();
+    assert!(c.detected >= 1, "corruption was caught: {c:?}");
+    assert!(c.repaired >= 1, "and repaired from the replica: {c:?}");
+    assert_eq!(c.unrepairable, 0);
+    assert_eq!(c.undetected(), 0, "nothing slipped through: {c:?}");
+}
+
+#[test]
+fn unrepairable_corruption_refuses_read_and_degrades_region() {
+    use crate::engine::{Aquila, RegionState};
+    use aquila_devices::{Blobstore, MirrorAccess, NvmeDevice, StorageAccess};
+    use aquila_sim::fault::FaultPlan;
+
+    let mut ctx = FreeCtx::new(22);
+    let debts = Arc::new(CoreDebts::new(1));
+    let primary = Arc::new(NvmeDevice::optane(4096));
+    let replica = Arc::new(NvmeDevice::optane(4096));
+    let mirror = Arc::new(MirrorAccess::new(
+        Arc::clone(&primary),
+        Arc::clone(&replica),
+    ));
+    let access: Arc<dyn StorageAccess> = mirror;
+    let store = Arc::new(Blobstore::format(&mut ctx, Arc::clone(&access)).unwrap());
+    let aq = Arc::new(Aquila::new(AquilaConfig::builder(1, 64).build(), debts));
+    aq.thread_enter(&mut ctx);
+    let f = aq
+        .files()
+        .open_blob(&store, &access, "/data/doomed", 16)
+        .unwrap();
+    // Identical flips land on BOTH copies of the file's first device
+    // page, so the replica cannot repair the primary.
+    primary.set_fault_plan(Arc::new(
+        FaultPlan::parse("nvme.write:corrupt=8@op=1").unwrap(),
+    ));
+    replica.set_fault_plan(Arc::new(
+        FaultPlan::parse("nvme.write:corrupt=8@op=1").unwrap(),
+    ));
+    let dev_page = aq.files().dev_page(f, 0).unwrap();
+    access
+        .write_pages(&mut ctx, dev_page, &vec![0x7Fu8; 4096])
+        .unwrap();
+
+    let addr = aq.mmap(&mut ctx, f, 0, 16, Prot::RW).unwrap();
+    let mut buf = [0u8; 8];
+    let err = aq.read(&mut ctx, addr, &mut buf).unwrap_err();
+    assert!(
+        matches!(err, AquilaError::DataCorrupted { .. }),
+        "poisoned page must not be served: {err:?}"
+    );
+    assert_eq!(
+        aq.region_state(),
+        RegionState::ReadOnly,
+        "the region degraded instead of trusting the medium"
+    );
+    let c = access.integrity_counters().unwrap();
+    assert!(c.unrepairable >= 1);
+    assert_eq!(c.undetected(), 0, "refused, not silently served: {c:?}");
+    // Other, uncorrupted pages still serve reads in ReadOnly.
+    aq.read(&mut ctx, addr.add(4096), &mut buf).unwrap();
 }

@@ -120,6 +120,18 @@ pub trait StorageAccess: Send + Sync {
     fn retry_policy(&self) -> RetryPolicy {
         RetryPolicy::default()
     }
+    /// Verifies one device page against its recorded checksums,
+    /// repairing it if a clean replica copy exists. Returns whether a
+    /// repair happened. Paths without integrity metadata have nothing
+    /// to scrub.
+    fn scrub_page(&self, _ctx: &mut dyn SimCtx, _page: u64) -> Result<bool, DeviceError> {
+        Ok(false)
+    }
+    /// Integrity counters, when the path verifies checksums (the
+    /// mirrored path). `None` elsewhere.
+    fn integrity_counters(&self) -> Option<crate::mirror::IntegrityCounters> {
+        None
+    }
 }
 
 /// Records the device's queue occupancy right after a submission: a trace
@@ -154,7 +166,7 @@ impl SpdkAccess {
         SpdkAccess {
             dev,
             retry,
-            breaker: CircuitBreaker::new(retry.breaker_threshold),
+            breaker: CircuitBreaker::new(retry.breaker_threshold, retry.breaker_cooldown),
         }
     }
 
@@ -275,7 +287,7 @@ impl HostNvmeAccess {
             dev,
             domain,
             retry,
-            breaker: CircuitBreaker::new(retry.breaker_threshold),
+            breaker: CircuitBreaker::new(retry.breaker_threshold, retry.breaker_cooldown),
         }
     }
 }
@@ -583,7 +595,7 @@ mod tests {
         let mut back = page_of(0);
         spdk.read_pages(&mut ctx, 3, &mut back).unwrap();
         assert_eq!(back, data);
-        assert!(!spdk.breaker().unwrap().is_open());
+        assert!(!spdk.breaker().unwrap().is_open(ctx.now()));
         assert!(
             ctx.now() >= spdk.retry_policy().backoff_for(1),
             "retry charged its backoff"
@@ -609,7 +621,7 @@ mod tests {
         let data = page_of(1);
         let err = spdk.write_pages(&mut ctx, 0, &data).unwrap_err();
         assert_eq!(err, DeviceError::CircuitOpen);
-        assert!(spdk.breaker().unwrap().is_open());
+        assert!(spdk.breaker().unwrap().is_open(ctx.now()));
         // Reads keep working: the breaker guards only the write path.
         let mut back = page_of(0);
         spdk.read_pages(&mut ctx, 1, &mut back).unwrap();

@@ -56,6 +56,15 @@ pub enum DeviceError {
     /// The retry layer's circuit breaker is open: too many consecutive
     /// command failures. Not retryable — callers must degrade.
     CircuitOpen,
+    /// Data read back failed its integrity check and no replica could
+    /// supply a clean copy. Transient from the retry layer's point of
+    /// view (a one-shot in-flight flip re-reads clean), but persistent
+    /// corruption exhausts the budget and feeds the breaker, so the
+    /// engine degrades the region instead of serving garbage.
+    Corrupt {
+        /// First page of the corrupt transfer.
+        page: u64,
+    },
 }
 
 impl core::fmt::Display for DeviceError {
@@ -96,6 +105,9 @@ impl core::fmt::Display for DeviceError {
             DeviceError::CircuitOpen => {
                 write!(f, "circuit breaker open after consecutive device failures")
             }
+            DeviceError::Corrupt { page } => {
+                write!(f, "unrepairable data corruption at page {page}")
+            }
         }
     }
 }
@@ -106,7 +118,10 @@ impl DeviceError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            DeviceError::MediaError { .. } | DeviceError::Timeout | DeviceError::DeviceReset
+            DeviceError::MediaError { .. }
+                | DeviceError::Timeout
+                | DeviceError::DeviceReset
+                | DeviceError::Corrupt { .. }
         )
     }
 }

@@ -15,6 +15,7 @@
 
 pub mod access;
 pub mod error;
+pub mod mirror;
 pub mod nvme;
 pub mod pmem;
 pub mod retry;
@@ -25,6 +26,7 @@ pub use access::{
     AccessKind, CallDomain, DaxAccess, HostNvmeAccess, HostPmemAccess, SpdkAccess, StorageAccess,
 };
 pub use error::DeviceError;
+pub use mirror::{IntegrityCounters, MirrorAccess};
 pub use nvme::{BufRef, NvmeCompletion, NvmeDevice, NvmeOp, NvmeProfile, QueuePair};
 pub use pmem::{PmemDevice, PmemProfile};
 pub use retry::{CircuitBreaker, RetryPolicy};

@@ -8,7 +8,8 @@
 //! polling the completion queue — exactly how SPDK drives the device
 //! without kernel involvement.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use aquila_sync::Mutex;
@@ -18,6 +19,9 @@ use aquila_sim::{Cycles, ServiceCenter, SimCtx};
 
 use crate::error::DeviceError;
 use crate::store::{PageStore, STORE_PAGE};
+
+/// Sectors per 4 KiB device page.
+pub const SECTORS_PER_PAGE: u64 = (STORE_PAGE / SECTOR_SIZE) as u64;
 
 /// An NVMe command opcode (the two the simulation needs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +78,16 @@ pub struct NvmeDevice {
     service: ServiceCenter,
     profile: NvmeProfile,
     fault: OnceLock<Arc<FaultPlan>>,
+    /// Ground truth for integrity accounting: sectors whose *stored*
+    /// bytes differ from what the last writer supplied (a `corrupt`
+    /// fault flipped bits as the data landed). Any overwrite heals.
+    poisoned: Mutex<BTreeSet<u64>>,
+    /// Latent sector errors: persistently unreadable until rewritten.
+    latent: Mutex<BTreeSet<u64>>,
+    /// Pages of corrupt data the device has silently returned to
+    /// readers (stored-poisoned sectors plus in-flight read flips).
+    /// The integrity layer's `detected` count is audited against this.
+    tainted: AtomicU64,
 }
 
 impl NvmeDevice {
@@ -84,6 +98,9 @@ impl NvmeDevice {
             service: ServiceCenter::new(profile.channels, profile.max_iops, profile.max_bw),
             profile,
             fault: OnceLock::new(),
+            poisoned: Mutex::new(BTreeSet::new()),
+            latent: Mutex::new(BTreeSet::new()),
+            tainted: AtomicU64::new(0),
         }
     }
 
@@ -145,6 +162,48 @@ impl NvmeDevice {
     /// untouched).
     pub fn reset_timing(&self) {
         self.service.reset();
+    }
+
+    /// Pages of corrupt data the device has silently returned to
+    /// readers so far (ground truth for the *undetected* invariant:
+    /// every one of these must be caught by a checksum before it is
+    /// acked to a session).
+    pub fn tainted_reads(&self) -> u64 {
+        self.tainted.load(Ordering::SeqCst)
+    }
+
+    /// Sectors currently storing silently corrupted data.
+    pub fn poisoned_sectors(&self) -> u64 {
+        self.poisoned.lock().len() as u64
+    }
+
+    /// Sectors currently latent (unreadable until rewritten).
+    pub fn latent_sectors(&self) -> u64 {
+        self.latent.lock().len() as u64
+    }
+
+    /// A rewrite heals both silent poison and latent errors on the
+    /// covered sectors (fresh data, fresh cells).
+    fn heal_sectors(&self, first_sector: u64, sectors: u64) {
+        let range = first_sector..first_sector + sectors;
+        let mut poi = self.poisoned.lock();
+        let healed: Vec<u64> = poi.range(range.clone()).copied().collect();
+        for s in healed {
+            poi.remove(&s);
+        }
+        drop(poi);
+        let mut lat = self.latent.lock();
+        let healed: Vec<u64> = lat.range(range).copied().collect();
+        for s in healed {
+            lat.remove(&s);
+        }
+    }
+
+    /// Deterministic position of the `k`-th injected bit flip within a
+    /// `len`-byte payload (8191 is prime to the power-of-two bit count,
+    /// so small flip budgets land on distinct bits).
+    fn flip_bit(k: u64, len: usize) -> usize {
+        ((k as usize) * 8191 + 7) % (len * 8)
     }
 
     /// Reserves device time for a `pages`-page transfer at `now`,
@@ -252,8 +311,16 @@ impl<'d> QueuePair<'d> {
                 return Err(DeviceError::QueueFull { depth: self.depth })
             }
             Some(FaultOutcome::DeviceReset) => return Err(DeviceError::DeviceReset),
-            Some(FaultOutcome::Torn { .. } | FaultOutcome::Crash { .. }) | None => {}
+            Some(
+                FaultOutcome::Torn { .. }
+                | FaultOutcome::Crash { .. }
+                | FaultOutcome::Corrupt { .. }
+                | FaultOutcome::Latent { .. },
+            )
+            | None => {}
         }
+        let first_sector = lba_page * SECTORS_PER_PAGE;
+        let nsectors = pages as u64 * SECTORS_PER_PAGE;
         match (op, buf) {
             (NvmeOp::Read, BufRef::Mut(b)) => {
                 if b.len() != pages * STORE_PAGE {
@@ -262,7 +329,48 @@ impl<'d> QueuePair<'d> {
                         got: b.len(),
                     });
                 }
+                // A latent fault drawn on a read marks the leading
+                // sectors of the range bad *now*; the read below then
+                // trips over them like any later read would.
+                if let Some(FaultOutcome::Latent { sectors }) = injected {
+                    let mut lat = self.dev.latent.lock();
+                    for s in first_sector..first_sector + sectors.min(nsectors) {
+                        lat.insert(s);
+                    }
+                }
+                // Latent sectors fail the whole command loudly (the
+                // drive cannot return the data), naming the bad page.
+                {
+                    let lat = self.dev.latent.lock();
+                    if let Some(&s) = lat.range(first_sector..first_sector + nsectors).next() {
+                        return Err(DeviceError::MediaError {
+                            page: s / SECTORS_PER_PAGE,
+                        });
+                    }
+                }
                 self.dev.store.read_range(lba_page * STORE_PAGE as u64, b)?;
+                // Silent corruption: flip bits in the *returned* buffer
+                // (the medium is fine; the transfer lied). Stored poison
+                // rides along for free since the store holds the
+                // flipped bytes. Both count toward `tainted`.
+                let mut bad_page = vec![false; pages];
+                if let Some(FaultOutcome::Corrupt { bits }) = injected {
+                    for k in 0..bits {
+                        let bit = NvmeDevice::flip_bit(k, b.len());
+                        b[bit / 8] ^= 1 << (bit % 8);
+                        bad_page[bit / 8 / STORE_PAGE] = true;
+                    }
+                }
+                {
+                    let poi = self.dev.poisoned.lock();
+                    for &s in poi.range(first_sector..first_sector + nsectors) {
+                        bad_page[((s - first_sector) / SECTORS_PER_PAGE) as usize] = true;
+                    }
+                }
+                let tainted = bad_page.iter().filter(|&&t| t).count() as u64;
+                if tainted > 0 {
+                    self.dev.tainted.fetch_add(tainted, Ordering::SeqCst);
+                }
             }
             (NvmeOp::Write, BufRef::Shared(b)) => {
                 if b.len() != pages * STORE_PAGE {
@@ -278,7 +386,39 @@ impl<'d> QueuePair<'d> {
                         // to the cut persist, the rest never land.
                         let keep = (sectors as usize * SECTOR_SIZE).min(b.len());
                         self.dev.store.write_range(pos, &b[..keep])?;
+                        // The persisted prefix is fresh data.
+                        self.dev
+                            .heal_sectors(first_sector, (keep / SECTOR_SIZE) as u64);
                         return Err(DeviceError::MediaError { page: lba_page });
+                    }
+                    Some(FaultOutcome::Corrupt { bits }) => {
+                        // Silent write corruption: bits flip as the data
+                        // lands, the command still reports success. The
+                        // flipped sectors become poisoned ground truth.
+                        let mut data = b.to_vec();
+                        let mut bad = BTreeSet::new();
+                        for k in 0..bits {
+                            let bit = NvmeDevice::flip_bit(k, data.len());
+                            data[bit / 8] ^= 1 << (bit % 8);
+                            bad.insert(first_sector + (bit / 8 / SECTOR_SIZE) as u64);
+                        }
+                        self.dev.store.write_range(pos, &data)?;
+                        self.dev.heal_sectors(first_sector, nsectors);
+                        let mut poi = self.dev.poisoned.lock();
+                        for s in bad {
+                            poi.insert(s);
+                        }
+                    }
+                    Some(FaultOutcome::Latent { sectors }) => {
+                        // The write lands, then the cells degrade: the
+                        // leading sectors become unreadable until the
+                        // next rewrite.
+                        self.dev.store.write_range(pos, b)?;
+                        self.dev.heal_sectors(first_sector, nsectors);
+                        let mut lat = self.dev.latent.lock();
+                        for s in first_sector..first_sector + sectors.min(nsectors) {
+                            lat.insert(s);
+                        }
                     }
                     Some(FaultOutcome::Crash { sectors }) => {
                         // Power cut: capture the image as the medium
@@ -297,8 +437,12 @@ impl<'d> QueuePair<'d> {
                             plan.record_crash(CrashImage { at: now, image });
                         }
                         self.dev.store.write_range(pos, b)?;
+                        self.dev.heal_sectors(first_sector, nsectors);
                     }
-                    _ => self.dev.store.write_range(pos, b)?,
+                    _ => {
+                        self.dev.store.write_range(pos, b)?;
+                        self.dev.heal_sectors(first_sector, nsectors);
+                    }
                 }
             }
             _ => return Err(DeviceError::BufferDirection),
@@ -589,6 +733,97 @@ mod tests {
             .submit(Cycles(0), NvmeOp::Read, 3, 1, BufRef::Mut(&mut rback))
             .unwrap();
         assert_eq!(&rback[..], page3);
+    }
+
+    #[test]
+    fn corrupt_write_silently_poisons_and_rewrite_heals() {
+        let dev = NvmeDevice::optane(8);
+        dev.set_fault_plan(Arc::new(
+            FaultPlan::parse("nvme.write:corrupt=4@op=1").unwrap(),
+        ));
+        let qp = dev.create_qpair();
+        let data = vec![0x5Au8; STORE_PAGE];
+        // The corrupted write reports success (that is the whole point).
+        qp.submit(Cycles(0), NvmeOp::Write, 2, 1, BufRef::Shared(&data))
+            .unwrap();
+        assert!(dev.poisoned_sectors() > 0, "flips recorded as poison");
+        assert_eq!(dev.tainted_reads(), 0, "nothing returned yet");
+        // The read also reports success but returns flipped bytes.
+        let mut back = vec![0u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Read, 2, 1, BufRef::Mut(&mut back))
+            .unwrap();
+        assert_ne!(back, data, "corruption is silent, not absent");
+        let flipped: u32 = back
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 4, "exactly the budgeted bits flipped");
+        assert_eq!(dev.tainted_reads(), 1, "one tainted page returned");
+        // A clean rewrite heals the poison.
+        qp.submit(Cycles(0), NvmeOp::Write, 2, 1, BufRef::Shared(&data))
+            .unwrap();
+        assert_eq!(dev.poisoned_sectors(), 0);
+        qp.submit(Cycles(0), NvmeOp::Read, 2, 1, BufRef::Mut(&mut back))
+            .unwrap();
+        assert_eq!(back, data);
+        assert_eq!(dev.tainted_reads(), 1, "healed read is clean");
+    }
+
+    #[test]
+    fn corrupt_read_flips_in_flight_only() {
+        let dev = NvmeDevice::optane(8);
+        dev.set_fault_plan(Arc::new(
+            FaultPlan::parse("nvme.read:corrupt=2@op=1").unwrap(),
+        ));
+        let qp = dev.create_qpair();
+        let data = vec![0x11u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Write, 1, 1, BufRef::Shared(&data))
+            .unwrap();
+        let mut back = vec![0u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Read, 1, 1, BufRef::Mut(&mut back))
+            .unwrap();
+        assert_ne!(back, data, "in-flight flip corrupted the transfer");
+        assert_eq!(dev.tainted_reads(), 1);
+        assert_eq!(dev.poisoned_sectors(), 0, "the medium itself is fine");
+        // The next read (no fault drawn) is clean: one-shot clause.
+        qp.submit(Cycles(0), NvmeOp::Read, 1, 1, BufRef::Mut(&mut back))
+            .unwrap();
+        assert_eq!(back, data);
+        assert_eq!(dev.tainted_reads(), 1);
+    }
+
+    #[test]
+    fn latent_sectors_fail_reads_until_rewritten() {
+        let dev = NvmeDevice::optane(8);
+        dev.set_fault_plan(Arc::new(
+            FaultPlan::parse("nvme.read:latent=2@op=2").unwrap(),
+        ));
+        let qp = dev.create_qpair();
+        let data = vec![0x33u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Write, 4, 1, BufRef::Shared(&data))
+            .unwrap();
+        let mut back = vec![0u8; STORE_PAGE];
+        qp.submit(Cycles(0), NvmeOp::Read, 4, 1, BufRef::Mut(&mut back))
+            .unwrap();
+        // Op 2 trips the latent clause: the read fails and keeps failing.
+        assert_eq!(
+            qp.submit(Cycles(0), NvmeOp::Read, 4, 1, BufRef::Mut(&mut back)),
+            Err(DeviceError::MediaError { page: 4 })
+        );
+        assert_eq!(dev.latent_sectors(), 2);
+        assert_eq!(
+            qp.submit(Cycles(0), NvmeOp::Read, 4, 1, BufRef::Mut(&mut back)),
+            Err(DeviceError::MediaError { page: 4 }),
+            "latent errors persist"
+        );
+        // A rewrite heals the cells; reads work again.
+        qp.submit(Cycles(0), NvmeOp::Write, 4, 1, BufRef::Shared(&data))
+            .unwrap();
+        assert_eq!(dev.latent_sectors(), 0);
+        qp.submit(Cycles(0), NvmeOp::Read, 4, 1, BufRef::Mut(&mut back))
+            .unwrap();
+        assert_eq!(back, data);
     }
 
     #[test]

@@ -13,7 +13,6 @@
 //! `QueueFull` is deliberately *not* retried here: it is backpressure,
 //! owned by the submission loops that pace themselves with it.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use aquila_sync::Mutex;
@@ -31,6 +30,9 @@ pub struct RetryPolicy {
     pub backoff: Cycles,
     /// Consecutive failures (across commands) that trip the breaker.
     pub breaker_threshold: u32,
+    /// Virtual-time cooldown after a trip before the breaker admits one
+    /// half-open probe command (see [`CircuitBreaker`]).
+    pub breaker_cooldown: Cycles,
     /// Per-command latency deadline; completions past it bump the
     /// `aquila.retry.deadline_misses` counter (observability only — the
     /// simulated device always completes, so there is no abort path).
@@ -43,12 +45,33 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             backoff: Cycles::from_micros(5),
             breaker_threshold: 16,
+            breaker_cooldown: Cycles::from_micros(500),
             command_timeout: Cycles::from_millis(1),
         }
     }
 }
 
 impl RetryPolicy {
+    /// Checks the policy for values that would wedge or bypass the
+    /// retry machinery (the config builder rejects these at build time,
+    /// so every retry site can trust the policy it is handed).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("retry.max_attempts must be >= 1 (the first attempt counts)".into());
+        }
+        if self.breaker_threshold == 0 {
+            return Err("retry.breaker_threshold must be >= 1".into());
+        }
+        if self.breaker_cooldown == Cycles::ZERO {
+            // A zero cooldown re-probes every command, defeating the breaker.
+            return Err("retry.breaker_cooldown must be > 0".into());
+        }
+        if self.command_timeout == Cycles::ZERO {
+            return Err("retry.command_timeout must be > 0".into());
+        }
+        Ok(())
+    }
+
     /// Backoff before retry number `retry` (1-based), doubling each time
     /// with a cap so the exponent cannot overflow.
     pub fn backoff_for(&self, retry: u32) -> Cycles {
@@ -66,7 +89,7 @@ impl RetryPolicy {
         breaker: Option<&CircuitBreaker>,
         mut attempt: impl FnMut(&mut dyn SimCtx) -> Result<(), DeviceError>,
     ) -> Result<(), DeviceError> {
-        if breaker.is_some_and(|b| b.is_open()) {
+        if breaker.is_some_and(|b| b.is_open(ctx.now())) {
             return Err(DeviceError::CircuitOpen);
         }
         let mut tries = 0u32;
@@ -82,10 +105,10 @@ impl RetryPolicy {
                 Err(e) => {
                     metrics::add(ctx, "aquila.fault.injected", 1);
                     if let Some(b) = breaker {
-                        if b.record_failure() {
+                        if b.record_failure(ctx.now()) {
                             metrics::add(ctx, "aquila.breaker.trips", 1);
                         }
-                        if b.is_open() {
+                        if b.is_open(ctx.now()) {
                             return Err(DeviceError::CircuitOpen);
                         }
                     }
@@ -110,60 +133,115 @@ impl RetryPolicy {
     }
 }
 
+/// Breaker phase. `Open` remembers when it tripped so the cooldown is
+/// measured in deterministic virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerPhase {
+    /// Commands flow; consecutive failures are counted.
+    Closed,
+    /// Commands fail fast until the cooldown elapses.
+    Open {
+        /// Virtual time of the trip.
+        since: Cycles,
+    },
+    /// The cooldown elapsed and exactly one probe command was admitted;
+    /// everyone else still fails fast until the probe resolves.
+    HalfOpen,
+}
+
+struct BreakerState {
+    consecutive: u32,
+    phase: BreakerPhase,
+}
+
 /// Trips open after N consecutive command failures; a success before
-/// the threshold resets the count. Once open it stays open — the
-/// engine's degradation machine, not the breaker, decides what happens
-/// next.
+/// the threshold resets the count. An open breaker fails fast until a
+/// virtual-time cooldown elapses, then admits exactly one *half-open
+/// probe*: if the probe succeeds the breaker closes (the device
+/// healed); if it fails the breaker re-opens and the cooldown restarts.
+/// All transitions are keyed off the caller's virtual `now`, so the
+/// probe schedule is as deterministic as the rest of the DES.
 pub struct CircuitBreaker {
     threshold: u32,
-    consecutive: Mutex<u32>,
-    open: AtomicBool,
+    cooldown: Cycles,
+    state: Mutex<BreakerState>,
 }
 
 impl CircuitBreaker {
-    /// A breaker that trips after `threshold` consecutive failures.
-    pub fn new(threshold: u32) -> Arc<CircuitBreaker> {
+    /// A breaker that trips after `threshold` consecutive failures and
+    /// admits a half-open probe `cooldown` cycles after each trip.
+    pub fn new(threshold: u32, cooldown: Cycles) -> Arc<CircuitBreaker> {
         Arc::new(CircuitBreaker {
             threshold: threshold.max(1),
-            consecutive: Mutex::new(0),
-            open: AtomicBool::new(false),
+            cooldown: cooldown.max(Cycles(1)),
+            state: Mutex::new(BreakerState {
+                consecutive: 0,
+                phase: BreakerPhase::Closed,
+            }),
         })
     }
 
-    /// Whether the breaker has tripped.
-    pub fn is_open(&self) -> bool {
-        self.open.load(Ordering::Acquire)
-    }
-
-    /// Resets the consecutive-failure count (a command succeeded).
-    pub fn record_success(&self) {
-        *self.consecutive.lock() = 0;
-    }
-
-    /// Counts a failure; returns `true` when this one trips the breaker.
-    pub fn record_failure(&self) -> bool {
-        let mut n = self.consecutive.lock();
-        *n += 1;
-        if *n >= self.threshold && !self.open.swap(true, Ordering::AcqRel) {
-            return true;
+    /// Whether a command issued at virtual time `now` must fail fast.
+    ///
+    /// Returning `false` from the `Open` phase *admits the caller as the
+    /// half-open probe* — the breaker moves to `HalfOpen` and every
+    /// other caller keeps failing fast until the probe's success or
+    /// failure is recorded.
+    pub fn is_open(&self, now: Cycles) -> bool {
+        let mut st = self.state.lock();
+        match st.phase {
+            BreakerPhase::Closed => false,
+            BreakerPhase::Open { since } => {
+                if now >= since + self.cooldown {
+                    st.phase = BreakerPhase::HalfOpen;
+                    false
+                } else {
+                    true
+                }
+            }
+            BreakerPhase::HalfOpen => true,
         }
-        false
+    }
+
+    /// Records a command success: closes the breaker (the half-open
+    /// probe healed it) and resets the consecutive-failure count.
+    pub fn record_success(&self) {
+        let mut st = self.state.lock();
+        st.consecutive = 0;
+        st.phase = BreakerPhase::Closed;
+    }
+
+    /// Counts a failure at virtual time `now`; returns `true` when this
+    /// one trips (or re-trips, for a failed probe) the breaker.
+    pub fn record_failure(&self, now: Cycles) -> bool {
+        let mut st = self.state.lock();
+        st.consecutive += 1;
+        match st.phase {
+            BreakerPhase::Closed if st.consecutive >= self.threshold => {
+                st.phase = BreakerPhase::Open { since: now };
+                true
+            }
+            BreakerPhase::HalfOpen => {
+                st.phase = BreakerPhase::Open { since: now };
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Consecutive failures recorded since the last success.
     pub fn consecutive_failures(&self) -> u32 {
-        *self.consecutive.lock()
+        self.state.lock().consecutive
     }
 }
 
 impl core::fmt::Debug for CircuitBreaker {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let st = self.state.lock();
         write!(
             f,
-            "CircuitBreaker {{ open: {}, consecutive: {}/{} }}",
-            self.is_open(),
-            self.consecutive_failures(),
-            self.threshold
+            "CircuitBreaker {{ phase: {:?}, consecutive: {}/{} }}",
+            st.phase, st.consecutive, self.threshold
         )
     }
 }
@@ -246,7 +324,7 @@ mod tests {
             max_attempts: 2,
             ..RetryPolicy::default()
         };
-        let b = CircuitBreaker::new(3);
+        let b = CircuitBreaker::new(3, Cycles::from_millis(100));
         let mut ctx = FreeCtx::new(1);
         // Two commands x up-to-2 attempts of pure failure: the third
         // recorded failure trips the breaker mid-retry.
@@ -258,7 +336,7 @@ mod tests {
             .run(&mut ctx, Some(&b), |_| Err(DeviceError::Timeout))
             .unwrap_err();
         assert_eq!(e2, DeviceError::CircuitOpen);
-        assert!(b.is_open());
+        assert!(b.is_open(ctx.now()));
         // Open breaker fails fast without calling the closure.
         let mut calls = 0;
         let e3 = p
@@ -273,12 +351,105 @@ mod tests {
 
     #[test]
     fn success_resets_consecutive_count() {
-        let b = CircuitBreaker::new(2);
-        assert!(!b.record_failure());
+        let b = CircuitBreaker::new(2, Cycles(1000));
+        assert!(!b.record_failure(Cycles(0)));
         b.record_success();
-        assert!(!b.record_failure());
-        assert!(b.record_failure(), "second consecutive failure trips");
-        assert!(!b.record_failure(), "trip reports only once");
+        assert!(!b.record_failure(Cycles(1)));
+        assert!(
+            b.record_failure(Cycles(2)),
+            "second consecutive failure trips"
+        );
+        assert!(!b.record_failure(Cycles(3)), "trip reports only once");
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_on_success() {
+        let b = CircuitBreaker::new(1, Cycles(1000));
+        assert!(b.record_failure(Cycles(100)), "first failure trips at 1");
+        // Inside the cooldown: fail fast.
+        assert!(b.is_open(Cycles(500)));
+        assert!(b.is_open(Cycles(1099)));
+        // Cooldown elapsed: exactly one caller is admitted as the probe,
+        // everyone else keeps failing fast until it resolves.
+        assert!(!b.is_open(Cycles(1100)), "probe admitted after cooldown");
+        assert!(b.is_open(Cycles(1100)), "only one probe at a time");
+        // Probe succeeds: the breaker closes and stays closed.
+        b.record_success();
+        assert!(!b.is_open(Cycles(1200)));
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_failure_reopens() {
+        let b = CircuitBreaker::new(2, Cycles(1000));
+        assert!(!b.record_failure(Cycles(0)));
+        assert!(b.record_failure(Cycles(10)), "trips at threshold");
+        assert!(!b.is_open(Cycles(2000)), "probe admitted");
+        // Probe fails: re-trip, cooldown restarts from the failure time.
+        assert!(b.record_failure(Cycles(2100)), "failed probe re-trips");
+        assert!(b.is_open(Cycles(2500)));
+        assert!(b.is_open(Cycles(3099)), "cooldown restarted at 2100");
+        assert!(!b.is_open(Cycles(3100)), "second probe after re-cooldown");
+        b.record_success();
+        assert!(!b.is_open(Cycles(9999)));
+    }
+
+    #[test]
+    fn retry_run_drives_probe_through_the_breaker() {
+        // End-to-end trip -> cooldown -> probe -> close through run().
+        let p = RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: Cycles(10_000),
+            ..RetryPolicy::default()
+        };
+        let b = CircuitBreaker::new(p.breaker_threshold, p.breaker_cooldown);
+        let mut ctx = FreeCtx::new(1);
+        for _ in 0..2 {
+            let _ = p
+                .run(&mut ctx, Some(&b), |_| {
+                    Err(DeviceError::MediaError { page: 3 })
+                })
+                .unwrap_err();
+        }
+        assert!(b.is_open(ctx.now()), "tripped");
+        assert_eq!(
+            p.run(&mut ctx, Some(&b), |_| Ok(())).unwrap_err(),
+            DeviceError::CircuitOpen,
+            "fails fast inside the cooldown"
+        );
+        // Park past the cooldown: the next command is the probe and a
+        // healed device closes the breaker for everyone.
+        let wake = ctx.now() + p.breaker_cooldown;
+        ctx.wait_until(wake, CostCat::Idle);
+        p.run(&mut ctx, Some(&b), |_| Ok(())).unwrap();
+        assert!(!b.is_open(ctx.now()), "probe success re-armed the path");
+        p.run(&mut ctx, Some(&b), |_| Ok(())).unwrap();
+    }
+
+    #[test]
+    fn policy_validation_rejects_degenerate_values() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        for bad in [
+            RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                breaker_threshold: 0,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                breaker_cooldown: Cycles::ZERO,
+                ..RetryPolicy::default()
+            },
+            RetryPolicy {
+                command_timeout: Cycles::ZERO,
+                ..RetryPolicy::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -24,8 +24,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use aquila::{
-    Advice, AquilaError, AquilaRuntime, DeviceKind, MmioPolicy, Prot, Session, Tenant, TenantSpec,
-    WritePolicy,
+    Advice, AquilaError, AquilaRuntime, DeviceKind, IntegrityCounters, MmioPolicy, Prot, Session,
+    Tenant, TenantSpec, WritePolicy,
 };
 use aquila_sim::{CostCat, Cycles, Engine, FreeCtx, LatencyHist, SimCtx, Step, Zipfian};
 
@@ -75,6 +75,13 @@ pub struct ServeConfig {
     /// self-reclaim, and weighted-fair eviction. Off reproduces the
     /// pre-PR-8 free-for-all.
     pub qos: bool,
+    /// Replicates the NVMe backend 2-for-1 with per-sector checksums
+    /// and read-repair (DESIGN.md §16). Required for integrity runs
+    /// under silent-corruption storms.
+    pub mirror: bool,
+    /// Virtual-time pacing of the background scrubber thread; ZERO
+    /// disables scrubbing. Only meaningful with `mirror` on.
+    pub scrub_rate: Cycles,
     /// The tenants.
     pub tenants: Vec<TenantProfile>,
 }
@@ -118,6 +125,9 @@ pub struct ServeReport {
     pub tenants: Vec<TenantOutcome>,
     /// Virtual time when the last session closed.
     pub makespan: Cycles,
+    /// End-of-run integrity counters from the mirrored backend;
+    /// `None` unless the run was configured with `mirror`.
+    pub integrity: Option<IntegrityCounters>,
 }
 
 impl ServeReport {
@@ -137,6 +147,8 @@ fn serve_policy(cfg: &ServeConfig) -> MmioPolicy {
         write_policy: WritePolicy::Async,
         queue_depth: 4,
         tenant_qos: cfg.qos,
+        mirror: cfg.mirror,
+        scrub_rate: cfg.scrub_rate,
         ..MmioPolicy::default()
     }
 }
@@ -276,7 +288,17 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
         cfg.worker_cores,
         rt.aquila.evictor(Arc::clone(&stop), Cycles::from_micros(2)),
     );
+    if cfg.mirror && cfg.scrub_rate > Cycles::ZERO {
+        // The scrubber shares the housekeeping core with the evictor:
+        // both are paced in virtual time, so they interleave cleanly.
+        engine.spawn(
+            cfg.worker_cores,
+            rt.aquila
+                .scrubber(Arc::clone(&rt.access), Arc::clone(&stop), cfg.scrub_rate),
+        );
+    }
     let report = engine.run();
+    let integrity = rt.access.integrity_counters();
 
     let outcomes = cfg
         .tenants
@@ -304,6 +326,7 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
     ServeReport {
         tenants: outcomes,
         makespan: report.makespan,
+        integrity,
     }
 }
 
@@ -317,6 +340,8 @@ mod tests {
             worker_cores: 4,
             cache_frames: 256,
             qos,
+            mirror: false,
+            scrub_rate: Cycles::ZERO,
             tenants: vec![
                 TenantProfile {
                     spec: TenantSpec {
@@ -384,6 +409,26 @@ mod tests {
             assert_eq!(t.requests, want, "tenant {} lost arrivals", t.id);
             assert_eq!(t.hist.count() + t.shed, want);
         }
+    }
+
+    #[test]
+    fn mirrored_run_with_scrubber_is_clean_and_deterministic() {
+        let mirrored = |seed| {
+            let mut cfg = small_cfg(true, seed);
+            cfg.mirror = true;
+            cfg.scrub_rate = Cycles::from_micros(5);
+            run(&cfg)
+        };
+        let a = mirrored(11);
+        let c = a.integrity.expect("mirrored run carries counters");
+        assert_eq!(c.undetected(), 0, "no corruption slipped through: {c:?}");
+        assert_eq!(c.unrepairable, 0, "fault-free run has nothing to lose");
+        let b = mirrored(11);
+        assert_eq!(a.makespan, b.makespan, "scrubber preserves determinism");
+        assert!(
+            run(&small_cfg(true, 11)).integrity.is_none(),
+            "unmirrored runs carry no counters"
+        );
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //!          | 'queue_full' ('*' LEN)?     # storm of LEN submissions (default 1)
 //!          | 'torn' ('=' SECTORS)?       # persist only SECTORS x 512 B (default 1)
 //!          | 'crash' ('=' SECTORS)?      # power cut; image torn at SECTORS (default 0)
+//!          | 'corrupt' ('=' BITS)?       # silently flip BITS bits in the payload (default 1)
+//!          | 'latent' ('=' SECTORS)?     # SECTORS sectors become unreadable until rewritten (default 1)
 //! trigger := 'op=' N                     # the Nth (1-based) matching operation
 //!          | 'cycle=' N                  # first matching operation at/after cycle N
 //! ```
@@ -107,6 +109,22 @@ pub enum FaultKind {
         /// Sectors of the in-flight write that reach the captured image.
         sectors: u64,
     },
+    /// *Silent* corruption: flip `bits` bits of the command's payload
+    /// (on a write, as the data lands on the medium; on a read, in the
+    /// returned buffer). The command reports success — only an
+    /// integrity layer above the device can notice.
+    Corrupt {
+        /// Number of payload bits flipped (deterministic positions).
+        bits: u64,
+    },
+    /// Latent sector errors: `sectors` sectors of the command's target
+    /// range become persistently unreadable (every read intersecting
+    /// them fails with a media error) until rewritten, which heals
+    /// them — the way a real drive reallocates a bad sector on write.
+    Latent {
+        /// Sectors marked bad, from the start of the command's range.
+        sectors: u64,
+    },
 }
 
 /// When a clause fires.
@@ -150,6 +168,20 @@ pub enum FaultOutcome {
     /// proceed normally.
     Crash {
         /// Sectors of the in-flight write applied to the image.
+        sectors: u64,
+    },
+    /// Silently flip `bits` bits in the command's payload; the command
+    /// succeeds.
+    Corrupt {
+        /// Payload bits to flip.
+        bits: u64,
+    },
+    /// Mark `sectors` sectors of the command's range persistently
+    /// unreadable (until rewritten); the triggering command fails if it
+    /// is a read, and succeeds (marking the sectors behind it) if it is
+    /// a write.
+    Latent {
+        /// Sectors marked bad.
         sectors: u64,
     },
 }
@@ -284,6 +316,8 @@ impl FaultPlan {
                 FaultKind::DeviceReset => FaultOutcome::DeviceReset,
                 FaultKind::TornWrite { sectors } => FaultOutcome::Torn { sectors },
                 FaultKind::Crash { sectors } => FaultOutcome::Crash { sectors },
+                FaultKind::Corrupt { bits } => FaultOutcome::Corrupt { bits },
+                FaultKind::Latent { sectors } => FaultOutcome::Latent { sectors },
             });
         }
         None
@@ -327,6 +361,11 @@ impl core::fmt::Debug for FaultPlan {
     }
 }
 
+/// Every kind the grammar accepts, quoted verbatim in parse errors so a
+/// typo'd spec tells the user what would have been valid.
+const VALID_KINDS: &str = "media_error, timeout, device_reset, queue_full*N, \
+     torn=S, crash=S, corrupt=N, latent=S";
+
 fn parse_clause(raw: &str) -> Result<FaultClause, FaultSpecError> {
     let (target, rest) = raw
         .split_once(':')
@@ -336,64 +375,93 @@ fn parse_clause(raw: &str) -> Result<FaultClause, FaultSpecError> {
         .ok_or_else(|| FaultSpecError(format!("clause {raw:?} missing '@trigger'")))?;
     Ok(FaultClause {
         target: FaultTarget::parse(target.trim())?,
-        kind: parse_kind(kind.trim())?,
-        trigger: parse_trigger(trigger.trim())?,
+        kind: parse_kind(kind.trim(), raw)?,
+        trigger: parse_trigger(trigger.trim(), raw)?,
     })
 }
 
-fn parse_num(s: &str, what: &str) -> Result<u64, FaultSpecError> {
+fn parse_num(s: &str, what: &str, raw: &str) -> Result<u64, FaultSpecError> {
     s.parse::<u64>()
-        .map_err(|_| FaultSpecError(format!("{what} {s:?} is not a number")))
+        .map_err(|_| FaultSpecError(format!("clause {raw:?}: {what} {s:?} is not a number")))
 }
 
-fn parse_kind(s: &str) -> Result<FaultKind, FaultSpecError> {
+fn parse_kind(s: &str, raw: &str) -> Result<FaultKind, FaultSpecError> {
+    let malformed = |form: &str| {
+        FaultSpecError(format!(
+            "clause {raw:?}: bad {form} form {s:?} (valid kinds: {VALID_KINDS})"
+        ))
+    };
     if let Some(len) = s.strip_prefix("queue_full") {
         let len = match len.strip_prefix('*') {
-            Some(n) => parse_num(n, "storm length")?,
+            Some(n) => parse_num(n, "storm length", raw)?,
             None if len.is_empty() => 1,
-            None => return Err(FaultSpecError(format!("bad queue_full form {s:?}"))),
+            None => return Err(malformed("queue_full")),
         };
         return Ok(FaultKind::QueueFullStorm { len: len.max(1) });
     }
     if let Some(sectors) = s.strip_prefix("torn") {
         let sectors = match sectors.strip_prefix('=') {
-            Some(n) => parse_num(n, "torn sectors")?,
+            Some(n) => parse_num(n, "torn sectors", raw)?,
             None if sectors.is_empty() => 1,
-            None => return Err(FaultSpecError(format!("bad torn form {s:?}"))),
+            None => return Err(malformed("torn")),
         };
         return Ok(FaultKind::TornWrite { sectors });
     }
     if let Some(sectors) = s.strip_prefix("crash") {
         let sectors = match sectors.strip_prefix('=') {
-            Some(n) => parse_num(n, "crash sectors")?,
+            Some(n) => parse_num(n, "crash sectors", raw)?,
             None if sectors.is_empty() => 0,
-            None => return Err(FaultSpecError(format!("bad crash form {s:?}"))),
+            None => return Err(malformed("crash")),
         };
         return Ok(FaultKind::Crash { sectors });
+    }
+    if let Some(bits) = s.strip_prefix("corrupt") {
+        let bits = match bits.strip_prefix('=') {
+            Some(n) => parse_num(n, "corrupt bits", raw)?,
+            None if bits.is_empty() => 1,
+            None => return Err(malformed("corrupt")),
+        };
+        return Ok(FaultKind::Corrupt { bits: bits.max(1) });
+    }
+    if let Some(sectors) = s.strip_prefix("latent") {
+        let sectors = match sectors.strip_prefix('=') {
+            Some(n) => parse_num(n, "latent sectors", raw)?,
+            None if sectors.is_empty() => 1,
+            None => return Err(malformed("latent")),
+        };
+        return Ok(FaultKind::Latent {
+            sectors: sectors.max(1),
+        });
     }
     match s {
         "media_error" => Ok(FaultKind::MediaError),
         "timeout" => Ok(FaultKind::Timeout),
         "device_reset" => Ok(FaultKind::DeviceReset),
-        _ => Err(FaultSpecError(format!("unknown fault kind {s:?}"))),
+        _ => Err(FaultSpecError(format!(
+            "clause {raw:?}: unknown fault kind {s:?} (valid kinds: {VALID_KINDS})"
+        ))),
     }
 }
 
-fn parse_trigger(s: &str) -> Result<FaultTrigger, FaultSpecError> {
+fn parse_trigger(s: &str, raw: &str) -> Result<FaultTrigger, FaultSpecError> {
     if let Some(n) = s.strip_prefix("op=") {
-        let n = parse_num(n, "op trigger")?;
+        let n = parse_num(n, "op trigger", raw)?;
         if n == 0 {
-            return Err(FaultSpecError(
-                "op trigger is 1-based; op=0 never fires".into(),
-            ));
+            return Err(FaultSpecError(format!(
+                "clause {raw:?}: op trigger is 1-based; op=0 never fires"
+            )));
         }
         return Ok(FaultTrigger::Op(n));
     }
     if let Some(n) = s.strip_prefix("cycle=") {
-        return Ok(FaultTrigger::Cycle(Cycles(parse_num(n, "cycle trigger")?)));
+        return Ok(FaultTrigger::Cycle(Cycles(parse_num(
+            n,
+            "cycle trigger",
+            raw,
+        )?)));
     }
     Err(FaultSpecError(format!(
-        "unknown trigger {s:?} (expected op=N or cycle=N)"
+        "clause {raw:?}: unknown trigger {s:?} (expected op=N or cycle=N)"
     )))
 }
 
@@ -519,9 +587,63 @@ mod tests {
             "nvme.write:media_error@when=1",  // unknown trigger
             "nvme.write:media_error@op=zero", // not a number
             "nvme.write:media_error@op=0",    // 1-based
+            "nvme.write:corrupt*4@op=1",      // corrupt takes '=', not '*'
+            "nvme.read:latent=x@op=1",        // latent sectors not a number
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_clause() {
+        // A multi-clause spec with one bad clause must name *that*
+        // clause verbatim, so the user can find it in a long spec.
+        let cases = [
+            ("nvme.write:gamma_ray@op=1", "gamma_ray"),
+            ("nvme.write:corrupt*4@op=1", "corrupt"),
+            ("nvme.read:latent=x@op=1", "latent sectors"),
+            ("nvme.write:torn~2@op=1", "torn"),
+            ("nvme.write:media_error@op=zero", "op trigger"),
+            ("nvme.write:media_error@when=1", "unknown trigger"),
+            ("nvme.write:media_error@op=0", "1-based"),
+        ];
+        for (bad, detail) in cases {
+            let spec = format!("nvme.read:media_error@op=9;{bad}");
+            let err = FaultPlan::parse(&spec).unwrap_err().0;
+            assert!(
+                err.contains(&format!("{bad:?}")),
+                "error {err:?} does not name clause {bad:?}"
+            );
+            assert!(
+                err.contains(detail),
+                "error {err:?} does not mention {detail:?}"
+            );
+        }
+        // Unknown-kind errors list every valid kind.
+        let err = FaultPlan::parse("nvme.write:gamma_ray@op=1").unwrap_err().0;
+        for kind in ["media_error", "queue_full*N", "corrupt=N", "latent=S"] {
+            assert!(err.contains(kind), "error {err:?} does not list {kind}");
+        }
+    }
+
+    #[test]
+    fn corrupt_and_latent_parse_and_fire() {
+        let p = FaultPlan::parse("nvme.write:corrupt=4@op=1; nvme.read:latent=2@op=1").unwrap();
+        assert_eq!(p.clauses()[0].kind, FaultKind::Corrupt { bits: 4 });
+        assert_eq!(p.clauses()[1].kind, FaultKind::Latent { sectors: 2 });
+        assert_eq!(
+            p.draw(FaultTarget::NvmeWrite, Cycles(0)),
+            Some(FaultOutcome::Corrupt { bits: 4 })
+        );
+        assert_eq!(
+            p.draw(FaultTarget::NvmeRead, Cycles(0)),
+            Some(FaultOutcome::Latent { sectors: 2 })
+        );
+        assert_eq!(p.injected(), 2);
+        // Defaults: one bit, one sector.
+        let q = FaultPlan::parse("nvme.read:corrupt@op=1; nvme.write:latent@op=1").unwrap();
+        assert_eq!(q.clauses()[0].kind, FaultKind::Corrupt { bits: 1 });
+        assert_eq!(q.clauses()[1].kind, FaultKind::Latent { sectors: 1 });
     }
 
     #[test]

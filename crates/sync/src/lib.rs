@@ -352,6 +352,42 @@ impl<'a, T: Ord> IntoIterator for &'a DetSet<T> {
     }
 }
 
+/// IEEE 802.3 CRC-32 lookup table (reflected polynomial 0xEDB88320),
+/// built at compile time so the crate stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `data` (the zlib/ethernet polynomial, reflected,
+/// initial value and final XOR `0xFFFF_FFFF`).
+///
+/// Used by the storage integrity layer as the per-sector checksum; it
+/// detects every burst error up to 32 bits and any odd number of bit
+/// flips, which covers the `corrupt=N` fault grammar by construction.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,5 +489,28 @@ mod tests {
         let s: DetSet<i32> = [4, 2, 8, 2].into_iter().collect();
         let v: Vec<i32> = s.iter().copied().collect();
         assert_eq!(v, vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard CRC-32 check value ("123456789" -> 0xCBF43926).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut sector = vec![0xA5u8; 512];
+        let clean = crc32(&sector);
+        for bit in [0usize, 1, 7, 100, 512 * 8 - 1] {
+            sector[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&sector), clean, "flip at bit {bit} undetected");
+            sector[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert_eq!(crc32(&sector), clean);
     }
 }

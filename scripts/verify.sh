@@ -48,8 +48,8 @@ step "fig8 smoke run with --json/--trace"
 cargo run --release -q -p aquila-bench --bin fig8 -- c \
     --json "$tmp/r.json" --trace "$tmp/t.json" > "$tmp/stdout.txt"
 
-grep -q '"schema_version": 4' "$tmp/r.json" ||
-    { echo "FAIL: JSON record missing schema_version 4" >&2; exit 1; }
+grep -q '"schema_version": 5' "$tmp/r.json" ||
+    { echo "FAIL: JSON record missing schema_version 5" >&2; exit 1; }
 grep -q '"faults"' "$tmp/r.json" ||
     { echo "FAIL: JSON record missing faults section" >&2; exit 1; }
 grep -q '"latency"' "$tmp/r.json" ||
@@ -146,6 +146,28 @@ grep -q '"tenants"' "$tmp/serve.json" ||
     { echo "FAIL: protected tenant SLO verdict not met with QoS on" >&2; exit 1; }
 "$prof" get "$tmp/serve.json" "serve/qos_off/protected_slo_met" --le 0 > /dev/null ||
     { echo "FAIL: QoS off unexpectedly held the protected SLO (experiment lost its teeth)" >&2; exit 1; }
+
+step "integrity smoke run (serve integrity --race --json, zero undetected corruptions)"
+# Bit-identity of the double run lives in determinism.rs
+# (serve_integrity_part_is_bit_identical_and_repairs_everything); this
+# step asserts the end-to-end integrity claim from the schema-v5
+# `integrity` section: the storm injected silent faults, sector
+# checksums caught every one, the mirror repaired them all, and no
+# corrupted payload was acked — while the protected tenant's SLO held.
+cargo run --release -q -p aquila-bench --bin serve -- integrity --race \
+    --json "$tmp/integrity.json" > "$tmp/integrity.txt"
+grep -q 'race detector: 0 findings' "$tmp/integrity.txt" ||
+    { echo "FAIL: race detector reported findings in serve integrity" >&2; exit 1; }
+"$prof" get "$tmp/integrity.json" "integrity/injected" --ge 1 > /dev/null ||
+    { echo "FAIL: integrity storm injected no faults" >&2; exit 1; }
+"$prof" get "$tmp/integrity.json" "integrity/repaired" --ge 1 > /dev/null ||
+    { echo "FAIL: mirrored read-repair never fired under the storm" >&2; exit 1; }
+"$prof" get "$tmp/integrity.json" "integrity/unrepairable" --le 0 > /dev/null ||
+    { echo "FAIL: storm produced unrepairable corruption (replica should cover it)" >&2; exit 1; }
+"$prof" get "$tmp/integrity.json" "integrity/undetected" --le 0 > /dev/null ||
+    { echo "FAIL: corrupted payload acked to a session (checksums missed it)" >&2; exit 1; }
+"$prof" get "$tmp/integrity.json" "serve/integrity/protected_slo_met" --ge 1 > /dev/null ||
+    { echo "FAIL: protected tenant SLO broken by the integrity machinery" >&2; exit 1; }
 
 step "aquila-prof flamegraph from a fig10 trace"
 cargo run --release -q -p aquila-bench --bin fig10 -- fit --tiny \
