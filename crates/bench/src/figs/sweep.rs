@@ -27,12 +27,13 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::micro::{micro_aquila_policy, micro_linux, prepare_micro, run_micro};
 use crate::report::{banner, JsonReport};
-use crate::{BenchArgs, Runner};
+use crate::{BenchArgs, Dev, Runner};
 use aquila::{Advice, AquilaRuntime, DeviceKind, MmioPolicy, Prot, WritePolicy};
 use aquila_devices::NvmeDevice;
 use aquila_linuxsim::{KernelDevice, LinuxConfig, LinuxMmap};
-use aquila_sim::{Cycles, Engine, LatencyHist, SimCtx, Step};
+use aquila_sim::{CoreDebts, Cycles, Engine, LatencyHist, SimCtx, Step};
 
 const WORKERS: usize = 4;
 const FILE_PAGES: u64 = 8192;
@@ -544,6 +545,140 @@ fn part_latency(args: &BenchArgs, json: &mut JsonReport) {
     json.add_scalar("latency/async_p99_speedup_over_sync", tail_speedup);
 }
 
+// ---------------------------------------------------------------------
+// Part `scale`: fault throughput from 1 to 256 vcores (DESIGN.md §17).
+// ---------------------------------------------------------------------
+
+/// Vcore counts swept by the `scale` part.
+const SCALE_CORES: [usize; 5] = [1, 4, 16, 64, 256];
+const SCALE_PAGES: u64 = 8192;
+const SCALE_OPS: u64 = 200;
+
+struct ScaleCell {
+    cores: usize,
+    faults: u64,
+    /// Minor-fault throughput in kilo-faults per second of virtual time.
+    fault_kops: f64,
+    makespan_ms: f64,
+}
+
+/// One scaling cell: `cores` vcores take minor faults over disjoint
+/// slices of one warm shared file (every access faults; every fault is
+/// a cache hit, so the fault path itself is the entire measured cost).
+fn run_scale_cell(mmio: bool, cores: usize) -> ScaleCell {
+    let cache = SCALE_PAGES as usize * 2 + 512;
+    let debts = Arc::new(CoreDebts::new(cores));
+    let micro = if mmio {
+        // The scaled fault path: spill-free regions (no VMA tree, no
+        // shared lock), per-vcore page-table shards, and batched
+        // freelist work-stealing.
+        let policy = MmioPolicy {
+            spill_regions: true,
+            pt_shards: cores.max(2),
+            freelist_steal_batch: 8,
+            ..MmioPolicy::default()
+        };
+        micro_aquila_policy(
+            DeviceKind::PmemDax,
+            cores,
+            cache,
+            1,
+            SCALE_PAGES,
+            debts,
+            policy,
+        )
+    } else {
+        micro_linux(false, Dev::Pmem, cores, cache, 1, SCALE_PAGES, debts)
+    };
+    prepare_micro(&micro, true);
+    let r = run_micro(Arc::new(micro), cores, SCALE_OPS, true, 0x5CA1E);
+    let faults = r.counters.page_faults;
+    let secs = r.elapsed.as_secs_f64();
+    ScaleCell {
+        cores,
+        faults,
+        fault_kops: if secs > 0.0 {
+            faults as f64 / secs / 1e3
+        } else {
+            0.0
+        },
+        makespan_ms: r.elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+/// Shared-lock acquisitions the fault fast path is forbidden to take
+/// with the scaled policy on: VMA-tree walk locks and legacy shared
+/// page-table acquisitions. Zero when the metrics registry is absent.
+fn shared_lock_count() -> u64 {
+    match aquila_sim::metrics::global() {
+        Some(reg) => {
+            let snap = reg.snapshot();
+            snap.get("vma.tree.lock").unwrap_or(0) + snap.get("mmu.pt.shared_lock").unwrap_or(0)
+        }
+        None => 0,
+    }
+}
+
+fn part_scale(args: &BenchArgs, json: &mut JsonReport) {
+    banner(
+        "Scale sweep: minor-fault throughput, 1 -> 256 vcores, disjoint regions of one shared file",
+        "expected: mmio (spill-free regions + sharded page table) near-linear; linuxsim flatlines on its page-cache tree lock",
+    );
+    // `--cores=N` restricts the sweep to one vcore count (the
+    // determinism suite runs single cells double-run bit-identical).
+    let only: Option<usize> = args
+        .rest
+        .iter()
+        .find_map(|a| a.strip_prefix("--cores="))
+        .and_then(|v| v.parse().ok());
+    let swept: Vec<usize> = SCALE_CORES
+        .iter()
+        .copied()
+        .filter(|&c| only.is_none_or(|o| o == c))
+        .collect();
+    assert!(!swept.is_empty(), "--cores must name a swept vcore count");
+    let shared_before = shared_lock_count();
+    println!(
+        "{:<10} {:>6} {:>10} {:>14} {:>14}",
+        "engine", "vcores", "faults", "kfaults/s", "makespan(ms)"
+    );
+    let mut cells: Vec<(&str, ScaleCell)> = Vec::new();
+    for &(label, mmio) in &[("mmio", true), ("linuxsim", false)] {
+        for &cores in &swept {
+            let c = run_scale_cell(mmio, cores);
+            println!(
+                "{:<10} {:>6} {:>10} {:>14.1} {:>14.3}",
+                label, c.cores, c.faults, c.fault_kops, c.makespan_ms
+            );
+            json.add_scalar(format!("scale/{label}/c{cores}/faults"), c.faults as f64);
+            json.add_scalar(format!("scale/{label}/c{cores}/fault_kops"), c.fault_kops);
+            json.add_scalar(format!("scale/{label}/c{cores}/makespan_ms"), c.makespan_ms);
+            cells.push((label, c));
+        }
+    }
+    // The scaled fault fast path must never touch a shared lock: not
+    // the VMA tree's walk locks, not the legacy shared page table.
+    let shared_locks = shared_lock_count() - shared_before;
+    json.add_scalar("scale/fastpath/shared_locks", shared_locks as f64);
+    println!("  -> fault-fast-path shared-lock acquisitions: {shared_locks}");
+    let kops = |eng: &str, n: usize| {
+        cells
+            .iter()
+            .find(|(l, c)| *l == eng && c.cores == n)
+            .map(|(_, c)| c.fault_kops)
+    };
+    if only.is_none() {
+        for eng in ["mmio", "linuxsim"] {
+            let base = kops(eng, 1).unwrap_or(0.0).max(1e-9);
+            let s64 = kops(eng, 64).unwrap_or(0.0) / base;
+            let s256 = kops(eng, 256).unwrap_or(0.0) / base;
+            println!("  -> {eng}: 64 vcores = {s64:.1}x its 1-vcore throughput, 256 = {s256:.1}x");
+            json.add_scalar(format!("scale/{eng}/speedup_64v1"), s64);
+            json.add_scalar(format!("scale/{eng}/speedup_256v1"), s256);
+        }
+    }
+}
+
 /// Builds this binary's part registry (dispatched by `cli::main_for`).
 pub fn runner() -> Runner<'static> {
     Runner::new(
@@ -565,6 +700,11 @@ pub fn runner() -> Runner<'static> {
         "latency",
         "fault-service latency distributions: linuxsim vs mmio sync/async/huge",
         part_latency,
+    )
+    .part(
+        "scale",
+        "fault throughput 1 -> 256 vcores: mmio near-linear vs linuxsim flatlining",
+        part_scale,
     )
     // The multi-tenant QoS experiment also ships as its own `serve`
     // binary (with a `diurnal` part); this alias keeps the serving

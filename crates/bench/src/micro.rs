@@ -149,7 +149,10 @@ impl Micro {
     /// Resets timing models between phases.
     pub fn reset_timing(&self) {
         match &self.inner {
-            Inner::Aquila { access, .. } => access.reset_timing(),
+            Inner::Aquila { aquila, access, .. } => {
+                aquila.reset_lock_timing();
+                access.reset_timing();
+            }
             Inner::Linux { lm, kdev, .. } => {
                 lm.reset_timing();
                 kdev.reset_timing();

@@ -189,6 +189,58 @@ fn sweep_serve_part_is_bit_identical_across_runs() {
     );
 }
 
+/// Runs one `sweep scale` cell (a seeded many-vcore fault storm over
+/// disjoint regions of one shared file) twice and asserts the full
+/// determinism contract — bit-identical stdout/JSON/trace, a clean race
+/// detector — plus the scale contract: with spill-free regions and the
+/// sharded page table on, the fault fast path takes zero shared-lock
+/// acquisitions (no VMA-tree walk locks, no legacy shared page table).
+fn assert_scale_cell_clean(cores: &str) {
+    let stdout = assert_double_run_identical_with(
+        env!("CARGO_BIN_EXE_sweep"),
+        "scale",
+        &format!("scale-c{cores}"),
+        &[&format!("--cores={cores}")],
+    );
+    assert!(
+        stdout.contains("shared-lock acquisitions: 0"),
+        "fault fast path touched a shared lock at {cores} vcores:\n{stdout}"
+    );
+    let (_, json, _) = run_bin_with(
+        env!("CARGO_BIN_EXE_sweep"),
+        "scale",
+        &format!("scale-json-c{cores}"),
+        &[&format!("--cores={cores}")],
+    );
+    let json = String::from_utf8_lossy(&json);
+    assert!(
+        json.contains("\"scale/fastpath/shared_locks\": 0"),
+        "shared-lock gate missing or nonzero in the JSON record:\n{json}"
+    );
+}
+
+/// 1 vcore: the degenerate storm — the scaled fault path must be
+/// race-clean and deterministic even with nothing to contend with.
+#[test]
+fn scale_storm_1_vcore_is_race_clean_and_bit_identical() {
+    assert_scale_cell_clean("1");
+}
+
+/// 16 vcores: a mid-size concurrent fault storm across disjoint
+/// per-vcore slices, race-clean and double-run bit-identical.
+#[test]
+fn scale_storm_16_vcores_is_race_clean_and_bit_identical() {
+    assert_scale_cell_clean("16");
+}
+
+/// 256 vcores: the full-width storm — 256 concurrent faulting vcores,
+/// 256 page-table shards, freelist steal batching live — race-clean,
+/// zero shared-lock acquisitions, bit-identical across runs.
+#[test]
+fn scale_storm_256_vcores_is_race_clean_and_bit_identical() {
+    assert_scale_cell_clean("256");
+}
+
 /// Fault-injection property: installing an *empty* fault plan
 /// (`--faults ""`) must be bit-identical to not configuring faults at
 /// all — same stdout, same JSON record (including the zeroed `faults`

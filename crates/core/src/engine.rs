@@ -23,8 +23,8 @@ use aquila_sync::Mutex;
 
 use aquila_devices::{BufRef, DeviceError, NvmeOp, StorageAccess, STORE_PAGE};
 use aquila_mmu::{
-    Access, FrameId, Gva, LeafKind, PageTable, PteFlags, TlbFabric, Vpn, HUGE_PAGE_PAGES, PAGE_2M,
-    PAGE_SIZE,
+    Access, FrameId, Gva, LeafKind, PteFlags, ShardedPageTable, TlbFabric, Vpn, HUGE_PAGE_PAGES,
+    L_PT_SHARD, PAGE_2M, PAGE_SIZE,
 };
 use aquila_pcache::{
     coalesce_runs, CacheConfig, DirtyPage, DramCache, PageKey, Victim, MAX_TENANTS,
@@ -50,7 +50,7 @@ const V_TLB: &str = "mmu.tlb.state";
 const L_HUGE: &str = "aquila.huge";
 const V_HUGE: &str = "aquila.huge.runs";
 
-use aquila_vma::VmaTree;
+use aquila_vma::AddressSpace;
 pub use aquila_vma::{Advice, Prot};
 
 /// Fault/IO statistics snapshot.
@@ -123,8 +123,8 @@ pub struct Aquila {
     cfg: AquilaConfig,
     files: Files,
     cache: DramCache,
-    vmas: VmaTree,
-    page_table: Mutex<PageTable>,
+    vmas: AddressSpace,
+    page_table: ShardedPageTable,
     tlbs: TlbFabric,
     debts: Arc<CoreDebts>,
     vcpus: Vec<Mutex<Vcpu>>,
@@ -172,6 +172,7 @@ impl Aquila {
         ccfg.low_watermark = cfg.policy.low_watermark;
         ccfg.high_watermark = cfg.policy.high_watermark;
         ccfg.topology = cfg.topology;
+        ccfg.freelist.steal_batch = cfg.policy.freelist_steal_batch;
         // The slab sizes the promoted share: each run holds 512 frames
         // *in addition to* the ordinary cache, so a full slab means
         // `max_promoted_share` percent of the cache is huge-mapped.
@@ -207,10 +208,13 @@ impl Aquila {
             slab_hpa += PAGE_2M;
             granules += 1;
         }
+        // The huge-run registry is the outermost annotated lock on the
+        // promotion path; page-table shard locks are leaves under it.
+        race::declare_order("mmu", &[L_HUGE, L_PT_SHARD]);
         let aquila = Aquila {
             files: Files::new(),
-            vmas: VmaTree::new(0x10_0000),
-            page_table: Mutex::new(PageTable::new()),
+            vmas: AddressSpace::new(0x10_0000, cfg.policy.spill_regions),
+            page_table: ShardedPageTable::new(cfg.policy.pt_shards),
             tlbs: TlbFabric::new(cfg.cores),
             vcpus: (0..cfg.cores).map(|_| Mutex::new(Vcpu::new())).collect(),
             rmap: (0..cfg.max_cache_frames + slab_frames)
@@ -499,13 +503,11 @@ impl Aquila {
         // `PageTable::unmap` cannot carve pages out of a 2 MiB leaf.
         self.demote_range(ctx, addr.vpn(), pages);
         let mut flushed = Vec::new();
-        {
-            let mut pt = self.page_table.lock();
-            for (vpn, _) in &removed {
-                if let Some(pte) = pt.unmap(vpn.base()) {
-                    self.rmap_remove(pte_frame(&self.cache, pte.gpa), *vpn);
-                    flushed.push(*vpn);
-                }
+        for (vpn, _) in &removed {
+            let unmapped = self.page_table.with(ctx, *vpn, |pt| pt.unmap(vpn.base()));
+            if let Some(pte) = unmapped {
+                self.rmap_remove(pte_frame(&self.cache, pte.gpa), *vpn);
+                flushed.push(*vpn);
             }
         }
         self.tlbs
@@ -525,14 +527,12 @@ impl Aquila {
         self.demote_range(ctx, addr.vpn(), old_pages);
         // Tear down PTEs of the old range first.
         let mut flushed = Vec::new();
-        {
-            let mut pt = self.page_table.lock();
-            for i in 0..old_pages {
-                let vpn = Vpn(addr.vpn().0 + i);
-                if let Some(pte) = pt.unmap(vpn.base()) {
-                    self.rmap_remove(pte_frame(&self.cache, pte.gpa), vpn);
-                    flushed.push(vpn);
-                }
+        for i in 0..old_pages {
+            let vpn = Vpn(addr.vpn().0 + i);
+            let unmapped = self.page_table.with(ctx, vpn, |pt| pt.unmap(vpn.base()));
+            if let Some(pte) = unmapped {
+                self.rmap_remove(pte_frame(&self.cache, pte.gpa), vpn);
+                flushed.push(vpn);
             }
         }
         self.tlbs
@@ -565,14 +565,12 @@ impl Aquila {
             self.demote_range(ctx, addr.vpn(), pages);
             // Drop the PTEs; cached data stays cached (shared mapping).
             let mut flushed = Vec::new();
-            {
-                let mut pt = self.page_table.lock();
-                for i in 0..pages {
-                    let vpn = Vpn(addr.vpn().0 + i);
-                    if let Some(pte) = pt.unmap(vpn.base()) {
-                        self.rmap_remove(pte_frame(&self.cache, pte.gpa), vpn);
-                        flushed.push(vpn);
-                    }
+            for i in 0..pages {
+                let vpn = Vpn(addr.vpn().0 + i);
+                let unmapped = self.page_table.with(ctx, vpn, |pt| pt.unmap(vpn.base()));
+                if let Some(pte) = unmapped {
+                    self.rmap_remove(pte_frame(&self.cache, pte.gpa), vpn);
+                    flushed.push(vpn);
                 }
             }
             self.tlbs
@@ -600,14 +598,18 @@ impl Aquila {
             self.demote_range(ctx, addr.vpn(), pages);
             // Downgrade live PTEs and shoot down stale writable entries.
             let mut flushed = Vec::new();
-            {
-                let mut pt = self.page_table.lock();
-                for i in 0..pages {
-                    let vpn = Vpn(addr.vpn().0 + i);
+            for i in 0..pages {
+                let vpn = Vpn(addr.vpn().0 + i);
+                let present = self.page_table.with(ctx, vpn, |pt| {
                     if pt.lookup(vpn.base()).is_some() {
                         pt.protect(vpn.base(), PteFlags::RO);
-                        flushed.push(vpn);
+                        true
+                    } else {
+                        false
                     }
+                });
+                if present {
+                    flushed.push(vpn);
                 }
             }
             self.tlbs
@@ -672,14 +674,18 @@ impl Aquila {
         self.write_behind_rendezvous(ctx);
         // Downgrade all written-back pages to read-only.
         let mut flushed = Vec::new();
-        {
-            let mut pt = self.page_table.lock();
-            for d in &dirty {
-                let vpn = Vpn(desc.start.0 + (d.key.page - desc.file_page));
+        for d in &dirty {
+            let vpn = Vpn(desc.start.0 + (d.key.page - desc.file_page));
+            let present = self.page_table.with(ctx, vpn, |pt| {
                 if pt.lookup(vpn.base()).is_some() {
                     pt.protect(vpn.base(), PteFlags::RO);
-                    flushed.push(vpn);
+                    true
+                } else {
+                    false
                 }
+            });
+            if present {
+                flushed.push(vpn);
             }
         }
         self.tlbs
@@ -757,18 +763,12 @@ impl Aquila {
                     return Ok(Gpa(gpa_base.get() + gva.page_offset()));
                 }
             }
-            // Page-table walk (hardware, on TLB miss).
-            let walked = {
-                let mut pt = self.page_table.lock();
-                pt.translate(gva, access)
-            };
+            // Page-table walk (hardware, on TLB miss; the MMU takes no
+            // software lock — it contends on memory, not the table).
+            let walked = self.page_table.translate(gva, access);
             match walked {
                 Ok(gpa) => {
-                    let (pte, kind) = self
-                        .page_table
-                        .lock()
-                        .lookup_leaf(gva)
-                        .expect("just walked");
+                    let (pte, kind) = self.page_table.lookup_leaf(gva).expect("just walked");
                     // The hardware walk behind the TLB miss: one memory
                     // reference per radix level. Huge leaves terminate
                     // at the PD, one level early — part of their
@@ -881,44 +881,42 @@ impl Aquila {
         let key = PageKey::new(desc.file, file_page);
 
         // Re-check the page table: the fault may have raced with another
-        // handler that already installed the mapping.
-        {
-            let mut pt = self.page_table.lock();
-            if let Some((pte, kind)) = pt.lookup_leaf(gva) {
-                if pte.flags.present {
-                    if access == Access::Write && !pte.flags.writable {
-                        match kind {
-                            LeafKind::Small => {
-                                // Dirty-tracking write fault: mark dirty,
-                                // enable writes. Upgrades need no
-                                // shootdown (other cores refault at
-                                // worst).
-                                if let Some(frame) = pte_frame(&self.cache, pte.gpa) {
-                                    self.cache.mark_dirty(ctx, key, frame);
-                                }
-                                let mut fl = PteFlags::RW;
-                                fl.dirty = true;
-                                pt.protect(gva, fl);
-                                drop(pt);
-                                let core = ctx.core() % self.cfg.cores;
-                                race::acquire(ctx, (L_TLB, core as u64));
-                                self.tlbs.with_local(core, |t| t.invalidate(vpn));
-                                race::write(ctx, (V_TLB, core as u64));
-                                race::release(ctx, (L_TLB, core as u64));
+        // handler that already installed the mapping. The probe itself is
+        // a hardware-style walk; only an actual upgrade takes the owning
+        // shard's lock (the per-entry fault lock already serializes
+        // handlers for this page).
+        if let Some((pte, kind)) = self.page_table.lookup_leaf(gva) {
+            if pte.flags.present {
+                if access == Access::Write && !pte.flags.writable {
+                    match kind {
+                        LeafKind::Small => {
+                            // Dirty-tracking write fault: mark dirty,
+                            // enable writes. Upgrades need no
+                            // shootdown (other cores refault at
+                            // worst).
+                            if let Some(frame) = pte_frame(&self.cache, pte.gpa) {
+                                self.cache.mark_dirty(ctx, key, frame);
                             }
-                            LeafKind::Huge => {
-                                // The whole 2 MiB leaf upgrades at once,
-                                // so every page it covers must enter the
-                                // dirty trees now: no further write
-                                // faults will arrive for them.
-                                drop(pt);
-                                self.huge_write_upgrade(ctx, vpn.huge_base());
-                            }
+                            let mut fl = PteFlags::RW;
+                            fl.dirty = true;
+                            self.page_table.with(ctx, vpn, |pt| pt.protect(gva, fl));
+                            let core = ctx.core() % self.cfg.cores;
+                            race::acquire(ctx, (L_TLB, core as u64));
+                            self.tlbs.with_local(core, |t| t.invalidate(vpn));
+                            race::write(ctx, (V_TLB, core as u64));
+                            race::release(ctx, (L_TLB, core as u64));
+                        }
+                        LeafKind::Huge => {
+                            // The whole 2 MiB leaf upgrades at once,
+                            // so every page it covers must enter the
+                            // dirty trees now: no further write
+                            // faults will arrive for them.
+                            self.huge_write_upgrade(ctx, vpn.huge_base());
                         }
                     }
-                    ctx.counters().minor_faults += 1;
-                    return Ok(());
                 }
+                ctx.counters().minor_faults += 1;
+                return Ok(());
             }
         }
 
@@ -990,10 +988,9 @@ impl Aquila {
         // PTE install + local TLB fill cost.
         ctx.charge(CostCat::FaultHandler, Cycles(300));
         let gpa = self.cache.mem().gpa_of(frame);
-        {
-            let mut pt = self.page_table.lock();
+        self.page_table.with(ctx, vpn, |pt| {
             pt.map(vpn.base(), gpa, flags);
-        }
+        });
         self.rmap[frame.0 as usize].lock().push(vpn);
         let core = ctx.core() % self.cfg.cores;
         race::acquire(ctx, (L_TLB, core as u64));
@@ -1066,14 +1063,13 @@ impl Aquila {
     /// every frame to the freelist.
     fn retire_victims(&self, ctx: &mut dyn SimCtx, victims: &[Victim]) -> Result<(), AquilaError> {
         let mut flushed = Vec::new();
-        {
-            let mut pt = self.page_table.lock();
-            for v in victims {
-                let vpns = std::mem::take(&mut *self.rmap[v.frame.0 as usize].lock());
-                for vpn in vpns {
+        for v in victims {
+            let vpns = std::mem::take(&mut *self.rmap[v.frame.0 as usize].lock());
+            for vpn in vpns {
+                self.page_table.with(ctx, vpn, |pt| {
                     pt.unmap(vpn.base());
-                    flushed.push(vpn);
-                }
+                });
+                flushed.push(vpn);
             }
         }
         self.tlbs
@@ -1669,17 +1665,17 @@ impl Aquila {
         fl.dirty = dirty;
         let gpa = self.cache.slab_run_gpa(run);
         let mut flushed: Vec<Vpn> = Vec::new();
-        {
-            let mut pt = self.page_table.lock();
-            for (_, vpns) in &displaced {
-                for vpn in vpns {
-                    if pt.unmap(vpn.base()).is_some() {
-                        flushed.push(*vpn);
-                    }
+        for (_, vpns) in &displaced {
+            for vpn in vpns {
+                let unmapped = self.page_table.with(ctx, *vpn, |pt| pt.unmap(vpn.base()));
+                if unmapped.is_some() {
+                    flushed.push(*vpn);
                 }
             }
-            pt.map_huge(hbase.base(), gpa, fl);
         }
+        self.page_table.with(ctx, hbase, |pt| {
+            pt.map_huge(hbase.base(), gpa, fl);
+        });
         self.tlbs
             .shootdown_batch(ctx, &self.debts, self.cfg.ipi_path, &flushed);
         for (old, _) in &displaced {
@@ -1732,7 +1728,9 @@ impl Aquila {
         }
         let mut fl = PteFlags::RW;
         fl.dirty = true;
-        self.page_table.lock().protect(hbase.base(), fl);
+        self.page_table.with(ctx, hbase, |pt| {
+            pt.protect(hbase.base(), fl);
+        });
         // Upgrades need no shootdown: stale read-only entries on other
         // cores refault at worst (same rule as the 4 KiB path).
         let core = ctx.core() % self.cfg.cores;
@@ -1766,11 +1764,10 @@ impl Aquila {
         if dropped.is_empty() {
             return;
         }
-        {
-            let mut pt = self.page_table.lock();
-            for (hv, _) in &dropped {
+        for (hv, _) in &dropped {
+            self.page_table.with(ctx, *hv, |pt| {
                 pt.unmap_huge(hv.base());
-            }
+            });
         }
         // One invalidation per run base: every core's covering 2 MiB
         // TLB entry drops with it.
@@ -1841,7 +1838,14 @@ impl Aquila {
 
     /// 4 KiB pages currently mapped through 2 MiB leaves.
     pub fn huge_mapped_pages(&self) -> u64 {
-        self.page_table.lock().huge_mapped() * HUGE_PAGE_PAGES
+        self.page_table.huge_mapped() * HUGE_PAGE_PAGES
+    }
+
+    /// Resets the page-table shard contention models (harnesses call
+    /// this between a warm-up phase and a measured run, alongside the
+    /// device-side `reset_timing`).
+    pub fn reset_lock_timing(&self) {
+        self.page_table.reset_timing();
     }
 
     /// Huge-TLB (2 MiB sub-array) hits summed across cores.

@@ -180,6 +180,15 @@ impl KernelPageCache {
         race::write(ctx, VAR_TREE_LOCKS);
         race::release(ctx, LOCK_TREE_LOCKS);
         let t_lock = ctx.now();
+        // The tree lock is a *non-scalable* spinlock: every waiter spins
+        // on the lock word, so each hand-off pays one cache-line transfer
+        // per spinner (Boyd-Wickizer et al., "Non-scalable locks are
+        // dangerous"). Model the effective hold as growing with the
+        // queued backlog — this is what makes Linux's shared-file fault
+        // throughput collapse, rather than merely plateau, as core
+        // counts rise (the paper's Figures 6/10).
+        let spinners = (lock.backlog(ctx.now()).get() / TREE_HOLD.get()).min(64);
+        let hold = hold + Cycles(ctx.cost().lock_contended_extra.get() * spinners);
         let r = lock.acquire(ctx.now(), hold);
         if r.wait > Cycles::ZERO {
             self.contended

@@ -19,6 +19,7 @@
 pub mod addr;
 pub mod pagetable;
 pub mod physmem;
+pub mod sharded;
 pub mod tlb;
 
 pub use addr::{
@@ -26,4 +27,5 @@ pub use addr::{
 };
 pub use pagetable::{Access, LeafKind, PageFaultKind, PageTable, Pte, PteFlags};
 pub use physmem::{FrameId, PhysMem};
+pub use sharded::{ShardedPageTable, L_PT_SHARD};
 pub use tlb::{Tlb, TlbFabric};

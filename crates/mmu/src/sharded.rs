@@ -1,0 +1,256 @@
+//! Per-vcore sharded page-table ownership.
+//!
+//! The engine's baseline keeps one [`PageTable`] behind one mutex: every
+//! software page-table update — PTE install, unmap, protection change —
+//! funnels through a single shared lock. [`ShardedPageTable`] splits
+//! ownership across `n` shards keyed by 2 MiB block (`vpn >> 9`), so a
+//! transparent huge-page run and all of its 4 KiB leaves always live in
+//! one shard, and concurrent faults on disjoint regions touch disjoint
+//! locks. Contention on a shard is still modeled: each software-side
+//! acquisition reserves the shard's [`SimMutex`] and waits out any
+//! queueing delay (the hold itself is *not* charged — the operation's
+//! cost is charged by the caller as before, so an uncontended sharded
+//! run is cycle-identical to the legacy shared table).
+//!
+//! Shard count 0 selects the legacy layout: one shard, no reservation
+//! model, byte-identical behavior to the pre-sharding engine. Metrics
+//! distinguish the two — `mmu.pt.shared_lock` counts software
+//! acquisitions of the legacy shared table, `mmu.pt.shard_lock` counts
+//! owned-shard acquisitions — which is how the scale sweep asserts the
+//! fault fast path takes zero shared locks with sharding enabled.
+//!
+//! Race-detector identities are per-shard instances of one ranked name
+//! (`mmu.pt.shard`), declared under the `mmu` domain by the engine so
+//! `sim::race` checks the huge-path lock order against shard locks.
+
+use aquila_sync::Mutex;
+
+use aquila_sim::{race, CostCat, SimCtx, SimMutex};
+
+use aquila_vmx::Gpa;
+
+use crate::addr::{Gva, Vpn};
+use crate::pagetable::{Access, LeafKind, PageFaultKind, PageTable, Pte};
+
+/// Race-detector lock name for shard instances (rank declared by the
+/// engine: `aquila.huge` before `mmu.pt.shard`).
+pub const L_PT_SHARD: &str = "mmu.pt.shard";
+const V_PT_SHARD: &str = "mmu.pt.shard.state";
+
+struct Shard {
+    pt: Mutex<PageTable>,
+    /// Virtual-time contention model for software-side acquisitions.
+    res: SimMutex,
+}
+
+/// A page table with per-vcore sharded ownership.
+pub struct ShardedPageTable {
+    shards: Box<[Shard]>,
+    /// False for the legacy single shared table (shard count 0).
+    modeled: bool,
+}
+
+impl ShardedPageTable {
+    /// Creates `shards` owned shards, or the legacy shared table when
+    /// `shards` is 0.
+    pub fn new(shards: usize) -> ShardedPageTable {
+        let n = shards.max(1);
+        ShardedPageTable {
+            shards: (0..n)
+                .map(|_| Shard {
+                    pt: Mutex::new(PageTable::new()),
+                    res: SimMutex::new(),
+                })
+                .collect(),
+            modeled: shards > 0,
+        }
+    }
+
+    /// Number of shards (1 for the legacy layout).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether per-shard ownership (and its contention model) is on.
+    pub fn is_sharded(&self) -> bool {
+        self.modeled
+    }
+
+    /// Shard owning `vpn`: 2 MiB-block granular so a huge-page run and
+    /// its 4 KiB leaves share one owner.
+    #[inline]
+    fn shard_of(&self, vpn: Vpn) -> usize {
+        ((vpn.0 >> 9) as usize) % self.shards.len()
+    }
+
+    /// Runs a software page-table operation against the shard owning
+    /// `vpn`, modeling the shard lock. The closure must touch only the
+    /// page table (shard locks are leaves in the lock order).
+    pub fn with<R>(
+        &self,
+        ctx: &mut dyn SimCtx,
+        vpn: Vpn,
+        f: impl FnOnce(&mut PageTable) -> R,
+    ) -> R {
+        let idx = self.shard_of(vpn);
+        let shard = &self.shards[idx];
+        if self.modeled {
+            aquila_sim::metrics::add(ctx, "mmu.pt.shard_lock", 1);
+            race::acquire(ctx, (L_PT_SHARD, idx as u64));
+            let hold = ctx.cost().lock_uncontended;
+            let r = shard.res.acquire(ctx.now(), hold);
+            // Queueing delay only: the hold occupies the shard in virtual
+            // time, but the operation's own cost is charged by the caller
+            // (uncontended sharded == legacy, cycle for cycle).
+            ctx.wait_until(r.start, CostCat::LockWait);
+            let out = f(&mut shard.pt.lock());
+            race::write(ctx, (V_PT_SHARD, idx as u64));
+            race::release(ctx, (L_PT_SHARD, idx as u64));
+            out
+        } else {
+            aquila_sim::metrics::add(ctx, "mmu.pt.shared_lock", 1);
+            race::acquire(ctx, (L_PT_SHARD, 0));
+            let out = f(&mut shard.pt.lock());
+            race::write(ctx, (V_PT_SHARD, 0));
+            race::release(ctx, (L_PT_SHARD, 0));
+            out
+        }
+    }
+
+    /// Hardware page walk (no software lock: the MMU contends on memory,
+    /// not on the table's lock). `&mut` access via the shard's host
+    /// mutex only.
+    pub fn translate(&self, gva: Gva, access: Access) -> Result<Gpa, PageFaultKind> {
+        self.shards[self.shard_of(gva.vpn())]
+            .pt
+            .lock()
+            .translate(gva, access)
+    }
+
+    /// Leaf probe for `gva` (hardware-walk side, like
+    /// [`ShardedPageTable::translate`]).
+    pub fn lookup_leaf(&self, gva: Gva) -> Option<(Pte, LeafKind)> {
+        self.shards[self.shard_of(gva.vpn())]
+            .pt
+            .lock()
+            .lookup_leaf(gva)
+    }
+
+    /// Total mapped 4 KiB pages across shards.
+    pub fn mapped_pages(&self) -> u64 {
+        self.shards.iter().map(|s| s.pt.lock().mapped_pages()).sum()
+    }
+
+    /// Total mapped 2 MiB leaves across shards.
+    pub fn huge_mapped(&self) -> u64 {
+        self.shards.iter().map(|s| s.pt.lock().huge_mapped()).sum()
+    }
+
+    /// Resets shard-lock timing models (between experiment phases, like
+    /// the device-side `reset_timing`).
+    pub fn reset_timing(&self) {
+        for s in self.shards.iter() {
+            s.res.reset();
+        }
+    }
+}
+
+impl core::fmt::Debug for ShardedPageTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ShardedPageTable {{ shards: {}, modeled: {}, mapped: {} }}",
+            self.shards(),
+            self.modeled,
+            self.mapped_pages()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagetable::PteFlags;
+    use aquila_sim::{Cycles, FreeCtx};
+
+    fn gpa(frame: u64) -> Gpa {
+        Gpa(frame << 12)
+    }
+
+    #[test]
+    fn legacy_mode_is_one_unmodeled_shard() {
+        let pt = ShardedPageTable::new(0);
+        assert_eq!(pt.shards(), 1);
+        assert!(!pt.is_sharded());
+        let mut ctx = FreeCtx::new(1);
+        let t0 = ctx.now();
+        pt.with(&mut ctx, Vpn(5), |p| {
+            p.map(Vpn(5).base(), gpa(1), PteFlags::RW);
+        });
+        assert_eq!(ctx.now(), t0, "legacy acquisitions charge nothing");
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn uncontended_sharded_charges_nothing() {
+        let pt = ShardedPageTable::new(8);
+        assert!(pt.is_sharded());
+        let mut ctx = FreeCtx::new(1);
+        let t0 = ctx.now();
+        pt.with(&mut ctx, Vpn(5), |p| {
+            p.map(Vpn(5).base(), gpa(1), PteFlags::RW);
+        });
+        assert_eq!(ctx.now(), t0, "uncontended shard acquisitions are free");
+        let got = pt.translate(Vpn(5).base(), Access::Read).unwrap();
+        assert_eq!(got, gpa(1));
+    }
+
+    #[test]
+    fn disjoint_blocks_use_disjoint_shards() {
+        let pt = ShardedPageTable::new(4);
+        // Same 2 MiB block -> same shard (huge runs keep one owner);
+        // consecutive blocks -> consecutive shards.
+        assert_eq!(pt.shard_of(Vpn(0)), pt.shard_of(Vpn(511)));
+        assert_ne!(pt.shard_of(Vpn(0)), pt.shard_of(Vpn(512)));
+    }
+
+    #[test]
+    fn contended_shard_queues_in_virtual_time() {
+        let pt = ShardedPageTable::new(2);
+        let mut a = FreeCtx::new(1);
+        let mut b = FreeCtx::new(2);
+        // Both cores hit the same shard at the same virtual time: the
+        // second waits out the first's hold.
+        pt.with(&mut a, Vpn(0), |p| {
+            p.map(Vpn(0).base(), gpa(1), PteFlags::RW);
+        });
+        pt.with(&mut b, Vpn(1), |p| {
+            p.map(Vpn(1).base(), gpa(2), PteFlags::RW);
+        });
+        assert_eq!(a.breakdown.get(CostCat::LockWait), Cycles::ZERO);
+        assert!(b.breakdown.get(CostCat::LockWait) > Cycles::ZERO);
+        // Disjoint blocks at the same time: no wait.
+        let mut c = FreeCtx::new(3);
+        pt.with(&mut c, Vpn(512), |p| {
+            p.map(Vpn(512).base(), gpa(3), PteFlags::RW);
+        });
+        assert_eq!(c.breakdown.get(CostCat::LockWait), Cycles::ZERO);
+    }
+
+    #[test]
+    fn counts_aggregate_across_shards() {
+        let pt = ShardedPageTable::new(3);
+        let mut ctx = FreeCtx::new(1);
+        for i in 0..6u64 {
+            let vpn = Vpn(i * 512);
+            pt.with(&mut ctx, vpn, |p| {
+                p.map(vpn.base(), gpa(i + 1), PteFlags::RW);
+            });
+        }
+        assert_eq!(pt.mapped_pages(), 6);
+        assert_eq!(pt.huge_mapped(), 0);
+        for i in 0..6u64 {
+            assert!(pt.lookup_leaf(Vpn(i * 512).base()).is_some());
+        }
+    }
+}

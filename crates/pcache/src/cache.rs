@@ -22,7 +22,7 @@ use aquila_sync::Mutex;
 use aquila_vmx::Gpa;
 
 use crate::dirty::{DirtyPage, DirtyTrees};
-use crate::freelist::{Freelist, FreelistConfig, NumaTopology};
+use crate::freelist::{AllocOutcome, Freelist, FreelistConfig, NumaTopology};
 use crate::hashtable::{InsertOutcome, LockFreeMap};
 use crate::key::PageKey;
 use crate::lru::ClockLru;
@@ -77,6 +77,7 @@ impl CacheConfig {
             freelist: FreelistConfig {
                 core_spill_threshold: spill,
                 level_batch: (spill / 2).max(16),
+                steal_batch: 0,
             },
             gpa_base: 0x1_0000_0000,
             slab_runs: 0,
@@ -102,6 +103,10 @@ const L_DIRTY: &str = "pcache.dirty";
 const V_DIRTY: &str = "pcache.dirty.trees";
 const L_FREELIST: &str = "pcache.freelist";
 const V_FREELIST: &str = "pcache.freelist.queues";
+/// NUMA node queues are lock-free (SegQueue); their push/pop traffic is
+/// annotated as release-publishes and acquire-reads per node instead of
+/// lockset-checked accesses.
+const V_FREELIST_NODE: &str = "pcache.freelist.node_queue";
 const L_SLAB: &str = "pcache.slab";
 const V_SLAB: &str = "pcache.slab.runs";
 
@@ -340,14 +345,44 @@ impl DramCache {
 
     /// Allocates a free frame without evicting; `None` means the caller
     /// must run an eviction round.
+    ///
+    /// Freelist ownership is per-vcore: the caller's core queue is its
+    /// own race-detector instance, node-queue refills are annotated as
+    /// acquire-reads of the (lock-free) node queue, and a sibling steal
+    /// briefly takes the victim core's instance so the cross-core queue
+    /// traffic stays lockset-consistent. No shared lock on this path.
     pub fn try_alloc(&self, ctx: &mut dyn SimCtx) -> Option<FrameId> {
         let c = ctx.cost().freelist_op;
         ctx.charge(CostCat::CacheMgmt, c);
-        race::acquire(ctx, (L_FREELIST, 0));
-        let frame = self.freelist.alloc(ctx.core());
-        race::write(ctx, (V_FREELIST, 0));
-        race::release(ctx, (L_FREELIST, 0));
-        frame
+        let k = ctx.core() as u64;
+        race::acquire(ctx, (L_FREELIST, k));
+        let got = self.freelist.alloc_traced(ctx.core());
+        match got {
+            Some((_, AllocOutcome::LocalHit)) | None => {}
+            Some((_, AllocOutcome::NodeRefill(node))) => {
+                aquila_sim::metrics::add(ctx, "pcache.freelist.refills", 1);
+                race::read_acquire(ctx, (V_FREELIST_NODE, node as u64));
+            }
+            Some((_, AllocOutcome::RemoteNode(node))) => {
+                aquila_sim::metrics::add(ctx, "pcache.freelist.refills", 1);
+                aquila_sim::metrics::add(ctx, "pcache.freelist.remote_refills", 1);
+                race::read_acquire(ctx, (V_FREELIST_NODE, node as u64));
+            }
+            Some((_, AllocOutcome::Steal { victim, rebalanced })) => {
+                aquila_sim::metrics::add(ctx, "pcache.freelist.steals", 1);
+                aquila_sim::metrics::add(
+                    ctx,
+                    "pcache.freelist.stolen_frames",
+                    1 + rebalanced as u64,
+                );
+                race::acquire(ctx, (L_FREELIST, victim as u64));
+                race::write(ctx, (V_FREELIST, victim as u64));
+                race::release(ctx, (L_FREELIST, victim as u64));
+            }
+        }
+        race::write(ctx, (V_FREELIST, k));
+        race::release(ctx, (L_FREELIST, k));
+        got.map(|(f, _)| f)
     }
 
     /// Number of 2 MiB slab runs configured (0 = promotion disabled).
@@ -697,13 +732,16 @@ impl DramCache {
             race::release(ctx, (L_SLAB, 0));
             return;
         }
-        race::acquire(ctx, (L_FREELIST, 0));
+        let k = ctx.core() as u64;
+        race::acquire(ctx, (L_FREELIST, k));
         if self.freelist.free(ctx.core(), frame) {
             aquila_sim::metrics::add(ctx, "pcache.freelist.spills", 1);
             aquila_sim::trace::instant(ctx, "pcache.freelist.spill", CostCat::CacheMgmt);
+            let node = self.cfg.topology.node_of(ctx.core()) as u64;
+            race::write_release(ctx, (V_FREELIST_NODE, node));
         }
-        race::write(ctx, (V_FREELIST, 0));
-        race::release(ctx, (L_FREELIST, 0));
+        race::write(ctx, (V_FREELIST, k));
+        race::release(ctx, (L_FREELIST, k));
     }
 
     /// Marks a cached page dirty (write-fault path). Returns true if the
@@ -1177,6 +1215,119 @@ mod tests {
         for v in &victims {
             cache.release_frame(&mut ctx, v.frame);
         }
+    }
+
+    /// Shard rebalance composes with tenant quotas (DESIGN.md §15+§17):
+    /// a quota-pressured tenant's frames are reclaimed onto the evicting
+    /// vcore's freelist shard, and another tenant allocating from a
+    /// different vcore steals them across shards — with the batch
+    /// rebalance making the follow-on allocs local — while per-tenant
+    /// residency accounting stays exact throughout.
+    #[test]
+    fn steal_under_quota_pressure_composes_with_tenant_accounting() {
+        let mut cfg = CacheConfig::flat(16, 2);
+        cfg.evict_batch = 4;
+        cfg.freelist.steal_batch = 8;
+        let cache = DramCache::new(cfg);
+        cache.bind_file_tenant(1, 1);
+        cache.bind_file_tenant(2, 2);
+        // Tenant 1 fills the whole cache from vcore 0...
+        let mut ctx0 = FreeCtx::new(1).with_core(0, 2);
+        for p in 0..16u64 {
+            let f = cache.try_alloc(&mut ctx0).unwrap();
+            cache
+                .commit_insert(&mut ctx0, PageKey::new(1, p), f)
+                .unwrap();
+        }
+        // ...and is then put under quota pressure.
+        cache.set_tenant_quota(1, 4);
+        assert_eq!(cache.tenant_overage(1), 12);
+        // The quota reclaim runs on vcore 0, so every reclaimed frame
+        // lands in vcore 0's freelist shard.
+        let victims = cache.evict_candidates_from(&mut ctx0, 6, 1);
+        assert_eq!(victims.len(), 6);
+        for v in &victims {
+            cache.release_frame(&mut ctx0, v.frame);
+        }
+        assert_eq!(cache.tenant_resident(1), 10);
+        assert!(cache.tenant_over_quota(1), "still above quota");
+        // Vcore 1 allocates for tenant 2: its own shard and the node
+        // queue are empty, so the first alloc crosses shards (a steal)
+        // and the rebalance batch makes the rest local.
+        let mut ctx1 = FreeCtx::new(2).with_core(1, 2);
+        let f = cache.try_alloc(&mut ctx1).unwrap();
+        cache
+            .commit_insert(&mut ctx1, PageKey::new(2, 0), f)
+            .unwrap();
+        assert_eq!(cache.tenant_resident(2), 1, "steal charges the stealer");
+        assert_eq!(cache.tenant_resident(1), 10, "victim tenant untouched");
+        let held: Vec<FrameId> = (0..5)
+            .map(|_| {
+                cache
+                    .try_alloc(&mut ctx1)
+                    .expect("rebalanced frames satisfy follow-on allocs")
+            })
+            .collect();
+        assert!(
+            cache.try_alloc(&mut ctx1).is_none(),
+            "exactly the reclaimed frames were available"
+        );
+        for f in held {
+            cache.release_frame(&mut ctx1, f);
+        }
+    }
+
+    /// A cross-shard steal racing a concurrent eviction round never
+    /// loses or duplicates frames: one thread reclaims onto vcore 0's
+    /// shard while another steals from vcore 1, and the pool stays
+    /// conserved.
+    #[test]
+    fn steal_races_eviction_without_losing_frames() {
+        use std::sync::Arc;
+        let mut cfg = CacheConfig::flat(32, 2);
+        cfg.evict_batch = 4;
+        cfg.freelist.steal_batch = 4;
+        let cache = Arc::new(DramCache::new(cfg));
+        let mut ctx = FreeCtx::new(1);
+        for p in 0..32u64 {
+            let f = cache.try_alloc(&mut ctx).unwrap();
+            cache
+                .commit_insert(&mut ctx, PageKey::new(0, p), f)
+                .unwrap();
+        }
+        let evictor = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let mut ctx = FreeCtx::new(2).with_core(0, 2);
+                let mut freed = 0;
+                while freed < 24 {
+                    for v in cache.evict_candidates(&mut ctx) {
+                        cache.release_frame(&mut ctx, v.frame);
+                        freed += 1;
+                    }
+                }
+            })
+        };
+        let stealer = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let mut ctx = FreeCtx::new(3).with_core(1, 2);
+                let mut got = 0u32;
+                while got < 24 {
+                    match cache.try_alloc(&mut ctx) {
+                        Some(f) => {
+                            got += 1;
+                            cache.release_frame(&mut ctx, f);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            })
+        };
+        evictor.join().unwrap();
+        stealer.join().unwrap();
+        assert_eq!(cache.resident(), 8);
+        assert_eq!(cache.free_frames(), 24, "frames conserved across the race");
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct FreelistConfig {
     pub core_spill_threshold: usize,
     /// Batch size for movement between levels (paper: 4096).
     pub level_batch: usize,
+    /// Extra frames a sibling steal migrates into the stealing core's
+    /// queue (work-stealing rebalance). 0 keeps the legacy behavior of
+    /// stealing exactly the one frame being allocated.
+    pub steal_batch: usize,
 }
 
 impl Default for FreelistConfig {
@@ -63,8 +67,30 @@ impl Default for FreelistConfig {
         FreelistConfig {
             core_spill_threshold: 8192,
             level_batch: 4096,
+            steal_batch: 0,
         }
     }
+}
+
+/// Where [`Freelist::alloc_traced`] found its frame. Callers with a
+/// simulation context use this to meter refills and steals and to
+/// annotate the cross-core queue traffic for the race detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// Popped from the caller's own core queue.
+    LocalHit,
+    /// Refilled the core queue from this NUMA node's queue.
+    NodeRefill(usize),
+    /// Refilled from a remote NUMA node's queue.
+    RemoteNode(usize),
+    /// Stole from a sibling core's queue.
+    Steal {
+        /// The core stolen from.
+        victim: usize,
+        /// Extra frames migrated to the stealer's queue beyond the one
+        /// returned (the `steal_batch` rebalance).
+        rebalanced: usize,
+    },
 }
 
 /// The two-level frame freelist.
@@ -107,26 +133,51 @@ impl Freelist {
     /// below the spill threshold. Returns `None` when the cache is fully
     /// occupied — the caller must evict.
     pub fn alloc(&self, core: usize) -> Option<FrameId> {
+        self.alloc_traced(core).map(|(f, _)| f)
+    }
+
+    /// Like [`Freelist::alloc`], but reports where the frame came from.
+    /// A sibling steal additionally migrates up to `steal_batch` extra
+    /// frames from the victim's queue into the stealer's (deterministic
+    /// ascending victim scan), so one steal rebalances a run of them.
+    pub fn alloc_traced(&self, core: usize) -> Option<(FrameId, AllocOutcome)> {
         let core = core % self.core_queues.len();
         if let Some(f) = self.core_queues[core].pop() {
-            return Some(f);
+            return Some((f, AllocOutcome::LocalHit));
         }
         let local = self.topo.node_of(core);
         if let Some(f) = self.refill_from_node(core, local) {
-            return Some(f);
+            return Some((f, AllocOutcome::NodeRefill(local)));
         }
         for n in 0..self.topo.nodes {
             if n == local {
                 continue;
             }
             if let Some(f) = self.refill_from_node(core, n) {
-                return Some(f);
+                return Some((f, AllocOutcome::RemoteNode(n)));
             }
         }
         for other in 0..self.core_queues.len() {
             if other != core {
                 if let Some(f) = self.core_queues[other].pop() {
-                    return Some(f);
+                    let cq = &self.core_queues[core];
+                    let mut rebalanced = 0;
+                    while rebalanced < self.cfg.steal_batch {
+                        match self.core_queues[other].pop() {
+                            Some(extra) => {
+                                cq.push(extra);
+                                rebalanced += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    return Some((
+                        f,
+                        AllocOutcome::Steal {
+                            victim: other,
+                            rebalanced,
+                        },
+                    ));
                 }
             }
         }
@@ -263,6 +314,7 @@ mod tests {
         let cfg = FreelistConfig {
             core_spill_threshold: 10,
             level_batch: 8,
+            steal_batch: 0,
         };
         let fl = Freelist::new(NumaTopology::flat(2), cfg, frames(0));
         let mut spilled = false;
@@ -297,6 +349,104 @@ mod tests {
         assert_eq!(t.node_of(15), 0);
         assert_eq!(t.node_of(16), 1);
         assert_eq!(t.node_of(31), 1);
+    }
+
+    #[test]
+    fn batched_steal_reports_and_rebalances() {
+        let cfg = FreelistConfig {
+            core_spill_threshold: 1000,
+            level_batch: 4,
+            steal_batch: 4,
+        };
+        let fl = Freelist::new(NumaTopology::flat(2), cfg, frames(0));
+        // Core 1 holds every free frame (eviction freed them there).
+        for i in 0..6 {
+            fl.free(1, FrameId(i));
+        }
+        // Core 0's alloc steals the head and migrates a batch behind it.
+        let (f, o) = fl.alloc_traced(0).unwrap();
+        assert_eq!(f, FrameId(0));
+        assert_eq!(
+            o,
+            AllocOutcome::Steal {
+                victim: 1,
+                rebalanced: 4
+            }
+        );
+        // The migrated frames now satisfy local hits, in victim order.
+        for i in 1..5 {
+            let (f, o) = fl.alloc_traced(0).unwrap();
+            assert_eq!((f, o), (FrameId(i), AllocOutcome::LocalHit));
+        }
+        // The victim keeps what was not migrated.
+        let (f, o) = fl.alloc_traced(1).unwrap();
+        assert_eq!((f, o), (FrameId(5), AllocOutcome::LocalHit));
+        assert!(fl.alloc(0).is_none());
+    }
+
+    #[test]
+    fn steal_batch_larger_than_victim_queue_takes_what_exists() {
+        let cfg = FreelistConfig {
+            core_spill_threshold: 1000,
+            level_batch: 4,
+            steal_batch: 64,
+        };
+        let fl = Freelist::new(NumaTopology::flat(2), cfg, frames(0));
+        for i in 0..3 {
+            fl.free(1, FrameId(i));
+        }
+        let (f, o) = fl.alloc_traced(0).unwrap();
+        assert_eq!(f, FrameId(0));
+        assert_eq!(
+            o,
+            AllocOutcome::Steal {
+                victim: 1,
+                rebalanced: 2
+            },
+            "a short victim queue bounds the rebalance"
+        );
+        assert_eq!(fl.free_count(), 2);
+    }
+
+    /// Steal batching is pure prefetch: the *sequence of frames* each
+    /// alloc returns is byte-identical to the `steal_batch = 0` legacy
+    /// behavior — batching only changes which queue they wait in.
+    #[test]
+    fn steal_batch_is_invisible_to_the_alloc_sequence() {
+        let seq = |batch: usize| -> Vec<u32> {
+            let cfg = FreelistConfig {
+                core_spill_threshold: 1000,
+                level_batch: 4,
+                steal_batch: batch,
+            };
+            let fl = Freelist::new(NumaTopology::flat(4), cfg, frames(0));
+            for i in 0..32 {
+                fl.free(0, FrameId(i));
+            }
+            (0..32).map(|_| fl.alloc(2).unwrap().0).collect()
+        };
+        let legacy = seq(0);
+        assert_eq!(legacy, seq(3));
+        assert_eq!(legacy, seq(64));
+    }
+
+    /// The degenerate single-core topology can never steal (there is no
+    /// sibling), whatever the batch knob says.
+    #[test]
+    fn single_core_topology_never_steals() {
+        let cfg = FreelistConfig {
+            steal_batch: 8,
+            ..FreelistConfig::default()
+        };
+        let fl = Freelist::new(NumaTopology::flat(1), cfg, frames(16));
+        for _ in 0..16 {
+            let (_, o) = fl.alloc_traced(0).unwrap();
+            assert!(
+                matches!(o, AllocOutcome::LocalHit | AllocOutcome::NodeRefill(0)),
+                "unexpected outcome {o:?} on a single-core machine"
+            );
+        }
+        assert!(fl.alloc(0).is_none());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod lru;
 
 pub use cache::{CacheConfig, DramCache, Victim, MAX_TENANTS};
 pub use dirty::{coalesce_runs, DirtyPage, DirtyTrees};
-pub use freelist::{Freelist, FreelistConfig, NumaTopology};
+pub use freelist::{AllocOutcome, Freelist, FreelistConfig, NumaTopology};
 pub use hashtable::{InsertOutcome, LockFreeMap};
 pub use key::PageKey;
 pub use lru::ClockLru;

@@ -70,6 +70,21 @@ impl SimMutex {
         }
     }
 
+    /// Backlog at `now`: how far the resource's reservation cursor is
+    /// ahead of the caller's clock. Zero means an acquisition at `now`
+    /// would be granted immediately; a large backlog means many holders
+    /// are queued ahead. Callers can use this to model *non-scalable*
+    /// locks, whose per-acquisition cost grows with the number of
+    /// waiters spinning on the lock's cache line.
+    pub fn backlog(&self, now: Cycles) -> Cycles {
+        let st = self.state.lock();
+        if st.available > now {
+            st.available - now
+        } else {
+            Cycles::ZERO
+        }
+    }
+
     /// Number of acquisitions so far.
     pub fn acquisitions(&self) -> u64 {
         self.state.lock().acquisitions

@@ -3,7 +3,149 @@
 //! A RadixVM-style radix tree replaces Linux's red-black tree + rwsem:
 //! page-fault lookups take no global lock, and updates lock only the
 //! entries they touch. See [`tree::VmaTree`].
+//!
+//! [`regions::RegionMap`] goes one step further: Theseus-style
+//! spill-free region descriptors resolved in O(1) with no tree walk and
+//! no shared lock at all on the fault path. [`AddressSpace`] lets the
+//! engine select either structure per policy; both are observationally
+//! equivalent (see `tests/properties.rs` at the workspace root).
 
+pub mod regions;
 pub mod tree;
 
+use std::sync::Arc;
+
+use aquila_mmu::Vpn;
+use aquila_sim::SimCtx;
+
+pub use regions::RegionMap;
 pub use tree::{Advice, Prot, VmaDesc, VmaError, VmaTree};
+
+/// The engine's address-space index: the radix tree baseline or the
+/// spill-free region map. Fault-path instrumentation: every tree lookup
+/// counts one `vma.tree.lock` shared acquisition (the arena/descriptor
+/// read locks the walk takes), while region resolution counts nothing —
+/// the scale sweep asserts that counter stays zero with regions enabled.
+pub enum AddressSpace {
+    /// Radix tree with shared arena/descriptor locks (baseline).
+    Tree(VmaTree),
+    /// Spill-free O(1) region descriptors (no shared lock on faults).
+    Regions(RegionMap),
+}
+
+impl AddressSpace {
+    /// Creates the structure selected by `spill_regions`.
+    pub fn new(base_vpn: u64, spill_regions: bool) -> AddressSpace {
+        if spill_regions {
+            AddressSpace::Regions(RegionMap::new(base_vpn))
+        } else {
+            AddressSpace::Tree(VmaTree::new(base_vpn))
+        }
+    }
+
+    /// Total pages currently mapped.
+    pub fn mapped_pages(&self) -> u64 {
+        match self {
+            AddressSpace::Tree(t) => t.mapped_pages(),
+            AddressSpace::Regions(r) => r.mapped_pages(),
+        }
+    }
+
+    /// Number of descriptors ever created.
+    pub fn desc_count(&self) -> usize {
+        match self {
+            AddressSpace::Tree(t) => t.desc_count(),
+            AddressSpace::Regions(r) => r.desc_count(),
+        }
+    }
+
+    /// Finds a free virtual range of `pages` pages.
+    pub fn find_free(&self, pages: u64) -> Vpn {
+        match self {
+            AddressSpace::Tree(t) => t.find_free(pages),
+            AddressSpace::Regions(r) => r.find_free(pages),
+        }
+    }
+
+    /// Maps a range; see [`VmaTree::map`].
+    pub fn map(
+        &self,
+        ctx: &mut dyn SimCtx,
+        start: Option<Vpn>,
+        pages: u64,
+        file: u32,
+        file_page: u64,
+        prot: Prot,
+    ) -> Result<Arc<VmaDesc>, VmaError> {
+        match self {
+            AddressSpace::Tree(t) => t.map(ctx, start, pages, file, file_page, prot),
+            AddressSpace::Regions(r) => r.map(ctx, start, pages, file, file_page, prot),
+        }
+    }
+
+    /// Unmaps a range; see [`VmaTree::unmap`].
+    pub fn unmap(&self, ctx: &mut dyn SimCtx, start: Vpn, pages: u64) -> Vec<(Vpn, Arc<VmaDesc>)> {
+        match self {
+            AddressSpace::Tree(t) => t.unmap(ctx, start, pages),
+            AddressSpace::Regions(r) => r.unmap(ctx, start, pages),
+        }
+    }
+
+    /// Resolves the mapping covering `vpn` (the fault fast path).
+    pub fn lookup(&self, ctx: &mut dyn SimCtx, vpn: Vpn) -> Option<(Arc<VmaDesc>, Prot)> {
+        match self {
+            AddressSpace::Tree(t) => {
+                aquila_sim::metrics::add(ctx, "vma.tree.lock", 1);
+                t.lookup(ctx, vpn)
+            }
+            AddressSpace::Regions(r) => r.lookup(ctx, vpn),
+        }
+    }
+
+    /// Tries to take the per-entry fault lock for `vpn`.
+    pub fn try_lock_entry(&self, vpn: Vpn) -> bool {
+        match self {
+            AddressSpace::Tree(t) => t.try_lock_entry(vpn),
+            AddressSpace::Regions(r) => r.try_lock_entry(vpn),
+        }
+    }
+
+    /// Unlocks an entry locked by [`AddressSpace::try_lock_entry`].
+    pub fn unlock_entry(&self, vpn: Vpn) {
+        match self {
+            AddressSpace::Tree(t) => t.unlock_entry(vpn),
+            AddressSpace::Regions(r) => r.unlock_entry(vpn),
+        }
+    }
+
+    /// Applies `mprotect` to a range; returns pages affected.
+    pub fn protect(&self, ctx: &mut dyn SimCtx, start: Vpn, pages: u64, prot: Prot) -> u64 {
+        match self {
+            AddressSpace::Tree(t) => t.protect(ctx, start, pages, prot),
+            AddressSpace::Regions(r) => r.protect(ctx, start, pages, prot),
+        }
+    }
+
+    /// Remaps a range to a new automatically placed range.
+    pub fn remap(
+        &self,
+        ctx: &mut dyn SimCtx,
+        old_start: Vpn,
+        old_pages: u64,
+        new_pages: u64,
+    ) -> Result<Arc<VmaDesc>, VmaError> {
+        match self {
+            AddressSpace::Tree(t) => t.remap(ctx, old_start, old_pages, new_pages),
+            AddressSpace::Regions(r) => r.remap(ctx, old_start, old_pages, new_pages),
+        }
+    }
+}
+
+impl core::fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AddressSpace::Tree(t) => t.fmt(f),
+            AddressSpace::Regions(r) => r.fmt(f),
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Spill-free region descriptors: O(1) mapping resolution with no tree
+//! and no shared lock on the fault path.
+//!
+//! The radix tree in [`crate::tree`] already avoids Linux's rb-tree, but
+//! its lookups still walk four levels and take the arena/descriptor
+//! read-write locks — shared acquisitions that every concurrent fault
+//! funnels through. Following Theseus-style `MappedPages` regions, this
+//! map trades virtual-address-space sparsity for a flat two-level array
+//! of per-page entries: a fault resolves its region descriptor with one
+//! shifted index into a pre-sized table (one `radix_level` charge, no
+//! lock of any kind), and descriptors live in a fixed-capacity slot
+//! arena that never reallocates ("spill-free"): once a slot is
+//! published it is immutable until the map drops, so readers never
+//! synchronize with writers. Map/unmap cost stays proportional to the
+//! range being changed, never to the number of live regions.
+//!
+//! Entry encoding, placement policy, and per-entry fault locking are
+//! bit-compatible with [`crate::tree::VmaTree`] (the linuxsim baseline
+//! keeps the tree), which the property tests exploit: random operation
+//! sequences must be observationally identical under both structures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use aquila_sync::Mutex;
+
+use aquila_mmu::Vpn;
+use aquila_sim::{CostCat, SimCtx};
+
+use crate::tree::{ENTRY_FORCE_RO, ENTRY_ID_MASK, ENTRY_LOCK};
+use crate::{Prot, VmaDesc, VmaError};
+
+/// Bits of VPN resolved by the leaf table (the low half of the 36-bit
+/// VPN space); the top table covers the high half.
+const LEAF_BITS: u32 = 18;
+const LEAF_SIZE: usize = 1 << LEAF_BITS;
+const TOP_SIZE: usize = 1 << (36 - LEAF_BITS);
+
+/// Fixed descriptor-slot capacity. Slots are never reused, so this
+/// bounds the number of `map` calls over the map's lifetime; exhausting
+/// it reports [`VmaError::NoVirtualSpace`], mirroring how the bump
+/// allocator itself is append-only.
+const DESC_SLOTS: usize = 1 << 16;
+
+struct Leaf {
+    entries: Box<[AtomicU64]>,
+}
+
+impl Leaf {
+    fn new() -> Leaf {
+        Leaf {
+            entries: (0..LEAF_SIZE).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// The spill-free region map.
+pub struct RegionMap {
+    /// Lazily materialized 1 GiB windows of per-page entries. A `OnceLock`
+    /// publish is the only synchronization a first-touch pays; steady-state
+    /// resolution is two array indexes.
+    tops: Box<[OnceLock<Box<Leaf>>]>,
+    /// Append-only descriptor slots (id-1 indexes here, as in the tree).
+    descs: Box<[OnceLock<Arc<VmaDesc>>]>,
+    next_desc: Mutex<usize>,
+    /// Bump pointer for `find_free`, same policy as the tree.
+    next_free: Mutex<u64>,
+    mapped_pages: AtomicU64,
+}
+
+impl RegionMap {
+    /// Creates an empty map. `base_vpn` is where automatic placement
+    /// starts (like `mmap_base`).
+    pub fn new(base_vpn: u64) -> RegionMap {
+        RegionMap {
+            tops: (0..TOP_SIZE).map(|_| OnceLock::new()).collect(),
+            descs: (0..DESC_SLOTS).map(|_| OnceLock::new()).collect(),
+            next_desc: Mutex::new(0),
+            next_free: Mutex::new(base_vpn),
+            mapped_pages: AtomicU64::new(0),
+        }
+    }
+
+    /// Total pages currently mapped.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages.load(Ordering::Relaxed)
+    }
+
+    /// Number of region descriptors ever created.
+    pub fn desc_count(&self) -> usize {
+        *self.next_desc.lock()
+    }
+
+    #[inline]
+    fn split(vpn: Vpn) -> (usize, usize) {
+        (
+            ((vpn.0 >> LEAF_BITS) as usize) & (TOP_SIZE - 1),
+            (vpn.0 as usize) & (LEAF_SIZE - 1),
+        )
+    }
+
+    #[inline]
+    fn entry(&self, vpn: Vpn) -> Option<&AtomicU64> {
+        let (top, slot) = Self::split(vpn);
+        self.tops[top].get().map(|leaf| &leaf.entries[slot])
+    }
+
+    #[inline]
+    fn entry_or_init(&self, vpn: Vpn) -> &AtomicU64 {
+        let (top, slot) = Self::split(vpn);
+        &self.tops[top].get_or_init(|| Box::new(Leaf::new())).entries[slot]
+    }
+
+    /// Charges the O(1) resolution cost: one table index, no walk.
+    fn charge_resolve(ctx: &mut dyn SimCtx) {
+        let c = ctx.cost().radix_level;
+        ctx.charge(CostCat::FaultHandler, c);
+    }
+
+    fn desc_by_id(&self, id: u64) -> Arc<VmaDesc> {
+        Arc::clone(
+            self.descs[(id - 1) as usize]
+                .get()
+                .expect("live entry id has a published descriptor"),
+        )
+    }
+
+    /// Finds a free virtual range of `pages` pages. Identical policy to
+    /// [`crate::tree::VmaTree::find_free`] so both structures place the
+    /// same sequence of mappings at the same addresses.
+    pub fn find_free(&self, pages: u64) -> Vpn {
+        let mut nf = self.next_free.lock();
+        let mut start = *nf;
+        if pages >= 512 {
+            start = (start + 511) & !511;
+        }
+        *nf = start + pages + 16; // Guard gap between mappings.
+        Vpn(start)
+    }
+
+    /// Maps `pages` pages starting at `start` (or an automatically chosen
+    /// range when `None`) backed by `file` at `file_page`.
+    pub fn map(
+        &self,
+        ctx: &mut dyn SimCtx,
+        start: Option<Vpn>,
+        pages: u64,
+        file: u32,
+        file_page: u64,
+        prot: Prot,
+    ) -> Result<Arc<VmaDesc>, VmaError> {
+        assert!(pages > 0, "cannot map zero pages");
+        let start = match start {
+            Some(s) => s,
+            None => self.find_free(pages),
+        };
+        // First pass: verify the range is free.
+        for i in 0..pages {
+            if let Some(e) = self.entry(Vpn(start.0 + i)) {
+                if e.load(Ordering::Acquire) & ENTRY_ID_MASK != 0 {
+                    return Err(VmaError::Overlap);
+                }
+            }
+        }
+        let desc = Arc::new(VmaDesc::new(file, file_page, start, pages, prot));
+        let id = {
+            let mut next = self.next_desc.lock();
+            if *next >= DESC_SLOTS {
+                return Err(VmaError::NoVirtualSpace);
+            }
+            assert!(
+                self.descs[*next].set(Arc::clone(&desc)).is_ok(),
+                "slot below next_desc is unpublished"
+            );
+            *next += 1;
+            *next as u64 // id+1 encoding; descs[id-1].
+        };
+        for i in 0..pages {
+            self.entry_or_init(Vpn(start.0 + i))
+                .store(id, Ordering::Release);
+        }
+        Self::charge_resolve(ctx);
+        self.mapped_pages.fetch_add(pages, Ordering::Relaxed);
+        Ok(desc)
+    }
+
+    /// Unmaps `pages` pages starting at `start`; holes and partial ranges
+    /// are allowed, as in the tree.
+    pub fn unmap(&self, ctx: &mut dyn SimCtx, start: Vpn, pages: u64) -> Vec<(Vpn, Arc<VmaDesc>)> {
+        let mut removed = Vec::new();
+        for i in 0..pages {
+            let vpn = Vpn(start.0 + i);
+            if let Some(e) = self.entry(vpn) {
+                // Wait out any in-flight fault holding the entry lock,
+                // then claim the entry atomically (same protocol as the
+                // tree: a plain swap could clear a later mapping's lock).
+                let old = loop {
+                    let cur = e.load(Ordering::Acquire);
+                    if cur & ENTRY_ID_MASK == 0 {
+                        break 0;
+                    }
+                    if cur & ENTRY_LOCK != 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    if e.compare_exchange(cur, 0, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break cur;
+                    }
+                };
+                let id = old & ENTRY_ID_MASK;
+                if id != 0 {
+                    removed.push((vpn, self.desc_by_id(id)));
+                }
+            }
+        }
+        Self::charge_resolve(ctx);
+        self.mapped_pages
+            .fetch_sub(removed.len() as u64, Ordering::Relaxed);
+        removed
+    }
+
+    /// Looks up the region covering `vpn` in O(1), plus whether the page
+    /// is individually forced read-only.
+    pub fn lookup(&self, ctx: &mut dyn SimCtx, vpn: Vpn) -> Option<(Arc<VmaDesc>, Prot)> {
+        Self::charge_resolve(ctx);
+        let e = self.entry(vpn)?.load(Ordering::Acquire);
+        let id = e & ENTRY_ID_MASK;
+        if id == 0 {
+            return None;
+        }
+        let desc = self.desc_by_id(id);
+        let mut prot = desc.prot;
+        if e & ENTRY_FORCE_RO != 0 {
+            prot.write = false;
+        }
+        Some((desc, prot))
+    }
+
+    /// Tries to lock the entry for `vpn` so a fault can install the page
+    /// without racing concurrent faults.
+    pub fn try_lock_entry(&self, vpn: Vpn) -> bool {
+        if let Some(e) = self.entry(vpn) {
+            let cur = e.load(Ordering::Acquire);
+            if cur & ENTRY_ID_MASK == 0 || cur & ENTRY_LOCK != 0 {
+                return false;
+            }
+            return e
+                .compare_exchange(cur, cur | ENTRY_LOCK, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+        }
+        false
+    }
+
+    /// Unlocks an entry locked by [`RegionMap::try_lock_entry`].
+    pub fn unlock_entry(&self, vpn: Vpn) {
+        if let Some(e) = self.entry(vpn) {
+            e.fetch_and(!ENTRY_LOCK, Ordering::AcqRel);
+        }
+    }
+
+    /// Applies `mprotect` to a range via the per-page override bits.
+    /// Returns the number of pages affected.
+    pub fn protect(&self, ctx: &mut dyn SimCtx, start: Vpn, pages: u64, prot: Prot) -> u64 {
+        let mut n = 0;
+        for i in 0..pages {
+            if let Some(e) = self.entry(Vpn(start.0 + i)) {
+                if e.load(Ordering::Acquire) & ENTRY_ID_MASK == 0 {
+                    continue;
+                }
+                if prot.write {
+                    e.fetch_and(!ENTRY_FORCE_RO, Ordering::AcqRel);
+                } else {
+                    e.fetch_or(ENTRY_FORCE_RO, Ordering::AcqRel);
+                }
+                n += 1;
+            }
+        }
+        Self::charge_resolve(ctx);
+        n
+    }
+
+    /// Remaps `old_start..+old_pages` to a new automatically placed range
+    /// of `new_pages` (the `mremap` move path).
+    pub fn remap(
+        &self,
+        ctx: &mut dyn SimCtx,
+        old_start: Vpn,
+        old_pages: u64,
+        new_pages: u64,
+    ) -> Result<Arc<VmaDesc>, VmaError> {
+        let (desc, _) = self.lookup(ctx, old_start).ok_or(VmaError::NotMapped)?;
+        let file = desc.file;
+        let file_page = desc.file_page_of(old_start);
+        let prot = desc.prot;
+        self.unmap(ctx, old_start, old_pages);
+        self.map(ctx, None, new_pages, file, file_page, prot)
+    }
+}
+
+impl core::fmt::Debug for RegionMap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "RegionMap {{ mapped_pages: {}, descs: {} }}",
+            self.mapped_pages(),
+            self.desc_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aquila_sim::FreeCtx;
+
+    fn map() -> RegionMap {
+        RegionMap::new(0x1000)
+    }
+
+    #[test]
+    fn map_lookup_unmap() {
+        let t = map();
+        let mut ctx = FreeCtx::new(1);
+        let desc = t.map(&mut ctx, None, 8, 3, 100, Prot::RW).unwrap();
+        let start = desc.start;
+        let (d, prot) = t.lookup(&mut ctx, Vpn(start.0 + 5)).unwrap();
+        assert_eq!(d.file, 3);
+        assert_eq!(d.file_page_of(Vpn(start.0 + 5)), 105);
+        assert!(prot.write);
+        assert_eq!(t.mapped_pages(), 8);
+        let removed = t.unmap(&mut ctx, start, 8);
+        assert_eq!(removed.len(), 8);
+        assert!(t.lookup(&mut ctx, start).is_none());
+        assert_eq!(t.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn fixed_map_overlap_rejected() {
+        let t = map();
+        let mut ctx = FreeCtx::new(1);
+        t.map(&mut ctx, Some(Vpn(100)), 10, 0, 0, Prot::RW).unwrap();
+        assert!(matches!(
+            t.map(&mut ctx, Some(Vpn(105)), 10, 1, 0, Prot::RW),
+            Err(VmaError::Overlap)
+        ));
+        // Adjacent is fine.
+        assert!(t.map(&mut ctx, Some(Vpn(110)), 10, 1, 0, Prot::RW).is_ok());
+    }
+
+    #[test]
+    fn partial_unmap_punches_hole() {
+        let t = map();
+        let mut ctx = FreeCtx::new(1);
+        let d = t.map(&mut ctx, Some(Vpn(200)), 10, 0, 0, Prot::RW).unwrap();
+        let removed = t.unmap(&mut ctx, Vpn(203), 4);
+        assert_eq!(removed.len(), 4);
+        assert!(t.lookup(&mut ctx, Vpn(202)).is_some());
+        assert!(t.lookup(&mut ctx, Vpn(204)).is_none());
+        assert!(t.lookup(&mut ctx, Vpn(207)).is_some());
+        assert_eq!(t.mapped_pages(), 6);
+        let _ = d;
+    }
+
+    #[test]
+    fn placement_matches_tree_policy() {
+        let t = map();
+        let tree = crate::VmaTree::new(0x1000);
+        let mut ctx = FreeCtx::new(1);
+        // Same placement decisions as the tree for an identical op mix,
+        // including the 2 MiB alignment of large mappings.
+        for pages in [3u64, 1024, 4, 700, 512, 9] {
+            let a = t.map(&mut ctx, None, pages, 0, 0, Prot::RW).unwrap();
+            let b = tree.map(&mut ctx, None, pages, 0, 0, Prot::RW).unwrap();
+            assert_eq!(a.start, b.start, "placement diverged at {pages} pages");
+        }
+    }
+
+    #[test]
+    fn entry_lock_serializes_faults() {
+        let t = map();
+        let mut ctx = FreeCtx::new(1);
+        let d = t.map(&mut ctx, Some(Vpn(50)), 2, 0, 0, Prot::RW).unwrap();
+        assert!(t.try_lock_entry(Vpn(50)));
+        assert!(!t.try_lock_entry(Vpn(50)), "second lock must fail");
+        assert!(t.try_lock_entry(Vpn(51)), "other pages unaffected");
+        t.unlock_entry(Vpn(50));
+        assert!(t.try_lock_entry(Vpn(50)));
+        // Lookup still works while locked.
+        assert!(t.lookup(&mut ctx, Vpn(50)).is_some());
+        let _ = d;
+    }
+
+    #[test]
+    fn lock_unmapped_entry_fails() {
+        let t = map();
+        assert!(!t.try_lock_entry(Vpn(0xdead)));
+    }
+
+    #[test]
+    fn mprotect_forces_readonly_per_page() {
+        let t = map();
+        let mut ctx = FreeCtx::new(1);
+        t.map(&mut ctx, Some(Vpn(300)), 4, 0, 0, Prot::RW).unwrap();
+        let n = t.protect(&mut ctx, Vpn(301), 2, Prot::READ);
+        assert_eq!(n, 2);
+        let (_, p300) = t.lookup(&mut ctx, Vpn(300)).unwrap();
+        let (_, p301) = t.lookup(&mut ctx, Vpn(301)).unwrap();
+        assert!(p300.write);
+        assert!(!p301.write);
+        // Restore write.
+        t.protect(&mut ctx, Vpn(301), 1, Prot::RW);
+        let (_, p301b) = t.lookup(&mut ctx, Vpn(301)).unwrap();
+        assert!(p301b.write);
+    }
+
+    #[test]
+    fn remap_moves_and_grows() {
+        let t = map();
+        let mut ctx = FreeCtx::new(1);
+        let d = t.map(&mut ctx, Some(Vpn(400)), 4, 9, 50, Prot::RW).unwrap();
+        let nd = t.remap(&mut ctx, Vpn(400), 4, 8).unwrap();
+        assert!(t.lookup(&mut ctx, Vpn(400)).is_none(), "old range gone");
+        assert_eq!(nd.file, 9);
+        assert_eq!(nd.file_page_of(nd.start), 50, "file window preserved");
+        assert_eq!(nd.pages, 8);
+        assert_eq!(t.mapped_pages(), 8);
+        let _ = d;
+    }
+
+    #[test]
+    fn sparse_distant_mappings() {
+        let t = map();
+        let mut ctx = FreeCtx::new(1);
+        // Far apart in the 36-bit VPN space: exercises distinct leaves.
+        t.map(&mut ctx, Some(Vpn(0x0000_0001)), 1, 0, 0, Prot::RW)
+            .unwrap();
+        t.map(&mut ctx, Some(Vpn(0x0FFF_FFFF0)), 1, 1, 0, Prot::RW)
+            .unwrap();
+        assert_eq!(t.lookup(&mut ctx, Vpn(0x0000_0001)).unwrap().0.file, 0);
+        assert_eq!(t.lookup(&mut ctx, Vpn(0x0FFF_FFFF0)).unwrap().0.file, 1);
+        assert!(t.lookup(&mut ctx, Vpn(0x0000_1000)).is_none());
+    }
+
+    #[test]
+    fn resolution_is_cheaper_than_a_tree_walk() {
+        let t = map();
+        let tree = crate::VmaTree::new(0x1000);
+        let mut a = FreeCtx::new(1);
+        let mut b = FreeCtx::new(1);
+        t.map(&mut a, Some(Vpn(64)), 1, 0, 0, Prot::RW).unwrap();
+        tree.map(&mut b, Some(Vpn(64)), 1, 0, 0, Prot::RW).unwrap();
+        let a0 = a.now();
+        let b0 = b.now();
+        t.lookup(&mut a, Vpn(64)).unwrap();
+        tree.lookup(&mut b, Vpn(64)).unwrap();
+        assert!(
+            a.now() - a0 < b.now() - b0,
+            "O(1) resolve must charge less than the 4-level walk"
+        );
+    }
+
+    #[test]
+    fn desc_slots_are_spill_free_until_exhausted() {
+        let t = map();
+        let mut ctx = FreeCtx::new(1);
+        // Publishing never moves earlier descriptors: an Arc taken before
+        // later maps still reads the same fields after them.
+        let first = t.map(&mut ctx, None, 1, 7, 0, Prot::RW).unwrap();
+        for i in 0..64 {
+            t.map(&mut ctx, None, 1, i, 0, Prot::RW).unwrap();
+        }
+        assert_eq!(first.file, 7);
+        assert_eq!(t.desc_count(), 65);
+    }
+
+    #[test]
+    fn concurrent_lookups_and_locks() {
+        use std::sync::Arc as StdArc;
+        let t = StdArc::new(map());
+        let mut ctx = FreeCtx::new(1);
+        t.map(&mut ctx, Some(Vpn(1000)), 64, 0, 0, Prot::RW)
+            .unwrap();
+        let mut handles = Vec::new();
+        for i in 0..4usize {
+            let t = StdArc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut locked = 0;
+                for p in 0..64u64 {
+                    if p % 4 == i as u64 && t.try_lock_entry(Vpn(1000 + p)) {
+                        locked += 1;
+                        t.unlock_entry(Vpn(1000 + p));
+                    }
+                }
+                locked
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 64, "each thread locks its disjoint quarter");
+    }
+}

@@ -99,6 +99,17 @@ pub struct VmaDesc {
 }
 
 impl VmaDesc {
+    pub(crate) fn new(file: u32, file_page: u64, start: Vpn, pages: u64, prot: Prot) -> VmaDesc {
+        VmaDesc {
+            file,
+            file_page,
+            start,
+            pages,
+            prot,
+            advice: std::sync::atomic::AtomicU8::new(0),
+        }
+    }
+
     /// The file page backing virtual page `vpn` of this mapping.
     pub fn file_page_of(&self, vpn: Vpn) -> u64 {
         self.file_page + (vpn.0 - self.start.0)
@@ -129,9 +140,9 @@ pub enum VmaError {
 /// Entry state: low 32 bits hold VmaId+1 (0 = unmapped); bit 63 is the
 /// per-entry fault lock; bit 62 forces the page read-only regardless of
 /// the VMA protection (per-page `mprotect`).
-const ENTRY_LOCK: u64 = 1 << 63;
-const ENTRY_FORCE_RO: u64 = 1 << 62;
-const ENTRY_ID_MASK: u64 = 0xFFFF_FFFF;
+pub(crate) const ENTRY_LOCK: u64 = 1 << 63;
+pub(crate) const ENTRY_FORCE_RO: u64 = 1 << 62;
+pub(crate) const ENTRY_ID_MASK: u64 = 0xFFFF_FFFF;
 
 const FANOUT: usize = 512;
 const LEVELS: usize = 4;

@@ -156,6 +156,214 @@ fn vma_tree_matches_model() {
     }
 }
 
+/// The spill-free region map is observationally equivalent to the VMA
+/// radix tree: random mmap/munmap/mremap/mprotect sequences driven
+/// through [`aquila_vma::AddressSpace`] produce identical placement,
+/// identical map/unmap/remap results, and identical per-page lookups
+/// (presence, backing file window, and effective protection).
+#[test]
+fn region_map_matches_vma_tree() {
+    use aquila_mmu::Vpn;
+    use aquila_vma::AddressSpace;
+
+    let mut rng = Rng64::new(0x5F11);
+    for _ in 0..CASES {
+        let tree = AddressSpace::new(0x1000, false);
+        let regions = AddressSpace::new(0x1000, true);
+        let mut ctx_t = FreeCtx::new(1);
+        let mut ctx_r = FreeCtx::new(1);
+        // Fixed-placement ops land in this window, below the automatic
+        // bump base at 0x1000 so the two placement modes never collide;
+        // auto placement bumps from 0x1000 identically on both sides.
+        let lo = 0x100u64;
+        let n = rng.range(1, 99);
+        for _ in 0..n {
+            let start = lo + rng.below(192);
+            let len = rng.range(1, 15);
+            match rng.below(5) {
+                0 => {
+                    // Fixed-placement map: same Ok/Overlap outcome.
+                    let prot = if rng.chance(0.5) {
+                        Prot::RW
+                    } else {
+                        Prot::READ
+                    };
+                    let file = rng.below(8) as u32;
+                    let fpage = rng.below(1000);
+                    let a = tree.map(&mut ctx_t, Some(Vpn(start)), len, file, fpage, prot);
+                    let b = regions.map(&mut ctx_r, Some(Vpn(start)), len, file, fpage, prot);
+                    assert_eq!(a.is_ok(), b.is_ok());
+                }
+                1 => {
+                    // Auto placement: both structures share the bump policy.
+                    let pages = if rng.chance(0.2) {
+                        rng.range(512, 1024) // exercise the 2 MiB alignment
+                    } else {
+                        rng.range(1, 15)
+                    };
+                    let a = tree.map(&mut ctx_t, None, pages, 1, 0, Prot::RW).unwrap();
+                    let b = regions
+                        .map(&mut ctx_r, None, pages, 1, 0, Prot::RW)
+                        .unwrap();
+                    assert_eq!(a.start, b.start, "auto placement diverged");
+                }
+                2 => {
+                    let mut a: Vec<u64> = tree
+                        .unmap(&mut ctx_t, Vpn(start), len)
+                        .iter()
+                        .map(|(v, _)| v.0)
+                        .collect();
+                    let mut b: Vec<u64> = regions
+                        .unmap(&mut ctx_r, Vpn(start), len)
+                        .iter()
+                        .map(|(v, _)| v.0)
+                        .collect();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "unmap removed different pages");
+                }
+                3 => {
+                    let prot = if rng.chance(0.5) {
+                        Prot::RW
+                    } else {
+                        Prot::READ
+                    };
+                    let a = tree.protect(&mut ctx_t, Vpn(start), len, prot);
+                    let b = regions.protect(&mut ctx_r, Vpn(start), len, prot);
+                    assert_eq!(a, b, "mprotect affected different page counts");
+                }
+                _ => {
+                    let grow = rng.range(1, 15);
+                    let a = tree.remap(&mut ctx_t, Vpn(start), len, grow);
+                    let b = regions.remap(&mut ctx_r, Vpn(start), len, grow);
+                    assert_eq!(a.is_ok(), b.is_ok(), "remap outcome diverged");
+                    if let (Ok(a), Ok(b)) = (a, b) {
+                        assert_eq!(a.start, b.start);
+                        assert_eq!(a.pages, b.pages);
+                    }
+                }
+            }
+        }
+        // Full observational sweep: every page of the fixed window and
+        // the head of the auto-placement area resolves identically —
+        // presence, file window, and effective protection.
+        assert_eq!(tree.mapped_pages(), regions.mapped_pages());
+        let pages: Vec<u64> = (lo..lo + 192 + 16).chain(0x1000..0x1000 + 3072).collect();
+        for v in pages {
+            let a = tree.lookup(&mut ctx_t, Vpn(v));
+            let b = regions.lookup(&mut ctx_r, Vpn(v));
+            match (a, b) {
+                (None, None) => {}
+                (Some((da, pa)), Some((db, pb))) => {
+                    assert_eq!(da.file, db.file, "vpn {v}");
+                    assert_eq!(da.file_page_of(Vpn(v)), db.file_page_of(Vpn(v)), "vpn {v}");
+                    assert_eq!(pa.write, pb.write, "vpn {v}");
+                    assert_eq!(pa.read, pb.read, "vpn {v}");
+                }
+                (a, b) => panic!("vpn {v}: tree={:?} regions={:?}", a.is_some(), b.is_some()),
+            }
+        }
+    }
+}
+
+/// Turning on the whole scaled fault path — spill-free regions, a
+/// sharded page table, and freelist steal batching — does not change
+/// what the engine computes: the same random fault-heavy workload takes
+/// exactly the same faults (minor and major), evicts the same number of
+/// pages, and reads back the same values as the legacy tree + shared
+/// page table.
+#[test]
+fn spill_free_fault_counts_match_tree_path() {
+    use aquila::{Advice, AquilaRuntime, DeviceKind, MmioPolicy, Prot};
+    use aquila_sim::CoreDebts;
+
+    const FILE_PAGES: u64 = 512;
+    const CACHE_FRAMES: usize = 128; // pressure: forces evictions
+    const OPS: u64 = 1200;
+
+    let run = |seed: u64, policy: MmioPolicy| -> (u64, u64, u64, u64, u64) {
+        let mut ctx = FreeCtx::new(seed);
+        let debts = Arc::new(CoreDebts::new(1));
+        let rt = AquilaRuntime::build_with_policy(
+            &mut ctx,
+            DeviceKind::NvmeSpdk,
+            FILE_PAGES + 1024,
+            CACHE_FRAMES,
+            1,
+            debts,
+            policy,
+        );
+        rt.aquila.thread_enter(&mut ctx);
+        let f = rt.open("/prop/scale", FILE_PAGES).unwrap();
+        let addr = rt
+            .aquila
+            .mmap(&mut ctx, f, 0, FILE_PAGES, Prot::RW)
+            .unwrap();
+        rt.aquila
+            .madvise(&mut ctx, addr, FILE_PAGES, Advice::Random)
+            .unwrap();
+        let mut rng = Rng64::new(seed ^ 0x5CA1);
+        let mut buf = [0u8; 8];
+        let mut read_sum = 0u64;
+        for _ in 0..OPS {
+            let page = rng.below(FILE_PAGES);
+            let off = rng.below(4096 - 8);
+            if rng.chance(0.5) {
+                let val = rng.next_u64();
+                rt.aquila
+                    .write(&mut ctx, addr.add(page * 4096 + off), &val.to_le_bytes())
+                    .unwrap();
+            } else {
+                rt.aquila
+                    .read(&mut ctx, addr.add(page * 4096 + off), &mut buf)
+                    .unwrap();
+                read_sum = read_sum
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(u64::from_le_bytes(buf));
+            }
+        }
+        let c = &ctx.stats;
+        (
+            c.page_faults,
+            c.minor_faults,
+            c.major_faults,
+            c.evictions,
+            read_sum,
+        )
+    };
+
+    for case in 0..6u64 {
+        let seed = 0x5CA1E + case * 0x9E37;
+        let legacy = run(seed, MmioPolicy::default());
+        let scaled = run(
+            seed,
+            MmioPolicy {
+                spill_regions: true,
+                pt_shards: 4,
+                freelist_steal_batch: 8,
+                ..MmioPolicy::default()
+            },
+        );
+        assert_eq!(legacy, scaled, "fault behavior diverged (case {case})");
+        // Shard count 1 is the degenerate sharded configuration: one
+        // modeled shard must behave exactly like the legacy shared
+        // table (and a zero steal batch like the legacy freelist).
+        let degenerate = run(
+            seed,
+            MmioPolicy {
+                spill_regions: true,
+                pt_shards: 1,
+                freelist_steal_batch: 0,
+                ..MmioPolicy::default()
+            },
+        );
+        assert_eq!(
+            legacy, degenerate,
+            "single-shard config diverged from legacy (case {case})"
+        );
+    }
+}
+
 /// Coalesced writeback runs preserve exactly the input pages, in
 /// order, and every run is contiguous within one file.
 #[test]
